@@ -1,0 +1,98 @@
+//! Bench: native corpus-kernel throughput (the cost of one screening pass
+//! per library family).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mercurial_corpus::crc::{CrcTable, POLY_CRC32};
+use mercurial_corpus::hash::{fnv1a64, murmur_like64, SipHash24};
+use mercurial_corpus::matmul::{matmul_blocked, matmul_naive, Matrix};
+use mercurial_corpus::sort::{sort, SortAlgo};
+use mercurial_corpus::{crc, float};
+use mercurial_fault::CounterRng;
+use std::hint::black_box;
+
+fn bench_crc(c: &mut Criterion) {
+    let data: Vec<u8> = (0..64 * 1024u32).map(|i| i as u8).collect();
+    let table = CrcTable::new(POLY_CRC32);
+    let mut group = c.benchmark_group("crc32-64KiB");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("bitwise", |b| b.iter(|| black_box(crc::crc32(&data))));
+    group.bench_function("table", |b| b.iter(|| black_box(table.crc_table(&data))));
+    group.bench_function("slice8", |b| b.iter(|| black_box(table.crc_slice8(&data))));
+    group.finish();
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let data: Vec<u8> = (0..16 * 1024u32).map(|i| (i * 31) as u8).collect();
+    let sip = SipHash24::new(1, 2);
+    let mut group = c.benchmark_group("hash-16KiB");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("fnv1a64", |b| b.iter(|| black_box(fnv1a64(&data))));
+    group.bench_function("murmur-like", |b| {
+        b.iter(|| black_box(murmur_like64(&data, 7)))
+    });
+    group.bench_function("siphash24", |b| b.iter(|| black_box(sip.hash(&data))));
+    group.finish();
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let rng = CounterRng::new(77);
+    let input: Vec<u64> = (0..10_000u64).map(|i| rng.at(i)).collect();
+    let mut group = c.benchmark_group("sort-10k");
+    for algo in SortAlgo::ALL {
+        group.bench_function(algo.name(), |b| {
+            b.iter_batched(
+                || input.clone(),
+                |mut v| {
+                    sort(algo, &mut v);
+                    black_box(v)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::random(64, 64, 1);
+    let b = Matrix::random(64, 64, 2);
+    let mut group = c.benchmark_group("gemm-64");
+    group.bench_function("naive", |bch| bch.iter(|| black_box(matmul_naive(&a, &b))));
+    group.bench_function("blocked-16", |bch| {
+        bch.iter(|| black_box(matmul_blocked(&a, &b, 16)))
+    });
+    group.finish();
+}
+
+fn bench_float(c: &mut Criterion) {
+    let mut group = c.benchmark_group("float-kernels");
+    group.bench_function("fp-signature-10k", |b| {
+        b.iter(|| black_box(float::fp_signature(42, 10_000)))
+    });
+    group.bench_function("fma-chain-100k", |b| {
+        b.iter(|| black_box(float::fma_chain_exact(100_000)))
+    });
+    group.finish();
+}
+
+
+/// A single-CPU-friendly Criterion config: fewer samples, shorter
+/// measurement windows (the ratios, not the absolute precision, are
+/// what the experiments report).
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_crc,
+    bench_hashes,
+    bench_sorts,
+    bench_matmul,
+    bench_float
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench: the §3 cost claims — detection ≈2×, correction (TMR) ≈3×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mercurial_mitigation::{dmr, tmr, CostMeter};
+use std::hint::black_box;
+
+fn kernel(_core: usize) -> u64 {
+    let mut acc = 0x1234_5678u64;
+    for i in 0..10_000u64 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        acc ^= acc >> 29;
+    }
+    acc
+}
+
+fn bench_redundancy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redundancy");
+    group.bench_function("raw", |b| b.iter(|| black_box(kernel(0))));
+    group.bench_function("dmr", |b| {
+        b.iter(|| {
+            let mut meter = CostMeter::default();
+            black_box(dmr(kernel, 1, &mut meter).unwrap())
+        })
+    });
+    group.bench_function("tmr", |b| {
+        b.iter(|| {
+            let mut meter = CostMeter::default();
+            black_box(tmr(kernel, &mut meter).unwrap())
+        })
+    });
+    group.finish();
+}
+
+
+/// A single-CPU-friendly Criterion config: fewer samples, shorter
+/// measurement windows (the ratios, not the absolute precision, are
+/// what the experiments report).
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_redundancy);
+criterion_main!(benches);

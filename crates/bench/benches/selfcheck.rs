@@ -1,0 +1,83 @@
+//! Bench: self-checking library overheads (§7) — checked vs raw
+//! encryption, compression, and copying.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mercurial_corpus::aes::{Aes, KeySize};
+use mercurial_corpus::lz;
+use mercurial_mitigation::{checked_compress, checked_copy, cross_checked_encrypt};
+use std::hint::black_box;
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes::new(KeySize::Aes128, &[7u8; 16]).unwrap();
+    let block = *b"0123456789abcdef";
+    let mut group = c.benchmark_group("selfcheck-aes");
+    group.bench_function("encrypt-raw", |b| {
+        b.iter(|| black_box(aes.encrypt_block(block)))
+    });
+    group.bench_function("encrypt-roundtrip-checked", |b| {
+        b.iter(|| {
+            let ct = aes.encrypt_block(block);
+            black_box(aes.decrypt_block(ct))
+        })
+    });
+    group.bench_function("encrypt-cross-checked", |b| {
+        b.iter(|| {
+            black_box(
+                cross_checked_encrypt(
+                    block,
+                    |blk| aes.encrypt_block(blk),
+                    |blk| mercurial_simcpu::crypto::aes128_encrypt_block([7u8; 16], blk),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data: Vec<u8> = (0..64 * 1024u32).map(|i| ((i / 7) % 251) as u8).collect();
+    let mut group = c.benchmark_group("selfcheck-compress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("compress-raw", |b| {
+        b.iter(|| black_box(lz::compress(&data)))
+    });
+    group.bench_function("compress-checked", |b| {
+        b.iter(|| black_box(checked_compress(&data).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_copy(c: &mut Criterion) {
+    let src: Vec<u8> = (0..256 * 1024u32).map(|i| i as u8).collect();
+    let mut dst = vec![0u8; src.len()];
+    let mut group = c.benchmark_group("selfcheck-copy");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("copy-raw", |b| {
+        b.iter(|| {
+            dst.copy_from_slice(black_box(&src));
+            black_box(&dst);
+        })
+    });
+    group.bench_function("copy-checked", |b| {
+        b.iter(|| black_box(checked_copy(&mut dst, &src, |d, s| d.copy_from_slice(s)).unwrap()))
+    });
+    group.finish();
+}
+
+
+/// A single-CPU-friendly Criterion config: fewer samples, shorter
+/// measurement windows (the ratios, not the absolute precision, are
+/// what the experiments report).
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_aes, bench_compress, bench_copy);
+criterion_main!(benches);

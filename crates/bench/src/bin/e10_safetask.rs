@@ -1,0 +1,100 @@
+//! E10 — §6.1: safe-task placement on quarantined cores — recovered
+//! capacity and residual risk.
+//!
+//! ```text
+//! cargo run --release -p mercurial-bench --bin e10_safetask
+//! ```
+
+use mercurial_fault::{library, FunctionalUnit as U};
+use mercurial_isolation::safetask::PlacementAudit;
+use mercurial_isolation::{PlacementDecision, SafeTaskPolicy, TaskUnitProfile};
+
+fn mixes() -> Vec<(&'static str, Vec<(TaskUnitProfile, f64)>)> {
+    let scalar = TaskUnitProfile::new(
+        "scalar-batch",
+        vec![U::ScalarAlu, U::LoadStore, U::BranchUnit, U::AddressGen],
+        false,
+    );
+    let gemm = TaskUnitProfile::new(
+        "gemm",
+        vec![U::Fma, U::VectorPipe, U::LoadStore, U::AddressGen],
+        false,
+    );
+    let tls = TaskUnitProfile::new(
+        "tls",
+        vec![U::CryptoUnit, U::ScalarAlu, U::LoadStore, U::AddressGen],
+        false,
+    );
+    let db = TaskUnitProfile::new(
+        "db",
+        vec![
+            U::ScalarAlu,
+            U::Atomics,
+            U::LoadStore,
+            U::BranchUnit,
+            U::AddressGen,
+        ],
+        false,
+    );
+    let shipper = TaskUnitProfile::new(
+        "log-shipper(hidden memcpy)",
+        vec![U::ScalarAlu, U::LoadStore, U::AddressGen],
+        true,
+    );
+    vec![
+        (
+            "balanced",
+            vec![
+                (scalar.clone(), 0.35),
+                (gemm.clone(), 0.25),
+                (tls.clone(), 0.15),
+                (db.clone(), 0.15),
+                (shipper.clone(), 0.10),
+            ],
+        ),
+        ("compute-heavy", vec![(gemm, 0.7), (scalar.clone(), 0.3)]),
+        ("scalar-heavy", vec![(scalar, 0.8), (shipper, 0.2)]),
+    ]
+}
+
+fn main() {
+    mercurial_bench::header("E10 — unit-aware placement: capacity recovered vs residual risk");
+    // A quarantined-core population sampled from the archetype library.
+    let defective_sets: Vec<Vec<U>> = (0..300)
+        .map(|i| library::sample_profile(0xe10, i).afflicted_units())
+        .collect();
+    let policy = SafeTaskPolicy;
+
+    println!("quarantined cores: 300 (archetype-sampled); task mixes vs recovery:\n");
+    println!(
+        "{:<16} {:>18} {:>22} {:>18}",
+        "task-mix", "capacity-recovered", "placements-audited", "hidden-conflicts"
+    );
+    for (name, mix) in mixes() {
+        let recovered = policy.capacity_recovered(&mix, &defective_sets);
+        let mut placements = 0u32;
+        let mut hidden = 0u32;
+        for defective in &defective_sets {
+            for (task, _) in &mix {
+                if let PlacementDecision::Place { .. } = policy.evaluate(task, defective) {
+                    placements += 1;
+                    if policy.audit(task, defective) != PlacementAudit::ActuallySafe {
+                        hidden += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "{:<16} {:>17.1}% {:>22} {:>13} ({:.1}%)",
+            name,
+            100.0 * recovered,
+            placements,
+            hidden,
+            100.0 * hidden as f64 / placements.max(1) as f64,
+        );
+    }
+    println!("\npaper §6.1: placement by declared unit profile recovers most of the");
+    println!("stranded capacity — but 'it is not clear … if we can reliably identify");
+    println!("safe tasks': every hidden-conflict placement is a task whose bulk copies");
+    println!("secretly exercise the defective vector pipe (§5's non-obvious mapping).");
+}

@@ -1,0 +1,77 @@
+//! E13 — §4: the cost of measurement.
+//!
+//! "Quantifying their values in practice is also difficult and expensive,
+//! because it requires running tests on many machines, potentially for a
+//! long time, before one can get high-confidence results — we don't even
+//! know yet how many or how long." And: "Can we develop … a model for
+//! trading off the inaccuracies in our measurements of these rates against
+//! the costs of measurement?"
+//!
+//! This binary is that model, evaluated: test budget vs. detectable-rate
+//! floor, budget needed per defect-rate decade, and what each screening
+//! policy in this repository can and cannot see.
+//!
+//! ```text
+//! cargo run --release -p mercurial-bench --bin e13_cost
+//! ```
+
+use mercurial_metrics::cost::{detection_probability, ops_for_confidence, sensitivity_floor};
+use mercurial_screening::{EraSchedule, HumanTriage};
+
+fn main() {
+    mercurial_bench::header("E13 — measurement cost: budget vs sensitivity (§4)");
+
+    println!("test operations needed to catch a defect with 95% confidence:");
+    println!("  defect rate   ops needed");
+    for exp in [3, 4, 5, 6, 7, 8, 9] {
+        let rate = 10f64.powi(-exp);
+        println!(
+            "  1e-{exp:<10} {:>12.2e}",
+            ops_for_confidence(rate, 0.95) as f64
+        );
+    }
+    println!("  (each decade of rarity costs a decade of testing — linear in 1/rate)\n");
+
+    println!("sensitivity floor (weakest defect seen with 95% confidence) per budget:");
+    println!("  budget (ops)   floor (rate)");
+    for exp in [4, 5, 6, 7, 8, 9] {
+        let ops = 10u64.pow(exp);
+        println!("  1e{exp:<11}  {:>12.2e}", sensitivity_floor(ops, 0.95));
+    }
+
+    println!("\nwhat the shipped screening policies can see (per single screen):");
+    let schedule = EraSchedule::default_history();
+    for month in [0u32, 12, 30] {
+        let era = schedule.era_at(month);
+        let total_ops = era.ops_per_unit * era.units.len() as u64;
+        println!(
+            "  offline era @month {:>2}: {:>9} ops/screen → floor {:.1e}",
+            month,
+            total_ops,
+            sensitivity_floor(total_ops, 0.95)
+        );
+    }
+    let triage = HumanTriage::default();
+    println!(
+        "  human deep triage:    {:>9.1e} ops     → floor {:.1e}",
+        triage.deep_ops_per_unit as f64 * 9.0 * 3.0 * triage.sessions as f64,
+        triage.sensitivity_floor()
+    );
+
+    println!("\nresidual risk: detection probability of a 1e-8 defect under each budget:");
+    for (name, ops) in [
+        ("one online screen", 45_000u64),
+        ("one offline screen", 9_000_000),
+        ("a month of online screens", 45_000 * 300),
+        ("deep triage", 135_000_000),
+    ] {
+        println!(
+            "  {:<26} {:>6.2}%",
+            name,
+            100.0 * detection_probability(1e-8, ops)
+        );
+    }
+    println!("\n§4's conclusion, quantified: the question 'what is the right target rate?'");
+    println!("is inseparable from 'what test budget will you pay?' — defects below the");
+    println!("fleet's sensitivity floor are simply part of the background failure rate.");
+}

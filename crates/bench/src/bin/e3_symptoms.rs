@@ -1,0 +1,43 @@
+//! E3 — §2's symptom taxonomy, "in increasing order of risk".
+//!
+//! Tallies every simulated corruption into the four classes and shows the
+//! defining property of the CEE problem: the riskiest class — wrong
+//! answers that are *never* detected — is a substantial share.
+//!
+//! ```text
+//! cargo run --release -p mercurial-bench --bin e3_symptoms
+//! ```
+
+use mercurial::pipeline::PipelineRun;
+use mercurial::report;
+use mercurial_fault::SymptomClass;
+
+fn main() {
+    mercurial_bench::header("E3 — corruption outcomes by §2 risk class");
+    let scenario = mercurial_bench::scenario_from_env(0xe3);
+    let outcome = PipelineRun::execute(&scenario);
+    println!("{}", report::symptom_table(&outcome));
+    let never = outcome
+        .sim_summary
+        .symptom_count(SymptomClass::WrongNeverDetected);
+    let total: u64 = outcome.sim_summary.symptom_counts.iter().sum();
+    println!(
+        "silent (never detected) share: {:.1}% of {} corruptions",
+        100.0 * never as f64 / total.max(1) as f64,
+        total
+    );
+    println!(
+        "retryable (immediately detected + machine check) share: {:.1}%",
+        {
+            let retryable = outcome
+                .sim_summary
+                .symptom_count(SymptomClass::WrongDetectedImmediately)
+                + outcome
+                    .sim_summary
+                    .symptom_count(SymptomClass::MachineCheck);
+            100.0 * retryable as f64 / total.max(1) as f64
+        }
+    );
+    println!("\npaper: all four classes occur; the silent class is why 'we can no longer");
+    println!("ignore the CEE problem' — application checks only cover what they cover.");
+}

@@ -1,0 +1,147 @@
+//! E6 — §6: the offline/online screening tradeoff and the value of
+//! coverage growth.
+//!
+//! Compares four policies on the same fleet: online-only, offline-only,
+//! combined, and combined-with-frozen-coverage (the ablation showing why
+//! "our regular fleet-wide testing has expanded … a few times per year"
+//! matters).
+//!
+//! ```text
+//! cargo run --release -p mercurial-bench --bin e6_screening
+//! ```
+
+use mercurial_fleet::topology::{FleetConfig, FleetTopology};
+use mercurial_fleet::{Population, SignalLog};
+use mercurial_screening::{
+    DetectionRecord, EraSchedule, OfflineScreener, OnlineScreener, ScreeningStats,
+};
+use std::collections::HashSet;
+
+struct PolicyResult {
+    name: &'static str,
+    records: Vec<DetectionRecord>,
+    stats: ScreeningStats,
+}
+
+fn mean_month(records: &[DetectionRecord]) -> f64 {
+    if records.is_empty() {
+        return f64::NAN;
+    }
+    records.iter().map(|r| r.hour).sum::<f64>() / records.len() as f64 / 730.0
+}
+
+fn main() {
+    mercurial_bench::header("E6 — screening policies: coverage vs cost");
+    let months = 36;
+    let mut cfg = FleetConfig::default_fleet();
+    cfg.machines = 4_000;
+    cfg.seed = 0xe6;
+    // Boost incidence so the comparison has enough defects to count.
+    for p in &mut cfg.products {
+        p.mercurial_rate_per_core *= 10.0;
+    }
+    let topo = FleetTopology::build(cfg);
+    let pop = Population::seed_from(&topo);
+    println!(
+        "fleet: 4000 machines, {} ground-truth mercurial cores, {months} months\n",
+        pop.count()
+    );
+
+    let mut results = Vec::new();
+
+    // Online only.
+    {
+        let mut detected = HashSet::new();
+        let mut log = SignalLog::new();
+        let (records, stats) =
+            OnlineScreener::default().run(&topo, &pop, months, &mut detected, &mut log);
+        results.push(PolicyResult {
+            name: "online-only",
+            records,
+            stats,
+        });
+    }
+    // Offline only.
+    {
+        let mut detected = HashSet::new();
+        let mut log = SignalLog::new();
+        let (records, stats) =
+            OfflineScreener::default().run(&topo, &pop, months, &mut detected, &mut log);
+        results.push(PolicyResult {
+            name: "offline-only",
+            records,
+            stats,
+        });
+    }
+    // Combined.
+    {
+        let mut detected = HashSet::new();
+        let mut log = SignalLog::new();
+        let (mut records, on_stats) =
+            OnlineScreener::default().run(&topo, &pop, months, &mut detected, &mut log);
+        let (off_records, off_stats) =
+            OfflineScreener::default().run(&topo, &pop, months, &mut detected, &mut log);
+        records.extend(off_records);
+        results.push(PolicyResult {
+            name: "combined",
+            records,
+            stats: ScreeningStats {
+                core_screens: on_stats.core_screens + off_stats.core_screens,
+                test_ops: on_stats.test_ops + off_stats.test_ops,
+                drained_machine_hours: off_stats.drained_machine_hours,
+                detections: on_stats.detections + off_stats.detections,
+            },
+        });
+    }
+    // Combined but with month-0 coverage frozen forever (ablation).
+    {
+        let frozen = EraSchedule::frozen(EraSchedule::default_history().era_at(0).clone());
+        let mut detected = HashSet::new();
+        let mut log = SignalLog::new();
+        let online = OnlineScreener {
+            schedule: frozen.clone(),
+            ..OnlineScreener::default()
+        };
+        let offline = OfflineScreener {
+            schedule: frozen,
+            ..OfflineScreener::default()
+        };
+        let (mut records, on_stats) = online.run(&topo, &pop, months, &mut detected, &mut log);
+        let (off_records, off_stats) = offline.run(&topo, &pop, months, &mut detected, &mut log);
+        records.extend(off_records);
+        results.push(PolicyResult {
+            name: "combined-frozen-tests",
+            records,
+            stats: ScreeningStats {
+                core_screens: on_stats.core_screens + off_stats.core_screens,
+                test_ops: on_stats.test_ops + off_stats.test_ops,
+                drained_machine_hours: off_stats.drained_machine_hours,
+                detections: on_stats.detections + off_stats.detections,
+            },
+        });
+    }
+
+    println!(
+        "{:<24} {:>10} {:>8} {:>16} {:>14} {:>12}",
+        "policy", "detected", "recall", "mean-det-month", "drain-mach-h", "test-ops"
+    );
+    for r in &results {
+        let unique: HashSet<_> = r.records.iter().map(|d| d.core).collect();
+        println!(
+            "{:<24} {:>10} {:>7.0}% {:>16.1} {:>14.0} {:>12.2e}",
+            r.name,
+            unique.len(),
+            100.0 * unique.len() as f64 / pop.count() as f64,
+            mean_month(&r.records),
+            r.stats.drained_machine_hours,
+            r.stats.test_ops as f64,
+        );
+    }
+    println!("\nshape checks (the §6 qualitative claims):");
+    println!("  • the two policies catch different defects: offline's (f,V,T) sweeps reach");
+    println!("    frequency/voltage-gated defects online can never see, while online's");
+    println!("    constant passes win on sheer frequency — at zero drain cost;");
+    println!("  • combined > either alone (the union is strictly better);");
+    println!("  • freezing the month-0 test corpus permanently costs recall: the eras that");
+    println!("    add vector/atomics/crypto/address-gen coverage are what catch those defects.");
+}

@@ -1,0 +1,147 @@
+//! E7 — §3/§7: the cost of tolerance.
+//!
+//! "Detecting CEEs … naively seems to imply a factor of two of extra work.
+//! Automatic correction seems to possibly require triple work (e.g. via
+//! triple modular redundancy)." And §3's amortization argument: storage
+//! and networking tolerate low-level errors cheaply because they checksum
+//! *large chunks*, which "seems harder to do at a per-instruction scale".
+//!
+//! This binary reports measured wall-clock ratios (the Criterion benches
+//! report the same quantities with rigorous statistics).
+//!
+//! ```text
+//! cargo run --release -p mercurial-bench --bin e7_overheads
+//! ```
+
+use mercurial_corpus::aes::{Aes, KeySize};
+use mercurial_corpus::lz;
+use mercurial_mitigation::{checked_compress, dmr, tmr, CostMeter};
+use std::time::Instant;
+
+fn time<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    mercurial_bench::header("E7 — mitigation overheads: ≈2x detect, ≈3x correct, amortization");
+
+    // The guarded computation: a healthy compute-heavy kernel.
+    let work = |_core: usize| -> u64 {
+        let mut acc = 0xabcdefu64;
+        for i in 0..40_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            acc ^= acc >> 29;
+        }
+        acc
+    };
+
+    let iters = 200;
+    let t_raw = time(iters, || {
+        std::hint::black_box(work(0));
+    });
+    let t_dmr = time(iters, || {
+        let mut m = CostMeter::default();
+        std::hint::black_box(dmr(work, 1, &mut m).unwrap());
+    });
+    let t_tmr = time(iters, || {
+        let mut m = CostMeter::default();
+        std::hint::black_box(tmr(work, &mut m).unwrap());
+    });
+    println!("redundant execution (40k-op integer kernel):");
+    println!("  raw: {:>9.1} µs   1.00x", t_raw * 1e6);
+    println!(
+        "  DMR: {:>9.1} µs   {:.2}x   (paper: 'a factor of two of extra work')",
+        t_dmr * 1e6,
+        t_dmr / t_raw
+    );
+    println!(
+        "  TMR: {:>9.1} µs   {:.2}x   (paper: 'triple work … via TMR')",
+        t_tmr * 1e6,
+        t_tmr / t_raw
+    );
+
+    // Self-checking libraries.
+    let key = [7u8; 16];
+    let aes = Aes::new(KeySize::Aes128, &key).unwrap();
+    let block = *b"0123456789abcdef";
+    let t_enc = time(2000, || {
+        std::hint::black_box(aes.encrypt_block(block));
+    });
+    let t_enc_rt = time(2000, || {
+        let ct = aes.encrypt_block(block);
+        std::hint::black_box(aes.decrypt_block(ct));
+    });
+    println!("\nself-checking AES (one block):");
+    println!("  encrypt:                {:>9.2} µs   1.00x", t_enc * 1e6);
+    println!(
+        "  encrypt+decrypt-verify: {:>9.2} µs   {:.2}x",
+        t_enc_rt * 1e6,
+        t_enc_rt / t_enc
+    );
+
+    let data: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
+    let t_comp = time(50, || {
+        std::hint::black_box(lz::compress(&data));
+    });
+    let t_comp_checked = time(50, || {
+        std::hint::black_box(checked_compress(&data).unwrap());
+    });
+    println!("\nself-checking compression (64 KiB):");
+    println!("  compress:            {:>9.1} µs   1.00x", t_comp * 1e6);
+    println!(
+        "  compress+verify+crc: {:>9.1} µs   {:.2}x",
+        t_comp_checked * 1e6,
+        t_comp_checked / t_comp
+    );
+
+    // §3 amortization: a *protocol* check costs a fixed part per chunk
+    // (header digest, metadata update, comparison, bookkeeping) plus a
+    // marginal part per byte (the CRC itself). Larger chunks spread the
+    // fixed part — that is the storage/network advantage the paper
+    // contrasts with per-instruction checking, which has no chunk to grow.
+    println!("\nend-to-end check protocol cost per KiB of payload");
+    println!("(fixed per-chunk header digest + per-byte CRC-32C, slicing-by-8):");
+    println!("  chunk-size   ns/KiB   relative");
+    let mut header = [0x5au8; 64];
+    let sip = mercurial_corpus::hash::SipHash24::new(0x1234, 0x5678);
+    let table = mercurial_corpus::crc::CrcTable::new(mercurial_corpus::crc::POLY_CRC32C);
+    let mut baseline = 0.0;
+    for &chunk in &[64usize, 512, 4096, 65536] {
+        let mut buf: Vec<u8> = (0..chunk as u32).map(|i| i as u8).collect();
+        let chunks_per_mib = (1 << 20) / chunk;
+        let t = time(20, || {
+            let mut acc = 0u64;
+            for i in 0..chunks_per_mib {
+                // Touch the inputs each iteration so the pure functions
+                // cannot be hoisted out of the timing loop.
+                buf[0] = i as u8;
+                header[0] = i as u8;
+                // Fixed per-chunk work: digest the header/metadata record
+                // and fold in the stored checksum comparison.
+                let tag = sip.hash(&header);
+                let crc = table.crc_slice8(&buf);
+                acc ^= tag ^ crc as u64;
+            }
+            std::hint::black_box(acc);
+        });
+        let ns_per_kib = t * 1e9 / 1024.0;
+        if baseline == 0.0 {
+            baseline = ns_per_kib;
+        }
+        println!(
+            "  {:>9}   {:>6.0}   {:.2}x",
+            chunk,
+            ns_per_kib,
+            ns_per_kib / baseline
+        );
+    }
+    println!("\npaper §3: 'storage and networking … typically operate on relatively large");
+    println!("chunks of data … this allows corruption-checking costs to be amortized, which");
+    println!("seems harder to do at a per-instruction scale' — the fixed per-chunk cost");
+    println!("washes out as chunks grow, while DMR/TMR (the per-instruction analogue)");
+    println!("stay pinned at 2x/3x no matter the granularity.");
+}

@@ -1,0 +1,40 @@
+//! # mercurial-bench
+//!
+//! Experiment binaries and Criterion benches regenerating the paper's
+//! figure and quantitative claims. One binary per experiment in
+//! EXPERIMENTS.md (`cargo run --release -p mercurial-bench --bin <id>`),
+//! one Criterion bench per overhead claim (`cargo bench -p
+//! mercurial-bench`).
+#![warn(missing_docs)]
+
+/// Chooses experiment scale from the `MERCURIAL_SCALE` environment
+/// variable: `paper` (20,000 machines, 36 months — minutes of runtime) or
+/// anything else / unset for the laptop-friendly demo scale.
+pub fn scenario_from_env(seed: u64) -> mercurial::Scenario {
+    match std::env::var("MERCURIAL_SCALE").as_deref() {
+        Ok("paper") => {
+            let mut s = mercurial::Scenario::default_paper();
+            s.fleet.seed = seed;
+            s
+        }
+        _ => mercurial::Scenario::demo(seed),
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_default_is_demo_scale() {
+        let s = scenario_from_env(1);
+        assert!(s.fleet.machines <= 2_000);
+    }
+}

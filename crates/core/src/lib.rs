@@ -1,0 +1,73 @@
+//! # mercurial
+//!
+//! The public API of the *Cores that don't count* laboratory: a fleet
+//! simulator with ground-truth mercurial cores, the detection/isolation/
+//! mitigation stack the paper calls for, and the experiment pipelines that
+//! regenerate its figure and quantitative claims.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mercurial::prelude::*;
+//!
+//! // A small fleet with defective cores seeded at the paper's incidence.
+//! let scenario = Scenario::small(42);
+//! let experiment = FleetExperiment::build(&scenario);
+//! let (log, summary) = experiment.run_signals();
+//! println!(
+//!     "{} mercurial cores produced {} corruptions, {} observable signals",
+//!     experiment.population().count(),
+//!     summary.corruptions,
+//!     log.len(),
+//! );
+//! ```
+//!
+//! ## Layout
+//!
+//! * [`scenario`] — serde-serializable experiment configuration;
+//! * [`experiment`] — [`experiment::FleetExperiment`]: topology +
+//!   population + signal simulation in one handle;
+//! * [`pipeline`] — the full §6 loop (burn-in → screening → suspects →
+//!   quarantine → triage → capacity accounting);
+//! * [`fig1`] — the Figure 1 reproduction;
+//! * [`report`] — text/CSV rendering of experiment outputs.
+//!
+//! The sub-crates are re-exported under their own names for direct use:
+//! [`fault`], [`simcpu`], [`corpus`], [`fleet`], [`screening`],
+//! [`isolation`], [`mitigation`], [`metrics`].
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod fig1;
+pub mod pipeline;
+pub mod report;
+pub mod scenario;
+
+pub use experiment::FleetExperiment;
+pub use fig1::{run_fig1, Fig1Result};
+pub use pipeline::{PipelineOutcome, PipelineRun};
+pub use scenario::Scenario;
+
+pub use mercurial_corpus as corpus;
+pub use mercurial_fault as fault;
+pub use mercurial_fleet as fleet;
+pub use mercurial_isolation as isolation;
+pub use mercurial_metrics as metrics;
+pub use mercurial_mitigation as mitigation;
+pub use mercurial_screening as screening;
+pub use mercurial_simcpu as simcpu;
+
+/// The most commonly used types, in one import.
+pub mod prelude {
+    pub use crate::experiment::FleetExperiment;
+    pub use crate::fig1::{run_fig1, Fig1Result};
+    pub use crate::pipeline::{PipelineOutcome, PipelineRun};
+    pub use crate::scenario::Scenario;
+    pub use mercurial_fault::{
+        Activation, CoreFaultProfile, CoreUid, FunctionalUnit, Lesion, OperatingPoint, SymptomClass,
+    };
+    pub use mercurial_fleet::{FleetConfig, FleetSim, Population, SignalKind, SignalLog};
+    pub use mercurial_isolation::{CoreState, QuarantineRegistry};
+    pub use mercurial_metrics::{KaplanMeier, MonthlySeries};
+    pub use mercurial_screening::{EraSchedule, HumanTriage, OfflineScreener, OnlineScreener};
+}

@@ -1,0 +1,297 @@
+//! The full §6 pipeline: signals → screening → suspects → quarantine →
+//! triage → capacity.
+//!
+//! This is the loop the paper describes operationally: automated screeners
+//! and production signals both feed suspicion; suspicious cores are
+//! quarantined and deeply checked; confessions confirm and retire cores;
+//! non-reproducing suspects are exonerated and restored; and the
+//! scheduler's capacity ledger tracks what the fleet lost along the way.
+
+use crate::experiment::FleetExperiment;
+use crate::scenario::Scenario;
+use mercurial_fault::CoreUid;
+use mercurial_fleet::sim::SimSummary;
+use mercurial_fleet::SignalLog;
+use mercurial_isolation::{CapacityLedger, PoolCapacity, QuarantineRegistry};
+use mercurial_screening::{
+    BurnIn, DetectionRecord, EraSchedule, HumanTriage, OfflineScreener, OnlineScreener, Scoreboard,
+    ScreeningStats, TriageStats,
+};
+use std::collections::HashSet;
+
+/// Everything the pipeline produced.
+pub struct PipelineOutcome {
+    /// All confirmed detections, any method, sorted by hour.
+    pub detections: Vec<DetectionRecord>,
+    /// Burn-in cost/coverage.
+    pub burnin_stats: ScreeningStats,
+    /// Offline campaign cost/coverage.
+    pub offline_stats: ScreeningStats,
+    /// Online campaign cost/coverage.
+    pub online_stats: ScreeningStats,
+    /// Human-triage statistics (the ≈50% confirmation claim lives here).
+    pub triage_stats: TriageStats,
+    /// Final quarantine state of every touched core.
+    pub registry: QuarantineRegistry,
+    /// Final pool capacity.
+    pub capacity: PoolCapacity,
+    /// The complete signal log (workload signals + screener failures).
+    pub signals: SignalLog,
+    /// Workload-simulation summary.
+    pub sim_summary: SimSummary,
+    /// Ground truth: mercurial cores in the fleet.
+    pub ground_truth: usize,
+    /// Detected cores that are genuinely mercurial.
+    pub detected_true: usize,
+    /// Innocent cores that were quarantined (and later exonerated).
+    pub exonerated_innocents: usize,
+    /// Detection latency per true detection: hours from the defect being
+    /// *active in service* (deploy or onset, whichever is later) to
+    /// detection.
+    pub detection_latency_hours: Vec<f64>,
+}
+
+impl PipelineOutcome {
+    /// Recall: fraction of ground-truth mercurial cores detected.
+    pub fn recall(&self) -> f64 {
+        if self.ground_truth == 0 {
+            return 1.0;
+        }
+        self.detected_true as f64 / self.ground_truth as f64
+    }
+
+    /// Median detection latency in hours, if any detections.
+    pub fn median_latency_hours(&self) -> Option<f64> {
+        if self.detection_latency_hours.is_empty() {
+            return None;
+        }
+        let mut v = self.detection_latency_hours.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        Some(v[v.len() / 2])
+    }
+}
+
+/// The pipeline driver.
+pub struct PipelineRun;
+
+impl PipelineRun {
+    /// Executes the whole pipeline for a scenario.
+    pub fn execute(scenario: &Scenario) -> PipelineOutcome {
+        let experiment = FleetExperiment::build(scenario);
+        PipelineRun::execute_on(scenario, &experiment)
+    }
+
+    /// Executes on a prebuilt experiment (case studies use explicit
+    /// populations).
+    pub fn execute_on(scenario: &Scenario, experiment: &FleetExperiment) -> PipelineOutcome {
+        let topo = experiment.topology();
+        let pop = experiment.population();
+
+        // 1. Production signals from the workload simulation.
+        let (mut signals, sim_summary) = experiment.run_signals();
+
+        // 2. Automated screening: burn-in, then offline + online campaigns
+        //    sharing one detected set (a core caught once is quarantined
+        //    and not rescreened).
+        let mut detected: HashSet<CoreUid> = HashSet::new();
+        let schedule = EraSchedule::default_history();
+        let burnin = BurnIn {
+            schedule: schedule.clone(),
+            ops_multiplier: 5,
+        };
+        let (mut detections, burnin_stats) = burnin.run(topo, pop, &mut detected, &mut signals);
+        let offline = OfflineScreener {
+            schedule: schedule.clone(),
+            interval_hours: scenario.offline_interval_hours,
+            fraction_per_sweep: scenario.offline_fraction,
+            drain_hours_per_machine: 0.5,
+        };
+        let (offline_detections, offline_stats) =
+            offline.run(topo, pop, scenario.sim.months, &mut detected, &mut signals);
+        detections.extend(offline_detections);
+        let online = OnlineScreener {
+            schedule,
+            interval_hours: scenario.online_interval_hours,
+            ops_fraction: 0.05,
+        };
+        let (online_detections, online_stats) =
+            online.run(topo, pop, scenario.sim.months, &mut detected, &mut signals);
+        detections.extend(online_detections);
+
+        // 3. Production-signal suspicion: the scoreboard accumulates every
+        //    signal; cores crossing the threshold (and not already caught
+        //    by a screener) go to human triage.
+        let mut scoreboard = Scoreboard::new();
+        scoreboard.ingest_all(signals.all().iter());
+        let suspects: Vec<(CoreUid, f64)> = scoreboard
+            .suspects(scenario.suspicion_threshold)
+            .into_iter()
+            .filter(|s| !detected.contains(&s.core))
+            .map(|s| (s.core, s.last_hour))
+            .collect();
+
+        // 4. Human triage extracts confessions.
+        let triage = HumanTriage::default();
+        let (triage_detections, triage_stats) = triage.investigate_all(topo, pop, &suspects);
+
+        // 5. Quarantine bookkeeping. Screener detections are proof (a
+        //    controlled test failed): suspect → quarantine → confirm.
+        let mut registry = QuarantineRegistry::new();
+        for d in &detections {
+            registry
+                .mark_suspect(d.core, d.hour, "screener failure")
+                .and_then(|()| registry.quarantine(d.core, d.hour, "controlled test failed"))
+                .and_then(|()| registry.confirm(d.core, d.hour, "screen reproduced defect"))
+                .expect("fresh core walks the legal path");
+        }
+        //    Triage suspects were quarantined on suspicion, then either
+        //    confirmed or exonerated.
+        let mut exonerated_innocents = 0usize;
+        let confirmed_by_triage: HashSet<CoreUid> =
+            triage_detections.iter().map(|d| d.core).collect();
+        for &(core, hour) in &suspects {
+            registry
+                .mark_suspect(core, hour, "signal concentration")
+                .and_then(|()| registry.quarantine(core, hour, "suspicion threshold"))
+                .expect("fresh core walks the legal path");
+            if confirmed_by_triage.contains(&core) {
+                registry
+                    .confirm(core, hour + 72.0, "triage confession")
+                    .expect("quarantined core can confirm");
+            } else {
+                registry
+                    .exonerate(core, hour + 72.0, "nothing reproduced")
+                    .expect("quarantined core can exonerate");
+                registry
+                    .restore(core, hour + 96.0, "returned to pool")
+                    .expect("exonerated core can restore");
+                if !pop.is_mercurial(core) {
+                    exonerated_innocents += 1;
+                }
+            }
+        }
+        detections.extend(triage_detections);
+        detections.sort_by(|a, b| a.hour.partial_cmp(&b.hour).expect("hours are finite"));
+
+        // 6. Capacity accounting: confirmed cores leave the pool.
+        let mut ledger = CapacityLedger::new();
+        for m in topo.machines() {
+            let cores = topo.product_of(m.machine).cores_per_socket as u64
+                * topo.config().sockets_per_machine as u64;
+            ledger.register_machine(m.machine, cores);
+        }
+        for core in registry.in_state(mercurial_isolation::CoreState::Confirmed) {
+            ledger.remove_core(core);
+        }
+
+        // 7. Scoring against ground truth.
+        let detected_cores: HashSet<CoreUid> = detections.iter().map(|d| d.core).collect();
+        let detected_true = detected_cores
+            .iter()
+            .filter(|c| pop.is_mercurial(**c))
+            .count();
+        let mut detection_latency_hours = Vec::new();
+        for d in &detections {
+            if let Some(profile) = pop.profile_of(d.core) {
+                let deploy = topo.machines()[d.core.machine as usize].deploy_hour;
+                // The defect only threatens production once the machine is
+                // deployed AND the (possibly latent) defect has onset.
+                let active_from = deploy + profile.earliest_onset_hours().max(0.0);
+                detection_latency_hours.push((d.hour - active_from).max(0.0));
+            }
+        }
+
+        PipelineOutcome {
+            detections,
+            burnin_stats,
+            offline_stats,
+            online_stats,
+            triage_stats,
+            capacity: ledger.pool(),
+            registry,
+            signals,
+            sim_summary,
+            ground_truth: pop.count(),
+            detected_true,
+            exonerated_innocents,
+            detection_latency_hours,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial_fleet::SignalKind;
+
+    #[test]
+    fn pipeline_detects_most_of_the_population() {
+        let scenario = Scenario::small(11);
+        let outcome = PipelineRun::execute(&scenario);
+        assert!(outcome.ground_truth > 0, "seeded fleet should have defects");
+        // The combined pipeline should find a solid majority of active
+        // defects in 18 months (latent ones past the window excepted).
+        assert!(
+            outcome.recall() >= 0.4,
+            "recall {} with {} ground truth",
+            outcome.recall(),
+            outcome.ground_truth
+        );
+        // No innocent core is ever *confirmed* (screens are exact).
+        assert_eq!(
+            outcome.detected_true,
+            outcome
+                .detections
+                .iter()
+                .map(|d| d.core)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        );
+    }
+
+    #[test]
+    fn pipeline_capacity_loss_is_tiny() {
+        let scenario = Scenario::small(12);
+        let outcome = PipelineRun::execute(&scenario);
+        // Quarantining a few cores out of ~100k is negligible capacity.
+        assert!(outcome.capacity.availability() > 0.999);
+        assert_eq!(outcome.capacity.lost_cores as usize, {
+            outcome
+                .registry
+                .in_state(mercurial_isolation::CoreState::Confirmed)
+                .len()
+        });
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let scenario = Scenario::small(13);
+        let a = PipelineRun::execute(&scenario);
+        let b = PipelineRun::execute(&scenario);
+        assert_eq!(a.detections.len(), b.detections.len());
+        assert_eq!(a.detected_true, b.detected_true);
+        assert_eq!(a.triage_stats, b.triage_stats);
+    }
+
+    #[test]
+    fn detections_are_time_sorted() {
+        let scenario = Scenario::small(14);
+        let outcome = PipelineRun::execute(&scenario);
+        for w in outcome.detections.windows(2) {
+            assert!(w[0].hour <= w[1].hour);
+        }
+    }
+
+    #[test]
+    fn signals_include_screener_failures_after_pipeline() {
+        let scenario = Scenario::small(15);
+        let outcome = PipelineRun::execute(&scenario);
+        if !outcome.detections.is_empty() {
+            assert!(outcome
+                .signals
+                .all()
+                .iter()
+                .any(|s| s.kind == SignalKind::ScreenerFailure));
+        }
+    }
+}

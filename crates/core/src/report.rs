@@ -1,0 +1,102 @@
+//! Text rendering of experiment outputs.
+
+use crate::pipeline::PipelineOutcome;
+use mercurial_fault::SymptomClass;
+use mercurial_screening::DetectionMethod;
+
+/// Renders a fixed-width two-column table.
+pub fn kv_table(title: &str, rows: &[(&str, String)]) -> String {
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = format!("== {title} ==\n");
+    for (k, v) in rows {
+        out.push_str(&format!("  {k:<width$}  {v}\n"));
+    }
+    out
+}
+
+/// Renders the §2 symptom-class distribution from a pipeline outcome.
+pub fn symptom_table(outcome: &PipelineOutcome) -> String {
+    let total: u64 = outcome.sim_summary.symptom_counts.iter().sum();
+    let mut rows = Vec::new();
+    for class in SymptomClass::ALL {
+        let n = outcome.sim_summary.symptom_count(class);
+        let share = if total > 0 {
+            100.0 * n as f64 / total as f64
+        } else {
+            0.0
+        };
+        rows.push((class.name(), format!("{n:>8}  ({share:>5.1}%)")));
+    }
+    let rows: Vec<(&str, String)> = rows;
+    kv_table("Corruption outcomes by §2 risk class", &rows)
+}
+
+/// Renders the detection summary (counts per method, recall, latency).
+pub fn detection_table(outcome: &PipelineOutcome) -> String {
+    let count = |m: DetectionMethod| outcome.detections.iter().filter(|d| d.method == m).count();
+    let rows = vec![
+        (
+            "ground-truth mercurial cores",
+            outcome.ground_truth.to_string(),
+        ),
+        ("detected (true)", outcome.detected_true.to_string()),
+        ("recall", format!("{:.1}%", 100.0 * outcome.recall())),
+        ("via burn-in", count(DetectionMethod::BurnIn).to_string()),
+        (
+            "via offline sweeps",
+            count(DetectionMethod::Offline).to_string(),
+        ),
+        (
+            "via online screening",
+            count(DetectionMethod::Online).to_string(),
+        ),
+        (
+            "via human triage",
+            count(DetectionMethod::Triage).to_string(),
+        ),
+        (
+            "median detection latency",
+            outcome
+                .median_latency_hours()
+                .map(|h| format!("{:.0} h ({:.1} months)", h, h / 730.0))
+                .unwrap_or_else(|| "n/a".to_string()),
+        ),
+        (
+            "triage confirmation rate",
+            format!("{:.0}%", 100.0 * outcome.triage_stats.confirmation_rate()),
+        ),
+        (
+            "innocents exonerated",
+            outcome.exonerated_innocents.to_string(),
+        ),
+        (
+            "capacity retained",
+            format!("{:.4}%", 100.0 * outcome.capacity.availability()),
+        ),
+    ];
+    kv_table("Detection pipeline", &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineRun;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn tables_render_without_panicking_and_contain_key_rows() {
+        let outcome = PipelineRun::execute(&Scenario::small(31));
+        let symptoms = symptom_table(&outcome);
+        assert!(symptoms.contains("wrong-never-detected"));
+        let detection = detection_table(&outcome);
+        assert!(detection.contains("recall"));
+        assert!(detection.contains("triage confirmation rate"));
+    }
+
+    #[test]
+    fn kv_table_aligns() {
+        let t = kv_table("T", &[("a", "1".to_string()), ("longer", "2".to_string())]);
+        assert!(t.contains("== T =="));
+        assert!(t.contains("a       1"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Floating-point stress kernels ("math" in the corpus list): compensated
+//! summation, polynomial evaluation, FMA chains with analytically known
+//! results.
+//!
+//! FP units are among the "discrete accelerators" §5 worries about; these
+//! kernels produce values that are bit-exactly reproducible on a correct
+//! core, so any deviation is a CEE signal rather than roundoff ambiguity.
+
+/// Kahan (compensated) summation.
+pub fn kahan_sum(values: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut c = 0.0;
+    for &v in values {
+        let y = v - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Naive left-to-right summation (the error foil for Kahan).
+pub fn naive_sum(values: &[f64]) -> f64 {
+    values.iter().sum()
+}
+
+/// Horner evaluation of a polynomial with coefficients `coeffs`
+/// (highest degree first) at `x`, using FMA steps.
+pub fn horner_fma(coeffs: &[f64], x: f64) -> f64 {
+    let mut acc = 0.0f64;
+    for &c in coeffs {
+        acc = acc.mul_add(x, c);
+    }
+    acc
+}
+
+/// A long dependent FMA chain with a closed-form result:
+/// starting from `s = 0`, applies `s = s * 1 + 1` (as FMA) `n` times,
+/// so the correct answer is exactly `n` for `n < 2^53`.
+pub fn fma_chain_exact(n: u64) -> f64 {
+    let mut s = 0.0f64;
+    for _ in 0..n {
+        s = s.mul_add(1.0, 1.0);
+    }
+    s
+}
+
+/// Computes the dot product of two slices with FMA accumulation.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot_fma(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = x.mul_add(y, acc);
+    }
+    acc
+}
+
+/// A deterministic FP "signature": runs a mixed add/mul/div/sqrt workload
+/// seeded by `seed` and returns the final bit pattern. Bit-exact on every
+/// IEEE-754-correct core, so a signature mismatch between cores is a CEE.
+pub fn fp_signature(seed: u64, iters: u32) -> u64 {
+    let mixed = mercurial_fault::rng::mix64(seed.wrapping_add(1));
+    let mut x = (mixed >> 11) as f64 / (1u64 << 53) as f64 + 1.0;
+    // Fold every intermediate into the signature: the iteration itself may
+    // converge to a fixed point, but the accumulated bit history cannot.
+    let mut acc = mixed;
+    for i in 0..iters {
+        x = x.mul_add(1.000000059604645, -0.25);
+        x = (x * x + 1.0).sqrt();
+        if i % 7 == 3 {
+            x = 3.0 / x;
+        }
+        // Keep x in a safe band to avoid inf/underflow drift.
+        if x > 8.0 {
+            x *= 0.125;
+        }
+        acc = acc.rotate_left(7) ^ x.to_bits();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_beats_naive_on_hard_sums() {
+        // 1 + 1e-16 added 10^6 times: naive loses the small term.
+        let mut values = vec![1.0];
+        values.extend(std::iter::repeat_n(1e-16, 1_000_000));
+        let kahan = kahan_sum(&values);
+        let naive = naive_sum(&values);
+        let exact = 1.0 + 1e-16 * 1_000_000.0;
+        assert!((kahan - exact).abs() < 1e-12);
+        assert!((naive - exact).abs() > (kahan - exact).abs());
+    }
+
+    #[test]
+    fn horner_matches_direct_evaluation() {
+        // p(x) = 2x^3 - 6x^2 + 2x - 1 at x = 3 → 54 - 54 + 6 - 1 = 5.
+        assert_eq!(horner_fma(&[2.0, -6.0, 2.0, -1.0], 3.0), 5.0);
+    }
+
+    #[test]
+    fn fma_chain_is_exact() {
+        assert_eq!(fma_chain_exact(0), 0.0);
+        assert_eq!(fma_chain_exact(1), 1.0);
+        assert_eq!(fma_chain_exact(100_000), 100_000.0);
+    }
+
+    #[test]
+    fn dot_fma_known_value() {
+        assert_eq!(dot_fma(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn fp_signature_is_deterministic_and_seed_sensitive() {
+        assert_eq!(fp_signature(42, 1000), fp_signature(42, 1000));
+        assert_ne!(fp_signature(42, 1000), fp_signature(43, 1000));
+        assert_ne!(fp_signature(42, 1000), fp_signature(42, 1001));
+    }
+
+    #[test]
+    fn fp_signature_varies_across_seeds() {
+        let mut sigs: Vec<u64> = (0..50).map(|seed| fp_signature(seed, 1_000)).collect();
+        sigs.sort_unstable();
+        sigs.dedup();
+        assert_eq!(sigs.len(), 50, "signature collisions across seeds");
+    }
+}

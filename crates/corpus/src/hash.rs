@@ -1,0 +1,168 @@
+//! Hash functions: FNV-1a, SipHash-2-4, and a Murmur3-style finalizer.
+//!
+//! The paper's corpus lists "hash" among the interesting libraries; hashes
+//! make good CEE test kernels because they compound every intermediate
+//! miscomputation into the final digest (maximal error amplification) and
+//! their correct outputs are cheap to precompute.
+
+/// FNV-1a, 64-bit.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The Murmur3 64-bit finalizer (fmix64) — a tiny, high-avalanche mixer.
+pub fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// A Murmur3-style 64-bit hash over a byte stream (not the canonical
+/// MurmurHash3 — a same-shaped construction used as a second, independent
+/// digest for cross-checking).
+pub fn murmur_like64(data: &[u8], seed: u64) -> u64 {
+    let mut h = seed ^ (data.len() as u64).wrapping_mul(0xc6a4_a793_5bd1_e995);
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let mut k = u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"));
+        k = fmix64(k);
+        h ^= k;
+        h = h.rotate_left(27).wrapping_mul(5).wrapping_add(0x52dc_e729);
+    }
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= (b as u64) << (8 * i);
+    }
+    if !chunks.remainder().is_empty() {
+        h ^= fmix64(tail);
+    }
+    fmix64(h)
+}
+
+/// SipHash-2-4 (Aumasson–Bernstein), the full reference construction.
+#[derive(Debug, Clone, Copy)]
+pub struct SipHash24 {
+    k0: u64,
+    k1: u64,
+}
+
+impl SipHash24 {
+    /// Creates a keyed hasher.
+    pub fn new(k0: u64, k1: u64) -> SipHash24 {
+        SipHash24 { k0, k1 }
+    }
+
+    /// Hashes a message to a 64-bit tag.
+    pub fn hash(&self, data: &[u8]) -> u64 {
+        let mut v0 = 0x736f_6d65_7073_6575u64 ^ self.k0;
+        let mut v1 = 0x646f_7261_6e64_6f6du64 ^ self.k1;
+        let mut v2 = 0x6c79_6765_6e65_7261u64 ^ self.k0;
+        let mut v3 = 0x7465_6462_7974_6573u64 ^ self.k1;
+
+        fn sipround(v0: &mut u64, v1: &mut u64, v2: &mut u64, v3: &mut u64) {
+            *v0 = v0.wrapping_add(*v1);
+            *v1 = v1.rotate_left(13);
+            *v1 ^= *v0;
+            *v0 = v0.rotate_left(32);
+            *v2 = v2.wrapping_add(*v3);
+            *v3 = v3.rotate_left(16);
+            *v3 ^= *v2;
+            *v0 = v0.wrapping_add(*v3);
+            *v3 = v3.rotate_left(21);
+            *v3 ^= *v0;
+            *v2 = v2.wrapping_add(*v1);
+            *v1 = v1.rotate_left(17);
+            *v1 ^= *v2;
+            *v2 = v2.rotate_left(32);
+        }
+
+        let mut chunks = data.chunks_exact(8);
+        for c in &mut chunks {
+            let m = u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"));
+            v3 ^= m;
+            sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+            sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+            v0 ^= m;
+        }
+        let rem = chunks.remainder();
+        let mut last = (data.len() as u64 & 0xff) << 56;
+        for (i, &b) in rem.iter().enumerate() {
+            last |= (b as u64) << (8 * i);
+        }
+        v3 ^= last;
+        sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+        sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+        v0 ^= last;
+        v2 ^= 0xff;
+        for _ in 0..4 {
+            sipround(&mut v0, &mut v1, &mut v2, &mut v3);
+        }
+        v0 ^ v1 ^ v2 ^ v3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_values() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn siphash_reference_vector() {
+        // The reference vector from the SipHash paper: key 0x0706…00,
+        // message 00 01 02 … 0e (15 bytes) → 0xa129ca6149be45e5.
+        let k0 = u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let k1 = u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+        let msg: Vec<u8> = (0..15).collect();
+        assert_eq!(SipHash24::new(k0, k1).hash(&msg), 0xa129_ca61_49be_45e5);
+    }
+
+    #[test]
+    fn siphash_empty_message_vector() {
+        let k0 = u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let k1 = u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+        assert_eq!(SipHash24::new(k0, k1).hash(b""), 0x726f_db47_dd0e_0e31);
+    }
+
+    #[test]
+    fn fmix64_avalanche() {
+        let x = 0x0123_4567_89ab_cdefu64;
+        let flipped = (fmix64(x) ^ fmix64(x ^ (1 << 40))).count_ones();
+        assert!((16..=48).contains(&flipped));
+    }
+
+    #[test]
+    fn murmur_like_is_length_and_seed_sensitive() {
+        assert_ne!(murmur_like64(b"abc", 0), murmur_like64(b"abcd", 0));
+        assert_ne!(murmur_like64(b"abc", 0), murmur_like64(b"abc", 1));
+        assert_eq!(murmur_like64(b"abc", 7), murmur_like64(b"abc", 7));
+    }
+
+    #[test]
+    fn hashes_amplify_single_bit_errors() {
+        // The corpus property that makes hashes good CEE detectors.
+        let data: Vec<u8> = (0..123).collect();
+        let f = fnv1a64(&data);
+        let s = SipHash24::new(1, 2).hash(&data);
+        for i in 0..data.len() {
+            let mut d = data.clone();
+            d[i] ^= 0x10;
+            assert_ne!(fnv1a64(&d), f);
+            assert_ne!(SipHash24::new(1, 2).hash(&d), s);
+        }
+    }
+}

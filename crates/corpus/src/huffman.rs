@@ -1,0 +1,318 @@
+//! Canonical Huffman coding (the entropy half of "compression" in the
+//! paper's corpus list).
+//!
+//! Encoded format: `[256-entry code-length table][original length:u64 LE]
+//! [bitstream]`. Code lengths are canonical, so the table alone rebuilds
+//! the codebook; a single corrupted length byte desynchronizes the whole
+//! stream — a fine CEE amplifier.
+
+/// Encoding/decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffError {
+    /// Stream shorter than its header.
+    Truncated,
+    /// The code-length table does not describe a valid prefix code.
+    BadTable,
+    /// The bitstream ended before the declared symbol count was produced.
+    BadStream,
+}
+
+impl std::fmt::Display for HuffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HuffError::Truncated => "huffman stream truncated",
+            HuffError::BadTable => "invalid huffman code-length table",
+            HuffError::BadStream => "huffman bitstream exhausted early",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for HuffError {}
+
+const MAX_BITS: usize = 15;
+
+/// Computes code lengths via a simple package-merge-free heap Huffman,
+/// then limits depth by clamping (adequate for 256 symbols).
+fn code_lengths(freqs: &[u64; 256]) -> [u8; 256] {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        id: usize, // tie-breaker for determinism
+        kind: NodeKind,
+    }
+    #[derive(PartialEq, Eq)]
+    enum NodeKind {
+        Leaf(u8),
+        Internal(Box<Node>, Box<Node>),
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Node) -> std::cmp::Ordering {
+            // Reverse for a min-heap via BinaryHeap.
+            other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Node) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap = std::collections::BinaryHeap::new();
+    let mut next_id = 256usize;
+    for (sym, &w) in freqs.iter().enumerate() {
+        if w > 0 {
+            heap.push(Node {
+                weight: w,
+                id: sym,
+                kind: NodeKind::Leaf(sym as u8),
+            });
+        }
+    }
+    let mut lengths = [0u8; 256];
+    match heap.len() {
+        0 => return lengths,
+        1 => {
+            if let Some(Node {
+                kind: NodeKind::Leaf(s),
+                ..
+            }) = heap.pop()
+            {
+                lengths[s as usize] = 1;
+            }
+            return lengths;
+        }
+        _ => {}
+    }
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            id: next_id,
+            kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+        });
+        next_id += 1;
+    }
+    let root = heap.pop().expect("exactly one node remains");
+    fn walk(node: &Node, depth: u8, lengths: &mut [u8; 256]) {
+        match &node.kind {
+            NodeKind::Leaf(s) => lengths[*s as usize] = depth.clamp(1, MAX_BITS as u8),
+            NodeKind::Internal(a, b) => {
+                walk(a, depth + 1, lengths);
+                walk(b, depth + 1, lengths);
+            }
+        }
+    }
+    walk(&root, 0, &mut lengths);
+    // Depth clamping can break the Kraft inequality for pathological
+    // inputs; repair by lengthening the shallowest codes until it holds.
+    loop {
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_BITS - l as usize))
+            .sum();
+        if kraft <= 1 << MAX_BITS {
+            break;
+        }
+        // Find the deepest code shallower than MAX_BITS and push it down.
+        let idx = (0..256)
+            .filter(|&i| lengths[i] > 0 && (lengths[i] as usize) < MAX_BITS)
+            .max_by_key(|&i| lengths[i])
+            .expect("kraft violation implies a lengthenable code");
+        lengths[idx] += 1;
+    }
+    lengths
+}
+
+/// Builds canonical codes from lengths: `(code, length)` per symbol.
+fn canonical_codes(lengths: &[u8; 256]) -> Result<[(u16, u8); 256], HuffError> {
+    let mut bl_count = [0u16; MAX_BITS + 1];
+    for &l in lengths.iter() {
+        if l as usize > MAX_BITS {
+            return Err(HuffError::BadTable);
+        }
+        bl_count[l as usize] += 1;
+    }
+    bl_count[0] = 0;
+    let mut next_code = [0u16; MAX_BITS + 2];
+    let mut code = 0u32;
+    for bits in 1..=MAX_BITS {
+        code = (code + bl_count[bits - 1] as u32) << 1;
+        if code > (1 << bits) {
+            return Err(HuffError::BadTable);
+        }
+        next_code[bits] = code as u16;
+    }
+    let mut codes = [(0u16, 0u8); 256];
+    for sym in 0..256 {
+        let len = lengths[sym];
+        if len > 0 {
+            codes[sym] = (next_code[len as usize], len);
+            next_code[len as usize] += 1;
+        }
+    }
+    Ok(codes)
+}
+
+/// Compresses `data`.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut freqs = [0u64; 256];
+    for &b in data {
+        freqs[b as usize] += 1;
+    }
+    let lengths = code_lengths(&freqs);
+    let codes = canonical_codes(&lengths).expect("lengths from code_lengths are valid");
+    let mut out = Vec::with_capacity(256 + 8 + data.len() / 2);
+    out.extend_from_slice(&lengths);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    let mut acc = 0u64;
+    let mut nbits = 0u32;
+    for &b in data {
+        let (code, len) = codes[b as usize];
+        // Emit the code MSB-first: the decoder rebuilds it one bit at a
+        // time with `code = (code << 1) | bit`.
+        for j in (0..len).rev() {
+            let bit = (code >> j) & 1;
+            acc |= (bit as u64) << nbits;
+            nbits += 1;
+            if nbits == 8 {
+                out.push((acc & 0xff) as u8);
+                acc >>= 8;
+                nbits = 0;
+            }
+        }
+    }
+    if nbits > 0 {
+        out.push((acc & 0xff) as u8);
+    }
+    out
+}
+
+/// Decompresses a stream produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`HuffError`] on truncation, invalid tables, or early
+/// bitstream exhaustion.
+pub fn decode(stream: &[u8]) -> Result<Vec<u8>, HuffError> {
+    if stream.len() < 264 {
+        return Err(HuffError::Truncated);
+    }
+    let mut lengths = [0u8; 256];
+    lengths.copy_from_slice(&stream[..256]);
+    let n = u64::from_le_bytes(stream[256..264].try_into().expect("8 bytes")) as usize;
+    let codes = canonical_codes(&lengths)?;
+    // Build a decode map from (len, code) to symbol.
+    let mut map = std::collections::HashMap::new();
+    for sym in 0..256 {
+        let (code, len) = codes[sym];
+        if len > 0 {
+            map.insert((len, code), sym as u8);
+        }
+    }
+    if n > 0 && map.is_empty() {
+        return Err(HuffError::BadTable);
+    }
+    let mut out = Vec::with_capacity(n);
+    let bits = &stream[264..];
+    let mut bitpos = 0usize;
+    let total_bits = bits.len() * 8;
+    while out.len() < n {
+        let mut code = 0u16;
+        let mut len = 0u8;
+        loop {
+            if bitpos >= total_bits {
+                return Err(HuffError::BadStream);
+            }
+            let bit = (bits[bitpos / 8] >> (bitpos % 8)) & 1;
+            bitpos += 1;
+            code = (code << 1) | bit as u16;
+            len += 1;
+            if len as usize > MAX_BITS {
+                return Err(HuffError::BadStream);
+            }
+            if let Some(&sym) = map.get(&(len, code)) {
+                out.push(sym);
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let e = encode(data);
+        assert_eq!(decode(&e).expect("decodes"), data);
+    }
+
+    #[test]
+    fn roundtrip_empty_single_uniform() {
+        roundtrip(b"");
+        roundtrip(b"z");
+        roundtrip(&vec![7u8; 1000]);
+    }
+
+    #[test]
+    fn roundtrip_text_and_binary() {
+        roundtrip(b"it was the best of times, it was the worst of times");
+        let bin: Vec<u8> = (0u16..2048).map(|i| (i % 256) as u8).collect();
+        roundtrip(&bin);
+    }
+
+    #[test]
+    fn skewed_data_compresses() {
+        let mut data = vec![b'a'; 10_000];
+        data.extend_from_slice(b"bcd");
+        let e = encode(&data);
+        assert!(e.len() < data.len() / 2, "encoded {} bytes", e.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_header_detected() {
+        assert_eq!(decode(&[0u8; 100]), Err(HuffError::Truncated));
+    }
+
+    #[test]
+    fn exhausted_bitstream_detected() {
+        let e = encode(b"hello world hello world");
+        // Chop off the payload bits but keep the header.
+        let cut = &e[..265.min(e.len())];
+        assert!(matches!(
+            decode(cut),
+            Err(HuffError::BadStream) | Err(HuffError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn corrupt_length_table_detected_or_diverges() {
+        let data = b"mississippi mississippi mississippi";
+        let e = encode(data);
+        let mut corrupted_detected = 0;
+        let mut diverged = 0;
+        for i in 0..256 {
+            let mut bad = e.clone();
+            bad[i] = bad[i].wrapping_add(3);
+            match decode(&bad) {
+                Err(_) => corrupted_detected += 1,
+                Ok(out) if out != data => diverged += 1,
+                Ok(_) => {}
+            }
+        }
+        assert!(corrupted_detected + diverged > 200);
+    }
+
+    #[test]
+    fn pseudorandom_roundtrip() {
+        let data: Vec<u8> = (0..10_000u64)
+            .map(|i| (mercurial_fault::rng::mix64(i) >> 16) as u8)
+            .collect();
+        roundtrip(&data);
+    }
+}

@@ -1,0 +1,256 @@
+//! An LZ77-class compressor/decompressor ("compression" in the paper's
+//! corpus list).
+//!
+//! Compression is a classic CEE victim: one corrupted match offset or
+//! length silently garbles everything downstream of it. The codec's
+//! roundtrip property (`decompress(compress(x)) == x`) is the self-check
+//! that `mercurial-mitigation` wraps.
+//!
+//! ## Format
+//!
+//! A token stream:
+//!
+//! * `0x00..=0x7f`: literal run — the control byte value plus one literal
+//!   bytes follow;
+//! * `0x80..=0xff`: match — length is `(control & 0x7f) + MIN_MATCH`,
+//!   followed by a little-endian 16-bit backward offset (1-based).
+
+use std::collections::HashMap;
+
+/// Minimum match length worth encoding.
+pub const MIN_MATCH: usize = 4;
+/// Maximum encodable match length.
+pub const MAX_MATCH: usize = MIN_MATCH + 0x7f;
+/// Maximum backward offset.
+pub const MAX_OFFSET: usize = u16::MAX as usize;
+/// Maximum literal-run length.
+pub const MAX_LITERALS: usize = 0x80;
+
+/// Decompression errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzError {
+    /// The stream ended in the middle of a token.
+    Truncated,
+    /// A match referenced data before the start of the output.
+    BadOffset {
+        /// The offending offset.
+        offset: usize,
+        /// Output length at the time.
+        produced: usize,
+    },
+}
+
+impl std::fmt::Display for LzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzError::Truncated => f.write_str("compressed stream truncated"),
+            LzError::BadOffset { offset, produced } => {
+                write!(
+                    f,
+                    "match offset {offset} exceeds produced output {produced}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LzError {}
+
+fn key4(data: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]])
+}
+
+/// Compresses `data`.
+///
+/// Greedy parsing with a last-occurrence table over 4-byte prefixes; not
+/// the best ratio in the world, but deterministic, allocation-light, and
+/// honest work for a screening kernel.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut table: HashMap<u32, usize> = HashMap::new();
+    let mut i = 0;
+    let mut lit_start = 0;
+
+    fn flush_literals(out: &mut Vec<u8>, data: &[u8], from: usize, to: usize) {
+        let mut start = from;
+        while start < to {
+            let n = (to - start).min(MAX_LITERALS);
+            out.push((n - 1) as u8);
+            out.extend_from_slice(&data[start..start + n]);
+            start += n;
+        }
+    }
+
+    while i + MIN_MATCH <= data.len() {
+        let k = key4(data, i);
+        let candidate = table.insert(k, i);
+        if let Some(j) = candidate {
+            let offset = i - j;
+            if offset <= MAX_OFFSET && data[j..j + MIN_MATCH] == data[i..i + MIN_MATCH] {
+                let mut len = MIN_MATCH;
+                while len < MAX_MATCH && i + len < data.len() && data[j + len] == data[i + len] {
+                    len += 1;
+                }
+                flush_literals(&mut out, data, lit_start, i);
+                out.push(0x80 | (len - MIN_MATCH) as u8);
+                out.extend_from_slice(&(offset as u16).to_le_bytes());
+                i += len;
+                lit_start = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    flush_literals(&mut out, data, lit_start, data.len());
+    out
+}
+
+/// Decompresses a stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`LzError`] for truncated streams and out-of-range match
+/// offsets. (Anything else decodes to *some* output — which is exactly why
+/// compressed data needs end-to-end checksums in a CEE world.)
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, LzError> {
+    let mut out = Vec::with_capacity(stream.len() * 2);
+    let mut i = 0;
+    while i < stream.len() {
+        let control = stream[i];
+        i += 1;
+        if control < 0x80 {
+            let n = control as usize + 1;
+            if i + n > stream.len() {
+                return Err(LzError::Truncated);
+            }
+            out.extend_from_slice(&stream[i..i + n]);
+            i += n;
+        } else {
+            let len = (control & 0x7f) as usize + MIN_MATCH;
+            if i + 2 > stream.len() {
+                return Err(LzError::Truncated);
+            }
+            let offset = u16::from_le_bytes([stream[i], stream[i + 1]]) as usize;
+            i += 2;
+            if offset == 0 || offset > out.len() {
+                return Err(LzError::BadOffset {
+                    offset,
+                    produced: out.len(),
+                });
+            }
+            // Byte-by-byte to support overlapping matches (RLE-style).
+            let start = out.len() - offset;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).expect("decompresses"), data);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn roundtrip_repetitive() {
+        let data = b"abcabcabcabcabcabcabcabcabcabc".to_vec();
+        let c = compress(&data);
+        assert!(c.len() < data.len(), "repetitive data must shrink");
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_long_runs() {
+        roundtrip(&vec![0u8; 10_000]);
+        let mut mixed = Vec::new();
+        for i in 0..5_000u32 {
+            mixed.push((i % 251) as u8);
+        }
+        mixed.extend(std::iter::repeat_n(7u8, 5_000));
+        roundtrip(&mixed);
+    }
+
+    #[test]
+    fn roundtrip_incompressible() {
+        // Pseudorandom data: must still roundtrip, may expand slightly.
+        let data: Vec<u8> = (0..4096u64)
+            .map(|i| (mercurial_fault::rng::mix64(i) & 0xff) as u8)
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_rle() {
+        // "aaaa..." compresses to a literal + self-overlapping match.
+        let data = vec![b'a'; 300];
+        let c = compress(&data);
+        assert!(c.len() < 30);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let c = compress(b"hello hello hello hello");
+        for cut in 1..c.len() {
+            // Any prefix either errors or decodes to something shorter —
+            // never panics.
+            let _ = decompress(&c[..cut]);
+        }
+        assert_eq!(decompress(&[0x05]), Err(LzError::Truncated));
+    }
+
+    #[test]
+    fn bad_offset_detected() {
+        // A match token before any output exists.
+        let stream = [0x80, 0x01, 0x00];
+        assert_eq!(
+            decompress(&stream),
+            Err(LzError::BadOffset {
+                offset: 1,
+                produced: 0
+            })
+        );
+        // Zero offset is invalid.
+        let stream = [0x00, b'x', 0x80, 0x00, 0x00];
+        assert_eq!(
+            decompress(&stream),
+            Err(LzError::BadOffset {
+                offset: 0,
+                produced: 1
+            })
+        );
+    }
+
+    #[test]
+    fn corrupted_stream_usually_changes_output() {
+        // The blast-radius property: flip one bit in the compressed stream
+        // and the decoded output (if it decodes) differs.
+        let data = b"the quick brown fox jumps over the lazy dog \
+                     the quick brown fox jumps over the lazy dog";
+        let c = compress(data);
+        let mut divergent = 0;
+        for i in 0..c.len() {
+            let mut bad = c.clone();
+            bad[i] ^= 0x40;
+            match decompress(&bad) {
+                Ok(out) if out == data => {}
+                _ => divergent += 1,
+            }
+        }
+        assert!(divergent > c.len() / 2);
+    }
+}

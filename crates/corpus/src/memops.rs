@@ -1,0 +1,141 @@
+//! Copying kernels with verification ("copying" in the corpus list).
+//!
+//! The paper's motivating incident was triggered by a library change that
+//! made "heavier use of otherwise rarely-used instructions" in exactly this
+//! category. These functions provide plain and checksummed copies plus a
+//! pattern-test bank of the kind burn-in memory/copy tests use.
+
+use crate::crc::crc32;
+
+/// Copies `src` into `dst`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn copy(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Copies `src` into `dst` and returns the CRC-32 of what was *written*,
+/// re-read from the destination.
+///
+/// Callers compare against the CRC of the source to detect a corrupting
+/// copy path end to end (the §6 "many of our applications already checked
+/// for SDCs" pattern).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn copy_checksummed(dst: &mut [u8], src: &[u8]) -> u32 {
+    copy(dst, src);
+    crc32(dst)
+}
+
+/// A copy that self-verifies and reports disagreement.
+///
+/// Returns `Err((first_bad_index, expected, got))` on the first mismatch.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn copy_verified(dst: &mut [u8], src: &[u8]) -> Result<(), (usize, u8, u8)> {
+    copy(dst, src);
+    for (i, (&d, &s)) in dst.iter().zip(src).enumerate() {
+        if d != s {
+            return Err((i, s, d));
+        }
+    }
+    Ok(())
+}
+
+/// The classic memory-test data patterns.
+pub const TEST_PATTERNS: [u8; 6] = [0x00, 0xff, 0xaa, 0x55, 0x5a, 0xa5];
+
+/// Fills a buffer with a walking-ones pattern starting at `phase`.
+pub fn fill_walking_ones(buf: &mut [u8], phase: u32) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = 1u8 << ((i as u32 + phase) % 8);
+    }
+}
+
+/// Runs a pattern bank through a caller-provided copy function, returning
+/// the patterns (by value) that failed verification.
+///
+/// The copy function receives `(dst, src)`; screeners pass a closure that
+/// routes the copy through a simulated core.
+pub fn pattern_test<F>(len: usize, mut copy_fn: F) -> Vec<u8>
+where
+    F: FnMut(&mut [u8], &[u8]),
+{
+    let mut failures = Vec::new();
+    for &pat in &TEST_PATTERNS {
+        let src = vec![pat; len];
+        let mut dst = vec![!pat; len];
+        copy_fn(&mut dst, &src);
+        if dst != src {
+            failures.push(pat);
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_checksummed_matches_source_crc() {
+        let src: Vec<u8> = (0..100).collect();
+        let mut dst = vec![0u8; 100];
+        let crc = copy_checksummed(&mut dst, &src);
+        assert_eq!(crc, crc32(&src));
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn copy_verified_passes_on_faithful_copy() {
+        let src = b"faithful".to_vec();
+        let mut dst = vec![0; src.len()];
+        assert_eq!(copy_verified(&mut dst, &src), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut dst = [0u8; 3];
+        copy(&mut dst, b"four");
+    }
+
+    #[test]
+    fn walking_ones_cycles() {
+        let mut buf = [0u8; 16];
+        fill_walking_ones(&mut buf, 0);
+        assert_eq!(buf[0], 1);
+        assert_eq!(buf[7], 0x80);
+        assert_eq!(buf[8], 1);
+        fill_walking_ones(&mut buf, 3);
+        assert_eq!(buf[0], 8);
+    }
+
+    #[test]
+    fn pattern_test_passes_for_honest_copy() {
+        let failures = pattern_test(256, |d, s| d.copy_from_slice(s));
+        assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn pattern_test_catches_stuck_bit_copy() {
+        // A copy path with bit 3 stuck high fails the patterns that have
+        // bit 3 clear — the "repeated bit-flips at a particular position"
+        // signature from §2.
+        let failures = pattern_test(64, |d, s| {
+            for (dd, &ss) in d.iter_mut().zip(s) {
+                *dd = ss | 0b1000;
+            }
+        });
+        assert!(failures.contains(&0x00));
+        assert!(failures.contains(&0x55));
+        assert!(!failures.contains(&0xff));
+    }
+}

@@ -1,0 +1,625 @@
+//! Specially-written screening kernels for the simulated CPU.
+//!
+//! Each [`SimKernel`] is an assembly program with golden outputs captured
+//! from a healthy core at construction time. A screener runs the program on
+//! a suspect core and compares: any mismatch, trap, or machine check is a
+//! CEE signal attributable to that core.
+//!
+//! The corpus deliberately covers every functional unit (the paper: "we
+//! lack a systematic method of developing these tests" — a simulator is
+//! allowed to be systematic), and includes the AES roundtrip kernel whose
+//! *self-check passes on a self-inverting defective core* while its
+//! ciphertext is wrong — the exact trap discussed in §2.
+
+use mercurial_fault::FunctionalUnit;
+use mercurial_simcpu::{assemble, CoreConfig, Memory, Program, SimCore, Trap};
+
+/// Outcome of screening one core with one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScreenOutcome {
+    /// Output matched the golden values.
+    Pass,
+    /// The program completed but produced a wrong value.
+    Mismatch {
+        /// Index into the output vector.
+        index: usize,
+        /// Golden value.
+        expected: u64,
+        /// Observed value.
+        got: u64,
+    },
+    /// The program trapped (exception, segfault, machine check, …).
+    Trapped(Trap),
+    /// The program halted with the wrong number of outputs (a corrupted
+    /// branch skipped or repeated `out` instructions).
+    WrongOutputCount {
+        /// Golden output count.
+        expected: usize,
+        /// Observed count.
+        got: usize,
+    },
+}
+
+impl ScreenOutcome {
+    /// Whether this outcome indicts the core.
+    pub fn failed(&self) -> bool {
+        !matches!(self, ScreenOutcome::Pass)
+    }
+}
+
+/// One screening kernel: program, memory image, golden outputs.
+#[derive(Debug, Clone)]
+pub struct SimKernel {
+    /// Kernel name (stable identifier).
+    pub name: &'static str,
+    /// The functional units this kernel exercises (its *coverage*).
+    pub units: Vec<FunctionalUnit>,
+    /// The assembled program.
+    pub program: Program,
+    /// Memory regions staged before each run: `(addr, bytes)`.
+    pub init_mem: Vec<(u64, Vec<u8>)>,
+    /// Golden outputs from a healthy core.
+    pub expected: Vec<u64>,
+    /// Instructions a healthy core retires running this kernel (the cost
+    /// a screening budget is charged).
+    pub healthy_ops: u64,
+    /// Memory size the kernel needs.
+    pub mem_size: usize,
+}
+
+impl SimKernel {
+    /// Builds a kernel from source and captures golden outputs on a
+    /// healthy core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not assemble or a healthy run traps —
+    /// corpus kernels are compiled in, so this is a build-time defect.
+    fn new(
+        name: &'static str,
+        units: Vec<FunctionalUnit>,
+        src: &str,
+        init_mem: Vec<(u64, Vec<u8>)>,
+        mem_size: usize,
+    ) -> SimKernel {
+        let program = assemble(src)
+            .unwrap_or_else(|e| panic!("corpus kernel `{name}` failed to assemble: {e}"));
+        let mut core = SimCore::new(CoreConfig::default(), None);
+        let mut mem = Memory::new(mem_size);
+        for (addr, bytes) in &init_mem {
+            mem.write_bytes(*addr, bytes)
+                .expect("init image fits in memory");
+        }
+        core.run(&program, &mut mem)
+            .unwrap_or_else(|t| panic!("corpus kernel `{name}` trapped on a healthy core: {t}"));
+        let expected = core.output().to_vec();
+        assert!(!expected.is_empty(), "kernel `{name}` must emit output");
+        SimKernel {
+            name,
+            units,
+            program,
+            init_mem,
+            expected,
+            healthy_ops: core.stats().instructions,
+            mem_size,
+        }
+    }
+
+    /// Runs the kernel on `core` and compares against the golden outputs.
+    pub fn screen_core(&self, core: &mut SimCore) -> ScreenOutcome {
+        let mut mem = Memory::new(self.mem_size);
+        for (addr, bytes) in &self.init_mem {
+            mem.write_bytes(*addr, bytes)
+                .expect("init image fits in memory");
+        }
+        core.reset();
+        if let Err(trap) = core.run(&self.program, &mut mem) {
+            return ScreenOutcome::Trapped(trap);
+        }
+        let out = core.output();
+        if out.len() != self.expected.len() {
+            return ScreenOutcome::WrongOutputCount {
+                expected: self.expected.len(),
+                got: out.len(),
+            };
+        }
+        for (i, (&e, &g)) in self.expected.iter().zip(out).enumerate() {
+            if e != g {
+                return ScreenOutcome::Mismatch {
+                    index: i,
+                    expected: e,
+                    got: g,
+                };
+            }
+        }
+        ScreenOutcome::Pass
+    }
+
+    /// Whether this kernel exercises the given unit.
+    pub fn covers(&self, unit: FunctionalUnit) -> bool {
+        self.units.contains(&unit)
+    }
+}
+
+fn alu_mix() -> SimKernel {
+    SimKernel::new(
+        "alu-mix",
+        vec![FunctionalUnit::ScalarAlu, FunctionalUnit::BranchUnit],
+        "li x1, 0x1234
+         li x2, 1
+         li x3, 300
+         loop:
+         add x1, x1, x2
+         xor x1, x1, x2
+         rotli x1, x1, 7
+         popcnt x4, x1
+         add x1, x1, x4
+         addi x2, x2, 1
+         blt x2, x3, loop
+         out x1
+         halt",
+        vec![],
+        4096,
+    )
+}
+
+fn muldiv_chain() -> SimKernel {
+    SimKernel::new(
+        "muldiv-chain",
+        vec![FunctionalUnit::MulDiv],
+        "li x1, 6364136223846793005
+         li x2, 1442695040888963407
+         li x3, 0x9e3779b9
+         li x4, 150
+         loop:
+         mul x2, x2, x1
+         mulh x5, x2, x3
+         add x2, x2, x5
+         li x6, 1000003
+         rem x7, x2, x6
+         div x8, x2, x6
+         xor x2, x2, x7
+         add x2, x2, x8
+         addi x4, x4, -1
+         bnz x4, loop
+         out x2
+         out x7
+         halt",
+        vec![],
+        4096,
+    )
+}
+
+fn vector_lanes() -> SimKernel {
+    SimKernel::new(
+        "vector-lanes",
+        vec![FunctionalUnit::VectorPipe],
+        "li x1, 0x0102030405060708
+         li x2, 0x1122334455667788
+         vins v0, x1, 0
+         vins v0, x2, 1
+         vins v0, x1, 2
+         vins v0, x2, 3
+         li x3, 0xa5a5a5a5a5a5a5a5
+         vins v1, x3, 0
+         vins v1, x3, 1
+         vins v1, x3, 2
+         vins v1, x3, 3
+         li x4, 100
+         loop:
+         vadd v2, v0, v1
+         vxor v0, v2, v1
+         vmul v1, v1, v2
+         addi x4, x4, -1
+         bnz x4, loop
+         vext x5, v0, 0
+         vext x6, v0, 1
+         vext x7, v1, 2
+         vext x8, v2, 3
+         out x5
+         out x6
+         out x7
+         out x8
+         halt",
+        vec![],
+        4096,
+    )
+}
+
+fn memcpy_walk() -> SimKernel {
+    // Stage a 512-byte pattern buffer; copy it; xor-fold the copy.
+    let src: Vec<u8> = (0..512u32)
+        .map(|i| (i.wrapping_mul(0x9d) >> 3) as u8)
+        .collect();
+    SimKernel::new(
+        "memcpy-walk",
+        vec![
+            FunctionalUnit::VectorPipe,
+            FunctionalUnit::LoadStore,
+            FunctionalUnit::AddressGen,
+        ],
+        "li x1, 4096       ; dst
+         li x2, 1024       ; src
+         li x3, 512        ; len
+         memcpy x1, x2, x3
+         li x4, 0          ; acc
+         li x5, 0          ; offset
+         li x6, 512
+         loop:
+         add x7, x1, x5
+         ld x8, x7, 0
+         xor x4, x4, x8
+         rotli x4, x4, 9
+         addi x5, x5, 8
+         blt x5, x6, loop
+         out x4
+         halt",
+        vec![(1024, src)],
+        8192,
+    )
+}
+
+fn float_fma() -> SimKernel {
+    SimKernel::new(
+        "float-fma",
+        vec![FunctionalUnit::Fma],
+        &format!(
+            "li x1, {a}
+             li x2, {b}
+             li x3, {x0}
+             li x4, 200
+             loop:
+             fma x3, x3, x1       ; x3 = x3*x3 + a ... wait: fma rd,ra,rb = ra*rb + rd
+             fmul x5, x3, x2
+             fadd x3, x3, x5
+             fsqrt x6, x3
+             fdiv x3, x3, x6      ; x3 = sqrt(x3)
+             addi x4, x4, -1
+             bnz x4, loop
+             out x3
+             out x6
+             halt",
+            a = 1.0009765625f64.to_bits(),
+            b = 0.25f64.to_bits(),
+            x0 = 1.5f64.to_bits(),
+        ),
+        vec![],
+        4096,
+    )
+}
+
+fn loadstore_walk() -> SimKernel {
+    SimKernel::new(
+        "loadstore-walk",
+        vec![FunctionalUnit::LoadStore, FunctionalUnit::AddressGen],
+        "li x1, 2048       ; base
+         li x2, 0          ; i
+         li x3, 64
+         fill:
+         mul x4, x2, x2
+         add x4, x4, x2
+         shl x5, x2, x6    ; x6 = 0 → identity shift
+         add x7, x1, x5
+         li x8, 8
+         mul x5, x2, x8
+         add x7, x1, x5
+         st x4, x7, 0
+         stb x4, x7, 7     ; overwrite top byte too
+         addi x2, x2, 1
+         blt x2, x3, fill
+         li x2, 0
+         li x9, 0
+         sum:
+         li x8, 8
+         mul x5, x2, x8
+         add x7, x1, x5
+         ld x4, x7, 0
+         ldb x10, x7, 7
+         add x9, x9, x4
+         add x9, x9, x10
+         addi x2, x2, 1
+         blt x2, x3, sum
+         out x9
+         halt",
+        vec![],
+        8192,
+    )
+}
+
+fn atomics_hammer() -> SimKernel {
+    SimKernel::new(
+        "atomics-hammer",
+        vec![FunctionalUnit::Atomics, FunctionalUnit::AddressGen],
+        "li x1, 512        ; cell
+         li x2, 0
+         st x2, x1, 0
+         li x3, 120        ; iterations
+         li x4, 3
+         loop:
+         xadd x5, x1, x4   ; cell += 3, x5 = old
+         ld x6, x1, 0
+         cas x7, x1, x6, x5 ; swap back to old
+         fence
+         addi x3, x3, -1
+         bnz x3, loop
+         ld x8, x1, 0
+         out x8
+         out x5
+         out x7
+         halt",
+        vec![],
+        4096,
+    )
+}
+
+fn aes_roundtrip() -> SimKernel {
+    // Stage: plaintext^k0 at 0, round keys k1..k10 at 64 + 16i (encrypt),
+    // and for decryption the same keys are reused in reverse.
+    let key: [u8; 16] = *b"screening-key-01";
+    let pt: [u8; 16] = *b"corpus plaintext";
+    let keys = mercurial_simcpu::crypto::expand_key_128(key);
+    let mut init = Vec::new();
+    let state0 = u128::from_le_bytes(pt) ^ keys[0];
+    init.push((0u64, state0.to_le_bytes().to_vec()));
+    for (i, &k) in keys[1..11].iter().enumerate() {
+        init.push((64 + 16 * i as u64, k.to_le_bytes().to_vec()));
+    }
+    init.push((256, keys[0].to_le_bytes().to_vec()));
+    let mut src = String::from("li x1, 0\nvld v0, x1, 0\n");
+    // Encrypt: 9 middle rounds + last.
+    for i in 0..10 {
+        src.push_str(&format!("li x2, {}\nvld v1, x2, 0\n", 64 + 16 * i));
+        src.push_str(if i < 9 {
+            "aesenc v0, v1\n"
+        } else {
+            "aesenclast v0, v1\n"
+        });
+    }
+    src.push_str("vext x3, v0, 0\nvext x4, v0, 1\nout x3\nout x4\n");
+    // Decrypt back on the same core.
+    src.push_str(&format!(
+        "li x2, {}\nvld v1, x2, 0\naesdeclast v0, v1\n",
+        64 + 16 * 9
+    ));
+    for i in (0..9).rev() {
+        src.push_str(&format!(
+            "li x2, {}\nvld v1, x2, 0\naesdec v0, v1\n",
+            64 + 16 * i
+        ));
+    }
+    src.push_str("li x2, 256\nvld v1, x2, 0\nvxor v0, v0, v1\n");
+    src.push_str("vext x5, v0, 0\nvext x6, v0, 1\nout x5\nout x6\nhalt\n");
+    SimKernel::new(
+        "aes-roundtrip",
+        vec![FunctionalUnit::CryptoUnit, FunctionalUnit::VectorPipe],
+        &src,
+        init,
+        4096,
+    )
+}
+
+fn branch_maze() -> SimKernel {
+    SimKernel::new(
+        "branch-maze",
+        vec![FunctionalUnit::BranchUnit, FunctionalUnit::ScalarAlu],
+        "li x1, 27         ; collatz seed
+         li x2, 0          ; steps
+         li x3, 1
+         li x4, 2
+         li x5, 3
+         loop:
+         beq x1, x3, done
+         rem x6, x1, x4
+         bnz x6, odd
+         div x1, x1, x4
+         jmp next
+         odd:
+         mul x1, x1, x5
+         addi x1, x1, 1
+         next:
+         addi x2, x2, 1
+         jmp loop
+         done:
+         out x2
+         halt",
+        vec![],
+        4096,
+    )
+}
+
+fn crc_stream() -> SimKernel {
+    let data: Vec<u8> = (0..256u32).map(|i| (i * 7 + 13) as u8).collect();
+    SimKernel::new(
+        "crc-stream",
+        vec![FunctionalUnit::ScalarAlu, FunctionalUnit::LoadStore],
+        "li x1, 1024       ; buf
+         li x2, 0          ; i
+         li x3, 256        ; len
+         li x4, 0xffffffff ; crc
+         loop:
+         add x5, x1, x2
+         ldb x6, x5, 0
+         crc32b x4, x4, x6
+         addi x2, x2, 1
+         blt x2, x3, loop
+         li x7, 0xffffffff
+         xor x4, x4, x7
+         out x4
+         halt",
+        vec![(1024, data)],
+        4096,
+    )
+}
+
+/// Builds the full simulated screening corpus.
+///
+/// Between them the kernels cover every [`FunctionalUnit`]; see the
+/// `corpus_covers_every_unit` test.
+pub fn sim_corpus() -> Vec<SimKernel> {
+    vec![
+        alu_mix(),
+        muldiv_chain(),
+        vector_lanes(),
+        memcpy_walk(),
+        float_fma(),
+        loadstore_walk(),
+        atomics_hammer(),
+        aes_roundtrip(),
+        branch_maze(),
+        crc_stream(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial_fault::{library, Activation, CoreFaultProfile, Injector, Lesion};
+
+    fn healthy_core() -> SimCore {
+        SimCore::new(CoreConfig::default(), None)
+    }
+
+    fn mercurial_core(profile: CoreFaultProfile, seed: u64) -> SimCore {
+        SimCore::new(CoreConfig::default(), Some(Injector::new(seed, profile)))
+    }
+
+    #[test]
+    fn all_kernels_pass_on_healthy_cores() {
+        let mut core = healthy_core();
+        for k in sim_corpus() {
+            assert_eq!(
+                k.screen_core(&mut core),
+                ScreenOutcome::Pass,
+                "kernel {}",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_covers_every_unit() {
+        let corpus = sim_corpus();
+        for unit in FunctionalUnit::ALL {
+            assert!(
+                corpus.iter().any(|k| k.covers(unit)),
+                "no kernel covers {unit}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic_across_runs() {
+        let mut core = healthy_core();
+        for k in sim_corpus() {
+            assert_eq!(k.screen_core(&mut core), ScreenOutcome::Pass);
+            assert_eq!(k.screen_core(&mut core), ScreenOutcome::Pass);
+        }
+    }
+
+    #[test]
+    fn unit_lesion_caught_by_covering_kernel() {
+        // A hot MulDiv lesion must be caught by the muldiv kernel and must
+        // not trip kernels that avoid the multiplier entirely.
+        let profile = CoreFaultProfile::single(
+            "mul",
+            FunctionalUnit::MulDiv,
+            Lesion::XorMask { mask: 0x10 },
+            Activation::always(),
+        );
+        let corpus = sim_corpus();
+        let muldiv = corpus.iter().find(|k| k.name == "muldiv-chain").unwrap();
+        let alu = corpus.iter().find(|k| k.name == "alu-mix").unwrap();
+        let mut core = mercurial_core(profile, 5);
+        assert!(muldiv.screen_core(&mut core).failed());
+        assert_eq!(alu.screen_core(&mut core), ScreenOutcome::Pass);
+    }
+
+    #[test]
+    fn vector_lesion_caught_by_both_vector_and_memcpy_kernels() {
+        // The §5 coupling: one vector-pipe defect, two very different
+        // kernels (explicit vector math and a bulk copy) both catch it.
+        let profile = library::vector_copy_coupled(1.0);
+        let corpus = sim_corpus();
+        let vec_k = corpus.iter().find(|k| k.name == "vector-lanes").unwrap();
+        let cpy_k = corpus.iter().find(|k| k.name == "memcpy-walk").unwrap();
+        let mut core = mercurial_core(profile, 6);
+        assert!(vec_k.screen_core(&mut core).failed());
+        assert!(cpy_k.screen_core(&mut core).failed());
+    }
+
+    #[test]
+    fn self_inverting_aes_fools_roundtrip_but_not_golden_output() {
+        // The paper's sharpest case study: encrypt-then-decrypt on the
+        // defective core is the identity (outputs 2 and 3, the recovered
+        // plaintext, are CORRECT), but the ciphertext itself (outputs 0
+        // and 1) is wrong. A screener that only checked the roundtrip
+        // would pass this core; golden-output comparison catches it.
+        let profile = library::self_inverting_aes();
+        let corpus = sim_corpus();
+        let aes = corpus.iter().find(|k| k.name == "aes-roundtrip").unwrap();
+        let mut core = mercurial_core(profile, 7);
+
+        let outcome = aes.screen_core(&mut core);
+        match outcome {
+            ScreenOutcome::Mismatch { index, .. } => {
+                assert!(
+                    index < 2,
+                    "ciphertext lanes must be the mismatch, got {index}"
+                )
+            }
+            other => panic!("expected ciphertext mismatch, got {other:?}"),
+        }
+        // And the roundtrip portion really did cancel: run manually and
+        // check outputs 2..4 equal the golden plaintext lanes.
+        let mut mem = Memory::new(aes.mem_size);
+        for (addr, bytes) in &aes.init_mem {
+            mem.write_bytes(*addr, bytes).unwrap();
+        }
+        core.reset();
+        core.run(&aes.program, &mut mem).unwrap();
+        assert_eq!(core.output()[2], aes.expected[2]);
+        assert_eq!(core.output()[3], aes.expected[3]);
+        assert_ne!(core.output()[0], aes.expected[0]);
+    }
+
+    #[test]
+    fn addressgen_lesion_usually_traps() {
+        let profile = library::addressgen_crasher(1.0);
+        let corpus = sim_corpus();
+        let walk = corpus.iter().find(|k| k.name == "loadstore-walk").unwrap();
+        let mut core = mercurial_core(profile, 8);
+        match walk.screen_core(&mut core) {
+            ScreenOutcome::Trapped(_) => {}
+            other => panic!("a hot address-gen defect should trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_ops_are_positive_and_plausible() {
+        for k in sim_corpus() {
+            assert!(k.healthy_ops > 50, "kernel {} is trivially short", k.name);
+            assert!(k.healthy_ops < 1_000_000, "kernel {} is too slow", k.name);
+        }
+    }
+
+    #[test]
+    fn low_rate_lesion_escapes_short_screens_sometimes() {
+        // §4's measurement problem: a 1e-4 defect needs many ops to catch.
+        let profile = CoreFaultProfile::single(
+            "rare",
+            FunctionalUnit::ScalarAlu,
+            Lesion::FlipBit { bit: 3 },
+            Activation::with_prob(1e-4),
+        );
+        let corpus = sim_corpus();
+        let alu = corpus.iter().find(|k| k.name == "alu-mix").unwrap();
+        let mut core = mercurial_core(profile, 9);
+        let fails = (0..20)
+            .filter(|_| alu.screen_core(&mut core).failed())
+            .count();
+        assert!(
+            fails < 20,
+            "a 1e-4 lesion should escape at least one short screen"
+        );
+    }
+}

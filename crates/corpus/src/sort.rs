@@ -1,0 +1,208 @@
+//! Sorting algorithms under one harness ("real-code snippets" in the
+//! corpus list; also the substrate for the SDC-resilient sorting of Guan
+//! et al. [11] reproduced in `mercurial-mitigation`).
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortAlgo {
+    /// Hoare-partition quicksort with median-of-three pivots.
+    Quick,
+    /// Bottom-up merge sort (stable).
+    Merge,
+    /// Binary-heap sort.
+    Heap,
+}
+
+impl SortAlgo {
+    /// All algorithms.
+    pub const ALL: [SortAlgo; 3] = [SortAlgo::Quick, SortAlgo::Merge, SortAlgo::Heap];
+
+    /// A short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SortAlgo::Quick => "quick",
+            SortAlgo::Merge => "merge",
+            SortAlgo::Heap => "heap",
+        }
+    }
+}
+
+/// Sorts `data` in place with the chosen algorithm.
+pub fn sort(algo: SortAlgo, data: &mut [u64]) {
+    match algo {
+        SortAlgo::Quick => quicksort(data),
+        SortAlgo::Merge => mergesort(data),
+        SortAlgo::Heap => heapsort(data),
+    }
+}
+
+fn quicksort(data: &mut [u64]) {
+    if data.len() <= 16 {
+        insertion(data);
+        return;
+    }
+    let pivot = median_of_three(data);
+    // Hoare partition.
+    let (mut i, mut j) = (0usize, data.len() - 1);
+    loop {
+        while data[i] < pivot {
+            i += 1;
+        }
+        while data[j] > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        data.swap(i, j);
+        i += 1;
+        j = j.saturating_sub(1);
+        if j == 0 {
+            break;
+        }
+    }
+    let split = j + 1;
+    let (lo, hi) = data.split_at_mut(split);
+    quicksort(lo);
+    quicksort(hi);
+}
+
+fn median_of_three(data: &[u64]) -> u64 {
+    let (a, b, c) = (data[0], data[data.len() / 2], data[data.len() - 1]);
+    a.max(b).min(a.min(b).max(c))
+}
+
+fn insertion(data: &mut [u64]) {
+    for i in 1..data.len() {
+        let mut j = i;
+        while j > 0 && data[j - 1] > data[j] {
+            data.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+fn mergesort(data: &mut [u64]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    // Always merge data -> buf, then copy back: one extra copy per level,
+    // but the run bookkeeping stays obvious.
+    let mut buf = data.to_vec();
+    let mut width = 1usize;
+    while width < n {
+        for start in (0..n).step_by(2 * width) {
+            let mid = (start + width).min(n);
+            let end = (start + 2 * width).min(n);
+            merge_into(&data[start..mid], &data[mid..end], &mut buf[start..end]);
+        }
+        data.copy_from_slice(&buf);
+        width *= 2;
+    }
+}
+
+fn merge_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        if i < a.len() && (j >= b.len() || a[i] <= b[j]) {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+fn heapsort(data: &mut [u64]) {
+    let n = data.len();
+    for i in (0..n / 2).rev() {
+        sift_down(data, i, n);
+    }
+    for end in (1..n).rev() {
+        data.swap(0, end);
+        sift_down(data, 0, end);
+    }
+}
+
+fn sift_down(data: &mut [u64], mut root: usize, end: usize) {
+    loop {
+        let left = 2 * root + 1;
+        if left >= end {
+            return;
+        }
+        let mut child = left;
+        if left + 1 < end && data[left + 1] > data[left] {
+            child = left + 1;
+        }
+        if data[root] >= data[child] {
+            return;
+        }
+        data.swap(root, child);
+        root = child;
+    }
+}
+
+/// Whether `data` is non-decreasing.
+pub fn is_sorted(data: &[u64]) -> bool {
+    data.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial_fault::CounterRng;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<u64> {
+        let rng = CounterRng::new(seed);
+        (0..n as u64).map(|i| rng.at(i) % 10_000).collect()
+    }
+
+    #[test]
+    fn all_algorithms_sort_correctly() {
+        for algo in SortAlgo::ALL {
+            for n in [0usize, 1, 2, 15, 16, 17, 100, 1000] {
+                let mut v = random_vec(n, 42 + n as u64);
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                sort(algo, &mut v);
+                assert_eq!(v, expect, "{} failed at n={n}", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn handles_duplicates_and_sorted_inputs() {
+        for algo in SortAlgo::ALL {
+            let mut dup = vec![5u64; 100];
+            sort(algo, &mut dup);
+            assert!(is_sorted(&dup));
+
+            let mut asc: Vec<u64> = (0..100).collect();
+            sort(algo, &mut asc);
+            assert!(is_sorted(&asc));
+
+            let mut desc: Vec<u64> = (0..100).rev().collect();
+            sort(algo, &mut desc);
+            assert!(is_sorted(&desc));
+        }
+    }
+
+    #[test]
+    fn extreme_values() {
+        for algo in SortAlgo::ALL {
+            let mut v = vec![u64::MAX, 0, u64::MAX / 2, 1, u64::MAX - 1];
+            sort(algo, &mut v);
+            assert_eq!(v, vec![0, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX]);
+        }
+    }
+
+    #[test]
+    fn is_sorted_detects_disorder() {
+        assert!(is_sorted(&[]));
+        assert!(is_sorted(&[1]));
+        assert!(is_sorted(&[1, 1, 2]));
+        assert!(!is_sorted(&[2, 1]));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests on the corpus libraries.
+
+use mercurial_corpus::aes::{Aes, KeySize};
+use mercurial_corpus::hash::SipHash24;
+use mercurial_corpus::matmul::{freivalds_check, matmul_blocked, matmul_naive, Matrix};
+use mercurial_corpus::memops;
+use mercurial_corpus::sort::{is_sorted, sort, SortAlgo};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every sorting algorithm agrees with the standard library.
+    #[test]
+    fn sorts_agree_with_std(mut data in proptest::collection::vec(any::<u64>(), 0..512)) {
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        for algo in SortAlgo::ALL {
+            let mut v = data.clone();
+            sort(algo, &mut v);
+            prop_assert_eq!(&v, &expect, "{} diverged", algo.name());
+            prop_assert!(is_sorted(&v));
+        }
+        data.clear(); // silence unused-mut lint paths
+    }
+
+    /// AES-CTR is an involution for any nonce and payload.
+    #[test]
+    fn ctr_involution(
+        key in proptest::array::uniform16(any::<u8>()),
+        nonce in any::<u64>(),
+        mut data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let aes = Aes::new(KeySize::Aes128, &key).unwrap();
+        let orig = data.clone();
+        aes.ctr_xor(nonce, &mut data);
+        aes.ctr_xor(nonce, &mut data);
+        prop_assert_eq!(data, orig);
+    }
+
+    /// SipHash is deterministic and key-sensitive.
+    #[test]
+    fn siphash_key_sensitivity(
+        k0 in any::<u64>(),
+        k1 in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let h = SipHash24::new(k0, k1);
+        prop_assert_eq!(h.hash(&data), h.hash(&data));
+        let h2 = SipHash24::new(k0 ^ 1, k1);
+        // Not a proof of PRF-ness, but a single-bit key change should
+        // essentially always change the tag.
+        prop_assert_ne!(h.hash(&data), h2.hash(&data));
+    }
+
+    /// Blocked GEMM agrees with naive GEMM for arbitrary shapes.
+    #[test]
+    fn blocked_gemm_agrees(m in 1usize..12, k in 1usize..12, n in 1usize..12,
+                           seed in any::<u64>(), block in 1usize..8) {
+        let a = Matrix::random(m, k, seed);
+        let b = Matrix::random(k, n, seed.wrapping_add(1));
+        let naive = matmul_naive(&a, &b);
+        let blocked = matmul_blocked(&a, &b, block);
+        prop_assert!(naive.max_abs_diff(&blocked) < 1e-10);
+        prop_assert!(freivalds_check(&a, &b, &naive, 6, seed));
+    }
+
+    /// The pattern test never false-positives on an honest copy.
+    #[test]
+    fn pattern_test_honest_copy(len in 1usize..512) {
+        let failures = memops::pattern_test(len, |d, s| d.copy_from_slice(s));
+        prop_assert!(failures.is_empty());
+    }
+
+    /// Verified copy reports the exact first corrupted index.
+    #[test]
+    fn copy_verified_reports_first_divergence(
+        src in proptest::collection::vec(any::<u8>(), 1..256),
+        idx_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let idx = (idx_seed % src.len() as u64) as usize;
+        let mut dst = vec![0u8; src.len()];
+        let result = memops::copy_verified(&mut dst, &src);
+        prop_assert_eq!(result, Ok(()));
+        // Now corrupt and re-verify by hand.
+        dst[idx] ^= flip;
+        let first_bad = dst.iter().zip(&src).position(|(d, s)| d != s);
+        prop_assert_eq!(first_bad, Some(idx));
+    }
+}

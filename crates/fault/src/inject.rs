@@ -1,0 +1,525 @@
+//! The injector: deterministic application of a core's fault profile to a
+//! stream of operations.
+//!
+//! Consumers (the CPU simulator's execution loop, the fleet's analytic
+//! workload model) describe each operation with an [`OpContext`] and hand
+//! the *correct* result to [`Injector::apply`]; the injector decides —
+//! deterministically, from `(seed, core, sequence-number)` — whether any
+//! lesion fires and what comes out of the broken unit.
+//!
+//! Determinism matters twice over: it makes experiments replayable, and it
+//! reproduces the paper's observation that some CEEs have stable signatures
+//! ("in just a few cases, we can reproduce the errors deterministically;
+//! usually the implementation-level and environmental details have to line
+//! up").
+
+use crate::activation::Activation;
+use crate::lesion::{Lesion, LockFailureMode};
+use crate::oppoint::OperatingPoint;
+use crate::profile::{CoreFaultProfile, CoreUid};
+use crate::rng::CounterRng;
+use crate::unit::FunctionalUnit;
+
+/// Everything the injector needs to know about one operation.
+#[derive(Debug, Clone, Copy)]
+pub struct OpContext {
+    /// Which core is executing.
+    pub core: CoreUid,
+    /// Which functional unit the operation uses.
+    pub unit: FunctionalUnit,
+    /// Operating point at execution time.
+    pub point: OperatingPoint,
+    /// Core age in hours of service (drives latent onset and degradation).
+    pub age_hours: f64,
+    /// First source operand (gates data patterns; carrier for skipped ops).
+    pub operand: u64,
+    /// Per-core monotonically increasing operation sequence number.
+    pub seq: u64,
+}
+
+impl OpContext {
+    /// A context at nominal conditions, useful in tests and examples.
+    pub fn nominal(core: CoreUid, unit: FunctionalUnit, operand: u64, seq: u64) -> OpContext {
+        OpContext {
+            core,
+            unit,
+            point: OperatingPoint::NOMINAL,
+            age_hours: 0.0,
+            operand,
+            seq,
+        }
+    }
+}
+
+/// The outcome of pushing one operation through the injector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpOutcome {
+    /// The (possibly corrupted) result.
+    pub value: u64,
+    /// Index into the profile's lesion list of the lesion that fired, if any.
+    pub fired: Option<usize>,
+}
+
+impl OpOutcome {
+    /// Whether any lesion fired on this operation.
+    pub fn corrupted(&self) -> bool {
+        self.fired.is_some()
+    }
+}
+
+/// Applies a [`CoreFaultProfile`] to a stream of operations.
+///
+/// The injector carries a small amount of per-unit state (the previous
+/// output of each unit, for [`Lesion::LatchedValue`]); everything else is
+/// a pure function of the fault seed and the operation context.
+///
+/// # Examples
+///
+/// ```
+/// use mercurial_fault::{
+///     Activation, CoreFaultProfile, CoreUid, FunctionalUnit, Injector, Lesion, OpContext,
+/// };
+///
+/// let profile = CoreFaultProfile::single(
+///     "demo",
+///     FunctionalUnit::ScalarAlu,
+///     Lesion::FlipBit { bit: 0 },
+///     Activation::always(),
+/// );
+/// let mut inj = Injector::new(1234, profile);
+/// let ctx = OpContext::nominal(CoreUid::new(0, 0, 0), FunctionalUnit::ScalarAlu, 2, 0);
+/// let out = inj.apply(ctx, 2 + 2);
+/// assert_eq!(out.value, 5); // bit 0 flipped
+/// assert!(out.corrupted());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Injector {
+    seed: u64,
+    profile: CoreFaultProfile,
+    prev_output: [u64; FunctionalUnit::ALL.len()],
+    fired_count: u64,
+}
+
+impl Injector {
+    /// Creates an injector for one core's profile.
+    pub fn new(seed: u64, profile: CoreFaultProfile) -> Injector {
+        Injector {
+            seed,
+            profile,
+            prev_output: [0; FunctionalUnit::ALL.len()],
+            fired_count: 0,
+        }
+    }
+
+    /// The profile being injected.
+    pub fn profile(&self) -> &CoreFaultProfile {
+        &self.profile
+    }
+
+    /// How many lesion firings have occurred so far.
+    pub fn fired_count(&self) -> u64 {
+        self.fired_count
+    }
+
+    /// The deterministic activation draw for lesion `idx` at operation
+    /// `ctx.seq` on `ctx.core`.
+    fn draw(&self, ctx: &OpContext, idx: usize) -> f64 {
+        CounterRng::from_parts(self.seed, ctx.core.as_u64(), idx as u64, 0).uniform_at(ctx.seq)
+    }
+
+    /// Entropy word for non-deterministic lesions.
+    fn entropy(&self, ctx: &OpContext, idx: usize) -> u64 {
+        CounterRng::from_parts(self.seed, ctx.core.as_u64(), idx as u64, 1).at(ctx.seq)
+    }
+
+    /// Whether lesion `idx` fires for this operation.
+    fn fires(&self, ctx: &OpContext, idx: usize, activation: &Activation) -> bool {
+        let p = activation.probability(ctx.point, ctx.operand, ctx.age_hours);
+        p > 0.0 && self.draw(ctx, idx) < p
+    }
+
+    /// Pushes one scalar operation through the injector.
+    ///
+    /// `correct` is the architecturally correct result. If several lesions
+    /// afflict the unit and fire simultaneously, the first (by profile
+    /// order) wins — real defects do not compose neatly either.
+    pub fn apply(&mut self, ctx: OpContext, correct: u64) -> OpOutcome {
+        self.apply_inner(ctx, correct, false)
+    }
+
+    /// Like [`Injector::apply`], but skipping [`Lesion::CorruptCopy`]
+    /// lesions.
+    ///
+    /// Bulk-copy execution paths handle copy lesions through
+    /// [`Injector::copy_corruption`] (which honors the lesion's stride);
+    /// they use this entry point for the unit's *other* lesions so a copy
+    /// lesion cannot fire twice for one word.
+    pub fn apply_excluding_copy(&mut self, ctx: OpContext, correct: u64) -> OpOutcome {
+        self.apply_inner(ctx, correct, true)
+    }
+
+    fn apply_inner(&mut self, ctx: OpContext, correct: u64, skip_copy: bool) -> OpOutcome {
+        let mut outcome = OpOutcome {
+            value: correct,
+            fired: None,
+        };
+        for (idx, fl) in self.profile.lesions.iter().enumerate() {
+            if fl.unit != ctx.unit {
+                continue;
+            }
+            if skip_copy && matches!(fl.lesion, Lesion::CorruptCopy { .. }) {
+                continue;
+            }
+            if self.fires(&ctx, idx, &fl.activation) {
+                let prev = self.prev_output[ctx.unit.index()];
+                let entropy = self.entropy(&ctx, idx);
+                outcome.value = fl.lesion.apply_scalar(correct, prev, ctx.operand, entropy);
+                outcome.fired = Some(idx);
+                break;
+            }
+        }
+        if outcome.fired.is_some() {
+            self.fired_count += 1;
+        }
+        // The unit's previous-output latch tracks what actually came out.
+        self.prev_output[ctx.unit.index()] = outcome.value;
+        outcome
+    }
+
+    /// Asks whether an atomic operation fails, and how.
+    ///
+    /// Returns the [`LockFailureMode`] of the first firing lock-violation
+    /// lesion on [`FunctionalUnit::Atomics`], if any.
+    pub fn lock_failure(&mut self, ctx: OpContext) -> Option<LockFailureMode> {
+        for (idx, fl) in self.profile.lesions.iter().enumerate() {
+            if fl.unit != FunctionalUnit::Atomics {
+                continue;
+            }
+            if let Lesion::LockViolation { mode } = fl.lesion {
+                if self.fires(&ctx, idx, &fl.activation) {
+                    self.fired_count += 1;
+                    return Some(mode);
+                }
+            }
+        }
+        None
+    }
+
+    /// The 128-bit mask corrupting a cryptographic round, if a crypto-unit
+    /// round lesion fires for this operation.
+    ///
+    /// The *same* mask is returned for the encrypt and decrypt directions,
+    /// which is exactly what makes the paper's AES case self-inverting on
+    /// the defective core.
+    pub fn crypto_round_mask(&mut self, ctx: OpContext) -> Option<u128> {
+        for (idx, fl) in self.profile.lesions.iter().enumerate() {
+            if fl.unit != FunctionalUnit::CryptoUnit {
+                continue;
+            }
+            if let Some(mask) = fl.lesion.round_mask() {
+                if self.fires(&ctx, idx, &fl.activation) {
+                    self.fired_count += 1;
+                    return Some(mask);
+                }
+            }
+        }
+        None
+    }
+
+    /// The corruption mask for word `word_index` of a bulk copy, if a
+    /// copy lesion on the vector pipe fires.
+    pub fn copy_corruption(&mut self, ctx: OpContext, word_index: u64) -> Option<u64> {
+        for (idx, fl) in self.profile.lesions.iter().enumerate() {
+            if fl.unit != FunctionalUnit::VectorPipe {
+                continue;
+            }
+            if let Lesion::CorruptCopy {
+                stride,
+                offset,
+                mask,
+            } = fl.lesion
+            {
+                let stride = stride.max(1) as u64;
+                if word_index % stride == offset as u64 % stride
+                    && self.fires(&ctx, idx, &fl.activation)
+                {
+                    self.fired_count += 1;
+                    return Some(mask);
+                }
+            }
+        }
+        None
+    }
+
+    /// The analytic per-operation corruption probability on a unit at the
+    /// given conditions, summed over the unit's lesions (clamped to 1).
+    ///
+    /// Fleet-scale simulations use this closed form instead of simulating
+    /// every instruction.
+    pub fn corruption_rate(
+        &self,
+        unit: FunctionalUnit,
+        point: OperatingPoint,
+        operand: u64,
+        age_hours: f64,
+    ) -> f64 {
+        let p_ok: f64 = self
+            .profile
+            .lesions
+            .iter()
+            .filter(|fl| fl.unit == unit)
+            .map(|fl| 1.0 - fl.activation.probability(point, operand, age_hours))
+            .product();
+        1.0 - p_ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{Activation, AgingModel};
+    use crate::profile::FaultLesion;
+
+    fn core() -> CoreUid {
+        CoreUid::new(7, 0, 3)
+    }
+
+    fn ctx(unit: FunctionalUnit, operand: u64, seq: u64) -> OpContext {
+        OpContext::nominal(core(), unit, operand, seq)
+    }
+
+    #[test]
+    fn clean_unit_passes_through() {
+        let p = CoreFaultProfile::single(
+            "alu-only",
+            FunctionalUnit::ScalarAlu,
+            Lesion::FlipBit { bit: 1 },
+            Activation::always(),
+        );
+        let mut inj = Injector::new(1, p);
+        // FMA is unafflicted: results pass through untouched.
+        let out = inj.apply(ctx(FunctionalUnit::Fma, 0, 0), 42);
+        assert_eq!(out.value, 42);
+        assert!(!out.corrupted());
+    }
+
+    #[test]
+    fn always_lesion_corrupts_every_op() {
+        let p = CoreFaultProfile::single(
+            "hot",
+            FunctionalUnit::MulDiv,
+            Lesion::XorMask { mask: 0xf0 },
+            Activation::always(),
+        );
+        let mut inj = Injector::new(2, p);
+        for seq in 0..50 {
+            let out = inj.apply(ctx(FunctionalUnit::MulDiv, 9, seq), 100);
+            assert_eq!(out.value, 100 ^ 0xf0);
+        }
+        assert_eq!(inj.fired_count(), 50);
+    }
+
+    #[test]
+    fn probabilistic_lesion_rate_is_calibrated() {
+        let p = CoreFaultProfile::single(
+            "rare",
+            FunctionalUnit::ScalarAlu,
+            Lesion::FlipBit { bit: 0 },
+            Activation::with_prob(0.05),
+        );
+        let mut inj = Injector::new(3, p);
+        let n = 200_000;
+        let mut fired = 0;
+        for seq in 0..n {
+            if inj
+                .apply(ctx(FunctionalUnit::ScalarAlu, 0, seq), 7)
+                .corrupted()
+            {
+                fired += 1;
+            }
+        }
+        let rate = fired as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.005, "rate was {rate}");
+    }
+
+    #[test]
+    fn injection_is_replayable() {
+        let p = CoreFaultProfile::single(
+            "replay",
+            FunctionalUnit::VectorPipe,
+            Lesion::CorruptValue,
+            Activation::with_prob(0.3),
+        );
+        let run = |seed| {
+            let mut inj = Injector::new(seed, p.clone());
+            (0..100)
+                .map(|seq| inj.apply(ctx(FunctionalUnit::VectorPipe, seq, seq), seq * 3))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn latched_value_replays_previous_output() {
+        let p = CoreFaultProfile::single(
+            "latch",
+            FunctionalUnit::Fma,
+            Lesion::LatchedValue,
+            Activation::always(),
+        );
+        let mut inj = Injector::new(5, p);
+        let first = inj.apply(ctx(FunctionalUnit::Fma, 0, 0), 111);
+        // First op latches whatever was in the unit (initially 0).
+        assert_eq!(first.value, 0);
+        let second = inj.apply(ctx(FunctionalUnit::Fma, 0, 1), 222);
+        assert_eq!(second.value, 0); // previous actual output was 0
+    }
+
+    #[test]
+    fn lock_failure_only_from_lock_lesions() {
+        let p = CoreFaultProfile::single(
+            "locks",
+            FunctionalUnit::Atomics,
+            Lesion::LockViolation {
+                mode: LockFailureMode::PhantomSuccess,
+            },
+            Activation::always(),
+        );
+        let mut inj = Injector::new(6, p);
+        assert_eq!(
+            inj.lock_failure(ctx(FunctionalUnit::Atomics, 0, 0)),
+            Some(LockFailureMode::PhantomSuccess)
+        );
+
+        let p2 = CoreFaultProfile::single(
+            "not-locks",
+            FunctionalUnit::Atomics,
+            Lesion::FlipBit { bit: 0 },
+            Activation::always(),
+        );
+        let mut inj2 = Injector::new(6, p2);
+        assert_eq!(inj2.lock_failure(ctx(FunctionalUnit::Atomics, 0, 0)), None);
+    }
+
+    #[test]
+    fn crypto_round_mask_stable_across_directions() {
+        let p = CoreFaultProfile::single(
+            "aes",
+            FunctionalUnit::CryptoUnit,
+            Lesion::RoundXor {
+                mask_hi: 0xdead,
+                mask_lo: 0xbeef,
+            },
+            Activation::always(),
+        );
+        let mut inj = Injector::new(7, p);
+        let m1 = inj.crypto_round_mask(ctx(FunctionalUnit::CryptoUnit, 0, 0));
+        let m2 = inj.crypto_round_mask(ctx(FunctionalUnit::CryptoUnit, 0, 0));
+        assert_eq!(m1, m2);
+        assert_eq!(m1, Some((0xdead_u128 << 64) | 0xbeef));
+    }
+
+    #[test]
+    fn copy_corruption_strides() {
+        let p = CoreFaultProfile::single(
+            "copy",
+            FunctionalUnit::VectorPipe,
+            Lesion::CorruptCopy {
+                stride: 4,
+                offset: 1,
+                mask: 0xff,
+            },
+            Activation::always(),
+        );
+        let mut inj = Injector::new(8, p);
+        let c = ctx(FunctionalUnit::VectorPipe, 0, 0);
+        assert_eq!(inj.copy_corruption(c, 0), None);
+        assert_eq!(inj.copy_corruption(c, 1), Some(0xff));
+        assert_eq!(inj.copy_corruption(c, 2), None);
+        assert_eq!(inj.copy_corruption(c, 5), Some(0xff));
+    }
+
+    #[test]
+    fn apply_excluding_copy_skips_copy_lesions_only() {
+        let p = CoreFaultProfile::new(
+            "copy-and-flip",
+            vec![
+                FaultLesion {
+                    unit: FunctionalUnit::VectorPipe,
+                    lesion: Lesion::CorruptCopy {
+                        stride: 1,
+                        offset: 0,
+                        mask: 0xff,
+                    },
+                    activation: Activation::always(),
+                },
+                FaultLesion {
+                    unit: FunctionalUnit::VectorPipe,
+                    lesion: Lesion::FlipBit { bit: 4 },
+                    activation: Activation::always(),
+                },
+            ],
+        );
+        let mut inj = Injector::new(11, p);
+        let c = ctx(FunctionalUnit::VectorPipe, 0, 0);
+        // Excluding copy lesions, the flip-bit lesion still fires.
+        let out = inj.apply_excluding_copy(c, 0);
+        assert_eq!(out.value, 1 << 4);
+        assert_eq!(out.fired, Some(1));
+        // The plain path hits the copy lesion first.
+        let out2 = inj.apply(ctx(FunctionalUnit::VectorPipe, 0, 1), 0);
+        assert_eq!(out2.value, 0xff);
+        assert_eq!(out2.fired, Some(0));
+    }
+
+    #[test]
+    fn latent_profile_fires_only_after_onset() {
+        let p = CoreFaultProfile::single(
+            "latent",
+            FunctionalUnit::ScalarAlu,
+            Lesion::FlipBit { bit: 2 },
+            Activation {
+                aging: AgingModel {
+                    onset_hours: 100.0,
+                    growth_per_year: 1.0,
+                },
+                ..Activation::always()
+            },
+        );
+        let mut inj = Injector::new(9, p);
+        let mut young = ctx(FunctionalUnit::ScalarAlu, 0, 0);
+        young.age_hours = 50.0;
+        assert!(!inj.apply(young, 5).corrupted());
+        let mut old = ctx(FunctionalUnit::ScalarAlu, 0, 1);
+        old.age_hours = 150.0;
+        assert!(inj.apply(old, 5).corrupted());
+    }
+
+    #[test]
+    fn corruption_rate_closed_form() {
+        let p = CoreFaultProfile::new(
+            "two",
+            vec![
+                FaultLesion {
+                    unit: FunctionalUnit::ScalarAlu,
+                    lesion: Lesion::FlipBit { bit: 0 },
+                    activation: Activation::with_prob(0.1),
+                },
+                FaultLesion {
+                    unit: FunctionalUnit::ScalarAlu,
+                    lesion: Lesion::FlipBit { bit: 1 },
+                    activation: Activation::with_prob(0.2),
+                },
+            ],
+        );
+        let inj = Injector::new(10, p);
+        let rate = inj.corruption_rate(FunctionalUnit::ScalarAlu, OperatingPoint::NOMINAL, 0, 0.0);
+        // 1 - (1-0.1)(1-0.2) = 0.28.
+        assert!((rate - 0.28).abs() < 1e-12);
+        assert_eq!(
+            inj.corruption_rate(FunctionalUnit::Fma, OperatingPoint::NOMINAL, 0, 0.0),
+            0.0
+        );
+    }
+}

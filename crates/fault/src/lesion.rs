@@ -1,0 +1,318 @@
+//! Lesions: what a defective unit does to a result when the defect fires.
+//!
+//! Each variant reproduces a concrete failure mode reported in §2 of the
+//! paper:
+//!
+//! * "Repeated bit-flips in strings, at a particular bit position (which
+//!   stuck out as unlikely to be coding bugs)" → [`Lesion::FlipBit`],
+//!   [`Lesion::StuckBit`];
+//! * "A deterministic AES mis-computation, which was 'self-inverting'" →
+//!   [`Lesion::RoundXor`] on the crypto unit (the XOR perturbs both the
+//!   encrypt and decrypt round paths identically, so encrypt-then-decrypt on
+//!   the same core is the identity while decryption elsewhere yields
+//!   gibberish);
+//! * "Violations of lock semantics leading to application data corruption
+//!   and crashes" → [`Lesion::LockViolation`];
+//! * "Data corruptions exhibited by various load, store, vector, and
+//!   coherence operations" → [`Lesion::CorruptValue`], [`Lesion::SkippedOp`],
+//!   [`Lesion::LatchedValue`].
+
+use serde::{Deserialize, Serialize};
+
+/// How a defective atomic unit violates lock semantics (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockFailureMode {
+    /// A compare-and-swap reports success without performing the store:
+    /// two threads can both believe they hold the lock.
+    PhantomSuccess,
+    /// A compare-and-swap performs the store but reports failure: the lock
+    /// is taken yet nobody believes they own it (leading to deadlock or a
+    /// retry storm).
+    PhantomFailure,
+    /// A store that should be atomic is torn: only the low half lands.
+    TornStore,
+}
+
+/// A specific defect behavior attached to one functional unit.
+///
+/// Lesions describe the *transfer function* of the broken hardware: given
+/// the correct 64-bit result of an operation, what comes out instead. (The
+/// per-lane application to vector operations and special handling for locks
+/// and crypto rounds live in the consumers — `mercurial-simcpu` and the
+/// fleet's analytic workload model.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Lesion {
+    /// Output bit `bit` is stuck at `value`.
+    ///
+    /// Models a defective output latch; produces the paper's "repeated
+    /// bit-flips … at a particular bit position" whenever the correct value
+    /// disagrees with the stuck level.
+    StuckBit {
+        /// Bit position, 0–63.
+        bit: u8,
+        /// The level the bit is stuck at.
+        value: bool,
+    },
+    /// Output bit `bit` is inverted when the lesion fires.
+    FlipBit {
+        /// Bit position, 0–63.
+        bit: u8,
+    },
+    /// The result is XORed with a fixed mask.
+    ///
+    /// Deterministic data corruption with a stable signature: repeated runs
+    /// of the same computation mis-compute the same way, matching the
+    /// "deterministic … mis-computation" cases in §2.
+    XorMask {
+        /// The corruption mask.
+        mask: u64,
+    },
+    /// A cryptographic *round* output is XORed with a fixed mask.
+    ///
+    /// Because the same mask perturbs the corresponding round of both the
+    /// encryption and decryption data paths, encrypt-then-decrypt **on the
+    /// same core** cancels out (the identity function), while ciphertext
+    /// produced on this core decrypts to gibberish anywhere else — the
+    /// paper's self-inverting AES case study.
+    RoundXor {
+        /// Mask applied to the 128-bit round state, as two 64-bit halves.
+        mask_hi: u64,
+        /// Low half of the mask.
+        mask_lo: u64,
+    },
+    /// The operation is skipped: the result is the first source operand
+    /// passed through unchanged.
+    SkippedOp,
+    /// The unit re-emits the result of the *previous* operation it executed
+    /// (a latched pipeline register).
+    LatchedValue,
+    /// The result is replaced by a pseudorandom corruption of itself
+    /// (result XOR a draw keyed on the operand), modeling noisy datapath
+    /// failures with no stable signature.
+    CorruptValue,
+    /// An atomic operation violates lock semantics.
+    LockViolation {
+        /// Which way the semantics break.
+        mode: LockFailureMode,
+    },
+    /// During bulk copies, every `stride`-th word is XORed with `mask`.
+    ///
+    /// Models the §5 case where copy operations and vector operations fail
+    /// together: in our ISA both execute on the vector pipe, and this lesion
+    /// corrupts lane `offset` of each affected beat.
+    CorruptCopy {
+        /// Corrupt every `stride`-th word (must be >= 1).
+        stride: u32,
+        /// Lane offset within the beat.
+        offset: u32,
+        /// Corruption mask.
+        mask: u64,
+    },
+}
+
+impl Lesion {
+    /// Applies the lesion's transfer function to a correct scalar result.
+    ///
+    /// `prev` is the unit's previous output (for [`Lesion::LatchedValue`]);
+    /// `src` is the first source operand (for [`Lesion::SkippedOp`]);
+    /// `entropy` is a per-operation pseudorandom word (for
+    /// [`Lesion::CorruptValue`]).
+    ///
+    /// Lesions with special carriers ([`Lesion::RoundXor`],
+    /// [`Lesion::LockViolation`], [`Lesion::CorruptCopy`]) corrupt the
+    /// scalar view with their mask material so that every lesion kind still
+    /// perturbs plain results when attached to a scalar unit.
+    pub fn apply_scalar(&self, correct: u64, prev: u64, src: u64, entropy: u64) -> u64 {
+        match *self {
+            Lesion::StuckBit { bit, value } => {
+                let mask = 1u64 << (bit & 63);
+                if value {
+                    correct | mask
+                } else {
+                    correct & !mask
+                }
+            }
+            Lesion::FlipBit { bit } => correct ^ (1u64 << (bit & 63)),
+            Lesion::XorMask { mask } => correct ^ mask,
+            Lesion::RoundXor { mask_hi, mask_lo } => correct ^ mask_hi ^ mask_lo,
+            Lesion::SkippedOp => src,
+            Lesion::LatchedValue => prev,
+            Lesion::CorruptValue => correct ^ (entropy | 1),
+            Lesion::LockViolation { .. } => correct ^ 1,
+            Lesion::CorruptCopy { mask, .. } => correct ^ mask,
+        }
+    }
+
+    /// Whether the lesion produces the *same* wrong answer every time it
+    /// fires on the same input (a stable corruption signature).
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(self, Lesion::LatchedValue | Lesion::CorruptValue)
+    }
+
+    /// Whether repeated application on the same core composes to the
+    /// identity for inverse-pair operations (the self-inverting property).
+    pub fn is_self_inverting(&self) -> bool {
+        matches!(self, Lesion::RoundXor { .. })
+    }
+
+    /// A short stable label for reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Lesion::StuckBit { .. } => "stuck-bit",
+            Lesion::FlipBit { .. } => "flip-bit",
+            Lesion::XorMask { .. } => "xor-mask",
+            Lesion::RoundXor { .. } => "round-xor",
+            Lesion::SkippedOp => "skipped-op",
+            Lesion::LatchedValue => "latched-value",
+            Lesion::CorruptValue => "corrupt-value",
+            Lesion::LockViolation { .. } => "lock-violation",
+            Lesion::CorruptCopy { .. } => "corrupt-copy",
+        }
+    }
+
+    /// The 128-bit mask of a [`Lesion::RoundXor`], if that is what this is.
+    pub fn round_mask(&self) -> Option<u128> {
+        match *self {
+            Lesion::RoundXor { mask_hi, mask_lo } => {
+                Some(((mask_hi as u128) << 64) | mask_lo as u128)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuck_bit_forces_level() {
+        let l = Lesion::StuckBit {
+            bit: 3,
+            value: true,
+        };
+        assert_eq!(l.apply_scalar(0, 0, 0, 0), 0b1000);
+        assert_eq!(l.apply_scalar(0b1000, 0, 0, 0), 0b1000);
+        let l0 = Lesion::StuckBit {
+            bit: 3,
+            value: false,
+        };
+        assert_eq!(l0.apply_scalar(0b1111, 0, 0, 0), 0b0111);
+    }
+
+    #[test]
+    fn stuck_bit_only_corrupts_when_disagreeing() {
+        // The "repeated bit-flips at a particular position" signature: the
+        // observed corruption is always the same single bit.
+        let l = Lesion::StuckBit {
+            bit: 17,
+            value: true,
+        };
+        for v in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let out = l.apply_scalar(v, 0, 0, 0);
+            let diff = v ^ out;
+            assert!(diff == 0 || diff == 1 << 17);
+        }
+    }
+
+    #[test]
+    fn flip_bit_is_involutive() {
+        let l = Lesion::FlipBit { bit: 42 };
+        let v = 0x0123_4567_89ab_cdef;
+        assert_eq!(l.apply_scalar(l.apply_scalar(v, 0, 0, 0), 0, 0, 0), v);
+    }
+
+    #[test]
+    fn xor_mask_has_stable_signature() {
+        let l = Lesion::XorMask { mask: 0xff00 };
+        assert_eq!(l.apply_scalar(5, 0, 0, 0) ^ 5, 0xff00);
+        assert_eq!(l.apply_scalar(999, 1, 2, 3) ^ 999, 0xff00);
+    }
+
+    #[test]
+    fn skipped_op_passes_source() {
+        let l = Lesion::SkippedOp;
+        assert_eq!(l.apply_scalar(100, 7, 55, 0), 55);
+    }
+
+    #[test]
+    fn latched_value_returns_previous() {
+        let l = Lesion::LatchedValue;
+        assert_eq!(l.apply_scalar(100, 77, 0, 0), 77);
+    }
+
+    #[test]
+    fn corrupt_value_always_differs() {
+        let l = Lesion::CorruptValue;
+        for e in 0..100u64 {
+            assert_ne!(l.apply_scalar(12345, 0, 0, e), 12345);
+        }
+    }
+
+    #[test]
+    fn determinism_classification() {
+        assert!(Lesion::StuckBit {
+            bit: 0,
+            value: true
+        }
+        .is_deterministic());
+        assert!(Lesion::XorMask { mask: 1 }.is_deterministic());
+        assert!(!Lesion::LatchedValue.is_deterministic());
+        assert!(!Lesion::CorruptValue.is_deterministic());
+    }
+
+    #[test]
+    fn self_inverting_is_round_xor_only() {
+        assert!(Lesion::RoundXor {
+            mask_hi: 1,
+            mask_lo: 2
+        }
+        .is_self_inverting());
+        assert!(!Lesion::XorMask { mask: 3 }.is_self_inverting());
+    }
+
+    #[test]
+    fn round_mask_extraction() {
+        let l = Lesion::RoundXor {
+            mask_hi: 0xaa,
+            mask_lo: 0xbb,
+        };
+        assert_eq!(l.round_mask(), Some((0xaa_u128 << 64) | 0xbb));
+        assert_eq!(Lesion::SkippedOp.round_mask(), None);
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let kinds = [
+            Lesion::StuckBit {
+                bit: 0,
+                value: false,
+            }
+            .kind_name(),
+            Lesion::FlipBit { bit: 0 }.kind_name(),
+            Lesion::XorMask { mask: 0 }.kind_name(),
+            Lesion::RoundXor {
+                mask_hi: 0,
+                mask_lo: 0,
+            }
+            .kind_name(),
+            Lesion::SkippedOp.kind_name(),
+            Lesion::LatchedValue.kind_name(),
+            Lesion::CorruptValue.kind_name(),
+            Lesion::LockViolation {
+                mode: LockFailureMode::PhantomSuccess,
+            }
+            .kind_name(),
+            Lesion::CorruptCopy {
+                stride: 1,
+                offset: 0,
+                mask: 0,
+            }
+            .kind_name(),
+        ];
+        let mut sorted = kinds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kinds.len());
+    }
+}

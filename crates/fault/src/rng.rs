@@ -1,0 +1,273 @@
+//! Deterministic, order-independent randomness.
+//!
+//! Fleet simulations interleave millions of operations across thousands of
+//! simulated cores; if activation draws came from one shared sequential RNG,
+//! any change in iteration order (a new screener, a reordered scheduler
+//! decision) would perturb *every* downstream draw and make experiments
+//! impossible to compare. Instead we use a **counter-based** generator: each
+//! draw is a pure function of `(seed, stream, counter)`, in the spirit of
+//! SplitMix64. Two runs that perform the same logical operation get the same
+//! draw no matter what happened in between.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64's finalizer: a high-quality 64-bit mixing function.
+///
+/// This passes the usual avalanche tests and is the standard tool for
+/// counter-based generation (Steele et al., "Fast Splittable Pseudorandom
+/// Number Generators").
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Combines a seed with up to three stream identifiers into one 64-bit key.
+#[inline]
+pub fn stream_key(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    // Each component is mixed before combination so that low-entropy ids
+    // (small integers) still decorrelate the streams.
+    mix64(seed)
+        ^ mix64(a.wrapping_mul(0xd6e8_feb8_6659_fd93))
+        ^ mix64(b.wrapping_mul(0xa076_1d64_78bd_642f))
+        ^ mix64(c.wrapping_mul(0xe703_7ed1_a0b4_28db))
+}
+
+/// A counter-based pseudorandom generator.
+///
+/// `CounterRng` is `Copy`-cheap to construct, has no heap state, and every
+/// output is a pure function of `(key, counter)`. It implements
+/// [`rand::RngCore`] so it can drive the `rand` distribution machinery.
+///
+/// # Examples
+///
+/// ```
+/// use mercurial_fault::CounterRng;
+/// use rand::RngCore;
+///
+/// let mut a = CounterRng::from_parts(42, 7, 3, 0);
+/// let mut b = CounterRng::from_parts(42, 7, 3, 0);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterRng {
+    key: u64,
+    counter: u64,
+}
+
+impl CounterRng {
+    /// Creates a generator for a given key, starting at counter zero.
+    pub fn new(key: u64) -> CounterRng {
+        CounterRng { key, counter: 0 }
+    }
+
+    /// Creates a generator keyed on `(seed, a, b, c)` stream identifiers.
+    pub fn from_parts(seed: u64, a: u64, b: u64, c: u64) -> CounterRng {
+        CounterRng::new(stream_key(seed, a, b, c))
+    }
+
+    /// The draw at an explicit counter value, without advancing state.
+    #[inline]
+    pub fn at(&self, counter: u64) -> u64 {
+        mix64(self.key ^ counter.wrapping_mul(0x2545_f491_4f6c_dd1d))
+    }
+
+    /// A uniform `f64` in `[0, 1)` at an explicit counter value.
+    #[inline]
+    pub fn uniform_at(&self, counter: u64) -> f64 {
+        // 53 bits of mantissa.
+        (self.at(counter) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The current counter value.
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// A uniform `f64` in `[0, 1)`, advancing the counter.
+    #[inline]
+    pub fn next_uniform(&mut self) -> f64 {
+        let v = self.uniform_at(self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        v
+    }
+
+    /// A Bernoulli draw with probability `p`, advancing the counter.
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_uniform() < p
+    }
+
+    /// A uniform integer in `[0, n)`, advancing the counter.
+    ///
+    /// Uses the widening-multiply method; bias is negligible for the `n`
+    /// values used in simulation (far below 2^32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0) is meaningless");
+        let raw = self.at(self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        ((raw as u128 * n as u128) >> 64) as u64
+    }
+
+    /// An exponentially distributed draw with the given rate (mean `1/rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    #[inline]
+    pub fn next_exp(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u = self.next_uniform();
+        // `1 - u` is in (0, 1], so the log is finite.
+        -(1.0 - u).ln() / rate
+    }
+
+    /// A standard normal draw (Box–Muller, consuming two counter values).
+    pub fn next_normal(&mut self) -> f64 {
+        let u1 = self.next_uniform();
+        let u2 = self.next_uniform();
+        let r = (-2.0 * (1.0 - u1).ln()).sqrt();
+        r * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A log-normal draw with the given parameters of the underlying normal.
+    pub fn next_lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.next_normal()).exp()
+    }
+}
+
+impl RngCore for CounterRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let v = self.at(self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        v
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = CounterRng::from_parts(1, 2, 3, 4);
+        let b = CounterRng::from_parts(1, 2, 3, 4);
+        for c in 0..100 {
+            assert_eq!(a.at(c), b.at(c));
+        }
+    }
+
+    #[test]
+    fn different_streams_decorrelate() {
+        let a = CounterRng::from_parts(1, 2, 3, 4);
+        let b = CounterRng::from_parts(1, 2, 3, 5);
+        let same = (0..1000).filter(|&c| a.at(c) == b.at(c)).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = CounterRng::new(99);
+        for _ in 0..10_000 {
+            let u = rng.next_uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = CounterRng::new(7);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_uniform()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn bernoulli_rate_matches() {
+        let mut rng = CounterRng::new(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.next_bool(0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate was {rate}");
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut rng = CounterRng::new(13);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.next_below(10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn next_below_zero_panics() {
+        CounterRng::new(0).next_below(0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = CounterRng::new(17);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_exp(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = CounterRng::new(19);
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.next_normal()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean was {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance was {var}");
+    }
+
+    #[test]
+    fn fill_bytes_deterministic() {
+        let mut a = CounterRng::new(23);
+        let mut b = CounterRng::new(23);
+        let mut ba = [0u8; 17];
+        let mut bb = [0u8; 17];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn mix64_avalanche_smoke() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let x = 0x0123_4567_89ab_cdefu64;
+        let flipped = (mix64(x) ^ mix64(x ^ 1)).count_ones();
+        assert!((16..=48).contains(&flipped), "flipped {flipped} bits");
+    }
+}

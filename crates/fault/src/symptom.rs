@@ -1,0 +1,114 @@
+//! The paper's §2 taxonomy of CEE symptoms, "in increasing order of risk".
+
+use serde::{Deserialize, Serialize};
+
+/// How a corrupt execution error manifests to the system (§2).
+///
+/// Ordered by increasing risk, exactly as the paper lists them:
+///
+/// 1. wrong answers detected nearly immediately (self-checking, exceptions,
+///    segmentation faults) — automated retry is possible;
+/// 2. machine checks — "more disruptive";
+/// 3. wrong answers detected, but only after it is too late to retry;
+/// 4. wrong answers that are never detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SymptomClass {
+    /// Wrong answer caught nearly immediately (self-check, exception,
+    /// segfault); a retry can usually mask it.
+    WrongDetectedImmediately,
+    /// A machine-check event: disruptive but at least loud.
+    MachineCheck,
+    /// Wrong answer detected only after the computation's results were
+    /// consumed — too late to retry.
+    WrongDetectedLate,
+    /// Wrong answer never detected: pure silent data corruption.
+    WrongNeverDetected,
+}
+
+impl SymptomClass {
+    /// All classes, in the paper's increasing-risk order.
+    pub const ALL: [SymptomClass; 4] = [
+        SymptomClass::WrongDetectedImmediately,
+        SymptomClass::MachineCheck,
+        SymptomClass::WrongDetectedLate,
+        SymptomClass::WrongNeverDetected,
+    ];
+
+    /// A risk rank, 0 (least risky) to 3 (most risky).
+    pub fn risk_rank(self) -> u8 {
+        match self {
+            SymptomClass::WrongDetectedImmediately => 0,
+            SymptomClass::MachineCheck => 1,
+            SymptomClass::WrongDetectedLate => 2,
+            SymptomClass::WrongNeverDetected => 3,
+        }
+    }
+
+    /// Whether the symptom is observable at all by the infrastructure —
+    /// everything except never-detected corruption.
+    pub fn is_observable(self) -> bool {
+        self != SymptomClass::WrongNeverDetected
+    }
+
+    /// Whether the symptom arrives in time for an automated retry.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            SymptomClass::WrongDetectedImmediately | SymptomClass::MachineCheck
+        )
+    }
+
+    /// A short stable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            SymptomClass::WrongDetectedImmediately => "wrong-detected-immediately",
+            SymptomClass::MachineCheck => "machine-check",
+            SymptomClass::WrongDetectedLate => "wrong-detected-late",
+            SymptomClass::WrongNeverDetected => "wrong-never-detected",
+        }
+    }
+}
+
+impl std::fmt::Display for SymptomClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn risk_order_matches_paper() {
+        // The paper lists symptoms in increasing order of risk; the enum's
+        // Ord and the explicit rank must agree with that order.
+        for w in SymptomClass::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].risk_rank() < w[1].risk_rank());
+        }
+    }
+
+    #[test]
+    fn observability() {
+        assert!(SymptomClass::MachineCheck.is_observable());
+        assert!(SymptomClass::WrongDetectedLate.is_observable());
+        assert!(!SymptomClass::WrongNeverDetected.is_observable());
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(SymptomClass::WrongDetectedImmediately.is_retryable());
+        assert!(SymptomClass::MachineCheck.is_retryable());
+        assert!(!SymptomClass::WrongDetectedLate.is_retryable());
+        assert!(!SymptomClass::WrongNeverDetected.is_retryable());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = SymptomClass::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! Functional units of a core.
+//!
+//! The paper (§5) explains that "CPUs are gradually becoming sets of discrete
+//! accelerators around a shared register file", which makes CEEs "highly
+//! specific in the behavior they disrupt, while the majority of the core
+//! remains correct". We therefore model a core as a collection of functional
+//! units; every lesion attaches to one unit, and every instruction executes
+//! on one unit.
+//!
+//! Crucially, the instruction → unit mapping is *not* one-to-one with the
+//! architectural taxonomy: the paper found "more than one case where the same
+//! mercurial core manifests CEEs both with certain data-copy operations and
+//! with certain vector operations […] both kinds of operations share the same
+//! hardware logic". Our simulated ISA routes bulk-copy instructions through
+//! [`FunctionalUnit::VectorPipe`], so a single vector-pipe lesion disrupts
+//! both instruction families, just as observed in production.
+
+use serde::{Deserialize, Serialize};
+
+/// An execution unit within a core to which a defect can be localized.
+///
+/// The set is deliberately coarse: it matches the granularity at which the
+/// paper could attribute failures from the outside ("the mapping of
+/// instructions to possibly-defective hardware is non-obvious"), not the
+/// true microarchitectural block diagram (which the authors note they do not
+/// have access to either).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FunctionalUnit {
+    /// Scalar integer ALU: add/sub/logic/shift/compare.
+    ScalarAlu,
+    /// Integer multiply and divide.
+    MulDiv,
+    /// SIMD/vector pipe. Bulk copy operations also execute here (§5).
+    VectorPipe,
+    /// Floating-point add/multiply/FMA pipeline.
+    Fma,
+    /// Load/store unit: ordinary memory accesses.
+    LoadStore,
+    /// Atomic/locked operations: compare-and-swap, fetch-and-add, fences.
+    Atomics,
+    /// Cryptographic accelerator: AES rounds, carry-less multiply.
+    CryptoUnit,
+    /// Branch resolution and indirect-target computation.
+    BranchUnit,
+    /// Effective-address generation (base + index*scale + displacement).
+    AddressGen,
+}
+
+impl FunctionalUnit {
+    /// All functional units, in a stable order.
+    pub const ALL: [FunctionalUnit; 9] = [
+        FunctionalUnit::ScalarAlu,
+        FunctionalUnit::MulDiv,
+        FunctionalUnit::VectorPipe,
+        FunctionalUnit::Fma,
+        FunctionalUnit::LoadStore,
+        FunctionalUnit::Atomics,
+        FunctionalUnit::CryptoUnit,
+        FunctionalUnit::BranchUnit,
+        FunctionalUnit::AddressGen,
+    ];
+
+    /// A stable small integer identifier, usable as an array index.
+    pub fn index(self) -> usize {
+        match self {
+            FunctionalUnit::ScalarAlu => 0,
+            FunctionalUnit::MulDiv => 1,
+            FunctionalUnit::VectorPipe => 2,
+            FunctionalUnit::Fma => 3,
+            FunctionalUnit::LoadStore => 4,
+            FunctionalUnit::Atomics => 5,
+            FunctionalUnit::CryptoUnit => 6,
+            FunctionalUnit::BranchUnit => 7,
+            FunctionalUnit::AddressGen => 8,
+        }
+    }
+
+    /// Inverse of [`FunctionalUnit::index`].
+    ///
+    /// Returns `None` for out-of-range indices.
+    pub fn from_index(index: usize) -> Option<FunctionalUnit> {
+        FunctionalUnit::ALL.get(index).copied()
+    }
+
+    /// A short, stable, lowercase name (used in reports and scenario files).
+    pub fn name(self) -> &'static str {
+        match self {
+            FunctionalUnit::ScalarAlu => "scalar-alu",
+            FunctionalUnit::MulDiv => "mul-div",
+            FunctionalUnit::VectorPipe => "vector-pipe",
+            FunctionalUnit::Fma => "fma",
+            FunctionalUnit::LoadStore => "load-store",
+            FunctionalUnit::Atomics => "atomics",
+            FunctionalUnit::CryptoUnit => "crypto",
+            FunctionalUnit::BranchUnit => "branch",
+            FunctionalUnit::AddressGen => "address-gen",
+        }
+    }
+
+    /// Parses the output of [`FunctionalUnit::name`].
+    pub fn from_name(name: &str) -> Option<FunctionalUnit> {
+        FunctionalUnit::ALL
+            .iter()
+            .copied()
+            .find(|u| u.name() == name)
+    }
+
+    /// Whether a lesion in this unit tends to produce *architecturally loud*
+    /// failures (exceptions, machine checks) rather than purely silent wrong
+    /// answers.
+    ///
+    /// Defects in address generation or branching corrupt control flow and
+    /// addresses, so they frequently trip segmentation faults; defects in
+    /// data-computation units mostly produce silent wrong values. This mirrors
+    /// the paper's observation (§2) that "defective cores appear to exhibit
+    /// both wrong results and exceptions", with the mix depending on what
+    /// malfunctions.
+    pub fn is_control_path(self) -> bool {
+        matches!(
+            self,
+            FunctionalUnit::BranchUnit | FunctionalUnit::AddressGen | FunctionalUnit::LoadStore
+        )
+    }
+}
+
+impl std::fmt::Display for FunctionalUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for unit in FunctionalUnit::ALL {
+            assert_eq!(FunctionalUnit::from_index(unit.index()), Some(unit));
+        }
+        assert_eq!(FunctionalUnit::from_index(FunctionalUnit::ALL.len()), None);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for unit in FunctionalUnit::ALL {
+            assert_eq!(FunctionalUnit::from_name(unit.name()), Some(unit));
+        }
+        assert_eq!(FunctionalUnit::from_name("made-up"), None);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; FunctionalUnit::ALL.len()];
+        for unit in FunctionalUnit::ALL {
+            assert!(!seen[unit.index()], "duplicate index for {unit}");
+            seen[unit.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(FunctionalUnit::VectorPipe.to_string(), "vector-pipe");
+    }
+
+    #[test]
+    fn control_path_classification() {
+        assert!(FunctionalUnit::BranchUnit.is_control_path());
+        assert!(FunctionalUnit::AddressGen.is_control_path());
+        assert!(!FunctionalUnit::CryptoUnit.is_control_path());
+        assert!(!FunctionalUnit::VectorPipe.is_control_path());
+    }
+}

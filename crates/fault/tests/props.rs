@@ -1,0 +1,119 @@
+//! Property-based tests on the fault model's core invariants.
+
+use mercurial_fault::{
+    library, Activation, CoreFaultProfile, CoreUid, CounterRng, FunctionalUnit, Injector, Lesion,
+    OpContext, OperatingPoint,
+};
+use proptest::prelude::*;
+
+fn arb_unit() -> impl Strategy<Value = FunctionalUnit> {
+    (0..FunctionalUnit::ALL.len()).prop_map(|i| FunctionalUnit::ALL[i])
+}
+
+fn arb_point() -> impl Strategy<Value = OperatingPoint> {
+    (800u32..4000, 600u32..1200, -20i32..110).prop_map(|(f, v, t)| OperatingPoint::new(f, v, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Activation probabilities are always valid probabilities.
+    #[test]
+    fn activation_probability_in_unit_interval(
+        base in 0.0f64..2.0,
+        point in arb_point(),
+        operand in any::<u64>(),
+        age in 0.0f64..1e6,
+    ) {
+        let a = Activation { base_prob: base, ..Activation::always() };
+        let p = a.probability(point, operand, age);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+    }
+
+    /// The injector is a pure function of (seed, context): two injectors
+    /// with the same seed and profile agree on every operation.
+    #[test]
+    fn injector_is_deterministic(
+        seed in any::<u64>(),
+        unit in arb_unit(),
+        ops in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..64),
+    ) {
+        let profile = CoreFaultProfile::single(
+            "p",
+            unit,
+            Lesion::CorruptValue,
+            Activation::with_prob(0.37),
+        );
+        let mut a = Injector::new(seed, profile.clone());
+        let mut b = Injector::new(seed, profile);
+        for (i, &(operand, correct)) in ops.iter().enumerate() {
+            let ctx = OpContext::nominal(CoreUid::new(1, 0, 0), unit, operand, i as u64);
+            prop_assert_eq!(a.apply(ctx, correct), b.apply(ctx, correct));
+        }
+    }
+
+    /// Lesions on one unit never corrupt operations on another.
+    #[test]
+    fn lesions_are_unit_local(
+        afflicted in arb_unit(),
+        executed in arb_unit(),
+        correct in any::<u64>(),
+        seq in any::<u64>(),
+    ) {
+        prop_assume!(afflicted != executed);
+        let profile = CoreFaultProfile::single(
+            "local",
+            afflicted,
+            Lesion::XorMask { mask: u64::MAX },
+            Activation::always(),
+        );
+        let mut inj = Injector::new(1, profile);
+        let ctx = OpContext::nominal(CoreUid::new(0, 0, 0), executed, 0, seq);
+        let out = inj.apply(ctx, correct);
+        prop_assert_eq!(out.value, correct);
+        prop_assert!(!out.corrupted());
+    }
+
+    /// Deterministic lesions produce a stable wrong answer: applying the
+    /// same operation twice (same seq) yields identical output.
+    #[test]
+    fn deterministic_lesions_have_stable_signatures(
+        bit in 0u8..64,
+        correct in any::<u64>(),
+        seq in any::<u64>(),
+    ) {
+        let profile = CoreFaultProfile::single(
+            "stable",
+            FunctionalUnit::ScalarAlu,
+            Lesion::FlipBit { bit },
+            Activation::always(),
+        );
+        let ctx = OpContext::nominal(CoreUid::new(0, 0, 0), FunctionalUnit::ScalarAlu, 0, seq);
+        let mut a = Injector::new(9, profile.clone());
+        let mut b = Injector::new(9, profile);
+        prop_assert_eq!(a.apply(ctx, correct).value, b.apply(ctx, correct).value);
+    }
+
+    /// Sampled profiles are well-formed: non-empty, probabilities valid,
+    /// and the profile name comes from the archetype list.
+    #[test]
+    fn sampled_profiles_are_well_formed(seed in any::<u64>(), id in 0u64..10_000) {
+        let p = library::sample_profile(seed, id);
+        prop_assert!(!p.lesions.is_empty());
+        prop_assert!(library::ARCHETYPES.contains(&p.name.as_str()));
+        for l in &p.lesions {
+            prop_assert!(l.activation.base_prob >= 0.0 && l.activation.base_prob <= 1.0);
+            prop_assert!(l.activation.aging.onset_hours >= 0.0);
+        }
+    }
+
+    /// Counter RNG streams with different ids never alias over a window.
+    #[test]
+    fn rng_streams_decorrelate(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let ra = CounterRng::from_parts(seed, a, 0, 0);
+        let rb = CounterRng::from_parts(seed, b, 0, 0);
+        let collisions = (0..64).filter(|&c| ra.at(c) == rb.at(c)).count();
+        prop_assert_eq!(collisions, 0);
+    }
+}

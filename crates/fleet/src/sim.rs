@@ -1,0 +1,570 @@
+//! The fleet driver: walks simulated time and emits the signal stream.
+//!
+//! Per epoch, for every *deployed mercurial core* (healthy cores generate
+//! nothing but background noise, so the loop touches only the rare
+//! defective ones), the driver:
+//!
+//! 1. computes per-unit corruption rates from the core's profile under its
+//!    machine's workload operands and age (latent defects contribute zero
+//!    before onset — §2's "manifest long after initial installation");
+//! 2. draws the epoch's corruption count (Poisson);
+//! 3. classifies each corruption into the §2 symptom taxonomy given the
+//!    afflicted unit and the workload's check coverage, emitting signals
+//!    for the observable ones;
+//! 4. escalates some detected corruptions into human suspect reports.
+//!
+//! On top of that it layers background noise — crashes and mistaken user
+//! reports with no CEE behind them — because production triage has to work
+//! against exactly that haystack (§6: only ≈half of human-identified
+//! suspects turn out to be real).
+
+use crate::population::Population;
+use crate::signals::{Signal, SignalKind, SignalLog};
+use crate::time::EventQueue;
+use crate::topology::FleetTopology;
+use crate::workload::WorkloadClass;
+use mercurial_fault::{CoreUid, CounterRng, FunctionalUnit, SymptomClass};
+use serde::{Deserialize, Serialize};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Observation window, months (730 h each).
+    pub months: u32,
+    /// Epoch length in hours (signal batching granularity).
+    pub epoch_hours: f64,
+    /// Background (non-CEE) crash rate per machine-hour.
+    pub noise_crash_rate: f64,
+    /// Background (non-CEE) user-report rate per machine-hour — mistaken
+    /// accusations from ordinary debugging.
+    pub noise_report_rate: f64,
+    /// Cap on signals emitted per core per epoch (report deduplication).
+    pub per_core_epoch_cap: u32,
+    /// Probability that a detected corruption's machine-check path fires
+    /// (loud hardware) rather than a software-visible symptom.
+    pub machine_check_share: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            months: 36,
+            epoch_hours: 73.0, // a tenth of a month
+            noise_crash_rate: 2e-5,
+            noise_report_rate: 4e-7,
+            per_core_epoch_cap: 25,
+            machine_check_share: 0.08,
+        }
+    }
+}
+
+/// Aggregate outcome counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimSummary {
+    /// Corruption events drawn (before symptom classification).
+    pub corruptions: u64,
+    /// §2 symptom tallies, indexed by [`SymptomClass::risk_rank`].
+    pub symptom_counts: [u64; 4],
+    /// Signals emitted (observable events, capped).
+    pub signals_emitted: u64,
+    /// Background-noise signals emitted.
+    pub noise_signals: u64,
+    /// Mercurial cores that produced at least one corruption.
+    pub active_mercurial_cores: u64,
+}
+
+impl SimSummary {
+    /// The count for one symptom class.
+    pub fn symptom_count(&self, class: SymptomClass) -> u64 {
+        self.symptom_counts[class.risk_rank() as usize]
+    }
+}
+
+enum Event {
+    Epoch(u32),
+}
+
+/// The fleet simulator.
+pub struct FleetSim {
+    topo: FleetTopology,
+    pop: Population,
+    config: SimConfig,
+    workloads: Vec<(WorkloadClass, f64)>,
+}
+
+impl FleetSim {
+    /// Builds a simulator over a topology and ground-truth population with
+    /// the default workload mix.
+    pub fn new(topo: FleetTopology, pop: Population, config: SimConfig) -> FleetSim {
+        FleetSim {
+            topo,
+            pop,
+            config,
+            workloads: WorkloadClass::default_mix(),
+        }
+    }
+
+    /// Replaces the workload mix.
+    pub fn with_workloads(mut self, workloads: Vec<(WorkloadClass, f64)>) -> FleetSim {
+        assert!(!workloads.is_empty(), "need at least one workload class");
+        self.workloads = workloads;
+        self
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &FleetTopology {
+        &self.topo
+    }
+
+    /// The ground-truth population.
+    pub fn population(&self) -> &Population {
+        &self.pop
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The workload class a machine runs (deterministic weighted draw).
+    pub fn workload_of(&self, machine: u32) -> &WorkloadClass {
+        let total: f64 = self.workloads.iter().map(|(_, w)| w).sum();
+        let mut pick = CounterRng::from_parts(self.pop.seed(), machine as u64, 0x776f, 0)
+            .uniform_at(0)
+            * total;
+        for (wl, w) in &self.workloads {
+            if pick < *w {
+                return wl;
+            }
+            pick -= w;
+        }
+        &self.workloads.last().expect("non-empty workloads").0
+    }
+
+    /// Runs the simulation, returning the signal log (sorted by time) and
+    /// summary counters.
+    pub fn run(&self) -> (SignalLog, SimSummary) {
+        let mut queue = EventQueue::new();
+        let total_hours = self.config.months as f64 * 730.0;
+        let epochs = (total_hours / self.config.epoch_hours).ceil() as u32;
+        for e in 0..epochs {
+            queue.schedule(e as f64 * self.config.epoch_hours, Event::Epoch(e));
+        }
+
+        let mut log = SignalLog::new();
+        let mut summary = SimSummary::default();
+        let mercurial: Vec<CoreUid> = self.pop.mercurial_cores().map(|c| c.uid).collect();
+        let mut core_was_active = vec![false; mercurial.len()];
+
+        while let Some((hour, event)) = queue.pop() {
+            let Event::Epoch(epoch) = event;
+            for (i, &uid) in mercurial.iter().enumerate() {
+                if !self.topo.is_deployed(uid.machine, hour) {
+                    continue;
+                }
+                let active = self.epoch_core(uid, hour, epoch, &mut log, &mut summary);
+                core_was_active[i] |= active;
+            }
+            self.epoch_noise(hour, epoch, &mut log, &mut summary);
+        }
+        summary.active_mercurial_cores = core_was_active.iter().filter(|&&a| a).count() as u64;
+        log.sort_by_time();
+        (log, summary)
+    }
+
+    /// Simulates one mercurial core for one epoch; returns whether it
+    /// produced any corruption.
+    fn epoch_core(
+        &self,
+        uid: CoreUid,
+        hour: f64,
+        epoch: u32,
+        log: &mut SignalLog,
+        summary: &mut SimSummary,
+    ) -> bool {
+        let wl = self.workload_of(uid.machine);
+        let age = self.topo.age_hours(uid.machine, hour);
+        let point = self.topo.product_of(uid.machine).dvfs.max_point(65);
+        let rates = self.pop.unit_rates(uid, &wl.operands, point, age);
+
+        let mut rng = CounterRng::from_parts(self.pop.seed(), uid.as_u64(), 0x6570, epoch as u64);
+        let mut emitted = 0u32;
+        let mut any = false;
+        for unit in FunctionalUnit::ALL {
+            let lambda =
+                rates[unit.index()] * wl.ops_per_hour[unit.index()] * self.config.epoch_hours;
+            if lambda <= 0.0 {
+                continue;
+            }
+            let n = poisson(&mut rng, lambda);
+            if n == 0 {
+                continue;
+            }
+            any = true;
+            summary.corruptions += n;
+            // Per-corruption simulation is only needed while the signal
+            // cap can still admit emissions; a saturated defect (p ≈ 1 per
+            // op) produces millions of corruptions per epoch, and looping
+            // over each would dominate the whole fleet simulation. The
+            // remainder is classified in bulk from the expected shares.
+            let simulate = n.min(4 * self.config.per_core_epoch_cap as u64);
+            for _ in 0..simulate {
+                let outcome = self.classify(unit, wl, &mut rng);
+                summary.symptom_counts[outcome.0.risk_rank() as usize] += 1;
+                if let Some(kind) = outcome.1 {
+                    if emitted < self.config.per_core_epoch_cap {
+                        let jitter = rng.next_uniform() * self.config.epoch_hours;
+                        log.push(Signal {
+                            hour: hour + jitter,
+                            core: uid,
+                            kind,
+                            caused_by_cee: true,
+                        });
+                        summary.signals_emitted += 1;
+                        emitted += 1;
+                        // Detected corruptions sometimes escalate to a
+                        // human suspect report, after further triage time.
+                        if kind != SignalKind::MachineCheckEvent
+                            && rng.next_bool(wl.user_report_rate)
+                            && emitted < self.config.per_core_epoch_cap
+                        {
+                            log.push(Signal {
+                                hour: hour + jitter + 24.0 + rng.next_uniform() * 72.0,
+                                core: uid,
+                                kind: SignalKind::UserReport,
+                                caused_by_cee: true,
+                            });
+                            summary.signals_emitted += 1;
+                            emitted += 1;
+                        }
+                    }
+                }
+            }
+            if n > simulate {
+                self.bulk_classify(n - simulate, unit, wl, summary);
+            }
+        }
+        any
+    }
+
+    /// Adds `n` corruptions to the symptom tallies using the expected
+    /// class shares (the closed form of [`FleetSim::classify`]'s
+    /// distribution). Counts are apportioned by rounding with the
+    /// remainder assigned to the never-detected class, so totals are
+    /// conserved exactly.
+    fn bulk_classify(
+        &self,
+        n: u64,
+        unit: FunctionalUnit,
+        wl: &WorkloadClass,
+        summary: &mut SimSummary,
+    ) {
+        let m = self.config.machine_check_share;
+        let (p_imm, p_late) = if unit.is_control_path() {
+            ((1.0 - m) * 0.80, (1.0 - m) * 0.10)
+        } else {
+            let r = wl.replicated_fraction;
+            let c = wl.app_check_coverage;
+            let imm = (1.0 - m) * (r + (1.0 - r) * c * 0.75);
+            let late = (1.0 - m) * (1.0 - r) * c * 0.25;
+            (imm, late)
+        };
+        let mce = (n as f64 * m).round() as u64;
+        let imm = (n as f64 * p_imm).round() as u64;
+        let late = (n as f64 * p_late).round() as u64;
+        // Rescale if rounding overshot the total.
+        let (mce, imm, late) = if mce + imm + late > n {
+            let scale = n as f64 / (mce + imm + late) as f64;
+            (
+                (mce as f64 * scale) as u64,
+                (imm as f64 * scale) as u64,
+                (late as f64 * scale) as u64,
+            )
+        } else {
+            (mce, imm, late)
+        };
+        let never = n - mce - imm - late;
+        summary.symptom_counts[SymptomClass::WrongDetectedImmediately.risk_rank() as usize] +=
+            imm;
+        summary.symptom_counts[SymptomClass::MachineCheck.risk_rank() as usize] += mce;
+        summary.symptom_counts[SymptomClass::WrongDetectedLate.risk_rank() as usize] += late;
+        summary.symptom_counts[SymptomClass::WrongNeverDetected.risk_rank() as usize] += never;
+    }
+
+    /// Classifies one corruption into (risk class, emitted signal).
+    fn classify(
+        &self,
+        unit: FunctionalUnit,
+        wl: &WorkloadClass,
+        rng: &mut CounterRng,
+    ) -> (SymptomClass, Option<SignalKind>) {
+        if rng.next_bool(self.config.machine_check_share) {
+            return (
+                SymptomClass::MachineCheck,
+                Some(SignalKind::MachineCheckEvent),
+            );
+        }
+        if unit.is_control_path() {
+            // Corrupted addresses and branches are loud: crashes dominate.
+            let r = rng.next_uniform();
+            return if r < 0.55 {
+                (
+                    SymptomClass::WrongDetectedImmediately,
+                    Some(SignalKind::ProcessCrash),
+                )
+            } else if r < 0.70 {
+                (
+                    SymptomClass::WrongDetectedImmediately,
+                    Some(SignalKind::KernelCrash),
+                )
+            } else if r < 0.80 {
+                (
+                    SymptomClass::WrongDetectedImmediately,
+                    Some(SignalKind::SanitizerHit),
+                )
+            } else if r < 0.90 {
+                (
+                    SymptomClass::WrongDetectedLate,
+                    Some(SignalKind::AppChecksumMismatch),
+                )
+            } else {
+                (SymptomClass::WrongNeverDetected, None)
+            };
+        }
+        // Replicated update logic catches corruption as replica divergence
+        // before any checksum gets a chance (§6's "dual computations").
+        if rng.next_bool(wl.replicated_fraction) {
+            return (
+                SymptomClass::WrongDetectedImmediately,
+                Some(SignalKind::ReplicaDivergence),
+            );
+        }
+        // Data-path corruption: the application's own checks are the main
+        // line of defense (§6).
+        if rng.next_bool(wl.app_check_coverage) {
+            if rng.next_bool(0.75) {
+                (
+                    SymptomClass::WrongDetectedImmediately,
+                    Some(SignalKind::AppChecksumMismatch),
+                )
+            } else {
+                // Caught, but after the result was consumed.
+                (
+                    SymptomClass::WrongDetectedLate,
+                    Some(SignalKind::AppChecksumMismatch),
+                )
+            }
+        } else {
+            (SymptomClass::WrongNeverDetected, None)
+        }
+    }
+
+    /// Emits background noise for one epoch.
+    fn epoch_noise(&self, hour: f64, epoch: u32, log: &mut SignalLog, summary: &mut SimSummary) {
+        let deployed = self.topo.deployed_count(hour);
+        if deployed == 0 {
+            return;
+        }
+        let mut rng = CounterRng::from_parts(self.pop.seed(), 0xbadd, 0x6e6f, epoch as u64);
+        let machine_hours = deployed as f64 * self.config.epoch_hours;
+        for (kind, rate) in [
+            (SignalKind::ProcessCrash, self.config.noise_crash_rate),
+            (SignalKind::UserReport, self.config.noise_report_rate),
+        ] {
+            let n = poisson(&mut rng, machine_hours * rate);
+            for _ in 0..n {
+                // Attribute to a uniformly random deployed machine/core.
+                let midx = rng.next_below(self.topo.machines().len() as u64) as u32;
+                if !self.topo.is_deployed(midx, hour) {
+                    continue;
+                }
+                let product = self.topo.product_of(midx);
+                let socket = rng.next_below(self.topo.config().sockets_per_machine as u64) as u8;
+                let core = rng.next_below(product.cores_per_socket as u64) as u16;
+                log.push(Signal {
+                    hour: hour + rng.next_uniform() * self.config.epoch_hours,
+                    core: CoreUid::new(midx, socket, core),
+                    kind,
+                    caused_by_cee: false,
+                });
+                summary.noise_signals += 1;
+                summary.signals_emitted += 1;
+            }
+        }
+    }
+}
+
+/// Draws a Poisson variate: Knuth's method for small `lambda`, a rounded
+/// normal approximation beyond.
+pub fn poisson(rng: &mut CounterRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.next_uniform();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // numerical guard; unreachable for lambda < 30
+            }
+        }
+    }
+    let draw = lambda + lambda.sqrt() * rng.next_normal();
+    draw.round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::FleetConfig;
+    use mercurial_fault::{library, Activation, CoreFaultProfile, Lesion};
+
+    fn tiny_sim(machines: u32, cores: Vec<(CoreUid, CoreFaultProfile)>, months: u32) -> FleetSim {
+        let topo = FleetTopology::build(FleetConfig::tiny(machines, 21));
+        let pop = Population::with_explicit(21, cores);
+        FleetSim::new(
+            topo,
+            pop,
+            SimConfig {
+                months,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = CounterRng::new(1);
+        for lambda in [0.5, 5.0, 80.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt() * 0.1 + 0.05,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn healthy_fleet_emits_only_noise() {
+        let sim = tiny_sim(200, vec![], 6);
+        let (log, summary) = sim.run();
+        assert_eq!(summary.corruptions, 0);
+        assert!(log.all().iter().all(|s| !s.caused_by_cee));
+        assert_eq!(summary.noise_signals as usize, log.len());
+    }
+
+    #[test]
+    fn hot_core_dominates_the_log() {
+        let uid = CoreUid::new(3, 0, 1);
+        let sim = tiny_sim(50, vec![(uid, library::string_bitflip(9, 1e-4))], 6);
+        let (log, summary) = sim.run();
+        assert!(
+            summary.corruptions > 0,
+            "a 1e-4 vector defect must fire in 6 months"
+        );
+        let counts = log.counts_by_core();
+        let bad = counts.get(&uid).copied().unwrap_or(0);
+        let max_other = counts
+            .iter()
+            .filter(|(c, _)| **c != uid)
+            .map(|(_, &n)| n)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            bad > max_other,
+            "defective core ({bad} signals) should out-signal every healthy core ({max_other})"
+        );
+    }
+
+    #[test]
+    fn symptom_taxonomy_is_populated_in_risk_order_style() {
+        // A busy fleet: every class of the §2 taxonomy occurs, and silent
+        // corruption is a substantial share (that is the whole problem).
+        let cores: Vec<(CoreUid, CoreFaultProfile)> = (0..10)
+            .map(|i| {
+                (
+                    CoreUid::new(i, 0, 0),
+                    CoreFaultProfile::single(
+                        "mix",
+                        if i % 2 == 0 {
+                            mercurial_fault::FunctionalUnit::ScalarAlu
+                        } else {
+                            mercurial_fault::FunctionalUnit::AddressGen
+                        },
+                        Lesion::FlipBit { bit: 5 },
+                        Activation::with_prob(3e-5),
+                    ),
+                )
+            })
+            .collect();
+        let sim = tiny_sim(100, cores, 12);
+        let (_, summary) = sim.run();
+        for class in SymptomClass::ALL {
+            assert!(
+                summary.symptom_count(class) > 0,
+                "class {class} never occurred; counts {:?}",
+                summary.symptom_counts
+            );
+        }
+        assert!(summary.symptom_count(SymptomClass::WrongNeverDetected) > 0);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let uid = CoreUid::new(2, 0, 0);
+        let a = tiny_sim(30, vec![(uid, library::lock_violator(1e-4))], 4).run();
+        let b = tiny_sim(30, vec![(uid, library::lock_violator(1e-4))], 4).run();
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.0.len(), b.0.len());
+    }
+
+    #[test]
+    fn latent_core_is_silent_until_onset() {
+        let uid = CoreUid::new(1, 0, 0);
+        // Onset at ~6 months of a 12-month window.
+        let profile = library::late_onset_muldiv(6.0 * 730.0, 1e-4);
+        let sim = tiny_sim(20, vec![(uid, profile)], 12);
+        let (log, _) = sim.run();
+        let cee_signals: Vec<&Signal> = log.all().iter().filter(|s| s.caused_by_cee).collect();
+        assert!(!cee_signals.is_empty(), "defect must manifest after onset");
+        assert!(
+            cee_signals.iter().all(|s| s.hour >= 6.0 * 730.0),
+            "no CEE signal may precede onset"
+        );
+    }
+
+    #[test]
+    fn user_reports_exist_and_lag_detections() {
+        let uid = CoreUid::new(4, 0, 2);
+        let sim = tiny_sim(50, vec![(uid, library::string_bitflip(4, 1e-4))], 12);
+        let (log, _) = sim.run();
+        let reports: Vec<&Signal> = log
+            .all()
+            .iter()
+            .filter(|s| s.kind == SignalKind::UserReport && s.caused_by_cee)
+            .collect();
+        assert!(
+            !reports.is_empty(),
+            "some detections must escalate to reports"
+        );
+    }
+
+    #[test]
+    fn workload_assignment_is_stable() {
+        let sim = tiny_sim(100, vec![], 1);
+        for m in 0..100 {
+            assert_eq!(sim.workload_of(m).name, sim.workload_of(m).name);
+        }
+        let names: std::collections::HashSet<_> =
+            (0..100).map(|m| sim.workload_of(m).name.clone()).collect();
+        assert!(names.len() >= 3, "expected a real mix, got {names:?}");
+    }
+}

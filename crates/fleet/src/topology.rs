@@ -1,0 +1,218 @@
+//! Fleet topology: machines, sockets, cores, deployment cohorts.
+
+use crate::product::CpuProduct;
+use mercurial_fault::{CoreUid, CounterRng};
+use serde::{Deserialize, Serialize};
+
+/// Static fleet configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of machines.
+    pub machines: u32,
+    /// Sockets per machine.
+    pub sockets_per_machine: u8,
+    /// The product catalog machines are drawn from (weighted).
+    pub products: Vec<CpuProduct>,
+    /// Months over which the fleet was deployed (cohorts spread uniformly;
+    /// 0 means everything deployed at hour 0).
+    pub rollout_months: u32,
+    /// Master seed for population sampling.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A small default fleet: 20,000 machines, 2 sockets, rolled out over
+    /// a year — big enough to show "a few mercurial cores per several
+    /// thousand machines" with real counts, small enough for a laptop.
+    pub fn default_fleet() -> FleetConfig {
+        FleetConfig {
+            machines: 20_000,
+            sockets_per_machine: 2,
+            products: CpuProduct::default_catalog(),
+            rollout_months: 12,
+            seed: 0x5eed,
+        }
+    }
+
+    /// A miniature fleet for unit tests.
+    pub fn tiny(machines: u32, seed: u64) -> FleetConfig {
+        FleetConfig {
+            machines,
+            sockets_per_machine: 1,
+            products: CpuProduct::default_catalog(),
+            rollout_months: 0,
+            seed,
+        }
+    }
+}
+
+/// Resolved per-machine facts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineInfo {
+    /// Machine index.
+    pub machine: u32,
+    /// Index into the product catalog.
+    pub product: usize,
+    /// Hour (from window start) the machine entered service.
+    pub deploy_hour: f64,
+}
+
+/// The materialized fleet: every machine's product and deployment time.
+#[derive(Debug, Clone)]
+pub struct FleetTopology {
+    config: FleetConfig,
+    machines: Vec<MachineInfo>,
+    total_cores: u64,
+}
+
+impl FleetTopology {
+    /// Materializes a topology from configuration (deterministic in the
+    /// seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty or all weights are zero.
+    pub fn build(config: FleetConfig) -> FleetTopology {
+        assert!(!config.products.is_empty(), "need at least one product");
+        let total_weight: f64 = config.products.iter().map(|p| p.fleet_weight).sum();
+        assert!(total_weight > 0.0, "product weights must not all be zero");
+        let mut machines = Vec::with_capacity(config.machines as usize);
+        let mut total_cores = 0u64;
+        for m in 0..config.machines {
+            let mut rng = CounterRng::from_parts(config.seed, m as u64, 0x746f, 0);
+            // Weighted product draw.
+            let mut pick = rng.next_uniform() * total_weight;
+            let mut product = 0;
+            for (i, p) in config.products.iter().enumerate() {
+                if pick < p.fleet_weight {
+                    product = i;
+                    break;
+                }
+                pick -= p.fleet_weight;
+                product = i;
+            }
+            let deploy_hour = if config.rollout_months == 0 {
+                0.0
+            } else {
+                rng.next_uniform() * config.rollout_months as f64 * 730.0
+            };
+            total_cores += config.products[product].cores_per_socket as u64
+                * config.sockets_per_machine as u64;
+            machines.push(MachineInfo {
+                machine: m,
+                product,
+                deploy_hour,
+            });
+        }
+        FleetTopology {
+            config,
+            machines,
+            total_cores,
+        }
+    }
+
+    /// The configuration this topology was built from.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Per-machine facts.
+    pub fn machines(&self) -> &[MachineInfo] {
+        &self.machines
+    }
+
+    /// A machine's product.
+    pub fn product_of(&self, machine: u32) -> &CpuProduct {
+        &self.config.products[self.machines[machine as usize].product]
+    }
+
+    /// Total cores across the fleet.
+    pub fn total_cores(&self) -> u64 {
+        self.total_cores
+    }
+
+    /// Iterates every core UID of a machine.
+    pub fn cores_of(&self, machine: u32) -> impl Iterator<Item = CoreUid> + '_ {
+        let cores = self.product_of(machine).cores_per_socket;
+        let sockets = self.config.sockets_per_machine;
+        (0..sockets).flat_map(move |s| (0..cores).map(move |c| CoreUid::new(machine, s, c)))
+    }
+
+    /// A machine's age in hours at fleet time `hour` (0 if not yet
+    /// deployed).
+    pub fn age_hours(&self, machine: u32, hour: f64) -> f64 {
+        (hour - self.machines[machine as usize].deploy_hour).max(0.0)
+    }
+
+    /// Whether the machine is in service at fleet time `hour`.
+    pub fn is_deployed(&self, machine: u32, hour: f64) -> bool {
+        hour >= self.machines[machine as usize].deploy_hour
+    }
+
+    /// Machines in service at fleet time `hour`.
+    pub fn deployed_count(&self, hour: f64) -> u64 {
+        self.machines
+            .iter()
+            .filter(|m| m.deploy_hour <= hour)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = FleetTopology::build(FleetConfig::tiny(100, 7));
+        let b = FleetTopology::build(FleetConfig::tiny(100, 7));
+        assert_eq!(a.machines(), b.machines());
+        let c = FleetTopology::build(FleetConfig::tiny(100, 8));
+        assert_ne!(a.machines(), c.machines());
+    }
+
+    #[test]
+    fn product_mix_roughly_matches_weights() {
+        let topo = FleetTopology::build(FleetConfig::tiny(10_000, 3));
+        let mut counts = vec![0u32; topo.config().products.len()];
+        for m in topo.machines() {
+            counts[m.product] += 1;
+        }
+        for (i, p) in topo.config().products.iter().enumerate() {
+            let share = counts[i] as f64 / 10_000.0;
+            assert!(
+                (share - p.fleet_weight).abs() < 0.03,
+                "product {i}: share {share} vs weight {}",
+                p.fleet_weight
+            );
+        }
+    }
+
+    #[test]
+    fn cohorts_spread_over_rollout() {
+        let mut cfg = FleetConfig::tiny(1000, 4);
+        cfg.rollout_months = 10;
+        let topo = FleetTopology::build(cfg);
+        let early = topo.deployed_count(730.0); // end of month 1
+        let late = topo.deployed_count(7300.0); // end of month 10
+        assert!(early > 30 && early < 300, "early = {early}");
+        assert_eq!(late, 1000);
+    }
+
+    #[test]
+    fn core_iteration_matches_totals() {
+        let topo = FleetTopology::build(FleetConfig::tiny(50, 5));
+        let counted: u64 = (0..50).map(|m| topo.cores_of(m).count() as u64).sum();
+        assert_eq!(counted, topo.total_cores());
+    }
+
+    #[test]
+    fn age_accounts_for_deployment() {
+        let mut cfg = FleetConfig::tiny(10, 6);
+        cfg.rollout_months = 12;
+        let topo = FleetTopology::build(cfg);
+        let dh = topo.machines()[3].deploy_hour;
+        assert_eq!(topo.age_hours(3, dh - 1.0), 0.0);
+        assert!((topo.age_hours(3, dh + 100.0) - 100.0).abs() < 1e-9);
+    }
+}

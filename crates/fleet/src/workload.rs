@@ -1,0 +1,193 @@
+//! Workload classes: what the fleet's machines actually run.
+//!
+//! §2: corruption rates are "highly dependent on workload"; §1's
+//! motivating incident was a library change that shifted the instruction
+//! mix onto a defective unit. A [`WorkloadClass`] is an instruction-mix
+//! vector — *consequential* operations per core-hour per functional unit —
+//! plus the fraction of corruptions the application's own checks catch
+//! (§6: "many of our applications already checked for SDCs").
+
+use mercurial_fault::FunctionalUnit;
+use serde::{Deserialize, Serialize};
+
+/// One workload class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadClass {
+    /// Name, e.g. "storage-server".
+    pub name: String,
+    /// Consequential operations per core-hour per unit (operations whose
+    /// corruption would change observable application behavior; the vast
+    /// majority of retired instructions are not consequential, which is
+    /// why CEE rates are survivable at all).
+    pub ops_per_hour: [f64; 9],
+    /// Fraction of silent corruptions the application's own end-to-end
+    /// checks detect promptly (checksummed write paths, etc.).
+    pub app_check_coverage: f64,
+    /// Fraction of detected application-level corruptions that escalate to
+    /// a human-filed suspect-core report.
+    pub user_report_rate: f64,
+    /// Fraction of consequential work whose update logic runs at several
+    /// replicas in parallel (§6: dual computations detect CEEs as replica
+    /// divergence, independent of checksums).
+    pub replicated_fraction: f64,
+    /// Representative operand values (drives data-pattern-gated defects).
+    pub operands: Vec<u64>,
+}
+
+impl WorkloadClass {
+    fn ops(pairs: &[(FunctionalUnit, f64)]) -> [f64; 9] {
+        let mut v = [0.0f64; 9];
+        for &(u, r) in pairs {
+            v[u.index()] = r;
+        }
+        v
+    }
+
+    /// A data-analysis pipeline: heavy scalar/vector compute, some crypto,
+    /// strong end-to-end checking (the §1 incident's setting).
+    pub fn data_pipeline() -> WorkloadClass {
+        WorkloadClass {
+            name: "data-pipeline".to_string(),
+            ops_per_hour: WorkloadClass::ops(&[
+                (FunctionalUnit::ScalarAlu, 4e5),
+                (FunctionalUnit::MulDiv, 8e4),
+                (FunctionalUnit::VectorPipe, 6e5),
+                (FunctionalUnit::Fma, 3e5),
+                (FunctionalUnit::LoadStore, 5e5),
+                (FunctionalUnit::Atomics, 2e3),
+                (FunctionalUnit::CryptoUnit, 4e4),
+                (FunctionalUnit::BranchUnit, 3e5),
+                (FunctionalUnit::AddressGen, 5e5),
+            ]),
+            app_check_coverage: 0.5,
+            user_report_rate: 0.15,
+            replicated_fraction: 0.15,
+            operands: vec![
+                0xdead_beef_cafe_f00d,
+                0x0102_0408_1020_4080,
+                u64::MAX,
+                0x00ff_00ff_00ff_00ff,
+            ],
+        }
+    }
+
+    /// A storage server: copy- and CRC-dominated, checksummed write path
+    /// (the Colossus analogue from §6).
+    pub fn storage_server() -> WorkloadClass {
+        WorkloadClass {
+            name: "storage-server".to_string(),
+            ops_per_hour: WorkloadClass::ops(&[
+                (FunctionalUnit::ScalarAlu, 5e5),
+                (FunctionalUnit::MulDiv, 1e4),
+                (FunctionalUnit::VectorPipe, 9e5),
+                (FunctionalUnit::Fma, 1e3),
+                (FunctionalUnit::LoadStore, 9e5),
+                (FunctionalUnit::Atomics, 5e4),
+                (FunctionalUnit::CryptoUnit, 1e5),
+                (FunctionalUnit::BranchUnit, 2e5),
+                (FunctionalUnit::AddressGen, 9e5),
+            ]),
+            app_check_coverage: 0.8,
+            user_report_rate: 0.1,
+            replicated_fraction: 0.25,
+            operands: vec![0xaaaa_aaaa_aaaa_aaaa, 0x5555_5555_5555_5555, 0, u64::MAX],
+        }
+    }
+
+    /// A database: index-heavy scalar work, locking, moderate checking
+    /// (the Spanner analogue; §2's "database index corruption" case).
+    pub fn database() -> WorkloadClass {
+        WorkloadClass {
+            name: "database".to_string(),
+            ops_per_hour: WorkloadClass::ops(&[
+                (FunctionalUnit::ScalarAlu, 8e5),
+                (FunctionalUnit::MulDiv, 5e4),
+                (FunctionalUnit::VectorPipe, 1e5),
+                (FunctionalUnit::Fma, 5e3),
+                (FunctionalUnit::LoadStore, 7e5),
+                (FunctionalUnit::Atomics, 3e5),
+                (FunctionalUnit::CryptoUnit, 2e4),
+                (FunctionalUnit::BranchUnit, 6e5),
+                (FunctionalUnit::AddressGen, 7e5),
+            ]),
+            app_check_coverage: 0.6,
+            user_report_rate: 0.2,
+            replicated_fraction: 0.5,
+            operands: vec![0x0000_0000_ffff_ffff, 0x1111_2222_3333_4444, 7, 0],
+        }
+    }
+
+    /// A crypto-heavy frontend (TLS-style): AES-round dominated.
+    pub fn crypto_frontend() -> WorkloadClass {
+        WorkloadClass {
+            name: "crypto-frontend".to_string(),
+            ops_per_hour: WorkloadClass::ops(&[
+                (FunctionalUnit::ScalarAlu, 3e5),
+                (FunctionalUnit::MulDiv, 2e4),
+                (FunctionalUnit::VectorPipe, 2e5),
+                (FunctionalUnit::Fma, 1e3),
+                (FunctionalUnit::LoadStore, 3e5),
+                (FunctionalUnit::Atomics, 1e4),
+                (FunctionalUnit::CryptoUnit, 8e5),
+                (FunctionalUnit::BranchUnit, 2e5),
+                (FunctionalUnit::AddressGen, 3e5),
+            ]),
+            app_check_coverage: 0.4,
+            user_report_rate: 0.25,
+            replicated_fraction: 0.1,
+            operands: vec![0x243f_6a88_85a3_08d3, 0x1319_8a2e_0370_7344, u64::MAX, 1],
+        }
+    }
+
+    /// The default four-class mix with assignment weights.
+    pub fn default_mix() -> Vec<(WorkloadClass, f64)> {
+        vec![
+            (WorkloadClass::data_pipeline(), 0.3),
+            (WorkloadClass::storage_server(), 0.3),
+            (WorkloadClass::database(), 0.25),
+            (WorkloadClass::crypto_frontend(), 0.15),
+        ]
+    }
+
+    /// Total consequential operations per core-hour.
+    pub fn total_ops_per_hour(&self) -> f64 {
+        self.ops_per_hour.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_have_distinct_shapes() {
+        let storage = WorkloadClass::storage_server();
+        let db = WorkloadClass::database();
+        // Storage is copy-heavy; database is atomics-heavy.
+        assert!(
+            storage.ops_per_hour[FunctionalUnit::VectorPipe.index()]
+                > db.ops_per_hour[FunctionalUnit::VectorPipe.index()]
+        );
+        assert!(
+            db.ops_per_hour[FunctionalUnit::Atomics.index()]
+                > storage.ops_per_hour[FunctionalUnit::Atomics.index()]
+        );
+    }
+
+    #[test]
+    fn mix_weights_sum_to_one() {
+        let total: f64 = WorkloadClass::default_mix().iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_and_report_rates_are_probabilities() {
+        for (w, _) in WorkloadClass::default_mix() {
+            assert!((0.0..=1.0).contains(&w.app_check_coverage), "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.user_report_rate), "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.replicated_fraction), "{}", w.name);
+            assert!(w.total_ops_per_hour() > 0.0);
+            assert!(!w.operands.is_empty());
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Capacity accounting for a pool of no-longer-identical machines.
+//!
+//! §6.1: isolating a core "undermines a scheduler assumption that all
+//! machines of a specific type have identical resources". The ledger
+//! tracks nominal vs. effective core counts per machine so the scheduler
+//! (and the capacity-planning experiments) can reason about how much the
+//! fleet has actually lost to quarantine — and how much a false-positive-
+//! happy detector would cost.
+
+use mercurial_fault::CoreUid;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Aggregate capacity numbers for a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolCapacity {
+    /// Cores the hardware nominally provides.
+    pub nominal_cores: u64,
+    /// Cores currently schedulable.
+    pub effective_cores: u64,
+    /// Cores lost to quarantine/retirement.
+    pub lost_cores: u64,
+    /// Machines whose effective count differs from nominal (the scheduler
+    /// can no longer treat them as identical).
+    pub heterogeneous_machines: u64,
+}
+
+impl PoolCapacity {
+    /// Fraction of nominal capacity still available.
+    pub fn availability(&self) -> f64 {
+        if self.nominal_cores == 0 {
+            return 1.0;
+        }
+        self.effective_cores as f64 / self.nominal_cores as f64
+    }
+}
+
+/// Tracks per-machine nominal and lost cores.
+#[derive(Debug, Clone, Default)]
+pub struct CapacityLedger {
+    nominal: HashMap<u32, u64>,
+    lost: HashMap<u32, HashSet<CoreUid>>,
+}
+
+impl CapacityLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> CapacityLedger {
+        CapacityLedger::default()
+    }
+
+    /// Registers a machine with its nominal core count.
+    pub fn register_machine(&mut self, machine: u32, cores: u64) {
+        self.nominal.insert(machine, cores);
+    }
+
+    /// Records a core as removed from service.
+    ///
+    /// Idempotent: removing the same core twice counts once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine was never registered or the loss would
+    /// exceed its nominal count.
+    pub fn remove_core(&mut self, core: CoreUid) {
+        let nominal = *self
+            .nominal
+            .get(&core.machine)
+            .unwrap_or_else(|| panic!("machine {} not registered", core.machine));
+        let set = self.lost.entry(core.machine).or_default();
+        set.insert(core);
+        assert!(
+            set.len() as u64 <= nominal,
+            "machine {} lost more cores than it has",
+            core.machine
+        );
+    }
+
+    /// Returns a core to service.
+    pub fn restore_core(&mut self, core: CoreUid) {
+        if let Some(set) = self.lost.get_mut(&core.machine) {
+            set.remove(&core);
+        }
+    }
+
+    /// Effective core count of one machine.
+    pub fn effective_of(&self, machine: u32) -> u64 {
+        let nominal = self.nominal.get(&machine).copied().unwrap_or(0);
+        let lost = self.lost.get(&machine).map(|s| s.len() as u64).unwrap_or(0);
+        nominal - lost
+    }
+
+    /// Aggregates the pool.
+    pub fn pool(&self) -> PoolCapacity {
+        let mut cap = PoolCapacity {
+            nominal_cores: 0,
+            effective_cores: 0,
+            lost_cores: 0,
+            heterogeneous_machines: 0,
+        };
+        for (&machine, &nominal) in &self.nominal {
+            let lost = self.lost.get(&machine).map(|s| s.len() as u64).unwrap_or(0);
+            cap.nominal_cores += nominal;
+            cap.effective_cores += nominal - lost;
+            cap.lost_cores += lost;
+            if lost > 0 {
+                cap.heterogeneous_machines += 1;
+            }
+        }
+        cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_aggregates() {
+        let mut ledger = CapacityLedger::new();
+        for m in 0..10 {
+            ledger.register_machine(m, 64);
+        }
+        ledger.remove_core(CoreUid::new(3, 0, 5));
+        ledger.remove_core(CoreUid::new(3, 1, 9));
+        ledger.remove_core(CoreUid::new(7, 0, 0));
+        let pool = ledger.pool();
+        assert_eq!(pool.nominal_cores, 640);
+        assert_eq!(pool.lost_cores, 3);
+        assert_eq!(pool.effective_cores, 637);
+        assert_eq!(pool.heterogeneous_machines, 2);
+        assert!((pool.availability() - 637.0 / 640.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removal_is_idempotent_and_restorable() {
+        let mut ledger = CapacityLedger::new();
+        ledger.register_machine(1, 8);
+        let core = CoreUid::new(1, 0, 2);
+        ledger.remove_core(core);
+        ledger.remove_core(core);
+        assert_eq!(ledger.effective_of(1), 7);
+        ledger.restore_core(core);
+        assert_eq!(ledger.effective_of(1), 8);
+        assert_eq!(ledger.pool().heterogeneous_machines, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_machine_panics() {
+        CapacityLedger::new().remove_core(CoreUid::new(9, 0, 0));
+    }
+
+    #[test]
+    fn empty_pool_is_fully_available() {
+        assert_eq!(CapacityLedger::new().pool().availability(), 1.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Core Surprise Removal.
+//!
+//! §6.1 cites Shalev et al. [23] ("CSR: Core Surprise Removal in Commodity
+//! Operating Systems"): removing a faulty core from a *running* operating
+//! system. This module simulates the OS-side mechanics: a per-core run
+//! queue model, task migration, interrupt rerouting, and the awkward
+//! residue — tasks hard-pinned to the dying core, which can only be
+//! killed.
+
+use mercurial_fault::CoreUid;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A scheduled task in the toy OS model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task id.
+    pub id: u64,
+    /// If set, the task may only run on these cores (hard affinity).
+    pub affinity: Option<BTreeSet<u16>>,
+}
+
+impl Task {
+    /// An unpinned task.
+    pub fn unpinned(id: u64) -> Task {
+        Task { id, affinity: None }
+    }
+
+    /// A task hard-pinned to one core.
+    pub fn pinned(id: u64, core: u16) -> Task {
+        Task {
+            id,
+            affinity: Some([core].into_iter().collect()),
+        }
+    }
+
+    /// Whether the task may run on `core`.
+    pub fn allows(&self, core: u16) -> bool {
+        self.affinity.as_ref().is_none_or(|set| set.contains(&core))
+    }
+}
+
+/// Outcome of one core-surprise-removal operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrOutcome {
+    /// The removed core.
+    pub removed: u16,
+    /// Tasks migrated to other cores: `(task id, destination core)`.
+    pub migrated: Vec<(u64, u16)>,
+    /// Hard-pinned tasks that had to be killed.
+    pub killed: Vec<u64>,
+    /// Interrupt vectors rerouted off the core.
+    pub irqs_rerouted: u32,
+}
+
+/// A machine-level OS model with per-core run queues.
+#[derive(Debug, Clone)]
+pub struct CsrSimulator {
+    machine: u32,
+    socket: u8,
+    queues: BTreeMap<u16, Vec<Task>>,
+    offline: BTreeSet<u16>,
+    irq_homes: BTreeMap<u32, u16>,
+}
+
+impl CsrSimulator {
+    /// Creates a machine with `cores` cores and a default IRQ layout
+    /// (IRQs spread round-robin across cores).
+    pub fn new(machine: u32, socket: u8, cores: u16, irqs: u32) -> CsrSimulator {
+        let queues = (0..cores).map(|c| (c, Vec::new())).collect();
+        let irq_homes = (0..irqs).map(|i| (i, (i % cores as u32) as u16)).collect();
+        CsrSimulator {
+            machine,
+            socket,
+            queues,
+            offline: BTreeSet::new(),
+            irq_homes,
+        }
+    }
+
+    /// Number of online cores.
+    pub fn online_cores(&self) -> usize {
+        self.queues.len() - self.offline.len()
+    }
+
+    /// Enqueues a task on the least-loaded core that satisfies its
+    /// affinity.
+    ///
+    /// Returns the chosen core, or `None` if no online core satisfies the
+    /// affinity.
+    pub fn spawn(&mut self, task: Task) -> Option<u16> {
+        let dest = self
+            .queues
+            .iter()
+            .filter(|(c, _)| !self.offline.contains(c) && task.allows(**c))
+            .min_by_key(|(c, q)| (q.len(), **c))
+            .map(|(&c, _)| c)?;
+        self.queues.get_mut(&dest).expect("dest exists").push(task);
+        Some(dest)
+    }
+
+    /// The run-queue length of a core.
+    pub fn queue_len(&self, core: u16) -> usize {
+        self.queues.get(&core).map(Vec::len).unwrap_or(0)
+    }
+
+    /// The fleet-unique uid of a local core.
+    pub fn uid(&self, core: u16) -> CoreUid {
+        CoreUid::new(self.machine, self.socket, core)
+    }
+
+    /// Performs core surprise removal: fence the core, reroute its IRQs,
+    /// migrate its run queue, kill what cannot move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core does not exist or is already offline.
+    pub fn remove_core(&mut self, core: u16) -> CsrOutcome {
+        assert!(self.queues.contains_key(&core), "no such core {core}");
+        assert!(!self.offline.contains(&core), "core {core} already offline");
+        // Fence first: no new placements land here.
+        self.offline.insert(core);
+
+        // Reroute interrupts whose home was the dying core.
+        let mut irqs_rerouted = 0;
+        let fallback = self
+            .queues
+            .keys()
+            .copied()
+            .find(|c| !self.offline.contains(c));
+        for (_, home) in self.irq_homes.iter_mut() {
+            if *home == core {
+                if let Some(f) = fallback {
+                    *home = f;
+                    irqs_rerouted += 1;
+                }
+            }
+        }
+
+        // Drain the run queue.
+        let orphans = self.queues.insert(core, Vec::new()).expect("core exists");
+        let mut migrated = Vec::new();
+        let mut killed = Vec::new();
+        for task in orphans {
+            let dest = self
+                .queues
+                .iter()
+                .filter(|(c, _)| !self.offline.contains(c) && task.allows(**c))
+                .min_by_key(|(c, q)| (q.len(), **c))
+                .map(|(&c, _)| c);
+            match dest {
+                Some(d) => {
+                    migrated.push((task.id, d));
+                    self.queues.get_mut(&d).expect("dest exists").push(task);
+                }
+                None => killed.push(task.id),
+            }
+        }
+        CsrOutcome {
+            removed: core,
+            migrated,
+            killed,
+            irqs_rerouted,
+        }
+    }
+
+    /// Whether any IRQ is still homed on an offline core (the invariant
+    /// CSR must maintain).
+    pub fn irqs_consistent(&self) -> bool {
+        self.irq_homes
+            .values()
+            .all(|home| !self.offline.contains(home))
+    }
+
+    /// Total queued tasks across online cores.
+    pub fn total_tasks(&self) -> usize {
+        self.queues
+            .iter()
+            .filter(|(c, _)| !self.offline.contains(c))
+            .map(|(_, q)| q.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_balances_load() {
+        let mut os = CsrSimulator::new(0, 0, 4, 8);
+        for i in 0..8 {
+            os.spawn(Task::unpinned(i));
+        }
+        for c in 0..4 {
+            assert_eq!(os.queue_len(c), 2);
+        }
+    }
+
+    #[test]
+    fn removal_migrates_everything_unpinned() {
+        let mut os = CsrSimulator::new(0, 0, 4, 8);
+        for i in 0..12 {
+            os.spawn(Task::unpinned(i));
+        }
+        let before = os.total_tasks();
+        let outcome = os.remove_core(2);
+        assert_eq!(outcome.killed, Vec::<u64>::new());
+        assert_eq!(outcome.migrated.len(), 3);
+        assert_eq!(os.total_tasks(), before, "no tasks lost");
+        assert_eq!(os.queue_len(2), 0);
+        assert_eq!(os.online_cores(), 3);
+    }
+
+    #[test]
+    fn pinned_tasks_are_killed() {
+        let mut os = CsrSimulator::new(0, 0, 2, 4);
+        os.spawn(Task::pinned(100, 1));
+        os.spawn(Task::unpinned(101));
+        let outcome = os.remove_core(1);
+        assert_eq!(outcome.killed, vec![100]);
+    }
+
+    #[test]
+    fn irqs_rerouted_off_the_dying_core() {
+        let mut os = CsrSimulator::new(0, 0, 4, 16);
+        let outcome = os.remove_core(3);
+        assert_eq!(outcome.irqs_rerouted, 4); // 16 irqs / 4 cores
+        assert!(os.irqs_consistent());
+    }
+
+    #[test]
+    fn fenced_core_receives_no_new_work() {
+        let mut os = CsrSimulator::new(0, 0, 2, 2);
+        os.remove_core(0);
+        for i in 0..4 {
+            assert_eq!(os.spawn(Task::unpinned(i)), Some(1));
+        }
+        assert_eq!(os.queue_len(0), 0);
+    }
+
+    #[test]
+    fn task_pinned_to_offline_core_cannot_spawn() {
+        let mut os = CsrSimulator::new(0, 0, 2, 2);
+        os.remove_core(1);
+        assert_eq!(os.spawn(Task::pinned(7, 1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already offline")]
+    fn double_removal_panics() {
+        let mut os = CsrSimulator::new(0, 0, 2, 2);
+        os.remove_core(0);
+        os.remove_core(0);
+    }
+
+    #[test]
+    fn uid_embeds_machine_and_socket() {
+        let os = CsrSimulator::new(7, 1, 4, 4);
+        assert_eq!(os.uid(3), CoreUid::new(7, 1, 3));
+    }
+}

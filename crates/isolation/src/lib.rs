@@ -1,0 +1,32 @@
+//! # mercurial-isolation
+//!
+//! Isolating mercurial cores — §6.1 of *Cores that don't count*:
+//!
+//! > "It is relatively simple for existing scheduling mechanisms to remove
+//! > a machine from the resource pool; isolating a specific core could be
+//! > more challenging, because it undermines a scheduler assumption that
+//! > all machines of a specific type have identical resources."
+//!
+//! * [`quarantine`] — the per-core state machine (healthy → suspect →
+//!   quarantined → confirmed/exonerated → retired/restored), with a full
+//!   audit trail;
+//! * [`csr`] — Core Surprise Removal (Shalev et al. [23]): migrating run
+//!   queues off a live core and fencing it without a reboot;
+//! * [`capacity`] — resource-pool accounting once machines stop being
+//!   identical;
+//! * [`safetask`] — the paper's speculative idea: "one might identify a
+//!   set of tasks that can run safely on a given mercurial core (if these
+//!   tasks avoid a defective execution unit), avoiding the cost of
+//!   stranding those cores" — unit-aware placement with a residual-risk
+//!   audit.
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod csr;
+pub mod quarantine;
+pub mod safetask;
+
+pub use capacity::{CapacityLedger, PoolCapacity};
+pub use csr::{CsrOutcome, CsrSimulator};
+pub use quarantine::{CoreState, QuarantineError, QuarantineRegistry, Transition};
+pub use safetask::{PlacementDecision, SafeTaskPolicy, TaskUnitProfile};

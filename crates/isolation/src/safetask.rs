@@ -1,0 +1,258 @@
+//! Unit-aware "safe task" placement on defective cores.
+//!
+//! §6.1: "More speculatively, one might identify a set of tasks that can
+//! run safely on a given mercurial core (if these tasks avoid a defective
+//! execution unit), avoiding the cost of stranding those cores. It is not
+//! clear, though, if we can reliably identify safe tasks with respect to a
+//! specific defective core."
+//!
+//! Both halves are modeled. The policy places tasks whose *declared* unit
+//! usage avoids the core's known-defective units — and the audit exposes
+//! the paper's caveat: a task's declared usage can be wrong, because the
+//! instruction → unit mapping is non-obvious (a task that "only does
+//! memcpy" is in fact exercising the vector pipe — §5).
+
+use mercurial_fault::FunctionalUnit;
+use serde::{Deserialize, Serialize};
+
+/// A task's functional-unit usage profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskUnitProfile {
+    /// Task class name.
+    pub name: String,
+    /// Units the developer/profiler *declares* the task uses.
+    pub declared: Vec<FunctionalUnit>,
+    /// Whether the task performs bulk copies. Developers rarely think of
+    /// `memcpy` as "vector work", but on this hardware (as on the paper's)
+    /// copies run on the vector pipe.
+    pub does_bulk_copies: bool,
+}
+
+impl TaskUnitProfile {
+    /// Creates a profile.
+    pub fn new(
+        name: impl Into<String>,
+        declared: Vec<FunctionalUnit>,
+        does_bulk_copies: bool,
+    ) -> TaskUnitProfile {
+        TaskUnitProfile {
+            name: name.into(),
+            declared,
+            does_bulk_copies,
+        }
+    }
+
+    /// The units the task *actually* exercises: declared usage plus the
+    /// hidden vector-pipe dependency of bulk copies.
+    pub fn actual_units(&self) -> Vec<FunctionalUnit> {
+        let mut units = self.declared.clone();
+        if self.does_bulk_copies && !units.contains(&FunctionalUnit::VectorPipe) {
+            units.push(FunctionalUnit::VectorPipe);
+        }
+        units.sort_unstable();
+        units.dedup();
+        units
+    }
+}
+
+/// A placement decision for one task on one defective core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlacementDecision {
+    /// The task's declared usage avoids every defective unit: place it.
+    Place {
+        /// The defective units the task avoids.
+        avoided: Vec<FunctionalUnit>,
+    },
+    /// The task's declared usage touches a defective unit: refuse.
+    Refuse {
+        /// The conflicting units.
+        conflicts: Vec<FunctionalUnit>,
+    },
+}
+
+impl PlacementDecision {
+    /// Whether the policy would place the task.
+    pub fn placed(&self) -> bool {
+        matches!(self, PlacementDecision::Place { .. })
+    }
+}
+
+/// Result of auditing a placement against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementAudit {
+    /// Declared and actual usage both avoid the defective units.
+    ActuallySafe,
+    /// The policy placed the task but its *actual* usage touches a
+    /// defective unit — the paper's "not clear we can reliably identify
+    /// safe tasks", realized.
+    HiddenConflict(FunctionalUnit),
+}
+
+/// The unit-aware placement policy.
+#[derive(Debug, Clone, Default)]
+pub struct SafeTaskPolicy;
+
+impl SafeTaskPolicy {
+    /// Decides placement from the task's *declared* profile (all a real
+    /// scheduler has).
+    pub fn evaluate(
+        &self,
+        task: &TaskUnitProfile,
+        defective_units: &[FunctionalUnit],
+    ) -> PlacementDecision {
+        let conflicts: Vec<FunctionalUnit> = task
+            .declared
+            .iter()
+            .copied()
+            .filter(|u| defective_units.contains(u))
+            .collect();
+        if conflicts.is_empty() {
+            PlacementDecision::Place {
+                avoided: defective_units.to_vec(),
+            }
+        } else {
+            PlacementDecision::Refuse { conflicts }
+        }
+    }
+
+    /// Audits a placement against the task's actual unit usage.
+    pub fn audit(
+        &self,
+        task: &TaskUnitProfile,
+        defective_units: &[FunctionalUnit],
+    ) -> PlacementAudit {
+        for unit in task.actual_units() {
+            if defective_units.contains(&unit) {
+                return PlacementAudit::HiddenConflict(unit);
+            }
+        }
+        PlacementAudit::ActuallySafe
+    }
+
+    /// The fraction of stranded capacity a task mix can recover from a
+    /// population of quarantined cores: for each core (given its defective
+    /// units) the share of the task mix that is placeable on it, averaged
+    /// over cores.
+    ///
+    /// `task_mix` pairs each profile with its share of fleet work.
+    pub fn capacity_recovered(
+        &self,
+        task_mix: &[(TaskUnitProfile, f64)],
+        defective_unit_sets: &[Vec<FunctionalUnit>],
+    ) -> f64 {
+        if defective_unit_sets.is_empty() {
+            return 0.0;
+        }
+        let total_weight: f64 = task_mix.iter().map(|(_, w)| w).sum();
+        if total_weight <= 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for defective in defective_unit_sets {
+            let placeable: f64 = task_mix
+                .iter()
+                .filter(|(t, _)| self.evaluate(t, defective).placed())
+                .map(|(_, w)| w)
+                .sum();
+            acc += placeable / total_weight;
+        }
+        acc / defective_unit_sets.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use FunctionalUnit as U;
+
+    fn scalar_task() -> TaskUnitProfile {
+        TaskUnitProfile::new(
+            "scalar-batch",
+            vec![U::ScalarAlu, U::LoadStore, U::BranchUnit, U::AddressGen],
+            false,
+        )
+    }
+
+    #[test]
+    fn scalar_task_placeable_on_crypto_defective_core() {
+        let policy = SafeTaskPolicy;
+        let decision = policy.evaluate(&scalar_task(), &[U::CryptoUnit]);
+        assert!(decision.placed());
+        assert_eq!(
+            policy.audit(&scalar_task(), &[U::CryptoUnit]),
+            PlacementAudit::ActuallySafe
+        );
+    }
+
+    #[test]
+    fn conflicting_task_refused() {
+        let policy = SafeTaskPolicy;
+        let crypto_task = TaskUnitProfile::new("tls", vec![U::CryptoUnit, U::ScalarAlu], false);
+        match policy.evaluate(&crypto_task, &[U::CryptoUnit]) {
+            PlacementDecision::Refuse { conflicts } => {
+                assert_eq!(conflicts, vec![U::CryptoUnit])
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hidden_copy_dependency_defeats_the_policy() {
+        // The paper's caveat: a "scalar" task that does bulk copies is
+        // placed on a vector-pipe-defective core — and the audit catches
+        // the hidden conflict.
+        let policy = SafeTaskPolicy;
+        let sneaky = TaskUnitProfile::new(
+            "log-shipper",
+            vec![U::ScalarAlu, U::LoadStore, U::AddressGen, U::BranchUnit],
+            true, // it memcpys buffers all day
+        );
+        let defective = [U::VectorPipe];
+        assert!(
+            policy.evaluate(&sneaky, &defective).placed(),
+            "the scheduler is fooled"
+        );
+        assert_eq!(
+            policy.audit(&sneaky, &defective),
+            PlacementAudit::HiddenConflict(U::VectorPipe)
+        );
+    }
+
+    #[test]
+    fn capacity_recovery_depends_on_task_mix() {
+        let policy = SafeTaskPolicy;
+        let mix = vec![
+            (scalar_task(), 0.5),
+            (
+                TaskUnitProfile::new("gemm", vec![U::Fma, U::VectorPipe, U::LoadStore], false),
+                0.3,
+            ),
+            (
+                TaskUnitProfile::new("tls", vec![U::CryptoUnit, U::ScalarAlu], false),
+                0.2,
+            ),
+        ];
+        // Cores defective only in crypto strand just the TLS share.
+        let rec = policy.capacity_recovered(&mix, &[vec![U::CryptoUnit]]);
+        assert!((rec - 0.8).abs() < 1e-12);
+        // Cores defective in the scalar ALU strand almost everything.
+        let rec = policy.capacity_recovered(&mix, &[vec![U::ScalarAlu]]);
+        assert!((rec - 0.3).abs() < 1e-12);
+        // Mixed population averages.
+        let rec = policy.capacity_recovered(&mix, &[vec![U::CryptoUnit], vec![U::ScalarAlu]]);
+        assert!((rec - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let policy = SafeTaskPolicy;
+        assert_eq!(policy.capacity_recovered(&[], &[vec![U::Fma]]), 0.0);
+        assert_eq!(policy.capacity_recovered(&[(scalar_task(), 1.0)], &[]), 0.0);
+    }
+
+    #[test]
+    fn actual_units_dedup_and_sort() {
+        let t = TaskUnitProfile::new("x", vec![U::VectorPipe, U::ScalarAlu], true);
+        assert_eq!(t.actual_units(), vec![U::ScalarAlu, U::VectorPipe]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Measurement cost models.
+//!
+//! §4: "Assuming metrics can be defined, quantifying their values in
+//! practice is also difficult and expensive, because it requires running
+//! tests on many machines, potentially for a long time, before one can get
+//! high-confidence results — we don't even know yet how many or how long."
+//! These functions make that tradeoff explicit for the simple (but already
+//! instructive) model of a defect firing i.i.d. per operation.
+
+/// Probability that a defect with per-operation firing rate `rate` is
+/// caught at least once in `ops` test operations.
+pub fn detection_probability(rate: f64, ops: u64) -> f64 {
+    if rate <= 0.0 {
+        return 0.0;
+    }
+    if rate >= 1.0 {
+        return if ops == 0 { 0.0 } else { 1.0 };
+    }
+    1.0 - (1.0 - rate).powf(ops as f64)
+}
+
+/// Test operations needed to catch a defect of rate `rate` with
+/// probability `confidence`.
+///
+/// # Panics
+///
+/// Panics unless `0 < rate <= 1` and `0 < confidence < 1`.
+pub fn ops_for_confidence(rate: f64, confidence: f64) -> u64 {
+    assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    if rate >= 1.0 {
+        return 1;
+    }
+    ((1.0 - confidence).ln() / (1.0 - rate).ln()).ceil() as u64
+}
+
+/// The smallest per-operation rate detectable with `confidence` inside a
+/// budget of `ops` operations — the *sensitivity floor* of a screening
+/// policy. Defects rarer than this are the residual risk the fleet keeps
+/// carrying.
+pub fn sensitivity_floor(ops: u64, confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    if ops == 0 {
+        return 1.0;
+    }
+    1.0 - (1.0 - confidence).powf(1.0 / ops as f64)
+}
+
+/// A sequential screening stopping rule: keep testing until either a
+/// failure is seen (core indicted) or `clean_ops_target` clean operations
+/// accumulate (core exonerated *at this sensitivity*).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialScreen {
+    /// Clean operations required to stop and exonerate.
+    pub clean_ops_target: u64,
+    clean_so_far: u64,
+    failed: bool,
+}
+
+/// Decision state of a [`SequentialScreen`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScreenDecision {
+    /// Keep testing.
+    Continue,
+    /// Defect observed: the core is indicted.
+    Indict,
+    /// Enough clean evidence at the configured sensitivity: stop.
+    Exonerate,
+}
+
+impl SequentialScreen {
+    /// Builds a rule that exonerates after enough clean operations to rule
+    /// out (at `confidence`) any defect with rate >= `min_rate`.
+    pub fn for_sensitivity(min_rate: f64, confidence: f64) -> SequentialScreen {
+        SequentialScreen {
+            clean_ops_target: ops_for_confidence(min_rate, confidence),
+            clean_so_far: 0,
+            failed: false,
+        }
+    }
+
+    /// Feeds a batch of `ops` operations, of which `failures` miscomputed.
+    pub fn observe(&mut self, ops: u64, failures: u64) -> ScreenDecision {
+        if failures > 0 {
+            self.failed = true;
+        }
+        if self.failed {
+            return ScreenDecision::Indict;
+        }
+        self.clean_so_far += ops;
+        if self.clean_so_far >= self.clean_ops_target {
+            ScreenDecision::Exonerate
+        } else {
+            ScreenDecision::Continue
+        }
+    }
+
+    /// Clean operations accumulated so far.
+    pub fn clean_ops(&self) -> u64 {
+        self.clean_so_far
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_probability_shapes() {
+        assert_eq!(detection_probability(0.0, 1_000_000), 0.0);
+        assert_eq!(detection_probability(1.0, 0), 0.0);
+        assert_eq!(detection_probability(1.0, 1), 1.0);
+        let p = detection_probability(1e-6, 1_000_000);
+        assert!((p - 0.632).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn ops_for_confidence_inverts_detection() {
+        for rate in [1e-3, 1e-5, 1e-7] {
+            let ops = ops_for_confidence(rate, 0.99);
+            let p = detection_probability(rate, ops);
+            assert!(p >= 0.99, "rate {rate}: p = {p}");
+            let p_short = detection_probability(rate, ops / 2);
+            assert!(p_short < 0.99);
+        }
+    }
+
+    #[test]
+    fn rare_defects_are_brutally_expensive() {
+        // The §4 lament, quantified: each decade of rarity costs a decade
+        // of test operations.
+        let a = ops_for_confidence(1e-4, 0.95);
+        let b = ops_for_confidence(1e-7, 0.95);
+        let ratio = b as f64 / a as f64;
+        assert!((ratio - 1000.0).abs() / 1000.0 < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn sensitivity_floor_roundtrips() {
+        let ops = 1_000_000;
+        let floor = sensitivity_floor(ops, 0.95);
+        let p = detection_probability(floor, ops);
+        assert!((p - 0.95).abs() < 1e-9);
+        assert_eq!(sensitivity_floor(0, 0.95), 1.0);
+    }
+
+    #[test]
+    fn sequential_screen_exonerates_after_target() {
+        let mut s = SequentialScreen::for_sensitivity(1e-3, 0.99);
+        let target = s.clean_ops_target;
+        assert_eq!(s.observe(target / 2, 0), ScreenDecision::Continue);
+        assert_eq!(s.observe(target, 0), ScreenDecision::Exonerate);
+    }
+
+    #[test]
+    fn sequential_screen_indicts_immediately_and_stays_indicted() {
+        let mut s = SequentialScreen::for_sensitivity(1e-3, 0.99);
+        assert_eq!(s.observe(10, 1), ScreenDecision::Indict);
+        assert_eq!(s.observe(1_000_000_000, 0), ScreenDecision::Indict);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn bad_rate_panics() {
+        ops_for_confidence(0.0, 0.9);
+    }
+}

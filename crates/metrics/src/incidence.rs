@@ -1,0 +1,243 @@
+//! Incidence estimation: "the fraction of cores (or machines) that exhibit
+//! CEEs" (§4).
+//!
+//! The paper's headline number is "on the order of a few mercurial cores
+//! per several thousand machines". Estimating such a small proportion
+//! honestly needs interval estimates (Wilson, Clopper–Pearson) and a
+//! correction for imperfect test coverage — the §4 challenge that the raw
+//! fraction "depends on test coverage … and how many cycles [are] devoted
+//! to testing".
+
+use serde::{Deserialize, Serialize};
+
+/// A point estimate with a confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncidenceEstimate {
+    /// Observed positives.
+    pub positives: u64,
+    /// Trials (cores or machines screened).
+    pub trials: u64,
+    /// Point estimate (positives / trials).
+    pub rate: f64,
+    /// Interval lower bound.
+    pub lo: f64,
+    /// Interval upper bound.
+    pub hi: f64,
+}
+
+impl IncidenceEstimate {
+    /// Incidence per thousand units, the paper's natural reporting scale.
+    pub fn per_thousand(&self) -> f64 {
+        self.rate * 1000.0
+    }
+}
+
+/// The Wilson score interval for a binomial proportion.
+///
+/// `z` is the standard-normal quantile (1.96 for 95%). Well-behaved even
+/// when `positives` is 0 or tiny — exactly the mercurial-core regime.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `positives > trials`.
+pub fn wilson_interval(positives: u64, trials: u64, z: f64) -> IncidenceEstimate {
+    assert!(trials > 0, "need at least one trial");
+    assert!(positives <= trials, "more positives than trials");
+    let n = trials as f64;
+    let p = positives as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    // At the boundaries the exact bounds are 0 and 1; floating-point
+    // cancellation in `center - half` would otherwise leave an epsilon
+    // above zero, violating `lo <= rate` for zero positives.
+    let lo = if positives == 0 { 0.0 } else { (center - half).max(0.0) };
+    let hi = if positives == trials { 1.0 } else { (center + half).min(1.0) };
+    IncidenceEstimate { positives, trials, rate: p, lo, hi }
+}
+
+/// The Clopper–Pearson ("exact") interval at confidence `1 - alpha`,
+/// computed by bisection on the binomial CDF (no special functions
+/// needed at fleet-sized n).
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, `positives > trials`, or `alpha` is not in
+/// (0, 1).
+pub fn clopper_pearson(positives: u64, trials: u64, alpha: f64) -> IncidenceEstimate {
+    assert!(trials > 0, "need at least one trial");
+    assert!(positives <= trials, "more positives than trials");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    let k = positives;
+    let n = trials;
+    let p_hat = k as f64 / n as f64;
+
+    // P[X >= k] under Binomial(n, p), via the complement CDF with each
+    // PMF term evaluated independently in log space (terms that underflow
+    // are individually negligible, so the sum stays accurate).
+    fn tail_ge(k: u64, n: u64, p: f64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if p <= 0.0 {
+            return 0.0;
+        }
+        if p >= 1.0 {
+            return 1.0;
+        }
+        let ln_p = p.ln();
+        let ln_q = (1.0 - p).ln();
+        let mut ln_c = 0.0; // ln C(n, i), built incrementally
+        let mut cdf = 0.0; // P[X <= k-1]
+        for i in 0..k {
+            if i > 0 {
+                ln_c += ((n - i + 1) as f64).ln() - (i as f64).ln();
+            }
+            cdf += (ln_c + i as f64 * ln_p + (n - i) as f64 * ln_q).exp();
+        }
+        (1.0 - cdf).clamp(0.0, 1.0)
+    }
+
+    let bisect = |mut lo: f64, mut hi: f64, f: &dyn Fn(f64) -> f64, target: f64| -> f64 {
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if f(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+
+    // Lower bound: largest p with P[X >= k | p] <= alpha/2 (0 when k = 0).
+    let lo = if k == 0 {
+        0.0
+    } else {
+        bisect(0.0, p_hat.max(1e-12), &|p| tail_ge(k, n, p), alpha / 2.0)
+    };
+    // Upper bound: smallest p with P[X <= k | p] <= alpha/2, i.e.
+    // P[X >= k+1 | p] >= 1 - alpha/2 (1 when k = n).
+    let hi = if k == n {
+        1.0
+    } else {
+        bisect(p_hat, 1.0, &|p| tail_ge(k + 1, n, p), 1.0 - alpha / 2.0)
+    };
+    IncidenceEstimate {
+        positives,
+        trials,
+        rate: p_hat,
+        lo,
+        hi,
+    }
+}
+
+/// Corrects a detected-incidence estimate for imperfect screening
+/// sensitivity: if screening catches a mercurial core with probability
+/// `sensitivity`, the true incidence is roughly `detected / sensitivity`.
+///
+/// This is the §4 point that the raw fraction "depends on test coverage
+/// (especially in the face of 'zero-day' CEEs)".
+///
+/// # Panics
+///
+/// Panics unless `0 < sensitivity <= 1`.
+pub fn coverage_adjusted(estimate: IncidenceEstimate, sensitivity: f64) -> IncidenceEstimate {
+    assert!(
+        sensitivity > 0.0 && sensitivity <= 1.0,
+        "sensitivity must be in (0, 1]"
+    );
+    IncidenceEstimate {
+        rate: (estimate.rate / sensitivity).min(1.0),
+        lo: (estimate.lo / sensitivity).min(1.0),
+        hi: (estimate.hi / sensitivity).min(1.0),
+        ..estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_basic_properties() {
+        let e = wilson_interval(5, 1000, 1.96);
+        assert!((e.rate - 0.005).abs() < 1e-12);
+        assert!(e.lo < e.rate && e.rate < e.hi);
+        assert!(e.lo > 0.0);
+        assert!(e.hi < 0.02);
+    }
+
+    #[test]
+    fn wilson_zero_positives_has_zero_free_lower_bound() {
+        let e = wilson_interval(0, 500, 1.96);
+        assert_eq!(e.rate, 0.0);
+        assert_eq!(e.lo, 0.0);
+        assert!(
+            e.hi > 0.0,
+            "upper bound must acknowledge undetected defects"
+        );
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let small = wilson_interval(5, 1000, 1.96);
+        let large = wilson_interval(50, 10_000, 1.96);
+        assert!(large.hi - large.lo < small.hi - small.lo);
+    }
+
+    #[test]
+    fn clopper_pearson_contains_point_estimate() {
+        let e = clopper_pearson(3, 2000, 0.05);
+        assert!(e.lo < e.rate && e.rate < e.hi);
+        // Known approximate values: 3/2000 with 95% CP is about
+        // [0.00031, 0.0044].
+        assert!((e.lo - 0.00031).abs() < 5e-5, "lo = {}", e.lo);
+        assert!((e.hi - 0.00438).abs() < 5e-4, "hi = {}", e.hi);
+    }
+
+    #[test]
+    fn clopper_pearson_zero_and_full() {
+        let zero = clopper_pearson(0, 100, 0.05);
+        assert_eq!(zero.lo, 0.0);
+        // Rule of three: upper ≈ 3/n.
+        assert!((zero.hi - 0.036).abs() < 0.01, "hi = {}", zero.hi);
+        let full = clopper_pearson(100, 100, 0.05);
+        assert_eq!(full.hi, 1.0);
+        assert!(full.lo > 0.9);
+    }
+
+    #[test]
+    fn cp_is_wider_than_wilson() {
+        let cp = clopper_pearson(4, 5000, 0.05);
+        let w = wilson_interval(4, 5000, 1.96);
+        assert!(cp.hi - cp.lo >= w.hi - w.lo);
+    }
+
+    #[test]
+    fn per_thousand_scale() {
+        let e = wilson_interval(4, 2000, 1.96);
+        assert!((e.per_thousand() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_adjustment_inflates() {
+        let e = wilson_interval(5, 10_000, 1.96);
+        let adj = coverage_adjusted(e, 0.5);
+        assert!((adj.rate - 2.0 * e.rate).abs() < 1e-12);
+        assert!(adj.hi > e.hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "sensitivity")]
+    fn bad_sensitivity_panics() {
+        coverage_adjusted(wilson_interval(1, 10, 1.96), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        wilson_interval(0, 0, 1.96);
+    }
+}

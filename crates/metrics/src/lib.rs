@@ -1,0 +1,39 @@
+//! # mercurial-metrics
+//!
+//! "The right metrics" (§4 of *Cores that don't count*). The paper
+//! struggles to define useful CEE metrics and names three candidates, each
+//! with a challenge; this crate implements estimators for all of them plus
+//! the measurement-cost machinery the section asks for:
+//!
+//! * **"The fraction of cores (or machines) that exhibit CEEs"** —
+//!   [`incidence`]: proportion estimators with Wilson and Clopper–Pearson
+//!   intervals, and coverage-adjusted variants (the paper's challenge:
+//!   the raw fraction "depends on test coverage").
+//! * **"Age until onset"** — [`onset`]: a Kaplan–Meier survival estimator
+//!   over right-censored observations (the challenge: "this metric depends
+//!   on how long you can wait").
+//! * **"Rate and nature of application-visible corruptions"** — [`rates`]:
+//!   log-decade histograms summarizing corruption-rate distributions that
+//!   "vary by many orders of magnitude", and symptom-class tallies.
+//! * **Measurement cost** — [`cost`]: detection probability as a function
+//!   of test cycles, the test budget needed for a target confidence, and a
+//!   sequential stopping rule ("quantifying their values in practice is
+//!   also difficult and expensive"); [`sprt`] adds Wald's sequential
+//!   probability ratio test, the optimal accept/indict rule for a
+//!   per-operation defect.
+//! * [`series`] — normalized time series, the form Figure 1 reports
+//!   ("normalized to an arbitrary baseline").
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod incidence;
+pub mod onset;
+pub mod rates;
+pub mod series;
+pub mod sprt;
+
+pub use incidence::{clopper_pearson, wilson_interval, IncidenceEstimate};
+pub use onset::{KaplanMeier, Observation};
+pub use rates::LogDecadeHistogram;
+pub use series::{MonthlySeries, SeriesPoint};
+pub use sprt::{Sprt, SprtDecision};

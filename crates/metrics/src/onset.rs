@@ -1,0 +1,239 @@
+//! Age-until-onset: Kaplan–Meier survival analysis over censored cores.
+//!
+//! §4: "Age until onset. Challenge: if many CEEs stay latent until chips
+//! have been in use for several years, this metric depends on how long you
+//! can wait, and requires continual screening over a machine's lifetime."
+//! Kaplan–Meier is the standard answer: cores whose defects have not (yet)
+//! manifested are *right-censored* at their current age rather than
+//! discarded.
+
+use serde::{Deserialize, Serialize};
+
+/// One core's contribution to the onset study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Age in hours at which the event (CEE onset) occurred, or at which
+    /// observation stopped.
+    pub age_hours: f64,
+    /// `true` if onset was observed at `age_hours`; `false` if the core
+    /// was still defect-free when observation ended (censored).
+    pub event: bool,
+}
+
+impl Observation {
+    /// An observed onset.
+    pub fn onset(age_hours: f64) -> Observation {
+        Observation {
+            age_hours,
+            event: true,
+        }
+    }
+
+    /// A censored (still healthy / still latent) observation.
+    pub fn censored(age_hours: f64) -> Observation {
+        Observation {
+            age_hours,
+            event: false,
+        }
+    }
+}
+
+/// A step in the estimated survival curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurvivalStep {
+    /// Event age (hours).
+    pub age_hours: f64,
+    /// S(t): probability of remaining onset-free past this age.
+    pub survival: f64,
+    /// Cores still under observation just before this age.
+    pub at_risk: u64,
+    /// Onsets at this age.
+    pub events: u64,
+}
+
+/// The Kaplan–Meier product-limit estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KaplanMeier {
+    steps: Vec<SurvivalStep>,
+    n: usize,
+}
+
+impl KaplanMeier {
+    /// Fits the estimator to a set of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observations` is empty or contains a negative or
+    /// non-finite age.
+    pub fn fit(observations: &[Observation]) -> KaplanMeier {
+        assert!(!observations.is_empty(), "need at least one observation");
+        for o in observations {
+            assert!(
+                o.age_hours.is_finite() && o.age_hours >= 0.0,
+                "ages must be finite and non-negative"
+            );
+        }
+        let mut obs = observations.to_vec();
+        obs.sort_by(|a, b| a.age_hours.partial_cmp(&b.age_hours).expect("finite ages"));
+        let mut steps = Vec::new();
+        let mut survival = 1.0;
+        let mut i = 0;
+        let n = obs.len();
+        let mut at_risk = n as u64;
+        while i < n {
+            let t = obs[i].age_hours;
+            let mut events = 0u64;
+            let mut leaving = 0u64;
+            while i < n && obs[i].age_hours == t {
+                if obs[i].event {
+                    events += 1;
+                }
+                leaving += 1;
+                i += 1;
+            }
+            if events > 0 {
+                survival *= 1.0 - events as f64 / at_risk as f64;
+                steps.push(SurvivalStep {
+                    age_hours: t,
+                    survival,
+                    at_risk,
+                    events,
+                });
+            }
+            at_risk -= leaving;
+        }
+        KaplanMeier { steps, n }
+    }
+
+    /// The survival-curve steps (only ages where onsets occurred).
+    pub fn steps(&self) -> &[SurvivalStep] {
+        &self.steps
+    }
+
+    /// Number of observations the curve was fit to.
+    pub fn sample_size(&self) -> usize {
+        self.n
+    }
+
+    /// S(t): estimated probability of remaining onset-free past age `t`.
+    pub fn survival_at(&self, age_hours: f64) -> f64 {
+        let mut s = 1.0;
+        for step in &self.steps {
+            if step.age_hours <= age_hours {
+                s = step.survival;
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Median onset age, if the curve drops to 0.5 within the observed
+    /// window; `None` means more than half the population outlived the
+    /// study (the paper's "depends on how long you can wait").
+    pub fn median_onset_hours(&self) -> Option<f64> {
+        self.steps
+            .iter()
+            .find(|s| s.survival <= 0.5)
+            .map(|s| s.age_hours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_censoring_matches_empirical_distribution() {
+        // Onsets at 10, 20, 30, 40: survival steps 0.75, 0.5, 0.25, 0.
+        let obs: Vec<Observation> = [10.0, 20.0, 30.0, 40.0]
+            .iter()
+            .map(|&t| Observation::onset(t))
+            .collect();
+        let km = KaplanMeier::fit(&obs);
+        assert!((km.survival_at(15.0) - 0.75).abs() < 1e-12);
+        assert!((km.survival_at(25.0) - 0.5).abs() < 1e-12);
+        assert!((km.survival_at(100.0) - 0.0).abs() < 1e-12);
+        assert_eq!(km.median_onset_hours(), Some(20.0));
+    }
+
+    #[test]
+    fn censoring_keeps_survival_higher() {
+        // Same onsets, but two extra cores still healthy at age 50: the
+        // estimated survival at 25h rises because the risk set is larger.
+        let mut obs: Vec<Observation> = [10.0, 20.0, 30.0, 40.0]
+            .iter()
+            .map(|&t| Observation::onset(t))
+            .collect();
+        obs.push(Observation::censored(50.0));
+        obs.push(Observation::censored(50.0));
+        let km = KaplanMeier::fit(&obs);
+        assert!(km.survival_at(25.0) > 0.5);
+    }
+
+    #[test]
+    fn censored_before_event_shrinks_risk_set() {
+        // A core censored at 15 leaves the risk set before the onset at 20.
+        let obs = vec![
+            Observation::onset(10.0),
+            Observation::censored(15.0),
+            Observation::onset(20.0),
+        ];
+        let km = KaplanMeier::fit(&obs);
+        // After t=10: S = 2/3. After t=20 (risk set is 1): S = 0.
+        assert!((km.survival_at(12.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((km.survival_at(21.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_censored_is_flat_one() {
+        let obs = vec![Observation::censored(100.0); 10];
+        let km = KaplanMeier::fit(&obs);
+        assert_eq!(km.steps().len(), 0);
+        assert_eq!(km.survival_at(1e9), 1.0);
+        assert_eq!(km.median_onset_hours(), None);
+    }
+
+    #[test]
+    fn survival_is_monotone_nonincreasing() {
+        let obs: Vec<Observation> = (0..50)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Observation::censored(i as f64 * 7.0 + 1.0)
+                } else {
+                    Observation::onset(i as f64 * 5.0 + 2.0)
+                }
+            })
+            .collect();
+        let km = KaplanMeier::fit(&obs);
+        let mut prev = 1.0;
+        for step in km.steps() {
+            assert!(step.survival <= prev + 1e-12);
+            prev = step.survival;
+        }
+    }
+
+    #[test]
+    fn tied_event_times_handled() {
+        let obs = vec![
+            Observation::onset(5.0),
+            Observation::onset(5.0),
+            Observation::onset(10.0),
+            Observation::censored(12.0),
+        ];
+        let km = KaplanMeier::fit(&obs);
+        assert!((km.survival_at(5.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_input_panics() {
+        KaplanMeier::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_age_panics() {
+        KaplanMeier::fit(&[Observation::onset(f64::NAN)]);
+    }
+}

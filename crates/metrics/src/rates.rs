@@ -1,0 +1,181 @@
+//! Corruption-rate distributions.
+//!
+//! §2: "Corruption rates vary by many orders of magnitude (given a
+//! particular workload or test) across defective cores". The natural
+//! summary of such a distribution is a histogram over log-decades, plus
+//! order-of-magnitude spread statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over powers of ten.
+///
+/// Bucket `i` covers rates in `[10^(min_decade + i), 10^(min_decade + i + 1))`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogDecadeHistogram {
+    min_decade: i32,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    zeros: u64,
+    samples: Vec<f64>,
+}
+
+impl LogDecadeHistogram {
+    /// Creates a histogram spanning `[10^min_decade, 10^max_decade)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `min_decade < max_decade`.
+    pub fn new(min_decade: i32, max_decade: i32) -> LogDecadeHistogram {
+        assert!(min_decade < max_decade, "empty decade range");
+        LogDecadeHistogram {
+            min_decade,
+            counts: vec![0; (max_decade - min_decade) as usize],
+            underflow: 0,
+            overflow: 0,
+            zeros: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records one rate.
+    ///
+    /// Zero and negative rates land in the `zeros` bucket (a core that
+    /// never corrupted under this workload).
+    pub fn record(&mut self, rate: f64) {
+        if !(rate > 0.0) {
+            self.zeros += 1;
+            return;
+        }
+        self.samples.push(rate);
+        let decade = rate.log10().floor() as i32;
+        if decade < self.min_decade {
+            self.underflow += 1;
+        } else if (decade - self.min_decade) as usize >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[(decade - self.min_decade) as usize] += 1;
+        }
+    }
+
+    /// Bucket counts, lowest decade first.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The decade label of bucket `i` (its lower-edge exponent).
+    pub fn decade_of(&self, i: usize) -> i32 {
+        self.min_decade + i as i32
+    }
+
+    /// Total non-zero rates recorded.
+    pub fn count_nonzero(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Count of zero rates recorded.
+    pub fn count_zero(&self) -> u64 {
+        self.zeros
+    }
+
+    /// The spread between the largest and smallest recorded non-zero rate,
+    /// in decades (the paper's "orders of magnitude").
+    pub fn spread_decades(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for &s in &self.samples {
+            min = min.min(s);
+            max = max.max(s);
+        }
+        (max / min).log10()
+    }
+
+    /// The `q`-quantile (0..=1) of non-zero rates, or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Renders an ASCII row per decade, for experiment reports.
+    pub fn render(&self) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c * 40 / max) as usize);
+            out.push_str(&format!("1e{:<4} | {:>6} {}\n", self.decade_of(i), c, bar));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_decade() {
+        let mut h = LogDecadeHistogram::new(-9, -2);
+        h.record(1e-9);
+        h.record(5e-9);
+        h.record(1e-5);
+        h.record(9.9e-3);
+        assert_eq!(h.counts(), &[2, 0, 0, 0, 1, 0, 1]);
+        assert_eq!(h.decade_of(0), -9);
+    }
+
+    #[test]
+    fn zeros_and_out_of_range() {
+        let mut h = LogDecadeHistogram::new(-6, -3);
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(1e-9); // underflow
+        h.record(0.5); // overflow
+        assert_eq!(h.count_zero(), 2);
+        assert_eq!(h.counts().iter().sum::<u64>(), 0);
+        assert_eq!(h.count_nonzero(), 2);
+    }
+
+    #[test]
+    fn spread_in_decades() {
+        let mut h = LogDecadeHistogram::new(-9, 0);
+        h.record(1e-8);
+        h.record(1e-3);
+        assert!((h.spread_decades() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = LogDecadeHistogram::new(-9, 0);
+        for e in 1..=9 {
+            h.record(10f64.powi(-e));
+        }
+        assert_eq!(h.quantile(0.0), Some(1e-9));
+        assert_eq!(h.quantile(1.0), Some(1e-1));
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 1e-5).abs() < 1e-12);
+        assert_eq!(LogDecadeHistogram::new(-2, 0).quantile(0.5), None);
+    }
+
+    #[test]
+    fn render_has_one_row_per_decade() {
+        let mut h = LogDecadeHistogram::new(-4, -1);
+        h.record(1e-2);
+        let s = h.render();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("1e-2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty decade range")]
+    fn bad_range_panics() {
+        LogDecadeHistogram::new(0, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Normalized time series — the shape of the paper's Figure 1.
+//!
+//! Figure 1 plots "reported CEE rates (normalized)" per machine over time,
+//! one series for user reports and one for the automatic detector, with
+//! rates "normalized to an arbitrary baseline" (the absolute rates are
+//! confidential). [`MonthlySeries`] accumulates events into monthly buckets
+//! and normalizes the same way.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a rendered series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Month index from the start of the observation window.
+    pub month: u32,
+    /// Normalized rate (events per machine, scaled to the baseline).
+    pub value: f64,
+}
+
+/// Events accumulated into monthly buckets over a machine population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonthlySeries {
+    name: String,
+    months: u32,
+    counts: Vec<u64>,
+    machines: u64,
+}
+
+impl MonthlySeries {
+    /// Creates an empty series over `months` buckets and a population of
+    /// `machines`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `months == 0` or `machines == 0`.
+    pub fn new(name: impl Into<String>, months: u32, machines: u64) -> MonthlySeries {
+        assert!(months > 0, "need at least one month");
+        assert!(machines > 0, "need at least one machine");
+        MonthlySeries {
+            name: name.into(),
+            months,
+            counts: vec![0; months as usize],
+            machines,
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of months.
+    pub fn months(&self) -> u32 {
+        self.months
+    }
+
+    /// Records `n` events in the month containing `hour` (hour 0 = start
+    /// of the window; months are 730-hour buckets). Events past the window
+    /// are dropped.
+    pub fn record_at_hour(&mut self, hour: f64, n: u64) {
+        if hour < 0.0 {
+            return;
+        }
+        let month = (hour / 730.0) as u32;
+        if month < self.months {
+            self.counts[month as usize] += n;
+        }
+    }
+
+    /// Records `n` events directly into a month bucket.
+    pub fn record_in_month(&mut self, month: u32, n: u64) {
+        if month < self.months {
+            self.counts[month as usize] += n;
+        }
+    }
+
+    /// Raw monthly counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Events per machine per month (unnormalized rate).
+    pub fn rate_per_machine(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.machines as f64)
+            .collect()
+    }
+
+    /// The series normalized so that `baseline` maps to 1.0 — the paper's
+    /// "normalized to an arbitrary baseline". Pass e.g. the first non-zero
+    /// monthly rate of the reference series.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `baseline` is positive and finite.
+    pub fn normalized(&self, baseline: f64) -> Vec<SeriesPoint> {
+        assert!(
+            baseline > 0.0 && baseline.is_finite(),
+            "baseline must be positive and finite"
+        );
+        self.rate_per_machine()
+            .iter()
+            .enumerate()
+            .map(|(m, &r)| SeriesPoint {
+                month: m as u32,
+                value: r / baseline,
+            })
+            .collect()
+    }
+
+    /// The first non-zero per-machine monthly rate, the conventional
+    /// normalization baseline.
+    pub fn first_nonzero_rate(&self) -> Option<f64> {
+        self.rate_per_machine().into_iter().find(|&r| r > 0.0)
+    }
+
+    /// Least-squares slope of the normalized series (per month). Positive
+    /// means the reported rate is rising — Fig. 1's "gradually increasing".
+    pub fn trend_slope(&self, baseline: f64) -> f64 {
+        let pts = self.normalized(baseline);
+        let n = pts.len() as f64;
+        if pts.len() < 2 {
+            return 0.0;
+        }
+        let mean_x = pts.iter().map(|p| p.month as f64).sum::<f64>() / n;
+        let mean_y = pts.iter().map(|p| p.value).sum::<f64>() / n;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for p in &pts {
+            let dx = p.month as f64 - mean_x;
+            num += dx * (p.value - mean_y);
+            den += dx * dx;
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Renders an ASCII chart of the normalized series.
+    pub fn render(&self, baseline: f64, width: usize) -> String {
+        let pts = self.normalized(baseline);
+        let max = pts
+            .iter()
+            .map(|p| p.value)
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let mut out = format!("{} (normalized, peak = {:.2})\n", self.name, max);
+        for p in &pts {
+            let bar = "█".repeat(((p.value / max) * width as f64).round() as usize);
+            out.push_str(&format!("m{:>3} {:>7.3} |{}\n", p.month, p.value, bar));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hours_land_in_months() {
+        let mut s = MonthlySeries::new("auto", 12, 100);
+        s.record_at_hour(0.0, 1);
+        s.record_at_hour(729.9, 1);
+        s.record_at_hour(730.0, 1);
+        s.record_at_hour(730.0 * 11.5, 2);
+        s.record_at_hour(730.0 * 12.5, 9); // beyond window: dropped
+        assert_eq!(s.counts()[0], 2);
+        assert_eq!(s.counts()[1], 1);
+        assert_eq!(s.counts()[11], 2);
+        assert_eq!(s.counts().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn normalization_maps_baseline_to_one() {
+        let mut s = MonthlySeries::new("user", 3, 1000);
+        s.record_in_month(0, 10);
+        s.record_in_month(1, 20);
+        s.record_in_month(2, 30);
+        let base = s.first_nonzero_rate().unwrap();
+        let pts = s.normalized(base);
+        assert!((pts[0].value - 1.0).abs() < 1e-12);
+        assert!((pts[1].value - 2.0).abs() < 1e-12);
+        assert!((pts[2].value - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trend_slope_detects_increase() {
+        let mut rising = MonthlySeries::new("auto", 10, 100);
+        for m in 0..10 {
+            rising.record_in_month(m, 5 + 2 * m as u64);
+        }
+        let base = rising.first_nonzero_rate().unwrap();
+        assert!(rising.trend_slope(base) > 0.0);
+
+        let mut flat = MonthlySeries::new("user", 10, 100);
+        for m in 0..10 {
+            flat.record_in_month(m, 7);
+        }
+        let base = flat.first_nonzero_rate().unwrap();
+        assert!(flat.trend_slope(base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_row_per_month() {
+        let mut s = MonthlySeries::new("auto", 4, 10);
+        s.record_in_month(2, 5);
+        let chart = s.render(0.1, 20);
+        assert_eq!(chart.lines().count(), 5); // header + 4 months
+    }
+
+    #[test]
+    fn negative_hours_ignored() {
+        let mut s = MonthlySeries::new("x", 2, 1);
+        s.record_at_hour(-5.0, 3);
+        assert_eq!(s.counts().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn zero_baseline_panics() {
+        MonthlySeries::new("x", 2, 1).normalized(0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Wald's sequential probability ratio test for screening decisions.
+//!
+//! §4 asks for "a model for reasoning about acceptable rates of CEEs for
+//! different classes of software, and a model for trading off the
+//! inaccuracies in our measurements of these rates against the costs of
+//! measurement". The SPRT is the optimal such model for a per-operation
+//! Bernoulli defect: it distinguishes
+//!
+//! * H₀ — the core's corruption rate is at most `acceptable_rate` (keep
+//!   it in service), from
+//! * H₁ — the rate is at least `defective_rate` (quarantine it),
+//!
+//! with caller-chosen error probabilities, using on average *fewer test
+//! operations than any fixed-size test* with the same error bounds.
+
+use serde::{Deserialize, Serialize};
+
+/// The test's running decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SprtDecision {
+    /// Evidence is still inconclusive: keep testing.
+    Continue,
+    /// Accept H₀: the core behaves within the acceptable rate.
+    AcceptHealthy,
+    /// Accept H₁: the core is defective at or beyond the defective rate.
+    AcceptDefective,
+}
+
+/// A running sequential probability ratio test over per-operation
+/// pass/fail observations.
+///
+/// # Examples
+///
+/// ```
+/// use mercurial_metrics::sprt::{Sprt, SprtDecision};
+///
+/// // Tolerate 1e-7 per op; call 1e-4 defective; 1% error both ways.
+/// let mut test = Sprt::new(1e-7, 1e-4, 0.01, 0.01);
+/// // A thousand clean operations are not yet conclusive…
+/// assert_eq!(test.observe(1_000, 0), SprtDecision::Continue);
+/// // …but two corrupt results almost immediately are.
+/// assert_eq!(test.observe(1_000, 2), SprtDecision::AcceptDefective);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sprt {
+    acceptable_rate: f64,
+    defective_rate: f64,
+    /// log LR increment per clean operation (negative).
+    step_clean: f64,
+    /// log LR increment per corrupt operation (positive).
+    step_corrupt: f64,
+    /// Lower stopping bound: log(β / (1 − α)).
+    lower: f64,
+    /// Upper stopping bound: log((1 − β) / α).
+    upper: f64,
+    /// Running log likelihood ratio.
+    llr: f64,
+    /// Operations consumed so far.
+    ops: u64,
+}
+
+impl Sprt {
+    /// Builds a test separating `acceptable_rate` from `defective_rate`
+    /// with false-quarantine probability `alpha` and missed-defect
+    /// probability `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < acceptable_rate < defective_rate < 1` and the
+    /// error probabilities are in (0, 1).
+    pub fn new(acceptable_rate: f64, defective_rate: f64, alpha: f64, beta: f64) -> Sprt {
+        assert!(
+            0.0 < acceptable_rate && acceptable_rate < defective_rate && defective_rate < 1.0,
+            "need 0 < acceptable < defective < 1"
+        );
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha in (0, 1)");
+        assert!(beta > 0.0 && beta < 1.0, "beta in (0, 1)");
+        let (p0, p1) = (acceptable_rate, defective_rate);
+        Sprt {
+            acceptable_rate: p0,
+            defective_rate: p1,
+            step_clean: ((1.0 - p1) / (1.0 - p0)).ln(),
+            step_corrupt: (p1 / p0).ln(),
+            lower: (beta / (1.0 - alpha)).ln(),
+            upper: ((1.0 - beta) / alpha).ln(),
+            llr: 0.0,
+            ops: 0,
+        }
+    }
+
+    /// Feeds a batch of `ops` operations of which `failures` miscomputed,
+    /// returning the updated decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failures > ops`.
+    pub fn observe(&mut self, ops: u64, failures: u64) -> SprtDecision {
+        assert!(failures <= ops, "more failures than operations");
+        self.ops += ops;
+        self.llr +=
+            (ops - failures) as f64 * self.step_clean + failures as f64 * self.step_corrupt;
+        self.decision()
+    }
+
+    /// The current decision without new evidence.
+    pub fn decision(&self) -> SprtDecision {
+        if self.llr <= self.lower {
+            SprtDecision::AcceptHealthy
+        } else if self.llr >= self.upper {
+            SprtDecision::AcceptDefective
+        } else {
+            SprtDecision::Continue
+        }
+    }
+
+    /// Operations consumed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The expected number of clean operations needed to exonerate a truly
+    /// healthy core (Wald's approximation for a zero-failure stream).
+    pub fn expected_ops_to_exonerate(&self) -> u64 {
+        (self.lower / self.step_clean).ceil() as u64
+    }
+
+    /// The hypotheses being separated: `(acceptable, defective)`.
+    pub fn rates(&self) -> (f64, f64) {
+        (self.acceptable_rate, self.defective_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn standard() -> Sprt {
+        Sprt::new(1e-7, 1e-4, 0.01, 0.01)
+    }
+
+    #[test]
+    fn clean_stream_eventually_exonerates() {
+        let mut t = standard();
+        let budget = t.expected_ops_to_exonerate();
+        assert_eq!(t.observe(budget + 1, 0), SprtDecision::AcceptHealthy);
+    }
+
+    #[test]
+    fn corrupt_results_indict_quickly() {
+        let mut t = standard();
+        // Two failures carry log(1e-4/1e-7) ≈ 6.9 each; the upper bound is
+        // log(0.99/0.01) ≈ 4.6 — one failure nearly decides, two do.
+        assert_eq!(t.observe(100, 2), SprtDecision::AcceptDefective);
+    }
+
+    #[test]
+    fn sequential_test_is_cheaper_than_fixed_size() {
+        // A fixed-size 95%-confidence test against 1e-4 needs ~30k ops
+        // (see `cost::ops_for_confidence`); the SPRT exonerates a clean
+        // core in far fewer when the acceptable rate is close.
+        let t = Sprt::new(1e-5, 1e-4, 0.05, 0.05);
+        let fixed = crate::cost::ops_for_confidence(1e-4, 0.95);
+        assert!(
+            t.expected_ops_to_exonerate() < fixed * 2,
+            "sequential {} vs fixed {}",
+            t.expected_ops_to_exonerate(),
+            fixed
+        );
+    }
+
+    #[test]
+    fn empirical_error_rates_respect_bounds() {
+        use mercurial_fault_free_rng::uniform;
+        // Simulate many truly-healthy and truly-defective cores; measured
+        // error rates must be near the configured 5%.
+        let alpha = 0.05;
+        let beta = 0.05;
+        let mut false_indict = 0;
+        let mut missed = 0;
+        let trials = 400;
+        for trial in 0..trials {
+            // Healthy core at exactly the acceptable rate.
+            let mut t = Sprt::new(1e-4, 1e-3, alpha, beta);
+            let mut step = 0u64;
+            loop {
+                let fail = uniform(1, trial, step) < 1e-4;
+                match t.observe(1, fail as u64) {
+                    SprtDecision::Continue => step += 1,
+                    SprtDecision::AcceptHealthy => break,
+                    SprtDecision::AcceptDefective => {
+                        false_indict += 1;
+                        break;
+                    }
+                }
+            }
+            // Defective core at exactly the defective rate.
+            let mut t = Sprt::new(1e-4, 1e-3, alpha, beta);
+            let mut step = 0u64;
+            loop {
+                let fail = uniform(2, trial, step) < 1e-3;
+                match t.observe(1, fail as u64) {
+                    SprtDecision::Continue => step += 1,
+                    SprtDecision::AcceptDefective => break,
+                    SprtDecision::AcceptHealthy => {
+                        missed += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        let fi = false_indict as f64 / trials as f64;
+        let ms = missed as f64 / trials as f64;
+        assert!(fi < 2.5 * alpha, "false indictment rate {fi}");
+        assert!(ms < 2.5 * beta, "missed defect rate {ms}");
+    }
+
+    #[test]
+    #[should_panic(expected = "acceptable < defective")]
+    fn inverted_rates_panic() {
+        let _ = Sprt::new(1e-3, 1e-5, 0.05, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "more failures than operations")]
+    fn impossible_batch_panics() {
+        standard().observe(1, 2);
+    }
+
+    /// A tiny deterministic uniform source so this std-only crate needs no
+    /// RNG dependency in tests.
+    mod mercurial_fault_free_rng {
+        pub fn uniform(stream: u64, trial: u64, step: u64) -> f64 {
+            let mut z = stream
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(trial.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+                .wrapping_add(step.wrapping_mul(0x94d0_49bb_1331_11eb));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}

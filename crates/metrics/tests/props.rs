@@ -1,0 +1,103 @@
+//! Property-based tests on the estimators' statistical invariants.
+
+use mercurial_metrics::cost::{detection_probability, ops_for_confidence, sensitivity_floor};
+use mercurial_metrics::incidence::{clopper_pearson, wilson_interval};
+use mercurial_metrics::onset::{KaplanMeier, Observation};
+use mercurial_metrics::rates::LogDecadeHistogram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Wilson intervals always bracket the point estimate within [0, 1].
+    #[test]
+    fn wilson_brackets_estimate(k in 0u64..500, extra in 1u64..10_000) {
+        let n = k + extra;
+        let e = wilson_interval(k, n, 1.96);
+        prop_assert!(0.0 <= e.lo && e.lo <= e.rate);
+        prop_assert!(e.rate <= e.hi && e.hi <= 1.0);
+    }
+
+    /// Clopper–Pearson contains Wilson's point estimate and, away from the
+    /// k = 0 boundary (where the exact one-sided bound can be *narrower*
+    /// than Wilson's normal approximation), is at least as wide.
+    #[test]
+    fn cp_contains_and_dominates_wilson(k in 1u64..50, extra in 1u64..5_000) {
+        let n = k + extra;
+        let cp = clopper_pearson(k, n, 0.05);
+        let w = wilson_interval(k, n, 1.96);
+        prop_assert!(cp.lo <= w.rate && w.rate <= cp.hi);
+        prop_assert!(cp.hi - cp.lo >= (w.hi - w.lo) * 0.99);
+    }
+
+    /// Kaplan–Meier survival curves are monotone non-increasing in [0, 1].
+    #[test]
+    fn km_is_monotone(
+        events in proptest::collection::vec((0.0f64..1e5, any::<bool>()), 1..100),
+    ) {
+        let obs: Vec<Observation> = events
+            .iter()
+            .map(|&(t, e)| Observation { age_hours: t, event: e })
+            .collect();
+        let km = KaplanMeier::fit(&obs);
+        let mut prev = 1.0;
+        for step in km.steps() {
+            prop_assert!(step.survival <= prev + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&step.survival));
+            prev = step.survival;
+        }
+    }
+
+    /// Detection probability is monotone in both rate and budget.
+    #[test]
+    fn detection_probability_monotone(
+        rate_exp in -9.0f64..-1.0,
+        ops in 1u64..1_000_000_000,
+    ) {
+        let rate = 10f64.powf(rate_exp);
+        let p = detection_probability(rate, ops);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(detection_probability(rate * 2.0, ops) >= p - 1e-12);
+        prop_assert!(detection_probability(rate, ops * 2) >= p - 1e-12);
+    }
+
+    /// ops_for_confidence really achieves the confidence, minimally-ish.
+    #[test]
+    fn ops_for_confidence_is_sufficient(
+        rate_exp in -8.0f64..-2.0,
+        conf in 0.5f64..0.999,
+    ) {
+        let rate = 10f64.powf(rate_exp);
+        let ops = ops_for_confidence(rate, conf);
+        prop_assert!(detection_probability(rate, ops) >= conf - 1e-9);
+    }
+
+    /// The sensitivity floor inverts detection probability.
+    #[test]
+    fn sensitivity_floor_roundtrips(ops_exp in 2u32..9, conf in 0.5f64..0.99) {
+        let ops = 10u64.pow(ops_exp);
+        let floor = sensitivity_floor(ops, conf);
+        let p = detection_probability(floor, ops);
+        prop_assert!((p - conf).abs() < 1e-6, "p = {p}, conf = {conf}");
+    }
+
+    /// The log-decade histogram conserves its inputs.
+    #[test]
+    fn histogram_conserves_counts(
+        rates in proptest::collection::vec(prop_oneof![
+            Just(0.0f64),
+            (-9.0f64..0.0).prop_map(|e| 10f64.powf(e)),
+        ], 0..200),
+    ) {
+        let mut h = LogDecadeHistogram::new(-9, 0);
+        for &r in &rates {
+            h.record(r);
+        }
+        let nonzero = rates.iter().filter(|&&r| r > 0.0).count() as u64;
+        let zero = rates.len() as u64 - nonzero;
+        prop_assert_eq!(h.count_zero(), zero);
+        prop_assert_eq!(h.count_nonzero(), nonzero);
+        // Everything non-zero in [1e-9, 1) lands in a bucket.
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), nonzero);
+    }
+}

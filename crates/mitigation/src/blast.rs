@@ -1,0 +1,230 @@
+//! Blast radius: how far one silent corruption propagates.
+//!
+//! §2: "Wrong answers that are not immediately detected have potential
+//! real-world consequences: these can propagate through other (correct)
+//! computations to amplify their effects — for example, bad metadata can
+//! cause the loss of an entire file system, and a corrupted encryption key
+//! can render large amounts of data permanently inaccessible. Errors in
+//! computation due to mercurial cores can therefore compound to
+//! significantly increase the blast radius of the failures they can
+//! cause."
+//!
+//! The model is a layered dataflow DAG: `width` values per level, each
+//! depending on `fanin` values of the previous level. A corruption
+//! injected at one node taints every dependent node — unless it reaches a
+//! **check level** (end-to-end checksum, invariant test, checkpoint
+//! verify), where it is detected and repaired. The experiment in
+//! EXPERIMENTS.md sweeps check spacing and shows the radius shrink.
+
+use serde::{Deserialize, Serialize};
+
+/// The DAG shape and check placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlastModel {
+    /// Number of levels (depth of the pipeline).
+    pub levels: u32,
+    /// Values per level.
+    pub width: u32,
+    /// How many previous-level values each node reads (window centered on
+    /// the node's index, wrapping).
+    pub fanin: u32,
+    /// Every `check_every`-th level verifies its inputs and repairs
+    /// contamination (`None` = no checks anywhere).
+    pub check_every: Option<u32>,
+}
+
+/// What one injected corruption did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlastReport {
+    /// Nodes that carried a corrupted value.
+    pub contaminated_nodes: u64,
+    /// Final-level (sink) values that were corrupted.
+    pub contaminated_sinks: u64,
+    /// Total sinks.
+    pub sinks: u64,
+    /// Whether a check level caught the contamination.
+    pub detected: bool,
+}
+
+impl BlastReport {
+    /// The §2 "blast radius": fraction of final outputs corrupted.
+    pub fn radius(&self) -> f64 {
+        if self.sinks == 0 {
+            return 0.0;
+        }
+        self.contaminated_sinks as f64 / self.sinks as f64
+    }
+}
+
+impl BlastModel {
+    /// A model with no checks: worst-case propagation.
+    pub fn unchecked(levels: u32, width: u32, fanin: u32) -> BlastModel {
+        BlastModel {
+            levels,
+            width,
+            fanin,
+            check_every: None,
+        }
+    }
+
+    /// Whether `level` runs checks before consuming its inputs.
+    fn is_check_level(&self, level: u32) -> bool {
+        match self.check_every {
+            Some(k) if k > 0 => level > 0 && level % k == 0,
+            _ => false,
+        }
+    }
+
+    /// Injects one corruption at `(inject_level, inject_node)` and
+    /// propagates taint through the DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the injection point is out of range or the model is
+    /// degenerate.
+    pub fn run(&self, inject_level: u32, inject_node: u32) -> BlastReport {
+        assert!(
+            self.levels > 0 && self.width > 0 && self.fanin > 0,
+            "degenerate model"
+        );
+        assert!(inject_level < self.levels, "injection level out of range");
+        assert!(inject_node < self.width, "injection node out of range");
+
+        let w = self.width as usize;
+        let mut tainted = vec![false; w];
+        let mut report = BlastReport {
+            sinks: self.width as u64,
+            ..BlastReport::default()
+        };
+
+        for level in 0..self.levels {
+            let mut next = vec![false; w];
+            if level == 0 {
+                // Sources are clean except a level-0 injection.
+            } else {
+                // Check levels scrub their inputs before reading them.
+                if self.is_check_level(level) && tainted.iter().any(|&t| t) {
+                    report.detected = true;
+                    tainted.iter_mut().for_each(|t| *t = false);
+                }
+                for (i, slot) in next.iter_mut().enumerate() {
+                    // Fan-in window centered on i, wrapping.
+                    let half = (self.fanin / 2) as isize;
+                    for d in -half..=(self.fanin as isize - 1 - half) {
+                        let p = (i as isize + d).rem_euclid(w as isize) as usize;
+                        if tainted[p] {
+                            *slot = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if level == inject_level {
+                next[inject_node as usize] = true;
+            }
+            report.contaminated_nodes += next.iter().filter(|&&t| t).count() as u64;
+            tainted = next;
+        }
+        report.contaminated_sinks = tainted.iter().filter(|&&t| t).count() as u64;
+        report
+    }
+
+    /// Mean blast radius over one injection per source-node position at
+    /// level 0.
+    pub fn mean_radius(&self) -> f64 {
+        let total: f64 = (0..self.width).map(|n| self.run(0, n).radius()).sum();
+        total / self.width as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unchecked_corruption_spreads_geometrically() {
+        let model = BlastModel::unchecked(20, 64, 3);
+        let report = model.run(0, 10);
+        // With fan-in 3 the taint widens by ~2 nodes per level; after 20
+        // levels it covers a large share of the 64 sinks.
+        assert!(report.radius() > 0.5, "radius {}", report.radius());
+        assert!(!report.detected);
+        assert!(report.contaminated_nodes > 100);
+    }
+
+    #[test]
+    fn deep_unchecked_pipeline_loses_everything() {
+        // The §2 encryption-key scenario: enough depth and everything
+        // downstream is gone.
+        let model = BlastModel::unchecked(80, 64, 3);
+        assert_eq!(model.run(0, 0).radius(), 1.0);
+    }
+
+    #[test]
+    fn checks_contain_the_blast() {
+        let unchecked = BlastModel::unchecked(40, 64, 3);
+        let checked = BlastModel {
+            check_every: Some(4),
+            ..unchecked
+        };
+        let r_unchecked = unchecked.run(0, 10);
+        let r_checked = checked.run(0, 10);
+        assert!(r_checked.detected);
+        assert_eq!(r_checked.radius(), 0.0, "taint never crosses a check level");
+        assert!(r_unchecked.radius() > 0.9);
+        assert!(r_checked.contaminated_nodes < r_unchecked.contaminated_nodes / 4);
+    }
+
+    #[test]
+    fn tighter_check_spacing_shrinks_contamination() {
+        let loose = BlastModel {
+            check_every: Some(16),
+            ..BlastModel::unchecked(33, 64, 3)
+        };
+        let tight = BlastModel {
+            check_every: Some(2),
+            ..BlastModel::unchecked(33, 64, 3)
+        };
+        let r_loose = loose.run(0, 5);
+        let r_tight = tight.run(0, 5);
+        assert!(r_tight.contaminated_nodes < r_loose.contaminated_nodes);
+        assert!(r_tight.detected && r_loose.detected);
+    }
+
+    #[test]
+    fn late_injection_contaminates_less() {
+        let model = BlastModel::unchecked(20, 64, 3);
+        let early = model.run(0, 0);
+        let late = model.run(18, 0);
+        assert!(late.contaminated_sinks < early.contaminated_sinks);
+        assert!(late.contaminated_sinks >= 1);
+    }
+
+    #[test]
+    fn injection_after_last_check_escapes() {
+        // A corruption injected after the final check level reaches the
+        // sinks undetected — checks only help upstream of them.
+        let model = BlastModel {
+            check_every: Some(10),
+            ..BlastModel::unchecked(25, 32, 3)
+        };
+        let report = model.run(21, 3);
+        assert!(!report.detected);
+        assert!(report.contaminated_sinks > 0);
+    }
+
+    #[test]
+    fn mean_radius_is_position_independent_for_symmetric_dag() {
+        let model = BlastModel::unchecked(10, 32, 3);
+        let r0 = model.run(0, 0).radius();
+        let r7 = model.run(0, 7).radius();
+        assert!((r0 - r7).abs() < 1e-12);
+        assert!((model.mean_radius() - r0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "injection level out of range")]
+    fn bad_injection_panics() {
+        BlastModel::unchecked(5, 5, 3).run(5, 0);
+    }
+}

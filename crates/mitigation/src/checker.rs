@@ -1,0 +1,164 @@
+//! Blum–Kannan program checkers.
+//!
+//! §7: "Blum and Kannan [2] discussed some classes of algorithms for which
+//! efficient checkers exist" — checkers that verify a *result* much more
+//! cheaply than recomputing it, which is exactly the economics CEE
+//! mitigation needs ("cost-effective, application-specific detection
+//! methods, to decide whether to continue past a checkpoint or to retry").
+//!
+//! * [`MultisetDigest`] + [`check_sort`] — O(n) sortedness + permutation
+//!   check for any sorting routine;
+//! * [`check_division`] — O(1) verification of a quotient/remainder pair;
+//! * [`check_gcd`] — O(log) verification of a claimed GCD;
+//! * Freivalds' matrix-product check lives in
+//!   [`mercurial_corpus::matmul::freivalds_check`] and is re-exported.
+
+use mercurial_corpus::hash::fmix64;
+pub use mercurial_corpus::matmul::freivalds_check;
+use serde::{Deserialize, Serialize};
+
+/// An order-insensitive digest of a multiset of `u64`s.
+///
+/// Combines count, wrapping sum, and a XOR of a strong per-element mix —
+/// collisions require simultaneously matching all three, which no
+/// plausible single corruption does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct MultisetDigest {
+    count: u64,
+    sum: u64,
+    mix: u64,
+}
+
+impl MultisetDigest {
+    /// Digest of a slice.
+    pub fn of(data: &[u64]) -> MultisetDigest {
+        let mut d = MultisetDigest::default();
+        for &v in data {
+            d.add(v);
+        }
+        d
+    }
+
+    /// Adds one element.
+    pub fn add(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.mix ^= fmix64(v.wrapping_add(0x9e37_79b9_7f4a_7c15));
+    }
+}
+
+/// Checks a sort: `output` must be non-decreasing and a permutation of
+/// the multiset digested in `input_digest`.
+///
+/// This is the Blum–Kannan sorting checker: O(n), no access to the
+/// original input needed beyond its digest.
+pub fn check_sort(input_digest: MultisetDigest, output: &[u64]) -> bool {
+    if !output.windows(2).all(|w| w[0] <= w[1]) {
+        return false;
+    }
+    MultisetDigest::of(output) == input_digest
+}
+
+/// Checks a division: `a == q*b + r && r < b` (for `b > 0`).
+pub fn check_division(a: u64, b: u64, q: u64, r: u64) -> bool {
+    if b == 0 {
+        return false;
+    }
+    r < b && q.checked_mul(b).and_then(|qb| qb.checked_add(r)) == Some(a)
+}
+
+/// Checks a claimed GCD: `g` divides both, and the cofactors are coprime
+/// (verified with a cheap Euclid run on the much smaller cofactors).
+pub fn check_gcd(a: u64, b: u64, g: u64) -> bool {
+    fn euclid(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    if g == 0 {
+        return a == 0 && b == 0;
+    }
+    if a % g != 0 || b % g != 0 {
+        return false;
+    }
+    euclid(a / g, b / g) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial_corpus::sort::{sort, SortAlgo};
+    use mercurial_fault::CounterRng;
+
+    #[test]
+    fn sort_checker_accepts_honest_sorts() {
+        let rng = CounterRng::new(5);
+        let input: Vec<u64> = (0..500).map(|i| rng.at(i) % 1000).collect();
+        let digest = MultisetDigest::of(&input);
+        for algo in SortAlgo::ALL {
+            let mut v = input.clone();
+            sort(algo, &mut v);
+            assert!(check_sort(digest, &v), "{} rejected", algo.name());
+        }
+    }
+
+    #[test]
+    fn sort_checker_rejects_unsorted_output() {
+        let input = vec![3u64, 1, 2];
+        let digest = MultisetDigest::of(&input);
+        assert!(!check_sort(digest, &[1, 3, 2]));
+    }
+
+    #[test]
+    fn sort_checker_rejects_element_substitution() {
+        // The subtle failure a sortedness-only check misses: output is
+        // sorted but an element was corrupted.
+        let input = vec![5u64, 9, 1, 7];
+        let digest = MultisetDigest::of(&input);
+        assert!(check_sort(digest, &[1, 5, 7, 9]));
+        assert!(!check_sort(digest, &[1, 5, 7, 8])); // 9 became 8
+        assert!(!check_sort(digest, &[1, 5, 7])); // element dropped
+        assert!(!check_sort(digest, &[1, 5, 7, 9, 9])); // element duplicated
+    }
+
+    #[test]
+    fn sort_checker_rejects_swap_preserving_sum() {
+        // Corruptions that preserve count and sum still perturb the mix.
+        let input = vec![10u64, 20];
+        let digest = MultisetDigest::of(&input);
+        assert!(!check_sort(digest, &[11, 19]));
+    }
+
+    #[test]
+    fn division_checker() {
+        assert!(check_division(17, 5, 3, 2));
+        assert!(!check_division(17, 5, 3, 3)); // wrong remainder
+        assert!(!check_division(17, 5, 2, 2)); // wrong quotient
+        assert!(!check_division(17, 5, 3, 7)); // r >= b
+        assert!(!check_division(17, 0, 0, 0)); // division by zero claim
+                                               // Overflow attempts are rejected, not wrapped.
+        assert!(!check_division(5, u64::MAX, u64::MAX, 0));
+    }
+
+    #[test]
+    fn gcd_checker() {
+        assert!(check_gcd(84, 126, 42));
+        assert!(!check_gcd(84, 126, 21)); // divides both but not greatest
+        assert!(!check_gcd(84, 126, 5)); // does not divide
+        assert!(check_gcd(0, 0, 0));
+        assert!(check_gcd(0, 7, 7));
+        assert!(!check_gcd(0, 7, 0));
+    }
+
+    #[test]
+    fn freivalds_reexport_works() {
+        use mercurial_corpus::matmul::{matmul_naive, Matrix};
+        let a = Matrix::random(6, 6, 1);
+        let b = Matrix::random(6, 6, 2);
+        let c = matmul_naive(&a, &b);
+        assert!(freivalds_check(&a, &b, &c, 8, 3));
+    }
+}

@@ -1,0 +1,179 @@
+//! SDC-resilient sorting.
+//!
+//! The paper cites Guan et al. [11] ("Empirical Studies of the Soft Error
+//! Susceptibility Of Sorting Algorithms") as one of the two known
+//! SDC-resilient algorithm classes. The construction: sort, then run the
+//! Blum–Kannan checker (sortedness + permutation digest); on failure,
+//! re-sort *on a different core* from the preserved input and check
+//! again. Because the checker is O(n), the fault-free overhead is a few
+//! percent; the retry cost is paid only when a CEE actually struck.
+
+use crate::checker::{check_sort, MultisetDigest};
+use serde::{Deserialize, Serialize};
+
+/// Sorting failed even after every retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FtSortError {
+    /// Attempts made (including the first).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for FtSortError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sort failed verification on all {} attempts",
+            self.attempts
+        )
+    }
+}
+
+impl std::error::Error for FtSortError {}
+
+/// Work accounting for a fault-tolerant sort.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FtSortStats {
+    /// Sort executions performed.
+    pub sorts: u32,
+    /// Checker passes performed.
+    pub checks: u32,
+    /// Whether any corruption was detected (and masked by retrying).
+    pub corruption_masked: bool,
+}
+
+/// Sorts `data` fault-tolerantly.
+///
+/// `sorter(core, &mut buf)` sorts in place, possibly on a defective core
+/// (`core` increments on each retry, modeling restart-elsewhere). Up to
+/// `max_attempts` attempts are verified with the Blum–Kannan checker.
+///
+/// # Errors
+///
+/// Returns [`FtSortError`] when no attempt verified.
+///
+/// # Panics
+///
+/// Panics if `max_attempts == 0`.
+pub fn ft_sort<F>(
+    data: &mut Vec<u64>,
+    mut sorter: F,
+    max_attempts: u32,
+) -> Result<FtSortStats, FtSortError>
+where
+    F: FnMut(usize, &mut [u64]),
+{
+    assert!(max_attempts > 0, "need at least one attempt");
+    let digest = MultisetDigest::of(data);
+    let original = data.clone();
+    let mut stats = FtSortStats::default();
+    for attempt in 0..max_attempts {
+        if attempt > 0 {
+            data.clone_from(&original);
+            stats.corruption_masked = true;
+        }
+        sorter(attempt as usize, data);
+        stats.sorts += 1;
+        stats.checks += 1;
+        if check_sort(digest, data) {
+            return Ok(stats);
+        }
+    }
+    // Leave the caller with the (restored) original rather than garbage.
+    data.clone_from(&original);
+    Err(FtSortError {
+        attempts: max_attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial_corpus::sort::{sort, SortAlgo};
+    use mercurial_fault::CounterRng;
+
+    fn random_input(n: usize, seed: u64) -> Vec<u64> {
+        let rng = CounterRng::new(seed);
+        (0..n as u64).map(|i| rng.at(i) % 100_000).collect()
+    }
+
+    /// A sorter that corrupts one element when running on core 0, and is
+    /// honest on every other core.
+    fn corrupting_sorter(bad_core: usize) -> impl FnMut(usize, &mut [u64]) {
+        move |core, buf| {
+            sort(SortAlgo::Quick, buf);
+            if core == bad_core && !buf.is_empty() {
+                let mid = buf.len() / 2;
+                buf[mid] ^= 0x40; // silent corruption after sorting
+            }
+        }
+    }
+
+    #[test]
+    fn clean_sort_costs_one_pass() {
+        let mut data = random_input(1000, 1);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let stats = ft_sort(&mut data, |_c, buf| sort(SortAlgo::Merge, buf), 3).unwrap();
+        assert_eq!(data, expect);
+        assert_eq!(stats.sorts, 1);
+        assert!(!stats.corruption_masked);
+    }
+
+    #[test]
+    fn corruption_on_first_core_is_masked_by_retry() {
+        let mut data = random_input(1000, 2);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let stats = ft_sort(&mut data, corrupting_sorter(0), 3).unwrap();
+        assert_eq!(data, expect, "the retry produced the honest answer");
+        assert_eq!(stats.sorts, 2);
+        assert!(stats.corruption_masked);
+    }
+
+    #[test]
+    fn persistent_corruption_reported_and_input_preserved() {
+        let mut data = random_input(100, 3);
+        let original = data.clone();
+        // Every core corrupts.
+        let err = ft_sort(
+            &mut data,
+            |_core, buf| {
+                sort(SortAlgo::Heap, buf);
+                buf[0] = buf[0].wrapping_add(1);
+            },
+            4,
+        )
+        .unwrap_err();
+        assert_eq!(err.attempts, 4);
+        assert_eq!(data, original, "no garbage escapes on failure");
+    }
+
+    #[test]
+    fn detects_corruption_that_keeps_output_sorted() {
+        // Corrupt by *dropping to a duplicate*: output remains sorted, so
+        // only the permutation digest catches it.
+        let mut data = vec![5u64, 3, 9, 1];
+        let stats = ft_sort(
+            &mut data,
+            |core, buf| {
+                sort(SortAlgo::Quick, buf);
+                if core == 0 {
+                    buf[2] = buf[1]; // 5 becomes 3: still sorted
+                }
+            },
+            2,
+        )
+        .unwrap();
+        assert_eq!(data, vec![1, 3, 5, 9]);
+        assert!(stats.corruption_masked);
+    }
+
+    #[test]
+    fn empty_and_single_element_inputs() {
+        let mut empty: Vec<u64> = vec![];
+        assert!(ft_sort(&mut empty, |_c, b| sort(SortAlgo::Quick, b), 1).is_ok());
+        let mut one = vec![7u64];
+        assert!(ft_sort(&mut one, |_c, b| sort(SortAlgo::Quick, b), 1).is_ok());
+        assert_eq!(one, vec![7]);
+    }
+}

@@ -1,0 +1,59 @@
+//! # mercurial-mitigation
+//!
+//! Tolerating CEEs — §7 of *Cores that don't count*: "Although today we
+//! primarily cope with mercurial cores by detecting and isolating them as
+//! rapidly as possible, that does not always avoid application impact …
+//! Can we design software that can tolerate CEEs, without excessive
+//! overheads?"
+//!
+//! Every mitigation the section sketches is implemented:
+//!
+//! * [`redundancy`] — execute-twice-and-compare (DMR, with retry on a
+//!   different pair: "one could run a computation on two cores, and if
+//!   they disagree, restart on a different pair of cores from a
+//!   checkpoint") and triple modular redundancy with majority voting
+//!   (Lyons & Vanderkulk [15]), including the unreliable-voter caveat
+//!   ("this relies on the voting mechanism itself being reliable");
+//! * [`checkpoint`] — "system support for efficient checkpointing, to
+//!   recover from a failed computation by restarting on a different
+//!   core";
+//! * [`selfcheck`] — "libraries with self-checking implementations of
+//!   critical functions, such as encryption and compression, where one
+//!   CEE could have a large blast radius" — including the *cross-
+//!   implementation* check that the self-inverting AES case study (§2)
+//!   shows is necessary;
+//! * [`e2e`] — end-to-end write-path checksums with scrubbing (the
+//!   Colossus/Spanner pattern of §6);
+//! * [`abft`] — algorithm-based fault tolerance for matrix computations
+//!   (checksum-augmented GEMM and LU — the Wu et al. [27] class),
+//!   detecting, locating, and correcting single corruptions;
+//! * [`ftsort`] — SDC-resilient sorting (the Guan et al. [11] class):
+//!   verified sorts with redundant re-execution on disagreement;
+//! * [`checker`] — Blum–Kannan program checkers [2]: sortedness +
+//!   permutation, Freivalds' product check, division and GCD checkers;
+//! * [`blast`] — a corruption-propagation model quantifying "blast
+//!   radius": how one CEE compounds through dependent computations, and
+//!   how check/checkpoint placement contains it.
+#![warn(missing_docs)]
+
+pub mod abft;
+pub mod blast;
+pub mod checker;
+pub mod checkpoint;
+pub mod e2e;
+pub mod ftsort;
+pub mod redundancy;
+pub mod replay;
+pub mod selfcheck;
+
+pub use abft::{AbftError, AbftProduct};
+pub use blast::{BlastModel, BlastReport};
+pub use checkpoint::{CheckpointPolicy, CheckpointStats, Checkpointed, StepError};
+pub use e2e::{ChecksummedStore, ScrubReport, StoreError};
+pub use ftsort::{ft_sort, FtSortError, FtSortStats};
+pub use redundancy::{dmr, tmr, CostMeter, RedundancyError, Voted};
+pub use replay::{temporal_dmr, TemporalOutcome};
+pub use selfcheck::{
+    checked_compress, checked_copy, cross_checked_encrypt, roundtrip_checked_encrypt,
+    SelfCheckError,
+};

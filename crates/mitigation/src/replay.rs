@@ -1,0 +1,212 @@
+//! Temporal redundancy: re-execute on the *same* core and compare.
+//!
+//! The cheapest redundancy of all — no second core, no scheduler change —
+//! and §2 explains exactly when it fails: some CEEs are *deterministic*
+//! ("in just a few cases, we can reproduce the errors deterministically"),
+//! so the same core computes the same wrong answer twice and the compare
+//! passes. Intermittent defects, by contrast, usually fire on only one of
+//! the two runs and are caught.
+//!
+//! This module makes that ablation executable: [`temporal_dmr`] runs a
+//! simulated-core program repeatedly on one core, and the tests (plus
+//! experiment E7) show deterministic lesions evading it while spatial DMR
+//! ([`crate::redundancy::dmr`]) catches both.
+
+use mercurial_simcpu::{Memory, Program, SimCore, Trap};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a temporal-redundancy run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TemporalOutcome {
+    /// All runs agreed on this output.
+    Agreed {
+        /// The agreed output values.
+        output: Vec<u64>,
+        /// Runs performed.
+        runs: u32,
+    },
+    /// Two runs disagreed: a CEE was detected (an intermittent defect).
+    Disagreed {
+        /// The run index that first disagreed with run 0.
+        at_run: u32,
+    },
+    /// A run trapped: loud failure.
+    Trapped(Trap),
+}
+
+impl TemporalOutcome {
+    /// Whether the redundancy scheme reported a problem.
+    pub fn detected(&self) -> bool {
+        !matches!(self, TemporalOutcome::Agreed { .. })
+    }
+}
+
+/// Runs `prog` `runs` times on the same core with a fresh memory image
+/// each time, comparing output buffers.
+///
+/// The core's operation-sequence counter advances across runs, so
+/// probabilistic lesions get independent activation draws per run — the
+/// mechanism that makes temporal redundancy work against intermittent
+/// defects and useless against deterministic ones.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn temporal_dmr(
+    core: &mut SimCore,
+    prog: &Program,
+    init_mem: &[(u64, Vec<u8>)],
+    mem_size: usize,
+    runs: u32,
+) -> TemporalOutcome {
+    assert!(runs > 0, "need at least one run");
+    let mut first: Option<Vec<u64>> = None;
+    for run in 0..runs {
+        core.reset();
+        let mut mem = Memory::new(mem_size);
+        for (addr, bytes) in init_mem {
+            mem.write_bytes(*addr, bytes).expect("image fits");
+        }
+        if let Err(trap) = core.run(prog, &mut mem) {
+            return TemporalOutcome::Trapped(trap);
+        }
+        let out = core.output().to_vec();
+        match &first {
+            None => first = Some(out),
+            Some(expected) if *expected != out => {
+                return TemporalOutcome::Disagreed { at_run: run };
+            }
+            Some(_) => {}
+        }
+    }
+    TemporalOutcome::Agreed {
+        output: first.expect("runs > 0"),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial_fault::{
+        library, Activation, CoreFaultProfile, FunctionalUnit, Injector, Lesion,
+    };
+    use mercurial_simcpu::{assemble, CoreConfig};
+
+    fn program() -> Program {
+        assemble(
+            "li x1, 37
+             li x2, 100
+             loop:
+             mul x3, x1, x1
+             add x1, x3, x2
+             xori x1, x1, 0x55
+             addi x2, x2, -1
+             bnz x2, loop
+             out x1
+             halt",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn healthy_core_agrees_with_itself() {
+        let mut core = SimCore::new(CoreConfig::default(), None);
+        let out = temporal_dmr(&mut core, &program(), &[], 4096, 3);
+        assert!(matches!(out, TemporalOutcome::Agreed { runs: 3, .. }));
+    }
+
+    #[test]
+    fn intermittent_defect_is_caught_by_reexecution() {
+        // A 5%-per-op defect: over a few hundred ops per run, the two runs
+        // essentially never corrupt identically.
+        let profile = CoreFaultProfile::single(
+            "flaky",
+            FunctionalUnit::MulDiv,
+            Lesion::CorruptValue,
+            Activation::with_prob(0.05),
+        );
+        let mut core = SimCore::new(CoreConfig::default(), Some(Injector::new(4, profile)));
+        let out = temporal_dmr(&mut core, &program(), &[], 4096, 3);
+        assert!(
+            out.detected(),
+            "intermittent corruption must show up: {out:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_defect_evades_temporal_redundancy() {
+        // §2's deterministic miscomputations: the same wrong answer every
+        // time. Temporal DMR agrees — on garbage.
+        let profile = CoreFaultProfile::single(
+            "deterministic",
+            FunctionalUnit::MulDiv,
+            Lesion::XorMask { mask: 0x80 },
+            Activation::always(),
+        );
+        let mut bad = SimCore::new(CoreConfig::default(), Some(Injector::new(4, profile)));
+        let out = temporal_dmr(&mut bad, &program(), &[], 4096, 5);
+        let TemporalOutcome::Agreed { output, .. } = &out else {
+            panic!("deterministic lesion must agree with itself: {out:?}");
+        };
+        // And the agreed answer is wrong: spatial comparison against a
+        // healthy core exposes what temporal redundancy cannot.
+        let mut good = SimCore::new(CoreConfig::default(), None);
+        let honest = temporal_dmr(&mut good, &program(), &[], 4096, 1);
+        let TemporalOutcome::Agreed {
+            output: honest_out, ..
+        } = honest
+        else {
+            unreachable!("healthy run agrees");
+        };
+        assert_ne!(*output, honest_out, "agreed-upon garbage");
+    }
+
+    #[test]
+    fn self_inverting_aes_also_evades_temporal_redundancy() {
+        // The flagship deterministic case: always fires, always the same
+        // mask, so every run produces the same wrong ciphertext.
+        let mut core = SimCore::new(
+            CoreConfig::default(),
+            Some(Injector::new(4, library::self_inverting_aes())),
+        );
+        // Exercise the crypto unit via the corpus kernel's program shape:
+        // a single AES round on fixed data.
+        let prog = assemble(
+            "li x1, 0
+             vld v0, x1, 0
+             li x2, 64
+             vld v1, x2, 0
+             aesenc v0, v1
+             vext x3, v0, 0
+             vext x4, v0, 1
+             out x3
+             out x4
+             halt",
+        )
+        .unwrap();
+        let init = vec![(0u64, vec![0x11u8; 16]), (64u64, vec![0x22u8; 16])];
+        let out = temporal_dmr(&mut core, &prog, &init, 4096, 5);
+        assert!(
+            matches!(out, TemporalOutcome::Agreed { .. }),
+            "self-inverting defect agrees with itself: {out:?}"
+        );
+    }
+
+    #[test]
+    fn crash_prone_defect_reports_trap() {
+        let mut core = SimCore::new(
+            CoreConfig::default(),
+            Some(Injector::new(4, library::addressgen_crasher(0.9))),
+        );
+        let prog = assemble(
+            "li x1, 512
+             ld x2, x1, 0
+             out x2
+             halt",
+        )
+        .unwrap();
+        let out = temporal_dmr(&mut core, &prog, &[], 4096, 3);
+        assert!(matches!(out, TemporalOutcome::Trapped(_)));
+    }
+}

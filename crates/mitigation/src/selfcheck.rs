@@ -1,0 +1,256 @@
+//! Self-checking library functions.
+//!
+//! §7: "we have developed a few libraries with self-checking
+//! implementations of critical functions, such as encryption and
+//! compression, where one CEE could have a large blast radius."
+//!
+//! The §2 self-inverting-AES case study dictates the design: a roundtrip
+//! check (encrypt → decrypt → compare) executed on the *same* core passes
+//! even though the ciphertext is garbage, because the defect cancels
+//! itself. The hardened wrapper therefore supports a **second opinion**:
+//! re-running the forward operation through an independent path (another
+//! core, another implementation) and comparing outputs.
+
+use mercurial_corpus::aes::{Aes, KeySize};
+use mercurial_corpus::crc::crc32;
+use mercurial_corpus::lz;
+
+/// A self-check failed: the computation is not trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelfCheckError {
+    /// The inverse operation did not recover the input.
+    RoundtripMismatch,
+    /// Two independent forward computations disagreed.
+    CrossCheckMismatch,
+    /// A checksum over the output did not verify.
+    ChecksumMismatch {
+        /// Expected CRC.
+        expected: u32,
+        /// Observed CRC.
+        got: u32,
+    },
+}
+
+impl std::fmt::Display for SelfCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelfCheckError::RoundtripMismatch => f.write_str("roundtrip self-check failed"),
+            SelfCheckError::CrossCheckMismatch => f.write_str("independent computations disagreed"),
+            SelfCheckError::ChecksumMismatch { expected, got } => {
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, got {got:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelfCheckError {}
+
+/// Encrypts one block with a roundtrip self-check: decrypt the ciphertext
+/// (through `decrypt`, which may be the same or a different execution
+/// path) and compare with the plaintext.
+///
+/// **Caveat from §2**: if `encrypt` and `decrypt` run on the same
+/// defective core with a self-inverting lesion, this check passes while
+/// the ciphertext is wrong. Use [`cross_checked_encrypt`] when that risk
+/// matters.
+///
+/// # Errors
+///
+/// Returns [`SelfCheckError::RoundtripMismatch`] when decryption does not
+/// recover the plaintext.
+pub fn roundtrip_checked_encrypt<E, D>(
+    block: [u8; 16],
+    mut encrypt: E,
+    mut decrypt: D,
+) -> Result<[u8; 16], SelfCheckError>
+where
+    E: FnMut([u8; 16]) -> [u8; 16],
+    D: FnMut([u8; 16]) -> [u8; 16],
+{
+    let ct = encrypt(block);
+    if decrypt(ct) != block {
+        return Err(SelfCheckError::RoundtripMismatch);
+    }
+    Ok(ct)
+}
+
+/// Encrypts one block with a second opinion: the forward operation runs
+/// through two independent paths and the ciphertexts must agree.
+///
+/// This is the check that *does* catch the self-inverting AES defect: the
+/// defective path's ciphertext differs from the independent path's.
+///
+/// # Errors
+///
+/// Returns [`SelfCheckError::CrossCheckMismatch`] on disagreement.
+pub fn cross_checked_encrypt<E1, E2>(
+    block: [u8; 16],
+    mut primary: E1,
+    mut second_opinion: E2,
+) -> Result<[u8; 16], SelfCheckError>
+where
+    E1: FnMut([u8; 16]) -> [u8; 16],
+    E2: FnMut([u8; 16]) -> [u8; 16],
+{
+    let a = primary(block);
+    let b = second_opinion(block);
+    if a != b {
+        return Err(SelfCheckError::CrossCheckMismatch);
+    }
+    Ok(a)
+}
+
+/// A convenience second opinion: the corpus software AES (independent of
+/// whatever accelerated path the caller uses).
+pub fn software_aes_second_opinion(key: [u8; 16]) -> impl FnMut([u8; 16]) -> [u8; 16] {
+    let aes = Aes::new(KeySize::Aes128, &key).expect("16-byte key");
+    move |block| aes.encrypt_block(block)
+}
+
+/// Compresses with a decompress-and-compare self-check, returning the
+/// compressed bytes and their CRC-32 (to be stored alongside, §6-style).
+///
+/// # Errors
+///
+/// Returns [`SelfCheckError::RoundtripMismatch`] if decompression does not
+/// reproduce the input.
+pub fn checked_compress(data: &[u8]) -> Result<(Vec<u8>, u32), SelfCheckError> {
+    let compressed = lz::compress(data);
+    match lz::decompress(&compressed) {
+        Ok(out) if out == data => {
+            let crc = crc32(&compressed);
+            Ok((compressed, crc))
+        }
+        _ => Err(SelfCheckError::RoundtripMismatch),
+    }
+}
+
+/// Copies through a caller-provided copy path and verifies the destination
+/// CRC against the source CRC.
+///
+/// # Errors
+///
+/// Returns [`SelfCheckError::ChecksumMismatch`] when the copy corrupted
+/// data.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn checked_copy<F>(dst: &mut [u8], src: &[u8], mut copy_path: F) -> Result<u32, SelfCheckError>
+where
+    F: FnMut(&mut [u8], &[u8]),
+{
+    assert_eq!(dst.len(), src.len(), "length mismatch");
+    let expected = crc32(src);
+    copy_path(dst, src);
+    let got = crc32(dst);
+    if got != expected {
+        return Err(SelfCheckError::ChecksumMismatch { expected, got });
+    }
+    Ok(got)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial_simcpu::crypto as simaes;
+
+    const KEY: [u8; 16] = *b"mitigation-key-0";
+    const BLOCK: [u8; 16] = *b"a block of data!";
+
+    #[test]
+    fn roundtrip_check_passes_on_healthy_path() {
+        let aes = Aes::new(KeySize::Aes128, &KEY).unwrap();
+        let ct =
+            roundtrip_checked_encrypt(BLOCK, |b| aes.encrypt_block(b), |c| aes.decrypt_block(c))
+                .unwrap();
+        assert_eq!(aes.decrypt_block(ct), BLOCK);
+    }
+
+    #[test]
+    fn roundtrip_check_catches_non_self_inverting_corruption() {
+        let aes = Aes::new(KeySize::Aes128, &KEY).unwrap();
+        // A defective encrypt path whose corruption is NOT mirrored in
+        // decryption: roundtrip catches it.
+        let err = roundtrip_checked_encrypt(
+            BLOCK,
+            |b| {
+                let mut ct = aes.encrypt_block(b);
+                ct[3] ^= 0x20;
+                ct
+            },
+            |c| aes.decrypt_block(c),
+        )
+        .unwrap_err();
+        assert_eq!(err, SelfCheckError::RoundtripMismatch);
+    }
+
+    #[test]
+    fn roundtrip_check_is_fooled_by_self_inverting_defect() {
+        // The §2 case study. Model the defective core: both directions
+        // XOR the same mask into the AES state at the same round — here
+        // applied at the boundary for clarity.
+        let mask = 0x0000_0400_0000_0000_0000_0000_0002_0000u128;
+        let enc = |b: [u8; 16]| {
+            let honest = simaes::aes128_encrypt_block(KEY, b);
+            (u128::from_le_bytes(honest) ^ mask).to_le_bytes()
+        };
+        let dec = |c: [u8; 16]| {
+            let unmasked = (u128::from_le_bytes(c) ^ mask).to_le_bytes();
+            simaes::aes128_decrypt_block(KEY, unmasked)
+        };
+        // The roundtrip passes — and returns corrupt ciphertext!
+        let ct = roundtrip_checked_encrypt(BLOCK, enc, dec).expect("fooled");
+        assert_ne!(ct, simaes::aes128_encrypt_block(KEY, BLOCK));
+    }
+
+    #[test]
+    fn cross_check_catches_the_self_inverting_defect() {
+        let mask = 0x0000_0400_0000_0000_0000_0000_0002_0000u128;
+        let defective = |b: [u8; 16]| {
+            let honest = simaes::aes128_encrypt_block(KEY, b);
+            (u128::from_le_bytes(honest) ^ mask).to_le_bytes()
+        };
+        let err =
+            cross_checked_encrypt(BLOCK, defective, software_aes_second_opinion(KEY)).unwrap_err();
+        assert_eq!(err, SelfCheckError::CrossCheckMismatch);
+    }
+
+    #[test]
+    fn cross_check_passes_when_paths_agree() {
+        let ct = cross_checked_encrypt(
+            BLOCK,
+            |b| simaes::aes128_encrypt_block(KEY, b),
+            software_aes_second_opinion(KEY),
+        )
+        .unwrap();
+        assert_eq!(ct, simaes::aes128_encrypt_block(KEY, BLOCK));
+    }
+
+    #[test]
+    fn checked_compress_roundtrips() {
+        let data = b"compress me compress me compress me".repeat(10);
+        let (compressed, crc) = checked_compress(&data).unwrap();
+        assert_eq!(crc, crc32(&compressed));
+        assert_eq!(lz::decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn checked_copy_detects_stuck_bit_path() {
+        let src: Vec<u8> = (0..64).collect();
+        let mut dst = vec![0u8; 64];
+        // Honest path passes.
+        assert!(checked_copy(&mut dst, &src, |d, s| d.copy_from_slice(s)).is_ok());
+        // A stuck-bit copy path (§2's string bit-flips) is caught.
+        let err = checked_copy(&mut dst, &src, |d, s| {
+            for (dd, &ss) in d.iter_mut().zip(s) {
+                *dd = ss | 0x10;
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, SelfCheckError::ChecksumMismatch { .. }));
+    }
+}

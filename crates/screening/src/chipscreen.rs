@@ -1,0 +1,219 @@
+//! Instruction-accurate screening: run the real corpus kernels on a
+//! simulated chip.
+//!
+//! The fleet-scale screeners in [`crate::screeners`] use the analytic
+//! fault oracle for speed; this module is the ground-level counterpart
+//! that actually executes the `mercurial-corpus` assembly kernels on a
+//! `mercurial-simcpu` core, instruction by instruction. It is what the
+//! case-study experiments (the §2 reproductions) and the quarantine
+//! "more careful checking" step use.
+
+use mercurial_corpus::{sim_corpus, ScreenOutcome, SimKernel};
+use mercurial_fault::FunctionalUnit;
+use mercurial_simcpu::SimCore;
+use serde::{Deserialize, Serialize};
+
+/// Outcomes of one corpus pass over one core.
+#[derive(Debug, Clone)]
+pub struct CoreScreenReport {
+    /// `(kernel name, outcome)` per corpus kernel, in corpus order.
+    pub outcomes: Vec<(&'static str, ScreenOutcome)>,
+}
+
+impl CoreScreenReport {
+    /// Whether any kernel indicted the core.
+    pub fn failed(&self) -> bool {
+        self.outcomes.iter().any(|(_, o)| o.failed())
+    }
+
+    /// Names of the failing kernels.
+    pub fn failing_kernels(&self) -> Vec<&'static str> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| o.failed())
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// A terse one-line summary for logs.
+    pub fn summary(&self) -> String {
+        if !self.failed() {
+            return "PASS (all kernels)".to_string();
+        }
+        format!("FAIL [{}]", self.failing_kernels().join(", "))
+    }
+}
+
+/// Summary counters across a batch of screened cores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChipScreenStats {
+    /// Cores screened.
+    pub cores: u64,
+    /// Cores indicted.
+    pub indicted: u64,
+    /// Total simulated instructions retired by the screens.
+    pub instructions: u64,
+}
+
+/// A reusable corpus-based screen.
+pub struct ChipScreen {
+    kernels: Vec<SimKernel>,
+    repeats: u32,
+}
+
+impl ChipScreen {
+    /// Builds the screen over the full corpus, running each kernel
+    /// `repeats` times (repetition raises the sensitivity floor against
+    /// intermittent defects).
+    pub fn new(repeats: u32) -> ChipScreen {
+        ChipScreen {
+            kernels: sim_corpus(),
+            repeats: repeats.max(1),
+        }
+    }
+
+    /// The corpus kernels in use.
+    pub fn kernels(&self) -> &[SimKernel] {
+        &self.kernels
+    }
+
+    /// The units the corpus covers (all of them, by construction).
+    pub fn covered_units(&self) -> Vec<FunctionalUnit> {
+        let mut units: Vec<FunctionalUnit> = FunctionalUnit::ALL
+            .into_iter()
+            .filter(|&u| self.kernels.iter().any(|k| k.covers(u)))
+            .collect();
+        units.sort_unstable();
+        units
+    }
+
+    /// Screens one core: every kernel, `repeats` times, stopping a
+    /// kernel's repetitions at its first failure.
+    pub fn screen(&self, core: &mut SimCore) -> CoreScreenReport {
+        let mut outcomes = Vec::with_capacity(self.kernels.len());
+        for kernel in &self.kernels {
+            let mut verdict = ScreenOutcome::Pass;
+            for _ in 0..self.repeats {
+                let outcome = kernel.screen_core(core);
+                if outcome.failed() {
+                    verdict = outcome;
+                    break;
+                }
+            }
+            outcomes.push((kernel.name, verdict));
+        }
+        CoreScreenReport { outcomes }
+    }
+
+    /// Screens a batch of cores, accumulating stats.
+    pub fn screen_batch<'a>(
+        &self,
+        cores: impl IntoIterator<Item = &'a mut SimCore>,
+    ) -> (Vec<CoreScreenReport>, ChipScreenStats) {
+        let mut stats = ChipScreenStats::default();
+        let mut reports = Vec::new();
+        for core in cores {
+            let report = self.screen(core);
+            stats.cores += 1;
+            if report.failed() {
+                stats.indicted += 1;
+            }
+            stats.instructions += core.stats().instructions;
+            reports.push(report);
+        }
+        (reports, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial_fault::{library, Injector};
+    use mercurial_simcpu::CoreConfig;
+
+    fn healthy() -> SimCore {
+        SimCore::new(CoreConfig::default(), None)
+    }
+
+    fn mercurial(profile: mercurial_fault::CoreFaultProfile) -> SimCore {
+        SimCore::new(CoreConfig::default(), Some(Injector::new(77, profile)))
+    }
+
+    #[test]
+    fn healthy_core_passes_everything() {
+        let screen = ChipScreen::new(1);
+        let mut core = healthy();
+        let report = screen.screen(&mut core);
+        assert!(!report.failed(), "{}", report.summary());
+        assert_eq!(report.summary(), "PASS (all kernels)");
+    }
+
+    #[test]
+    fn corpus_covers_all_units() {
+        let screen = ChipScreen::new(1);
+        assert_eq!(screen.covered_units(), FunctionalUnit::ALL.to_vec());
+    }
+
+    #[test]
+    fn case_study_profiles_are_indicted_with_attribution() {
+        // Every §2 archetype that fires at nominal conditions must be
+        // caught, and the failing kernels must point at the right units.
+        let screen = ChipScreen::new(3);
+
+        let mut aes = mercurial(library::self_inverting_aes());
+        let report = screen.screen(&mut aes);
+        assert!(
+            report.failing_kernels().contains(&"aes-roundtrip"),
+            "{}",
+            report.summary()
+        );
+
+        let mut vec_copy = mercurial(library::vector_copy_coupled(0.5));
+        let report = screen.screen(&mut vec_copy);
+        let fails = report.failing_kernels();
+        assert!(
+            fails.contains(&"vector-lanes") || fails.contains(&"memcpy-walk"),
+            "{}",
+            report.summary()
+        );
+
+        let mut locks = mercurial(library::lock_violator(0.5));
+        let report = screen.screen(&mut locks);
+        assert!(
+            report.failing_kernels().contains(&"atomics-hammer"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn repeats_raise_sensitivity() {
+        // An intermittent defect (2% per op on the multiplier) can pass a
+        // single run; thirty repeats pin it down.
+        let profile = mercurial_fault::CoreFaultProfile::single(
+            "flaky-mul",
+            FunctionalUnit::MulDiv,
+            mercurial_fault::Lesion::XorMask { mask: 0x40 },
+            mercurial_fault::Activation::with_prob(0.002),
+        );
+        let screen_many = ChipScreen::new(30);
+        let mut core = mercurial(profile);
+        let report = screen_many.screen(&mut core);
+        assert!(report.failed(), "30 repeats should catch a 2e-3 defect");
+    }
+
+    #[test]
+    fn batch_stats_add_up() {
+        let screen = ChipScreen::new(1);
+        let mut cores = vec![
+            healthy(),
+            mercurial(library::string_bitflip(11, 1.0)),
+            healthy(),
+        ];
+        let (reports, stats) = screen.screen_batch(cores.iter_mut());
+        assert_eq!(stats.cores, 3);
+        assert_eq!(stats.indicted, 1);
+        assert_eq!(reports.len(), 3);
+        assert!(stats.instructions > 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The concentration test.
+//!
+//! §6, on the suspect-core report service: "Reports that are evenly spread
+//! across cores probably are not CEEs; reports from multiple applications
+//! that appear to be concentrated on a few cores might well be CEEs, and
+//! become grounds for quarantining those cores."
+//!
+//! Formally: under the null hypothesis that reports hit cores uniformly at
+//! random, each core's count is ~Binomial(N, 1/C) ≈ Poisson(N/C). A core
+//! whose count has a tiny Poisson upper-tail probability (Bonferroni-
+//! corrected across C cores) is *concentrated* and becomes a suspect.
+
+use mercurial_fault::CoreUid;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Parameters for the concentration test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConcentrationConfig {
+    /// Family-wise false-positive budget (after Bonferroni across cores).
+    pub alpha: f64,
+    /// Minimum raw count before a core can be flagged (one report is never
+    /// enough, no matter how small the fleet).
+    pub min_count: u64,
+}
+
+impl Default for ConcentrationConfig {
+    fn default() -> ConcentrationConfig {
+        ConcentrationConfig {
+            alpha: 0.01,
+            min_count: 3,
+        }
+    }
+}
+
+/// Poisson upper tail P[X >= k] for mean `lambda`.
+fn poisson_tail_ge(k: u64, lambda: f64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if lambda <= 0.0 {
+        return 0.0;
+    }
+    // 1 - CDF(k-1), summing the PMF in log space term by term.
+    let mut cdf = 0.0f64;
+    let ln_lambda = lambda.ln();
+    let mut ln_fact = 0.0f64;
+    for i in 0..k {
+        if i > 0 {
+            ln_fact += (i as f64).ln();
+        }
+        cdf += (i as f64 * ln_lambda - lambda - ln_fact).exp();
+    }
+    (1.0 - cdf).clamp(0.0, 1.0)
+}
+
+/// A core flagged by the concentration test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConcentratedCore {
+    /// The core.
+    pub core: CoreUid,
+    /// Its report count.
+    pub count: u64,
+    /// The Bonferroni-corrected p-value of that count under uniformity.
+    pub p_value: f64,
+}
+
+/// Runs the concentration test over per-core report counts.
+///
+/// `total_cores` is the number of cores reports *could* have named (the
+/// uniform null's denominator); it must be at least the number of distinct
+/// cores observed. Returns flagged cores, most extreme first.
+///
+/// # Panics
+///
+/// Panics if `total_cores == 0`.
+pub fn concentration_suspects(
+    counts: &HashMap<CoreUid, u64>,
+    total_cores: u64,
+    config: ConcentrationConfig,
+) -> Vec<ConcentratedCore> {
+    assert!(total_cores > 0, "need a non-empty core universe");
+    let total_reports: u64 = counts.values().sum();
+    if total_reports == 0 {
+        return Vec::new();
+    }
+    let lambda = total_reports as f64 / total_cores as f64;
+    let mut flagged: Vec<ConcentratedCore> = counts
+        .iter()
+        .filter(|(_, &c)| c >= config.min_count)
+        .filter_map(|(&core, &count)| {
+            let p = poisson_tail_ge(count, lambda) * total_cores as f64; // Bonferroni
+            if p < config.alpha {
+                Some(ConcentratedCore {
+                    core,
+                    count,
+                    p_value: p,
+                })
+            } else {
+                None
+            }
+        })
+        .collect();
+    flagged.sort_by(|a, b| {
+        // Extreme tails underflow to exactly zero; break those ties by raw
+        // count so the most-reported core still sorts first.
+        a.p_value
+            .partial_cmp(&b.p_value)
+            .expect("p-values are finite")
+            .then(b.count.cmp(&a.count))
+            .then(a.core.cmp(&b.core))
+    });
+    flagged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(i: u32) -> CoreUid {
+        CoreUid::new(i, 0, 0)
+    }
+
+    #[test]
+    fn poisson_tail_sanity() {
+        assert_eq!(poisson_tail_ge(0, 5.0), 1.0);
+        assert!((poisson_tail_ge(1, 1.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!(poisson_tail_ge(20, 1.0) < 1e-12);
+        assert!(poisson_tail_ge(5, 5.0) > 0.3);
+    }
+
+    #[test]
+    fn evenly_spread_reports_are_not_flagged() {
+        // 1000 cores, one report each: perfectly uniform.
+        let mut counts = HashMap::new();
+        for i in 0..1000 {
+            counts.insert(core(i), 1u64);
+        }
+        let flagged = concentration_suspects(&counts, 100_000, ConcentrationConfig::default());
+        assert!(flagged.is_empty());
+    }
+
+    #[test]
+    fn concentrated_reports_are_flagged() {
+        // Background: 200 cores with 1 report; one core with 15.
+        let mut counts = HashMap::new();
+        for i in 0..200 {
+            counts.insert(core(i), 1u64);
+        }
+        counts.insert(core(999), 15);
+        let flagged = concentration_suspects(&counts, 100_000, ConcentrationConfig::default());
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].core, core(999));
+        assert!(flagged[0].p_value < 0.01);
+    }
+
+    #[test]
+    fn min_count_gate_applies() {
+        // In a tiny fleet two reports on one core may look extreme, but the
+        // min-count gate holds the line.
+        let mut counts = HashMap::new();
+        counts.insert(core(1), 2u64);
+        let flagged = concentration_suspects(&counts, 1_000_000, ConcentrationConfig::default());
+        assert!(flagged.is_empty());
+    }
+
+    #[test]
+    fn flagged_sorted_by_extremity() {
+        let mut counts = HashMap::new();
+        for i in 0..100 {
+            counts.insert(core(i), 1u64);
+        }
+        counts.insert(core(500), 8);
+        counts.insert(core(501), 20);
+        let flagged = concentration_suspects(&counts, 50_000, ConcentrationConfig::default());
+        assert_eq!(flagged.len(), 2);
+        assert_eq!(flagged[0].core, core(501));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let counts = HashMap::new();
+        assert!(concentration_suspects(&counts, 1000, ConcentrationConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,278 @@
+//! Forensics: pinpointing *where* a suspect core diverges.
+//!
+//! §9: "One way in which the systems research community can contribute is
+//! to develop methods to detect novel defect modes, and to efficiently
+//! record sufficient forensic evidence across large fleets." And §6:
+//! triage humans "extract confessions via further testing (often after
+//! first developing a new automatable test)".
+//!
+//! [`DivergenceFinder`] runs the same program in lockstep on a suspect
+//! core and a reference core, comparing architectural effects after every
+//! instruction. The first divergence names the program counter, the
+//! instruction, and the functional unit — which is precisely the evidence
+//! a human needs to write the "new automatable test" for this defect
+//! class, and as much attribution as software can extract without the
+//! vendor's internal scan chains (§2: "we cannot infer much about root
+//! causes").
+
+use mercurial_fault::FunctionalUnit;
+use mercurial_simcpu::disasm::render_inst;
+use mercurial_simcpu::unitmap::unit_of;
+use mercurial_simcpu::{Inst, Memory, Program, SimCore, StepOutcome, Trap};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a lockstep comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Divergence {
+    /// Both cores executed identically to completion.
+    None,
+    /// The suspect's architectural state first differed after this
+    /// instruction.
+    At {
+        /// Program counter of the divergent instruction.
+        pc: u32,
+        /// Retired-instruction index (the how-many-th instruction).
+        step: u64,
+        /// The functional unit the divergent instruction used — the
+        /// evidence that localizes the defect.
+        unit: FunctionalUnit,
+        /// Human-readable rendering of the instruction.
+        inst: String,
+    },
+    /// The suspect trapped where the reference did not.
+    SuspectTrapped {
+        /// The trap.
+        trap: Trap,
+        /// Retired-instruction index at the trap.
+        step: u64,
+    },
+    /// The reference trapped (the program itself is bad) — no verdict.
+    ReferenceTrapped(Trap),
+}
+
+impl Divergence {
+    /// Whether the comparison indicts the suspect.
+    pub fn indicts(&self) -> bool {
+        matches!(
+            self,
+            Divergence::At { .. } | Divergence::SuspectTrapped { .. }
+        )
+    }
+
+    /// The implicated unit, if the divergence names one.
+    pub fn implicated_unit(&self) -> Option<FunctionalUnit> {
+        match self {
+            Divergence::At { unit, .. } => Some(*unit),
+            _ => None,
+        }
+    }
+}
+
+/// Runs suspect and reference in lockstep over private memories.
+pub struct DivergenceFinder {
+    /// Maximum instructions before giving up (defends against corrupted
+    /// branches manufacturing infinite loops).
+    pub max_steps: u64,
+    /// Memory size for each side.
+    pub mem_size: usize,
+}
+
+impl Default for DivergenceFinder {
+    fn default() -> DivergenceFinder {
+        DivergenceFinder {
+            max_steps: 2_000_000,
+            mem_size: 1 << 16,
+        }
+    }
+}
+
+impl DivergenceFinder {
+    /// Compares `suspect` against `reference` on `prog`, with `init_mem`
+    /// staged into both memories.
+    ///
+    /// Both cores are reset first. State comparison covers the register
+    /// files and output buffers after every retired instruction; memory is
+    /// compared lazily through the registers that loaded from it (a store
+    /// divergence surfaces at the next dependent load or output).
+    pub fn compare(
+        &self,
+        suspect: &mut SimCore,
+        reference: &mut SimCore,
+        prog: &Program,
+        init_mem: &[(u64, Vec<u8>)],
+    ) -> Divergence {
+        suspect.reset();
+        reference.reset();
+        let mut mem_s = Memory::new(self.mem_size);
+        let mut mem_r = Memory::new(self.mem_size);
+        for (addr, bytes) in init_mem {
+            mem_s.write_bytes(*addr, bytes).expect("image fits");
+            mem_r.write_bytes(*addr, bytes).expect("image fits");
+        }
+        for step in 0..self.max_steps {
+            // Fetch what the *reference* is about to execute (the suspect
+            // may have diverged in control flow, which the state compare
+            // below catches via registers/outputs).
+            let ref_pc = reference.pc();
+            let inst = prog.insts.get(ref_pc as usize).copied();
+            let r = match reference.step(prog, &mut mem_r) {
+                Ok(o) => o,
+                Err(t) => return Divergence::ReferenceTrapped(t),
+            };
+            let s = match suspect.step(prog, &mut mem_s) {
+                Ok(o) => o,
+                Err(trap) => return Divergence::SuspectTrapped { trap, step },
+            };
+            if !states_agree(suspect, reference) {
+                let inst = inst.unwrap_or(Inst::Nop);
+                return Divergence::At {
+                    pc: ref_pc,
+                    step,
+                    unit: unit_of(&inst),
+                    inst: render_inst(&inst),
+                };
+            }
+            match (s, r) {
+                (StepOutcome::Halted, StepOutcome::Halted) => return Divergence::None,
+                (StepOutcome::Halted, _) | (_, StepOutcome::Halted) => {
+                    let inst = inst.unwrap_or(Inst::Nop);
+                    return Divergence::At {
+                        pc: ref_pc,
+                        step,
+                        unit: unit_of(&inst),
+                        inst: render_inst(&inst),
+                    };
+                }
+                _ => {}
+            }
+        }
+        Divergence::None
+    }
+}
+
+fn states_agree(a: &SimCore, b: &SimCore) -> bool {
+    if a.pc() != b.pc() || a.output() != b.output() {
+        return false;
+    }
+    (0..16).all(|i| a.reg(mercurial_simcpu::Reg(i)) == b.reg(mercurial_simcpu::Reg(i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial_fault::{library, Injector};
+    use mercurial_simcpu::{assemble, CoreConfig};
+
+    fn suspect(profile: mercurial_fault::CoreFaultProfile) -> SimCore {
+        SimCore::new(CoreConfig::default(), Some(Injector::new(3, profile)))
+    }
+
+    fn reference() -> SimCore {
+        SimCore::new(CoreConfig::default(), None)
+    }
+
+    #[test]
+    fn identical_cores_never_diverge() {
+        let prog = assemble(
+            "li x1, 100
+             loop:
+             addi x1, x1, -1
+             mul x2, x1, x1
+             bnz x1, loop
+             out x2
+             halt",
+        )
+        .unwrap();
+        let finder = DivergenceFinder::default();
+        let mut a = reference();
+        let mut b = reference();
+        assert_eq!(finder.compare(&mut a, &mut b, &prog, &[]), Divergence::None);
+    }
+
+    #[test]
+    fn divergence_names_the_defective_unit() {
+        // A hot multiplier defect: the first divergent instruction must be
+        // a MulDiv instruction.
+        let prog = assemble(
+            "li x1, 7
+             li x2, 9
+             add x3, x1, x2
+             mul x4, x1, x2
+             out x4
+             halt",
+        )
+        .unwrap();
+        let finder = DivergenceFinder::default();
+        let mut bad = suspect(library::late_onset_muldiv(0.0, 1.0));
+        let mut good = reference();
+        let d = finder.compare(&mut bad, &mut good, &prog, &[]);
+        assert!(d.indicts());
+        assert_eq!(d.implicated_unit(), Some(FunctionalUnit::MulDiv));
+        match d {
+            Divergence::At { pc, .. } => assert_eq!(pc, 3, "the mul at pc 3"),
+            other => panic!("expected At, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crashy_defect_reports_suspect_trap() {
+        let prog = assemble(
+            "li x1, 512
+             ld x2, x1, 0
+             out x2
+             halt",
+        )
+        .unwrap();
+        let finder = DivergenceFinder::default();
+        let mut bad = suspect(library::addressgen_crasher(1.0));
+        let mut good = reference();
+        match finder.compare(&mut bad, &mut good, &prog, &[]) {
+            Divergence::SuspectTrapped { .. } => {}
+            other => panic!("expected suspect trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vector_copy_defect_localized_to_vector_pipe() {
+        let prog = assemble(
+            "li x1, 2048
+             li x2, 1024
+             li x3, 64
+             memcpy x1, x2, x3
+             ld x4, x1, 0
+             out x4
+             halt",
+        )
+        .unwrap();
+        let finder = DivergenceFinder::default();
+        let mut bad = suspect(library::vector_copy_coupled(1.0));
+        let mut good = reference();
+        let init = vec![(1024u64, vec![0xabu8; 64])];
+        let d = finder.compare(&mut bad, &mut good, &prog, &init);
+        assert!(d.indicts());
+        // The corruption happens inside the memcpy but only becomes
+        // architecturally visible at the dependent load; either attribution
+        // is acceptable evidence.
+        match d.implicated_unit() {
+            Some(FunctionalUnit::VectorPipe) | Some(FunctionalUnit::LoadStore) => {}
+            other => panic!("implicated {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reference_trap_is_not_an_indictment() {
+        let prog = assemble(
+            "li x1, 0
+             li x2, 5
+             div x3, x2, x1
+             halt",
+        )
+        .unwrap();
+        let finder = DivergenceFinder::default();
+        let mut bad = suspect(library::string_bitflip(3, 0.5));
+        let mut good = reference();
+        let d = finder.compare(&mut bad, &mut good, &prog, &[]);
+        assert!(matches!(d, Divergence::ReferenceTrapped(Trap::DivByZero)));
+        assert!(!d.indicts());
+    }
+}

@@ -1,0 +1,51 @@
+//! # mercurial-screening
+//!
+//! Detection of mercurial cores — §6 of *Cores that don't count*: "the
+//! first line of defense is necessarily a robust infrastructure for
+//! detecting mercurial cores as quickly as possible; in effect, testing
+//! becomes part of the full lifecycle of a CPU".
+//!
+//! The paper categorizes detection on four axes, and each axis is
+//! represented here:
+//!
+//! * **Automated vs. human** — [`screeners`] run automatically;
+//!   [`triage`] models the human pipeline where "roughly half of these
+//!   human-identified suspects are actually proven … to be mercurial
+//!   cores".
+//! * **Pre- vs. post-deployment** — [`screeners::BurnIn`] runs before a
+//!   machine enters service; the offline/online screeners run forever
+//!   after (defects age in, and new tests arrive "a few times per year" —
+//!   [`screeners::EraSchedule`]).
+//! * **Offline vs. online** — [`screeners::OfflineScreener`] drains cores
+//!   and sweeps operating points; [`screeners::OnlineScreener`] uses spare
+//!   cycles at the nominal point with no drain cost but thinner coverage.
+//! * **Infrastructure- vs. application-level** — the fleet's signal stream
+//!   carries application checksum mismatches; [`reportsvc`] is the paper's
+//!   "simple RPC service that allows an application to report a suspect
+//!   core", with the concentration rule ("reports that are evenly spread
+//!   across cores probably are not CEEs") implemented in
+//!   [`concentration`].
+//!
+//! [`scoreboard`] tracks per-core recidivism ("recidivism — repeated
+//! signals from the same core — increases our confidence"), and
+//! [`chipscreen`] runs the actual `mercurial-corpus` assembly kernels on a
+//! simulated chip for instruction-accurate case studies.
+#![warn(missing_docs)]
+
+pub mod chipscreen;
+pub mod concentration;
+pub mod forensics;
+pub mod reportsvc;
+pub mod scoreboard;
+pub mod screeners;
+pub mod triage;
+
+pub use concentration::{concentration_suspects, ConcentrationConfig};
+pub use forensics::{Divergence, DivergenceFinder};
+pub use reportsvc::{ReportService, SuspectVerdict};
+pub use scoreboard::{CoreScore, Scoreboard};
+pub use screeners::{
+    BurnIn, DetectionMethod, DetectionRecord, EraSchedule, OfflineScreener, OnlineScreener,
+    ScreeningEra, ScreeningStats,
+};
+pub use triage::{HumanTriage, TriageOutcome, TriageStats};

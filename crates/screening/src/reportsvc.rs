@@ -1,0 +1,170 @@
+//! The suspect-core report service.
+//!
+//! §6: "One of our particularly useful tools is a simple RPC service that
+//! allows an application to report a suspect core or CPU. Reports that are
+//! evenly spread across cores probably are not CEEs; reports from multiple
+//! applications that appear to be concentrated on a few cores might well
+//! be CEEs, and become grounds for quarantining those cores, followed by
+//! more careful checking."
+//!
+//! [`ReportService`] is that service, in-process: applications (or the
+//! fleet simulator's signal stream) file reports; the service buckets them
+//! and periodically runs the [`crate::concentration`] test to produce
+//! suspects for deeper screening.
+
+use crate::concentration::{concentration_suspects, ConcentratedCore, ConcentrationConfig};
+use mercurial_fault::CoreUid;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What the service currently believes about a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SuspectVerdict {
+    /// Not enough evidence, or evidence consistent with uniform noise.
+    NotSuspect,
+    /// Concentrated reports: grounds for quarantine + deeper checking.
+    Suspect,
+}
+
+/// One filed report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// When it was filed.
+    pub hour: f64,
+    /// The accused core.
+    pub core: CoreUid,
+}
+
+/// The suspect-core report service.
+#[derive(Debug, Clone)]
+pub struct ReportService {
+    config: ConcentrationConfig,
+    /// Size of the core universe (for the uniformity null).
+    total_cores: u64,
+    /// Sliding-window length: old reports age out.
+    window_hours: f64,
+    reports: Vec<Report>,
+}
+
+impl ReportService {
+    /// Creates a service over a fleet of `total_cores` cores with a
+    /// sliding evidence window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_cores == 0` or the window is not positive.
+    pub fn new(total_cores: u64, window_hours: f64, config: ConcentrationConfig) -> ReportService {
+        assert!(total_cores > 0, "need a non-empty core universe");
+        assert!(window_hours > 0.0, "window must be positive");
+        ReportService {
+            config,
+            total_cores,
+            window_hours,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Files a report against a core (the "RPC").
+    pub fn report(&mut self, hour: f64, core: CoreUid) {
+        self.reports.push(Report { hour, core });
+    }
+
+    /// Number of reports currently inside the window ending at `now`.
+    pub fn reports_in_window(&self, now: f64) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.hour > now - self.window_hours && r.hour <= now)
+            .count()
+    }
+
+    /// Runs the concentration test over the window ending at `now` and
+    /// returns the suspects, most extreme first.
+    pub fn suspects(&self, now: f64) -> Vec<ConcentratedCore> {
+        let mut counts: HashMap<CoreUid, u64> = HashMap::new();
+        for r in &self.reports {
+            if r.hour > now - self.window_hours && r.hour <= now {
+                *counts.entry(r.core).or_insert(0) += 1;
+            }
+        }
+        concentration_suspects(&counts, self.total_cores, self.config)
+    }
+
+    /// The service's verdict on a single core at time `now`.
+    pub fn verdict(&self, core: CoreUid, now: f64) -> SuspectVerdict {
+        if self.suspects(now).iter().any(|s| s.core == core) {
+            SuspectVerdict::Suspect
+        } else {
+            SuspectVerdict::NotSuspect
+        }
+    }
+
+    /// Drops reports older than the window ending at `now` (bounded
+    /// memory for long simulations).
+    pub fn compact(&mut self, now: f64) {
+        let cutoff = now - self.window_hours;
+        self.reports.retain(|r| r.hour > cutoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc() -> ReportService {
+        ReportService::new(100_000, 24.0 * 14.0, ConcentrationConfig::default())
+    }
+
+    #[test]
+    fn no_reports_no_suspects() {
+        let s = svc();
+        assert!(s.suspects(100.0).is_empty());
+        assert_eq!(
+            s.verdict(CoreUid::new(1, 0, 0), 100.0),
+            SuspectVerdict::NotSuspect
+        );
+    }
+
+    #[test]
+    fn concentrated_core_becomes_suspect() {
+        let mut s = svc();
+        let bad = CoreUid::new(7, 1, 3);
+        // Background: scattered single reports.
+        for i in 0..50 {
+            s.report(10.0 + i as f64, CoreUid::new(1000 + i, 0, 0));
+        }
+        // Concentration: ten reports on one core.
+        for i in 0..10 {
+            s.report(20.0 + i as f64, bad);
+        }
+        let suspects = s.suspects(100.0);
+        assert_eq!(suspects.len(), 1);
+        assert_eq!(suspects[0].core, bad);
+        assert_eq!(s.verdict(bad, 100.0), SuspectVerdict::Suspect);
+    }
+
+    #[test]
+    fn reports_age_out_of_the_window() {
+        let mut s = ReportService::new(100_000, 100.0, ConcentrationConfig::default());
+        let bad = CoreUid::new(3, 0, 0);
+        for i in 0..10 {
+            s.report(i as f64, bad);
+        }
+        assert_eq!(s.verdict(bad, 50.0), SuspectVerdict::Suspect);
+        // 200 hours later the evidence has expired.
+        assert_eq!(s.verdict(bad, 250.0), SuspectVerdict::NotSuspect);
+        assert_eq!(s.reports_in_window(250.0), 0);
+    }
+
+    #[test]
+    fn compact_preserves_window_contents() {
+        let mut s = ReportService::new(1000, 100.0, ConcentrationConfig::default());
+        let core = CoreUid::new(1, 0, 0);
+        for i in 0..20 {
+            s.report(i as f64 * 20.0, core);
+        }
+        let before = s.reports_in_window(400.0);
+        s.compact(400.0);
+        assert_eq!(s.reports_in_window(400.0), before);
+        assert!(s.reports.len() <= before + 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Per-core recidivism tracking.
+//!
+//! §6: "Recidivism — repeated signals from the same core — increases our
+//! confidence that a core is mercurial." The scoreboard keeps a Beta
+//! posterior per core over "this core's signals are defect-driven" and
+//! surfaces the cores whose evidence has crossed a threshold.
+//!
+//! The prior is deliberately skeptical: one crash means nothing (software
+//! bugs dominate — §1: silent failures "were typically obscured by the
+//! undiagnosed software bugs that we always assume lurk within a code base
+//! at scale"); five signals on the same core in a week means a lot.
+
+use mercurial_fault::CoreUid;
+use mercurial_fleet::{Signal, SignalKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Evidence accumulated against one core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreScore {
+    /// The core.
+    pub core: CoreUid,
+    /// Signals attributed to this core, by kind.
+    pub counts: HashMap<SignalKind, u64>,
+    /// Hour of the first signal.
+    pub first_hour: f64,
+    /// Hour of the most recent signal.
+    pub last_hour: f64,
+    /// Weighted evidence (signal kinds carry different weight: a machine
+    /// check on a specific core is stronger evidence than a process crash).
+    pub evidence: f64,
+}
+
+impl CoreScore {
+    /// Total signals against this core.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Whether the core has repeated signals (the recidivism predicate).
+    pub fn is_recidivist(&self) -> bool {
+        self.total() >= 2
+    }
+
+    /// Suspicion in `[0, 1)`: a saturating transform of the evidence,
+    /// `1 - exp(-evidence / 3)` — 0 for no evidence, ≈0.6 at 3 weighted
+    /// signals, ≈0.96 at 10.
+    pub fn suspicion(&self) -> f64 {
+        1.0 - (-self.evidence / 3.0).exp()
+    }
+}
+
+/// How much one signal of each kind moves the evidence.
+fn kind_weight(kind: SignalKind) -> f64 {
+    match kind {
+        SignalKind::ScreenerFailure => 4.0, // a controlled test failed: near-proof
+        SignalKind::MachineCheckEvent => 2.0,
+        SignalKind::AppChecksumMismatch => 1.5,
+        SignalKind::ReplicaDivergence => 2.0, // two replicas disagreeing is strong
+
+        SignalKind::SanitizerHit => 1.0,
+        SignalKind::UserReport => 1.0,
+        SignalKind::KernelCrash => 0.7,
+        SignalKind::ProcessCrash => 0.4, // crashes are mostly software
+    }
+}
+
+/// The fleet-wide per-core scoreboard.
+#[derive(Debug, Clone, Default)]
+pub struct Scoreboard {
+    scores: HashMap<CoreUid, CoreScore>,
+}
+
+impl Scoreboard {
+    /// Creates an empty scoreboard.
+    pub fn new() -> Scoreboard {
+        Scoreboard::default()
+    }
+
+    /// Ingests one signal.
+    pub fn ingest(&mut self, signal: &Signal) {
+        let entry = self.scores.entry(signal.core).or_insert_with(|| CoreScore {
+            core: signal.core,
+            counts: HashMap::new(),
+            first_hour: signal.hour,
+            last_hour: signal.hour,
+            evidence: 0.0,
+        });
+        *entry.counts.entry(signal.kind).or_insert(0) += 1;
+        entry.first_hour = entry.first_hour.min(signal.hour);
+        entry.last_hour = entry.last_hour.max(signal.hour);
+        entry.evidence += kind_weight(signal.kind);
+    }
+
+    /// Ingests a batch.
+    pub fn ingest_all<'a>(&mut self, signals: impl IntoIterator<Item = &'a Signal>) {
+        for s in signals {
+            self.ingest(s);
+        }
+    }
+
+    /// The score for one core, if any signal has been seen.
+    pub fn score(&self, core: CoreUid) -> Option<&CoreScore> {
+        self.scores.get(&core)
+    }
+
+    /// Cores whose suspicion exceeds `threshold`, most suspicious first.
+    pub fn suspects(&self, threshold: f64) -> Vec<&CoreScore> {
+        let mut out: Vec<&CoreScore> = self
+            .scores
+            .values()
+            .filter(|s| s.suspicion() >= threshold)
+            .collect();
+        out.sort_by(|a, b| {
+            b.suspicion()
+                .partial_cmp(&a.suspicion())
+                .expect("suspicion is finite")
+                .then(a.core.cmp(&b.core))
+        });
+        out
+    }
+
+    /// Number of cores with any signal.
+    pub fn cores_seen(&self) -> usize {
+        self.scores.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(core: CoreUid, kind: SignalKind, hour: f64) -> Signal {
+        Signal {
+            hour,
+            core,
+            kind,
+            caused_by_cee: true,
+        }
+    }
+
+    #[test]
+    fn single_crash_is_weak_evidence() {
+        let mut b = Scoreboard::new();
+        let core = CoreUid::new(1, 0, 0);
+        b.ingest(&sig(core, SignalKind::ProcessCrash, 10.0));
+        let s = b.score(core).unwrap();
+        assert!(!s.is_recidivist());
+        assert!(s.suspicion() < 0.2, "suspicion {}", s.suspicion());
+    }
+
+    #[test]
+    fn screener_failure_is_strong_evidence() {
+        let mut b = Scoreboard::new();
+        let core = CoreUid::new(1, 0, 0);
+        b.ingest(&sig(core, SignalKind::ScreenerFailure, 10.0));
+        assert!(b.score(core).unwrap().suspicion() > 0.7);
+    }
+
+    #[test]
+    fn recidivism_accumulates() {
+        let mut b = Scoreboard::new();
+        let core = CoreUid::new(2, 1, 5);
+        for i in 0..5 {
+            b.ingest(&sig(core, SignalKind::AppChecksumMismatch, i as f64));
+        }
+        let s = b.score(core).unwrap();
+        assert!(s.is_recidivist());
+        assert!(s.suspicion() > 0.9);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.first_hour, 0.0);
+        assert_eq!(s.last_hour, 4.0);
+    }
+
+    #[test]
+    fn suspects_sorted_by_suspicion() {
+        let mut b = Scoreboard::new();
+        let weak = CoreUid::new(1, 0, 0);
+        let strong = CoreUid::new(2, 0, 0);
+        b.ingest(&sig(weak, SignalKind::ProcessCrash, 0.0));
+        for i in 0..4 {
+            b.ingest(&sig(strong, SignalKind::MachineCheckEvent, i as f64));
+        }
+        let suspects = b.suspects(0.0);
+        assert_eq!(suspects[0].core, strong);
+        assert_eq!(b.suspects(0.9).len(), 1);
+    }
+
+    #[test]
+    fn cores_seen_counts_distinct() {
+        let mut b = Scoreboard::new();
+        b.ingest(&sig(CoreUid::new(1, 0, 0), SignalKind::UserReport, 0.0));
+        b.ingest(&sig(CoreUid::new(1, 0, 0), SignalKind::UserReport, 1.0));
+        b.ingest(&sig(CoreUid::new(2, 0, 0), SignalKind::UserReport, 2.0));
+        assert_eq!(b.cores_seen(), 2);
+    }
+}

@@ -1,0 +1,709 @@
+//! Automated screeners: burn-in, offline, and online.
+//!
+//! §6's tradeoffs, made executable:
+//!
+//! * **Burn-in** happens once, pre-deployment, with a generous test budget
+//!   — but at age zero, so latent defects sail through ("not all
+//!   mercurial-core screening can be done before CPUs are put into
+//!   service — first, because some cores only become defective after
+//!   considerable time has passed").
+//! * **Offline screening** "can be more intrusive and can be scheduled to
+//!   ensure coverage of all cores, and could involve exposing CPUs to
+//!   operating conditions (f, V, T) outside normal ranges. However,
+//!   draining a workload from the core … can be expensive." It sweeps the
+//!   product's DVFS curve (catching the low-frequency-is-worse defects)
+//!   and charges a drain cost per machine.
+//! * **Online screening** "is free (except for power costs), but cannot
+//!   always provide complete coverage": spare-cycle tests at the nominal
+//!   operating point only, with a small per-epoch budget.
+//!
+//! Coverage is not static: "our regular fleet-wide testing has expanded to
+//! new classes of CEEs as we and our CPU vendors discover them, still a
+//! few times per year." [`EraSchedule`] encodes that growth — it is the
+//! mechanism behind Figure 1's gradually rising automatic-detection rate.
+
+use mercurial_fault::{CoreUid, FunctionalUnit, OperatingPoint};
+use mercurial_fleet::population::TestSpec;
+use mercurial_fleet::FleetTopology;
+use mercurial_fleet::{Population, Signal, SignalKind, SignalLog};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// How a core was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectionMethod {
+    /// Pre-deployment burn-in.
+    BurnIn,
+    /// Scheduled offline sweep.
+    Offline,
+    /// Spare-cycle online screening.
+    Online,
+    /// Human triage confirmation.
+    Triage,
+}
+
+/// One confirmed detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionRecord {
+    /// The detected core.
+    pub core: CoreUid,
+    /// Fleet hour of detection.
+    pub hour: f64,
+    /// Which mechanism caught it.
+    pub method: DetectionMethod,
+}
+
+/// Cost/coverage accounting for a screening campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScreeningStats {
+    /// Individual core-screens executed.
+    pub core_screens: u64,
+    /// Total test operations charged.
+    pub test_ops: u64,
+    /// Machine-hours spent drained (offline only).
+    pub drained_machine_hours: f64,
+    /// Detections produced.
+    pub detections: u64,
+}
+
+/// One era of screening coverage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScreeningEra {
+    /// The era applies from this month (inclusive).
+    pub from_month: u32,
+    /// Units the test corpus of this era exercises.
+    pub units: Vec<FunctionalUnit>,
+    /// Test operations per covered unit per screen.
+    pub ops_per_unit: u64,
+    /// Operand patterns the era's tests use.
+    pub operands: Vec<u64>,
+    /// Whether screens sweep the DVFS curve and a hot point (offline only;
+    /// online screening always runs at the nominal point).
+    pub sweep_points: bool,
+}
+
+/// The coverage-growth schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EraSchedule {
+    eras: Vec<ScreeningEra>,
+}
+
+impl EraSchedule {
+    /// Builds a schedule from eras (sorted by `from_month`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eras` is empty or no era starts at month 0.
+    pub fn new(mut eras: Vec<ScreeningEra>) -> EraSchedule {
+        assert!(!eras.is_empty(), "need at least one era");
+        eras.sort_by_key(|e| e.from_month);
+        assert_eq!(eras[0].from_month, 0, "the first era must start at month 0");
+        EraSchedule { eras }
+    }
+
+    /// The default history: coverage grows "a few times per year", from a
+    /// scalar-only corpus to full-unit coverage with (f, V, T) sweeps.
+    pub fn default_history() -> EraSchedule {
+        use FunctionalUnit as U;
+        EraSchedule::new(vec![
+            ScreeningEra {
+                from_month: 0,
+                units: vec![U::ScalarAlu, U::MulDiv, U::Fma, U::LoadStore],
+                ops_per_unit: 100_000,
+                operands: vec![0, u64::MAX],
+                sweep_points: false,
+            },
+            ScreeningEra {
+                from_month: 6,
+                units: vec![U::ScalarAlu, U::MulDiv, U::Fma, U::LoadStore, U::VectorPipe],
+                ops_per_unit: 200_000,
+                operands: vec![0, u64::MAX, 0xaaaa_aaaa_aaaa_aaaa, 0x5555_5555_5555_5555],
+                sweep_points: false,
+            },
+            ScreeningEra {
+                from_month: 12,
+                units: vec![
+                    U::ScalarAlu,
+                    U::MulDiv,
+                    U::Fma,
+                    U::LoadStore,
+                    U::VectorPipe,
+                    U::Atomics,
+                    U::BranchUnit,
+                ],
+                ops_per_unit: 400_000,
+                operands: TestSpec::default_operands(),
+                sweep_points: true,
+            },
+            ScreeningEra {
+                from_month: 20,
+                units: vec![
+                    U::ScalarAlu,
+                    U::MulDiv,
+                    U::Fma,
+                    U::LoadStore,
+                    U::VectorPipe,
+                    U::Atomics,
+                    U::BranchUnit,
+                    U::CryptoUnit,
+                ],
+                ops_per_unit: 600_000,
+                operands: TestSpec::default_operands(),
+                sweep_points: true,
+            },
+            ScreeningEra {
+                from_month: 28,
+                units: FunctionalUnit::ALL.to_vec(),
+                ops_per_unit: 1_000_000,
+                operands: TestSpec::default_operands(),
+                sweep_points: true,
+            },
+        ])
+    }
+
+    /// A frozen schedule (the month-0 era forever) — the ablation foil.
+    pub fn frozen(era: ScreeningEra) -> EraSchedule {
+        EraSchedule::new(vec![ScreeningEra {
+            from_month: 0,
+            ..era
+        }])
+    }
+
+    /// The era in force during `month`.
+    pub fn era_at(&self, month: u32) -> &ScreeningEra {
+        self.eras
+            .iter()
+            .rev()
+            .find(|e| e.from_month <= month)
+            .expect("an era starts at month 0")
+    }
+
+    /// All eras.
+    pub fn eras(&self) -> &[ScreeningEra] {
+        &self.eras
+    }
+}
+
+fn spec_for(era: &ScreeningEra, point: OperatingPoint) -> TestSpec {
+    let mut unit_ops = [0u64; 9];
+    for u in &era.units {
+        unit_ops[u.index()] = era.ops_per_unit;
+    }
+    TestSpec {
+        unit_ops,
+        operands: era.operands.clone(),
+        point,
+    }
+}
+
+/// The operating points a sweeping screen visits for a product: the DVFS
+/// extremes plus a hot variant (catching both high-frequency and the
+/// surprising low-frequency defects, and thermal sensitivity).
+fn sweep_points(topo: &FleetTopology, machine: u32, sweep: bool) -> Vec<OperatingPoint> {
+    let curve = &topo.product_of(machine).dvfs;
+    if sweep {
+        vec![
+            curve.max_point(65),
+            curve.min_point(65),
+            curve.max_point(92),
+        ]
+    } else {
+        vec![curve.max_point(65)]
+    }
+}
+
+/// Screens every core of a machine with the spec-per-point, returning
+/// newly detected cores.
+#[allow(clippy::too_many_arguments)]
+fn screen_machine(
+    topo: &FleetTopology,
+    pop: &Population,
+    machine: u32,
+    era: &ScreeningEra,
+    points: &[OperatingPoint],
+    hour: f64,
+    test_id_base: u64,
+    detected: &mut HashSet<CoreUid>,
+    stats: &mut ScreeningStats,
+) -> Vec<CoreUid> {
+    let age = topo.age_hours(machine, hour);
+    // One spec per sweep point, shared by every core of the machine (the
+    // per-core loop below is the hottest path in fleet-scale runs).
+    let specs: Vec<TestSpec> = points.iter().map(|&p| spec_for(era, p)).collect();
+    let mut newly = Vec::new();
+    for core in topo.cores_of(machine) {
+        if detected.contains(&core) {
+            continue;
+        }
+        for (pi, spec) in specs.iter().enumerate() {
+            stats.core_screens += 1;
+            stats.test_ops += era.ops_per_unit * era.units.len() as u64;
+            let test_id = test_id_base
+                .wrapping_mul(1_000_003)
+                .wrapping_add(core.as_u64())
+                .wrapping_add(pi as u64);
+            if pop.screen_core(core, spec, age, test_id) {
+                detected.insert(core);
+                newly.push(core);
+                stats.detections += 1;
+                break;
+            }
+        }
+    }
+    newly
+}
+
+/// Pre-deployment burn-in: a heavy screen at machine deploy time, age 0.
+#[derive(Debug, Clone)]
+pub struct BurnIn {
+    /// Coverage used during burn-in (typically the era in force when the
+    /// machine shipped).
+    pub schedule: EraSchedule,
+    /// Multiplier on the era's op budget (burn-in can afford more).
+    pub ops_multiplier: u64,
+}
+
+impl BurnIn {
+    /// Runs burn-in for every machine at its deploy hour.
+    pub fn run(
+        &self,
+        topo: &FleetTopology,
+        pop: &Population,
+        detected: &mut HashSet<CoreUid>,
+        log: &mut SignalLog,
+    ) -> (Vec<DetectionRecord>, ScreeningStats) {
+        let mut stats = ScreeningStats::default();
+        let mut records = Vec::new();
+        for m in topo.machines() {
+            let month = (m.deploy_hour / 730.0) as u32;
+            let mut era = self.schedule.era_at(month).clone();
+            era.ops_per_unit *= self.ops_multiplier.max(1);
+            let points = sweep_points(topo, m.machine, true);
+            for core in screen_machine(
+                topo,
+                pop,
+                m.machine,
+                &era,
+                &points,
+                m.deploy_hour,
+                0xb1b1 ^ m.machine as u64,
+                detected,
+                &mut stats,
+            ) {
+                records.push(DetectionRecord {
+                    core,
+                    hour: m.deploy_hour,
+                    method: DetectionMethod::BurnIn,
+                });
+                log.push(Signal {
+                    hour: m.deploy_hour,
+                    core,
+                    kind: SignalKind::ScreenerFailure,
+                    caused_by_cee: true,
+                });
+            }
+        }
+        (records, stats)
+    }
+}
+
+/// Scheduled offline sweeps over rotating machine subsets.
+#[derive(Debug, Clone)]
+pub struct OfflineScreener {
+    /// Coverage schedule.
+    pub schedule: EraSchedule,
+    /// Hours between sweeps.
+    pub interval_hours: f64,
+    /// Fraction of the fleet visited per sweep (rotating).
+    pub fraction_per_sweep: f64,
+    /// Machine-hours of drain charged per machine screened (migration +
+    /// idle time; the §6 "draining a workload … can be expensive").
+    pub drain_hours_per_machine: f64,
+}
+
+impl Default for OfflineScreener {
+    fn default() -> OfflineScreener {
+        OfflineScreener {
+            schedule: EraSchedule::default_history(),
+            interval_hours: 730.0 / 2.0, // twice a month
+            fraction_per_sweep: 0.10,
+            drain_hours_per_machine: 0.5,
+        }
+    }
+}
+
+impl OfflineScreener {
+    /// Runs the campaign over `months`, skipping cores already in
+    /// `detected`; emits `ScreenerFailure` signals into `log`.
+    pub fn run(
+        &self,
+        topo: &FleetTopology,
+        pop: &Population,
+        months: u32,
+        detected: &mut HashSet<CoreUid>,
+        log: &mut SignalLog,
+    ) -> (Vec<DetectionRecord>, ScreeningStats) {
+        let mut stats = ScreeningStats::default();
+        let mut records = Vec::new();
+        let total_hours = months as f64 * 730.0;
+        let n_machines = topo.machines().len() as u64;
+        let per_sweep = ((n_machines as f64 * self.fraction_per_sweep).ceil() as u64).max(1);
+        let mut sweep_idx = 0u64;
+        let mut hour = self.interval_hours;
+        while hour < total_hours {
+            let month = (hour / 730.0) as u32;
+            let era = self.schedule.era_at(month);
+            // Rotate deterministically through the fleet.
+            let start = (sweep_idx * per_sweep) % n_machines;
+            for k in 0..per_sweep {
+                let machine = ((start + k) % n_machines) as u32;
+                if !topo.is_deployed(machine, hour) {
+                    continue;
+                }
+                stats.drained_machine_hours += self.drain_hours_per_machine;
+                let points = sweep_points(topo, machine, era.sweep_points);
+                for core in screen_machine(
+                    topo,
+                    pop,
+                    machine,
+                    era,
+                    &points,
+                    hour,
+                    0x0ff1 ^ sweep_idx.wrapping_mul(65_537),
+                    detected,
+                    &mut stats,
+                ) {
+                    records.push(DetectionRecord {
+                        core,
+                        hour,
+                        method: DetectionMethod::Offline,
+                    });
+                    log.push(Signal {
+                        hour,
+                        core,
+                        kind: SignalKind::ScreenerFailure,
+                        caused_by_cee: true,
+                    });
+                }
+            }
+            sweep_idx += 1;
+            hour += self.interval_hours;
+        }
+        (records, stats)
+    }
+}
+
+/// Continuous spare-cycle screening at the nominal operating point.
+#[derive(Debug, Clone)]
+pub struct OnlineScreener {
+    /// Coverage schedule (sweeps are ignored: online cannot change f/V/T
+    /// under colocated workloads).
+    pub schedule: EraSchedule,
+    /// Hours between passes over the whole deployed fleet.
+    pub interval_hours: f64,
+    /// Fraction of the era's op budget available from spare cycles.
+    pub ops_fraction: f64,
+}
+
+impl Default for OnlineScreener {
+    fn default() -> OnlineScreener {
+        OnlineScreener {
+            schedule: EraSchedule::default_history(),
+            interval_hours: 73.0,
+            ops_fraction: 0.05,
+        }
+    }
+}
+
+impl OnlineScreener {
+    /// Runs the campaign over `months`.
+    pub fn run(
+        &self,
+        topo: &FleetTopology,
+        pop: &Population,
+        months: u32,
+        detected: &mut HashSet<CoreUid>,
+        log: &mut SignalLog,
+    ) -> (Vec<DetectionRecord>, ScreeningStats) {
+        let mut stats = ScreeningStats::default();
+        let mut records = Vec::new();
+        let total_hours = months as f64 * 730.0;
+        let mut pass = 0u64;
+        let mut hour = self.interval_hours;
+        while hour < total_hours {
+            let month = (hour / 730.0) as u32;
+            let mut era = self.schedule.era_at(month).clone();
+            era.ops_per_unit = ((era.ops_per_unit as f64 * self.ops_fraction).ceil() as u64).max(1);
+            for m in topo.machines() {
+                if !topo.is_deployed(m.machine, hour) {
+                    continue;
+                }
+                let points = sweep_points(topo, m.machine, false);
+                for core in screen_machine(
+                    topo,
+                    pop,
+                    m.machine,
+                    &era,
+                    &points,
+                    hour,
+                    0x0a11 ^ pass.wrapping_mul(2_654_435_761),
+                    detected,
+                    &mut stats,
+                ) {
+                    records.push(DetectionRecord {
+                        core,
+                        hour,
+                        method: DetectionMethod::Online,
+                    });
+                    log.push(Signal {
+                        hour,
+                        core,
+                        kind: SignalKind::ScreenerFailure,
+                        caused_by_cee: true,
+                    });
+                }
+            }
+            pass += 1;
+            hour += self.interval_hours;
+        }
+        (records, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial_fault::{library, Activation, CoreFaultProfile, Lesion};
+    use mercurial_fleet::topology::FleetConfig;
+
+    fn topo(machines: u32, seed: u64) -> FleetTopology {
+        FleetTopology::build(FleetConfig::tiny(machines, seed))
+    }
+
+    fn hot_core(machine: u32) -> (CoreUid, CoreFaultProfile) {
+        (
+            CoreUid::new(machine, 0, 0),
+            CoreFaultProfile::single(
+                "hot-alu",
+                FunctionalUnit::ScalarAlu,
+                Lesion::FlipBit { bit: 0 },
+                Activation::with_prob(1e-3),
+            ),
+        )
+    }
+
+    #[test]
+    fn era_schedule_grows_coverage() {
+        let sched = EraSchedule::default_history();
+        let early = sched.era_at(0);
+        let late = sched.era_at(30);
+        assert!(late.units.len() > early.units.len());
+        assert!(late.ops_per_unit > early.ops_per_unit);
+        assert!(!early.units.contains(&FunctionalUnit::CryptoUnit));
+        assert_eq!(late.units.len(), FunctionalUnit::ALL.len());
+        // Boundary behavior: month 6 switches eras.
+        assert_eq!(sched.era_at(5).units.len(), 4);
+        assert_eq!(sched.era_at(6).units.len(), 5);
+    }
+
+    #[test]
+    fn burn_in_catches_hot_manufacturing_defects() {
+        let topo = topo(20, 31);
+        let pop = Population::with_explicit(31, vec![hot_core(4)]);
+        let mut detected = HashSet::new();
+        let mut log = SignalLog::new();
+        let burnin = BurnIn {
+            schedule: EraSchedule::default_history(),
+            ops_multiplier: 10,
+        };
+        let (records, stats) = burnin.run(&topo, &pop, &mut detected, &mut log);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].core, CoreUid::new(4, 0, 0));
+        assert_eq!(records[0].method, DetectionMethod::BurnIn);
+        assert!(stats.core_screens > 0);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn burn_in_misses_latent_defects() {
+        // §6's core argument for lifecycle testing.
+        let topo = topo(20, 32);
+        let latent = (
+            CoreUid::new(3, 0, 1),
+            library::late_onset_muldiv(1000.0, 0.01),
+        );
+        let pop = Population::with_explicit(32, vec![latent]);
+        let mut detected = HashSet::new();
+        let mut log = SignalLog::new();
+        let burnin = BurnIn {
+            schedule: EraSchedule::default_history(),
+            ops_multiplier: 100,
+        };
+        let (records, _) = burnin.run(&topo, &pop, &mut detected, &mut log);
+        assert!(records.is_empty(), "latent defect must escape burn-in");
+    }
+
+    #[test]
+    fn offline_catches_latent_defects_after_onset() {
+        let topo = topo(20, 33);
+        let onset = 2.0 * 730.0; // manifests in month 2
+        let latent = (
+            CoreUid::new(3, 0, 1),
+            library::late_onset_muldiv(onset, 1e-3),
+        );
+        let pop = Population::with_explicit(33, vec![latent]);
+        let mut detected = HashSet::new();
+        let mut log = SignalLog::new();
+        let screener = OfflineScreener {
+            fraction_per_sweep: 1.0,
+            ..OfflineScreener::default()
+        };
+        let (records, stats) = screener.run(&topo, &pop, 12, &mut detected, &mut log);
+        assert_eq!(records.len(), 1);
+        assert!(records[0].hour >= onset, "detected before onset?");
+        assert!(stats.drained_machine_hours > 0.0);
+    }
+
+    #[test]
+    fn sweeping_catches_low_frequency_defects_online_misses() {
+        // A defect that only fires at the DVFS floor: offline sweeps visit
+        // the floor; online screening at nominal never sees it.
+        let topo = topo(10, 34);
+        let bad = (CoreUid::new(2, 0, 0), library::low_freq_worse_alu(0.9));
+        let pop = Population::with_explicit(34, vec![bad.clone()]);
+
+        let mut det_online = HashSet::new();
+        let mut log1 = SignalLog::new();
+        let online = OnlineScreener::default();
+        let (online_records, _) = online.run(&topo, &pop, 12, &mut det_online, &mut log1);
+
+        let mut det_offline = HashSet::new();
+        let mut log2 = SignalLog::new();
+        let offline = OfflineScreener {
+            fraction_per_sweep: 1.0,
+            schedule: EraSchedule::frozen(ScreeningEra {
+                from_month: 0,
+                units: FunctionalUnit::ALL.to_vec(),
+                ops_per_unit: 200_000,
+                operands: TestSpec::default_operands(),
+                sweep_points: true,
+            }),
+            ..OfflineScreener::default()
+        };
+        let (offline_records, _) = offline.run(&topo, &pop, 12, &mut det_offline, &mut log2);
+
+        assert!(offline_records.iter().any(|r| r.core == bad.0));
+        // The low-frequency defect has base_prob = 0.9/50 = 1.8% at
+        // nominal, so online *can* catch it quickly too — make the defect
+        // truly floor-only for the contrast:
+        let floor_only = (
+            CoreUid::new(3, 0, 0),
+            CoreFaultProfile::single(
+                "floor-only",
+                FunctionalUnit::ScalarAlu,
+                Lesion::FlipBit { bit: 9 },
+                Activation {
+                    base_prob: 1e-9,
+                    freq: mercurial_fault::FreqResponse::LowFreq {
+                        knee_mhz: 1300,
+                        floor_mhz: 1200,
+                        max_boost: 1e6,
+                    },
+                    ..Activation::always()
+                },
+            ),
+        );
+        let pop2 = Population::with_explicit(35, vec![floor_only.clone()]);
+        let mut d1 = HashSet::new();
+        let mut d2 = HashSet::new();
+        let mut l = SignalLog::new();
+        let (on2, _) = online.run(&topo, &pop2, 12, &mut d1, &mut l);
+        let (off2, _) = offline.run(&topo, &pop2, 12, &mut d2, &mut l);
+        assert!(
+            on2.iter().all(|r| r.core != floor_only.0),
+            "online cannot see the floor"
+        );
+        assert!(
+            off2.iter().any(|r| r.core == floor_only.0),
+            "offline sweep reaches the floor"
+        );
+        let _ = online_records;
+    }
+
+    #[test]
+    fn era_gating_delays_unit_coverage() {
+        // A crypto-unit defect cannot be caught before month 20 under the
+        // default history (crypto tests did not exist yet) — the paper's
+        // "zero-day CEEs".
+        let topo = topo(10, 36);
+        let bad = (CoreUid::new(1, 0, 0), library::self_inverting_aes());
+        let pop = Population::with_explicit(36, vec![bad]);
+        let mut detected = HashSet::new();
+        let mut log = SignalLog::new();
+        let screener = OfflineScreener {
+            fraction_per_sweep: 1.0,
+            ..OfflineScreener::default()
+        };
+        let (records, _) = screener.run(&topo, &pop, 36, &mut detected, &mut log);
+        assert_eq!(records.len(), 1);
+        let month = records[0].hour / 730.0;
+        assert!(
+            month >= 20.0,
+            "caught at month {month} before crypto coverage existed"
+        );
+    }
+
+    #[test]
+    fn online_is_cheaper_but_slower_than_offline() {
+        let topo = topo(30, 37);
+        // A moderate defect: both will find it, offline sooner (bigger
+        // budget per screen).
+        let bad = (
+            CoreUid::new(7, 0, 2),
+            CoreFaultProfile::single(
+                "moderate",
+                FunctionalUnit::ScalarAlu,
+                Lesion::FlipBit { bit: 3 },
+                Activation::with_prob(2e-5),
+            ),
+        );
+        let pop = Population::with_explicit(37, vec![bad.clone()]);
+        let offline = OfflineScreener {
+            fraction_per_sweep: 1.0,
+            ..OfflineScreener::default()
+        };
+        let online = OnlineScreener::default();
+        let mut d1 = HashSet::new();
+        let mut d2 = HashSet::new();
+        let mut l = SignalLog::new();
+        let (off_rec, off_stats) = offline.run(&topo, &pop, 24, &mut d1, &mut l);
+        let (on_rec, on_stats) = online.run(&topo, &pop, 24, &mut d2, &mut l);
+        assert!(!off_rec.is_empty());
+        assert!(!on_rec.is_empty());
+        assert!(
+            off_rec[0].hour <= on_rec[0].hour,
+            "offline should detect no later"
+        );
+        assert_eq!(on_stats.drained_machine_hours, 0.0, "online never drains");
+        assert!(off_stats.drained_machine_hours > 0.0);
+    }
+
+    #[test]
+    fn detected_cores_are_not_rescreened() {
+        let topo = topo(5, 38);
+        let bad = hot_core(1);
+        let pop = Population::with_explicit(38, vec![bad]);
+        let mut detected = HashSet::new();
+        let mut log = SignalLog::new();
+        let screener = OfflineScreener {
+            fraction_per_sweep: 1.0,
+            ..OfflineScreener::default()
+        };
+        let (records, _) = screener.run(&topo, &pop, 12, &mut detected, &mut log);
+        assert_eq!(
+            records.len(),
+            1,
+            "exactly one detection despite many sweeps"
+        );
+    }
+}

@@ -1,0 +1,552 @@
+//! A small two-pass assembler for the simulated ISA.
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//! ; comments run to end of line (# works too)
+//!     li   x1, 10          ; immediates: decimal, hex (0x..), negative
+//! loop:                    ; labels end with ':' and may share a line
+//!     addi x1, x1, -1
+//!     bnz  x1, loop        ; branch targets are labels (or absolute ints)
+//!     halt
+//! ```
+//!
+//! Registers are `x0`–`x15` (scalar) and `v0`–`v7` (vector). Operand order
+//! matches the [`crate::isa::Inst`] documentation: destination first.
+
+use crate::isa::{Inst, Program, Reg, VReg};
+use std::collections::HashMap;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strips comments and splits a line into `(labels, mnemonic+operands)`.
+fn clean(line: &str) -> &str {
+    let line = line.split(';').next().unwrap_or("");
+    line.split('#').next().unwrap_or("").trim()
+}
+
+struct Operands<'a> {
+    parts: Vec<&'a str>,
+    line: usize,
+    mnemonic: &'a str,
+}
+
+impl<'a> Operands<'a> {
+    fn expect_len(&self, n: usize) -> Result<(), AsmError> {
+        if self.parts.len() != n {
+            return Err(err(
+                self.line,
+                format!(
+                    "{} expects {} operands, got {}",
+                    self.mnemonic,
+                    n,
+                    self.parts.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn reg(&self, i: usize) -> Result<Reg, AsmError> {
+        let s = self.parts[i];
+        let idx: u8 = s
+            .strip_prefix('x')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| err(self.line, format!("expected scalar register, got `{s}`")))?;
+        if idx as usize >= Reg::COUNT {
+            return Err(err(self.line, format!("register `{s}` out of range")));
+        }
+        Ok(Reg(idx))
+    }
+
+    fn vreg(&self, i: usize) -> Result<VReg, AsmError> {
+        let s = self.parts[i];
+        let idx: u8 = s
+            .strip_prefix('v')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| err(self.line, format!("expected vector register, got `{s}`")))?;
+        if idx as usize >= VReg::COUNT {
+            return Err(err(self.line, format!("register `{s}` out of range")));
+        }
+        Ok(VReg(idx))
+    }
+
+    fn imm_u64(&self, i: usize) -> Result<u64, AsmError> {
+        parse_int(self.parts[i])
+            .ok_or_else(|| err(self.line, format!("bad immediate `{}`", self.parts[i])))
+    }
+
+    fn imm_i64(&self, i: usize) -> Result<i64, AsmError> {
+        let s = self.parts[i];
+        if let Some(rest) = s.strip_prefix('-') {
+            let v =
+                parse_int(rest).ok_or_else(|| err(self.line, format!("bad immediate `{s}`")))?;
+            i64::try_from(v)
+                .map(|v| -v)
+                .map_err(|_| err(self.line, format!("immediate `{s}` out of range")))
+        } else {
+            self.imm_u64(i).map(|v| v as i64)
+        }
+    }
+
+    fn imm_u8(&self, i: usize) -> Result<u8, AsmError> {
+        let v = self.imm_u64(i)?;
+        u8::try_from(v).map_err(|_| err(self.line, format!("immediate `{v}` too large")))
+    }
+
+    fn imm_u32(&self, i: usize) -> Result<u32, AsmError> {
+        let v = self.imm_u64(i)?;
+        u32::try_from(v).map_err(|_| err(self.line, format!("immediate `{v}` too large")))
+    }
+
+    fn target(&self, i: usize, labels: &HashMap<String, u32>) -> Result<u32, AsmError> {
+        let s = self.parts[i];
+        if let Some(&t) = labels.get(s) {
+            return Ok(t);
+        }
+        parse_int(s)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| err(self.line, format!("unknown label or bad target `{s}`")))
+    }
+}
+
+fn parse_int(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        s.replace('_', "").parse().ok()
+    }
+}
+
+/// Assembles source text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics, bad registers, malformed immediates, duplicate or
+/// unknown labels, and out-of-range branch targets.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // Pass 1: label addresses.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut pc = 0u32;
+    for (lineno, raw) in src.lines().enumerate() {
+        let mut rest = clean(raw);
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                // Not a label prefix (e.g. a stray colon mid-line); the
+                // instruction parser below will complain properly.
+                break;
+            }
+            if labels.insert(label.to_string(), pc).is_some() {
+                return Err(err(lineno + 1, format!("duplicate label `{label}`")));
+            }
+            rest = tail[1..].trim();
+        }
+        if !rest.is_empty() {
+            pc += 1;
+        }
+    }
+
+    // Pass 2: instructions.
+    let mut insts = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let mut rest = clean(raw);
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (mnemonic, operand_str) = match rest.find(char::is_whitespace) {
+            Some(i) => rest.split_at(i),
+            None => (rest, ""),
+        };
+        let mnemonic = mnemonic.to_ascii_lowercase();
+        let parts: Vec<&str> = operand_str
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .collect();
+        let ops = Operands {
+            parts,
+            line,
+            mnemonic: &mnemonic,
+        };
+
+        let inst = match mnemonic.as_str() {
+            "li" => {
+                ops.expect_len(2)?;
+                // Allow negative immediates in li via two's complement.
+                let v = if ops.parts[1].starts_with('-') {
+                    ops.imm_i64(1)? as u64
+                } else {
+                    ops.imm_u64(1)?
+                };
+                Inst::Li(ops.reg(0)?, v)
+            }
+            "mov" => {
+                ops.expect_len(2)?;
+                Inst::Mov(ops.reg(0)?, ops.reg(1)?)
+            }
+            "add" => {
+                ops.expect_len(3)?;
+                Inst::Add(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "addi" => {
+                ops.expect_len(3)?;
+                Inst::Addi(ops.reg(0)?, ops.reg(1)?, ops.imm_i64(2)?)
+            }
+            "sub" => {
+                ops.expect_len(3)?;
+                Inst::Sub(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "and" => {
+                ops.expect_len(3)?;
+                Inst::And(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "or" => {
+                ops.expect_len(3)?;
+                Inst::Or(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "xor" => {
+                ops.expect_len(3)?;
+                Inst::Xor(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "xori" => {
+                ops.expect_len(3)?;
+                Inst::Xori(ops.reg(0)?, ops.reg(1)?, ops.imm_u64(2)?)
+            }
+            "shl" => {
+                ops.expect_len(3)?;
+                Inst::Shl(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "shr" => {
+                ops.expect_len(3)?;
+                Inst::Shr(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "rotli" => {
+                ops.expect_len(3)?;
+                Inst::Rotli(ops.reg(0)?, ops.reg(1)?, ops.imm_u32(2)?)
+            }
+            "cmplt" => {
+                ops.expect_len(3)?;
+                Inst::CmpLt(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "cmpeq" => {
+                ops.expect_len(3)?;
+                Inst::CmpEq(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "popcnt" => {
+                ops.expect_len(2)?;
+                Inst::Popcnt(ops.reg(0)?, ops.reg(1)?)
+            }
+            "crc32b" => {
+                ops.expect_len(3)?;
+                Inst::Crc32b(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "mul" => {
+                ops.expect_len(3)?;
+                Inst::Mul(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "mulh" => {
+                ops.expect_len(3)?;
+                Inst::Mulh(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "div" => {
+                ops.expect_len(3)?;
+                Inst::Div(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "rem" => {
+                ops.expect_len(3)?;
+                Inst::Rem(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "fadd" => {
+                ops.expect_len(3)?;
+                Inst::Fadd(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "fsub" => {
+                ops.expect_len(3)?;
+                Inst::Fsub(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "fmul" => {
+                ops.expect_len(3)?;
+                Inst::Fmul(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "fdiv" => {
+                ops.expect_len(3)?;
+                Inst::Fdiv(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "fma" => {
+                ops.expect_len(3)?;
+                Inst::Fma(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "fsqrt" => {
+                ops.expect_len(2)?;
+                Inst::Fsqrt(ops.reg(0)?, ops.reg(1)?)
+            }
+            "ld" => {
+                ops.expect_len(3)?;
+                Inst::Ld(ops.reg(0)?, ops.reg(1)?, ops.imm_i64(2)?)
+            }
+            "st" => {
+                ops.expect_len(3)?;
+                Inst::St(ops.reg(0)?, ops.reg(1)?, ops.imm_i64(2)?)
+            }
+            "ldb" => {
+                ops.expect_len(3)?;
+                Inst::Ldb(ops.reg(0)?, ops.reg(1)?, ops.imm_i64(2)?)
+            }
+            "stb" => {
+                ops.expect_len(3)?;
+                Inst::Stb(ops.reg(0)?, ops.reg(1)?, ops.imm_i64(2)?)
+            }
+            "vadd" => {
+                ops.expect_len(3)?;
+                Inst::Vadd(ops.vreg(0)?, ops.vreg(1)?, ops.vreg(2)?)
+            }
+            "vxor" => {
+                ops.expect_len(3)?;
+                Inst::Vxor(ops.vreg(0)?, ops.vreg(1)?, ops.vreg(2)?)
+            }
+            "vmul" => {
+                ops.expect_len(3)?;
+                Inst::Vmul(ops.vreg(0)?, ops.vreg(1)?, ops.vreg(2)?)
+            }
+            "vins" => {
+                ops.expect_len(3)?;
+                Inst::Vins(ops.vreg(0)?, ops.reg(1)?, ops.imm_u8(2)?)
+            }
+            "vext" => {
+                ops.expect_len(3)?;
+                Inst::Vext(ops.reg(0)?, ops.vreg(1)?, ops.imm_u8(2)?)
+            }
+            "vld" => {
+                ops.expect_len(3)?;
+                Inst::Vld(ops.vreg(0)?, ops.reg(1)?, ops.imm_i64(2)?)
+            }
+            "vst" => {
+                ops.expect_len(3)?;
+                Inst::Vst(ops.vreg(0)?, ops.reg(1)?, ops.imm_i64(2)?)
+            }
+            "memcpy" => {
+                ops.expect_len(3)?;
+                Inst::MemCpy {
+                    dst: ops.reg(0)?,
+                    src: ops.reg(1)?,
+                    len: ops.reg(2)?,
+                }
+            }
+            "cas" => {
+                ops.expect_len(4)?;
+                Inst::Cas {
+                    rd: ops.reg(0)?,
+                    addr: ops.reg(1)?,
+                    expected: ops.reg(2)?,
+                    new: ops.reg(3)?,
+                }
+            }
+            "xadd" => {
+                ops.expect_len(3)?;
+                Inst::Xadd(ops.reg(0)?, ops.reg(1)?, ops.reg(2)?)
+            }
+            "fence" => {
+                ops.expect_len(0)?;
+                Inst::Fence
+            }
+            "aesenc" => {
+                ops.expect_len(2)?;
+                Inst::AesEnc(ops.vreg(0)?, ops.vreg(1)?)
+            }
+            "aesenclast" => {
+                ops.expect_len(2)?;
+                Inst::AesEncLast(ops.vreg(0)?, ops.vreg(1)?)
+            }
+            "aesdec" => {
+                ops.expect_len(2)?;
+                Inst::AesDec(ops.vreg(0)?, ops.vreg(1)?)
+            }
+            "aesdeclast" => {
+                ops.expect_len(2)?;
+                Inst::AesDecLast(ops.vreg(0)?, ops.vreg(1)?)
+            }
+            "jmp" => {
+                ops.expect_len(1)?;
+                Inst::Jmp(ops.target(0, &labels)?)
+            }
+            "beq" => {
+                ops.expect_len(3)?;
+                Inst::Beq(ops.reg(0)?, ops.reg(1)?, ops.target(2, &labels)?)
+            }
+            "bne" => {
+                ops.expect_len(3)?;
+                Inst::Bne(ops.reg(0)?, ops.reg(1)?, ops.target(2, &labels)?)
+            }
+            "blt" => {
+                ops.expect_len(3)?;
+                Inst::Blt(ops.reg(0)?, ops.reg(1)?, ops.target(2, &labels)?)
+            }
+            "bnz" => {
+                ops.expect_len(2)?;
+                Inst::Bnz(ops.reg(0)?, ops.target(1, &labels)?)
+            }
+            "out" => {
+                ops.expect_len(1)?;
+                Inst::Out(ops.reg(0)?)
+            }
+            "assert" => {
+                ops.expect_len(1)?;
+                Inst::Assert(ops.reg(0)?)
+            }
+            "halt" => {
+                ops.expect_len(0)?;
+                Inst::Halt
+            }
+            "nop" => {
+                ops.expect_len(0)?;
+                Inst::Nop
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        };
+        insts.push(inst);
+    }
+
+    let prog = Program::new(insts);
+    prog.validate().map_err(|m| err(0, m))?;
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            "li x1, 0x10
+             addi x1, x1, -1
+             out x1
+             halt",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.insts[0], Inst::Li(Reg(1), 16));
+        assert_eq!(p.insts[1], Inst::Addi(Reg(1), Reg(1), -1));
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = assemble(
+            "start:
+             li x1, 2
+             loop: addi x1, x1, -1
+             bnz x1, loop
+             jmp end
+             nop
+             end: halt",
+        )
+        .unwrap();
+        assert_eq!(p.insts[2], Inst::Bnz(Reg(1), 1));
+        assert_eq!(p.insts[3], Inst::Jmp(5));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(
+            "; leading comment
+             li x1, 1  ; trailing
+             # hash comment
+
+             halt",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a: nop\na: halt").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let e = assemble("jmp nowhere").unwrap_err();
+        assert!(e.message.contains("unknown label"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = assemble("frobnicate x1, x2").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let e = assemble("add x1, x2").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        assert!(assemble("li x16, 0").is_err());
+        assert!(assemble("vadd v8, v0, v1").is_err());
+        assert!(assemble("add x1, v2, x3").is_err());
+    }
+
+    #[test]
+    fn hex_and_underscore_immediates() {
+        let p = assemble("li x1, 0xff_ff\nli x2, 1_000_000\nhalt").unwrap();
+        assert_eq!(p.insts[0], Inst::Li(Reg(1), 0xffff));
+        assert_eq!(p.insts[1], Inst::Li(Reg(2), 1_000_000));
+    }
+
+    #[test]
+    fn negative_li_wraps() {
+        let p = assemble("li x1, -1\nhalt").unwrap();
+        assert_eq!(p.insts[0], Inst::Li(Reg(1), u64::MAX));
+    }
+
+    #[test]
+    fn numeric_branch_targets_allowed() {
+        let p = assemble("jmp 1\nhalt").unwrap();
+        assert_eq!(p.insts[0], Inst::Jmp(1));
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let e = assemble("nop\nbogus").unwrap_err();
+        assert_eq!(e.to_string(), "line 2: unknown mnemonic `bogus`");
+    }
+}

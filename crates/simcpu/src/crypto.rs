@@ -1,0 +1,382 @@
+//! AES round primitives for the simulated crypto unit.
+//!
+//! The crypto unit executes one AES round per instruction, the way real
+//! AES-NI hardware does. This is the unit afflicted in the paper's most
+//! striking case study — the *self-inverting* AES miscomputation (§2) —
+//! which the fault model expresses as an XOR mask applied identically to
+//! the encrypt- and decrypt-direction round outputs.
+//!
+//! Everything is implemented from first principles: the S-box is computed
+//! from the GF(2^8) inverse and the affine transform of FIPS-197 rather
+//! than transcribed, and the round functions operate on a 128-bit state
+//! where byte `i` of the AES block is bits `8*i..8*i+8` (little-endian
+//! byte order, matching how [`crate::isa::Inst::Vld`] assembles lanes from
+//! memory).
+
+use std::sync::OnceLock;
+
+/// Multiplication in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in GF(2^8); 0 maps to 0 (as FIPS-197 specifies).
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 = a^-1 in GF(2^8): square-and-multiply over the exponent 254.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut e = 254u32;
+    while e != 0 {
+        if e & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        e >>= 1;
+    }
+    result
+}
+
+fn affine(x: u8) -> u8 {
+    // FIPS-197 §5.1.1: b'_i = b_i ^ b_{i+4} ^ b_{i+5} ^ b_{i+6} ^ b_{i+7} ^ c_i.
+    let mut out = 0u8;
+    for i in 0..8 {
+        let bit = ((x >> i)
+            ^ (x >> ((i + 4) % 8))
+            ^ (x >> ((i + 5) % 8))
+            ^ (x >> ((i + 6) % 8))
+            ^ (x >> ((i + 7) % 8))
+            ^ (0x63 >> i))
+            & 1;
+        out |= bit << i;
+    }
+    out
+}
+
+fn tables() -> &'static ([u8; 256], [u8; 256]) {
+    static TABLES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut sbox = [0u8; 256];
+        let mut inv = [0u8; 256];
+        for (i, slot) in sbox.iter_mut().enumerate() {
+            *slot = affine(gf_inv(i as u8));
+        }
+        for (i, &s) in sbox.iter().enumerate() {
+            inv[s as usize] = i as u8;
+        }
+        (sbox, inv)
+    })
+}
+
+/// The AES S-box.
+pub fn sbox(x: u8) -> u8 {
+    tables().0[x as usize]
+}
+
+/// The inverse AES S-box.
+pub fn inv_sbox(x: u8) -> u8 {
+    tables().1[x as usize]
+}
+
+fn to_bytes(x: u128) -> [u8; 16] {
+    x.to_le_bytes()
+}
+
+fn from_bytes(b: [u8; 16]) -> u128 {
+    u128::from_le_bytes(b)
+}
+
+fn sub_bytes(b: &mut [u8; 16]) {
+    for v in b.iter_mut() {
+        *v = sbox(*v);
+    }
+}
+
+fn inv_sub_bytes(b: &mut [u8; 16]) {
+    for v in b.iter_mut() {
+        *v = inv_sbox(*v);
+    }
+}
+
+/// ShiftRows: row `r` of the state (bytes `r, r+4, r+8, r+12`) rotates left
+/// by `r`.
+fn shift_rows(b: &mut [u8; 16]) {
+    let src = *b;
+    for r in 0..4 {
+        for c in 0..4 {
+            b[r + 4 * c] = src[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn inv_shift_rows(b: &mut [u8; 16]) {
+    let src = *b;
+    for r in 0..4 {
+        for c in 0..4 {
+            b[r + 4 * ((c + r) % 4)] = src[r + 4 * c];
+        }
+    }
+}
+
+fn mix_columns(b: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]];
+        b[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        b[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        b[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        b[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(b: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]];
+        b[4 * c] = gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        b[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        b[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        b[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+/// One middle encryption round:
+/// `MixColumns(ShiftRows(SubBytes(state))) ^ key`.
+pub fn enc_round(state: u128, key: u128) -> u128 {
+    let mut b = to_bytes(state);
+    sub_bytes(&mut b);
+    shift_rows(&mut b);
+    mix_columns(&mut b);
+    from_bytes(b) ^ key
+}
+
+/// The final encryption round (no MixColumns).
+pub fn enc_last_round(state: u128, key: u128) -> u128 {
+    let mut b = to_bytes(state);
+    sub_bytes(&mut b);
+    shift_rows(&mut b);
+    from_bytes(b) ^ key
+}
+
+/// Inverse of [`enc_round`] with the same round key:
+/// `InvSubBytes(InvShiftRows(InvMixColumns(state ^ key)))`.
+pub fn dec_round(state: u128, key: u128) -> u128 {
+    let mut b = to_bytes(state ^ key);
+    inv_mix_columns(&mut b);
+    inv_shift_rows(&mut b);
+    inv_sub_bytes(&mut b);
+    from_bytes(b)
+}
+
+/// Inverse of [`enc_last_round`] with the same round key.
+pub fn dec_last_round(state: u128, key: u128) -> u128 {
+    let mut b = to_bytes(state ^ key);
+    inv_shift_rows(&mut b);
+    inv_sub_bytes(&mut b);
+    from_bytes(b)
+}
+
+/// AES-128 key expansion: 11 round keys from a 16-byte key (FIPS-197 §5.2).
+pub fn expand_key_128(key: [u8; 16]) -> [u128; 11] {
+    let mut w = [[0u8; 4]; 44];
+    for (i, chunk) in key.chunks(4).enumerate() {
+        w[i].copy_from_slice(chunk);
+    }
+    let mut rcon = 1u8;
+    for i in 4..44 {
+        let mut t = w[i - 1];
+        if i % 4 == 0 {
+            t.rotate_left(1);
+            for v in t.iter_mut() {
+                *v = sbox(*v);
+            }
+            t[0] ^= rcon;
+            rcon = gf_mul(rcon, 2);
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ t[j];
+        }
+    }
+    let mut keys = [0u128; 11];
+    for (r, slot) in keys.iter_mut().enumerate() {
+        let mut b = [0u8; 16];
+        for c in 0..4 {
+            b[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+        }
+        *slot = from_bytes(b);
+    }
+    keys
+}
+
+/// Full AES-128 block encryption built from the round primitives.
+///
+/// This is the *reference* the simulated crypto unit is tested against;
+/// the software-AES library that applications use lives in
+/// `mercurial-corpus` and is implemented independently.
+pub fn aes128_encrypt_block(key: [u8; 16], block: [u8; 16]) -> [u8; 16] {
+    let keys = expand_key_128(key);
+    let mut state = from_bytes(block) ^ keys[0];
+    for &k in &keys[1..10] {
+        state = enc_round(state, k);
+    }
+    state = enc_last_round(state, keys[10]);
+    to_bytes(state)
+}
+
+/// Full AES-128 block decryption built from the round primitives.
+pub fn aes128_decrypt_block(key: [u8; 16], block: [u8; 16]) -> [u8; 16] {
+    let keys = expand_key_128(key);
+    let mut state = from_bytes(block);
+    state = dec_last_round(state, keys[10]);
+    for &k in keys[1..10].iter().rev() {
+        state = dec_round(state, k);
+    }
+    to_bytes(state ^ keys[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_values() {
+        // FIPS-197 Figure 7 spot checks.
+        assert_eq!(sbox(0x00), 0x63);
+        assert_eq!(sbox(0x53), 0xed);
+        assert_eq!(sbox(0xff), 0x16);
+        assert_eq!(inv_sbox(0x63), 0x00);
+        assert_eq!(inv_sbox(0xed), 0x53);
+    }
+
+    #[test]
+    fn sbox_is_a_bijection() {
+        let mut seen = [false; 256];
+        for i in 0..=255u8 {
+            let s = sbox(i) as usize;
+            assert!(!seen[s]);
+            seen[s] = true;
+            assert_eq!(inv_sbox(sbox(i)), i);
+        }
+    }
+
+    #[test]
+    fn gf_mul_known_values() {
+        // FIPS-197 §4.2: {57} · {83} = {c1}.
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(1, 0xab), 0xab);
+        assert_eq!(gf_mul(0, 0xab), 0);
+    }
+
+    #[test]
+    fn mix_columns_inverts() {
+        let mut b: [u8; 16] = core::array::from_fn(|i| (i * 17 + 3) as u8);
+        let orig = b;
+        mix_columns(&mut b);
+        assert_ne!(b, orig);
+        inv_mix_columns(&mut b);
+        assert_eq!(b, orig);
+    }
+
+    #[test]
+    fn shift_rows_inverts() {
+        let mut b: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let orig = b;
+        shift_rows(&mut b);
+        inv_shift_rows(&mut b);
+        assert_eq!(b, orig);
+    }
+
+    #[test]
+    fn shift_rows_row0_fixed() {
+        let mut b: [u8; 16] = core::array::from_fn(|i| i as u8);
+        shift_rows(&mut b);
+        // Row 0 (bytes 0, 4, 8, 12) does not move.
+        assert_eq!([b[0], b[4], b[8], b[12]], [0, 4, 8, 12]);
+        // Row 1 rotates left by one column.
+        assert_eq!([b[1], b[5], b[9], b[13]], [5, 9, 13, 1]);
+    }
+
+    #[test]
+    fn rounds_invert_each_other() {
+        let state = 0x0f1e_2d3c_4b5a_6978_8796_a5b4_c3d2_e1f0u128;
+        let key = 0xdead_beef_cafe_f00d_0123_4567_89ab_cdefu128;
+        assert_eq!(dec_round(enc_round(state, key), key), state);
+        assert_eq!(dec_last_round(enc_last_round(state, key), key), state);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS-197 Appendix B: the canonical AES-128 example.
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect: [u8; 16] = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        assert_eq!(aes128_encrypt_block(key, pt), expect);
+        assert_eq!(aes128_decrypt_block(key, expect), pt);
+    }
+
+    #[test]
+    fn fips197_appendix_c1_vector() {
+        // FIPS-197 Appendix C.1: key 000102…0f, plaintext 00112233…ff.
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let expect: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(aes128_encrypt_block(key, pt), expect);
+        assert_eq!(aes128_decrypt_block(key, expect), pt);
+    }
+
+    #[test]
+    fn key_expansion_first_word_matches_fips() {
+        // FIPS-197 Appendix A.1: w[4] = a0fafe17 for the 2b7e… key.
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let keys = expand_key_128(key);
+        let k1 = keys[1].to_le_bytes();
+        assert_eq!(&k1[0..4], &[0xa0, 0xfa, 0xfe, 0x17]);
+    }
+
+    #[test]
+    fn round_xor_lesion_is_self_inverting_through_rounds() {
+        // The §2 case-study mechanism: XOR the same mask into the encrypt
+        // round output and the decrypt round *input adjustment* and the two
+        // passes cancel on the same core.
+        let mask = 0x0000_0400_0000_0000_0000_0000_0002_0000u128;
+        let state = 0x1111_2222_3333_4444_5555_6666_7777_8888u128;
+        let key = 0x0101_0202_0303_0404_0505_0606_0707_0808u128;
+        let corrupted_ct = enc_round(state, key) ^ mask;
+        // Same-core decryption applies the same mask before inverting.
+        let recovered = dec_round(corrupted_ct ^ mask, key);
+        assert_eq!(recovered, state);
+        // Elsewhere (no mask), decryption yields gibberish.
+        assert_ne!(dec_round(corrupted_ct, key), state);
+    }
+}

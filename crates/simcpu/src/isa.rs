@@ -1,0 +1,329 @@
+//! The simulated instruction set.
+//!
+//! A 64-bit load/store machine with sixteen general-purpose registers,
+//! eight 256-bit vector registers (four 64-bit lanes), flat byte-addressable
+//! memory, and instruction families chosen to exercise every functional
+//! unit a mercurial core can break: scalar ALU, multiply/divide, vector,
+//! floating point (f64 carried in GPRs), loads/stores, atomics, crypto
+//! rounds, branches, and a bulk-copy instruction that — like the production
+//! hardware in the paper's §5 anecdote — shares the vector pipe.
+
+use serde::{Deserialize, Serialize};
+
+/// A general-purpose register, `x0`–`x15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Number of general-purpose registers.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register, checking range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 16`.
+    pub fn new(idx: u8) -> Reg {
+        assert!((idx as usize) < Reg::COUNT, "register x{idx} out of range");
+        Reg(idx)
+    }
+
+    /// The register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A vector register, `v0`–`v7`, holding four 64-bit lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VReg(pub u8);
+
+impl VReg {
+    /// Number of vector registers.
+    pub const COUNT: usize = 8;
+    /// Lanes per vector register.
+    pub const LANES: usize = 4;
+
+    /// Creates a vector register, checking range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 8`.
+    pub fn new(idx: u8) -> VReg {
+        assert!((idx as usize) < VReg::COUNT, "register v{idx} out of range");
+        VReg(idx)
+    }
+
+    /// The register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One instruction.
+///
+/// Field order is destination first, sources after, immediates last —
+/// matching the assembler's operand order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    // --- Scalar ALU (FunctionalUnit::ScalarAlu) ---
+    /// `rd = imm` (load immediate).
+    Li(Reg, u64),
+    /// `rd = rs` (register move).
+    Mov(Reg, Reg),
+    /// `rd = ra + rb` (wrapping).
+    Add(Reg, Reg, Reg),
+    /// `rd = ra + imm` (wrapping).
+    Addi(Reg, Reg, i64),
+    /// `rd = ra - rb` (wrapping).
+    Sub(Reg, Reg, Reg),
+    /// `rd = ra & rb`.
+    And(Reg, Reg, Reg),
+    /// `rd = ra | rb`.
+    Or(Reg, Reg, Reg),
+    /// `rd = ra ^ rb`.
+    Xor(Reg, Reg, Reg),
+    /// `rd = ra ^ imm`.
+    Xori(Reg, Reg, u64),
+    /// `rd = ra << (rb & 63)`.
+    Shl(Reg, Reg, Reg),
+    /// `rd = ra >> (rb & 63)` (logical).
+    Shr(Reg, Reg, Reg),
+    /// `rd = rotate_left(ra, imm)`.
+    Rotli(Reg, Reg, u32),
+    /// `rd = (ra < rb) as u64` (unsigned).
+    CmpLt(Reg, Reg, Reg),
+    /// `rd = (ra == rb) as u64`.
+    CmpEq(Reg, Reg, Reg),
+    /// `rd = popcount(ra)`.
+    Popcnt(Reg, Reg),
+    /// One byte-wise CRC-32 step: `rd = crc32_update(ra, low byte of rb)`.
+    Crc32b(Reg, Reg, Reg),
+
+    // --- Multiply / divide (FunctionalUnit::MulDiv) ---
+    /// `rd = ra * rb` (wrapping, low 64 bits).
+    Mul(Reg, Reg, Reg),
+    /// `rd = high 64 bits of ra * rb` (unsigned widening).
+    Mulh(Reg, Reg, Reg),
+    /// `rd = ra / rb` (unsigned); traps on divide-by-zero.
+    Div(Reg, Reg, Reg),
+    /// `rd = ra % rb` (unsigned); traps on divide-by-zero.
+    Rem(Reg, Reg, Reg),
+
+    // --- Floating point, f64 bits carried in GPRs (FunctionalUnit::Fma) ---
+    /// `rd = ra +f rb`.
+    Fadd(Reg, Reg, Reg),
+    /// `rd = ra -f rb`.
+    Fsub(Reg, Reg, Reg),
+    /// `rd = ra *f rb`.
+    Fmul(Reg, Reg, Reg),
+    /// `rd = ra /f rb`.
+    Fdiv(Reg, Reg, Reg),
+    /// `rd = fma(ra, rb, rd)` — fused multiply-add accumulating into `rd`.
+    Fma(Reg, Reg, Reg),
+    /// `rd = sqrt(ra)`.
+    Fsqrt(Reg, Reg),
+
+    // --- Memory (FunctionalUnit::LoadStore + AddressGen) ---
+    /// `rd = mem64[ra + imm]`.
+    Ld(Reg, Reg, i64),
+    /// `mem64[ra + imm] = rs` — note operand order `(rs, ra, imm)`.
+    St(Reg, Reg, i64),
+    /// `rd = mem8[ra + imm]` (zero-extended).
+    Ldb(Reg, Reg, i64),
+    /// `mem8[ra + imm] = low byte of rs`.
+    Stb(Reg, Reg, i64),
+
+    // --- Vector (FunctionalUnit::VectorPipe) ---
+    /// `vd = va + vb` per lane (wrapping).
+    Vadd(VReg, VReg, VReg),
+    /// `vd = va ^ vb` per lane.
+    Vxor(VReg, VReg, VReg),
+    /// `vd = va * vb` per lane (wrapping).
+    Vmul(VReg, VReg, VReg),
+    /// `vd.lanes[imm] = rs` (lane insert).
+    Vins(VReg, Reg, u8),
+    /// `rd = va.lanes[imm]` (lane extract).
+    Vext(Reg, VReg, u8),
+    /// `vd = mem256[ra + imm]` (four consecutive u64s).
+    Vld(VReg, Reg, i64),
+    /// `mem256[ra + imm] = vs`.
+    Vst(VReg, Reg, i64),
+    /// Bulk copy: `len = x(len)` bytes from `mem[x(src)]` to `mem[x(dst)]`.
+    ///
+    /// Executes on the **vector pipe** (§5: copy and vector operations share
+    /// hardware logic).
+    MemCpy {
+        /// Register holding the destination address.
+        dst: Reg,
+        /// Register holding the source address.
+        src: Reg,
+        /// Register holding the byte length.
+        len: Reg,
+    },
+
+    // --- Atomics (FunctionalUnit::Atomics) ---
+    /// Compare-and-swap on `mem64[ra]`: if current == `expected`'s value,
+    /// store `new`'s value. `rd` receives the value observed before the
+    /// operation (equal to expected on success).
+    Cas {
+        /// Destination for the observed value.
+        rd: Reg,
+        /// Address register.
+        addr: Reg,
+        /// Expected-value register.
+        expected: Reg,
+        /// New-value register.
+        new: Reg,
+    },
+    /// Atomic fetch-and-add on `mem64[ra]`; `rd` receives the old value.
+    Xadd(Reg, Reg, Reg),
+    /// Memory fence (ordering no-op in this simulator, but it occupies the
+    /// atomics unit and is therefore injectable).
+    Fence,
+
+    // --- Crypto (FunctionalUnit::CryptoUnit) ---
+    /// One AES encryption round on the 128-bit state in lanes 0–1 of `vd`,
+    /// with the round key in lanes 0–1 of `vk`:
+    /// `state = MixColumns(ShiftRows(SubBytes(state))) ^ key`.
+    AesEnc(VReg, VReg),
+    /// Final AES encryption round (no MixColumns).
+    AesEncLast(VReg, VReg),
+    /// One AES *equivalent inverse cipher* decryption round:
+    /// `state = InvMixColumns(InvShiftRows(InvSubBytes(state)) ^ key-ish)`;
+    /// see [`crate::crypto`] for the exact transform pairing.
+    AesDec(VReg, VReg),
+    /// Final AES decryption round (no InvMixColumns).
+    AesDecLast(VReg, VReg),
+
+    // --- Control (FunctionalUnit::BranchUnit) ---
+    /// Jump to absolute instruction index.
+    Jmp(u32),
+    /// Branch to `target` if `ra == rb`.
+    Beq(Reg, Reg, u32),
+    /// Branch to `target` if `ra != rb`.
+    Bne(Reg, Reg, u32),
+    /// Branch to `target` if `ra < rb` (unsigned).
+    Blt(Reg, Reg, u32),
+    /// Branch to `target` if `ra != 0`.
+    Bnz(Reg, u32),
+
+    // --- Environment ---
+    /// Append `ra`'s value to the core's output buffer.
+    Out(Reg),
+    /// Trap with [`crate::trap::Trap::AssertFailed`] if `ra == 0`.
+    Assert(Reg),
+    /// Stop execution successfully.
+    Halt,
+    /// No operation (scalar ALU).
+    Nop,
+}
+
+/// An executable program: a flat instruction sequence.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// The instructions; the program entry point is index 0.
+    pub insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Creates a program from instructions.
+    pub fn new(insts: Vec<Inst>) -> Program {
+        Program { insts }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Validates static properties: branch targets in range.
+    ///
+    /// Register encodings are enforced by construction ([`Reg::new`] /
+    /// [`VReg::new`] panic on bad indices), so only control-flow targets
+    /// need checking.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.insts.len() as u32;
+        for (pc, inst) in self.insts.iter().enumerate() {
+            let target = match *inst {
+                Inst::Jmp(t)
+                | Inst::Beq(_, _, t)
+                | Inst::Bne(_, _, t)
+                | Inst::Blt(_, _, t)
+                | Inst::Bnz(_, t) => Some(t),
+                _ => None,
+            };
+            if let Some(t) = target {
+                if t >= n {
+                    return Err(format!("instruction {pc}: branch target {t} out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_construction_and_bounds() {
+        assert_eq!(Reg::new(15).index(), 15);
+        assert_eq!(Reg::new(0).to_string(), "x0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vreg_out_of_range_panics() {
+        let _ = VReg::new(8);
+    }
+
+    #[test]
+    fn program_validate_accepts_good_branches() {
+        let p = Program::new(vec![
+            Inst::Li(Reg::new(1), 3),
+            Inst::Bnz(Reg::new(1), 0),
+            Inst::Halt,
+        ]);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn program_validate_rejects_out_of_range_target() {
+        let p = Program::new(vec![Inst::Jmp(5), Inst::Halt]);
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("out of range"));
+    }
+
+    #[test]
+    fn program_len() {
+        let p = Program::new(vec![Inst::Nop, Inst::Halt]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(Program::default().is_empty());
+    }
+}

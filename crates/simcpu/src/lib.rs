@@ -1,0 +1,47 @@
+//! # mercurial-simcpu
+//!
+//! An instruction-level multicore CPU simulator with per-functional-unit
+//! CEE injection — the "cycle-level CPU simulators that allow injection of
+//! known CEE behavior" that §9 of *Cores that don't count* calls for.
+//!
+//! The simulated machine is a small 64-bit load/store architecture chosen
+//! to make the paper's phenomena expressible, not to mimic any real ISA:
+//!
+//! * every instruction executes on one [`FunctionalUnit`]
+//!   (see [`unitmap`]), and the mapping is deliberately non-obvious in the
+//!   way the paper describes — bulk copies ([`isa::Inst::MemCpy`]) execute
+//!   on the **vector pipe**, so a vector-pipe defect corrupts both vector
+//!   math and `memcpy`-style code (§5);
+//! * a [`exec::SimCore`] owns an optional fault [`Injector`]; healthy cores
+//!   run the exact same code paths with zero behavioral difference;
+//! * wrong answers can surface as silent corruption, exceptions
+//!   ([`trap::Trap`]), or [machine checks](trap::Trap::MachineCheck),
+//!   reproducing the §2 symptom mix;
+//! * a [`chip::Chip`] gangs several cores over shared memory with
+//!   round-robin interleaving, which is enough to express lock-torture
+//!   tests against defective atomic units.
+//!
+//! A tiny assembler ([`asm`]) turns readable text into programs, so the
+//! corpus crate and the examples can ship legible test kernels.
+//!
+//! [`FunctionalUnit`]: mercurial_fault::FunctionalUnit
+//! [`Injector`]: mercurial_fault::Injector
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod chip;
+pub mod crypto;
+pub mod disasm;
+pub mod exec;
+pub mod isa;
+pub mod mem;
+pub mod trap;
+pub mod unitmap;
+
+pub use asm::{assemble, AsmError};
+pub use disasm::{disassemble, render_inst};
+pub use chip::{Chip, ChipConfig};
+pub use exec::{CoreConfig, ExecStats, SimCore, StepOutcome};
+pub use isa::{Inst, Program, Reg, VReg};
+pub use mem::Memory;
+pub use trap::Trap;

@@ -1,0 +1,138 @@
+//! Flat, bounds-checked simulated memory.
+
+use crate::trap::Trap;
+
+/// Byte-addressable memory shared by the cores of a [`crate::chip::Chip`].
+///
+/// All accesses are bounds-checked; violations surface as
+/// [`Trap::Segfault`], which is one of the "loud" CEE symptoms: a corrupted
+/// address usually lands far outside the mapped region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates zeroed memory of `size` bytes.
+    pub fn new(size: usize) -> Memory {
+        Memory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the memory has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn check(&self, addr: u64, width: u64) -> Result<usize, Trap> {
+        let end = addr.checked_add(width).ok_or(Trap::Segfault { addr })?;
+        if end > self.bytes.len() as u64 {
+            return Err(Trap::Segfault { addr });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, Trap> {
+        let i = self.check(addr, 8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[i..i + 8]);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), Trap> {
+        let i = self.check(addr, 8)?;
+        self.bytes[i..i + 8].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, Trap> {
+        let i = self.check(addr, 1)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), Trap> {
+        let i = self.check(addr, 1)?;
+        self.bytes[i] = value;
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), Trap> {
+        let i = self.check(addr, data.len() as u64)?;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, Trap> {
+        let i = self.check(addr, len as u64)?;
+        Ok(self.bytes[i..i + len].to_vec())
+    }
+
+    /// Fills `[addr, addr+len)` with a byte value.
+    pub fn fill(&mut self, addr: u64, len: u64, value: u8) -> Result<(), Trap> {
+        let i = self.check(addr, len)?;
+        self.bytes[i..i + len as usize].fill(value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut m = Memory::new(64);
+        m.write_u64(8, 0x0123_4567_89ab_cdef).unwrap();
+        assert_eq!(m.read_u64(8).unwrap(), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new(16);
+        m.write_u64(0, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(m.read_u8(0).unwrap(), 0x08);
+        assert_eq!(m.read_u8(7).unwrap(), 0x01);
+    }
+
+    #[test]
+    fn out_of_bounds_is_segfault() {
+        let m = Memory::new(16);
+        assert_eq!(m.read_u64(9), Err(Trap::Segfault { addr: 9 }));
+        assert_eq!(m.read_u64(u64::MAX), Err(Trap::Segfault { addr: u64::MAX }));
+    }
+
+    #[test]
+    fn overflowing_address_is_segfault() {
+        let mut m = Memory::new(16);
+        assert!(m.write_u64(u64::MAX - 3, 1).is_err());
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut m = Memory::new(32);
+        m.write_bytes(4, b"hello world").unwrap();
+        assert_eq!(m.read_bytes(4, 11).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn fill_works() {
+        let mut m = Memory::new(16);
+        m.fill(4, 8, 0xaa).unwrap();
+        assert_eq!(m.read_u8(3).unwrap(), 0);
+        assert_eq!(m.read_u8(4).unwrap(), 0xaa);
+        assert_eq!(m.read_u8(11).unwrap(), 0xaa);
+        assert_eq!(m.read_u8(12).unwrap(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Traps: the architecturally *loud* failure modes.
+//!
+//! The paper's §2 symptom list includes exceptions, segmentation faults and
+//! machine checks alongside silent wrong answers; a defective core "appears
+//! to exhibit both wrong results and exceptions". Traps are how the
+//! simulator surfaces the loud half.
+
+use mercurial_fault::SymptomClass;
+use serde::{Deserialize, Serialize};
+
+/// An execution trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trap {
+    /// Out-of-bounds or wildly misaligned memory access.
+    Segfault {
+        /// The offending address.
+        addr: u64,
+    },
+    /// Integer division by zero.
+    DivByZero,
+    /// Program counter ran off the end of the program.
+    PcOutOfRange {
+        /// The bad program counter.
+        pc: u32,
+    },
+    /// An `assert` instruction observed zero.
+    AssertFailed {
+        /// The program counter of the assertion.
+        pc: u32,
+    },
+    /// A hardware machine-check event (the simulator raises these when an
+    /// injected corruption is loud enough for the hardware to notice).
+    MachineCheck,
+    /// Execution exceeded the configured instruction budget (used to catch
+    /// corruption-induced infinite loops rather than hanging the host).
+    FuelExhausted,
+}
+
+impl Trap {
+    /// The §2 symptom class this trap corresponds to when it was caused by
+    /// a CEE.
+    pub fn symptom_class(&self) -> SymptomClass {
+        match self {
+            Trap::MachineCheck => SymptomClass::MachineCheck,
+            _ => SymptomClass::WrongDetectedImmediately,
+        }
+    }
+
+    /// A short stable label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Trap::Segfault { .. } => "segfault",
+            Trap::DivByZero => "div-by-zero",
+            Trap::PcOutOfRange { .. } => "pc-out-of-range",
+            Trap::AssertFailed { .. } => "assert-failed",
+            Trap::MachineCheck => "machine-check",
+            Trap::FuelExhausted => "fuel-exhausted",
+        }
+    }
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::Segfault { addr } => write!(f, "segfault at {addr:#x}"),
+            Trap::PcOutOfRange { pc } => write!(f, "pc out of range: {pc}"),
+            Trap::AssertFailed { pc } => write!(f, "assertion failed at pc {pc}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_check_classifies_as_machine_check() {
+        assert_eq!(
+            Trap::MachineCheck.symptom_class(),
+            SymptomClass::MachineCheck
+        );
+    }
+
+    #[test]
+    fn other_traps_are_immediate_detections() {
+        assert_eq!(
+            Trap::Segfault { addr: 0xbad }.symptom_class(),
+            SymptomClass::WrongDetectedImmediately
+        );
+        assert_eq!(
+            Trap::DivByZero.symptom_class(),
+            SymptomClass::WrongDetectedImmediately
+        );
+    }
+
+    #[test]
+    fn display_includes_address() {
+        assert_eq!(
+            Trap::Segfault { addr: 0x1000 }.to_string(),
+            "segfault at 0x1000"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Instruction → functional-unit mapping.
+//!
+//! §5 of the paper: "often the mapping of instructions to possibly-defective
+//! hardware is non-obvious". Two deliberate non-obviousnesses here, copied
+//! from production reality:
+//!
+//! * [`Inst::MemCpy`] executes on [`FunctionalUnit::VectorPipe`] — the
+//!   paper found data-copy and vector operations failing together because
+//!   they share hardware;
+//! * [`Inst::Crc32b`] executes on the scalar ALU even though one might
+//!   guess "crypto"; conversely the carry-less-multiply-style AES rounds
+//!   are on the crypto unit.
+//!
+//! Loads and stores touch *two* units: address generation computes the
+//! effective address, then the load/store unit moves data. The executor
+//! queries both.
+
+use crate::isa::Inst;
+use mercurial_fault::FunctionalUnit;
+
+/// The unit an instruction's *data* computation executes on.
+pub fn unit_of(inst: &Inst) -> FunctionalUnit {
+    match inst {
+        Inst::Li(..)
+        | Inst::Mov(..)
+        | Inst::Add(..)
+        | Inst::Addi(..)
+        | Inst::Sub(..)
+        | Inst::And(..)
+        | Inst::Or(..)
+        | Inst::Xor(..)
+        | Inst::Xori(..)
+        | Inst::Shl(..)
+        | Inst::Shr(..)
+        | Inst::Rotli(..)
+        | Inst::CmpLt(..)
+        | Inst::CmpEq(..)
+        | Inst::Popcnt(..)
+        | Inst::Crc32b(..)
+        | Inst::Nop => FunctionalUnit::ScalarAlu,
+
+        Inst::Mul(..) | Inst::Mulh(..) | Inst::Div(..) | Inst::Rem(..) => FunctionalUnit::MulDiv,
+
+        Inst::Fadd(..)
+        | Inst::Fsub(..)
+        | Inst::Fmul(..)
+        | Inst::Fdiv(..)
+        | Inst::Fma(..)
+        | Inst::Fsqrt(..) => FunctionalUnit::Fma,
+
+        Inst::Ld(..) | Inst::St(..) | Inst::Ldb(..) | Inst::Stb(..) => FunctionalUnit::LoadStore,
+
+        Inst::Vadd(..)
+        | Inst::Vxor(..)
+        | Inst::Vmul(..)
+        | Inst::Vins(..)
+        | Inst::Vext(..)
+        | Inst::Vld(..)
+        | Inst::Vst(..)
+        | Inst::MemCpy { .. } => FunctionalUnit::VectorPipe,
+
+        Inst::Cas { .. } | Inst::Xadd(..) | Inst::Fence => FunctionalUnit::Atomics,
+
+        Inst::AesEnc(..) | Inst::AesEncLast(..) | Inst::AesDec(..) | Inst::AesDecLast(..) => {
+            FunctionalUnit::CryptoUnit
+        }
+
+        Inst::Jmp(..) | Inst::Beq(..) | Inst::Bne(..) | Inst::Blt(..) | Inst::Bnz(..) => {
+            FunctionalUnit::BranchUnit
+        }
+
+        Inst::Out(..) | Inst::Assert(..) | Inst::Halt => FunctionalUnit::ScalarAlu,
+    }
+}
+
+/// Whether the instruction computes an effective address on
+/// [`FunctionalUnit::AddressGen`] before its data operation.
+pub fn uses_address_gen(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Ld(..)
+            | Inst::St(..)
+            | Inst::Ldb(..)
+            | Inst::Stb(..)
+            | Inst::Vld(..)
+            | Inst::Vst(..)
+            | Inst::Cas { .. }
+            | Inst::Xadd(..)
+            | Inst::MemCpy { .. }
+    )
+}
+
+/// The cycle cost of an instruction (a simple static table; copies add a
+/// per-word cost in the executor).
+pub fn cycle_cost(inst: &Inst) -> u64 {
+    match inst {
+        Inst::Mul(..) | Inst::Mulh(..) => 3,
+        Inst::Div(..) | Inst::Rem(..) => 20,
+        Inst::Fdiv(..) => 14,
+        Inst::Fsqrt(..) => 16,
+        Inst::Fadd(..) | Inst::Fsub(..) | Inst::Fmul(..) | Inst::Fma(..) => 4,
+        Inst::Ld(..) | Inst::Ldb(..) | Inst::Vld(..) => 4,
+        Inst::St(..) | Inst::Stb(..) | Inst::Vst(..) => 2,
+        Inst::Cas { .. } | Inst::Xadd(..) => 12,
+        Inst::Fence => 8,
+        Inst::AesEnc(..) | Inst::AesEncLast(..) | Inst::AesDec(..) | Inst::AesDecLast(..) => 4,
+        Inst::Vadd(..) | Inst::Vxor(..) | Inst::Vmul(..) => 2,
+        Inst::MemCpy { .. } => 4, // plus 1 per 8-byte word, added by the executor
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Reg, VReg};
+
+    #[test]
+    fn memcpy_shares_the_vector_pipe() {
+        // The §5 anecdote, encoded: copies and vector math share hardware.
+        let copy = Inst::MemCpy {
+            dst: Reg::new(1),
+            src: Reg::new(2),
+            len: Reg::new(3),
+        };
+        let vmath = Inst::Vadd(VReg::new(0), VReg::new(1), VReg::new(2));
+        assert_eq!(unit_of(&copy), FunctionalUnit::VectorPipe);
+        assert_eq!(unit_of(&copy), unit_of(&vmath));
+    }
+
+    #[test]
+    fn crc_is_scalar_not_crypto() {
+        let crc = Inst::Crc32b(Reg::new(1), Reg::new(2), Reg::new(3));
+        assert_eq!(unit_of(&crc), FunctionalUnit::ScalarAlu);
+        let aes = Inst::AesEnc(VReg::new(0), VReg::new(1));
+        assert_eq!(unit_of(&aes), FunctionalUnit::CryptoUnit);
+    }
+
+    #[test]
+    fn memory_ops_use_address_gen() {
+        assert!(uses_address_gen(&Inst::Ld(Reg::new(1), Reg::new(2), 0)));
+        assert!(uses_address_gen(&Inst::MemCpy {
+            dst: Reg::new(1),
+            src: Reg::new(2),
+            len: Reg::new(3)
+        }));
+        assert!(!uses_address_gen(&Inst::Add(
+            Reg::new(1),
+            Reg::new(2),
+            Reg::new(3)
+        )));
+        assert!(!uses_address_gen(&Inst::Jmp(0)));
+    }
+
+    #[test]
+    fn division_is_expensive() {
+        assert!(
+            cycle_cost(&Inst::Div(Reg::new(1), Reg::new(2), Reg::new(3)))
+                > cycle_cost(&Inst::Add(Reg::new(1), Reg::new(2), Reg::new(3)))
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests on the simulator: healthy-core architectural
+//! correctness against native Rust semantics, and assembler totality.
+
+use mercurial_simcpu::{assemble, CoreConfig, Memory, Reg, SimCore};
+use proptest::prelude::*;
+
+fn run_binop(op: &str, a: u64, b: u64) -> Result<u64, mercurial_simcpu::Trap> {
+    let src = format!(
+        "ld x1, x0, 256
+         ld x2, x0, 264
+         {op} x3, x1, x2
+         out x3
+         halt"
+    );
+    let prog = assemble(&src).expect("binop program assembles");
+    let mut core = SimCore::new(CoreConfig::default(), None);
+    core.set_reg(Reg(0), 0);
+    let mut mem = Memory::new(1024);
+    mem.write_u64(256, a).unwrap();
+    mem.write_u64(264, b).unwrap();
+    core.run(&prog, &mut mem)?;
+    Ok(core.output()[0])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Healthy-core integer ops match Rust's wrapping semantics exactly.
+    #[test]
+    fn healthy_alu_matches_native(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(run_binop("add", a, b).unwrap(), a.wrapping_add(b));
+        prop_assert_eq!(run_binop("sub", a, b).unwrap(), a.wrapping_sub(b));
+        prop_assert_eq!(run_binop("xor", a, b).unwrap(), a ^ b);
+        prop_assert_eq!(run_binop("and", a, b).unwrap(), a & b);
+        prop_assert_eq!(run_binop("or", a, b).unwrap(), a | b);
+        prop_assert_eq!(run_binop("mul", a, b).unwrap(), a.wrapping_mul(b));
+        prop_assert_eq!(
+            run_binop("mulh", a, b).unwrap(),
+            ((a as u128 * b as u128) >> 64) as u64
+        );
+        prop_assert_eq!(run_binop("shl", a, b).unwrap(), a << (b & 63));
+        prop_assert_eq!(run_binop("shr", a, b).unwrap(), a >> (b & 63));
+        prop_assert_eq!(run_binop("cmplt", a, b).unwrap(), (a < b) as u64);
+        prop_assert_eq!(run_binop("cmpeq", a, b).unwrap(), (a == b) as u64);
+    }
+
+    /// Division matches native or traps on zero — never anything else.
+    #[test]
+    fn division_semantics(a in any::<u64>(), b in any::<u64>()) {
+        match run_binop("div", a, b) {
+            Ok(q) => {
+                prop_assert!(b != 0);
+                prop_assert_eq!(q, a / b);
+            }
+            Err(t) => {
+                prop_assert_eq!(b, 0);
+                prop_assert_eq!(t, mercurial_simcpu::Trap::DivByZero);
+            }
+        }
+        if b != 0 {
+            prop_assert_eq!(run_binop("rem", a, b).unwrap(), a % b);
+        }
+    }
+
+    /// Float ops match native IEEE-754 bit-for-bit on a healthy core.
+    #[test]
+    fn healthy_float_matches_native(a in any::<f64>(), b in any::<f64>()) {
+        let run = |op: &str| run_binop(op, a.to_bits(), b.to_bits()).unwrap();
+        prop_assert_eq!(run("fadd"), (a + b).to_bits());
+        prop_assert_eq!(run("fsub"), (a - b).to_bits());
+        prop_assert_eq!(run("fmul"), (a * b).to_bits());
+        prop_assert_eq!(run("fdiv"), (a / b).to_bits());
+    }
+
+    /// memcpy moves arbitrary payloads of arbitrary length faithfully.
+    #[test]
+    fn memcpy_faithful(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let prog = assemble("memcpy x1, x2, x3\nhalt").unwrap();
+        let mut core = SimCore::new(CoreConfig::default(), None);
+        let mut mem = Memory::new(8192);
+        mem.write_bytes(1024, &payload).unwrap();
+        core.set_reg(Reg(1), 4096);
+        core.set_reg(Reg(2), 1024);
+        core.set_reg(Reg(3), payload.len() as u64);
+        core.run(&prog, &mut mem).unwrap();
+        prop_assert_eq!(mem.read_bytes(4096, payload.len()).unwrap(), payload);
+    }
+
+    /// The assembler never panics on arbitrary input text.
+    #[test]
+    fn assembler_is_total(src in "[ -~\n]{0,400}") {
+        let _ = assemble(&src);
+    }
+
+    /// AES round functions invert for arbitrary states and keys.
+    #[test]
+    fn aes_rounds_invert(state in any::<u128>(), key in any::<u128>()) {
+        use mercurial_simcpu::crypto;
+        prop_assert_eq!(crypto::dec_round(crypto::enc_round(state, key), key), state);
+        prop_assert_eq!(
+            crypto::dec_last_round(crypto::enc_last_round(state, key), key),
+            state
+        );
+    }
+
+    /// Full AES-128 encrypt/decrypt inverts for arbitrary keys and blocks.
+    #[test]
+    fn aes128_inverts(key in proptest::array::uniform16(any::<u8>()),
+                      block in proptest::array::uniform16(any::<u8>())) {
+        use mercurial_simcpu::crypto;
+        let ct = crypto::aes128_encrypt_block(key, block);
+        prop_assert_eq!(crypto::aes128_decrypt_block(key, ct), block);
+    }
+}

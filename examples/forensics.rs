@@ -1,0 +1,71 @@
+//! Forensics: extracting a confession with evidence.
+//!
+//! §6: confirmed mercurial cores require "extract[ing] 'confessions' via
+//! further testing (often after first developing a new automatable test)",
+//! and §9 asks for methods "to efficiently record sufficient forensic
+//! evidence". This example plays the human investigator: a suspect core is
+//! run in lockstep against a reference core over the screening corpus, and
+//! the first architectural divergence — program counter, disassembled
+//! instruction, implicated functional unit — is the forensic record.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example forensics
+//! ```
+
+use mercurial::corpus::sim_corpus;
+use mercurial::fault::{library, CoreFaultProfile, Injector};
+use mercurial::screening::{Divergence, DivergenceFinder};
+use mercurial::simcpu::{CoreConfig, SimCore};
+
+fn investigate(name: &str, profile: CoreFaultProfile) {
+    println!("── suspect: {name} ──");
+    let finder = DivergenceFinder::default();
+    let corpus = sim_corpus();
+    for kernel in &corpus {
+        let mut suspect =
+            SimCore::new(CoreConfig::default(), Some(Injector::new(0xf0, profile.clone())));
+        let mut reference = SimCore::new(CoreConfig::default(), None);
+        match finder.compare(&mut suspect, &mut reference, &kernel.program, &kernel.init_mem) {
+            Divergence::None => {}
+            Divergence::At { pc, step, unit, inst } => {
+                println!(
+                    "  kernel `{}` diverged at pc {pc} (retired instruction #{step}):",
+                    kernel.name
+                );
+                println!("      {inst}");
+                println!("  implicated unit: {unit}");
+                println!("  → evidence for the quarantine ticket; a new automatable test");
+                println!("    can now target this instruction class directly.\n");
+                return;
+            }
+            Divergence::SuspectTrapped { trap, step } => {
+                println!(
+                    "  kernel `{}` trapped on the suspect at instruction #{step}: {trap}\n",
+                    kernel.name
+                );
+                return;
+            }
+            Divergence::ReferenceTrapped(t) => {
+                println!("  corpus kernel `{}` is itself broken: {t}", kernel.name);
+                return;
+            }
+        }
+    }
+    println!("  no divergence found — the defect needs conditions this corpus lacks\n");
+}
+
+fn main() {
+    println!("lockstep divergence analysis over the screening corpus\n");
+    investigate("vector/copy-coupled defect (§5)", library::vector_copy_coupled(0.8));
+    investigate("multiplier with late-onset defect, aged in", {
+        // Manifest: age past onset before investigating.
+        library::late_onset_muldiv(0.0, 0.8)
+    });
+    investigate("self-inverting AES (§2)", library::self_inverting_aes());
+    investigate(
+        "pattern-gated ghost (zero-day: corpus can't trigger it)",
+        library::data_pattern_vector(1e-12),
+    );
+}

@@ -1,0 +1,144 @@
+//! The paper's §1 motivating incident, reproduced at instruction level.
+//!
+//! "Imagine you are running a massive-scale data-analysis pipeline in
+//! production, and one day it starts to give you wrong answers …
+//! Investigation fingers a surprising cause: an innocuous change to a
+//! low-level library. The change itself was correct, but it caused servers
+//! to make heavier use of otherwise rarely-used instructions. Moreover,
+//! only a small subset of the server machines are repeatedly responsible
+//! for the errors."
+//!
+//! Here, version 1 of the pipeline's copy routine moves records with
+//! scalar loads/stores; version 2 — the "innocuous" optimization — uses
+//! the bulk-copy instruction, which executes on the vector pipe. One core
+//! of the simulated chip has a vector-pipe defect. Version 1 is correct
+//! everywhere; version 2 silently corrupts records, but only on that core,
+//! repeatedly. An end-to-end checksum on the write path (§6's Colossus
+//! pattern) is what finally catches it.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example pipeline_corruption
+//! ```
+
+use mercurial::fault::library;
+use mercurial::mitigation::ChecksummedStore;
+use mercurial::simcpu::{assemble, Chip, ChipConfig, Program};
+
+/// V1: copy 256 bytes record-by-record with scalar loads/stores.
+fn scalar_copy_program() -> Program {
+    assemble(
+        "li x1, 1024       ; src
+         li x2, 4096       ; dst
+         li x3, 0          ; offset
+         li x4, 256        ; len
+         loop:
+         add x5, x1, x3
+         ld x6, x5, 0
+         add x7, x2, x3
+         st x6, x7, 0
+         addi x3, x3, 8
+         blt x3, x4, loop
+         halt",
+    )
+    .expect("v1 assembles")
+}
+
+/// V2: the innocuous optimization — one bulk copy (vector pipe!).
+fn memcpy_program() -> Program {
+    assemble(
+        "li x1, 4096       ; dst
+         li x2, 1024       ; src
+         li x3, 256        ; len
+         memcpy x1, x2, x3
+         halt",
+    )
+    .expect("v2 assembles")
+}
+
+fn record() -> Vec<u8> {
+    (0..256u32).map(|i| (i * 37 + 11) as u8).collect()
+}
+
+fn run_copy_on_core(chip: &mut Chip, core: u16, prog: &Program) -> Vec<u8> {
+    let rec = record();
+    chip.mem().write_bytes(1024, &rec).expect("staging fits");
+    chip.mem().fill(4096, 256, 0).expect("clear dst");
+    chip.run_core(core, prog)
+        .expect("copy programs do not trap");
+    chip.mem().read_bytes(4096, 256).expect("read back")
+}
+
+fn main() {
+    // A 6-core server whose core 4 has the §5 vector/copy-coupled defect,
+    // firing on roughly a quarter of vulnerable operations.
+    let defective_core = 4u16;
+    let profile = library::vector_copy_coupled(0.25);
+    let mut chip = Chip::new(
+        ChipConfig {
+            cores: 6,
+            seed: 99,
+            ..ChipConfig::default()
+        },
+        vec![(defective_core, profile)],
+    );
+
+    let v1 = scalar_copy_program();
+    let v2 = memcpy_program();
+    let golden = record();
+
+    println!("=== before the library change (scalar copies) ===");
+    for core in 0..6 {
+        let out = run_copy_on_core(&mut chip, core, &v1);
+        println!(
+            "core {core}: {}",
+            if out == golden {
+                "records intact"
+            } else {
+                "RECORDS CORRUPTED"
+            }
+        );
+    }
+
+    println!("\n=== after the library change (bulk memcpy → vector pipe) ===");
+    let mut corrupt_runs_per_core = vec![0u32; 6];
+    for trial in 0..20 {
+        for core in 0..6 {
+            let out = run_copy_on_core(&mut chip, core, &v2);
+            if out != golden {
+                corrupt_runs_per_core[core as usize] += 1;
+            }
+            let _ = trial;
+        }
+    }
+    for (core, bad) in corrupt_runs_per_core.iter().enumerate() {
+        println!("core {core}: {bad}/20 runs corrupted");
+    }
+    println!("\nonly core {defective_core} misbehaves — and only under the new instruction mix,");
+    println!("exactly the §1 incident: correct change, defective silicon, silent wrong answers.");
+
+    // §6's defense: the application's end-to-end checksummed write path
+    // refuses corrupted copies before they are persisted.
+    println!("\n=== with an end-to-end checksummed write path (Colossus pattern) ===");
+    let mut store = ChecksummedStore::new();
+    let mut refused = 0;
+    let mut accepted = 0;
+    for i in 0..20 {
+        let persisted = run_copy_on_core(&mut chip, defective_core, &v2);
+        let key = format!("record-{i}");
+        // The write path "copies" by returning what the defective core
+        // produced; the client-side CRC was computed on the true record.
+        match store.put_via(&key, &golden, |_| persisted.clone()) {
+            Ok(()) => accepted += 1,
+            Err(_) => refused += 1,
+        }
+    }
+    println!("writes accepted: {accepted}, corrupt writes refused: {refused}");
+    println!("no silent corruption reaches storage; every refusal is also a CEE signal");
+    println!("for the suspect-core report service, pointing at core {defective_core}.");
+    assert!(
+        refused > 0,
+        "the defective core must corrupt at least one of 20 writes"
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: seed a fleet with mercurial cores at the paper's incidence,
+//! run the full detect → quarantine → triage pipeline, and print the
+//! summary tables plus a miniature Figure 1.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mercurial::prelude::*;
+use mercurial::report;
+
+fn main() {
+    let scenario = Scenario::demo(2024);
+    println!("scenario: {}", scenario.name);
+    println!(
+        "fleet: {} machines, {} months observation\n",
+        scenario.fleet.machines, scenario.sim.months
+    );
+
+    // Ground truth first: how many mercurial cores did manufacturing give
+    // us? (§1: "a few mercurial cores per several thousand machines".)
+    let experiment = FleetExperiment::build(&scenario);
+    println!(
+        "ground truth: {} mercurial cores ({:.2} per 1000 machines)",
+        experiment.population().count(),
+        experiment.incidence_per_kmachine(),
+    );
+    for core in experiment.population().mercurial_cores().take(5) {
+        println!("  e.g. {} — {}", core.uid, core.profile.name);
+    }
+    println!();
+
+    // The full §6 pipeline: burn-in, offline/online screening, signal
+    // triage, quarantine.
+    let result = run_fig1(&scenario);
+    println!("{}", report::detection_table(&result.outcome));
+    println!("{}", report::symptom_table(&result.outcome));
+    println!("{}", result.render());
+    println!(
+        "auto-detector trend slope: {:+.4} per month (the paper: 'gradually increasing')",
+        result.auto_trend_slope()
+    );
+}

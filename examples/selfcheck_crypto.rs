@@ -1,0 +1,142 @@
+//! The self-inverting AES case study (§2), end to end.
+//!
+//! "A deterministic AES mis-computation, which was 'self-inverting':
+//! encrypting and decrypting on the same core yielded the identity
+//! function, but decryption elsewhere yielded gibberish."
+//!
+//! This example demonstrates, on the instruction-level simulator:
+//!
+//! 1. the defective core encrypts wrongly, yet its own decryption undoes
+//!    the damage — a roundtrip self-check passes;
+//! 2. decrypting the same ciphertext on a healthy core yields gibberish;
+//! 3. a *cross-implementation* check (§7's self-checking library, hardened
+//!    per this case study) catches the defect immediately;
+//! 4. the corpus screening kernel catches it too, because it compares
+//!    golden ciphertext, not just the roundtrip.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example selfcheck_crypto
+//! ```
+
+use mercurial::corpus::aes::{Aes, KeySize};
+use mercurial::fault::{library, Injector};
+use mercurial::mitigation::{cross_checked_encrypt, SelfCheckError};
+use mercurial::screening::chipscreen::ChipScreen;
+use mercurial::simcpu::{assemble, crypto, CoreConfig, Memory, SimCore};
+
+const KEY: [u8; 16] = *b"production key!!";
+const PLAINTEXT: [u8; 16] = *b"customer record.";
+
+/// Builds the AES-128 encrypt(+decrypt) program and stages keys in memory.
+fn aes_program(mem: &mut Memory, decrypt_too: bool) -> mercurial::simcpu::Program {
+    let keys = crypto::expand_key_128(KEY);
+    let state0 = u128::from_le_bytes(PLAINTEXT) ^ keys[0];
+    mem.write_bytes(0, &state0.to_le_bytes())
+        .expect("state fits");
+    for (i, &k) in keys[1..11].iter().enumerate() {
+        mem.write_bytes(64 + 16 * i as u64, &k.to_le_bytes())
+            .expect("keys fit");
+    }
+    mem.write_bytes(256, &keys[0].to_le_bytes())
+        .expect("k0 fits");
+    let mut src = String::from("li x1, 0\nvld v0, x1, 0\n");
+    for i in 0..10 {
+        src.push_str(&format!("li x2, {}\nvld v1, x2, 0\n", 64 + 16 * i));
+        src.push_str(if i < 9 {
+            "aesenc v0, v1\n"
+        } else {
+            "aesenclast v0, v1\n"
+        });
+    }
+    src.push_str("vext x3, v0, 0\nvext x4, v0, 1\nout x3\nout x4\n");
+    if decrypt_too {
+        src.push_str(&format!(
+            "li x2, {}\nvld v1, x2, 0\naesdeclast v0, v1\n",
+            64 + 16 * 9
+        ));
+        for i in (0..9).rev() {
+            src.push_str(&format!(
+                "li x2, {}\nvld v1, x2, 0\naesdec v0, v1\n",
+                64 + 16 * i
+            ));
+        }
+        src.push_str("li x2, 256\nvld v1, x2, 0\nvxor v0, v0, v1\n");
+        src.push_str("vext x5, v0, 0\nvext x6, v0, 1\nout x5\nout x6\n");
+    }
+    src.push_str("halt\n");
+    assemble(&src).expect("AES program assembles")
+}
+
+fn lanes_to_block(lo: u64, hi: u64) -> [u8; 16] {
+    (((hi as u128) << 64) | lo as u128).to_le_bytes()
+}
+
+fn main() {
+    let honest_ct = crypto::aes128_encrypt_block(KEY, PLAINTEXT);
+
+    // The defective core: §2's self-inverting crypto lesion.
+    let mut bad_core = SimCore::new(
+        CoreConfig::default(),
+        Some(Injector::new(7, library::self_inverting_aes())),
+    );
+    let mut mem = Memory::new(1 << 12);
+    let prog = aes_program(&mut mem, true);
+    bad_core
+        .run(&prog, &mut mem)
+        .expect("AES program completes");
+    let out = bad_core.output().to_vec();
+    let bad_ct = lanes_to_block(out[0], out[1]);
+    let recovered = lanes_to_block(out[2], out[3]);
+
+    println!("honest ciphertext:      {honest_ct:02x?}");
+    println!("defective ciphertext:   {bad_ct:02x?}");
+    println!("same-core decryption:   {recovered:02x?} (the plaintext!)");
+    assert_ne!(bad_ct, honest_ct, "the defect corrupts the ciphertext");
+    assert_eq!(
+        recovered, PLAINTEXT,
+        "yet encrypt∘decrypt on the same core is the identity"
+    );
+    println!("\n→ a roundtrip self-check on the defective core PASSES while the");
+    println!("  ciphertext is garbage. Data encrypted here is unreadable anywhere else:\n");
+
+    // Decrypt the defective ciphertext on a HEALTHY core.
+    let sw = Aes::new(KeySize::Aes128, &KEY).expect("valid key");
+    let elsewhere = sw.decrypt_block(bad_ct);
+    println!("healthy-core decryption of the defective ciphertext: {elsewhere:02x?}");
+    assert_ne!(elsewhere, PLAINTEXT, "gibberish, as the paper reports");
+
+    // §7's hardened self-checking library: a cross-implementation second
+    // opinion catches what the roundtrip cannot.
+    let mut defective_enc_core = SimCore::new(
+        CoreConfig::default(),
+        Some(Injector::new(7, library::self_inverting_aes())),
+    );
+    let verdict = cross_checked_encrypt(
+        PLAINTEXT,
+        |_block| {
+            let mut mem = Memory::new(1 << 12);
+            let prog = aes_program(&mut mem, false);
+            defective_enc_core.reset();
+            defective_enc_core.run(&prog, &mut mem).expect("completes");
+            let o = defective_enc_core.output();
+            lanes_to_block(o[0], o[1])
+        },
+        |block| sw.encrypt_block(block),
+    );
+    println!("\ncross-implementation check on the defective core: {verdict:?}");
+    assert_eq!(verdict.unwrap_err(), SelfCheckError::CrossCheckMismatch);
+
+    // And the screening corpus catches the core outright, because its AES
+    // kernel compares golden ciphertext lanes, not just the roundtrip.
+    let screen = ChipScreen::new(1);
+    let mut suspect = SimCore::new(
+        CoreConfig::default(),
+        Some(Injector::new(7, library::self_inverting_aes())),
+    );
+    let report = screen.screen(&mut suspect);
+    println!("corpus screen verdict: {}", report.summary());
+    assert!(report.failing_kernels().contains(&"aes-roundtrip"));
+    println!("\nthe defective core is indicted and goes to quarantine.");
+}

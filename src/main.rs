@@ -1,0 +1,208 @@
+//! `mercurial-lab` — the command-line front end of the laboratory.
+//!
+//! ```text
+//! mercurial-lab scenario                      # print a default scenario JSON
+//! mercurial-lab pipeline [--seed N] [--paper] [--scenario FILE]
+//! mercurial-lab fig1     [--seed N] [--paper] [--csv FILE]
+//! mercurial-lab screen   <archetype> [--age HOURS]
+//! mercurial-lab archetypes                    # list the §2 defect archetypes
+//! ```
+
+use mercurial::fault::{library, Injector};
+use mercurial::pipeline::PipelineRun;
+use mercurial::screening::chipscreen::ChipScreen;
+use mercurial::screening::{Divergence, DivergenceFinder};
+use mercurial::simcpu::{CoreConfig, SimCore};
+use mercurial::{report, run_fig1, Scenario};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mercurial-lab <command>\n\
+         \n\
+         commands:\n\
+         scenario                         print the default scenario as JSON\n\
+         pipeline [--seed N] [--paper] [--scenario FILE]\n\
+         .                                run the full detect/quarantine/triage pipeline\n\
+         fig1     [--seed N] [--paper] [--csv FILE]\n\
+         .                                regenerate Figure 1 (normalized report rates)\n\
+         screen <archetype> [--age H]     screen one defective core with the corpus\n\
+         archetypes                       list the available defect archetypes"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(name) = raw[i].strip_prefix("--") {
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(raw[i].clone());
+            }
+            i += 1;
+        }
+        Args { flags, positional }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn scenario_from_args(args: &Args) -> Scenario {
+    if let Some(path) = args.value("scenario") {
+        let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read scenario file {path}: {e}");
+            std::process::exit(1);
+        });
+        return Scenario::from_json(&json).unwrap_or_else(|e| {
+            eprintln!("invalid scenario JSON: {e}");
+            std::process::exit(1);
+        });
+    }
+    let seed: u64 = args
+        .value("seed")
+        .map(|s| s.parse().expect("--seed takes an integer"))
+        .unwrap_or(0xacce55);
+    if args.flag("paper") {
+        let mut s = Scenario::default_paper();
+        s.fleet.seed = seed;
+        s
+    } else {
+        Scenario::demo(seed)
+    }
+}
+
+fn cmd_pipeline(args: &Args) {
+    let scenario = scenario_from_args(args);
+    eprintln!(
+        "running pipeline: {} machines, {} months …",
+        scenario.fleet.machines, scenario.sim.months
+    );
+    let outcome = PipelineRun::execute(&scenario);
+    println!("{}", report::detection_table(&outcome));
+    println!("{}", report::symptom_table(&outcome));
+}
+
+fn cmd_fig1(args: &Args) {
+    let scenario = scenario_from_args(args);
+    eprintln!(
+        "running Figure 1 pipeline: {} machines, {} months …",
+        scenario.fleet.machines, scenario.sim.months
+    );
+    let result = run_fig1(&scenario);
+    println!("{}", result.render());
+    println!("auto trend slope: {:+.4}/month", result.auto_trend_slope());
+    if let Some(path) = args.value("csv") {
+        std::fs::write(path, result.to_csv()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("normalized series written to {path}");
+    }
+}
+
+fn archetype_by_name(name: &str) -> Option<mercurial::fault::CoreFaultProfile> {
+    Some(match name {
+        "self-inverting-aes" => library::self_inverting_aes(),
+        "string-bitflip" => library::string_bitflip(11, 0.3),
+        "lock-violator" => library::lock_violator(0.3),
+        "vector-copy-coupled" => library::vector_copy_coupled(0.3),
+        "freq-sensitive-fma" => library::freq_sensitive_fma(0.9),
+        "low-freq-worse-alu" => library::low_freq_worse_alu(0.9),
+        "late-onset-muldiv" => library::late_onset_muldiv(5000.0, 0.1),
+        "data-pattern-vector" => library::data_pattern_vector(0.5),
+        "addressgen-crasher" => library::addressgen_crasher(0.5),
+        "loadstore-corruptor" => library::loadstore_corruptor(0.3),
+        _ => return None,
+    })
+}
+
+fn cmd_screen(args: &Args) {
+    let Some(name) = args.positional.get(1) else {
+        eprintln!("screen: which archetype? (try `mercurial-lab archetypes`)");
+        std::process::exit(2);
+    };
+    let Some(profile) = archetype_by_name(name) else {
+        eprintln!("unknown archetype `{name}` (try `mercurial-lab archetypes`)");
+        std::process::exit(2);
+    };
+    let age: f64 = args
+        .value("age")
+        .map(|s| s.parse().expect("--age takes hours"))
+        .unwrap_or(0.0);
+    let mut core = SimCore::new(
+        CoreConfig::default(),
+        Some(Injector::new(1, profile.clone())),
+    );
+    core.set_age_hours(age);
+    let screen = ChipScreen::new(3);
+    let report = screen.screen(&mut core);
+    println!("archetype: {name} (age {age} h)");
+    println!("corpus screen: {}", report.summary());
+    for (kernel, outcome) in &report.outcomes {
+        println!("  {kernel:<16} {outcome:?}");
+    }
+    // If indicted, localize with the divergence finder on the first
+    // failing kernel's program.
+    if report.failed() {
+        let corpus = mercurial::corpus::sim_corpus();
+        if let Some(kernel) = corpus
+            .iter()
+            .find(|k| report.failing_kernels().contains(&k.name))
+        {
+            let finder = DivergenceFinder::default();
+            let mut suspect = SimCore::new(CoreConfig::default(), Some(Injector::new(1, profile)));
+            suspect.set_age_hours(age);
+            let mut reference = SimCore::new(CoreConfig::default(), None);
+            match finder.compare(&mut suspect, &mut reference, &kernel.program, &kernel.init_mem)
+            {
+                Divergence::At { pc, step, unit, inst } => println!(
+                    "forensics: first divergence in `{}` at pc {pc} (step {step}): {inst} on {unit}",
+                    kernel.name
+                ),
+                Divergence::SuspectTrapped { trap, step } => println!(
+                    "forensics: suspect trapped in `{}` at step {step}: {trap}",
+                    kernel.name
+                ),
+                other => println!("forensics: {other:?}"),
+            }
+        }
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&raw);
+    match args.positional.first().map(String::as_str) {
+        Some("scenario") => println!("{}", Scenario::default_paper().to_json()),
+        Some("pipeline") => cmd_pipeline(&args),
+        Some("fig1") => cmd_fig1(&args),
+        Some("screen") => cmd_screen(&args),
+        Some("archetypes") => {
+            for a in library::ARCHETYPES {
+                println!("{a}");
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,231 @@
+//! The §2 case studies as integration tests — every concrete CEE example
+//! the paper lists, reproduced on the instruction-level simulator and
+//! caught (or, where the paper says detection is hard, shown to be hard).
+
+use mercurial_fault::{library, Activation, CoreFaultProfile, FunctionalUnit, Injector, Lesion};
+use mercurial_screening::chipscreen::ChipScreen;
+use mercurial_simcpu::{assemble, Chip, ChipConfig, CoreConfig, Memory, SimCore};
+
+fn mercurial_core(profile: CoreFaultProfile, seed: u64) -> SimCore {
+    SimCore::new(CoreConfig::default(), Some(Injector::new(seed, profile)))
+}
+
+/// §2: "Violations of lock semantics leading to application data
+/// corruption and crashes."
+#[test]
+fn case_lock_semantics_violation() {
+    let src = "li x1, 128
+               li x5, 256
+               li x6, 300
+               li x2, 0
+               li x3, 1
+               acquire:
+               cas x4, x1, x2, x3
+               bne x4, x2, acquire
+               ld x7, x5, 0
+               addi x7, x7, 1
+               st x7, x5, 0
+               st x2, x1, 0
+               addi x6, x6, -1
+               bnz x6, acquire
+               halt";
+    let prog = assemble(src).unwrap();
+    let mut chip = Chip::new(
+        ChipConfig {
+            cores: 4,
+            seed: 51,
+            ..ChipConfig::default()
+        },
+        vec![(2, library::lock_violator(0.3))],
+    );
+    let status = chip.run_interleaved(&vec![prog; 4], 10_000_000);
+    assert!(status
+        .iter()
+        .all(|s| !matches!(s, mercurial_simcpu::chip::CoreRunStatus::OutOfSteps)));
+    let total = chip.mem().read_u64(256).unwrap();
+    assert!(
+        total < 1200,
+        "phantom lock successes must lose updates, got {total}"
+    );
+}
+
+/// §2: "Repeated bit-flips in strings, at a particular bit position
+/// (which stuck out as unlikely to be coding bugs)."
+#[test]
+fn case_string_bitflips_at_fixed_position() {
+    let bit = 11u8;
+    let mut core = mercurial_core(library::string_bitflip(bit, 1.0), 52);
+    let prog = assemble("memcpy x1, x2, x3\nhalt").unwrap();
+    let mut mem = Memory::new(1 << 14);
+    let src_data = vec![0u8; 512];
+    mem.write_bytes(1024, &src_data).unwrap();
+    core.set_reg(mercurial_simcpu::Reg(1), 4096);
+    core.set_reg(mercurial_simcpu::Reg(2), 1024);
+    core.set_reg(mercurial_simcpu::Reg(3), 512);
+    core.run(&prog, &mut mem).unwrap();
+    let out = mem.read_bytes(4096, 512).unwrap();
+    // Every corrupted word differs from the original in exactly bit 11 —
+    // the signature that "stuck out as unlikely to be coding bugs".
+    let mut corrupted_words = 0;
+    for w in 0..64 {
+        let got = u64::from_le_bytes(out[8 * w..8 * w + 8].try_into().unwrap());
+        if got != 0 {
+            assert_eq!(got, 1u64 << bit, "word {w} corrupted at the wrong position");
+            corrupted_words += 1;
+        }
+    }
+    assert!(
+        corrupted_words > 0,
+        "the stuck bit must manifest on zero data"
+    );
+}
+
+/// §5: "the same mercurial core manifests CEEs both with certain
+/// data-copy operations and with certain vector operations … both kinds of
+/// operations share the same hardware logic."
+#[test]
+fn case_copy_and_vector_share_hardware() {
+    let screen = ChipScreen::new(2);
+    let mut core = mercurial_core(library::vector_copy_coupled(0.6), 53);
+    let report = screen.screen(&mut core);
+    let fails = report.failing_kernels();
+    assert!(
+        fails.contains(&"vector-lanes") && fails.contains(&"memcpy-walk"),
+        "one defect, two symptom families; got {fails:?}"
+    );
+}
+
+/// §2: the self-inverting AES, §6's screening answer, and the hazard that
+/// a roundtrip-only self-check misses it.
+#[test]
+fn case_self_inverting_aes_screening() {
+    let screen = ChipScreen::new(1);
+    let mut core = mercurial_core(library::self_inverting_aes(), 54);
+    let report = screen.screen(&mut core);
+    assert!(report.failing_kernels().contains(&"aes-roundtrip"));
+    // The kernel's mismatch must be in the ciphertext lanes (outputs 0/1),
+    // not the recovered-plaintext lanes (2/3): the roundtrip itself is
+    // clean on this core.
+    for (name, outcome) in &report.outcomes {
+        if *name == "aes-roundtrip" {
+            match outcome {
+                mercurial_corpus::ScreenOutcome::Mismatch { index, .. } => {
+                    assert!(*index < 2, "roundtrip lanes must verify on the same core")
+                }
+                other => panic!("expected golden-output mismatch, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// §2: "Corruption of kernel state resulting in process and kernel
+/// crashes" — control-path defects trap loudly rather than corrupting
+/// silently.
+#[test]
+fn case_addressgen_defect_crashes() {
+    let screen = ChipScreen::new(1);
+    let mut core = mercurial_core(library::addressgen_crasher(0.9), 55);
+    let report = screen.screen(&mut core);
+    let trapped = report
+        .outcomes
+        .iter()
+        .filter(|(_, o)| matches!(o, mercurial_corpus::ScreenOutcome::Trapped(_)))
+        .count();
+    assert!(
+        trapped > 0,
+        "a hot address-gen defect should trap at least one kernel"
+    );
+}
+
+/// §5: frequency sensitivity — the same core passes at the DVFS floor and
+/// fails at turbo (and a low-frequency-worse defect does the opposite).
+#[test]
+fn case_frequency_sensitive_defects() {
+    use mercurial_fault::{DvfsCurve, FreqResponse};
+    let curve = DvfsCurve::typical_server();
+
+    // High-frequency-sensitive FMA defect.
+    let hot_at_turbo = CoreFaultProfile::single(
+        "turbo-only",
+        FunctionalUnit::Fma,
+        Lesion::CorruptValue,
+        Activation {
+            base_prob: 1e-9,
+            freq: FreqResponse::HighFreq {
+                knee_mhz: 2800,
+                sat_mhz: 3200,
+                max_boost: 1e9,
+            },
+            ..Activation::always()
+        },
+    );
+    let screen = ChipScreen::new(2);
+    let mut core = mercurial_core(hot_at_turbo, 56);
+    core.set_point(curve.min_point(65));
+    assert!(
+        !screen.screen(&mut core).failed(),
+        "clean at the DVFS floor"
+    );
+    core.set_point(curve.max_point(65));
+    assert!(screen.screen(&mut core).failed(), "fails at turbo");
+
+    // The surprising inverse (§5: "lower frequency sometimes
+    // (surprisingly) increases the failure rate").
+    let worse_when_slow = CoreFaultProfile::single(
+        "floor-only",
+        FunctionalUnit::ScalarAlu,
+        Lesion::FlipBit { bit: 3 },
+        Activation {
+            base_prob: 1e-9,
+            freq: FreqResponse::LowFreq {
+                knee_mhz: 1400,
+                floor_mhz: 1200,
+                max_boost: 1e9,
+            },
+            ..Activation::always()
+        },
+    );
+    let mut core = mercurial_core(worse_when_slow, 57);
+    core.set_point(curve.max_point(65));
+    assert!(!screen.screen(&mut core).failed(), "clean at turbo");
+    core.set_point(curve.min_point(65));
+    assert!(screen.screen(&mut core).failed(), "fails at the floor");
+}
+
+/// §2/§6: latent defects escape burn-in but age in later; rescreening the
+/// same core at a later age catches it.
+#[test]
+fn case_latent_defect_ages_in() {
+    let onset_hours = 5000.0;
+    let screen = ChipScreen::new(3);
+    let mut core = mercurial_core(library::late_onset_muldiv(onset_hours, 0.01), 58);
+    core.set_age_hours(100.0);
+    assert!(!screen.screen(&mut core).failed(), "latent at burn-in age");
+    core.set_age_hours(onset_hours + 10.0);
+    assert!(screen.screen(&mut core).failed(), "manifest after onset");
+}
+
+/// §2: "Wrong answers that are never detected" — a data-pattern-gated
+/// defect escapes a corpus whose operands never satisfy the gate.
+#[test]
+fn case_data_pattern_gated_defect_is_zero_day() {
+    // Fires only on operands with >= 63 set bits; corpus operands and
+    // kernel intermediates essentially never reach that.
+    let profile = CoreFaultProfile::single(
+        "needs-all-ones",
+        FunctionalUnit::ScalarAlu,
+        Lesion::FlipBit { bit: 7 },
+        Activation {
+            pattern: mercurial_fault::DataPattern::PopcountAtLeast(63),
+            ..Activation::always()
+        },
+    );
+    let screen = ChipScreen::new(2);
+    let mut core = mercurial_core(profile, 59);
+    let report = screen.screen(&mut core);
+    assert!(
+        !report.failed(),
+        "a pattern-gated defect the corpus cannot trigger is a zero-day: {}",
+        report.summary()
+    );
+}

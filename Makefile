@@ -1,0 +1,31 @@
+# Development entry points. `make ci` is what the CI workflow runs.
+
+CARGO ?= cargo
+
+.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup
+
+ci: build test-workspace fmt-check clippy
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+test-workspace:
+	$(CARGO) test --workspace -q
+
+fmt:
+	$(CARGO) fmt
+
+fmt-check:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+bench:
+	$(CARGO) bench -p mercurial-bench
+
+speedup:
+	$(CARGO) run --release -p mercurial-bench --bin par_speedup

@@ -34,7 +34,6 @@ fn bench_amortization(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// A single-CPU-friendly Criterion config: fewer samples, shorter
 /// measurement windows (the ratios, not the absolute precision, are
 /// what the experiments report).

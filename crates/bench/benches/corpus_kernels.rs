@@ -75,7 +75,6 @@ fn bench_float(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// A single-CPU-friendly Criterion config: fewer samples, shorter
 /// measurement windows (the ratios, not the absolute precision, are
 /// what the experiments report).

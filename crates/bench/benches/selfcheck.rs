@@ -65,7 +65,6 @@ fn bench_copy(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// A single-CPU-friendly Criterion config: fewer samples, shorter
 /// measurement windows (the ratios, not the absolute precision, are
 /// what the experiments report).

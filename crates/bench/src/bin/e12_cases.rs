@@ -50,7 +50,7 @@ fn main() {
     ];
 
     let screen = ChipScreen::new(3);
-    println!("{:<40} {}", "case study", "verdict (failing kernels)");
+    println!("{:<40} verdict (failing kernels)", "case study");
     for (name, profile) in &cases {
         let mut core = SimCore::new(
             CoreConfig::default(),

@@ -42,14 +42,16 @@ fn main() {
             .collect();
         let mut named: HashMap<CoreUid, f64> = HashMap::new();
         for s in outcome.signals.of_kind(SignalKind::UserReport) {
-            let pre_detection =
-                screener_caught_at.get(&s.core).is_none_or(|&h| s.hour < h);
+            let pre_detection = screener_caught_at.get(&s.core).is_none_or(|&h| s.hour < h);
             if pre_detection {
-                named.entry(s.core).and_modify(|h| *h = h.min(s.hour)).or_insert(s.hour);
+                named
+                    .entry(s.core)
+                    .and_modify(|h| *h = h.min(s.hour))
+                    .or_insert(s.hour);
             }
         }
         let mut suspects: Vec<(CoreUid, f64)> = named.into_iter().collect();
-        suspects.sort_by(|a, b| a.0.cmp(&b.0));
+        suspects.sort_by_key(|a| a.0);
 
         let triage = HumanTriage::default();
         let (_, stats) =

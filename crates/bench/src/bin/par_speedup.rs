@@ -1,0 +1,70 @@
+//! Wall-clock scaling of the deterministic parallel fleet runner.
+//!
+//! Runs the demo scenario's fleet simulation at several thread counts,
+//! verifies the outputs are bit-for-bit identical (the determinism
+//! contract), and reports wall-clock time and speedup versus serial.
+//!
+//! ```text
+//! cargo run --release -p mercurial-bench --bin par_speedup [-- <machines> [months]]
+//! ```
+
+use mercurial::Scenario;
+use mercurial_fleet::topology::FleetTopology;
+use mercurial_fleet::{FleetSim, Population};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let machines: u32 = args
+        .first()
+        .map(|a| a.parse().expect("machines: integer"))
+        .unwrap_or(4000);
+    let months: u32 = args
+        .get(1)
+        .map(|a| a.parse().expect("months: integer"))
+        .unwrap_or(6);
+
+    let mut scenario = Scenario::demo(0xacce55);
+    scenario.fleet.machines = machines;
+    scenario.sim.months = months;
+    let topo = FleetTopology::build(scenario.fleet.clone());
+    let pop = Population::seed_from(&topo);
+
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("fleet: {machines} machines, {months} months; host CPUs: {cpus}");
+
+    let mut reference = None;
+    let mut serial_secs = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let mut config = scenario.sim.clone();
+        config.parallelism = threads;
+        let sim = FleetSim::new(topo.clone(), pop.clone(), config);
+        let start = Instant::now();
+        let (log, summary) = sim.run();
+        let secs = start.elapsed().as_secs_f64();
+
+        match &reference {
+            None => {
+                serial_secs = secs;
+                reference = Some((log, summary));
+            }
+            Some((ref_log, ref_summary)) => {
+                assert_eq!(
+                    &summary, ref_summary,
+                    "summary diverged at {threads} threads"
+                );
+                assert_eq!(
+                    log.all(),
+                    ref_log.all(),
+                    "signal log diverged at {threads} threads"
+                );
+            }
+        }
+        println!(
+            "threads {threads}: {secs:>7.3} s  speedup {:>5.2}x  (output identical: yes)",
+            serial_secs / secs
+        );
+    }
+}

@@ -24,6 +24,14 @@ impl FleetExperiment {
         }
     }
 
+    /// Builds many experiments (topology construction plus ground-truth
+    /// population seeding) fanned out across worker threads, in input
+    /// order. Each build depends only on its scenario's seed, so results
+    /// match serial construction exactly.
+    pub fn build_many(scenarios: &[Scenario], parallelism: usize) -> Vec<FleetExperiment> {
+        mercurial_fleet::par::map_parallel(scenarios, parallelism, FleetExperiment::build)
+    }
+
     /// Builds with an explicitly placed population (case studies).
     pub fn with_population(scenario: &Scenario, pop: Population) -> FleetExperiment {
         let topo = FleetTopology::build(scenario.fleet.clone());

@@ -206,8 +206,7 @@ pub fn decode(stream: &[u8]) -> Result<Vec<u8>, HuffError> {
     let codes = canonical_codes(&lengths)?;
     // Build a decode map from (len, code) to symbol.
     let mut map = std::collections::HashMap::new();
-    for sym in 0..256 {
-        let (code, len) = codes[sym];
+    for (sym, &(code, len)) in codes.iter().enumerate() {
         if len > 0 {
             map.insert((len, code), sym as u8);
         }

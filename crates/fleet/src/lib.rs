@@ -28,6 +28,7 @@
 //! * [`time`] — a small event-queue engine used by the driver.
 #![warn(missing_docs)]
 
+pub mod par;
 pub mod population;
 pub mod product;
 pub mod signals;

@@ -151,6 +151,13 @@ impl SignalLog {
         map
     }
 
+    /// Moves every signal of `other` to the end of this log, preserving
+    /// emission order (shard merging in the parallel simulator).
+    pub fn append(&mut self, other: SignalLog) {
+        let mut other = other;
+        self.signals.append(&mut other.signals);
+    }
+
     /// Sorts the log by time (the simulator emits epoch batches; sort once
     /// before sequential consumption).
     pub fn sort_by_time(&mut self) {

@@ -43,6 +43,10 @@ pub struct SimConfig {
     /// Probability that a detected corruption's machine-check path fires
     /// (loud hardware) rather than a software-visible symptom.
     pub machine_check_share: f64,
+    /// Worker threads for the epoch loop: `0` = one per available CPU,
+    /// `1` = the serial legacy path. Output is bit-for-bit identical for
+    /// every value (see [`crate::par`]).
+    pub parallelism: usize,
 }
 
 impl Default for SimConfig {
@@ -54,6 +58,7 @@ impl Default for SimConfig {
             noise_report_rate: 4e-7,
             per_core_epoch_cap: 25,
             machine_check_share: 0.08,
+            parallelism: 0,
         }
     }
 }
@@ -78,6 +83,19 @@ impl SimSummary {
     pub fn symptom_count(&self, class: SymptomClass) -> u64 {
         self.symptom_counts[class.risk_rank() as usize]
     }
+
+    /// Adds another summary's counters into this one. All fields are
+    /// plain sums, so merging epoch shards in any grouping yields the
+    /// same totals.
+    pub fn merge(&mut self, other: &SimSummary) {
+        self.corruptions += other.corruptions;
+        for (mine, theirs) in self.symptom_counts.iter_mut().zip(other.symptom_counts) {
+            *mine += theirs;
+        }
+        self.signals_emitted += other.signals_emitted;
+        self.noise_signals += other.noise_signals;
+        self.active_mercurial_cores += other.active_mercurial_cores;
+    }
 }
 
 enum Event {
@@ -90,25 +108,57 @@ pub struct FleetSim {
     pop: Population,
     config: SimConfig,
     workloads: Vec<(WorkloadClass, f64)>,
+    /// Machine → index into `workloads`, resolved once at construction
+    /// (the weighted draw is per-machine invariant; resolving it in the
+    /// epoch loop re-summed the weight vector for every core×epoch).
+    workload_ix: Vec<usize>,
 }
 
 impl FleetSim {
     /// Builds a simulator over a topology and ground-truth population with
     /// the default workload mix.
     pub fn new(topo: FleetTopology, pop: Population, config: SimConfig) -> FleetSim {
+        let workloads = WorkloadClass::default_mix();
+        let workload_ix = Self::assign_workloads(&workloads, &topo, &pop);
         FleetSim {
             topo,
             pop,
             config,
-            workloads: WorkloadClass::default_mix(),
+            workloads,
+            workload_ix,
         }
     }
 
     /// Replaces the workload mix.
     pub fn with_workloads(mut self, workloads: Vec<(WorkloadClass, f64)>) -> FleetSim {
         assert!(!workloads.is_empty(), "need at least one workload class");
+        self.workload_ix = Self::assign_workloads(&workloads, &self.topo, &self.pop);
         self.workloads = workloads;
         self
+    }
+
+    /// Resolves every machine's workload class up front (deterministic
+    /// weighted draw, same stream as always: `(seed, machine, 0x776f)`).
+    fn assign_workloads(
+        workloads: &[(WorkloadClass, f64)],
+        topo: &FleetTopology,
+        pop: &Population,
+    ) -> Vec<usize> {
+        let total: f64 = workloads.iter().map(|(_, w)| w).sum();
+        (0..topo.machines().len() as u32)
+            .map(|machine| {
+                let mut pick = CounterRng::from_parts(pop.seed(), machine as u64, 0x776f, 0)
+                    .uniform_at(0)
+                    * total;
+                for (i, (_, w)) in workloads.iter().enumerate() {
+                    if pick < *w {
+                        return i;
+                    }
+                    pick -= w;
+                }
+                workloads.len() - 1
+            })
+            .collect()
     }
 
     /// The topology.
@@ -126,50 +176,95 @@ impl FleetSim {
         &self.config
     }
 
-    /// The workload class a machine runs (deterministic weighted draw).
+    /// The workload class a machine runs (resolved at construction).
     pub fn workload_of(&self, machine: u32) -> &WorkloadClass {
-        let total: f64 = self.workloads.iter().map(|(_, w)| w).sum();
-        let mut pick = CounterRng::from_parts(self.pop.seed(), machine as u64, 0x776f, 0)
-            .uniform_at(0)
-            * total;
-        for (wl, w) in &self.workloads {
-            if pick < *w {
-                return wl;
-            }
-            pick -= w;
-        }
-        &self.workloads.last().expect("non-empty workloads").0
+        &self.workloads[self.workload_ix[machine as usize]].0
     }
 
     /// Runs the simulation, returning the signal log (sorted by time) and
     /// summary counters.
+    ///
+    /// With `config.parallelism != 1` the epoch loop is sharded across
+    /// worker threads. Every random draw is a pure function of
+    /// `(seed, stream, counter)`, epochs share no mutable state, and the
+    /// per-epoch shards are merged in epoch order — reproducing the
+    /// serial emission order exactly — so the output is bit-for-bit
+    /// identical for every thread count.
     pub fn run(&self) -> (SignalLog, SimSummary) {
-        let mut queue = EventQueue::new();
         let total_hours = self.config.months as f64 * 730.0;
         let epochs = (total_hours / self.config.epoch_hours).ceil() as u32;
-        for e in 0..epochs {
-            queue.schedule(e as f64 * self.config.epoch_hours, Event::Epoch(e));
-        }
+        let mercurial: Vec<CoreUid> = self.pop.mercurial_cores().map(|c| c.uid).collect();
+        let workers =
+            crate::par::resolve_parallelism(self.config.parallelism).min(epochs.max(1) as usize);
 
         let mut log = SignalLog::new();
         let mut summary = SimSummary::default();
-        let mercurial: Vec<CoreUid> = self.pop.mercurial_cores().map(|c| c.uid).collect();
         let mut core_was_active = vec![false; mercurial.len()];
 
-        while let Some((hour, event)) = queue.pop() {
-            let Event::Epoch(epoch) = event;
-            for (i, &uid) in mercurial.iter().enumerate() {
-                if !self.topo.is_deployed(uid.machine, hour) {
-                    continue;
-                }
-                let active = self.epoch_core(uid, hour, epoch, &mut log, &mut summary);
-                core_was_active[i] |= active;
+        if workers <= 1 {
+            // Legacy serial path: walk the event queue in time order.
+            let mut queue = EventQueue::new();
+            for e in 0..epochs {
+                queue.schedule(e as f64 * self.config.epoch_hours, Event::Epoch(e));
             }
-            self.epoch_noise(hour, epoch, &mut log, &mut summary);
+            while let Some((_, event)) = queue.pop() {
+                let Event::Epoch(epoch) = event;
+                self.run_epoch(
+                    epoch,
+                    &mercurial,
+                    &mut log,
+                    &mut summary,
+                    &mut core_was_active,
+                );
+            }
+        } else {
+            // Parallel path: each epoch becomes an independent shard;
+            // merging in epoch order reconstructs the serial pre-sort log.
+            let epoch_ids: Vec<u32> = (0..epochs).collect();
+            let shards = crate::par::map_parallel(&epoch_ids, self.config.parallelism, |&epoch| {
+                let mut shard_log = SignalLog::new();
+                let mut shard_summary = SimSummary::default();
+                let mut shard_active = vec![false; mercurial.len()];
+                self.run_epoch(
+                    epoch,
+                    &mercurial,
+                    &mut shard_log,
+                    &mut shard_summary,
+                    &mut shard_active,
+                );
+                (shard_log, shard_summary, shard_active)
+            });
+            for (shard_log, shard_summary, shard_active) in shards {
+                log.append(shard_log);
+                summary.merge(&shard_summary);
+                for (mine, theirs) in core_was_active.iter_mut().zip(shard_active) {
+                    *mine |= theirs;
+                }
+            }
         }
         summary.active_mercurial_cores = core_was_active.iter().filter(|&&a| a).count() as u64;
         log.sort_by_time();
         (log, summary)
+    }
+
+    /// Simulates one epoch: every deployed mercurial core, then the
+    /// background noise layer. `active` is indexed like `mercurial`.
+    fn run_epoch(
+        &self,
+        epoch: u32,
+        mercurial: &[CoreUid],
+        log: &mut SignalLog,
+        summary: &mut SimSummary,
+        active: &mut [bool],
+    ) {
+        let hour = epoch as f64 * self.config.epoch_hours;
+        for (i, &uid) in mercurial.iter().enumerate() {
+            if !self.topo.is_deployed(uid.machine, hour) {
+                continue;
+            }
+            active[i] |= self.epoch_core(uid, hour, epoch, log, summary);
+        }
+        self.epoch_noise(hour, epoch, log, summary);
     }
 
     /// Simulates one mercurial core for one epoch; returns whether it
@@ -249,9 +344,9 @@ impl FleetSim {
 
     /// Adds `n` corruptions to the symptom tallies using the expected
     /// class shares (the closed form of [`FleetSim::classify`]'s
-    /// distribution). Counts are apportioned by rounding with the
-    /// remainder assigned to the never-detected class, so totals are
-    /// conserved exactly.
+    /// distribution). Counts are apportioned by largest remainder, so
+    /// they always sum to exactly `n` and no class is silently starved
+    /// by truncation.
     fn bulk_classify(
         &self,
         n: u64,
@@ -269,26 +364,56 @@ impl FleetSim {
             let late = (1.0 - m) * (1.0 - r) * c * 0.25;
             (imm, late)
         };
-        let mce = (n as f64 * m).round() as u64;
-        let imm = (n as f64 * p_imm).round() as u64;
-        let late = (n as f64 * p_late).round() as u64;
-        // Rescale if rounding overshot the total.
-        let (mce, imm, late) = if mce + imm + late > n {
-            let scale = n as f64 / (mce + imm + late) as f64;
-            (
-                (mce as f64 * scale) as u64,
-                (imm as f64 * scale) as u64,
-                (late as f64 * scale) as u64,
-            )
-        } else {
-            (mce, imm, late)
-        };
-        let never = n - mce - imm - late;
-        summary.symptom_counts[SymptomClass::WrongDetectedImmediately.risk_rank() as usize] +=
-            imm;
-        summary.symptom_counts[SymptomClass::MachineCheck.risk_rank() as usize] += mce;
-        summary.symptom_counts[SymptomClass::WrongDetectedLate.risk_rank() as usize] += late;
-        summary.symptom_counts[SymptomClass::WrongNeverDetected.risk_rank() as usize] += never;
+        let p_never = (1.0 - m - p_imm - p_late).max(0.0);
+        let classes = [
+            (SymptomClass::MachineCheck, m),
+            (SymptomClass::WrongDetectedImmediately, p_imm),
+            (SymptomClass::WrongDetectedLate, p_late),
+            (SymptomClass::WrongNeverDetected, p_never),
+        ];
+
+        // Largest-remainder apportionment: floor every quota, then hand
+        // the leftover units to the largest fractional parts (ties broken
+        // by class order). Deterministic, and conserves n exactly.
+        let mut counts = [0u64; 4];
+        let mut fractions = [0.0f64; 4];
+        let mut assigned = 0u64;
+        for (i, (_, p)) in classes.iter().enumerate() {
+            let quota = n as f64 * p;
+            counts[i] = (quota.floor() as u64).min(n);
+            fractions[i] = quota - counts[i] as f64;
+            assigned += counts[i];
+        }
+        // Floating-point shares can sum slightly above 1; claw back from
+        // the largest bucket so the leftover below is well-defined.
+        while assigned > n {
+            let i = (0..4).max_by_key(|&i| counts[i]).expect("four classes");
+            counts[i] -= 1;
+            assigned -= 1;
+        }
+        let mut order = [0usize, 1, 2, 3];
+        order.sort_by(|&a, &b| {
+            fractions[b]
+                .partial_cmp(&fractions[a])
+                .expect("finite fractions")
+                .then(a.cmp(&b))
+        });
+        // Flooring four quotas that sum to (at most) n drops strictly
+        // less than 4 units, so one pass over the ranked classes covers
+        // the whole leftover.
+        let mut leftover = n - assigned;
+        for &i in &order {
+            if leftover == 0 {
+                break;
+            }
+            counts[i] += 1;
+            leftover -= 1;
+        }
+        debug_assert_eq!(leftover, 0, "apportionment must conserve n");
+
+        for (i, (class, _)) in classes.iter().enumerate() {
+            summary.symptom_counts[class.risk_rank() as usize] += counts[i];
+        }
     }
 
     /// Classifies one corruption into (risk class, emitted signal).
@@ -361,12 +486,17 @@ impl FleetSim {
 
     /// Emits background noise for one epoch.
     fn epoch_noise(&self, hour: f64, epoch: u32, log: &mut SignalLog, summary: &mut SimSummary) {
-        let deployed = self.topo.deployed_count(hour);
-        if deployed == 0 {
+        // Sample from the *deployed* machines only. Drawing from the full
+        // machine range and discarding undeployed picks would deflate the
+        // realized noise rate by the deployed fraction during rollout.
+        let deployed: Vec<u32> = (0..self.topo.machines().len() as u32)
+            .filter(|&m| self.topo.is_deployed(m, hour))
+            .collect();
+        if deployed.is_empty() {
             return;
         }
         let mut rng = CounterRng::from_parts(self.pop.seed(), 0xbadd, 0x6e6f, epoch as u64);
-        let machine_hours = deployed as f64 * self.config.epoch_hours;
+        let machine_hours = deployed.len() as f64 * self.config.epoch_hours;
         for (kind, rate) in [
             (SignalKind::ProcessCrash, self.config.noise_crash_rate),
             (SignalKind::UserReport, self.config.noise_report_rate),
@@ -374,10 +504,7 @@ impl FleetSim {
             let n = poisson(&mut rng, machine_hours * rate);
             for _ in 0..n {
                 // Attribute to a uniformly random deployed machine/core.
-                let midx = rng.next_below(self.topo.machines().len() as u64) as u32;
-                if !self.topo.is_deployed(midx, hour) {
-                    continue;
-                }
+                let midx = deployed[rng.next_below(deployed.len() as u64) as usize];
                 let product = self.topo.product_of(midx);
                 let socket = rng.next_below(self.topo.config().sockets_per_machine as u64) as u8;
                 let core = rng.next_below(product.cores_per_socket as u64) as u16;
@@ -555,6 +682,95 @@ mod tests {
             !reports.is_empty(),
             "some detections must escalate to reports"
         );
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_bit_for_bit() {
+        let uid = CoreUid::new(3, 0, 1);
+        let build = |parallelism: usize| {
+            let topo = FleetTopology::build(FleetConfig::tiny(50, 21));
+            let pop = Population::with_explicit(21, vec![(uid, library::string_bitflip(9, 1e-4))]);
+            FleetSim::new(
+                topo,
+                pop,
+                SimConfig {
+                    months: 6,
+                    parallelism,
+                    ..SimConfig::default()
+                },
+            )
+        };
+        let (serial_log, serial_summary) = build(1).run();
+        assert!(serial_summary.signals_emitted > 0, "defect must fire");
+        for threads in [2usize, 3, 8] {
+            let (log, summary) = build(threads).run();
+            assert_eq!(summary, serial_summary, "{threads} threads");
+            assert_eq!(log.all(), serial_log.all(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn noise_rate_tracks_deployment_ramp() {
+        // During rollout only a fraction of the fleet is deployed; the
+        // realized noise rate must follow deployed machine-hours, not be
+        // deflated by the deployed/total fraction (the old sampler drew
+        // from all machines and dropped undeployed picks).
+        let config = SimConfig {
+            months: 6,
+            noise_crash_rate: 1e-3,
+            ..SimConfig::default()
+        };
+        let topo = FleetTopology::build(FleetConfig {
+            machines: 1000,
+            sockets_per_machine: 1,
+            products: crate::product::CpuProduct::default_catalog(),
+            rollout_months: 6,
+            seed: 77,
+        });
+        let pop = Population::with_explicit(77, vec![]);
+        let sim = FleetSim::new(topo, pop, config.clone());
+        let (log, summary) = sim.run();
+
+        let epochs = (config.months as f64 * 730.0 / config.epoch_hours).ceil() as u32;
+        let mut expected = 0.0;
+        for e in 0..epochs {
+            let hour = e as f64 * config.epoch_hours;
+            expected += sim.topology().deployed_count(hour) as f64
+                * config.epoch_hours
+                * (config.noise_crash_rate + config.noise_report_rate);
+        }
+        assert!(expected > 1000.0, "ramp scenario must carry real mass");
+        let got = summary.noise_signals as f64;
+        assert!(
+            (got - expected).abs() < 6.0 * expected.sqrt(),
+            "realized noise {got} vs expected {expected}"
+        );
+        // Every noise signal is attributed to a machine deployed at the
+        // signal's hour.
+        for s in log.all() {
+            assert!(sim.topology().is_deployed(s.core.machine, s.hour));
+        }
+    }
+
+    #[test]
+    fn bulk_classify_conserves_totals_at_small_n() {
+        let sim = tiny_sim(5, vec![], 1);
+        for unit in [FunctionalUnit::ScalarAlu, FunctionalUnit::AddressGen] {
+            for (wl, _) in WorkloadClass::default_mix() {
+                let mut summary = SimSummary::default();
+                let mut total = 0u64;
+                for n in 1..=40u64 {
+                    sim.bulk_classify(n, unit, &wl, &mut summary);
+                    total += n;
+                    assert_eq!(
+                        summary.symptom_counts.iter().sum::<u64>(),
+                        total,
+                        "unit {unit:?}, workload {}, n {n}",
+                        wl.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

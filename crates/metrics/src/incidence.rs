@@ -52,9 +52,23 @@ pub fn wilson_interval(positives: u64, trials: u64, z: f64) -> IncidenceEstimate
     // At the boundaries the exact bounds are 0 and 1; floating-point
     // cancellation in `center - half` would otherwise leave an epsilon
     // above zero, violating `lo <= rate` for zero positives.
-    let lo = if positives == 0 { 0.0 } else { (center - half).max(0.0) };
-    let hi = if positives == trials { 1.0 } else { (center + half).min(1.0) };
-    IncidenceEstimate { positives, trials, rate: p, lo, hi }
+    let lo = if positives == 0 {
+        0.0
+    } else {
+        (center - half).max(0.0)
+    };
+    let hi = if positives == trials {
+        1.0
+    } else {
+        (center + half).min(1.0)
+    };
+    IncidenceEstimate {
+        positives,
+        trials,
+        rate: p,
+        lo,
+        hi,
+    }
 }
 
 /// The Clopper–Pearson ("exact") interval at confidence `1 - alpha`,

@@ -43,7 +43,7 @@ impl LogDecadeHistogram {
     /// Zero and negative rates land in the `zeros` bucket (a core that
     /// never corrupted under this workload).
     pub fn record(&mut self, rate: f64) {
-        if !(rate > 0.0) {
+        if rate <= 0.0 || rate.is_nan() {
             self.zeros += 1;
             return;
         }

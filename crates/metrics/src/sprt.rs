@@ -97,8 +97,7 @@ impl Sprt {
     pub fn observe(&mut self, ops: u64, failures: u64) -> SprtDecision {
         assert!(failures <= ops, "more failures than operations");
         self.ops += ops;
-        self.llr +=
-            (ops - failures) as f64 * self.step_clean + failures as f64 * self.step_corrupt;
+        self.llr += (ops - failures) as f64 * self.step_clean + failures as f64 * self.step_corrupt;
         self.decision()
     }
 

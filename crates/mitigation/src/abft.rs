@@ -316,7 +316,7 @@ impl ChecksummedLu {
                 for k in 0..=kmax {
                     let l = if k == i { 1.0 } else { self.lu[(i, k)] };
                     let u = if k <= j { self.lu[(k, j)] } else { 0.0 };
-                    if k < i || k == i {
+                    if k <= i {
                         acc += l * u;
                     }
                 }

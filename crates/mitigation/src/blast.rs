@@ -70,7 +70,7 @@ impl BlastModel {
     /// Whether `level` runs checks before consuming its inputs.
     fn is_check_level(&self, level: u32) -> bool {
         match self.check_every {
-            Some(k) if k > 0 => level > 0 && level % k == 0,
+            Some(k) if k > 0 => level > 0 && level.is_multiple_of(k),
             _ => false,
         }
     }

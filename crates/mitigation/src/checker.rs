@@ -81,7 +81,7 @@ pub fn check_gcd(a: u64, b: u64, g: u64) -> bool {
     if g == 0 {
         return a == 0 && b == 0;
     }
-    if a % g != 0 || b % g != 0 {
+    if !a.is_multiple_of(g) || !b.is_multiple_of(g) {
         return false;
     }
     euclid(a / g, b / g) == 1

@@ -250,14 +250,7 @@ mod tests {
         // With an interval of 4, one corruption can cost at most 4
         // re-executed steps.
         let mut fail_once = true;
-        let check = move |_s: &u64| {
-            if fail_once {
-                fail_once = false;
-                false
-            } else {
-                true
-            }
-        };
+        let check = move |_s: &u64| !std::mem::take(&mut fail_once);
         let engine = Checkpointed::new(
             0u64,
             CheckpointPolicy {

@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn batch_stats_add_up() {
         let screen = ChipScreen::new(1);
-        let mut cores = vec![
+        let mut cores = [
             healthy(),
             mercurial(library::string_bitflip(11, 1.0)),
             healthy(),

@@ -53,7 +53,12 @@ pub fn render_inst(inst: &Inst) -> String {
         Inst::Vld(vd, ra, imm) => format!("vld {vd}, {ra}, {imm}"),
         Inst::Vst(vs, ra, imm) => format!("vst {vs}, {ra}, {imm}"),
         Inst::MemCpy { dst, src, len } => format!("memcpy {dst}, {src}, {len}"),
-        Inst::Cas { rd, addr, expected, new } => {
+        Inst::Cas {
+            rd,
+            addr,
+            expected,
+            new,
+        } => {
             format!("cas {rd}, {addr}, {expected}, {new}")
         }
         Inst::Xadd(rd, addr, rb) => format!("xadd {rd}, {addr}, {rb}"),
@@ -137,12 +142,22 @@ mod tests {
     #[test]
     fn renders_representative_instructions() {
         assert_eq!(render_inst(&Inst::Li(Reg(1), 255)), "li x1, 0xff");
-        assert_eq!(render_inst(&Inst::Add(Reg(1), Reg(2), Reg(3))), "add x1, x2, x3");
         assert_eq!(
-            render_inst(&Inst::MemCpy { dst: Reg(1), src: Reg(2), len: Reg(3) }),
+            render_inst(&Inst::Add(Reg(1), Reg(2), Reg(3))),
+            "add x1, x2, x3"
+        );
+        assert_eq!(
+            render_inst(&Inst::MemCpy {
+                dst: Reg(1),
+                src: Reg(2),
+                len: Reg(3)
+            }),
             "memcpy x1, x2, x3"
         );
-        assert_eq!(render_inst(&Inst::AesEnc(VReg(0), VReg(1))), "aesenc v0, v1");
+        assert_eq!(
+            render_inst(&Inst::AesEnc(VReg(0), VReg(1))),
+            "aesenc v0, v1"
+        );
         assert_eq!(render_inst(&Inst::Bnz(Reg(4), 7)), "bnz x4, 7");
     }
 
@@ -166,7 +181,10 @@ mod tests {
                    halt";
         let prog = assemble(src).unwrap();
         let text = disassemble(&prog);
-        assert!(text.contains("L0:") || text.contains("L1:"), "labels reconstructed:\n{text}");
+        assert!(
+            text.contains("L0:") || text.contains("L1:"),
+            "labels reconstructed:\n{text}"
+        );
         let back = assemble(&text).unwrap();
         assert_eq!(back, prog);
     }

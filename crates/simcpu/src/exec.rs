@@ -1030,7 +1030,7 @@ mod tests {
         }
         // Across retries the defect sometimes fires and sometimes not —
         // retry-based masking sees a changing answer, as in production.
-        assert!(outputs.iter().any(|&v| v == 100));
-        assert!(outputs.iter().any(|&v| v == 101));
+        assert!(outputs.contains(&100));
+        assert!(outputs.contains(&101));
     }
 }

@@ -39,8 +39,8 @@ pub mod trap;
 pub mod unitmap;
 
 pub use asm::{assemble, AsmError};
-pub use disasm::{disassemble, render_inst};
 pub use chip::{Chip, ChipConfig};
+pub use disasm::{disassemble, render_inst};
 pub use exec::{CoreConfig, ExecStats, SimCore, StepOutcome};
 pub use isa::{Inst, Program, Reg, VReg};
 pub use mem::Memory;

@@ -24,12 +24,24 @@ fn investigate(name: &str, profile: CoreFaultProfile) {
     let finder = DivergenceFinder::default();
     let corpus = sim_corpus();
     for kernel in &corpus {
-        let mut suspect =
-            SimCore::new(CoreConfig::default(), Some(Injector::new(0xf0, profile.clone())));
+        let mut suspect = SimCore::new(
+            CoreConfig::default(),
+            Some(Injector::new(0xf0, profile.clone())),
+        );
         let mut reference = SimCore::new(CoreConfig::default(), None);
-        match finder.compare(&mut suspect, &mut reference, &kernel.program, &kernel.init_mem) {
+        match finder.compare(
+            &mut suspect,
+            &mut reference,
+            &kernel.program,
+            &kernel.init_mem,
+        ) {
             Divergence::None => {}
-            Divergence::At { pc, step, unit, inst } => {
+            Divergence::At {
+                pc,
+                step,
+                unit,
+                inst,
+            } => {
                 println!(
                     "  kernel `{}` diverged at pc {pc} (retired instruction #{step}):",
                     kernel.name
@@ -58,7 +70,10 @@ fn investigate(name: &str, profile: CoreFaultProfile) {
 
 fn main() {
     println!("lockstep divergence analysis over the screening corpus\n");
-    investigate("vector/copy-coupled defect (§5)", library::vector_copy_coupled(0.8));
+    investigate(
+        "vector/copy-coupled defect (§5)",
+        library::vector_copy_coupled(0.8),
+    );
     investigate("multiplier with late-onset defect, aged in", {
         // Manifest: age past onset before investigating.
         library::late_onset_muldiv(0.0, 0.8)

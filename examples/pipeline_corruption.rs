@@ -102,7 +102,7 @@ fn main() {
     }
 
     println!("\n=== after the library change (bulk memcpy → vector pipe) ===");
-    let mut corrupt_runs_per_core = vec![0u32; 6];
+    let mut corrupt_runs_per_core = [0u32; 6];
     for trial in 0..20 {
         for core in 0..6 {
             let out = run_copy_on_core(&mut chip, core, &v2);

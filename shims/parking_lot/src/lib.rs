@@ -1,0 +1,180 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Provides a [`Mutex`] with the two properties this workspace relies on
+//! that `std::sync::Mutex` lacks: no lock poisoning, and
+//! [`Mutex::force_unlock`] — releasing a lock whose guard was
+//! `mem::forget`-ten (the `LockLike` harness in `corpus::locks` does
+//! exactly that). Built from a `Condvar`-guarded flag plus an
+//! `UnsafeCell`; not a fair or parking lock, just a correct one.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar, Mutex as StdMutex};
+
+/// A mutual-exclusion primitive without poisoning.
+pub struct Mutex<T: ?Sized> {
+    locked: StdMutex<bool>,
+    unlocked: Condvar,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the `locked` flag serialises all access to `data`, so the usual
+// Mutex bounds apply: Send payloads make the lock Send and Sync.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            locked: StdMutex::new(false),
+            unlocked: Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the payload.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let mut locked = self.locked.lock().expect("lock flag never poisoned");
+        while *locked {
+            locked = self
+                .unlocked
+                .wait(locked)
+                .expect("lock flag never poisoned");
+        }
+        *locked = true;
+        MutexGuard { mutex: self }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let mut locked = self.locked.lock().expect("lock flag never poisoned");
+        if *locked {
+            None
+        } else {
+            *locked = true;
+            Some(MutexGuard { mutex: self })
+        }
+    }
+
+    /// Releases a lock acquired by this thread whose guard was leaked
+    /// (e.g. via `mem::forget`).
+    ///
+    /// # Safety
+    ///
+    /// The mutex must be locked by the calling thread, and no guard for
+    /// this acquisition may still be live (it would double-unlock on
+    /// drop).
+    pub unsafe fn force_unlock(&self) {
+        self.unlock_flag();
+    }
+
+    /// Mutable access without locking (exclusive borrow proves unique
+    /// ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    fn unlock_flag(&self) {
+        let mut locked = self.locked.lock().expect("lock flag never poisoned");
+        debug_assert!(*locked, "force_unlock/drop of an unlocked Mutex");
+        *locked = false;
+        drop(locked);
+        self.unlocked.notify_one();
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// RAII guard: the lock is released when this falls out of scope.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: holding the guard means holding the lock; access is
+        // exclusive until drop.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above, plus `&mut self` forbids aliased access
+        // through this guard.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.unlock_flag();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn guard_gives_exclusive_access() {
+        let m = Mutex::new(5u32);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn forget_then_force_unlock() {
+        let m = Mutex::new(());
+        std::mem::forget(m.lock());
+        assert!(m.try_lock().is_none());
+        unsafe { m.force_unlock() };
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn contended_increments_are_not_lost() {
+        let m = Arc::new(Mutex::new(0u64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 4000);
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the tiny slice of `rand` it actually relies on: the [`RngCore`] trait
+//! (implemented by `mercurial_fault::CounterRng`) and the [`Error`] type
+//! referenced by `try_fill_bytes`. Distribution machinery is not needed —
+//! all sampling in the laboratory goes through `CounterRng`'s own methods.
+
+use std::fmt;
+
+/// The core random-number-generator trait, API-compatible with
+/// `rand::RngCore` 0.8 for the methods this workspace uses.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure as an error.
+    ///
+    /// # Errors
+    ///
+    /// Infallible for every generator in this workspace; the `Result` only
+    /// mirrors the upstream signature.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Error type mirroring `rand::Error` (never constructed here).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Error {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64);
+    impl RngCore for Fixed {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.0 as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn try_fill_defaults_to_fill() {
+        let mut rng = Fixed(7);
+        let mut buf = [0u8; 4];
+        rng.try_fill_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [7, 7, 7, 7]);
+    }
+}

@@ -1,0 +1,438 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple, and struct variants) without
+//! `#[serde(...)]` attributes — using only the compiler-provided
+//! `proc_macro` API. The generated code targets the value-tree model of
+//! the sibling `serde` shim and follows serde's standard data model, so
+//! JSON produced by the real serde_json (e.g. `scenarios/paper.json`)
+//! parses unchanged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: `(name_or_index, type_text)`.
+struct Field {
+    name: String,
+}
+
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    NamedStruct(Vec<Field>),
+    /// `struct S(T, U);` — arity recorded.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut i)?;
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok(Item {
+                    name,
+                    shape: Shape::TupleStruct(arity),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                shape: Shape::UnitStruct,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("expected enum body, got {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, got `{other}`")),
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and `pub` / `pub(...)`
+/// visibility qualifiers.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+                    other => return Err(format!("malformed attribute: {other:?}")),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `(crate)` etc.
+                    }
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Splits a token sequence on top-level commas, tracking `<...>` nesting
+/// (angle brackets are plain punctuation in token trees).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level_commas(stream) {
+        if part.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        skip_attributes_and_visibility(&part, &mut i)?;
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        fields.push(Field { name });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level_commas(stream) {
+        if part.is_empty() {
+            continue;
+        }
+        let mut i = 0;
+        skip_attributes_and_visibility(&part, &mut i)?;
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match part.get(i) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            other => return Err(format!("unsupported variant body: {other:?}")),
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// -------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), \
+                         ::serde::Serialize::to_value(&self.{n})),",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(arity) => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| gen_serialize_arm(name, v))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_arm(type_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{type_name}::{vname} => \
+             ::serde::Value::String(::std::string::String::from({vname:?})),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{type_name}::{vname}(x0) => ::serde::Value::Object(::std::vec![(\
+               ::std::string::String::from({vname:?}), ::serde::Serialize::to_value(x0))]),"
+        ),
+        VariantKind::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{type_name}::{vname}({pat}) => ::serde::Value::Object(::std::vec![(\
+                   ::std::string::String::from({vname:?}), \
+                   ::serde::Value::Array(::std::vec![{items}]))]),",
+                pat = binds.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), \
+                         ::serde::Serialize::to_value({n})),",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{type_name}::{vname} {{ {pat} }} => ::serde::Value::Object(::std::vec![(\
+                   ::std::string::String::from({vname:?}), \
+                   ::serde::Value::Object(::std::vec![{entries}]))]),",
+                pat = pat.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{n}: ::serde::field(entries, {n:?}, {name:?})?,",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = v.as_object().ok_or_else(|| \
+                   ::serde::DeError::expected(\"object\", {name:?}))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(arity) => {
+            let inits: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                   ::serde::DeError::expected(\"array\", {name:?}))?;\n\
+                 if items.len() != {arity} {{\n\
+                   return ::std::result::Result::Err(::serde::DeError::expected(\
+                     \"array of length {arity}\", {name:?}));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+               ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .map(|v| gen_deserialize_variant_arm(name, v))
+        .collect();
+    format!(
+        "if let ::serde::Value::String(tag) = v {{\n\
+           match tag.as_str() {{ {unit_arms} _ => {{}} }}\n\
+           return ::std::result::Result::Err(::serde::DeError(::std::format!(\
+             \"unknown {name} variant `{{tag}}`\")));\n\
+         }}\n\
+         if let ::std::option::Option::Some(entries) = v.as_object() {{\n\
+           if entries.len() == 1 {{\n\
+             let (tag, payload) = &entries[0];\n\
+             match tag.as_str() {{ {data_arms} _ => {{}} }}\n\
+             return ::std::result::Result::Err(::serde::DeError(::std::format!(\
+               \"unknown {name} variant `{{tag}}`\")));\n\
+           }}\n\
+         }}\n\
+         ::std::result::Result::Err(::serde::DeError::expected(\
+           \"variant string or single-key object\", {name:?}))"
+    )
+}
+
+fn gen_deserialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => unreachable!("unit variants handled via string arms"),
+        VariantKind::Tuple(1) => format!(
+            "{vn:?} => return ::std::result::Result::Ok(\
+               {name}::{vn}(::serde::Deserialize::from_value(payload)?)),"
+        ),
+        VariantKind::Tuple(arity) => {
+            let inits: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                .collect();
+            format!(
+                "{vn:?} => {{\n\
+                   let items = payload.as_array().ok_or_else(|| \
+                     ::serde::DeError::expected(\"array\", {vn:?}))?;\n\
+                   if items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::expected(\
+                       \"array of length {arity}\", {vn:?}));\n\
+                   }}\n\
+                   return ::std::result::Result::Ok({name}::{vn}({inits}));\n\
+                 }}"
+            )
+        }
+        VariantKind::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{n}: ::serde::field(inner, {n:?}, {vn:?})?,", n = f.name))
+                .collect();
+            format!(
+                "{vn:?} => {{\n\
+                   let inner = payload.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", {vn:?}))?;\n\
+                   return ::std::result::Result::Ok({name}::{vn} {{ {inits} }});\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup
+.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke
 
-ci: build test-workspace fmt-check clippy
+ci: build test-workspace fmt-check clippy fuzz-smoke
 
 build:
 	$(CARGO) build --release
@@ -29,3 +29,9 @@ bench:
 
 speedup:
 	$(CARGO) run --release -p mercurial-bench --bin par_speedup
+
+# Bounded fuzz campaign (fixed seed, small budget): asserts every lesion
+# kind gets a witness, the distilled corpus stays <= 25% of the budget,
+# and reports are identical at 1/2/8 worker threads.
+fuzz-smoke:
+	$(CARGO) run --release -p mercurial-bench --bin e_fuzz -- --smoke

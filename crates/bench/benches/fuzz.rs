@@ -1,0 +1,59 @@
+//! Bench: throughput of the proxy fuzzer's two hot loops — program
+//! generation (pure RNG + instruction assembly) and differential
+//! execution (two `SimCore`s in lockstep through `DivergenceFinder`).
+//!
+//! These bound how much screening content a fixed fuzzing budget buys:
+//! the campaign's wall-clock is `budget × (gen + |catalog| × diff)`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mercurial_fuzz::{generate, hot_catalog, run_differential, DiffConfig, GenConfig};
+use std::hint::black_box;
+
+fn bench_generator(c: &mut Criterion) {
+    let cfg = GenConfig::default();
+    let mut group = c.benchmark_group("fuzz-generate");
+    // Throughput in programs; each is a full prologue/body/epilogue build.
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("program", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(generate(0xF0CC, i, &cfg))
+        })
+    });
+    group.finish();
+}
+
+fn bench_differential(c: &mut Criterion) {
+    let gcfg = GenConfig::default();
+    let dcfg = DiffConfig::default();
+    let catalog = hot_catalog();
+    let entry = &catalog[0];
+    let programs: Vec<_> = (0..8).map(|i| generate(0xF0CC, i, &gcfg)).collect();
+    let mut group = c.benchmark_group("fuzz-differential");
+    group.throughput(Throughput::Elements(programs.len() as u64));
+    group.bench_function("suspect-vs-reference", |b| {
+        b.iter(|| {
+            for fp in &programs {
+                black_box(run_differential(fp, &entry.profile, 0xF0CC, 0, &dcfg));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// A single-CPU-friendly Criterion config: fewer samples, shorter
+/// measurement windows (the ratios, not the absolute precision, are
+/// what the experiments report).
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_generator, bench_differential);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! E14 — §3: fuzzing the proxy CPU into a screening corpus.
+//!
+//! The paper laments there is no "systematic method of developing these
+//! tests"; SiliFuzz (arXiv:2110.11519) later showed one: generate random
+//! programs, execute them differentially against defective silicon,
+//! minimize the hits, and distill the survivors into a compact corpus.
+//! This experiment runs that loop against the simulated CPU and the full
+//! `fault::library` lesion catalog and reports detection coverage vs
+//! generation budget, the minimized witness per lesion kind, and the
+//! distillation ratio.
+//!
+//! ```text
+//! cargo run --release -p mercurial-bench --bin e_fuzz [-- --smoke]
+//! ```
+//!
+//! `--smoke` shrinks the budget for CI (`make fuzz-smoke`).
+
+use mercurial_fuzz::{catalog_kinds, hot_catalog, run_campaign, CampaignConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    mercurial_bench::header(if smoke {
+        "E14 — proxy fuzzing: generate → diff → minimize → distill (smoke)"
+    } else {
+        "E14 — proxy fuzzing: generate → diff → minimize → distill"
+    });
+
+    let cfg = CampaignConfig {
+        budget: if smoke { 16 } else { 64 },
+        minimize_oracle_calls: if smoke { 120 } else { 300 },
+        parallelism: 0, // one worker per CPU; results identical regardless
+        ..CampaignConfig::default()
+    };
+    let catalog = hot_catalog();
+    let kinds = catalog_kinds(&catalog);
+    println!(
+        "campaign: seed {:#x}, budget {} programs, catalog {} single-lesion entries ({} kinds)\n",
+        cfg.seed,
+        cfg.budget,
+        catalog.len(),
+        kinds.len()
+    );
+
+    let out = run_campaign(&cfg);
+    let r = &out.report;
+
+    println!("detection coverage vs budget (cumulative):");
+    println!(
+        "{:<10} {:>16} {:>14}",
+        "programs", "entries-covered", "kinds-covered"
+    );
+    let mut last = (usize::MAX, usize::MAX);
+    for row in &r.coverage {
+        let cur = (row.entries_covered, row.kinds_covered);
+        if cur != last || row.programs == r.coverage.len() {
+            println!(
+                "{:<10} {:>13}/{:<2} {:>11}/{:<2}",
+                row.programs,
+                row.entries_covered,
+                r.catalog_names.len(),
+                row.kinds_covered,
+                r.kinds.len()
+            );
+            last = cur;
+        }
+    }
+
+    println!("\nminimized witnesses (one per lesion kind):");
+    println!(
+        "{:<16} {:<32} {:>8} {:>12}",
+        "kind", "catalog entry", "program", "insts"
+    );
+    for w in &r.witnesses {
+        println!(
+            "{:<16} {:<32} {:>8} {:>5} -> {:<4}",
+            w.kind, w.catalog_entry, w.program_index, w.original_len, w.minimized_len
+        );
+    }
+    assert!(
+        r.all_kinds_witnessed(),
+        "acceptance: every lesion kind in the library must have a witness"
+    );
+
+    println!(
+        "\ndistilled corpus: {} of {} programs ({:.0}%), {} kernels exported, units {:?}",
+        r.distilled.selected_rows.len(),
+        r.budget,
+        100.0 * r.distilled_fraction(),
+        out.kernels.len(),
+        r.distilled
+            .covered_units()
+            .iter()
+            .map(|u| u.name())
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        r.distilled_fraction() <= 0.25,
+        "acceptance: distilled corpus must be <= 25% of generated programs"
+    );
+
+    // Determinism contract: the whole campaign is a pure function of the
+    // seed — rerun it at fixed worker counts and demand identical reports.
+    let parity: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&p| {
+            run_campaign(&CampaignConfig {
+                parallelism: p,
+                ..cfg
+            })
+            .report
+        })
+        .collect();
+    let identical = parity.iter().all(|rep| *rep == parity[0]) && parity[0] == *r;
+    println!(
+        "\nparity: reports at 1/2/8 worker threads bit-for-bit identical: {}",
+        if identical { "yes" } else { "NO" }
+    );
+    assert!(
+        identical,
+        "acceptance: campaign must not depend on thread count"
+    );
+}

@@ -4,6 +4,8 @@ use crate::scenario::Scenario;
 use mercurial_fleet::sim::SimSummary;
 use mercurial_fleet::topology::FleetTopology;
 use mercurial_fleet::{FleetSim, Population, SignalLog};
+use mercurial_fuzz::{run_campaign, CampaignConfig};
+use mercurial_screening::EraSchedule;
 
 /// A materialized experiment: everything derived from a [`Scenario`].
 pub struct FleetExperiment {
@@ -62,6 +64,34 @@ impl FleetExperiment {
         self.pop.count() as f64 / (self.scenario.fleet.machines as f64 / 1000.0)
     }
 
+    /// The era schedule the screeners should run: the default coverage
+    /// history, augmented with fuzz-distilled content when the scenario's
+    /// [`fuzz_corpus`](crate::scenario::FuzzCorpusConfig) knob opts in.
+    ///
+    /// The augmentation runs a full `mercurial-fuzz` campaign (a pure
+    /// function of the knob's seed and budget), then folds the distilled
+    /// corpus's covered units, operand patterns, and healthy instruction
+    /// mix into every era.
+    pub fn screening_schedule(&self) -> EraSchedule {
+        let base = EraSchedule::default_history();
+        let knob = &self.scenario.fuzz_corpus;
+        if !knob.enabled {
+            return base;
+        }
+        let cfg = CampaignConfig {
+            seed: knob.seed,
+            budget: knob.budget as usize,
+            parallelism: self.scenario.sim.parallelism,
+            ..CampaignConfig::default()
+        };
+        let out = run_campaign(&cfg);
+        let distilled = &out.report.distilled;
+        // The corpus's healthy instruction mix becomes extra per-unit op
+        // budget on top of each era's hand-written content.
+        let extra_ops = distilled.unit_ops.iter().sum::<u64>();
+        base.with_fuzz_content(&distilled.covered_units(), &distilled.operands, extra_ops)
+    }
+
     /// Runs the workload signal simulation (no screening) and returns the
     /// time-sorted log plus summary counters.
     pub fn run_signals(&self) -> (SignalLog, SimSummary) {
@@ -95,6 +125,23 @@ mod tests {
             (0.0..=8.0).contains(&per_k),
             "incidence {per_k} per 1000 machines is implausible"
         );
+    }
+
+    #[test]
+    fn fuzz_corpus_knob_augments_the_screening_schedule() {
+        let mut s = Scenario::small(8);
+        let base = FleetExperiment::build(&s).screening_schedule();
+        s.fuzz_corpus.enabled = true;
+        s.fuzz_corpus.budget = 16;
+        let augmented = FleetExperiment::build(&s).screening_schedule();
+        for (b, a) in base.eras().iter().zip(augmented.eras()) {
+            assert!(a.units.len() >= b.units.len());
+            assert!(a.operands.len() >= b.operands.len());
+            assert!(a.ops_per_unit > b.ops_per_unit);
+        }
+        // The month-0 era only covers four units by hand; fuzz content
+        // closes gaps from day one.
+        assert!(augmented.era_at(0).units.len() > base.era_at(0).units.len());
     }
 
     #[test]

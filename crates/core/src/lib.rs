@@ -34,7 +34,7 @@
 //!
 //! The sub-crates are re-exported under their own names for direct use:
 //! [`fault`], [`simcpu`], [`corpus`], [`fleet`], [`screening`],
-//! [`isolation`], [`mitigation`], [`metrics`].
+//! [`fuzz`], [`isolation`], [`mitigation`], [`metrics`].
 #![warn(missing_docs)]
 
 pub mod experiment;
@@ -46,11 +46,12 @@ pub mod scenario;
 pub use experiment::FleetExperiment;
 pub use fig1::{run_fig1, Fig1Result};
 pub use pipeline::{PipelineOutcome, PipelineRun};
-pub use scenario::Scenario;
+pub use scenario::{FuzzCorpusConfig, Scenario};
 
 pub use mercurial_corpus as corpus;
 pub use mercurial_fault as fault;
 pub use mercurial_fleet as fleet;
+pub use mercurial_fuzz as fuzz;
 pub use mercurial_isolation as isolation;
 pub use mercurial_metrics as metrics;
 pub use mercurial_mitigation as mitigation;

@@ -14,7 +14,7 @@ use mercurial_fleet::sim::SimSummary;
 use mercurial_fleet::SignalLog;
 use mercurial_isolation::{CapacityLedger, PoolCapacity, QuarantineRegistry};
 use mercurial_screening::{
-    BurnIn, DetectionRecord, EraSchedule, HumanTriage, OfflineScreener, OnlineScreener, Scoreboard,
+    BurnIn, DetectionRecord, HumanTriage, OfflineScreener, OnlineScreener, Scoreboard,
     ScreeningStats, TriageStats,
 };
 use std::collections::HashSet;
@@ -104,10 +104,15 @@ impl PipelineRun {
         //    sharing one detected set (a core caught once is quarantined
         //    and not rescreened).
         let mut detected: HashSet<CoreUid> = HashSet::new();
-        let schedule = EraSchedule::default_history();
+        // The scenario's fuzz_corpus knob decides whether this is the
+        // hand-written default history or the fuzz-augmented schedule; the
+        // screeners' machine fan-out reuses the sim parallelism knob.
+        let schedule = experiment.screening_schedule();
+        let parallelism = scenario.sim.parallelism;
         let burnin = BurnIn {
             schedule: schedule.clone(),
             ops_multiplier: 5,
+            parallelism,
         };
         let (mut detections, burnin_stats) = burnin.run(topo, pop, &mut detected, &mut signals);
         let offline = OfflineScreener {
@@ -115,6 +120,7 @@ impl PipelineRun {
             interval_hours: scenario.offline_interval_hours,
             fraction_per_sweep: scenario.offline_fraction,
             drain_hours_per_machine: 0.5,
+            parallelism,
         };
         let (offline_detections, offline_stats) =
             offline.run(topo, pop, scenario.sim.months, &mut detected, &mut signals);
@@ -123,6 +129,7 @@ impl PipelineRun {
             schedule,
             interval_hours: scenario.online_interval_hours,
             ops_fraction: 0.05,
+            parallelism,
         };
         let (online_detections, online_stats) =
             online.run(topo, pop, scenario.sim.months, &mut detected, &mut signals);

@@ -4,6 +4,31 @@ use mercurial_fleet::sim::SimConfig;
 use mercurial_fleet::topology::FleetConfig;
 use serde::{Deserialize, Serialize};
 
+/// Options for the fuzz-distilled screening corpus (`mercurial-fuzz`).
+///
+/// When enabled, the screeners' era schedule is augmented with the units
+/// and operand patterns the distilled corpus exercises — the systematic
+/// screening-content development §3 of the paper says was missing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuzzCorpusConfig {
+    /// Whether screeners run the distilled fuzz content at all.
+    pub enabled: bool,
+    /// Campaign seed (the whole campaign is a pure function of it).
+    pub seed: u64,
+    /// Programs generated per campaign.
+    pub budget: u64,
+}
+
+impl Default for FuzzCorpusConfig {
+    fn default() -> FuzzCorpusConfig {
+        FuzzCorpusConfig {
+            enabled: false,
+            seed: 0xF0CC,
+            budget: 64,
+        }
+    }
+}
+
 /// A complete experiment configuration.
 ///
 /// Scenarios serialize to JSON so experiment parameters live in files and
@@ -24,6 +49,8 @@ pub struct Scenario {
     pub offline_fraction: f64,
     /// Online screening pass interval in hours.
     pub online_interval_hours: f64,
+    /// Fuzz-distilled screening-corpus options.
+    pub fuzz_corpus: FuzzCorpusConfig,
 }
 
 impl Scenario {
@@ -41,6 +68,7 @@ impl Scenario {
             offline_interval_hours: 365.0,
             offline_fraction: 0.10,
             online_interval_hours: 73.0,
+            fuzz_corpus: FuzzCorpusConfig::default(),
         }
     }
 

@@ -105,6 +105,44 @@ impl SimKernel {
         }
     }
 
+    /// Builds a kernel from an already-constructed [`Program`], capturing
+    /// golden outputs on a healthy core.
+    ///
+    /// This is the fallible entry point external content generators (the
+    /// fuzz distiller) use: unlike the compiled-in corpus, a generated
+    /// program that traps or emits no output is a data error, not a build
+    /// defect, so it returns `Err` instead of panicking.
+    pub fn from_program(
+        name: &'static str,
+        units: Vec<FunctionalUnit>,
+        program: Program,
+        init_mem: Vec<(u64, Vec<u8>)>,
+        mem_size: usize,
+    ) -> Result<SimKernel, String> {
+        program.validate()?;
+        let mut core = SimCore::new(CoreConfig::default(), None);
+        let mut mem = Memory::new(mem_size);
+        for (addr, bytes) in &init_mem {
+            mem.write_bytes(*addr, bytes)
+                .map_err(|t| format!("kernel `{name}`: init image does not fit: {t}"))?;
+        }
+        core.run(&program, &mut mem)
+            .map_err(|t| format!("kernel `{name}` trapped on a healthy core: {t}"))?;
+        let expected = core.output().to_vec();
+        if expected.is_empty() {
+            return Err(format!("kernel `{name}` emitted no output"));
+        }
+        Ok(SimKernel {
+            name,
+            units,
+            program,
+            init_mem,
+            expected,
+            healthy_ops: core.stats().instructions,
+            mem_size,
+        })
+    }
+
     /// Runs the kernel on `core` and compares against the golden outputs.
     pub fn screen_core(&self, core: &mut SimCore) -> ScreenOutcome {
         let mut mem = Memory::new(self.mem_size);

@@ -1,0 +1,488 @@
+//! Campaign orchestration: generate → differentially execute → minimize →
+//! distill, fanned out over `fleet::par::map_parallel`.
+//!
+//! Determinism contract (DESIGN.md §4.1): every generated program, every
+//! injector seed, and every greedy-cover tie-break is a pure function of
+//! `(campaign seed, program index, catalog slot)`. The campaign therefore
+//! produces bit-for-bit identical reports at 1, 2, or 8 worker threads —
+//! parallelism only changes wall-clock time, never results.
+
+use crate::diff::{healthy_run, run_differential, DiffConfig, HealthyRun};
+use crate::distill::{DetectionMatrix, DistilledCorpus, ProgramRow};
+use crate::gen::{generate, FuzzProgram, GenConfig};
+use crate::minimize::minimize;
+use mercurial_corpus::SimKernel;
+use mercurial_fault::{library, CoreFaultProfile, FunctionalUnit};
+use mercurial_fleet::par::map_parallel;
+use mercurial_screening::Divergence;
+
+/// One single-lesion column of the detection matrix, derived from a
+/// `fault::library` archetype run "hot" (activation rates saturated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// The library archetype this lesion came from.
+    pub archetype: &'static str,
+    /// The lesion kind (`Lesion::kind_name`).
+    pub kind: &'static str,
+    /// A single-lesion profile, so detections attribute to exactly one
+    /// lesion kind.
+    pub profile: CoreFaultProfile,
+}
+
+/// The full library catalog, decomposed to single-lesion entries with
+/// saturated activation rates.
+///
+/// Rates are chosen so every lesion fires with probability 1 at the
+/// default operating point (`freq_sensitive_fma` divides its rate by 100
+/// and `low_freq_worse_alu` by 50; `late_onset_muldiv` gets onset 0 so it
+/// is active from birth). Multi-lesion archetypes (`vector_copy_coupled`)
+/// contribute one entry per lesion.
+pub fn hot_catalog() -> Vec<CatalogEntry> {
+    let sources: Vec<(&'static str, CoreFaultProfile)> = vec![
+        ("self-inverting-aes", library::self_inverting_aes()),
+        ("string-bitflip", library::string_bitflip(11, 1.0)),
+        ("lock-violator", library::lock_violator(1.0)),
+        ("vector-copy-coupled", library::vector_copy_coupled(1.0)),
+        ("freq-sensitive-fma", library::freq_sensitive_fma(100.0)),
+        ("low-freq-worse-alu", library::low_freq_worse_alu(50.0)),
+        ("late-onset-muldiv", library::late_onset_muldiv(0.0, 1.0)),
+        ("data-pattern-vector", library::data_pattern_vector(1.0)),
+        ("addressgen-crasher", library::addressgen_crasher(1.0)),
+        ("loadstore-corruptor", library::loadstore_corruptor(1.0)),
+    ];
+    let mut out = Vec::new();
+    for (archetype, profile) in sources {
+        for lesion in &profile.lesions {
+            let kind = lesion.lesion.kind_name();
+            out.push(CatalogEntry {
+                archetype,
+                kind,
+                profile: CoreFaultProfile::new(format!("{archetype}/{kind}"), vec![*lesion]),
+            });
+        }
+    }
+    out
+}
+
+/// The distinct lesion kinds present in a catalog, in first-seen order.
+pub fn catalog_kinds(catalog: &[CatalogEntry]) -> Vec<&'static str> {
+    let mut kinds = Vec::new();
+    for e in catalog {
+        if !kinds.contains(&e.kind) {
+            kinds.push(e.kind);
+        }
+    }
+    kinds
+}
+
+/// Whether a catalog entry can fire at all under `cfg`'s conditions, for
+/// any of a representative operand sample (pattern immediates included).
+pub fn is_activatable(entry: &CatalogEntry, cfg: &DiffConfig) -> bool {
+    const OPERANDS: [u64; 6] = [
+        0,
+        u64::MAX,
+        0xaaaa_aaaa_aaaa_aaaa,
+        0x5555_5555_5555_5555,
+        0x0102_0408_1020_4080,
+        0xdead_beef_cafe_f00d,
+    ];
+    entry.profile.lesions.iter().any(|l| {
+        OPERANDS
+            .iter()
+            .any(|&op| l.activation.probability(cfg.point, op, cfg.age_hours) > 0.0)
+    })
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Master seed; with an index it determines everything.
+    pub seed: u64,
+    /// Number of programs to generate.
+    pub budget: usize,
+    /// Worker threads for the fan-out (`0` = auto).
+    pub parallelism: usize,
+    /// Generator knobs.
+    pub gen: GenConfig,
+    /// Execution conditions.
+    pub diff: DiffConfig,
+    /// Oracle-call budget per witness minimization.
+    pub minimize_oracle_calls: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seed: 0xF0CC,
+            budget: 64,
+            parallelism: 1,
+            gen: GenConfig::default(),
+            diff: DiffConfig::default(),
+            minimize_oracle_calls: 300,
+        }
+    }
+}
+
+/// What one differential run concluded (a compact, comparable summary of
+/// [`Divergence`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectionOutcome {
+    /// No divergence.
+    Clean,
+    /// Architectural state diverged.
+    Diverged {
+        /// Program counter of the divergent instruction.
+        pc: u32,
+        /// Retired-instruction index.
+        step: u64,
+        /// Implicated functional unit.
+        unit: FunctionalUnit,
+    },
+    /// The suspect trapped where the reference did not.
+    Trapped {
+        /// Retired-instruction index at the trap.
+        step: u64,
+    },
+}
+
+impl DetectionOutcome {
+    fn from_divergence(d: &Divergence) -> DetectionOutcome {
+        match d {
+            Divergence::At { pc, step, unit, .. } => DetectionOutcome::Diverged {
+                pc: *pc,
+                step: *step,
+                unit: *unit,
+            },
+            Divergence::SuspectTrapped { step, .. } => DetectionOutcome::Trapped { step: *step },
+            _ => DetectionOutcome::Clean,
+        }
+    }
+
+    /// Whether this outcome indicts the suspect.
+    pub fn indicts(&self) -> bool {
+        !matches!(self, DetectionOutcome::Clean)
+    }
+}
+
+/// A minimized diverging witness for one lesion kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LesionWitness {
+    /// The lesion kind this witness covers.
+    pub kind: String,
+    /// Catalog entry name the hit was found against.
+    pub catalog_entry: String,
+    /// Campaign index of the witnessing program.
+    pub program_index: u64,
+    /// Instruction count before minimization.
+    pub original_len: usize,
+    /// Instruction count after minimization.
+    pub minimized_len: usize,
+    /// The minimized program (still diverges under the entry's profile).
+    pub program: FuzzProgram,
+}
+
+/// One cumulative detection-coverage-vs-budget row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageRow {
+    /// Programs generated so far (budget spent).
+    pub programs: usize,
+    /// Catalog entries detected by at least one program so far.
+    pub entries_covered: usize,
+    /// Lesion kinds witnessed so far.
+    pub kinds_covered: usize,
+}
+
+/// The campaign's deterministic result (everything `PartialEq`-comparable,
+/// which is what the 1/2/8-thread parity tests pin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Seed the campaign ran with.
+    pub seed: u64,
+    /// Programs generated.
+    pub budget: usize,
+    /// Programs whose healthy run completed cleanly (matrix rows).
+    pub valid_programs: usize,
+    /// Catalog entry names, matrix column order.
+    pub catalog_names: Vec<String>,
+    /// Distinct lesion kinds in the catalog.
+    pub kinds: Vec<String>,
+    /// The (program × entry) detection matrix.
+    pub matrix: DetectionMatrix,
+    /// One minimized witness per witnessed lesion kind.
+    pub witnesses: Vec<LesionWitness>,
+    /// The distilled corpus (greedy set cover over the matrix).
+    pub distilled: DistilledCorpus,
+    /// Cumulative coverage after each generated program.
+    pub coverage: Vec<CoverageRow>,
+}
+
+impl CampaignReport {
+    /// Kinds for which a diverging witness was found.
+    pub fn witnessed_kinds(&self) -> Vec<&str> {
+        self.witnesses.iter().map(|w| w.kind.as_str()).collect()
+    }
+
+    /// Whether every catalog lesion kind has a witness.
+    pub fn all_kinds_witnessed(&self) -> bool {
+        self.kinds
+            .iter()
+            .all(|k| self.witnesses.iter().any(|w| &w.kind == k))
+    }
+
+    /// Distilled corpus size as a fraction of the generation budget.
+    pub fn distilled_fraction(&self) -> f64 {
+        if self.budget == 0 {
+            return 0.0;
+        }
+        self.distilled.selected_rows.len() as f64 / self.budget as f64
+    }
+}
+
+/// Report plus the executable kernels exported from the distillation.
+pub struct CampaignOutput {
+    /// The comparable report.
+    pub report: CampaignReport,
+    /// Distilled programs as screening kernels (golden outputs captured).
+    pub kernels: Vec<SimKernel>,
+}
+
+/// Runs a full campaign.
+///
+/// Bit-for-bit deterministic in `cfg` modulo `cfg.parallelism`, which
+/// only changes scheduling: the per-program work is fanned out through
+/// [`map_parallel`], whose results are stored by input index.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutput {
+    let catalog = hot_catalog();
+    let kinds = catalog_kinds(&catalog);
+
+    // Phase 1: generate + healthy-run + differentially execute each
+    // program against every catalog entry (the expensive, parallel part).
+    let indices: Vec<u64> = (0..cfg.budget as u64).collect();
+    let results: Vec<(FuzzProgram, Option<HealthyRun>, Vec<DetectionOutcome>)> =
+        map_parallel(&indices, cfg.parallelism, |&i| {
+            let fp = generate(cfg.seed, i, &cfg.gen);
+            match healthy_run(&fp, &cfg.diff) {
+                Err(_) => (fp, None, Vec::new()),
+                Ok(run) => {
+                    let detections: Vec<DetectionOutcome> = catalog
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, entry)| {
+                            let d = run_differential(
+                                &fp,
+                                &entry.profile,
+                                cfg.seed,
+                                slot as u64,
+                                &cfg.diff,
+                            );
+                            DetectionOutcome::from_divergence(&d)
+                        })
+                        .collect();
+                    (fp, Some(run), detections)
+                }
+            }
+        });
+
+    // Phase 2 (serial): assemble the matrix and coverage curve.
+    let mut runs: Vec<(FuzzProgram, HealthyRun)> = Vec::new();
+    let mut rows: Vec<ProgramRow> = Vec::new();
+    let mut coverage: Vec<CoverageRow> = Vec::new();
+    let mut entry_covered = vec![false; catalog.len()];
+    for (fp, healthy, detections) in results {
+        if let Some(run) = healthy {
+            let detected: Vec<bool> = detections.iter().map(|d| d.indicts()).collect();
+            for (k, hit) in detected.iter().enumerate() {
+                if *hit {
+                    entry_covered[k] = true;
+                }
+            }
+            rows.push(ProgramRow {
+                index: fp.index,
+                detected,
+                healthy_ops: run.instructions,
+            });
+            runs.push((fp, run));
+        }
+        let kinds_covered = kinds
+            .iter()
+            .filter(|k| {
+                catalog
+                    .iter()
+                    .enumerate()
+                    .any(|(slot, e)| e.kind == **k && entry_covered[slot])
+            })
+            .count();
+        coverage.push(CoverageRow {
+            programs: coverage.len() + 1,
+            entries_covered: entry_covered.iter().filter(|&&c| c).count(),
+            kinds_covered,
+        });
+    }
+    let matrix = DetectionMatrix {
+        profiles: catalog.iter().map(|e| e.profile.name.clone()).collect(),
+        rows,
+    };
+
+    // Phase 3: pick the first hit per lesion kind and minimize it (one
+    // parallel task per witness; each is pure in its arguments).
+    let witness_seeds: Vec<(usize, usize)> = kinds
+        .iter()
+        .filter_map(|kind| {
+            // First (row, slot) in index-then-slot order detecting `kind`.
+            for (ri, row) in matrix.rows.iter().enumerate() {
+                for (slot, e) in catalog.iter().enumerate() {
+                    if e.kind == *kind && row.detected[slot] {
+                        return Some((ri, slot));
+                    }
+                }
+            }
+            None
+        })
+        .collect();
+    let witnesses: Vec<LesionWitness> =
+        map_parallel(&witness_seeds, cfg.parallelism, |&(ri, slot)| {
+            let fp = &runs[ri].0;
+            let entry = &catalog[slot];
+            let min = minimize(
+                fp,
+                &entry.profile,
+                cfg.seed,
+                slot as u64,
+                &cfg.diff,
+                cfg.minimize_oracle_calls,
+            );
+            LesionWitness {
+                kind: entry.kind.to_string(),
+                catalog_entry: entry.profile.name.clone(),
+                program_index: fp.index,
+                original_len: min.original_len,
+                minimized_len: min.program.program.len(),
+                program: min.program,
+            }
+        });
+
+    // Phase 4 (serial): distill and export kernels.
+    let distilled = DistilledCorpus::build(&matrix, &runs);
+    let kernels = distilled.to_kernels(&runs);
+
+    CampaignOutput {
+        report: CampaignReport {
+            seed: cfg.seed,
+            budget: cfg.budget,
+            valid_programs: matrix.rows.len(),
+            catalog_names: matrix.profiles.clone(),
+            kinds: kinds.iter().map(|k| k.to_string()).collect(),
+            matrix,
+            witnesses,
+            distilled,
+            coverage,
+        },
+        kernels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> CampaignConfig {
+        CampaignConfig {
+            budget: 24,
+            minimize_oracle_calls: 120,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn catalog_decomposes_to_single_lesions() {
+        let catalog = hot_catalog();
+        assert!(catalog.len() >= 10, "10 archetypes, >=1 lesion each");
+        assert!(catalog.iter().all(|e| e.profile.lesions.len() == 1));
+        let kinds = catalog_kinds(&catalog);
+        assert!(kinds.contains(&"round-xor"));
+        assert!(kinds.contains(&"corrupt-copy"));
+        assert!(kinds.contains(&"lock-violation"));
+    }
+
+    #[test]
+    fn every_hot_catalog_entry_is_activatable() {
+        let dcfg = DiffConfig::default();
+        for e in hot_catalog() {
+            assert!(
+                is_activatable(&e, &dcfg),
+                "{} not activatable",
+                e.profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_witnesses_every_lesion_kind() {
+        let out = run_campaign(&small_cfg());
+        let r = &out.report;
+        assert_eq!(r.valid_programs, r.budget, "generated programs are valid");
+        assert!(
+            r.all_kinds_witnessed(),
+            "kinds {:?} vs witnessed {:?}",
+            r.kinds,
+            r.witnessed_kinds()
+        );
+        for w in &r.witnesses {
+            assert!(w.minimized_len <= w.original_len);
+        }
+    }
+
+    #[test]
+    fn distilled_corpus_is_compact_and_covering() {
+        let out = run_campaign(&small_cfg());
+        let r = &out.report;
+        assert!(
+            r.distilled_fraction() <= 0.25,
+            "distilled {} of {} programs",
+            r.distilled.selected_rows.len(),
+            r.budget
+        );
+        // The cover detects everything any program detected.
+        let covered = r.matrix.covered_profiles();
+        let mut union = vec![false; r.catalog_names.len()];
+        for &ri in &r.distilled.selected_rows {
+            for (k, hit) in r.matrix.rows[ri].detected.iter().enumerate() {
+                if *hit {
+                    union[k] = true;
+                }
+            }
+        }
+        assert_eq!(union.iter().filter(|&&c| c).count(), covered);
+        // And the kernels exported are runnable golden-output kernels.
+        assert_eq!(out.kernels.len(), r.distilled.selected_rows.len());
+        assert!(out.kernels.iter().all(|k| !k.expected.is_empty()));
+    }
+
+    #[test]
+    fn campaign_is_bit_for_bit_identical_across_thread_counts() {
+        let base = small_cfg();
+        let r1 = run_campaign(&CampaignConfig {
+            parallelism: 1,
+            ..base
+        });
+        let r2 = run_campaign(&CampaignConfig {
+            parallelism: 2,
+            ..base
+        });
+        let r8 = run_campaign(&CampaignConfig {
+            parallelism: 8,
+            ..base
+        });
+        assert_eq!(r1.report, r2.report);
+        assert_eq!(r1.report, r8.report);
+        // Kernel exports agree too (names, programs, golden outputs).
+        let sig = |out: &CampaignOutput| {
+            out.kernels
+                .iter()
+                .map(|k| (k.name, k.program.clone(), k.expected.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sig(&r1), sig(&r2));
+        assert_eq!(sig(&r1), sig(&r8));
+    }
+}

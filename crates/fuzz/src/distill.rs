@@ -1,0 +1,230 @@
+//! Corpus distillation: greedy set cover over the detection matrix.
+//!
+//! A fuzz campaign produces far more diverging programs than a screening
+//! budget can afford to run. SiliFuzz's answer — and this module's — is to
+//! build the (program × fault profile) *detection matrix* and keep only a
+//! minimal subset of programs whose union still detects everything any
+//! program detected. Greedy set cover is within `ln(n)+1` of optimal and,
+//! run with deterministic tie-breaking (most new coverage, then fewest
+//! healthy ops, then lowest index), is reproducible bit-for-bit.
+//!
+//! The distilled survivors are exported as [`SimKernel`]s — golden outputs
+//! captured from a healthy core — so the execution-based screeners in
+//! `mercurial-screening` can run fuzz-distilled content exactly like the
+//! hand-written corpus.
+
+use crate::diff::HealthyRun;
+use crate::gen::FuzzProgram;
+use mercurial_corpus::SimKernel;
+use mercurial_fault::FunctionalUnit;
+
+/// One row of the detection matrix: a valid program and which catalog
+/// entries it detected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramRow {
+    /// Campaign index of the program.
+    pub index: u64,
+    /// `detected[k]` ⇔ the program diverged under catalog entry `k`.
+    pub detected: Vec<bool>,
+    /// Healthy instruction count (screening cost; set-cover tie-breaker).
+    pub healthy_ops: u64,
+}
+
+/// The (program × profile) detection matrix.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DetectionMatrix {
+    /// Catalog entry names, column order.
+    pub profiles: Vec<String>,
+    /// One row per *valid* generated program, in campaign index order.
+    pub rows: Vec<ProgramRow>,
+}
+
+impl DetectionMatrix {
+    /// How many catalog entries at least one program detects.
+    pub fn covered_profiles(&self) -> usize {
+        (0..self.profiles.len())
+            .filter(|&k| self.rows.iter().any(|r| r.detected[k]))
+            .count()
+    }
+
+    /// Greedy set cover: row positions (into `rows`) whose union detects
+    /// every detectable catalog entry, deterministic under ties.
+    pub fn greedy_cover(&self) -> Vec<usize> {
+        let n_cols = self.profiles.len();
+        let mut uncovered: Vec<bool> = (0..n_cols)
+            .map(|k| self.rows.iter().any(|r| r.detected[k]))
+            .collect();
+        let mut chosen = Vec::new();
+        while uncovered.iter().any(|&u| u) {
+            let mut best: Option<(usize, usize, u64)> = None; // (row, gain, ops)
+            for (ri, row) in self.rows.iter().enumerate() {
+                if chosen.contains(&ri) {
+                    continue;
+                }
+                let gain = (0..n_cols)
+                    .filter(|&k| uncovered[k] && row.detected[k])
+                    .count();
+                if gain == 0 {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, bg, bops)) => gain > bg || (gain == bg && row.healthy_ops < bops),
+                };
+                if better {
+                    best = Some((ri, gain, row.healthy_ops));
+                }
+            }
+            match best {
+                Some((ri, _, _)) => {
+                    chosen.push(ri);
+                    for (cov, &hit) in uncovered.iter_mut().zip(&self.rows[ri].detected) {
+                        if hit {
+                            *cov = false;
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+}
+
+/// The distilled corpus: selected programs plus the analytic-side summary
+/// the fleet screeners consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistilledCorpus {
+    /// Positions into the matrix rows of the selected programs.
+    pub selected_rows: Vec<usize>,
+    /// Campaign indices of the selected programs.
+    pub selected_indices: Vec<u64>,
+    /// Per-unit healthy retired-op totals across the selection (indexed by
+    /// [`FunctionalUnit::index`]) — the extra screening content the
+    /// analytic screeners charge and credit.
+    pub unit_ops: [u64; 9],
+    /// Distinct data-pattern operands the selection feeds through its
+    /// instructions (seeds the analytic screeners' operand list).
+    pub operands: Vec<u64>,
+}
+
+impl DistilledCorpus {
+    /// Builds the distilled corpus from the matrix and the per-program
+    /// healthy runs (`runs[i]` pairs with `matrix.rows[i]`).
+    pub fn build(matrix: &DetectionMatrix, runs: &[(FuzzProgram, HealthyRun)]) -> DistilledCorpus {
+        assert_eq!(matrix.rows.len(), runs.len());
+        let selected_rows = matrix.greedy_cover();
+        let mut unit_ops = [0u64; 9];
+        let mut operands = Vec::new();
+        for &ri in &selected_rows {
+            let (fp, run) = &runs[ri];
+            for (i, ops) in run.unit_ops.iter().enumerate() {
+                unit_ops[i] += ops;
+            }
+            for inst in &fp.program.insts {
+                if let mercurial_simcpu::Inst::Li(_, imm) = *inst {
+                    if !operands.contains(&imm) {
+                        operands.push(imm);
+                    }
+                }
+            }
+        }
+        operands.truncate(12);
+        DistilledCorpus {
+            selected_indices: selected_rows
+                .iter()
+                .map(|&ri| matrix.rows[ri].index)
+                .collect(),
+            selected_rows,
+            unit_ops,
+            operands,
+        }
+    }
+
+    /// Units the selection exercises.
+    pub fn covered_units(&self) -> Vec<FunctionalUnit> {
+        FunctionalUnit::ALL
+            .into_iter()
+            .filter(|u| self.unit_ops[u.index()] > 0)
+            .collect()
+    }
+
+    /// Exports the selected programs as screening kernels with golden
+    /// outputs captured from a healthy core.
+    ///
+    /// Programs that fail kernel capture (they should not — selection
+    /// implies a clean healthy run) are skipped rather than fatal.
+    pub fn to_kernels(&self, runs: &[(FuzzProgram, HealthyRun)]) -> Vec<SimKernel> {
+        self.selected_rows
+            .iter()
+            .filter_map(|&ri| {
+                let (fp, run) = &runs[ri];
+                let units: Vec<FunctionalUnit> = FunctionalUnit::ALL
+                    .into_iter()
+                    .filter(|u| run.unit_ops[u.index()] > 0)
+                    .collect();
+                let name: &'static str = Box::leak(format!("fuzz-{}", fp.index).into_boxed_str());
+                SimKernel::from_program(
+                    name,
+                    units,
+                    fp.program.clone(),
+                    fp.init_mem.clone(),
+                    fp.mem_size,
+                )
+                .ok()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(index: u64, detected: &[bool], ops: u64) -> ProgramRow {
+        ProgramRow {
+            index,
+            detected: detected.to_vec(),
+            healthy_ops: ops,
+        }
+    }
+
+    #[test]
+    fn greedy_cover_picks_minimal_hitting_set() {
+        let matrix = DetectionMatrix {
+            profiles: vec!["a".into(), "b".into(), "c".into()],
+            rows: vec![
+                row(0, &[true, false, false], 10),
+                row(1, &[true, true, true], 50),
+                row(2, &[false, false, true], 10),
+            ],
+        };
+        // Row 1 alone covers everything.
+        assert_eq!(matrix.greedy_cover(), vec![1]);
+        assert_eq!(matrix.covered_profiles(), 3);
+    }
+
+    #[test]
+    fn greedy_cover_tie_breaks_on_cost_then_index() {
+        let matrix = DetectionMatrix {
+            profiles: vec!["a".into(), "b".into()],
+            rows: vec![
+                row(0, &[true, false], 100),
+                row(1, &[true, false], 5),
+                row(2, &[false, true], 5),
+            ],
+        };
+        // Rows 1 and 2 (cheaper than 0), sorted ascending.
+        assert_eq!(matrix.greedy_cover(), vec![1, 2]);
+    }
+
+    #[test]
+    fn undetectable_columns_do_not_wedge_the_cover() {
+        let matrix = DetectionMatrix {
+            profiles: vec!["a".into(), "ghost".into()],
+            rows: vec![row(0, &[true, false], 1)],
+        };
+        assert_eq!(matrix.greedy_cover(), vec![0]);
+    }
+}

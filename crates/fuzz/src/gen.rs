@@ -1,0 +1,471 @@
+//! Seeded program generation over the full `simcpu` ISA.
+//!
+//! SiliFuzz's central trick is that the proxy fuzzer does not need to be
+//! clever about *what* a defect looks like — it only needs to produce a
+//! high-volume stream of short, valid, terminating programs whose dynamic
+//! behavior touches every functional unit with diverse data. This module
+//! is that stream: every program is a pure function of `(seed, index)`
+//! through a [`CounterRng`], which is what lets the campaign fan out over
+//! `fleet::par::map_parallel` under the bit-for-bit determinism contract.
+//!
+//! Structural invariants (all load-bearing):
+//!
+//! * programs always terminate on a healthy core: the body is a single
+//!   counted loop on a dedicated down-counter register that body
+//!   instructions never write, and every in-body branch is forward-only
+//!   with a target at or before the loop decrement;
+//! * programs never trap on a healthy core: divides read a dedicated
+//!   never-written nonzero register, and every memory operand is built
+//!   from the never-written arena base register plus a bounded offset;
+//! * every branch target is a real instruction index (`< len`), so
+//!   `Program::validate` passes and `assemble(disassemble(p)) == p`
+//!   round-trips exactly (no synthetic landing pad);
+//! * register values are seeded with the data patterns the `Activation`
+//!   gates look for (high popcount, checkerboard, distinct bytes), so
+//!   pattern-gated lesions are reachable.
+
+use mercurial_fault::{CounterRng, FunctionalUnit};
+use mercurial_simcpu::{Inst, Program, Reg, VReg};
+
+/// The arena base address loaded into [`BASE_REG`].
+pub const ARENA_BASE: u64 = 0x100;
+/// Bytes of memory staged (and fuzzed over) starting at [`ARENA_BASE`].
+pub const ARENA_LEN: usize = 0xc00;
+/// Scalar/vector load-store window size (offsets from the base register).
+const LS_WINDOW: u64 = 0x100;
+/// Atomics operate on this window (absolute addresses).
+const ATOMIC_BASE: u64 = 0x600;
+const ATOMIC_WINDOW: u64 = 0x100;
+/// `memcpy` always lands its destination here so the epilogue can audit it.
+const MEMCPY_DST: u64 = 0x800;
+/// `memcpy` sources come from this window (absolute addresses).
+const MEMCPY_SRC_BASE: u64 = 0x900;
+const MEMCPY_SRC_WINDOW: u64 = 0x280;
+
+/// Register conventions. The generator never writes any of these inside a
+/// program body, which is what makes termination and trap-freedom static
+/// properties rather than hopes. In particular every address-bearing
+/// instruction reads only pinned registers — a forward branch can land on
+/// *any* body instruction, so no instruction may assume a preceding
+/// register setup executed.
+const MEMCPY_LEN_REG: Reg = Reg(9); // memcpy byte length
+const ATOMIC_ADDR_REG: Reg = Reg(10); // cas/xadd operand address
+const MEMCPY_DST_REG: Reg = Reg(11); // memcpy destination address
+const MEMCPY_SRC_REG: Reg = Reg(12); // memcpy source address
+const BASE_REG: Reg = Reg(13); // arena base, value ARENA_BASE
+const DIVISOR_REG: Reg = Reg(14); // nonzero, for div/rem
+const COUNTER_REG: Reg = Reg(15); // loop down-counter
+/// Writable destination pool: `x1`–`x8` (`x0` is kept as a zero-ish
+/// scratch the epilogue reuses).
+const POOL_LO: u8 = 1;
+const POOL_HI: u8 = 8;
+
+/// Tuning knobs for the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenConfig {
+    /// Instructions in the (single) loop body.
+    pub body_len: usize,
+    /// Loop trip count.
+    pub loop_iters: u64,
+    /// Memory size each program assumes (must fit the arena).
+    pub mem_size: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            body_len: 48,
+            loop_iters: 6,
+            mem_size: 1 << 16,
+        }
+    }
+}
+
+/// One generated fuzz program plus its memory image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzProgram {
+    /// Campaign index this program was generated at.
+    pub index: u64,
+    /// The instruction sequence (passes [`Program::validate`]).
+    pub program: Program,
+    /// Memory staged before every run: `(addr, bytes)`.
+    pub init_mem: Vec<(u64, Vec<u8>)>,
+    /// Memory size the program assumes.
+    pub mem_size: usize,
+    /// The two functional units this program's instruction mix favors.
+    pub focus: [FunctionalUnit; 2],
+}
+
+/// Instruction families the sampler draws from (branch handled inline).
+const FAMILIES: [FunctionalUnit; 8] = [
+    FunctionalUnit::ScalarAlu,
+    FunctionalUnit::MulDiv,
+    FunctionalUnit::Fma,
+    FunctionalUnit::LoadStore,
+    FunctionalUnit::VectorPipe,
+    FunctionalUnit::Atomics,
+    FunctionalUnit::CryptoUnit,
+    FunctionalUnit::BranchUnit,
+];
+
+/// Generates the `index`-th program of a campaign.
+///
+/// Pure in `(seed, index, cfg)`: two calls with equal arguments return
+/// equal programs, regardless of thread or call order.
+pub fn generate(seed: u64, index: u64, cfg: &GenConfig) -> FuzzProgram {
+    assert!(
+        (ARENA_BASE as usize) + ARENA_LEN <= cfg.mem_size,
+        "arena must fit in program memory"
+    );
+    let mut rng = CounterRng::from_parts(seed, index, 0xF0_22, 0);
+
+    // Each program favors two functional units so the campaign as a whole
+    // produces unit-specialized content for the distiller to choose from.
+    let focus_a = FAMILIES[rng.next_below(FAMILIES.len() as u64) as usize];
+    let focus_b = FAMILIES[rng.next_below(FAMILIES.len() as u64) as usize];
+
+    let mut insts: Vec<Inst> = Vec::with_capacity(cfg.body_len + 64);
+
+    // --- Prologue: pin the conventions, seed the patterns. ---
+    insts.push(Inst::Li(BASE_REG, ARENA_BASE));
+    insts.push(Inst::Li(DIVISOR_REG, rng.next_below(u64::MAX) | 1));
+    insts.push(Inst::Li(COUNTER_REG, cfg.loop_iters.max(1)));
+    insts.push(Inst::Li(MEMCPY_LEN_REG, 8u64 << rng.next_below(4)));
+    insts.push(Inst::Li(
+        ATOMIC_ADDR_REG,
+        ATOMIC_BASE + rng.next_below(ATOMIC_WINDOW / 8) * 8,
+    ));
+    insts.push(Inst::Li(MEMCPY_DST_REG, MEMCPY_DST));
+    insts.push(Inst::Li(
+        MEMCPY_SRC_REG,
+        MEMCPY_SRC_BASE + rng.next_below(MEMCPY_SRC_WINDOW / 8) * 8,
+    ));
+    for r in POOL_LO..=POOL_HI {
+        insts.push(Inst::Li(Reg(r), pattern_immediate(&mut rng)));
+    }
+    // Seed one lane of every vector register from the patterned pool.
+    for v in 0..VReg::COUNT as u8 {
+        let src = Reg(POOL_LO + (rng.next_below((POOL_HI - POOL_LO + 1) as u64) as u8));
+        insts.push(Inst::Vins(VReg(v), src, v % 4));
+    }
+
+    // --- Body: one counted loop of unit-biased random instructions. ---
+    let body_start = insts.len() as u32;
+    let decrement_at = body_start + cfg.body_len as u32;
+    while insts.len() < decrement_at as usize {
+        let pc = insts.len() as u32;
+        emit_random(&mut rng, &mut insts, pc, decrement_at, [focus_a, focus_b]);
+    }
+    insts.push(Inst::Addi(COUNTER_REG, COUNTER_REG, -1));
+    insts.push(Inst::Bnz(COUNTER_REG, body_start));
+
+    // --- Epilogue: make every corruption architecturally visible. ---
+    // Pool registers first (scalar/float/muldiv results live here).
+    for r in POOL_LO..=POOL_HI {
+        insts.push(Inst::Out(Reg(r)));
+    }
+    // Vector state (crypto + vector lesions hide in lanes until extracted).
+    for v in 0..VReg::COUNT as u8 {
+        insts.push(Inst::Vext(Reg(0), VReg(v), v % 4));
+        insts.push(Inst::Out(Reg(0)));
+    }
+    // Audit the store windows: the scalar/vector window, the atomics
+    // window, and the fixed memcpy destination.
+    for k in 0..6u64 {
+        insts.push(Inst::Ld(Reg(0), BASE_REG, (k * 0x28) as i64));
+        insts.push(Inst::Out(Reg(0)));
+    }
+    for k in 0..2u64 {
+        let off = (ATOMIC_BASE - ARENA_BASE + k * 0x40) as i64;
+        insts.push(Inst::Ld(Reg(0), BASE_REG, off));
+        insts.push(Inst::Out(Reg(0)));
+    }
+    for k in 0..4u64 {
+        let off = (MEMCPY_DST - ARENA_BASE + k * 8) as i64;
+        insts.push(Inst::Ld(Reg(0), BASE_REG, off));
+        insts.push(Inst::Out(Reg(0)));
+    }
+    insts.push(Inst::Halt);
+
+    // --- Memory image: patterned bytes over the whole arena. ---
+    let mut image = Vec::with_capacity(ARENA_LEN);
+    for i in 0..ARENA_LEN {
+        let b = if i % 3 == 0 {
+            // High-popcount bytes keep PopcountAtLeast gates reachable
+            // through loads.
+            0xffu8 ^ (1 << (rng.next_below(8) as u8))
+        } else {
+            rng.next_below(256) as u8
+        };
+        image.push(b);
+    }
+
+    let program = Program::new(insts);
+    debug_assert!(program.validate().is_ok());
+    FuzzProgram {
+        index,
+        program,
+        init_mem: vec![(ARENA_BASE, image)],
+        mem_size: cfg.mem_size,
+        focus: [focus_a, focus_b],
+    }
+}
+
+/// An immediate biased toward the data patterns `Activation` gates test.
+fn pattern_immediate(rng: &mut CounterRng) -> u64 {
+    match rng.next_below(5) {
+        // Popcount >= 56: flips a few bits off all-ones.
+        0 => {
+            u64::MAX ^ (rng.next_below(u64::MAX) & rng.next_below(u64::MAX) & 0x0101_0101_0101_0101)
+        }
+        // Checkerboards (MaskedEquals-style gates).
+        1 => 0xaaaa_aaaa_aaaa_aaaa,
+        2 => 0x5555_5555_5555_5555,
+        // All bytes distinct from neighbors.
+        3 => 0x0102_0408_1020_4080u64.wrapping_add(rng.next_below(0x100) * 0x0101_0101_0101_0101),
+        // Plain entropy.
+        _ => rng.next_below(u64::MAX),
+    }
+}
+
+/// A random register from the writable pool.
+fn pool_reg(rng: &mut CounterRng) -> Reg {
+    Reg(POOL_LO + rng.next_below((POOL_HI - POOL_LO + 1) as u64) as u8)
+}
+
+fn vreg(rng: &mut CounterRng) -> VReg {
+    VReg(rng.next_below(VReg::COUNT as u64) as u8)
+}
+
+/// An 8-byte-aligned offset inside the scalar/vector load-store window.
+fn ls_offset(rng: &mut CounterRng, reach: u64) -> i64 {
+    (rng.next_below((LS_WINDOW - reach) / 8) * 8) as i64
+}
+
+/// Emits one instruction into `insts`.
+///
+/// Branch targets land in `(pc, decrement_at]`, which keeps the loop
+/// counter's decrement on every path.
+fn emit_random(
+    rng: &mut CounterRng,
+    insts: &mut Vec<Inst>,
+    pc: u32,
+    decrement_at: u32,
+    focus: [FunctionalUnit; 2],
+) {
+    // Weighted family pick: base weight 2, +9 per focus hit.
+    let mut weights = [2u64; FAMILIES.len()];
+    for f in focus {
+        if let Some(i) = FAMILIES.iter().position(|&u| u == f) {
+            weights[i] += 9;
+        }
+    }
+    let total: u64 = weights.iter().sum();
+    let mut draw = rng.next_below(total);
+    let mut family = FAMILIES[0];
+    for (i, &w) in weights.iter().enumerate() {
+        if draw < w {
+            family = FAMILIES[i];
+            break;
+        }
+        draw -= w;
+    }
+
+    match family {
+        FunctionalUnit::ScalarAlu => insts.push(scalar_inst(rng)),
+        FunctionalUnit::MulDiv => {
+            let (d, a, b) = (pool_reg(rng), pool_reg(rng), pool_reg(rng));
+            insts.push(match rng.next_below(4) {
+                0 => Inst::Mul(d, a, b),
+                1 => Inst::Mulh(d, a, b),
+                2 => Inst::Div(d, a, DIVISOR_REG),
+                _ => Inst::Rem(d, a, DIVISOR_REG),
+            });
+        }
+        FunctionalUnit::Fma => {
+            let (d, a, b) = (pool_reg(rng), pool_reg(rng), pool_reg(rng));
+            insts.push(match rng.next_below(6) {
+                0 => Inst::Fadd(d, a, b),
+                1 => Inst::Fsub(d, a, b),
+                2 => Inst::Fmul(d, a, b),
+                3 => Inst::Fdiv(d, a, b),
+                4 => Inst::Fma(d, a, b),
+                _ => Inst::Fsqrt(d, a),
+            });
+        }
+        FunctionalUnit::LoadStore => {
+            let r = pool_reg(rng);
+            insts.push(match rng.next_below(4) {
+                0 => Inst::Ld(r, BASE_REG, ls_offset(rng, 8)),
+                1 => Inst::St(r, BASE_REG, ls_offset(rng, 8)),
+                2 => Inst::Ldb(r, BASE_REG, ls_offset(rng, 8)),
+                _ => Inst::Stb(r, BASE_REG, ls_offset(rng, 8)),
+            });
+        }
+        FunctionalUnit::VectorPipe => insts.push(vector_inst(rng)),
+        FunctionalUnit::Atomics => insts.push(atomic_inst(rng)),
+        FunctionalUnit::CryptoUnit => {
+            let (vd, vk) = (vreg(rng), vreg(rng));
+            insts.push(match rng.next_below(4) {
+                0 => Inst::AesEnc(vd, vk),
+                1 => Inst::AesEncLast(vd, vk),
+                2 => Inst::AesDec(vd, vk),
+                _ => Inst::AesDecLast(vd, vk),
+            });
+        }
+        FunctionalUnit::BranchUnit => {
+            // Forward-only, never past the loop decrement.
+            let target = (pc + 1 + rng.next_below(4) as u32).min(decrement_at);
+            let (a, b) = (pool_reg(rng), pool_reg(rng));
+            insts.push(match rng.next_below(5) {
+                0 => Inst::Jmp(target),
+                1 => Inst::Beq(a, b, target),
+                2 => Inst::Bne(a, b, target),
+                3 => Inst::Blt(a, b, target),
+                _ => Inst::Bnz(a, target),
+            });
+        }
+        _ => insts.push(Inst::Nop),
+    }
+}
+
+fn scalar_inst(rng: &mut CounterRng) -> Inst {
+    let (d, a, b) = (pool_reg(rng), pool_reg(rng), pool_reg(rng));
+    match rng.next_below(18) {
+        0 => Inst::Li(d, pattern_immediate(rng)),
+        1 => Inst::Mov(d, a),
+        2 => Inst::Add(d, a, b),
+        3 => Inst::Addi(d, a, rng.next_below(0x2000) as i64 - 0x1000),
+        4 => Inst::Sub(d, a, b),
+        5 => Inst::And(d, a, b),
+        6 => Inst::Or(d, a, b),
+        7 => Inst::Xor(d, a, b),
+        8 => Inst::Xori(d, a, pattern_immediate(rng)),
+        9 => Inst::Shl(d, a, b),
+        10 => Inst::Shr(d, a, b),
+        11 => Inst::Rotli(d, a, rng.next_below(64) as u32),
+        12 => Inst::CmpLt(d, a, b),
+        13 => Inst::CmpEq(d, a, b),
+        14 => Inst::Popcnt(d, a),
+        15 => Inst::Crc32b(d, a, b),
+        16 => Inst::Out(a),
+        // `x14` is never written and never zero, so a healthy core never
+        // trips this assert — but a corrupted one can (a loud CEE).
+        _ => Inst::Assert(DIVISOR_REG),
+    }
+}
+
+fn vector_inst(rng: &mut CounterRng) -> Inst {
+    let (vd, va, vb) = (vreg(rng), vreg(rng), vreg(rng));
+    match rng.next_below(8) {
+        0 => Inst::Vadd(vd, va, vb),
+        1 => Inst::Vxor(vd, va, vb),
+        2 => Inst::Vmul(vd, va, vb),
+        3 => Inst::Vins(vd, pool_reg(rng), rng.next_below(4) as u8),
+        4 => Inst::Vext(pool_reg(rng), va, rng.next_below(4) as u8),
+        5 => Inst::Vld(vd, BASE_REG, ls_offset(rng, 32)),
+        6 => Inst::Vst(vd, BASE_REG, ls_offset(rng, 32)),
+        // All three operands are pinned registers, so a branch landing
+        // here mid-body still copies inside the arena.
+        _ => Inst::MemCpy {
+            dst: MEMCPY_DST_REG,
+            src: MEMCPY_SRC_REG,
+            len: MEMCPY_LEN_REG,
+        },
+    }
+}
+
+fn atomic_inst(rng: &mut CounterRng) -> Inst {
+    match rng.next_below(3) {
+        0 => Inst::Cas {
+            rd: pool_reg(rng),
+            addr: ATOMIC_ADDR_REG,
+            expected: pool_reg(rng),
+            new: pool_reg(rng),
+        },
+        1 => Inst::Xadd(pool_reg(rng), ATOMIC_ADDR_REG, pool_reg(rng)),
+        _ => Inst::Fence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_pure_in_seed_and_index() {
+        let cfg = GenConfig::default();
+        let a = generate(7, 3, &cfg);
+        let b = generate(7, 3, &cfg);
+        assert_eq!(a, b);
+        let c = generate(7, 4, &cfg);
+        assert_ne!(a.program, c.program, "indices decorrelate");
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        let cfg = GenConfig::default();
+        for i in 0..64 {
+            let fp = generate(0xf22_2026, i, &cfg);
+            fp.program.validate().unwrap_or_else(|e| {
+                panic!("program {i} invalid: {e}");
+            });
+        }
+    }
+
+    #[test]
+    fn conventions_are_never_clobbered_in_body() {
+        let cfg = GenConfig::default();
+        for i in 0..32 {
+            let fp = generate(1, i, &cfg);
+            // Skip the 7 pinning `li`s; after that, the only write to a
+            // convention register (x9–x15) is the loop decrement.
+            let decrement = Inst::Addi(COUNTER_REG, COUNTER_REG, -1);
+            for inst in &fp.program.insts[7..] {
+                if *inst == decrement {
+                    continue;
+                }
+                if let Some(d) = dest_of(inst) {
+                    assert!(
+                        d.index() <= POOL_HI as usize || d.index() == 0,
+                        "program {i} writes convention register {d} via {inst:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn dest_of(inst: &Inst) -> Option<Reg> {
+        use Inst::*;
+        match *inst {
+            Li(d, _) | Popcnt(d, _) | Mov(d, _) | Fsqrt(d, _) | Vext(d, _, _) => Some(d),
+            Add(d, _, _)
+            | Addi(d, _, _)
+            | Sub(d, _, _)
+            | And(d, _, _)
+            | Or(d, _, _)
+            | Xor(d, _, _)
+            | Xori(d, _, _)
+            | Shl(d, _, _)
+            | Shr(d, _, _)
+            | Rotli(d, _, _)
+            | CmpLt(d, _, _)
+            | CmpEq(d, _, _)
+            | Crc32b(d, _, _)
+            | Mul(d, _, _)
+            | Mulh(d, _, _)
+            | Div(d, _, _)
+            | Rem(d, _, _)
+            | Fadd(d, _, _)
+            | Fsub(d, _, _)
+            | Fmul(d, _, _)
+            | Fdiv(d, _, _)
+            | Fma(d, _, _)
+            | Ld(d, _, _)
+            | Ldb(d, _, _)
+            | Xadd(d, _, _) => Some(d),
+            Cas { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+}

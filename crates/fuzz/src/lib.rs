@@ -1,0 +1,44 @@
+//! # mercurial-fuzz
+//!
+//! A SiliFuzz-style proxy fuzzer for the simulated CPU: the "systematic
+//! method of developing these tests" that §3 of *Cores that don't count*
+//! says the authors lacked. Following Serebryany et al. (SiliFuzz,
+//! arXiv:2110.11519), the crate closes the screening-content gap in four
+//! layers:
+//!
+//! 1. **[`gen`]** — a seeded program generator over the full `simcpu`
+//!    ISA: unit-mix-biased sampling, valid operand construction, counted
+//!    loops so programs terminate, and data-pattern seeding so
+//!    `Activation` pattern gates are reachable. Every program is a pure
+//!    function of `(seed, index)`.
+//! 2. **[`diff`]** — a differential executor pitting a fault-injected
+//!    suspect core against a clean reference through the screening
+//!    crate's `DivergenceFinder`, naming the first divergent pc,
+//!    instruction, and functional unit.
+//! 3. **[`minimize`]** — delta-debugging (window removal, then
+//!    per-instruction removal) that shrinks a diverging program to a
+//!    near-minimal witness while preserving the indictment.
+//! 4. **[`distill`]** — a (program × fault profile) detection matrix over
+//!    the `fault::library` catalog, greedy-set-covered into a compact
+//!    corpus and exported as `SimKernel`s the screeners can run.
+//!
+//! **[`campaign`]** ties the layers together and fans the work out
+//! through `fleet::par::map_parallel`; campaign reports are bit-for-bit
+//! identical at any worker count.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod diff;
+pub mod distill;
+pub mod gen;
+pub mod minimize;
+
+pub use campaign::{
+    catalog_kinds, hot_catalog, is_activatable, run_campaign, CampaignConfig, CampaignOutput,
+    CampaignReport, CatalogEntry, CoverageRow, DetectionOutcome, LesionWitness,
+};
+pub use diff::{healthy_run, run_differential, DiffConfig, HealthyRun};
+pub use distill::{DetectionMatrix, DistilledCorpus, ProgramRow};
+pub use gen::{generate, FuzzProgram, GenConfig};
+pub use minimize::{minimize, MinimizedWitness};

@@ -1,0 +1,180 @@
+//! Witness minimization: delta-debugging a diverging program.
+//!
+//! A raw fuzz hit is a few hundred instructions of noise around the one
+//! idiom that tickles the lesion. Triage (§6: "extract confessions via
+//! further testing") wants the smallest program that still diverges, so
+//! this module shrinks hits the way SiliFuzz and ddmin do: first remove
+//! whole instruction windows (halving the window until it is 1), then
+//! retry per-instruction removal until a fixpoint.
+//!
+//! Every candidate is re-validated and re-executed differentially; a
+//! candidate is accepted only if it still *indicts* the suspect. A
+//! candidate whose reference run traps or spins is rejected by the same
+//! oracle (`ReferenceTrapped` / `None` do not indict), so termination
+//! safety is preserved automatically.
+
+use crate::diff::{run_differential, DiffConfig};
+use crate::gen::FuzzProgram;
+use mercurial_fault::CoreFaultProfile;
+use mercurial_simcpu::{Inst, Program};
+
+/// Outcome of minimizing one witness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinimizedWitness {
+    /// The shrunken program (still diverges under the same profile).
+    pub program: FuzzProgram,
+    /// Instruction count before minimization.
+    pub original_len: usize,
+    /// Differential oracle calls spent.
+    pub oracle_calls: u64,
+}
+
+/// Removes instruction range `[a, b)` and patches branch targets.
+///
+/// Targets inside the removed range are redirected to the first surviving
+/// instruction after it; a program whose targets end up out of range is
+/// discarded by `validate()` in the oracle.
+fn remove_range(prog: &Program, a: usize, b: usize) -> Program {
+    let w = (b - a) as u32;
+    let mut insts: Vec<Inst> = Vec::with_capacity(prog.insts.len() - (b - a));
+    for (pc, inst) in prog.insts.iter().enumerate() {
+        if pc >= a && pc < b {
+            continue;
+        }
+        let patched = match *inst {
+            Inst::Jmp(t) => Inst::Jmp(patch(t, a, b, w)),
+            Inst::Beq(x, y, t) => Inst::Beq(x, y, patch(t, a, b, w)),
+            Inst::Bne(x, y, t) => Inst::Bne(x, y, patch(t, a, b, w)),
+            Inst::Blt(x, y, t) => Inst::Blt(x, y, patch(t, a, b, w)),
+            Inst::Bnz(x, t) => Inst::Bnz(x, patch(t, a, b, w)),
+            other => other,
+        };
+        insts.push(patched);
+    }
+    Program::new(insts)
+}
+
+fn patch(t: u32, a: usize, b: usize, w: u32) -> u32 {
+    if (t as usize) >= b {
+        t - w
+    } else if (t as usize) >= a {
+        a as u32
+    } else {
+        t
+    }
+}
+
+/// Shrinks `witness` while it keeps indicting `profile`.
+///
+/// `seed`/`profile_slot` must match the values the original hit was found
+/// with so deterministic lesions re-fire identically. `max_oracle_calls`
+/// bounds the work; minimization stops early when the budget is spent.
+pub fn minimize(
+    witness: &FuzzProgram,
+    profile: &CoreFaultProfile,
+    seed: u64,
+    profile_slot: u64,
+    dcfg: &DiffConfig,
+    max_oracle_calls: u64,
+) -> MinimizedWitness {
+    let original_len = witness.program.len();
+    let mut best = witness.clone();
+    let mut calls = 0u64;
+
+    let still_indicts = |candidate: &FuzzProgram, calls: &mut u64| -> bool {
+        if candidate.program.validate().is_err() || candidate.program.is_empty() {
+            return false;
+        }
+        *calls += 1;
+        run_differential(candidate, profile, seed, profile_slot, dcfg).indicts()
+    };
+
+    // Window pass: try removing [i, i+w) for w = n/2, n/4, …, 1.
+    let mut window = (best.program.len() / 2).max(1);
+    while window >= 1 {
+        let mut i = 0;
+        while i < best.program.len() && calls < max_oracle_calls {
+            let b = (i + window).min(best.program.len());
+            let candidate = FuzzProgram {
+                program: remove_range(&best.program, i, b),
+                ..best.clone()
+            };
+            if still_indicts(&candidate, &mut calls) {
+                best = candidate; // keep i: the next window slid into place
+            } else {
+                i += window;
+            }
+        }
+        if window == 1 {
+            break;
+        }
+        window /= 2;
+    }
+
+    // Per-instruction fixpoint pass (window 1 again until nothing drops).
+    let mut improved = true;
+    while improved && calls < max_oracle_calls {
+        improved = false;
+        let mut i = 0;
+        while i < best.program.len() && calls < max_oracle_calls {
+            let candidate = FuzzProgram {
+                program: remove_range(&best.program, i, i + 1),
+                ..best.clone()
+            };
+            if still_indicts(&candidate, &mut calls) {
+                best = candidate;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    MinimizedWitness {
+        program: best,
+        original_len,
+        oracle_calls: calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::run_differential;
+    use crate::gen::{generate, GenConfig};
+    use mercurial_fault::library;
+    use mercurial_simcpu::Reg;
+
+    #[test]
+    fn range_removal_patches_branches() {
+        let p = Program::new(vec![
+            Inst::Li(Reg(1), 1),
+            Inst::Nop,
+            Inst::Bnz(Reg(1), 4),
+            Inst::Nop,
+            Inst::Halt,
+        ]);
+        let q = remove_range(&p, 1, 2);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.insts[1], Inst::Bnz(Reg(1), 3));
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn minimized_witness_still_indicts_and_shrinks() {
+        let gcfg = GenConfig::default();
+        let dcfg = DiffConfig::default();
+        let profile = library::loadstore_corruptor(1.0);
+        // Find a hit first.
+        let (fp, slot) = (0..16)
+            .map(|i| (generate(42, i, &gcfg), 0u64))
+            .find(|(fp, slot)| run_differential(fp, &profile, 42, *slot, &dcfg).indicts())
+            .expect("a hot load/store corruptor yields a hit in 16 programs");
+        let min = minimize(&fp, &profile, 42, slot, &dcfg, 400);
+        assert!(min.program.program.len() < min.original_len);
+        assert!(
+            run_differential(&min.program, &profile, 42, slot, &dcfg).indicts(),
+            "minimized witness must still diverge"
+        );
+    }
+}

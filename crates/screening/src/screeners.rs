@@ -23,6 +23,7 @@
 //! mechanism behind Figure 1's gradually rising automatic-detection rate.
 
 use mercurial_fault::{CoreUid, FunctionalUnit, OperatingPoint};
+use mercurial_fleet::par::map_parallel;
 use mercurial_fleet::population::TestSpec;
 use mercurial_fleet::FleetTopology;
 use mercurial_fleet::{Population, Signal, SignalKind, SignalLog};
@@ -169,6 +170,43 @@ impl EraSchedule {
         }])
     }
 
+    /// Returns a schedule whose every era additionally runs fuzz-distilled
+    /// content: `units` are added to each era's coverage, `operands` to its
+    /// pattern set, and `extra_ops_per_unit` to its op budget.
+    ///
+    /// This is how a distilled proxy-fuzzing corpus (the `mercurial-fuzz`
+    /// crate) reaches BurnIn/Offline/Online screeners without changing
+    /// their mechanics: fuzz content closes unit and operand-pattern gaps
+    /// the hand-written eras leave open.
+    pub fn with_fuzz_content(
+        &self,
+        units: &[FunctionalUnit],
+        operands: &[u64],
+        extra_ops_per_unit: u64,
+    ) -> EraSchedule {
+        let eras = self
+            .eras
+            .iter()
+            .map(|e| {
+                let mut era = e.clone();
+                for &u in units {
+                    if !era.units.contains(&u) {
+                        era.units.push(u);
+                    }
+                }
+                for &op in operands {
+                    if !era.operands.contains(&op) {
+                        era.operands.push(op);
+                    }
+                }
+                era.ops_per_unit += extra_ops_per_unit;
+                era
+            })
+            .collect();
+        // Months are untouched, so the sorted/month-0 invariants hold.
+        EraSchedule { eras }
+    }
+
     /// The era in force during `month`.
     pub fn era_at(&self, month: u32) -> &ScreeningEra {
         self.eras
@@ -214,6 +252,11 @@ fn sweep_points(topo: &FleetTopology, machine: u32, sweep: bool) -> Vec<Operatin
 
 /// Screens every core of a machine with the spec-per-point, returning
 /// newly detected cores.
+///
+/// `detected` is a read-only snapshot: each core of a machine is visited
+/// at most once per call, so deferring the inserts to the caller changes
+/// nothing — and it is what lets machines of one sweep run on different
+/// threads (machines own disjoint core sets).
 #[allow(clippy::too_many_arguments)]
 fn screen_machine(
     topo: &FleetTopology,
@@ -223,7 +266,7 @@ fn screen_machine(
     points: &[OperatingPoint],
     hour: f64,
     test_id_base: u64,
-    detected: &mut HashSet<CoreUid>,
+    detected: &HashSet<CoreUid>,
     stats: &mut ScreeningStats,
 ) -> Vec<CoreUid> {
     let age = topo.age_hours(machine, hour);
@@ -243,7 +286,6 @@ fn screen_machine(
                 .wrapping_add(core.as_u64())
                 .wrapping_add(pi as u64);
             if pop.screen_core(core, spec, age, test_id) {
-                detected.insert(core);
                 newly.push(core);
                 stats.detections += 1;
                 break;
@@ -251,6 +293,79 @@ fn screen_machine(
         }
     }
     newly
+}
+
+/// One machine's worth of screening work within a sweep/pass.
+struct MachineTask {
+    machine: u32,
+    era: ScreeningEra,
+    points: Vec<OperatingPoint>,
+    hour: f64,
+    test_id_base: u64,
+    drain_hours: f64,
+    method: DetectionMethod,
+}
+
+/// The mutable outputs a screener accumulates into: the cross-screener
+/// detected set, the shared signal log, and this policy's records/stats.
+struct ScreenSinks<'a> {
+    detected: &'a mut HashSet<CoreUid>,
+    log: &'a mut SignalLog,
+    records: &'a mut Vec<DetectionRecord>,
+    stats: &'a mut ScreeningStats,
+}
+
+/// Fans a batch of per-machine screens through [`map_parallel`] and merges
+/// the results serially in machine order.
+///
+/// Machines own disjoint core sets and `screen_machine` reads `detected`
+/// as a snapshot, so the merged outcome is bit-for-bit identical to the
+/// serial loop at any worker count — including the `ScreeningStats` f64
+/// drain accumulation, which is summed in the same order the serial loop
+/// would have.
+fn run_machine_tasks(
+    topo: &FleetTopology,
+    pop: &Population,
+    tasks: &[MachineTask],
+    parallelism: usize,
+    sinks: &mut ScreenSinks<'_>,
+) {
+    let snapshot: &HashSet<CoreUid> = sinks.detected;
+    let results: Vec<(Vec<CoreUid>, ScreeningStats)> = map_parallel(tasks, parallelism, |task| {
+        let mut local = ScreeningStats::default();
+        let newly = screen_machine(
+            topo,
+            pop,
+            task.machine,
+            &task.era,
+            &task.points,
+            task.hour,
+            task.test_id_base,
+            snapshot,
+            &mut local,
+        );
+        (newly, local)
+    });
+    for (task, (newly, local)) in tasks.iter().zip(results) {
+        sinks.stats.drained_machine_hours += task.drain_hours;
+        sinks.stats.core_screens += local.core_screens;
+        sinks.stats.test_ops += local.test_ops;
+        sinks.stats.detections += local.detections;
+        for core in newly {
+            sinks.detected.insert(core);
+            sinks.records.push(DetectionRecord {
+                core,
+                hour: task.hour,
+                method: task.method,
+            });
+            sinks.log.push(Signal {
+                hour: task.hour,
+                core,
+                kind: SignalKind::ScreenerFailure,
+                caused_by_cee: true,
+            });
+        }
+    }
 }
 
 /// Pre-deployment burn-in: a heavy screen at machine deploy time, age 0.
@@ -261,6 +376,9 @@ pub struct BurnIn {
     pub schedule: EraSchedule,
     /// Multiplier on the era's op budget (burn-in can afford more).
     pub ops_multiplier: u64,
+    /// Worker threads for the per-machine fan-out (1 = serial; results
+    /// are identical at any value).
+    pub parallelism: usize,
 }
 
 impl BurnIn {
@@ -274,35 +392,36 @@ impl BurnIn {
     ) -> (Vec<DetectionRecord>, ScreeningStats) {
         let mut stats = ScreeningStats::default();
         let mut records = Vec::new();
-        for m in topo.machines() {
-            let month = (m.deploy_hour / 730.0) as u32;
-            let mut era = self.schedule.era_at(month).clone();
-            era.ops_per_unit *= self.ops_multiplier.max(1);
-            let points = sweep_points(topo, m.machine, true);
-            for core in screen_machine(
-                topo,
-                pop,
-                m.machine,
-                &era,
-                &points,
-                m.deploy_hour,
-                0xb1b1 ^ m.machine as u64,
-                detected,
-                &mut stats,
-            ) {
-                records.push(DetectionRecord {
-                    core,
+        let tasks: Vec<MachineTask> = topo
+            .machines()
+            .iter()
+            .map(|m| {
+                let month = (m.deploy_hour / 730.0) as u32;
+                let mut era = self.schedule.era_at(month).clone();
+                era.ops_per_unit *= self.ops_multiplier.max(1);
+                MachineTask {
+                    machine: m.machine,
+                    era,
+                    points: sweep_points(topo, m.machine, true),
                     hour: m.deploy_hour,
+                    test_id_base: 0xb1b1 ^ m.machine as u64,
+                    drain_hours: 0.0,
                     method: DetectionMethod::BurnIn,
-                });
-                log.push(Signal {
-                    hour: m.deploy_hour,
-                    core,
-                    kind: SignalKind::ScreenerFailure,
-                    caused_by_cee: true,
-                });
-            }
-        }
+                }
+            })
+            .collect();
+        run_machine_tasks(
+            topo,
+            pop,
+            &tasks,
+            self.parallelism,
+            &mut ScreenSinks {
+                detected: &mut *detected,
+                log: &mut *log,
+                records: &mut records,
+                stats: &mut stats,
+            },
+        );
         (records, stats)
     }
 }
@@ -319,6 +438,9 @@ pub struct OfflineScreener {
     /// Machine-hours of drain charged per machine screened (migration +
     /// idle time; the §6 "draining a workload … can be expensive").
     pub drain_hours_per_machine: f64,
+    /// Worker threads for the per-machine fan-out within a sweep (1 =
+    /// serial; results are identical at any value).
+    pub parallelism: usize,
 }
 
 impl Default for OfflineScreener {
@@ -328,6 +450,7 @@ impl Default for OfflineScreener {
             interval_hours: 730.0 / 2.0, // twice a month
             fraction_per_sweep: 0.10,
             drain_hours_per_machine: 0.5,
+            parallelism: 1,
         }
     }
 }
@@ -347,7 +470,11 @@ impl OfflineScreener {
         let mut records = Vec::new();
         let total_hours = months as f64 * 730.0;
         let n_machines = topo.machines().len() as u64;
-        let per_sweep = ((n_machines as f64 * self.fraction_per_sweep).ceil() as u64).max(1);
+        // Clamped so a sweep never visits a machine twice (a duplicate
+        // would see a stale detected-snapshot under the parallel fan-out).
+        let per_sweep = ((n_machines as f64 * self.fraction_per_sweep).ceil() as u64)
+            .max(1)
+            .min(n_machines);
         let mut sweep_idx = 0u64;
         let mut hour = self.interval_hours;
         while hour < total_hours {
@@ -355,37 +482,31 @@ impl OfflineScreener {
             let era = self.schedule.era_at(month);
             // Rotate deterministically through the fleet.
             let start = (sweep_idx * per_sweep) % n_machines;
-            for k in 0..per_sweep {
-                let machine = ((start + k) % n_machines) as u32;
-                if !topo.is_deployed(machine, hour) {
-                    continue;
-                }
-                stats.drained_machine_hours += self.drain_hours_per_machine;
-                let points = sweep_points(topo, machine, era.sweep_points);
-                for core in screen_machine(
-                    topo,
-                    pop,
+            let tasks: Vec<MachineTask> = (0..per_sweep)
+                .map(|k| ((start + k) % n_machines) as u32)
+                .filter(|&machine| topo.is_deployed(machine, hour))
+                .map(|machine| MachineTask {
                     machine,
-                    era,
-                    &points,
+                    era: era.clone(),
+                    points: sweep_points(topo, machine, era.sweep_points),
                     hour,
-                    0x0ff1 ^ sweep_idx.wrapping_mul(65_537),
-                    detected,
-                    &mut stats,
-                ) {
-                    records.push(DetectionRecord {
-                        core,
-                        hour,
-                        method: DetectionMethod::Offline,
-                    });
-                    log.push(Signal {
-                        hour,
-                        core,
-                        kind: SignalKind::ScreenerFailure,
-                        caused_by_cee: true,
-                    });
-                }
-            }
+                    test_id_base: 0x0ff1 ^ sweep_idx.wrapping_mul(65_537),
+                    drain_hours: self.drain_hours_per_machine,
+                    method: DetectionMethod::Offline,
+                })
+                .collect();
+            run_machine_tasks(
+                topo,
+                pop,
+                &tasks,
+                self.parallelism,
+                &mut ScreenSinks {
+                    detected: &mut *detected,
+                    log: &mut *log,
+                    records: &mut records,
+                    stats: &mut stats,
+                },
+            );
             sweep_idx += 1;
             hour += self.interval_hours;
         }
@@ -403,6 +524,9 @@ pub struct OnlineScreener {
     pub interval_hours: f64,
     /// Fraction of the era's op budget available from spare cycles.
     pub ops_fraction: f64,
+    /// Worker threads for the per-machine fan-out within a pass (1 =
+    /// serial; results are identical at any value).
+    pub parallelism: usize,
 }
 
 impl Default for OnlineScreener {
@@ -411,6 +535,7 @@ impl Default for OnlineScreener {
             schedule: EraSchedule::default_history(),
             interval_hours: 73.0,
             ops_fraction: 0.05,
+            parallelism: 1,
         }
     }
 }
@@ -434,35 +559,32 @@ impl OnlineScreener {
             let month = (hour / 730.0) as u32;
             let mut era = self.schedule.era_at(month).clone();
             era.ops_per_unit = ((era.ops_per_unit as f64 * self.ops_fraction).ceil() as u64).max(1);
-            for m in topo.machines() {
-                if !topo.is_deployed(m.machine, hour) {
-                    continue;
-                }
-                let points = sweep_points(topo, m.machine, false);
-                for core in screen_machine(
-                    topo,
-                    pop,
-                    m.machine,
-                    &era,
-                    &points,
+            let tasks: Vec<MachineTask> = topo
+                .machines()
+                .iter()
+                .filter(|m| topo.is_deployed(m.machine, hour))
+                .map(|m| MachineTask {
+                    machine: m.machine,
+                    era: era.clone(),
+                    points: sweep_points(topo, m.machine, false),
                     hour,
-                    0x0a11 ^ pass.wrapping_mul(2_654_435_761),
-                    detected,
-                    &mut stats,
-                ) {
-                    records.push(DetectionRecord {
-                        core,
-                        hour,
-                        method: DetectionMethod::Online,
-                    });
-                    log.push(Signal {
-                        hour,
-                        core,
-                        kind: SignalKind::ScreenerFailure,
-                        caused_by_cee: true,
-                    });
-                }
-            }
+                    test_id_base: 0x0a11 ^ pass.wrapping_mul(2_654_435_761),
+                    drain_hours: 0.0,
+                    method: DetectionMethod::Online,
+                })
+                .collect();
+            run_machine_tasks(
+                topo,
+                pop,
+                &tasks,
+                self.parallelism,
+                &mut ScreenSinks {
+                    detected: &mut *detected,
+                    log: &mut *log,
+                    records: &mut records,
+                    stats: &mut stats,
+                },
+            );
             pass += 1;
             hour += self.interval_hours;
         }
@@ -515,6 +637,7 @@ mod tests {
         let burnin = BurnIn {
             schedule: EraSchedule::default_history(),
             ops_multiplier: 10,
+            parallelism: 1,
         };
         let (records, stats) = burnin.run(&topo, &pop, &mut detected, &mut log);
         assert_eq!(records.len(), 1);
@@ -538,6 +661,7 @@ mod tests {
         let burnin = BurnIn {
             schedule: EraSchedule::default_history(),
             ops_multiplier: 100,
+            parallelism: 1,
         };
         let (records, _) = burnin.run(&topo, &pop, &mut detected, &mut log);
         assert!(records.is_empty(), "latent defect must escape burn-in");
@@ -686,6 +810,63 @@ mod tests {
         );
         assert_eq!(on_stats.drained_machine_hours, 0.0, "online never drains");
         assert!(off_stats.drained_machine_hours > 0.0);
+    }
+
+    #[test]
+    fn screening_verdicts_identical_across_thread_counts() {
+        // The determinism contract for the sharded screeners: records,
+        // stats (including the f64 drain accumulator), signal logs, and
+        // the detected set must be bit-for-bit identical at 1/2/8 workers.
+        let topo = topo(24, 39);
+        let defects = vec![
+            hot_core(2),
+            hot_core(9),
+            hot_core(17),
+            (
+                CoreUid::new(5, 0, 1),
+                library::late_onset_muldiv(1.5 * 730.0, 1e-3),
+            ),
+            (CoreUid::new(12, 0, 0), library::low_freq_worse_alu(0.9)),
+            (CoreUid::new(20, 0, 2), library::self_inverting_aes()),
+        ];
+        let pop = Population::with_explicit(39, defects);
+
+        let run_all = |parallelism: usize| {
+            let mut detected = HashSet::new();
+            let mut log = SignalLog::new();
+            let burnin = BurnIn {
+                schedule: EraSchedule::default_history(),
+                ops_multiplier: 5,
+                parallelism,
+            };
+            let offline = OfflineScreener {
+                fraction_per_sweep: 0.5,
+                parallelism,
+                ..OfflineScreener::default()
+            };
+            let online = OnlineScreener {
+                parallelism,
+                ..OnlineScreener::default()
+            };
+            let (mut records, b_stats) = burnin.run(&topo, &pop, &mut detected, &mut log);
+            let (off_rec, off_stats) = offline.run(&topo, &pop, 30, &mut detected, &mut log);
+            let (on_rec, on_stats) = online.run(&topo, &pop, 30, &mut detected, &mut log);
+            records.extend(off_rec);
+            records.extend(on_rec);
+            let mut det: Vec<CoreUid> = detected.into_iter().collect();
+            det.sort_by_key(|c| c.as_u64());
+            (records, [b_stats, off_stats, on_stats], det, log)
+        };
+
+        let (rec1, stats1, det1, log1) = run_all(1);
+        assert!(!rec1.is_empty(), "test needs some detections to compare");
+        for threads in [2, 8] {
+            let (rec, stats, det, log) = run_all(threads);
+            assert_eq!(rec, rec1, "records diverge at {threads} threads");
+            assert_eq!(stats, stats1, "stats diverge at {threads} threads");
+            assert_eq!(det, det1, "detected set diverges at {threads} threads");
+            assert_eq!(log.all(), log1.all(), "logs diverge at {threads} threads");
+        }
     }
 
     #[test]

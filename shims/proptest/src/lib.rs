@@ -7,11 +7,13 @@
 //! `prop_assert*` / `prop_assume!` macros.
 //!
 //! Differences from the real crate: cases are generated from a fixed
-//! deterministic stream (seeded by the test name), and failing cases are
-//! not shrunk — the panic reports the raw failing case index instead.
-//! Determinism means failures reproduce exactly across runs, which this
-//! repository values over shrinking (its whole simulation stack is built
-//! on counter-based reproducibility).
+//! deterministic stream (seeded by the test name), so failures reproduce
+//! exactly across runs — this repository's whole simulation stack is
+//! built on counter-based reproducibility. Failing cases are shrunk by a
+//! greedy pass over [`Strategy::shrink`] candidates (integers shrink
+//! toward their lower bound or zero, vectors toward their minimum length
+//! with per-element shrinks, tuples component-wise); the panic reports
+//! the minimal failing input found within a bounded number of attempts.
 
 /// Deterministic generator state backing every strategy draw.
 pub struct TestRng {
@@ -79,6 +81,15 @@ pub trait Strategy {
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The default is no shrinking; the `proptest!` runner greedily
+    /// replaces the failing input with the first candidate that still
+    /// fails, repeating until no candidate fails or the attempt budget is
+    /// spent.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through a function.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -117,6 +128,9 @@ impl<T> Strategy for Box<dyn Strategy<Value = T>> {
     fn generate(&self, rng: &mut TestRng) -> T {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
 }
 
 /// A uniform choice between boxed strategies (built by `prop_oneof!`).
@@ -144,6 +158,12 @@ impl<T> Strategy for Union<T> {
 pub trait Arbitrary: Sized {
     /// Generates an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications of `value` (see [`Strategy::shrink`]).
+    /// Default: none.
+    fn shrink(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 /// The strategy returned by [`any`].
@@ -163,6 +183,30 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
+    }
+}
+
+/// Integer shrink candidates toward zero: `0`, the halfway point, and the
+/// one-step decrement (all distinct from the value itself).
+macro_rules! int_shrink_toward_zero {
+    ($t:ty, $value:expr) => {{
+        let v: $t = *$value;
+        let mut out: Vec<$t> = Vec::new();
+        if v != 0 {
+            out.push(0);
+            let half = v / 2;
+            if half != 0 {
+                out.push(half);
+            }
+            let step = if v > 0 { v - 1 } else { v + 1 };
+            if step != 0 && step != half {
+                out.push(step);
+            }
+        }
+        out
+    }};
 }
 
 macro_rules! impl_arbitrary_int {
@@ -170,6 +214,9 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn shrink(value: &$t) -> Vec<$t> {
+                int_shrink_toward_zero!($t, value)
             }
         }
     )*};
@@ -183,6 +230,9 @@ macro_rules! impl_arbitrary_wide {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as $t
             }
+            fn shrink(value: &$t) -> Vec<$t> {
+                int_shrink_toward_zero!($t, value)
+            }
         }
     )*};
 }
@@ -193,6 +243,13 @@ impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+    fn shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 impl Arbitrary for f64 {
@@ -202,12 +259,40 @@ impl Arbitrary for f64 {
         let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
         sign * mag.exp2() * rng.next_unit()
     }
+    fn shrink(value: &f64) -> Vec<f64> {
+        let v = *value;
+        if v == 0.0 || !v.is_finite() {
+            return Vec::new();
+        }
+        let mut out = vec![0.0];
+        let half = v / 2.0;
+        if half != 0.0 {
+            out.push(half);
+        }
+        out
+    }
 }
 
 impl Arbitrary for char {
     fn arbitrary(rng: &mut TestRng) -> char {
         char::from_u32(rng.next_below(0xD800) as u32).unwrap_or('a')
     }
+}
+
+/// Range shrink candidates toward the lower bound: the bound itself, the
+/// halfway point, and the one-step decrement (all strictly below `value`).
+macro_rules! range_shrink_toward_lo {
+    ($t:ty, $lo:expr, $value:expr) => {{
+        let lo = $lo as i128;
+        let v = *$value as i128;
+        let mut out: Vec<$t> = Vec::new();
+        for c in [lo, lo + (v - lo) / 2, v - 1] {
+            if c >= lo && c < v && !out.contains(&(c as $t)) {
+                out.push(c as $t);
+            }
+        }
+        out
+    }};
 }
 
 macro_rules! impl_range_strategy_int {
@@ -219,6 +304,9 @@ macro_rules! impl_range_strategy_int {
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.next_below(span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                range_shrink_toward_lo!($t, self.start, value)
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
@@ -227,6 +315,9 @@ macro_rules! impl_range_strategy_int {
                 assert!(lo <= hi, "empty range strategy");
                 let span = (hi as i128 - lo as i128 + 1) as u64;
                 (lo as i128 + rng.next_below(span) as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                range_shrink_toward_lo!($t, *self.start(), value)
             }
         }
     )*};
@@ -251,16 +342,32 @@ impl Strategy for std::ops::RangeInclusive<f64> {
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident : $idx:tt),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: shrink one position, keep the others.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 impl_tuple_strategy! {
+    (A: 0)
     (A: 0, B: 1)
     (A: 0, B: 1, C: 2)
     (A: 0, B: 1, C: 2, D: 3)
@@ -431,12 +538,37 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi - self.size.lo + 1) as u64;
             let len = self.size.lo + rng.next_below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Length shrinks first (respecting the minimum): jump to the
+            // minimum, halve the surplus, drop one element.
+            if value.len() > self.size.lo {
+                out.push(value[..self.size.lo].to_vec());
+                let half = self.size.lo + (value.len() - self.size.lo) / 2;
+                if half > self.size.lo && half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // Then per-element shrinks at every position.
+            for (i, item) in value.iter().enumerate() {
+                for cand in self.element.shrink(item) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -455,10 +587,25 @@ pub mod array {
         Uniform16 { element }
     }
 
-    impl<S: Strategy> Strategy for Uniform16<S> {
+    impl<S: Strategy> Strategy for Uniform16<S>
+    where
+        S::Value: Clone,
+    {
         type Value = [S::Value; 16];
         fn generate(&self, rng: &mut TestRng) -> [S::Value; 16] {
             std::array::from_fn(|_| self.element.generate(rng))
+        }
+        fn shrink(&self, value: &[S::Value; 16]) -> Vec<[S::Value; 16]> {
+            // Fixed length: per-element shrinks only.
+            let mut out = Vec::new();
+            for (i, item) in value.iter().enumerate() {
+                for cand in self.element.shrink(item) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -471,8 +618,56 @@ pub mod prelude {
     };
 }
 
+/// Greedily shrinks a failing property input: repeatedly replaces it with
+/// the first [`Strategy::shrink`] candidate that still fails, until no
+/// candidate fails or the attempt budget is spent. The panic hook is
+/// silenced for the duration so shrink probes don't spam stderr.
+pub fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    initial: S::Value,
+    run: &dyn Fn(&S::Value),
+) -> S::Value {
+    const MAX_SHRINK_ATTEMPTS: usize = 1024;
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut best = initial;
+    let mut attempts = 0usize;
+    let mut progress = true;
+    while progress && attempts < MAX_SHRINK_ATTEMPTS {
+        progress = false;
+        for cand in strategy.shrink(&best) {
+            if attempts >= MAX_SHRINK_ATTEMPTS {
+                break;
+            }
+            attempts += 1;
+            let failed =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&cand))).is_err();
+            if failed {
+                best = cand;
+                progress = true;
+                break;
+            }
+        }
+    }
+    std::panic::set_hook(hook);
+    best
+}
+
+/// Ties a case closure's input type to a strategy's value type (the
+/// `proptest!` macro can't annotate the closure parameter directly), and
+/// adapts it to the by-reference calling convention the shrinker needs.
+pub fn case_runner<S, F>(_strategy: &S, f: F) -> impl Fn(&S::Value)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value),
+{
+    move |value| f(value.clone())
+}
+
 /// Defines property tests: functions whose arguments are drawn from
 /// strategies, run for a configured number of deterministic cases.
+/// Failing cases are greedily shrunk before the reporting panic.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -486,16 +681,26 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let config = $config;
+            let strategy = ($($strategy,)+);
+            // A re-runnable case closure (the shrinker probes candidates
+            // with it); `prop_assume!` skips via early return.
+            let run_case = $crate::case_runner(&strategy, |($($arg,)+)| $body);
             for case in 0..config.cases {
                 let mut prop_rng =
                     $crate::TestRng::for_case(concat!(module_path!(), "::", stringify!($name)), case);
-                // One closure per case so `prop_assume!` can skip via
-                // early return.
-                let mut run_case = || {
-                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut prop_rng);)+
-                    $body
-                };
-                run_case();
+                let value = $crate::Strategy::generate(&strategy, &mut prop_rng);
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| run_case(&value)),
+                );
+                if outcome.is_err() {
+                    let minimal = $crate::shrink_failure(&strategy, value, &run_case);
+                    ::std::panic!(
+                        "property {} failed at case {}; minimal failing input: {:?}",
+                        stringify!($name),
+                        case,
+                        minimal,
+                    );
+                }
             }
         }
         $crate::proptest!(@with_config $config; $($rest)*);
@@ -586,6 +791,64 @@ mod tests {
         #[test]
         fn oneof_and_map(x in prop_oneof![Just(1.0f64), (0.0f64..1.0).prop_map(|e| e + 2.0)]) {
             prop_assert!(x == 1.0 || (2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_range_shrinks_toward_lower_bound() {
+        let strat = 10u32..100;
+        let cands = crate::Strategy::shrink(&strat, &77);
+        assert!(!cands.is_empty());
+        assert!(cands.contains(&10), "lower bound is a candidate");
+        assert!(cands.iter().all(|&c| (10..77).contains(&c)));
+        assert!(
+            crate::Strategy::shrink(&strat, &10).is_empty(),
+            "lo is minimal"
+        );
+    }
+
+    #[test]
+    fn arbitrary_ints_shrink_toward_zero() {
+        assert!(u64::shrink(&0).is_empty());
+        let cands = u64::shrink(&100);
+        assert!(cands.contains(&0) && cands.contains(&50) && cands.contains(&99));
+        let neg = i32::shrink(&-8);
+        assert!(neg.contains(&0) && neg.contains(&-4) && neg.contains(&-7));
+    }
+
+    #[test]
+    fn vec_shrinks_respect_minimum_length() {
+        let strat = crate::collection::vec(0u8..10, 2..=6);
+        let value = vec![5u8, 7, 9, 3];
+        for cand in crate::Strategy::shrink(&strat, &value) {
+            assert!(cand.len() >= 2, "shrunk below the size minimum: {cand:?}");
+        }
+        // Length shrinks reach the minimum directly.
+        assert!(crate::Strategy::shrink(&strat, &value)
+            .iter()
+            .any(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn shrink_failure_finds_the_boundary() {
+        // Property: v < 10. Fails for any v >= 10; the minimal failing
+        // input under shrinking is exactly the boundary value 10.
+        let strat = (0u64..1000,);
+        let run = |v: &(u64,)| assert!(v.0 < 10);
+        let minimal = crate::shrink_failure(&strat, (977,), &run);
+        assert_eq!(minimal, (10,));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// End to end: the runner reports the shrunken input, not the raw
+        /// failing case.
+        #[test]
+        #[should_panic(expected = "minimal failing input: (10,)")]
+        fn failing_property_reports_minimal_input(v in 0u64..1000) {
+            prop_assume!(v >= 10); // keep every generated case failing
+            prop_assert!(v < 10);
         }
     }
 }

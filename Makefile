@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke
+.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke
 
-ci: build test-workspace fmt-check clippy fuzz-smoke
+ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke
 
 build:
 	$(CARGO) build --release
@@ -35,3 +35,9 @@ speedup:
 # and reports are identical at 1/2/8 worker threads.
 fuzz-smoke:
 	$(CARGO) run --release -p mercurial-bench --bin e_fuzz -- --smoke
+
+# Bounded closed-loop run (demo scale, fixed seed): asserts the epoch-
+# interleaved pipeline strictly reduces residual corrupt-ops vs the open
+# loop and that outcomes are identical at 1/2/8 worker threads.
+e15-smoke:
+	$(CARGO) run --release -p mercurial-bench --bin e15_closed_loop -- --smoke

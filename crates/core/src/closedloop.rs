@@ -1,0 +1,602 @@
+//! The closed-loop epoch driver: detect → quarantine → reschedule, every
+//! epoch.
+//!
+//! The batch pipeline ([`PipelineRun`]) is *open loop*: the whole
+//! observation window is simulated first, then screening, triage, and
+//! quarantine are applied to the finished signal log — so a core the
+//! screeners caught in month 2 keeps corrupting results until month 36.
+//! That is not how §6 describes operations: "the first line of defense is
+//! necessarily a robust infrastructure for detecting mercurial cores *as
+//! quickly as possible*", and detections "become grounds for quarantining
+//! those cores".
+//!
+//! [`ClosedLoopDriver`] interleaves everything at epoch granularity: each
+//! epoch it (1) restores exonerated cores whose repair latency has
+//! elapsed, (2) processes the deep-check verdict queue under a per-epoch
+//! budget, (3) runs the due burn-in / offline / online screens, (4) steps
+//! the workload simulation one epoch with quarantined cores masked out,
+//! (5) ingests the epoch's signals into the suspicion scoreboard, and
+//! (6) quarantines new threshold crossings. Confirmed cores leave the
+//! workload mix mid-simulation (their corruption and signals stop) and
+//! unit-aware safe-task placement ([`SafeTaskPolicy`]) recovers part of
+//! the stranded capacity; exonerated cores return to service.
+//!
+//! With `scenario.closed_loop.feedback == false` the driver degrades to
+//! the open loop *bit for bit*: the simulation is stepped epoch by epoch
+//! (identical to [`mercurial_fleet::FleetSim::run`] under the §4.1
+//! determinism contract) and the batch back half
+//! ([`PipelineRun::complete_from_signals`]) runs on the finished log. The
+//! batch screeners are phase-major (each campaign scans the whole window
+//! before the next starts), which a time-major interleaving cannot
+//! reproduce — so equivalence is by construction, not by re-derivation.
+
+use crate::experiment::FleetExperiment;
+use crate::pipeline::{PipelineOutcome, PipelineRun};
+use crate::scenario::Scenario;
+use mercurial_fault::{CoreUid, FunctionalUnit};
+use mercurial_fleet::sim::SimSummary;
+use mercurial_fleet::SignalLog;
+use mercurial_isolation::{CapacityLedger, QuarantineRegistry, SafeTaskPolicy, TaskUnitProfile};
+use mercurial_metrics::EpochSeries;
+use mercurial_screening::{
+    BurnIn, DetectionMethod, DetectionRecord, HumanTriage, OfflineScreener, OnlineScreener,
+    Scoreboard, TriageOutcome, TriageStats,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Everything a closed-loop run produced: the familiar end-of-window
+/// aggregates plus the per-epoch time series.
+pub struct ClosedLoopOutcome {
+    /// End-of-window aggregates, same shape as the open-loop pipeline's.
+    pub pipeline: PipelineOutcome,
+    /// Per-epoch capacity / residual-corruption / active-core telemetry.
+    pub series: EpochSeries,
+    /// Epochs simulated.
+    pub epochs: u32,
+    /// Epoch length in hours.
+    pub epoch_hours: f64,
+}
+
+/// A pending deep-check case (FIFO; the triage team is a bounded queue).
+struct DeepCheck {
+    due_hour: f64,
+    core: CoreUid,
+}
+
+/// A core awaiting restoration to service after exoneration.
+struct PendingRestore {
+    restore_hour: f64,
+    core: CoreUid,
+}
+
+/// The §6.1 task mix used to price safe-task recovery on confirmed cores
+/// (the "balanced" mix of the E10 experiment).
+fn balanced_task_mix() -> Vec<(TaskUnitProfile, f64)> {
+    use FunctionalUnit as U;
+    vec![
+        (
+            TaskUnitProfile::new(
+                "scalar-batch",
+                vec![U::ScalarAlu, U::LoadStore, U::BranchUnit, U::AddressGen],
+                false,
+            ),
+            0.35,
+        ),
+        (
+            TaskUnitProfile::new(
+                "gemm",
+                vec![U::Fma, U::VectorPipe, U::LoadStore, U::AddressGen],
+                false,
+            ),
+            0.25,
+        ),
+        (
+            TaskUnitProfile::new(
+                "tls",
+                vec![U::CryptoUnit, U::ScalarAlu, U::LoadStore, U::AddressGen],
+                false,
+            ),
+            0.15,
+        ),
+        (
+            TaskUnitProfile::new(
+                "db",
+                vec![
+                    U::ScalarAlu,
+                    U::Atomics,
+                    U::LoadStore,
+                    U::BranchUnit,
+                    U::AddressGen,
+                ],
+                false,
+            ),
+            0.15,
+        ),
+        (
+            TaskUnitProfile::new(
+                "log-shipper",
+                vec![U::ScalarAlu, U::LoadStore, U::AddressGen],
+                true,
+            ),
+            0.10,
+        ),
+    ]
+}
+
+/// The closed-loop driver.
+pub struct ClosedLoopDriver;
+
+impl ClosedLoopDriver {
+    /// Executes the closed-loop pipeline for a scenario.
+    pub fn execute(scenario: &Scenario) -> ClosedLoopOutcome {
+        let experiment = FleetExperiment::build(scenario);
+        ClosedLoopDriver::execute_on(scenario, &experiment)
+    }
+
+    /// Executes on a prebuilt experiment.
+    pub fn execute_on(scenario: &Scenario, experiment: &FleetExperiment) -> ClosedLoopOutcome {
+        if scenario.closed_loop.feedback {
+            ClosedLoopDriver::run_with_feedback(scenario, experiment)
+        } else {
+            ClosedLoopDriver::run_open_loop_stepped(scenario, experiment)
+        }
+    }
+
+    /// Feedback disabled: step the simulation epoch by epoch (bit-for-bit
+    /// equal to the batch run under the determinism contract), record the
+    /// per-epoch series, then run the shared batch back half.
+    fn run_open_loop_stepped(
+        scenario: &Scenario,
+        experiment: &FleetExperiment,
+    ) -> ClosedLoopOutcome {
+        let sim = experiment.sim();
+        let topo = experiment.topology();
+        let mut state = sim.begin();
+        let epochs = state.total_epochs();
+        let epoch_hours = scenario.sim.epoch_hours;
+        let mut log = SignalLog::new();
+        let mut summary = SimSummary::default();
+        let mut series = EpochSeries::new(epoch_hours);
+        while !state.is_done() {
+            let h0 = state.hour();
+            let before = summary.corruptions;
+            sim.step_epoch(&mut state, &mut log, &mut summary);
+            // Open loop: nothing is ever quarantined mid-window, so
+            // capacity is flat at 1.0 and every defect stays active.
+            series.push(
+                1.0,
+                1.0,
+                summary.corruptions - before,
+                state.active_deployed_mercurial(topo, h0),
+            );
+        }
+        log.sort_by_time();
+        let pipeline = PipelineRun::complete_from_signals(scenario, experiment, log, summary);
+        ClosedLoopOutcome {
+            pipeline,
+            series,
+            epochs,
+            epoch_hours,
+        }
+    }
+
+    /// Feedback enabled: the full epoch-interleaved loop.
+    fn run_with_feedback(scenario: &Scenario, experiment: &FleetExperiment) -> ClosedLoopOutcome {
+        let sim = experiment.sim();
+        let topo = experiment.topology();
+        let pop = experiment.population();
+        let tuning = &scenario.tuning;
+        let policy = &scenario.closed_loop;
+        let epoch_hours = scenario.sim.epoch_hours;
+        let parallelism = scenario.sim.parallelism;
+        let schedule = experiment.screening_schedule();
+
+        // Screeners, stepped as campaigns instead of whole-window runs.
+        let burnin = BurnIn {
+            schedule: schedule.clone(),
+            ops_multiplier: tuning.burnin_ops_multiplier,
+            parallelism,
+        };
+        let mut burnin_campaign = burnin.campaign(topo);
+        let offline = OfflineScreener {
+            schedule: schedule.clone(),
+            interval_hours: scenario.offline_interval_hours,
+            fraction_per_sweep: scenario.offline_fraction,
+            drain_hours_per_machine: tuning.offline_drain_hours_per_machine,
+            parallelism,
+        };
+        let mut offline_campaign = offline.campaign(scenario.sim.months);
+        let online = OnlineScreener {
+            schedule,
+            interval_hours: scenario.online_interval_hours,
+            ops_fraction: tuning.online_ops_fraction,
+            parallelism,
+        };
+        let mut online_campaign = online.campaign(scenario.sim.months);
+
+        // In-loop isolation machinery.
+        let mut registry = QuarantineRegistry::new();
+        let mut ledger = CapacityLedger::new();
+        for m in topo.machines() {
+            let cores = topo.product_of(m.machine).cores_per_socket as u64
+                * topo.config().sockets_per_machine as u64;
+            ledger.register_machine(m.machine, cores);
+        }
+        let safe_policy = SafeTaskPolicy;
+        let task_mix = balanced_task_mix();
+        // Fractional cores recovered by safe-task placement on confirmed
+        // cores (each confirmed core contributes the placeable share of
+        // the task mix, given its now-known defective units).
+        let mut recovered_cores = 0.0f64;
+
+        let triage = HumanTriage::default();
+        let mut triage_stats = TriageStats::default();
+        let mut case_id = 0u64;
+
+        let mut scoreboard = Scoreboard::new();
+        let mut state = sim.begin();
+        let epochs = state.total_epochs();
+        let mut log = SignalLog::new();
+        let mut summary = SimSummary::default();
+        let mut series = EpochSeries::new(epoch_hours);
+
+        let mut detections: Vec<DetectionRecord> = Vec::new();
+        // Cores currently out of service: skipped by screeners, masked in
+        // the sim, and stripped of newly attributed signals.
+        let mut out_of_service: HashSet<CoreUid> = HashSet::new();
+        // Cores ever sent to triage — a restored core is not re-triaged on
+        // the same (stale) suspicion score.
+        let mut handled: HashSet<CoreUid> = HashSet::new();
+        let mut deep_queue: VecDeque<DeepCheck> = VecDeque::new();
+        let mut restores: Vec<PendingRestore> = Vec::new();
+        let mut exonerated_innocents = 0usize;
+
+        while !state.is_done() {
+            let h0 = state.hour();
+            let h1 = h0 + epoch_hours;
+
+            // 1. Restorations whose repair latency has elapsed re-enter
+            //    service at the epoch boundary.
+            let due: Vec<PendingRestore> = {
+                let (ready, waiting) = restores
+                    .drain(..)
+                    .partition(|r: &PendingRestore| r.restore_hour <= h0);
+                restores = waiting;
+                ready
+            };
+            for r in due {
+                registry
+                    .restore(r.core, r.restore_hour, "repair latency elapsed")
+                    .expect("exonerated core can restore");
+                ledger.restore_core(r.core);
+                out_of_service.remove(&r.core);
+                state.set_active(r.core, true);
+            }
+
+            // 2. Deep-check verdicts, FIFO under the per-epoch budget (the
+            //    triage team is finite; excess suspects queue).
+            let mut budget = policy.deep_checks_per_epoch;
+            while budget > 0 && deep_queue.front().is_some_and(|c| c.due_hour < h1) {
+                let case = deep_queue.pop_front().expect("front checked");
+                let verdict_hour = case.due_hour.max(h0);
+                budget -= 1;
+                triage_stats.investigated += 1;
+                match triage.investigate(topo, pop, case.core, verdict_hour, case_id) {
+                    TriageOutcome::Confirmed => {
+                        triage_stats.confirmed += 1;
+                        if pop.is_mercurial(case.core) {
+                            triage_stats.confirmed_true += 1;
+                        }
+                        registry
+                            .confirm(case.core, verdict_hour, "deep check confession")
+                            .expect("quarantined core can confirm");
+                        recovered_cores += safe_task_share(&safe_policy, &task_mix, pop, case.core);
+                        detections.push(DetectionRecord {
+                            core: case.core,
+                            hour: verdict_hour,
+                            method: DetectionMethod::Triage,
+                        });
+                    }
+                    TriageOutcome::NotReproduced => {
+                        triage_stats.not_reproduced += 1;
+                        if pop.is_mercurial(case.core) {
+                            triage_stats.missed_true += 1;
+                        }
+                        registry
+                            .exonerate(case.core, verdict_hour, "nothing reproduced")
+                            .expect("quarantined core can exonerate");
+                        if !pop.is_mercurial(case.core) {
+                            exonerated_innocents += 1;
+                        }
+                        restores.push(PendingRestore {
+                            restore_hour: verdict_hour + policy.restore_latency_hours,
+                            core: case.core,
+                        });
+                    }
+                }
+                case_id += 1;
+            }
+
+            // 3. Screens due this epoch. A screener failure is proof (a
+            //    controlled test failed), so the core is confirmed and
+            //    leaves service immediately.
+            let mut screened = Vec::new();
+            screened.extend(burnin_campaign.step_until(
+                topo,
+                pop,
+                h1,
+                &mut out_of_service,
+                &mut log,
+            ));
+            screened.extend(offline_campaign.step_until(
+                topo,
+                pop,
+                h1,
+                &mut out_of_service,
+                &mut log,
+            ));
+            screened.extend(online_campaign.step_until(
+                topo,
+                pop,
+                h1,
+                &mut out_of_service,
+                &mut log,
+            ));
+            for d in screened {
+                registry
+                    .mark_suspect(d.core, d.hour, "screener failure")
+                    .and_then(|()| registry.quarantine(d.core, d.hour, "controlled test failed"))
+                    .and_then(|()| registry.confirm(d.core, d.hour, "screen reproduced defect"))
+                    .expect("in-service core walks the legal path");
+                ledger.remove_core(d.core);
+                recovered_cores += safe_task_share(&safe_policy, &task_mix, pop, d.core);
+                state.set_active(d.core, false);
+                detections.push(d);
+            }
+
+            // 4. One epoch of workload simulation, masked cores silent.
+            let before_corruptions = summary.corruptions;
+            let mut epoch_log = SignalLog::new();
+            sim.step_epoch(&mut state, &mut epoch_log, &mut summary);
+            // Withdraw signals attributed to out-of-service cores (the
+            // noise layer attributes background events to random cores; a
+            // drained core files no reports).
+            let dropped = epoch_log.retain(|s| !out_of_service.contains(&s.core));
+            summary.signals_emitted -= dropped as u64;
+            summary.noise_signals -= dropped as u64;
+
+            // 5. Suspicion accumulates from this epoch's surviving signals.
+            scoreboard.ingest_all(epoch_log.all().iter());
+            log.append(epoch_log);
+
+            // 6. New threshold crossings are quarantined and queued for a
+            //    deep check after the triage latency.
+            let crossings: Vec<(CoreUid, f64)> = scoreboard
+                .suspects_excluding(scenario.suspicion_threshold, |core| {
+                    handled.contains(&core) || out_of_service.contains(&core)
+                })
+                .into_iter()
+                .map(|s| (s.core, s.last_hour))
+                .collect();
+            for (core, hour) in crossings {
+                registry
+                    .mark_suspect(core, hour, "signal concentration")
+                    .and_then(|()| registry.quarantine(core, hour, "suspicion threshold"))
+                    .expect("in-service core walks the legal path");
+                ledger.remove_core(core);
+                out_of_service.insert(core);
+                handled.insert(core);
+                state.set_active(core, false);
+                deep_queue.push_back(DeepCheck {
+                    due_hour: hour + policy.triage_latency_hours,
+                    core,
+                });
+            }
+
+            // 7. The epoch's telemetry point.
+            let pool = ledger.pool();
+            let base = pool.availability();
+            let with_safetask = if pool.nominal_cores == 0 {
+                1.0
+            } else {
+                (pool.effective_cores as f64 + recovered_cores) / pool.nominal_cores as f64
+            };
+            series.push(
+                base,
+                with_safetask,
+                summary.corruptions - before_corruptions,
+                state.active_deployed_mercurial(topo, h0),
+            );
+        }
+
+        // Final assembly. User-report escalations drawn while a core was
+        // still in service can carry dates past its later confirmation
+        // hour; withdraw them so no signal is attributed to a core after
+        // it was confirmed defective.
+        let confirm_hour: HashMap<CoreUid, f64> = registry
+            .in_state(mercurial_isolation::CoreState::Confirmed)
+            .into_iter()
+            .map(|core| {
+                let hour = registry
+                    .history(core)
+                    .iter()
+                    .find(|t| t.to == mercurial_isolation::CoreState::Confirmed)
+                    .expect("confirmed core has a confirm transition")
+                    .hour;
+                (core, hour)
+            })
+            .collect();
+        let mut dropped_noise = 0u64;
+        let dropped = log.retain(|s| {
+            let keep = confirm_hour.get(&s.core).is_none_or(|&c| s.hour <= c);
+            if !keep && !s.caused_by_cee {
+                dropped_noise += 1;
+            }
+            keep
+        });
+        summary.signals_emitted -= dropped as u64;
+        summary.noise_signals -= dropped_noise;
+        log.sort_by_time();
+
+        detections.sort_by(|a, b| a.hour.partial_cmp(&b.hour).expect("hours are finite"));
+        let detected_cores: HashSet<CoreUid> = detections.iter().map(|d| d.core).collect();
+        let detected_true = detected_cores
+            .iter()
+            .filter(|c| pop.is_mercurial(**c))
+            .count();
+        let mut detection_latency_hours = Vec::new();
+        for d in &detections {
+            if let Some(profile) = pop.profile_of(d.core) {
+                let deploy = topo.machines()[d.core.machine as usize].deploy_hour;
+                let active_from = deploy + profile.earliest_onset_hours().max(0.0);
+                detection_latency_hours.push((d.hour - active_from).max(0.0));
+            }
+        }
+
+        let pipeline = PipelineOutcome {
+            detections,
+            burnin_stats: burnin_campaign.stats(),
+            offline_stats: offline_campaign.stats(),
+            online_stats: online_campaign.stats(),
+            triage_stats,
+            capacity: ledger.pool(),
+            registry,
+            signals: log,
+            sim_summary: summary,
+            ground_truth: pop.count(),
+            detected_true,
+            exonerated_innocents,
+            detection_latency_hours,
+        };
+        ClosedLoopOutcome {
+            pipeline,
+            series,
+            epochs,
+            epoch_hours,
+        }
+    }
+}
+
+/// The share of the task mix placeable on one confirmed core, given its
+/// ground-truth defective units (known post-confession).
+fn safe_task_share(
+    policy: &SafeTaskPolicy,
+    task_mix: &[(TaskUnitProfile, f64)],
+    pop: &mercurial_fleet::Population,
+    core: CoreUid,
+) -> f64 {
+    match pop.profile_of(core) {
+        Some(profile) => policy.capacity_recovered(task_mix, &[profile.afflicted_units()]),
+        // Only genuinely defective cores can be confirmed (screens are
+        // exact), so this arm is unreachable in practice.
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial_fleet::SignalKind;
+    use mercurial_isolation::CoreState;
+
+    fn feedback_scenario(seed: u64) -> Scenario {
+        let mut s = Scenario::demo(seed);
+        s.closed_loop.feedback = true;
+        s
+    }
+
+    #[test]
+    fn open_loop_stepped_series_covers_the_window() {
+        let scenario = Scenario::small(41);
+        let out = ClosedLoopDriver::execute(&scenario);
+        assert_eq!(out.series.len() as u32, out.epochs);
+        assert!((out.series.min_capacity() - 1.0).abs() < 1e-12);
+        assert_eq!(
+            out.series.total_corrupt_ops(),
+            out.pipeline.sim_summary.corruptions
+        );
+    }
+
+    #[test]
+    fn feedback_quarantines_and_recovers_capacity() {
+        let scenario = feedback_scenario(42);
+        let out = ClosedLoopDriver::execute(&scenario);
+        assert!(
+            !out.pipeline.detections.is_empty(),
+            "demo fleet must yield detections"
+        );
+        // Capacity steps down at confirmations...
+        assert!(out.series.min_capacity() < 1.0);
+        // ...and safe-task placement claws part of it back.
+        let last = out.series.points().last().expect("non-empty series");
+        assert!(last.capacity_with_safetask > last.capacity);
+        assert!(last.capacity_with_safetask <= 1.0 + 1e-12);
+        // Confirmed cores match the ledger's loss.
+        assert_eq!(
+            out.pipeline.capacity.lost_cores as usize,
+            out.pipeline.registry.in_state(CoreState::Confirmed).len()
+                + out.pipeline.registry.in_state(CoreState::Quarantined).len()
+                + out.pipeline.registry.in_state(CoreState::Exonerated).len()
+        );
+    }
+
+    #[test]
+    fn no_signal_attributed_after_confirmation() {
+        let scenario = feedback_scenario(43);
+        let out = ClosedLoopDriver::execute(&scenario);
+        let registry = &out.pipeline.registry;
+        let confirmed = registry.in_state(CoreState::Confirmed);
+        assert!(!confirmed.is_empty(), "demo fleet must confirm cores");
+        for core in confirmed {
+            let confirm = registry
+                .history(core)
+                .iter()
+                .find(|t| t.to == CoreState::Confirmed)
+                .expect("confirm transition recorded")
+                .hour;
+            for s in out.pipeline.signals.all().iter().filter(|s| s.core == core) {
+                assert!(
+                    s.hour <= confirm,
+                    "signal at {} after confirmation at {confirm}",
+                    s.hour
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_reduces_residual_corruption() {
+        let scenario = Scenario::demo(44);
+        let open = ClosedLoopDriver::execute(&scenario);
+        let mut with_feedback = scenario.clone();
+        with_feedback.closed_loop.feedback = true;
+        let closed = ClosedLoopDriver::execute(&with_feedback);
+        assert!(
+            closed.pipeline.sim_summary.corruptions < open.pipeline.sim_summary.corruptions,
+            "closed {} must corrupt less than open {}",
+            closed.pipeline.sim_summary.corruptions,
+            open.pipeline.sim_summary.corruptions
+        );
+    }
+
+    #[test]
+    fn user_report_signal_kinds_survive_the_loop() {
+        // The pruning must not eat the noise haystack wholesale.
+        let out = ClosedLoopDriver::execute(&feedback_scenario(45));
+        assert!(out
+            .pipeline
+            .signals
+            .all()
+            .iter()
+            .any(|s| s.kind == SignalKind::UserReport && !s.caused_by_cee));
+        assert_eq!(
+            out.pipeline.sim_summary.signals_emitted as usize,
+            out.pipeline
+                .signals
+                .all()
+                .iter()
+                .filter(|s| s.kind != SignalKind::ScreenerFailure)
+                .count()
+        );
+    }
+}

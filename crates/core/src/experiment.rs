@@ -92,15 +92,23 @@ impl FleetExperiment {
         base.with_fuzz_content(&distilled.covered_units(), &distilled.operands, extra_ops)
     }
 
-    /// Runs the workload signal simulation (no screening) and returns the
-    /// time-sorted log plus summary counters.
-    pub fn run_signals(&self) -> (SignalLog, SimSummary) {
+    /// A fresh simulator over this experiment's topology and population —
+    /// the closed-loop driver steps it epoch by epoch; [`run_signals`]
+    /// runs it to completion.
+    ///
+    /// [`run_signals`]: FleetExperiment::run_signals
+    pub fn sim(&self) -> FleetSim {
         FleetSim::new(
             self.topo.clone(),
             self.pop.clone(),
             self.scenario.sim.clone(),
         )
-        .run()
+    }
+
+    /// Runs the workload signal simulation (no screening) and returns the
+    /// time-sorted log plus summary counters.
+    pub fn run_signals(&self) -> (SignalLog, SimSummary) {
+        self.sim().run()
     }
 }
 

@@ -80,6 +80,15 @@ pub fn run_fig1(scenario: &Scenario) -> Fig1Result {
     fig1_from_outcome(scenario, outcome)
 }
 
+/// Runs the closed-loop driver and derives the Figure 1 series from its
+/// outcome. With feedback enabled the quarantine silencing is real rather
+/// than post-hoc: signals of confirmed cores already stop at the source,
+/// so the series reflect what the fleet's reporting would actually show.
+pub fn run_fig1_closed_loop(scenario: &Scenario) -> Fig1Result {
+    let out = crate::closedloop::ClosedLoopDriver::execute(scenario);
+    fig1_from_outcome(scenario, out.pipeline)
+}
+
 /// Derives Figure 1 from an existing pipeline outcome.
 pub fn fig1_from_outcome(scenario: &Scenario, outcome: PipelineOutcome) -> Fig1Result {
     let months = scenario.sim.months;
@@ -170,6 +179,15 @@ mod tests {
         let chart = result.render();
         assert!(chart.contains("user-reported"));
         assert!(chart.contains("automatically-reported"));
+    }
+
+    #[test]
+    fn closed_loop_fig1_populates_both_series() {
+        let mut scenario = Scenario::demo(24);
+        scenario.closed_loop.feedback = true;
+        let result = run_fig1_closed_loop(&scenario);
+        assert!(result.user.counts().iter().sum::<u64>() > 0);
+        assert!(result.auto.counts().iter().sum::<u64>() > 0);
     }
 
     #[test]

@@ -29,6 +29,8 @@
 //!   population + signal simulation in one handle;
 //! * [`pipeline`] — the full §6 loop (burn-in → screening → suspects →
 //!   quarantine → triage → capacity accounting);
+//! * [`closedloop`] — the epoch-interleaved driver: detect → quarantine →
+//!   reschedule with in-loop feedback and per-epoch telemetry;
 //! * [`fig1`] — the Figure 1 reproduction;
 //! * [`report`] — text/CSV rendering of experiment outputs.
 //!
@@ -37,14 +39,16 @@
 //! [`fuzz`], [`isolation`], [`mitigation`], [`metrics`].
 #![warn(missing_docs)]
 
+pub mod closedloop;
 pub mod experiment;
 pub mod fig1;
 pub mod pipeline;
 pub mod report;
 pub mod scenario;
 
+pub use closedloop::{ClosedLoopDriver, ClosedLoopOutcome};
 pub use experiment::FleetExperiment;
-pub use fig1::{run_fig1, Fig1Result};
+pub use fig1::{fig1_from_outcome, run_fig1, run_fig1_closed_loop, Fig1Result};
 pub use pipeline::{PipelineOutcome, PipelineRun};
 pub use scenario::{FuzzCorpusConfig, Scenario};
 
@@ -60,6 +64,7 @@ pub use mercurial_simcpu as simcpu;
 
 /// The most commonly used types, in one import.
 pub mod prelude {
+    pub use crate::closedloop::{ClosedLoopDriver, ClosedLoopOutcome};
     pub use crate::experiment::FleetExperiment;
     pub use crate::fig1::{run_fig1, Fig1Result};
     pub use crate::pipeline::{PipelineOutcome, PipelineRun};

@@ -60,14 +60,26 @@ impl PipelineOutcome {
         self.detected_true as f64 / self.ground_truth as f64
     }
 
-    /// Median detection latency in hours, if any detections.
+    /// Median detection latency in hours, if any detections. Even-length
+    /// samples average the two middle values.
     pub fn median_latency_hours(&self) -> Option<f64> {
-        if self.detection_latency_hours.is_empty() {
-            return None;
-        }
-        let mut v = self.detection_latency_hours.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        Some(v[v.len() / 2])
+        median(&self.detection_latency_hours)
+    }
+}
+
+/// The sample median: middle element for odd lengths, mean of the two
+/// middle elements for even lengths, `None` when empty.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        Some(v[mid])
+    } else {
+        Some((v[mid - 1] + v[mid]) / 2.0)
     }
 }
 
@@ -94,11 +106,25 @@ impl PipelineRun {
     /// Executes on a prebuilt experiment (case studies use explicit
     /// populations).
     pub fn execute_on(scenario: &Scenario, experiment: &FleetExperiment) -> PipelineOutcome {
+        // 1. Production signals from the workload simulation.
+        let (signals, sim_summary) = experiment.run_signals();
+        PipelineRun::complete_from_signals(scenario, experiment, signals, sim_summary)
+    }
+
+    /// Runs the post-simulation stages (screening → scoreboard → triage →
+    /// quarantine → capacity → scoring) over an already-produced signal
+    /// log. This is the batch pipeline's phase-major back half; the
+    /// closed-loop driver reuses it when feedback is disabled so both
+    /// entry points share one implementation.
+    pub fn complete_from_signals(
+        scenario: &Scenario,
+        experiment: &FleetExperiment,
+        mut signals: SignalLog,
+        sim_summary: SimSummary,
+    ) -> PipelineOutcome {
         let topo = experiment.topology();
         let pop = experiment.population();
-
-        // 1. Production signals from the workload simulation.
-        let (mut signals, sim_summary) = experiment.run_signals();
+        let tuning = &scenario.tuning;
 
         // 2. Automated screening: burn-in, then offline + online campaigns
         //    sharing one detected set (a core caught once is quarantined
@@ -111,7 +137,7 @@ impl PipelineRun {
         let parallelism = scenario.sim.parallelism;
         let burnin = BurnIn {
             schedule: schedule.clone(),
-            ops_multiplier: 5,
+            ops_multiplier: tuning.burnin_ops_multiplier,
             parallelism,
         };
         let (mut detections, burnin_stats) = burnin.run(topo, pop, &mut detected, &mut signals);
@@ -119,7 +145,7 @@ impl PipelineRun {
             schedule: schedule.clone(),
             interval_hours: scenario.offline_interval_hours,
             fraction_per_sweep: scenario.offline_fraction,
-            drain_hours_per_machine: 0.5,
+            drain_hours_per_machine: tuning.offline_drain_hours_per_machine,
             parallelism,
         };
         let (offline_detections, offline_stats) =
@@ -128,7 +154,7 @@ impl PipelineRun {
         let online = OnlineScreener {
             schedule,
             interval_hours: scenario.online_interval_hours,
-            ops_fraction: 0.05,
+            ops_fraction: tuning.online_ops_fraction,
             parallelism,
         };
         let (online_detections, online_stats) =
@@ -141,9 +167,10 @@ impl PipelineRun {
         let mut scoreboard = Scoreboard::new();
         scoreboard.ingest_all(signals.all().iter());
         let suspects: Vec<(CoreUid, f64)> = scoreboard
-            .suspects(scenario.suspicion_threshold)
+            .suspects_excluding(scenario.suspicion_threshold, |core| {
+                detected.contains(&core)
+            })
             .into_iter()
-            .filter(|s| !detected.contains(&s.core))
             .map(|s| (s.core, s.last_hour))
             .collect();
 
@@ -173,14 +200,26 @@ impl PipelineRun {
                 .expect("fresh core walks the legal path");
             if confirmed_by_triage.contains(&core) {
                 registry
-                    .confirm(core, hour + 72.0, "triage confession")
+                    .confirm(
+                        core,
+                        hour + tuning.triage_latency_hours,
+                        "triage confession",
+                    )
                     .expect("quarantined core can confirm");
             } else {
                 registry
-                    .exonerate(core, hour + 72.0, "nothing reproduced")
+                    .exonerate(
+                        core,
+                        hour + tuning.triage_latency_hours,
+                        "nothing reproduced",
+                    )
                     .expect("quarantined core can exonerate");
                 registry
-                    .restore(core, hour + 96.0, "returned to pool")
+                    .restore(
+                        core,
+                        hour + tuning.restore_latency_hours,
+                        "returned to pool",
+                    )
                     .expect("exonerated core can restore");
                 if !pop.is_mercurial(core) {
                     exonerated_innocents += 1;
@@ -240,6 +279,17 @@ impl PipelineRun {
 mod tests {
     use super::*;
     use mercurial_fleet::SignalKind;
+
+    #[test]
+    fn median_averages_the_two_middle_values() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0]), Some(3.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0]), Some(3.0));
+        // Even length: the old implementation returned the upper middle
+        // element (3.0 here); the median of [1, 2, 3, 4] is 2.5.
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+        assert_eq!(median(&[10.0, 20.0]), Some(15.0));
+    }
 
     #[test]
     fn pipeline_detects_most_of_the_population() {

@@ -1,5 +1,6 @@
 //! Text rendering of experiment outputs.
 
+use crate::closedloop::ClosedLoopOutcome;
 use crate::pipeline::PipelineOutcome;
 use mercurial_fault::SymptomClass;
 use mercurial_screening::DetectionMethod;
@@ -77,9 +78,49 @@ pub fn detection_table(outcome: &PipelineOutcome) -> String {
     kv_table("Detection pipeline", &rows)
 }
 
+/// Renders the closed-loop summary: detection outcomes plus the per-epoch
+/// capacity/corruption telemetry the open loop cannot produce.
+pub fn closed_loop_table(out: &ClosedLoopOutcome) -> String {
+    let series = &out.series;
+    let last = series.points().last();
+    let rows = vec![
+        ("epochs simulated", out.epochs.to_string()),
+        ("epoch length", format!("{:.0} h", out.epoch_hours)),
+        (
+            "residual corrupt-ops",
+            series.total_corrupt_ops().to_string(),
+        ),
+        (
+            "capacity trough",
+            format!("{:.4}%", 100.0 * series.min_capacity()),
+        ),
+        (
+            "final capacity",
+            last.map(|p| format!("{:.4}%", 100.0 * p.capacity))
+                .unwrap_or_else(|| "n/a".to_string()),
+        ),
+        (
+            "final capacity w/ safe-task",
+            last.map(|p| format!("{:.4}%", 100.0 * p.capacity_with_safetask))
+                .unwrap_or_else(|| "n/a".to_string()),
+        ),
+        (
+            "mercurial cores still active",
+            last.map(|p| p.active_mercurial.to_string())
+                .unwrap_or_else(|| "n/a".to_string()),
+        ),
+    ];
+    format!(
+        "{}\n{}",
+        kv_table("Closed-loop pipeline", &rows),
+        detection_table(&out.pipeline)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::closedloop::ClosedLoopDriver;
     use crate::pipeline::PipelineRun;
     use crate::scenario::Scenario;
 
@@ -91,6 +132,17 @@ mod tests {
         let detection = detection_table(&outcome);
         assert!(detection.contains("recall"));
         assert!(detection.contains("triage confirmation rate"));
+    }
+
+    #[test]
+    fn closed_loop_table_reports_the_feedback_epoch_series() {
+        let mut scenario = Scenario::demo(32);
+        scenario.closed_loop.feedback = true;
+        let out = ClosedLoopDriver::execute(&scenario);
+        let table = closed_loop_table(&out);
+        assert!(table.contains("Closed-loop pipeline"));
+        assert!(table.contains("capacity trough"));
+        assert!(table.contains("recall"));
     }
 
     #[test]

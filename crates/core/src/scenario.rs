@@ -29,6 +29,101 @@ impl Default for FuzzCorpusConfig {
     }
 }
 
+/// Tunable constants of the detection pipeline that used to be
+/// hard-coded. Every field has a serde default matching the historical
+/// value, so existing scenario JSON parses unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineTuning {
+    /// Hours from a suspect report to the human-triage verdict
+    /// (confirm or exonerate).
+    #[serde(default = "default_triage_latency_hours")]
+    pub triage_latency_hours: f64,
+    /// Hours from a suspect report to an exonerated core's restoration
+    /// to service.
+    #[serde(default = "default_restore_latency_hours")]
+    pub restore_latency_hours: f64,
+    /// Multiplier on the era op budget during pre-deployment burn-in.
+    #[serde(default = "default_burnin_ops_multiplier")]
+    pub burnin_ops_multiplier: u64,
+    /// Machine-hours of drain charged per machine per offline sweep.
+    #[serde(default = "default_offline_drain_hours")]
+    pub offline_drain_hours_per_machine: f64,
+    /// Fraction of the era op budget available to online screening from
+    /// spare cycles.
+    #[serde(default = "default_online_ops_fraction")]
+    pub online_ops_fraction: f64,
+}
+
+fn default_triage_latency_hours() -> f64 {
+    72.0
+}
+fn default_restore_latency_hours() -> f64 {
+    96.0
+}
+fn default_burnin_ops_multiplier() -> u64 {
+    5
+}
+fn default_offline_drain_hours() -> f64 {
+    0.5
+}
+fn default_online_ops_fraction() -> f64 {
+    0.05
+}
+
+impl Default for PipelineTuning {
+    fn default() -> PipelineTuning {
+        PipelineTuning {
+            triage_latency_hours: default_triage_latency_hours(),
+            restore_latency_hours: default_restore_latency_hours(),
+            burnin_ops_multiplier: default_burnin_ops_multiplier(),
+            offline_drain_hours_per_machine: default_offline_drain_hours(),
+            online_ops_fraction: default_online_ops_fraction(),
+        }
+    }
+}
+
+/// Policy block for the closed-loop epoch driver
+/// (`ClosedLoopDriver`): whether detections feed back into the running
+/// simulation, and the latencies/budgets of the in-loop isolation
+/// machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopConfig {
+    /// `true`: confirmed cores leave the workload mix mid-simulation
+    /// (their signals and corruption stop) and exonerated cores return.
+    /// `false`: the driver reproduces the open-loop batch pipeline
+    /// bit-for-bit.
+    #[serde(default)]
+    pub feedback: bool,
+    /// Hours from quarantine to the deep-check verdict.
+    #[serde(default = "default_triage_latency_hours")]
+    pub triage_latency_hours: f64,
+    /// Hours from exoneration to restoration into service.
+    #[serde(default = "default_closed_loop_restore_hours")]
+    pub restore_latency_hours: f64,
+    /// Maximum deep-check verdicts processed per epoch (the human-triage
+    /// team is finite; excess suspects queue).
+    #[serde(default = "default_deep_checks_per_epoch")]
+    pub deep_checks_per_epoch: u32,
+}
+
+fn default_closed_loop_restore_hours() -> f64 {
+    24.0
+}
+fn default_deep_checks_per_epoch() -> u32 {
+    8
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> ClosedLoopConfig {
+        ClosedLoopConfig {
+            feedback: false,
+            triage_latency_hours: default_triage_latency_hours(),
+            restore_latency_hours: default_closed_loop_restore_hours(),
+            deep_checks_per_epoch: default_deep_checks_per_epoch(),
+        }
+    }
+}
+
 /// A complete experiment configuration.
 ///
 /// Scenarios serialize to JSON so experiment parameters live in files and
@@ -51,6 +146,12 @@ pub struct Scenario {
     pub online_interval_hours: f64,
     /// Fuzz-distilled screening-corpus options.
     pub fuzz_corpus: FuzzCorpusConfig,
+    /// Formerly hard-coded pipeline constants.
+    #[serde(default)]
+    pub tuning: PipelineTuning,
+    /// Closed-loop (epoch-interleaved) pipeline policy.
+    #[serde(default)]
+    pub closed_loop: ClosedLoopConfig,
 }
 
 impl Scenario {
@@ -69,6 +170,8 @@ impl Scenario {
             offline_fraction: 0.10,
             online_interval_hours: 73.0,
             fuzz_corpus: FuzzCorpusConfig::default(),
+            tuning: PipelineTuning::default(),
+            closed_loop: ClosedLoopConfig::default(),
         }
     }
 
@@ -134,6 +237,43 @@ mod tests {
     #[test]
     fn bad_json_is_an_error() {
         assert!(Scenario::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn legacy_json_without_new_blocks_parses_to_defaults() {
+        // Scenario JSON written before `tuning` / `closed_loop` existed
+        // must keep parsing, with the historical constants filled in.
+        use serde::{Deserialize, Serialize};
+        let mut s = Scenario::small(7);
+        s.tuning.burnin_ops_multiplier = 9; // non-default, must NOT survive
+        s.closed_loop.feedback = true;
+        let mut v = s.to_value();
+        let serde::Value::Object(entries) = &mut v else {
+            panic!("scenario serializes to an object");
+        };
+        let before = entries.len();
+        entries.retain(|(k, _)| k != "tuning" && k != "closed_loop");
+        assert_eq!(entries.len(), before - 2, "test must strip both blocks");
+        let back = Scenario::from_value(&v).unwrap();
+        assert_eq!(back.tuning, PipelineTuning::default());
+        assert_eq!(back.closed_loop, ClosedLoopConfig::default());
+        assert_eq!(back.tuning.triage_latency_hours, 72.0);
+        assert_eq!(back.tuning.restore_latency_hours, 96.0);
+        assert_eq!(back.tuning.burnin_ops_multiplier, 5);
+        assert_eq!(back.tuning.offline_drain_hours_per_machine, 0.5);
+        assert_eq!(back.tuning.online_ops_fraction, 0.05);
+        assert!(!back.closed_loop.feedback);
+    }
+
+    #[test]
+    fn partial_tuning_block_fills_missing_knobs() {
+        // Per-field serde defaults: specifying one knob leaves the rest
+        // at their historical values.
+        let json = r#"{"enabled_unused": 0, "triage_latency_hours": 48.0}"#;
+        let t: PipelineTuning = serde_json::from_str(json).unwrap();
+        assert_eq!(t.triage_latency_hours, 48.0);
+        assert_eq!(t.restore_latency_hours, 96.0);
+        assert_eq!(t.burnin_ops_multiplier, 5);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod workload;
 pub use population::{MercurialCore, Population};
 pub use product::CpuProduct;
 pub use signals::{Signal, SignalKind, SignalLog};
-pub use sim::{FleetSim, SimConfig, SimSummary};
+pub use sim::{FleetSim, SimConfig, SimState, SimSummary};
 pub use time::EventQueue;
 pub use topology::{FleetConfig, FleetTopology, MachineInfo};
 pub use workload::WorkloadClass;

@@ -158,6 +158,16 @@ impl SignalLog {
         self.signals.append(&mut other.signals);
     }
 
+    /// Keeps only the signals for which `keep` returns `true`, preserving
+    /// order, and returns how many were dropped. The closed-loop driver
+    /// uses this to withdraw signals attributed to cores that were already
+    /// out of service when the signal would have fired.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Signal) -> bool) -> usize {
+        let before = self.signals.len();
+        self.signals.retain(|s| keep(s));
+        before - self.signals.len()
+    }
+
     /// Sorts the log by time (the simulator emits epoch batches; sort once
     /// before sequential consumption).
     pub fn sort_by_time(&mut self) {

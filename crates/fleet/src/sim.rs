@@ -20,7 +20,6 @@
 
 use crate::population::Population;
 use crate::signals::{Signal, SignalKind, SignalLog};
-use crate::time::EventQueue;
 use crate::topology::FleetTopology;
 use crate::workload::WorkloadClass;
 use mercurial_fault::{CoreUid, CounterRng, FunctionalUnit, SymptomClass};
@@ -98,8 +97,84 @@ impl SimSummary {
     }
 }
 
-enum Event {
-    Epoch(u32),
+/// Resumable cursor for the epoch-stepping API ([`FleetSim::begin`] /
+/// [`FleetSim::step_epochs`]).
+///
+/// Holds everything the simulator mutates across epochs: the epoch
+/// cursor, the list of ground-truth mercurial cores, the *active-core
+/// mask* (cores a closed-loop policy has pulled from service stop
+/// producing corruption and signals), and the "ever corrupted" tracker
+/// behind [`SimSummary::active_mercurial_cores`]. The mask only changes
+/// through [`SimState::set_active`], i.e. between epochs, so every epoch
+/// sees one frozen mask and the determinism contract (draws as pure
+/// functions of `(seed, stream, counter)`) is unaffected.
+#[derive(Debug, Clone)]
+pub struct SimState {
+    /// Next epoch to simulate.
+    next_epoch: u32,
+    /// Total epochs in the observation window.
+    epochs: u32,
+    /// Epoch length, copied from the config for hour arithmetic.
+    epoch_hours: f64,
+    /// Ground-truth mercurial cores, sorted by [`CoreUid`].
+    mercurial: Vec<CoreUid>,
+    /// In-service mask, indexed like `mercurial`.
+    active: Vec<bool>,
+    /// Whether each mercurial core has produced at least one corruption.
+    core_was_active: Vec<bool>,
+}
+
+impl SimState {
+    /// The next epoch [`FleetSim::step_epochs`] will simulate.
+    pub fn next_epoch(&self) -> u32 {
+        self.next_epoch
+    }
+
+    /// Total epochs in the observation window.
+    pub fn total_epochs(&self) -> u32 {
+        self.epochs
+    }
+
+    /// Whether the window has been fully simulated.
+    pub fn is_done(&self) -> bool {
+        self.next_epoch >= self.epochs
+    }
+
+    /// The simulation hour the cursor stands at (start of `next_epoch`).
+    pub fn hour(&self) -> f64 {
+        self.next_epoch as f64 * self.epoch_hours
+    }
+
+    /// Marks a mercurial core in or out of service. Returns `false` when
+    /// the core is not in the ground-truth mercurial set (masking a
+    /// healthy core is a no-op: it never produced corruption anyway).
+    pub fn set_active(&mut self, core: CoreUid, active: bool) -> bool {
+        match self.mercurial.binary_search(&core) {
+            Ok(i) => {
+                self.active[i] = active;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether a ground-truth mercurial core is currently in service.
+    /// Cores outside the mercurial set are vacuously active.
+    pub fn is_active(&self, core: CoreUid) -> bool {
+        match self.mercurial.binary_search(&core) {
+            Ok(i) => self.active[i],
+            Err(_) => true,
+        }
+    }
+
+    /// Mercurial cores currently in service and deployed at `hour`.
+    pub fn active_deployed_mercurial(&self, topo: &FleetTopology, hour: f64) -> u64 {
+        self.mercurial
+            .iter()
+            .zip(&self.active)
+            .filter(|&(uid, &on)| on && topo.is_deployed(uid.machine, hour))
+            .count() as u64
+    }
 }
 
 /// The fleet simulator.
@@ -181,53 +256,87 @@ impl FleetSim {
         &self.workloads[self.workload_ix[machine as usize]].0
     }
 
-    /// Runs the simulation, returning the signal log (sorted by time) and
-    /// summary counters.
-    ///
-    /// With `config.parallelism != 1` the epoch loop is sharded across
-    /// worker threads. Every random draw is a pure function of
-    /// `(seed, stream, counter)`, epochs share no mutable state, and the
-    /// per-epoch shards are merged in epoch order — reproducing the
-    /// serial emission order exactly — so the output is bit-for-bit
-    /// identical for every thread count.
-    pub fn run(&self) -> (SignalLog, SimSummary) {
-        let total_hours = self.config.months as f64 * 730.0;
-        let epochs = (total_hours / self.config.epoch_hours).ceil() as u32;
-        let mercurial: Vec<CoreUid> = self.pop.mercurial_cores().map(|c| c.uid).collect();
-        let workers =
-            crate::par::resolve_parallelism(self.config.parallelism).min(epochs.max(1) as usize);
+    /// Total epochs in the observation window.
+    pub fn epochs(&self) -> u32 {
+        (self.config.months as f64 * 730.0 / self.config.epoch_hours).ceil() as u32
+    }
 
-        let mut log = SignalLog::new();
-        let mut summary = SimSummary::default();
-        let mut core_was_active = vec![false; mercurial.len()];
+    /// Starts a resumable simulation: every mercurial core in service,
+    /// cursor at epoch 0. Step it with [`FleetSim::step_epochs`].
+    pub fn begin(&self) -> SimState {
+        let mercurial: Vec<CoreUid> = self.pop.mercurial_cores().map(|c| c.uid).collect();
+        debug_assert!(
+            mercurial.windows(2).all(|w| w[0] < w[1]),
+            "population iterates in sorted CoreUid order"
+        );
+        let n = mercurial.len();
+        SimState {
+            next_epoch: 0,
+            epochs: self.epochs(),
+            epoch_hours: self.config.epoch_hours,
+            mercurial,
+            active: vec![true; n],
+            core_was_active: vec![false; n],
+        }
+    }
+
+    /// Advances the simulation by one epoch, appending that epoch's
+    /// signals to `log` (in emission order, unsorted) and accumulating
+    /// counters into `summary`. Returns `false` once the window is done.
+    pub fn step_epoch(
+        &self,
+        state: &mut SimState,
+        log: &mut SignalLog,
+        summary: &mut SimSummary,
+    ) -> bool {
+        self.step_epochs(state, 1, log, summary) == 1
+    }
+
+    /// Advances the simulation by up to `max_epochs` epochs and returns
+    /// how many actually ran.
+    ///
+    /// With `config.parallelism != 1` the batch is sharded across worker
+    /// threads under the §4.1 determinism contract: every random draw is
+    /// a pure function of `(seed, stream, counter)`, epochs share no
+    /// mutable state, the active mask is frozen for the whole batch, and
+    /// shards are merged in epoch order — so for any stepping granularity
+    /// the concatenated log equals the serial emission order exactly.
+    /// `summary.active_mercurial_cores` is refreshed after every step to
+    /// the cumulative count so far.
+    pub fn step_epochs(
+        &self,
+        state: &mut SimState,
+        max_epochs: u32,
+        log: &mut SignalLog,
+        summary: &mut SimSummary,
+    ) -> u32 {
+        let batch = (state.epochs - state.next_epoch.min(state.epochs)).min(max_epochs);
+        let first = state.next_epoch;
+        let SimState {
+            mercurial,
+            active,
+            core_was_active,
+            ..
+        } = state;
+        let workers =
+            crate::par::resolve_parallelism(self.config.parallelism).min(batch.max(1) as usize);
 
         if workers <= 1 {
-            // Legacy serial path: walk the event queue in time order.
-            let mut queue = EventQueue::new();
-            for e in 0..epochs {
-                queue.schedule(e as f64 * self.config.epoch_hours, Event::Epoch(e));
-            }
-            while let Some((_, event)) = queue.pop() {
-                let Event::Epoch(epoch) = event;
-                self.run_epoch(
-                    epoch,
-                    &mercurial,
-                    &mut log,
-                    &mut summary,
-                    &mut core_was_active,
-                );
+            for epoch in first..first + batch {
+                self.run_epoch(epoch, mercurial, active, log, summary, core_was_active);
             }
         } else {
-            // Parallel path: each epoch becomes an independent shard;
-            // merging in epoch order reconstructs the serial pre-sort log.
-            let epoch_ids: Vec<u32> = (0..epochs).collect();
+            // Each epoch becomes an independent shard; merging in epoch
+            // order reconstructs the serial pre-sort log.
+            let epoch_ids: Vec<u32> = (first..first + batch).collect();
             let shards = crate::par::map_parallel(&epoch_ids, self.config.parallelism, |&epoch| {
                 let mut shard_log = SignalLog::new();
                 let mut shard_summary = SimSummary::default();
                 let mut shard_active = vec![false; mercurial.len()];
                 self.run_epoch(
                     epoch,
-                    &mercurial,
+                    mercurial,
+                    active,
                     &mut shard_log,
                     &mut shard_summary,
                     &mut shard_active,
@@ -242,27 +351,44 @@ impl FleetSim {
                 }
             }
         }
+        state.next_epoch += batch;
         summary.active_mercurial_cores = core_was_active.iter().filter(|&&a| a).count() as u64;
+        batch
+    }
+
+    /// Runs the simulation to completion, returning the signal log
+    /// (sorted by time) and summary counters.
+    ///
+    /// Equivalent to stepping a fresh [`SimState`] through the whole
+    /// window with the full active mask; see [`FleetSim::step_epochs`]
+    /// for the determinism contract.
+    pub fn run(&self) -> (SignalLog, SimSummary) {
+        let mut state = self.begin();
+        let mut log = SignalLog::new();
+        let mut summary = SimSummary::default();
+        self.step_epochs(&mut state, u32::MAX, &mut log, &mut summary);
         log.sort_by_time();
         (log, summary)
     }
 
-    /// Simulates one epoch: every deployed mercurial core, then the
-    /// background noise layer. `active` is indexed like `mercurial`.
+    /// Simulates one epoch: every deployed, in-service mercurial core,
+    /// then the background noise layer. `mask` and `was_active` are
+    /// indexed like `mercurial`.
     fn run_epoch(
         &self,
         epoch: u32,
         mercurial: &[CoreUid],
+        mask: &[bool],
         log: &mut SignalLog,
         summary: &mut SimSummary,
-        active: &mut [bool],
+        was_active: &mut [bool],
     ) {
         let hour = epoch as f64 * self.config.epoch_hours;
         for (i, &uid) in mercurial.iter().enumerate() {
-            if !self.topo.is_deployed(uid.machine, hour) {
+            if !mask[i] || !self.topo.is_deployed(uid.machine, hour) {
                 continue;
             }
-            active[i] |= self.epoch_core(uid, hour, epoch, log, summary);
+            was_active[i] |= self.epoch_core(uid, hour, epoch, log, summary);
         }
         self.epoch_noise(hour, epoch, log, summary);
     }
@@ -707,6 +833,68 @@ mod tests {
             assert_eq!(summary, serial_summary, "{threads} threads");
             assert_eq!(log.all(), serial_log.all(), "{threads} threads");
         }
+    }
+
+    #[test]
+    fn stepping_matches_run_for_any_granularity() {
+        let uid = CoreUid::new(3, 0, 1);
+        let sim = tiny_sim(50, vec![(uid, library::string_bitflip(9, 1e-4))], 6);
+        let (full_log, full_summary) = sim.run();
+        assert!(full_summary.signals_emitted > 0, "defect must fire");
+        for granularity in [1u32, 3, 7, 1000] {
+            let mut state = sim.begin();
+            let mut log = SignalLog::new();
+            let mut summary = SimSummary::default();
+            while sim.step_epochs(&mut state, granularity, &mut log, &mut summary) > 0 {}
+            assert!(state.is_done());
+            log.sort_by_time();
+            assert_eq!(summary, full_summary, "granularity {granularity}");
+            assert_eq!(log.all(), full_log.all(), "granularity {granularity}");
+        }
+    }
+
+    #[test]
+    fn masked_core_is_silent_while_out_of_service() {
+        let uid = CoreUid::new(3, 0, 1);
+        let sim = tiny_sim(50, vec![(uid, library::string_bitflip(9, 1e-4))], 6);
+        let mut state = sim.begin();
+        let mut log = SignalLog::new();
+        let mut summary = SimSummary::default();
+        // Run the first half in service, then pull the core.
+        let half = state.total_epochs() / 2;
+        sim.step_epochs(&mut state, half, &mut log, &mut summary);
+        let corruptions_before = summary.corruptions;
+        assert!(corruptions_before > 0, "defect must fire in the first half");
+        assert!(sim.step_epoch(&mut state, &mut log, &mut summary));
+        let masked_hour = state.hour();
+        assert!(state.set_active(uid, false), "core is mercurial");
+        assert!(!state.is_active(uid));
+        let corruptions_at_mask = summary.corruptions;
+        sim.step_epochs(&mut state, u32::MAX, &mut log, &mut summary);
+        assert_eq!(
+            summary.corruptions, corruptions_at_mask,
+            "a masked core draws no corruption"
+        );
+        // Signals are drawn in the epoch they originate from; only the
+        // user-report escalation lags (24–96 h after its detection), so
+        // nothing else may be dated past the mask hour.
+        assert!(
+            log.all()
+                .iter()
+                .filter(|s| s.caused_by_cee && s.kind != SignalKind::UserReport)
+                .all(|s| s.hour < masked_hour),
+            "no prompt CEE signal after the mask hour"
+        );
+        assert!(
+            log.all()
+                .iter()
+                .filter(|s| s.caused_by_cee)
+                .all(|s| s.hour < masked_hour + 96.0),
+            "even lagged reports stay within the escalation window"
+        );
+        // Masking an unknown (healthy) core is a harmless no-op.
+        assert!(!state.set_active(CoreUid::new(0, 0, 0), false));
+        assert!(state.is_active(CoreUid::new(0, 0, 0)));
     }
 
     #[test]

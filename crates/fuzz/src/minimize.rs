@@ -12,11 +12,20 @@
 //! candidate whose reference run traps or spins is rejected by the same
 //! oracle (`ReferenceTrapped` / `None` do not indict), so termination
 //! safety is preserved automatically.
+//!
+//! After the structural passes an *operand* pass canonicalizes what
+//! survives: immediates shrink toward zero (zero first, then repeated
+//! halving) and register operands are rewritten toward `x0`/`v0`, as long
+//! as the witness keeps indicting. Branch and jump targets are never
+//! touched — rewriting control flow is the structural passes' job.
+//! Canonical witnesses read better in triage reports and deduplicate
+//! across campaigns (two hits on the same lesion usually collapse to the
+//! same shape once their incidental constants are gone).
 
 use crate::diff::{run_differential, DiffConfig};
 use crate::gen::FuzzProgram;
 use mercurial_fault::CoreFaultProfile;
-use mercurial_simcpu::{Inst, Program};
+use mercurial_simcpu::{Inst, Program, Reg, VReg};
 
 /// Outcome of minimizing one witness.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +70,258 @@ fn patch(t: u32, a: usize, b: usize, w: u32) -> u32 {
         a as u32
     } else {
         t
+    }
+}
+
+fn reg0(r: Reg) -> Option<Reg> {
+    (r.0 != 0).then_some(Reg(0))
+}
+
+fn vreg0(v: VReg) -> Option<VReg> {
+    (v.0 != 0).then_some(VReg(0))
+}
+
+/// Zero, then halve: the immediate ladder every numeric operand walks
+/// down. Division truncates toward zero, so every step strictly shrinks
+/// the magnitude and the ladder terminates.
+fn imm_steps_u64(v: u64) -> Vec<u64> {
+    match v {
+        0 => vec![],
+        1 => vec![0],
+        _ => vec![0, v / 2],
+    }
+}
+
+fn imm_steps_i64(v: i64) -> Vec<i64> {
+    match v {
+        0 => vec![],
+        -1 | 1 => vec![0],
+        _ => vec![0, v / 2],
+    }
+}
+
+fn imm_steps_u32(v: u32) -> Vec<u32> {
+    imm_steps_u64(v as u64)
+        .into_iter()
+        .map(|x| x as u32)
+        .collect()
+}
+
+fn imm_steps_u8(v: u8) -> Vec<u8> {
+    imm_steps_u64(v as u64)
+        .into_iter()
+        .map(|x| x as u8)
+        .collect()
+}
+
+fn two(ctor: fn(Reg, Reg) -> Inst, d: Reg, a: Reg) -> Vec<Inst> {
+    [reg0(d).map(|z| ctor(z, a)), reg0(a).map(|z| ctor(d, z))]
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+fn three(ctor: fn(Reg, Reg, Reg) -> Inst, d: Reg, a: Reg, b: Reg) -> Vec<Inst> {
+    [
+        reg0(d).map(|z| ctor(z, a, b)),
+        reg0(a).map(|z| ctor(d, z, b)),
+        reg0(b).map(|z| ctor(d, a, z)),
+    ]
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+fn vtwo(ctor: fn(VReg, VReg) -> Inst, d: VReg, a: VReg) -> Vec<Inst> {
+    [vreg0(d).map(|z| ctor(z, a)), vreg0(a).map(|z| ctor(d, z))]
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+fn vthree(ctor: fn(VReg, VReg, VReg) -> Inst, d: VReg, a: VReg, b: VReg) -> Vec<Inst> {
+    [
+        vreg0(d).map(|z| ctor(z, a, b)),
+        vreg0(a).map(|z| ctor(d, z, b)),
+        vreg0(b).map(|z| ctor(d, a, z)),
+    ]
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Register/immediate offset memory ops (`Ld`, `St`, `Ldb`, `Stb`,
+/// shapewise also `Addi`).
+fn reg_reg_i64(ctor: fn(Reg, Reg, i64) -> Inst, d: Reg, a: Reg, imm: i64) -> Vec<Inst> {
+    let mut out: Vec<Inst> = imm_steps_i64(imm)
+        .into_iter()
+        .map(|i| ctor(d, a, i))
+        .collect();
+    out.extend(reg0(d).map(|z| ctor(z, a, imm)));
+    out.extend(reg0(a).map(|z| ctor(d, z, imm)));
+    out
+}
+
+/// One-operand-at-a-time simplifications of an instruction, simplest
+/// candidate first. Control-flow targets are deliberately left alone.
+fn operand_simplifications(inst: &Inst) -> Vec<Inst> {
+    use Inst::*;
+    match *inst {
+        Li(d, imm) => {
+            let mut out: Vec<Inst> = imm_steps_u64(imm).into_iter().map(|i| Li(d, i)).collect();
+            out.extend(reg0(d).map(|z| Li(z, imm)));
+            out
+        }
+        Mov(d, a) => two(Mov, d, a),
+        Add(d, a, b) => three(Add, d, a, b),
+        Addi(d, a, imm) => reg_reg_i64(Addi, d, a, imm),
+        Sub(d, a, b) => three(Sub, d, a, b),
+        And(d, a, b) => three(And, d, a, b),
+        Or(d, a, b) => three(Or, d, a, b),
+        Xor(d, a, b) => three(Xor, d, a, b),
+        Xori(d, a, imm) => {
+            let mut out: Vec<Inst> = imm_steps_u64(imm)
+                .into_iter()
+                .map(|i| Xori(d, a, i))
+                .collect();
+            out.extend(reg0(d).map(|z| Xori(z, a, imm)));
+            out.extend(reg0(a).map(|z| Xori(d, z, imm)));
+            out
+        }
+        Shl(d, a, b) => three(Shl, d, a, b),
+        Shr(d, a, b) => three(Shr, d, a, b),
+        Rotli(d, a, imm) => {
+            let mut out: Vec<Inst> = imm_steps_u32(imm)
+                .into_iter()
+                .map(|i| Rotli(d, a, i))
+                .collect();
+            out.extend(reg0(d).map(|z| Rotli(z, a, imm)));
+            out.extend(reg0(a).map(|z| Rotli(d, z, imm)));
+            out
+        }
+        CmpLt(d, a, b) => three(CmpLt, d, a, b),
+        CmpEq(d, a, b) => three(CmpEq, d, a, b),
+        Popcnt(d, a) => two(Popcnt, d, a),
+        Crc32b(d, a, b) => three(Crc32b, d, a, b),
+        Mul(d, a, b) => three(Mul, d, a, b),
+        Mulh(d, a, b) => three(Mulh, d, a, b),
+        Div(d, a, b) => three(Div, d, a, b),
+        Rem(d, a, b) => three(Rem, d, a, b),
+        Fadd(d, a, b) => three(Fadd, d, a, b),
+        Fsub(d, a, b) => three(Fsub, d, a, b),
+        Fmul(d, a, b) => three(Fmul, d, a, b),
+        Fdiv(d, a, b) => three(Fdiv, d, a, b),
+        Fma(d, a, b) => three(Fma, d, a, b),
+        Fsqrt(d, a) => two(Fsqrt, d, a),
+        Ld(d, a, imm) => reg_reg_i64(Ld, d, a, imm),
+        St(s, a, imm) => reg_reg_i64(St, s, a, imm),
+        Ldb(d, a, imm) => reg_reg_i64(Ldb, d, a, imm),
+        Stb(s, a, imm) => reg_reg_i64(Stb, s, a, imm),
+        Vadd(d, a, b) => vthree(Vadd, d, a, b),
+        Vxor(d, a, b) => vthree(Vxor, d, a, b),
+        Vmul(d, a, b) => vthree(Vmul, d, a, b),
+        Vins(v, r, lane) => {
+            let mut out: Vec<Inst> = imm_steps_u8(lane)
+                .into_iter()
+                .map(|l| Vins(v, r, l))
+                .collect();
+            out.extend(vreg0(v).map(|z| Vins(z, r, lane)));
+            out.extend(reg0(r).map(|z| Vins(v, z, lane)));
+            out
+        }
+        Vext(r, v, lane) => {
+            let mut out: Vec<Inst> = imm_steps_u8(lane)
+                .into_iter()
+                .map(|l| Vext(r, v, l))
+                .collect();
+            out.extend(reg0(r).map(|z| Vext(z, v, lane)));
+            out.extend(vreg0(v).map(|z| Vext(r, z, lane)));
+            out
+        }
+        Vld(v, a, imm) => {
+            let mut out: Vec<Inst> = imm_steps_i64(imm)
+                .into_iter()
+                .map(|i| Vld(v, a, i))
+                .collect();
+            out.extend(vreg0(v).map(|z| Vld(z, a, imm)));
+            out.extend(reg0(a).map(|z| Vld(v, z, imm)));
+            out
+        }
+        Vst(v, a, imm) => {
+            let mut out: Vec<Inst> = imm_steps_i64(imm)
+                .into_iter()
+                .map(|i| Vst(v, a, i))
+                .collect();
+            out.extend(vreg0(v).map(|z| Vst(z, a, imm)));
+            out.extend(reg0(a).map(|z| Vst(v, z, imm)));
+            out
+        }
+        MemCpy { dst, src, len } => [
+            reg0(dst).map(|z| MemCpy { dst: z, src, len }),
+            reg0(src).map(|z| MemCpy { dst, src: z, len }),
+            reg0(len).map(|z| MemCpy { dst, src, len: z }),
+        ]
+        .into_iter()
+        .flatten()
+        .collect(),
+        Cas {
+            rd,
+            addr,
+            expected,
+            new,
+        } => [
+            reg0(rd).map(|z| Cas {
+                rd: z,
+                addr,
+                expected,
+                new,
+            }),
+            reg0(addr).map(|z| Cas {
+                rd,
+                addr: z,
+                expected,
+                new,
+            }),
+            reg0(expected).map(|z| Cas {
+                rd,
+                addr,
+                expected: z,
+                new,
+            }),
+            reg0(new).map(|z| Cas {
+                rd,
+                addr,
+                expected,
+                new: z,
+            }),
+        ]
+        .into_iter()
+        .flatten()
+        .collect(),
+        Xadd(d, a, b) => three(Xadd, d, a, b),
+        AesEnc(d, k) => vtwo(AesEnc, d, k),
+        AesEncLast(d, k) => vtwo(AesEncLast, d, k),
+        AesDec(d, k) => vtwo(AesDec, d, k),
+        AesDecLast(d, k) => vtwo(AesDecLast, d, k),
+        // Branch/jump targets stay put; only their register operands
+        // simplify.
+        Jmp(_) => vec![],
+        Beq(a, b, t) => [reg0(a).map(|z| Beq(z, b, t)), reg0(b).map(|z| Beq(a, z, t))]
+            .into_iter()
+            .flatten()
+            .collect(),
+        Bne(a, b, t) => [reg0(a).map(|z| Bne(z, b, t)), reg0(b).map(|z| Bne(a, z, t))]
+            .into_iter()
+            .flatten()
+            .collect(),
+        Blt(a, b, t) => [reg0(a).map(|z| Blt(z, b, t)), reg0(b).map(|z| Blt(a, z, t))]
+            .into_iter()
+            .flatten()
+            .collect(),
+        Bnz(a, t) => reg0(a).map(|z| Bnz(z, t)).into_iter().collect(),
+        Out(a) => reg0(a).map(Out).into_iter().collect(),
+        Assert(a) => reg0(a).map(Assert).into_iter().collect(),
+        Fence | Halt | Nop => vec![],
     }
 }
 
@@ -130,6 +391,41 @@ pub fn minimize(
         }
     }
 
+    // Operand pass: drive the surviving instructions' immediates and
+    // registers toward zero while the witness keeps indicting. Each
+    // accepted candidate strictly shrinks an operand (magnitude halves or
+    // a register drops to zero), so the fixpoint terminates.
+    let mut improved = true;
+    while improved && calls < max_oracle_calls {
+        improved = false;
+        let mut i = 0;
+        while i < best.program.len() && calls < max_oracle_calls {
+            let mut simplified = false;
+            for inst in operand_simplifications(&best.program.insts[i]) {
+                if calls >= max_oracle_calls {
+                    break;
+                }
+                let mut insts = best.program.insts.clone();
+                insts[i] = inst;
+                let candidate = FuzzProgram {
+                    program: Program::new(insts),
+                    ..best.clone()
+                };
+                if still_indicts(&candidate, &mut calls) {
+                    best = candidate;
+                    improved = true;
+                    simplified = true;
+                    // Revisit the same slot: the simpler instruction may
+                    // have further steps down the ladder.
+                    break;
+                }
+            }
+            if !simplified {
+                i += 1;
+            }
+        }
+    }
+
     MinimizedWitness {
         program: best,
         original_len,
@@ -158,6 +454,83 @@ mod tests {
         assert_eq!(q.len(), 4);
         assert_eq!(q.insts[1], Inst::Bnz(Reg(1), 3));
         q.validate().unwrap();
+    }
+
+    /// Operand noise left in a program: total immediate magnitude plus the
+    /// count of non-zero register operands.
+    fn complexity(p: &Program) -> u128 {
+        let mut c: u128 = 0;
+        for inst in &p.insts {
+            match *inst {
+                Inst::Li(d, imm) => c += imm as u128 + (d.0 != 0) as u128,
+                Inst::Addi(d, a, imm) | Inst::Ld(d, a, imm) | Inst::St(d, a, imm) => {
+                    c += imm.unsigned_abs() as u128 + (d.0 != 0) as u128 + (a.0 != 0) as u128
+                }
+                Inst::Out(a) => c += (a.0 != 0) as u128,
+                _ => {}
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn operand_pass_drives_immediates_and_registers_toward_zero() {
+        // A load on a hot load/store corruptor indicts whatever the
+        // address or registers are, so everything incidental must
+        // canonicalize away: the structural pass cannot drop the load or
+        // the observing `Out`, and the operand pass should walk the
+        // immediates to 0 and the registers to x0.
+        let dcfg = DiffConfig::default();
+        let profile = library::loadstore_corruptor(1.0);
+        let noisy = FuzzProgram {
+            index: 0,
+            program: Program::new(vec![
+                Inst::Li(Reg(3), 123_456),
+                Inst::Ld(Reg(4), Reg(3), 72),
+                Inst::Out(Reg(4)),
+                Inst::Halt,
+            ]),
+            init_mem: Vec::new(),
+            mem_size: 1 << 20,
+            focus: [
+                mercurial_fault::FunctionalUnit::LoadStore,
+                mercurial_fault::FunctionalUnit::AddressGen,
+            ],
+        };
+        assert!(
+            run_differential(&noisy, &profile, 7, 0, &dcfg).indicts(),
+            "the handcrafted witness must indict before minimization"
+        );
+        let min = minimize(&noisy, &profile, 7, 0, &dcfg, 600);
+        assert!(
+            run_differential(&min.program, &profile, 7, 0, &dcfg).indicts(),
+            "minimized witness must still diverge"
+        );
+        let before = complexity(&noisy.program);
+        let after = complexity(&min.program.program);
+        assert!(
+            after < before,
+            "operand pass must shrink complexity ({before} -> {after})"
+        );
+        // The surviving load/Out pair has nothing incidental left.
+        assert_eq!(after, 0, "witness should be fully canonical: {min:?}");
+    }
+
+    #[test]
+    fn simplification_candidates_leave_control_flow_targets_alone() {
+        for c in operand_simplifications(&Inst::Beq(Reg(2), Reg(5), 9)) {
+            match c {
+                Inst::Beq(_, _, t) => assert_eq!(t, 9),
+                other => panic!("unexpected candidate {other:?}"),
+            }
+        }
+        assert!(operand_simplifications(&Inst::Jmp(3)).is_empty());
+        assert!(operand_simplifications(&Inst::Nop).is_empty());
+        // The immediate ladder is strictly decreasing.
+        assert_eq!(imm_steps_u64(0), Vec::<u64>::new());
+        assert_eq!(imm_steps_u64(1), vec![0]);
+        assert_eq!(imm_steps_u64(100), vec![0, 50]);
+        assert_eq!(imm_steps_i64(-9), vec![0, -4]);
     }
 
     #[test]

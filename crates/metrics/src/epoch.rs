@@ -1,0 +1,234 @@
+//! Per-epoch time series for the closed-loop pipeline.
+//!
+//! The open-loop pipeline only reports end-of-window aggregates; the
+//! closed-loop driver (§6.1 operationally: detect → quarantine →
+//! reschedule, every epoch) needs to show *when* capacity was surrendered
+//! and *when* corruption stopped. [`EpochSeries`] records one point per
+//! simulation epoch: schedulable capacity (with and without safe-task
+//! recovery), the corruption drawn during the epoch, and how many
+//! ground-truth mercurial cores were still in service.
+
+use serde::{Deserialize, Serialize};
+
+/// One epoch's worth of closed-loop telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochPoint {
+    /// Epoch index from the start of the window.
+    pub epoch: u32,
+    /// Fleet hour at the start of the epoch.
+    pub hour: f64,
+    /// Schedulable fraction of nominal capacity (quarantined and
+    /// confirmed cores removed).
+    pub capacity: f64,
+    /// Capacity counting the partial recovery from unit-aware safe-task
+    /// placement on confirmed cores (§6.1). Always ≥ `capacity`.
+    pub capacity_with_safetask: f64,
+    /// Corruption events drawn during this epoch (residual corrupt-ops).
+    pub corrupt_ops: u64,
+    /// Ground-truth mercurial cores still deployed and in service at the
+    /// start of the epoch.
+    pub active_mercurial: u64,
+}
+
+/// A closed-loop run's per-epoch telemetry, in epoch order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochSeries {
+    epoch_hours: f64,
+    points: Vec<EpochPoint>,
+}
+
+impl EpochSeries {
+    /// Creates an empty series with the given epoch length.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `epoch_hours` is positive and finite.
+    pub fn new(epoch_hours: f64) -> EpochSeries {
+        assert!(
+            epoch_hours > 0.0 && epoch_hours.is_finite(),
+            "epoch length must be positive and finite"
+        );
+        EpochSeries {
+            epoch_hours,
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends the next epoch's point (epoch index and hour are derived
+    /// from the current length).
+    pub fn push(
+        &mut self,
+        capacity: f64,
+        capacity_with_safetask: f64,
+        corrupt_ops: u64,
+        active_mercurial: u64,
+    ) {
+        let epoch = self.points.len() as u32;
+        self.points.push(EpochPoint {
+            epoch,
+            hour: epoch as f64 * self.epoch_hours,
+            capacity,
+            capacity_with_safetask,
+            corrupt_ops,
+            active_mercurial,
+        });
+    }
+
+    /// The epoch length in hours.
+    pub fn epoch_hours(&self) -> f64 {
+        self.epoch_hours
+    }
+
+    /// All points, in epoch order.
+    pub fn points(&self) -> &[EpochPoint] {
+        &self.points
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no epoch has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The lowest schedulable capacity over the window (the trough the
+    /// capacity planner must provision for).
+    pub fn min_capacity(&self) -> f64 {
+        self.points.iter().map(|p| p.capacity).fold(1.0, f64::min)
+    }
+
+    /// Total corruption drawn over the window (the residual the closed
+    /// loop is trying to shrink).
+    pub fn total_corrupt_ops(&self) -> u64 {
+        self.points.iter().map(|p| p.corrupt_ops).sum()
+    }
+
+    /// Corruption drawn at or after `hour` — the tail the loop failed to
+    /// prevent once detection had a chance to act.
+    pub fn corrupt_ops_from(&self, hour: f64) -> u64 {
+        self.points
+            .iter()
+            .filter(|p| p.hour >= hour)
+            .map(|p| p.corrupt_ops)
+            .sum()
+    }
+
+    /// Emits `epoch,hour,capacity,capacity_with_safetask,corrupt_ops,active_mercurial` CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "epoch,hour,capacity,capacity_with_safetask,corrupt_ops,active_mercurial\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.1},{:.8},{:.8},{},{}\n",
+                p.epoch,
+                p.hour,
+                p.capacity,
+                p.capacity_with_safetask,
+                p.corrupt_ops,
+                p.active_mercurial
+            ));
+        }
+        out
+    }
+
+    /// Renders an ASCII strip chart of capacity loss (1 − capacity, so a
+    /// flat baseline means nothing was quarantined) and residual
+    /// corruption, bucketed into at most `rows` rows.
+    pub fn render(&self, rows: usize) -> String {
+        if self.points.is_empty() {
+            return String::from("(empty epoch series)\n");
+        }
+        let rows = rows.max(1).min(self.points.len());
+        let per_row = self.points.len().div_ceil(rows);
+        let max_loss = self
+            .points
+            .iter()
+            .map(|p| 1.0 - p.capacity)
+            .fold(1e-12, f64::max);
+        let mut out = format!(
+            "closed-loop epochs (capacity trough {:.4}%, residual corrupt-ops {})\n",
+            100.0 * self.min_capacity(),
+            self.total_corrupt_ops()
+        );
+        for chunk in self.points.chunks(per_row) {
+            let loss = chunk.iter().map(|p| 1.0 - p.capacity).fold(0.0, f64::max);
+            let ops: u64 = chunk.iter().map(|p| p.corrupt_ops).sum();
+            let active = chunk.last().expect("non-empty chunk").active_mercurial;
+            let bar = "█".repeat(((loss / max_loss) * 30.0).round() as usize);
+            out.push_str(&format!(
+                "h{:>7.0} loss {:>8.5}% |{:<30}| ops {:>9}  active {}\n",
+                chunk[0].hour,
+                100.0 * loss,
+                bar,
+                ops,
+                active
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> EpochSeries {
+        let mut s = EpochSeries::new(73.0);
+        s.push(1.0, 1.0, 50, 4);
+        s.push(0.999, 0.9995, 30, 3);
+        s.push(0.998, 0.999, 0, 0);
+        s
+    }
+
+    #[test]
+    fn push_derives_epoch_and_hour() {
+        let s = series();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.points()[2].epoch, 2);
+        assert!((s.points()[2].hour - 146.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = series();
+        assert!((s.min_capacity() - 0.998).abs() < 1e-12);
+        assert_eq!(s.total_corrupt_ops(), 80);
+        assert_eq!(s.corrupt_ops_from(73.0), 30);
+        assert_eq!(s.corrupt_ops_from(1e9), 0);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_epoch() {
+        let s = series();
+        assert_eq!(s.to_csv().lines().count(), 4);
+        assert!(s.to_csv().starts_with("epoch,hour,"));
+    }
+
+    #[test]
+    fn render_buckets_to_requested_rows() {
+        let mut s = EpochSeries::new(73.0);
+        for i in 0..100 {
+            s.push(1.0 - i as f64 * 1e-5, 1.0, i, 1);
+        }
+        let chart = s.render(10);
+        assert_eq!(chart.lines().count(), 11); // header + 10 buckets
+        assert!(EpochSeries::new(73.0).render(5).contains("empty"));
+    }
+
+    #[test]
+    fn safetask_capacity_at_least_base() {
+        for p in series().points() {
+            assert!(p.capacity_with_safetask >= p.capacity);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length")]
+    fn zero_epoch_hours_panics() {
+        EpochSeries::new(0.0);
+    }
+}

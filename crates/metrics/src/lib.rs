@@ -22,16 +22,20 @@
 //!   probability ratio test, the optimal accept/indict rule for a
 //!   per-operation defect.
 //! * [`series`] — normalized time series, the form Figure 1 reports
-//!   ("normalized to an arbitrary baseline").
+//!   ("normalized to an arbitrary baseline");
+//! * [`epoch`] — per-epoch capacity / residual-corruption / active-core
+//!   telemetry for the closed-loop pipeline driver.
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod epoch;
 pub mod incidence;
 pub mod onset;
 pub mod rates;
 pub mod series;
 pub mod sprt;
 
+pub use epoch::{EpochPoint, EpochSeries};
 pub use incidence::{clopper_pearson, wilson_interval, IncidenceEstimate};
 pub use onset::{KaplanMeier, Observation};
 pub use rates::LogDecadeHistogram;

@@ -45,7 +45,7 @@ pub use forensics::{Divergence, DivergenceFinder};
 pub use reportsvc::{ReportService, SuspectVerdict};
 pub use scoreboard::{CoreScore, Scoreboard};
 pub use screeners::{
-    BurnIn, DetectionMethod, DetectionRecord, EraSchedule, OfflineScreener, OnlineScreener,
-    ScreeningEra, ScreeningStats,
+    BurnIn, BurnInCampaign, DetectionMethod, DetectionRecord, EraSchedule, OfflineCampaign,
+    OfflineScreener, OnlineCampaign, OnlineScreener, ScreeningEra, ScreeningStats,
 };
 pub use triage::{HumanTriage, TriageOutcome, TriageStats};

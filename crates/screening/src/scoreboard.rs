@@ -106,10 +106,22 @@ impl Scoreboard {
 
     /// Cores whose suspicion exceeds `threshold`, most suspicious first.
     pub fn suspects(&self, threshold: f64) -> Vec<&CoreScore> {
+        self.suspects_excluding(threshold, |_| false)
+    }
+
+    /// Like [`Scoreboard::suspects`], but skipping cores for which
+    /// `exclude` returns `true` (already detected, quarantined, or
+    /// previously triaged). Order is identical: most suspicious first,
+    /// ties by core.
+    pub fn suspects_excluding(
+        &self,
+        threshold: f64,
+        exclude: impl Fn(CoreUid) -> bool,
+    ) -> Vec<&CoreScore> {
         let mut out: Vec<&CoreScore> = self
             .scores
             .values()
-            .filter(|s| s.suspicion() >= threshold)
+            .filter(|s| s.suspicion() >= threshold && !exclude(s.core))
             .collect();
         out.sort_by(|a, b| {
             b.suspicion()
@@ -184,6 +196,26 @@ mod tests {
         let suspects = b.suspects(0.0);
         assert_eq!(suspects[0].core, strong);
         assert_eq!(b.suspects(0.9).len(), 1);
+    }
+
+    #[test]
+    fn suspects_excluding_preserves_order() {
+        let mut b = Scoreboard::new();
+        let a = CoreUid::new(1, 0, 0);
+        let c = CoreUid::new(2, 0, 0);
+        let d = CoreUid::new(3, 0, 0);
+        for core in [a, c, d] {
+            for i in 0..4 {
+                b.ingest(&sig(core, SignalKind::MachineCheckEvent, i as f64));
+            }
+        }
+        let all = b.suspects(0.5);
+        assert_eq!(all.len(), 3);
+        let filtered = b.suspects_excluding(0.5, |core| core == c);
+        assert_eq!(
+            filtered.iter().map(|s| s.core).collect::<Vec<_>>(),
+            vec![a, d]
+        );
     }
 
     #[test]

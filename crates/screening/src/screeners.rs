@@ -382,7 +382,23 @@ pub struct BurnIn {
 }
 
 impl BurnIn {
-    /// Runs burn-in for every machine at its deploy hour.
+    /// The burn-in screen for one machine at its deploy hour.
+    fn task_for(&self, topo: &FleetTopology, machine: u32, deploy_hour: f64) -> MachineTask {
+        let month = (deploy_hour / 730.0) as u32;
+        let mut era = self.schedule.era_at(month).clone();
+        era.ops_per_unit *= self.ops_multiplier.max(1);
+        MachineTask {
+            machine,
+            era,
+            points: sweep_points(topo, machine, true),
+            hour: deploy_hour,
+            test_id_base: 0xb1b1 ^ machine as u64,
+            drain_hours: 0.0,
+            method: DetectionMethod::BurnIn,
+        }
+    }
+
+    /// Runs burn-in for every machine at its deploy hour (machine order).
     pub fn run(
         &self,
         topo: &FleetTopology,
@@ -395,20 +411,7 @@ impl BurnIn {
         let tasks: Vec<MachineTask> = topo
             .machines()
             .iter()
-            .map(|m| {
-                let month = (m.deploy_hour / 730.0) as u32;
-                let mut era = self.schedule.era_at(month).clone();
-                era.ops_per_unit *= self.ops_multiplier.max(1);
-                MachineTask {
-                    machine: m.machine,
-                    era,
-                    points: sweep_points(topo, m.machine, true),
-                    hour: m.deploy_hour,
-                    test_id_base: 0xb1b1 ^ m.machine as u64,
-                    drain_hours: 0.0,
-                    method: DetectionMethod::BurnIn,
-                }
-            })
+            .map(|m| self.task_for(topo, m.machine, m.deploy_hour))
             .collect();
         run_machine_tasks(
             topo,
@@ -423,6 +426,91 @@ impl BurnIn {
             },
         );
         (records, stats)
+    }
+
+    /// Starts an incremental campaign over the rollout: machines are
+    /// screened as their deploy hour is reached, in `(deploy_hour,
+    /// machine)` order, via [`BurnInCampaign::step_until`].
+    pub fn campaign(&self, topo: &FleetTopology) -> BurnInCampaign {
+        let mut queue: Vec<(f64, u32)> = topo
+            .machines()
+            .iter()
+            .map(|m| (m.deploy_hour, m.machine))
+            .collect();
+        queue.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("deploy hours are finite")
+                .then(a.1.cmp(&b.1))
+        });
+        BurnInCampaign {
+            screener: self.clone(),
+            queue,
+            cursor: 0,
+            stats: ScreeningStats::default(),
+        }
+    }
+}
+
+/// Resumable burn-in cursor (see [`BurnIn::campaign`]).
+///
+/// Unlike the batch [`BurnIn::run`] — which screens in machine order with
+/// one frozen `detected` snapshot — the campaign screens machines in
+/// deploy-hour order and refreshes the snapshot every step, so it
+/// interleaves correctly with an epoch-stepped simulation.
+#[derive(Debug, Clone)]
+pub struct BurnInCampaign {
+    screener: BurnIn,
+    /// `(deploy_hour, machine)`, sorted ascending.
+    queue: Vec<(f64, u32)>,
+    cursor: usize,
+    stats: ScreeningStats,
+}
+
+impl BurnInCampaign {
+    /// Screens every machine whose deploy hour lies before `until_hour`
+    /// (exclusive) and has not been screened yet, skipping cores in
+    /// `detected`; returns the new detections.
+    pub fn step_until(
+        &mut self,
+        topo: &FleetTopology,
+        pop: &Population,
+        until_hour: f64,
+        detected: &mut HashSet<CoreUid>,
+        log: &mut SignalLog,
+    ) -> Vec<DetectionRecord> {
+        let due = self.queue[self.cursor..]
+            .iter()
+            .take_while(|(h, _)| *h < until_hour)
+            .count();
+        let tasks: Vec<MachineTask> = self.queue[self.cursor..self.cursor + due]
+            .iter()
+            .map(|&(hour, machine)| self.screener.task_for(topo, machine, hour))
+            .collect();
+        self.cursor += due;
+        let mut records = Vec::new();
+        run_machine_tasks(
+            topo,
+            pop,
+            &tasks,
+            self.screener.parallelism,
+            &mut ScreenSinks {
+                detected: &mut *detected,
+                log: &mut *log,
+                records: &mut records,
+                stats: &mut self.stats,
+            },
+        );
+        records
+    }
+
+    /// The deploy hour of the next unscreened machine, if any remain.
+    pub fn next_hour(&self) -> Option<f64> {
+        self.queue.get(self.cursor).map(|&(h, _)| h)
+    }
+
+    /// Cumulative campaign accounting.
+    pub fn stats(&self) -> ScreeningStats {
+        self.stats
     }
 }
 
@@ -456,6 +544,34 @@ impl Default for OfflineScreener {
 }
 
 impl OfflineScreener {
+    /// One sweep's per-machine tasks (the rotating fleet subset deployed
+    /// at `hour`).
+    fn sweep_tasks(&self, topo: &FleetTopology, hour: f64, sweep_idx: u64) -> Vec<MachineTask> {
+        let n_machines = topo.machines().len() as u64;
+        // Clamped so a sweep never visits a machine twice (a duplicate
+        // would see a stale detected-snapshot under the parallel fan-out).
+        let per_sweep = ((n_machines as f64 * self.fraction_per_sweep).ceil() as u64)
+            .max(1)
+            .min(n_machines);
+        let month = (hour / 730.0) as u32;
+        let era = self.schedule.era_at(month);
+        // Rotate deterministically through the fleet.
+        let start = (sweep_idx * per_sweep) % n_machines;
+        (0..per_sweep)
+            .map(|k| ((start + k) % n_machines) as u32)
+            .filter(|&machine| topo.is_deployed(machine, hour))
+            .map(|machine| MachineTask {
+                machine,
+                era: era.clone(),
+                points: sweep_points(topo, machine, era.sweep_points),
+                hour,
+                test_id_base: 0x0ff1 ^ sweep_idx.wrapping_mul(65_537),
+                drain_hours: self.drain_hours_per_machine,
+                method: DetectionMethod::Offline,
+            })
+            .collect()
+    }
+
     /// Runs the campaign over `months`, skipping cores already in
     /// `detected`; emits `ScreenerFailure` signals into `log`.
     pub fn run(
@@ -466,51 +582,77 @@ impl OfflineScreener {
         detected: &mut HashSet<CoreUid>,
         log: &mut SignalLog,
     ) -> (Vec<DetectionRecord>, ScreeningStats) {
-        let mut stats = ScreeningStats::default();
+        let mut campaign = self.campaign(months);
+        let records = campaign.step_until(topo, pop, f64::INFINITY, detected, log);
+        (records, campaign.stats())
+    }
+
+    /// Starts an incremental campaign over `months`; sweeps fire as
+    /// simulated time passes them via [`OfflineCampaign::step_until`].
+    pub fn campaign(&self, months: u32) -> OfflineCampaign {
+        OfflineCampaign {
+            screener: self.clone(),
+            total_hours: months as f64 * 730.0,
+            sweep_idx: 0,
+            next_hour: self.interval_hours,
+            stats: ScreeningStats::default(),
+        }
+    }
+}
+
+/// Resumable offline-sweep cursor (see [`OfflineScreener::campaign`]).
+#[derive(Debug, Clone)]
+pub struct OfflineCampaign {
+    screener: OfflineScreener,
+    total_hours: f64,
+    sweep_idx: u64,
+    next_hour: f64,
+    stats: ScreeningStats,
+}
+
+impl OfflineCampaign {
+    /// Runs every sweep scheduled before `until_hour` (exclusive, and
+    /// never past the campaign window), skipping cores in `detected`;
+    /// returns the new detections.
+    pub fn step_until(
+        &mut self,
+        topo: &FleetTopology,
+        pop: &Population,
+        until_hour: f64,
+        detected: &mut HashSet<CoreUid>,
+        log: &mut SignalLog,
+    ) -> Vec<DetectionRecord> {
         let mut records = Vec::new();
-        let total_hours = months as f64 * 730.0;
-        let n_machines = topo.machines().len() as u64;
-        // Clamped so a sweep never visits a machine twice (a duplicate
-        // would see a stale detected-snapshot under the parallel fan-out).
-        let per_sweep = ((n_machines as f64 * self.fraction_per_sweep).ceil() as u64)
-            .max(1)
-            .min(n_machines);
-        let mut sweep_idx = 0u64;
-        let mut hour = self.interval_hours;
-        while hour < total_hours {
-            let month = (hour / 730.0) as u32;
-            let era = self.schedule.era_at(month);
-            // Rotate deterministically through the fleet.
-            let start = (sweep_idx * per_sweep) % n_machines;
-            let tasks: Vec<MachineTask> = (0..per_sweep)
-                .map(|k| ((start + k) % n_machines) as u32)
-                .filter(|&machine| topo.is_deployed(machine, hour))
-                .map(|machine| MachineTask {
-                    machine,
-                    era: era.clone(),
-                    points: sweep_points(topo, machine, era.sweep_points),
-                    hour,
-                    test_id_base: 0x0ff1 ^ sweep_idx.wrapping_mul(65_537),
-                    drain_hours: self.drain_hours_per_machine,
-                    method: DetectionMethod::Offline,
-                })
-                .collect();
+        while self.next_hour < self.total_hours && self.next_hour < until_hour {
+            let tasks = self
+                .screener
+                .sweep_tasks(topo, self.next_hour, self.sweep_idx);
             run_machine_tasks(
                 topo,
                 pop,
                 &tasks,
-                self.parallelism,
+                self.screener.parallelism,
                 &mut ScreenSinks {
                     detected: &mut *detected,
                     log: &mut *log,
                     records: &mut records,
-                    stats: &mut stats,
+                    stats: &mut self.stats,
                 },
             );
-            sweep_idx += 1;
-            hour += self.interval_hours;
+            self.sweep_idx += 1;
+            self.next_hour += self.screener.interval_hours;
         }
-        (records, stats)
+        records
+    }
+
+    /// The hour of the next sweep, if any remain in the window.
+    pub fn next_hour(&self) -> Option<f64> {
+        (self.next_hour < self.total_hours).then_some(self.next_hour)
+    }
+
+    /// Cumulative campaign accounting.
+    pub fn stats(&self) -> ScreeningStats {
+        self.stats
     }
 }
 
@@ -541,6 +683,27 @@ impl Default for OnlineScreener {
 }
 
 impl OnlineScreener {
+    /// One pass's per-machine tasks (every machine deployed at `hour`,
+    /// with the era's op budget scaled to spare cycles).
+    fn pass_tasks(&self, topo: &FleetTopology, hour: f64, pass: u64) -> Vec<MachineTask> {
+        let month = (hour / 730.0) as u32;
+        let mut era = self.schedule.era_at(month).clone();
+        era.ops_per_unit = ((era.ops_per_unit as f64 * self.ops_fraction).ceil() as u64).max(1);
+        topo.machines()
+            .iter()
+            .filter(|m| topo.is_deployed(m.machine, hour))
+            .map(|m| MachineTask {
+                machine: m.machine,
+                era: era.clone(),
+                points: sweep_points(topo, m.machine, false),
+                hour,
+                test_id_base: 0x0a11 ^ pass.wrapping_mul(2_654_435_761),
+                drain_hours: 0.0,
+                method: DetectionMethod::Online,
+            })
+            .collect()
+    }
+
     /// Runs the campaign over `months`.
     pub fn run(
         &self,
@@ -550,45 +713,75 @@ impl OnlineScreener {
         detected: &mut HashSet<CoreUid>,
         log: &mut SignalLog,
     ) -> (Vec<DetectionRecord>, ScreeningStats) {
-        let mut stats = ScreeningStats::default();
+        let mut campaign = self.campaign(months);
+        let records = campaign.step_until(topo, pop, f64::INFINITY, detected, log);
+        (records, campaign.stats())
+    }
+
+    /// Starts an incremental campaign over `months`; passes fire as
+    /// simulated time passes them via [`OnlineCampaign::step_until`].
+    pub fn campaign(&self, months: u32) -> OnlineCampaign {
+        OnlineCampaign {
+            screener: self.clone(),
+            total_hours: months as f64 * 730.0,
+            pass: 0,
+            next_hour: self.interval_hours,
+            stats: ScreeningStats::default(),
+        }
+    }
+}
+
+/// Resumable online-pass cursor (see [`OnlineScreener::campaign`]).
+#[derive(Debug, Clone)]
+pub struct OnlineCampaign {
+    screener: OnlineScreener,
+    total_hours: f64,
+    pass: u64,
+    next_hour: f64,
+    stats: ScreeningStats,
+}
+
+impl OnlineCampaign {
+    /// Runs every pass scheduled before `until_hour` (exclusive, and
+    /// never past the campaign window), skipping cores in `detected`;
+    /// returns the new detections.
+    pub fn step_until(
+        &mut self,
+        topo: &FleetTopology,
+        pop: &Population,
+        until_hour: f64,
+        detected: &mut HashSet<CoreUid>,
+        log: &mut SignalLog,
+    ) -> Vec<DetectionRecord> {
         let mut records = Vec::new();
-        let total_hours = months as f64 * 730.0;
-        let mut pass = 0u64;
-        let mut hour = self.interval_hours;
-        while hour < total_hours {
-            let month = (hour / 730.0) as u32;
-            let mut era = self.schedule.era_at(month).clone();
-            era.ops_per_unit = ((era.ops_per_unit as f64 * self.ops_fraction).ceil() as u64).max(1);
-            let tasks: Vec<MachineTask> = topo
-                .machines()
-                .iter()
-                .filter(|m| topo.is_deployed(m.machine, hour))
-                .map(|m| MachineTask {
-                    machine: m.machine,
-                    era: era.clone(),
-                    points: sweep_points(topo, m.machine, false),
-                    hour,
-                    test_id_base: 0x0a11 ^ pass.wrapping_mul(2_654_435_761),
-                    drain_hours: 0.0,
-                    method: DetectionMethod::Online,
-                })
-                .collect();
+        while self.next_hour < self.total_hours && self.next_hour < until_hour {
+            let tasks = self.screener.pass_tasks(topo, self.next_hour, self.pass);
             run_machine_tasks(
                 topo,
                 pop,
                 &tasks,
-                self.parallelism,
+                self.screener.parallelism,
                 &mut ScreenSinks {
                     detected: &mut *detected,
                     log: &mut *log,
                     records: &mut records,
-                    stats: &mut stats,
+                    stats: &mut self.stats,
                 },
             );
-            pass += 1;
-            hour += self.interval_hours;
+            self.pass += 1;
+            self.next_hour += self.screener.interval_hours;
         }
-        (records, stats)
+        records
+    }
+
+    /// The hour of the next pass, if any remain in the window.
+    pub fn next_hour(&self) -> Option<f64> {
+        (self.next_hour < self.total_hours).then_some(self.next_hour)
+    }
+
+    /// Cumulative campaign accounting.
+    pub fn stats(&self) -> ScreeningStats {
+        self.stats
     }
 }
 
@@ -867,6 +1060,125 @@ mod tests {
             assert_eq!(det, det1, "detected set diverges at {threads} threads");
             assert_eq!(log.all(), log1.all(), "logs diverge at {threads} threads");
         }
+    }
+
+    #[test]
+    fn stepped_campaigns_match_batch_runs() {
+        // Offline/online: stepping in arbitrary hour increments must
+        // reproduce the batch run bit-for-bit (same sweeps, same order).
+        let topo = topo(24, 39);
+        let defects = vec![
+            hot_core(2),
+            hot_core(17),
+            (
+                CoreUid::new(5, 0, 1),
+                library::late_onset_muldiv(1.5 * 730.0, 1e-3),
+            ),
+        ];
+        let pop = Population::with_explicit(39, defects);
+        let months = 18u32;
+        let offline = OfflineScreener {
+            fraction_per_sweep: 0.5,
+            ..OfflineScreener::default()
+        };
+        let online = OnlineScreener::default();
+
+        let mut batch_detected = HashSet::new();
+        let mut batch_log = SignalLog::new();
+        let (batch_off, batch_off_stats) =
+            offline.run(&topo, &pop, months, &mut batch_detected, &mut batch_log);
+        let (batch_on, batch_on_stats) =
+            online.run(&topo, &pop, months, &mut batch_detected, &mut batch_log);
+
+        for step_hours in [73.0, 311.0] {
+            let mut detected = HashSet::new();
+            let mut log = SignalLog::new();
+            let mut off_campaign = offline.campaign(months);
+            let mut on_campaign = online.campaign(months);
+            let mut off_records = Vec::new();
+            let mut on_records = Vec::new();
+            // Phase-major like the batch: offline first, then online.
+            let mut until = step_hours;
+            while off_campaign.next_hour().is_some() {
+                off_records.extend(off_campaign.step_until(
+                    &topo,
+                    &pop,
+                    until,
+                    &mut detected,
+                    &mut log,
+                ));
+                until += step_hours;
+            }
+            let mut until = step_hours;
+            while on_campaign.next_hour().is_some() {
+                on_records.extend(on_campaign.step_until(
+                    &topo,
+                    &pop,
+                    until,
+                    &mut detected,
+                    &mut log,
+                ));
+                until += step_hours;
+            }
+            assert_eq!(
+                off_records, batch_off,
+                "offline diverges at {step_hours}h steps"
+            );
+            assert_eq!(
+                on_records, batch_on,
+                "online diverges at {step_hours}h steps"
+            );
+            assert_eq!(off_campaign.stats(), batch_off_stats);
+            assert_eq!(on_campaign.stats(), batch_on_stats);
+            assert_eq!(log.all(), batch_log.all());
+        }
+    }
+
+    #[test]
+    fn burnin_campaign_screens_in_deploy_order() {
+        let topo = topo(20, 31);
+        let pop = Population::with_explicit(31, vec![hot_core(4), hot_core(11)]);
+        let burnin = BurnIn {
+            schedule: EraSchedule::default_history(),
+            ops_multiplier: 10,
+            parallelism: 1,
+        };
+        let mut batch_detected = HashSet::new();
+        let mut batch_log = SignalLog::new();
+        let (batch_records, batch_stats) =
+            burnin.run(&topo, &pop, &mut batch_detected, &mut batch_log);
+
+        let mut campaign = burnin.campaign(&topo);
+        let mut detected = HashSet::new();
+        let mut log = SignalLog::new();
+        let mut records = Vec::new();
+        let mut until = 100.0;
+        let mut last_hour = f64::NEG_INFINITY;
+        while campaign.next_hour().is_some() {
+            for r in campaign.step_until(&topo, &pop, until, &mut detected, &mut log) {
+                assert!(r.hour >= last_hour, "deploy-hour order violated");
+                last_hour = r.hour;
+                records.push(r);
+            }
+            until += 100.0;
+        }
+        // Same detections and cost as the batch, ordered by deploy hour.
+        assert_eq!(campaign.stats(), batch_stats);
+        assert_eq!(detected, batch_detected);
+        let mut batch_sorted = batch_records;
+        batch_sorted.sort_by(|a, b| {
+            a.hour
+                .partial_cmp(&b.hour)
+                .expect("finite hours")
+                .then(a.core.as_u64().cmp(&b.core.as_u64()))
+        });
+        records.sort_by(|a, b| {
+            a.hour
+                .partial_cmp(&b.hour)
+                .expect("finite hours")
+                .then(a.core.as_u64().cmp(&b.core.as_u64()))
+        });
+        assert_eq!(records, batch_sorted);
     }
 
     #[test]

@@ -134,6 +134,27 @@ pub fn field<T: Deserialize>(
     T::from_value(value).map_err(|e| DeError(format!("field `{key}` of {context}: {}", e.0)))
 }
 
+/// Fetches and deserializes an optional object field (used by derived
+/// `Deserialize` impls for `#[serde(default)]` fields): a missing key
+/// yields `Ok(None)` so the caller can substitute its default.
+///
+/// # Errors
+///
+/// Returns an error only if the key is present but its value fails to
+/// parse.
+pub fn opt_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    key: &str,
+    context: &str,
+) -> Result<Option<T>, DeError> {
+    match entries.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, value)) => T::from_value(value)
+            .map(Some)
+            .map_err(|e| DeError(format!("field `{key}` of {context}: {}", e.0))),
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

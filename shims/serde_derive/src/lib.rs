@@ -2,18 +2,29 @@
 //!
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
 //! shapes this workspace actually uses — non-generic structs (named,
-//! tuple, unit) and enums (unit, tuple, and struct variants) without
-//! `#[serde(...)]` attributes — using only the compiler-provided
-//! `proc_macro` API. The generated code targets the value-tree model of
-//! the sibling `serde` shim and follows serde's standard data model, so
-//! JSON produced by the real serde_json (e.g. `scenarios/paper.json`)
-//! parses unchanged.
+//! tuple, unit) and enums (unit, tuple, and struct variants) — using only
+//! the compiler-provided `proc_macro` API. Named-struct fields honour
+//! `#[serde(default)]` and `#[serde(default = "path")]`: a missing key
+//! falls back to `Default::default()` or the named constructor instead of
+//! erroring, matching real serde's behaviour. The generated code targets
+//! the value-tree model of the sibling `serde` shim and follows serde's
+//! standard data model, so JSON produced by the real serde_json (e.g.
+//! `scenarios/paper.json`) parses unchanged.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// One parsed field: `(name_or_index, type_text)`.
+/// How a missing field is filled in during deserialization.
+enum FieldDefault {
+    /// `#[serde(default)]` — `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+/// One parsed named field and its `#[serde(default)]` marker, if any.
 struct Field {
     name: String,
+    default: Option<FieldDefault>,
 }
 
 enum Shape {
@@ -44,7 +55,7 @@ struct Item {
 }
 
 /// Derives the shim `serde::Serialize` trait.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
@@ -53,7 +64,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the shim `serde::Deserialize` trait.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen_deserialize(&item)
@@ -180,14 +191,82 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             continue;
         }
         let mut i = 0;
-        skip_attributes_and_visibility(&part, &mut i)?;
+        let default = parse_field_attributes(&part, &mut i)?;
         let name = match part.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             other => return Err(format!("expected field name, got {other:?}")),
         };
-        fields.push(Field { name });
+        fields.push(Field { name, default });
     }
     Ok(fields)
+}
+
+/// Advances `i` past field attributes and visibility, extracting a
+/// `#[serde(default)]` / `#[serde(default = "path")]` marker if present.
+fn parse_field_attributes(
+    tokens: &[TokenTree],
+    i: &mut usize,
+) -> Result<Option<FieldDefault>, String> {
+    let mut default = None;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if let Some(d) = parse_serde_default(g.stream())? {
+                            default = Some(d);
+                        }
+                        *i += 1;
+                    }
+                    other => return Err(format!("malformed attribute: {other:?}")),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `(crate)` etc.
+                    }
+                }
+            }
+            _ => return Ok(default),
+        }
+    }
+}
+
+/// Inspects one attribute body (the tokens inside `#[...]`). Returns the
+/// default marker if the attribute is `serde(default)` or
+/// `serde(default = "path")`; other attributes yield `None`.
+fn parse_serde_default(stream: TokenStream) -> Result<Option<FieldDefault>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(None),
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return Ok(None);
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    match args.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        other => return Err(format!("unsupported serde attribute: {other:?}")),
+    }
+    match args.get(1) {
+        None => Ok(Some(FieldDefault::Trait)),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => match args.get(2) {
+            Some(TokenTree::Literal(lit)) => {
+                let text = lit.to_string();
+                let path = text
+                    .strip_prefix('"')
+                    .and_then(|t| t.strip_suffix('"'))
+                    .ok_or_else(|| format!("serde(default = ...) expects a string, got {text}"))?;
+                Ok(Some(FieldDefault::Path(path.to_string())))
+            }
+            other => Err(format!("malformed serde(default = ...): {other:?}")),
+        },
+        other => Err(format!("unsupported serde(default) form: {other:?}")),
+    }
 }
 
 fn count_tuple_fields(stream: TokenStream) -> usize {
@@ -320,12 +399,7 @@ fn gen_deserialize(item: &Item) -> String {
         Shape::NamedStruct(fields) => {
             let inits: String = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{n}: ::serde::field(entries, {n:?}, {name:?})?,",
-                        n = f.name
-                    )
-                })
+                .map(|f| field_init(f, "entries", name))
                 .collect();
             format!(
                 "let entries = v.as_object().ok_or_else(|| \
@@ -360,6 +434,27 @@ fn gen_deserialize(item: &Item) -> String {
                ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
          }}"
     )
+}
+
+/// Generates one `field_name: <expr>,` initializer for a derived
+/// `from_value`, honouring the field's `#[serde(default)]` marker.
+fn field_init(f: &Field, entries_var: &str, context: &str) -> String {
+    let n = &f.name;
+    match &f.default {
+        None => format!("{n}: ::serde::field({entries_var}, {n:?}, {context:?})?,"),
+        Some(FieldDefault::Trait) => format!(
+            "{n}: match ::serde::opt_field({entries_var}, {n:?}, {context:?})? {{\n\
+               ::std::option::Option::Some(v) => v,\n\
+               ::std::option::Option::None => ::std::default::Default::default(),\n\
+             }},"
+        ),
+        Some(FieldDefault::Path(path)) => format!(
+            "{n}: match ::serde::opt_field({entries_var}, {n:?}, {context:?})? {{\n\
+               ::std::option::Option::Some(v) => v,\n\
+               ::std::option::Option::None => {path}(),\n\
+             }},"
+        ),
+    }
 }
 
 fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
@@ -422,10 +517,7 @@ fn gen_deserialize_variant_arm(name: &str, v: &Variant) -> String {
             )
         }
         VariantKind::Named(fields) => {
-            let inits: String = fields
-                .iter()
-                .map(|f| format!("{n}: ::serde::field(inner, {n:?}, {vn:?})?,", n = f.name))
-                .collect();
+            let inits: String = fields.iter().map(|f| field_init(f, "inner", vn)).collect();
             format!(
                 "{vn:?} => {{\n\
                    let inner = payload.as_object().ok_or_else(|| \

@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke
+.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke
 
-ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke
+ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke
 
 build:
 	$(CARGO) build --release
@@ -41,3 +41,10 @@ fuzz-smoke:
 # loop and that outcomes are identical at 1/2/8 worker threads.
 e15-smoke:
 	$(CARGO) run --release -p mercurial-bench --bin e15_closed_loop -- --smoke
+
+# Tracing contracts (demo scale, fixed seed): asserts the JSONL trace is
+# byte-identical at 1/2/8 worker threads, the Chrome export is valid
+# JSON with balanced span pairs, and the incident timeline shows a full
+# onset -> signal -> quarantine -> confirm story.
+trace-smoke:
+	$(CARGO) run --release -p mercurial-bench --bin e16_trace_overhead -- --smoke

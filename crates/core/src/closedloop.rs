@@ -42,7 +42,24 @@ use mercurial_screening::{
     BurnIn, DetectionMethod, DetectionRecord, HumanTriage, OfflineScreener, OnlineScreener,
     Scoreboard, TriageOutcome, TriageStats,
 };
+use mercurial_trace::Recorder;
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Emits one `gt.onset` instant per mercurial core at the hour its defect
+/// can first manifest (deploy + earliest onset), in population (sorted
+/// `CoreUid`) order — the ground-truth anchor of the incident timeline.
+fn record_ground_truth_onsets(experiment: &FleetExperiment, rec: &mut Recorder) {
+    if !rec.enabled() {
+        return;
+    }
+    let topo = experiment.topology();
+    for core in experiment.population().mercurial_cores() {
+        let deploy = topo.machines()[core.uid.machine as usize].deploy_hour;
+        let onset = deploy + core.profile.earliest_onset_hours().max(0.0);
+        rec.instant(onset, "gt.onset", Some(core.uid.as_u64()), 0.0);
+    }
+    rec.counter_add("gt.mercurial_cores", experiment.population().count() as u64);
+}
 
 /// Everything a closed-loop run produced: the familiar end-of-window
 /// aggregates plus the per-epoch time series.
@@ -55,6 +72,8 @@ pub struct ClosedLoopOutcome {
     pub epochs: u32,
     /// Epoch length in hours.
     pub epoch_hours: f64,
+    /// Structured trace of the run (empty unless `scenario.trace.enabled`).
+    pub trace: mercurial_trace::Trace,
 }
 
 /// A pending deep-check case (FIFO; the triage team is a bounded queue).
@@ -157,18 +176,17 @@ impl ClosedLoopDriver {
         let mut log = SignalLog::new();
         let mut summary = SimSummary::default();
         let mut series = EpochSeries::new(epoch_hours);
+        let mut rec = scenario.trace.recorder();
+        record_ground_truth_onsets(experiment, &mut rec);
         while !state.is_done() {
             let h0 = state.hour();
             let before = summary.corruptions;
-            sim.step_epoch(&mut state, &mut log, &mut summary);
+            sim.step_epoch_traced(&mut state, &mut log, &mut summary, &mut rec);
             // Open loop: nothing is ever quarantined mid-window, so
             // capacity is flat at 1.0 and every defect stays active.
-            series.push(
-                1.0,
-                1.0,
-                summary.corruptions - before,
-                state.active_deployed_mercurial(topo, h0),
-            );
+            let active = state.active_deployed_mercurial(topo, h0);
+            rec.gauge(h0 + epoch_hours, "fleet.active_mercurial", active as f64);
+            series.push(1.0, 1.0, summary.corruptions - before, active);
         }
         log.sort_by_time();
         let pipeline = PipelineRun::complete_from_signals(scenario, experiment, log, summary);
@@ -177,6 +195,7 @@ impl ClosedLoopDriver {
             series,
             epochs,
             epoch_hours,
+            trace: rec.finish(),
         }
     }
 
@@ -251,9 +270,13 @@ impl ClosedLoopDriver {
         let mut restores: Vec<PendingRestore> = Vec::new();
         let mut exonerated_innocents = 0usize;
 
+        let mut rec = scenario.trace.recorder();
+        record_ground_truth_onsets(experiment, &mut rec);
+
         while !state.is_done() {
             let h0 = state.hour();
             let h1 = h0 + epoch_hours;
+            rec.begin(h0, "loop.epoch");
 
             // 1. Restorations whose repair latency has elapsed re-enter
             //    service at the epoch boundary.
@@ -266,9 +289,9 @@ impl ClosedLoopDriver {
             };
             for r in due {
                 registry
-                    .restore(r.core, r.restore_hour, "repair latency elapsed")
+                    .restore_traced(r.core, r.restore_hour, "repair latency elapsed", &mut rec)
                     .expect("exonerated core can restore");
-                ledger.restore_core(r.core);
+                ledger.restore_core_traced(r.core, r.restore_hour, &mut rec);
                 out_of_service.remove(&r.core);
                 state.set_active(r.core, true);
             }
@@ -288,8 +311,14 @@ impl ClosedLoopDriver {
                             triage_stats.confirmed_true += 1;
                         }
                         registry
-                            .confirm(case.core, verdict_hour, "deep check confession")
+                            .confirm_traced(
+                                case.core,
+                                verdict_hour,
+                                "deep check confession",
+                                &mut rec,
+                            )
                             .expect("quarantined core can confirm");
+                        rec.instant(verdict_hour, "detect.triage", Some(case.core.as_u64()), 0.0);
                         recovered_cores += safe_task_share(&safe_policy, &task_mix, pop, case.core);
                         detections.push(DetectionRecord {
                             core: case.core,
@@ -303,7 +332,12 @@ impl ClosedLoopDriver {
                             triage_stats.missed_true += 1;
                         }
                         registry
-                            .exonerate(case.core, verdict_hour, "nothing reproduced")
+                            .exonerate_traced(
+                                case.core,
+                                verdict_hour,
+                                "nothing reproduced",
+                                &mut rec,
+                            )
                             .expect("quarantined core can exonerate");
                         if !pop.is_mercurial(case.core) {
                             exonerated_innocents += 1;
@@ -321,34 +355,51 @@ impl ClosedLoopDriver {
             //    controlled test failed), so the core is confirmed and
             //    leaves service immediately.
             let mut screened = Vec::new();
-            screened.extend(burnin_campaign.step_until(
+            screened.extend(burnin_campaign.step_until_traced(
                 topo,
                 pop,
                 h1,
                 &mut out_of_service,
                 &mut log,
+                &mut rec,
             ));
-            screened.extend(offline_campaign.step_until(
+            screened.extend(offline_campaign.step_until_traced(
                 topo,
                 pop,
                 h1,
                 &mut out_of_service,
                 &mut log,
+                &mut rec,
             ));
-            screened.extend(online_campaign.step_until(
+            screened.extend(online_campaign.step_until_traced(
                 topo,
                 pop,
                 h1,
                 &mut out_of_service,
                 &mut log,
+                &mut rec,
             ));
             for d in screened {
                 registry
-                    .mark_suspect(d.core, d.hour, "screener failure")
-                    .and_then(|()| registry.quarantine(d.core, d.hour, "controlled test failed"))
-                    .and_then(|()| registry.confirm(d.core, d.hour, "screen reproduced defect"))
+                    .mark_suspect_traced(d.core, d.hour, "screener failure", &mut rec)
+                    .and_then(|()| {
+                        registry.quarantine_traced(
+                            d.core,
+                            d.hour,
+                            "controlled test failed",
+                            &mut rec,
+                        )
+                    })
+                    .and_then(|()| {
+                        registry.confirm_traced(
+                            d.core,
+                            d.hour,
+                            "screen reproduced defect",
+                            &mut rec,
+                        )
+                    })
                     .expect("in-service core walks the legal path");
-                ledger.remove_core(d.core);
+                ledger.remove_core_traced(d.core, d.hour, &mut rec);
                 recovered_cores += safe_task_share(&safe_policy, &task_mix, pop, d.core);
                 state.set_active(d.core, false);
                 detections.push(d);
@@ -357,7 +408,7 @@ impl ClosedLoopDriver {
             // 4. One epoch of workload simulation, masked cores silent.
             let before_corruptions = summary.corruptions;
             let mut epoch_log = SignalLog::new();
-            sim.step_epoch(&mut state, &mut epoch_log, &mut summary);
+            sim.step_epoch_traced(&mut state, &mut epoch_log, &mut summary, &mut rec);
             // Withdraw signals attributed to out-of-service cores (the
             // noise layer attributes background events to random cores; a
             // drained core files no reports).
@@ -366,7 +417,7 @@ impl ClosedLoopDriver {
             summary.noise_signals -= dropped as u64;
 
             // 5. Suspicion accumulates from this epoch's surviving signals.
-            scoreboard.ingest_all(epoch_log.all().iter());
+            scoreboard.ingest_all_traced(epoch_log.all().iter(), &mut rec);
             log.append(epoch_log);
 
             // 6. New threshold crossings are quarantined and queued for a
@@ -380,10 +431,12 @@ impl ClosedLoopDriver {
                 .collect();
             for (core, hour) in crossings {
                 registry
-                    .mark_suspect(core, hour, "signal concentration")
-                    .and_then(|()| registry.quarantine(core, hour, "suspicion threshold"))
+                    .mark_suspect_traced(core, hour, "signal concentration", &mut rec)
+                    .and_then(|()| {
+                        registry.quarantine_traced(core, hour, "suspicion threshold", &mut rec)
+                    })
                     .expect("in-service core walks the legal path");
-                ledger.remove_core(core);
+                ledger.remove_core_traced(core, hour, &mut rec);
                 out_of_service.insert(core);
                 handled.insert(core);
                 state.set_active(core, false);
@@ -401,12 +454,17 @@ impl ClosedLoopDriver {
             } else {
                 (pool.effective_cores as f64 + recovered_cores) / pool.nominal_cores as f64
             };
+            let active = state.active_deployed_mercurial(topo, h0);
+            rec.gauge(h1, "capacity.availability", base);
+            rec.gauge(h1, "capacity.with_safetask", with_safetask);
+            rec.gauge(h1, "fleet.active_mercurial", active as f64);
             series.push(
                 base,
                 with_safetask,
                 summary.corruptions - before_corruptions,
-                state.active_deployed_mercurial(topo, h0),
+                active,
             );
+            rec.end(h1, "loop.epoch");
         }
 
         // Final assembly. User-report escalations drawn while a core was
@@ -449,7 +507,9 @@ impl ClosedLoopDriver {
             if let Some(profile) = pop.profile_of(d.core) {
                 let deploy = topo.machines()[d.core.machine as usize].deploy_hour;
                 let active_from = deploy + profile.earliest_onset_hours().max(0.0);
-                detection_latency_hours.push((d.hour - active_from).max(0.0));
+                let latency = (d.hour - active_from).max(0.0);
+                rec.observe("detect.latency_hours", latency);
+                detection_latency_hours.push(latency);
             }
         }
 
@@ -473,6 +533,7 @@ impl ClosedLoopDriver {
             series,
             epochs,
             epoch_hours,
+            trace: rec.finish(),
         }
     }
 }

@@ -61,6 +61,7 @@ pub use mercurial_metrics as metrics;
 pub use mercurial_mitigation as mitigation;
 pub use mercurial_screening as screening;
 pub use mercurial_simcpu as simcpu;
+pub use mercurial_trace as trace;
 
 /// The most commonly used types, in one import.
 pub mod prelude {

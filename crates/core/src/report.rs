@@ -63,6 +63,12 @@ pub fn detection_table(outcome: &PipelineOutcome) -> String {
                 .unwrap_or_else(|| "n/a".to_string()),
         ),
         (
+            "latency p50/p95/p99",
+            mercurial_metrics::percentiles(&outcome.detection_latency_hours)
+                .map(|p| format!("{:.0} / {:.0} / {:.0} h", p.p50, p.p95, p.p99))
+                .unwrap_or_else(|| "n/a".to_string()),
+        ),
+        (
             "triage confirmation rate",
             format!("{:.0}%", 100.0 * outcome.triage_stats.confirmation_rate()),
         ),
@@ -131,6 +137,7 @@ mod tests {
         assert!(symptoms.contains("wrong-never-detected"));
         let detection = detection_table(&outcome);
         assert!(detection.contains("recall"));
+        assert!(detection.contains("latency p50/p95/p99"));
         assert!(detection.contains("triage confirmation rate"));
     }
 

@@ -124,6 +124,35 @@ impl Default for ClosedLoopConfig {
     }
 }
 
+/// Structured-tracing block: whether runs record telemetry through
+/// `mercurial-trace` and at what granularity. Off by default — a disabled
+/// recorder costs one branch per call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Master switch for span/event/metric recording.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Also record a span per screened machine. Expensive at fleet scale
+    /// (millions of machine screens); intended for small scenarios.
+    #[serde(default)]
+    pub machine_spans: bool,
+}
+
+impl TraceConfig {
+    /// The recorder flags this configuration asks for.
+    pub fn flags(&self) -> mercurial_trace::TraceFlags {
+        mercurial_trace::TraceFlags {
+            enabled: self.enabled,
+            machine_spans: self.machine_spans,
+        }
+    }
+
+    /// A recorder honoring this configuration.
+    pub fn recorder(&self) -> mercurial_trace::Recorder {
+        mercurial_trace::Recorder::with_flags(self.flags())
+    }
+}
+
 /// A complete experiment configuration.
 ///
 /// Scenarios serialize to JSON so experiment parameters live in files and
@@ -152,6 +181,9 @@ pub struct Scenario {
     /// Closed-loop (epoch-interleaved) pipeline policy.
     #[serde(default)]
     pub closed_loop: ClosedLoopConfig,
+    /// Structured-tracing options (off by default).
+    #[serde(default)]
+    pub trace: TraceConfig,
 }
 
 impl Scenario {
@@ -172,6 +204,7 @@ impl Scenario {
             fuzz_corpus: FuzzCorpusConfig::default(),
             tuning: PipelineTuning::default(),
             closed_loop: ClosedLoopConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -247,16 +280,23 @@ mod tests {
         let mut s = Scenario::small(7);
         s.tuning.burnin_ops_multiplier = 9; // non-default, must NOT survive
         s.closed_loop.feedback = true;
+        s.trace.enabled = true;
         let mut v = s.to_value();
         let serde::Value::Object(entries) = &mut v else {
             panic!("scenario serializes to an object");
         };
         let before = entries.len();
-        entries.retain(|(k, _)| k != "tuning" && k != "closed_loop");
-        assert_eq!(entries.len(), before - 2, "test must strip both blocks");
+        entries.retain(|(k, _)| k != "tuning" && k != "closed_loop" && k != "trace");
+        assert_eq!(
+            entries.len(),
+            before - 3,
+            "test must strip all three blocks"
+        );
         let back = Scenario::from_value(&v).unwrap();
         assert_eq!(back.tuning, PipelineTuning::default());
         assert_eq!(back.closed_loop, ClosedLoopConfig::default());
+        assert_eq!(back.trace, TraceConfig::default());
+        assert!(!back.trace.enabled, "tracing defaults to off");
         assert_eq!(back.tuning.triage_latency_hours, 72.0);
         assert_eq!(back.tuning.restore_latency_hours, 96.0);
         assert_eq!(back.tuning.burnin_ops_multiplier, 5);

@@ -1,0 +1,139 @@
+//! Integration contracts of the structured-tracing layer.
+//!
+//! Three properties anchor the observability work:
+//!
+//! 1. **Determinism parity** — the recorded trace is bit-for-bit
+//!    identical across worker-thread counts (1, 2, 8), the same §4.1
+//!    contract the simulation itself honors. JSONL output is compared
+//!    byte-wise because it serializes every event and metric.
+//! 2. **Exporter validity** — the Chrome trace export is well-formed
+//!    JSON with balanced span begin/end pairs, so Perfetto loads it.
+//! 3. **Lifecycle coverage** — for a demo fleet with feedback on, at
+//!    least one injected mercurial core's timeline shows the full
+//!    onset → signal → quarantine → confirmation story.
+
+use mercurial::closedloop::ClosedLoopDriver;
+use mercurial::fault::CoreUid;
+use mercurial::trace::{incident_timeline, EventKind, Trace};
+use mercurial::Scenario;
+
+fn traced_demo(seed: u64) -> Scenario {
+    let mut s = Scenario::demo(seed);
+    s.closed_loop.feedback = true;
+    s.trace.enabled = true;
+    s
+}
+
+#[test]
+fn trace_is_bit_identical_across_thread_counts() {
+    for seed in [5, 23] {
+        let base = traced_demo(seed);
+        let traces: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&p| {
+                let mut s = base.clone();
+                s.sim.parallelism = p;
+                ClosedLoopDriver::execute(&s).trace.to_jsonl()
+            })
+            .collect();
+        assert!(!traces[0].is_empty(), "seed {seed}: trace must record");
+        for (i, t) in traces[1..].iter().enumerate() {
+            assert_eq!(
+                &traces[0],
+                t,
+                "seed {seed}: trace differs between 1 and {} workers",
+                [2, 8][i]
+            );
+        }
+    }
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let mut s = Scenario::demo(5);
+    s.closed_loop.feedback = true;
+    assert!(!s.trace.enabled, "tracing must default to off");
+    let out = ClosedLoopDriver::execute(&s);
+    assert!(out.trace.is_empty(), "disabled run must leave no telemetry");
+    assert_eq!(out.trace.to_jsonl(), "");
+}
+
+/// Spans must balance: every `B` has a matching later `E` of the same name.
+fn assert_spans_balanced(trace: &Trace) {
+    let mut open: Vec<&'static str> = Vec::new();
+    for e in &trace.events {
+        match e.kind {
+            EventKind::Begin => open.push(e.name),
+            EventKind::End => {
+                let i = open
+                    .iter()
+                    .rposition(|n| *n == e.name)
+                    .unwrap_or_else(|| panic!("E `{}` without open B", e.name));
+                open.remove(i);
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "unclosed spans: {open:?}");
+}
+
+#[test]
+fn chrome_export_is_valid_json_with_balanced_spans() {
+    let out = ClosedLoopDriver::execute(&traced_demo(5));
+    assert_spans_balanced(&out.trace);
+
+    let chrome = out.trace.to_chrome_trace();
+    let doc: serde::Value = serde_json::from_str(&chrome).expect("chrome export parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(serde::Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "chrome export must carry events");
+    let phase = |v: &serde::Value| v.get("ph").and_then(serde::Value::as_str).map(String::from);
+    let begins = events
+        .iter()
+        .filter(|e| phase(e).as_deref() == Some("B"))
+        .count();
+    let ends = events
+        .iter()
+        .filter(|e| phase(e).as_deref() == Some("E"))
+        .count();
+    assert_eq!(begins, ends, "chrome B/E phases must pair up");
+    for e in events {
+        assert!(e.get("name").is_some(), "every event is named");
+        assert!(e.get("ph").is_some(), "every event has a phase");
+    }
+}
+
+#[test]
+fn timeline_tells_a_full_incident_story() {
+    let out = ClosedLoopDriver::execute(&traced_demo(5));
+    let timeline = incident_timeline(&out.trace, &|id| CoreUid::from_u64(id).to_string());
+    assert!(timeline.starts_with("incident timeline ("));
+    // At least one injected core runs the whole detection gauntlet.
+    let full_story = timeline.lines().any(|l| {
+        l.contains("onset@")
+            && l.contains("signal@")
+            && l.contains("quarantine@")
+            && l.contains("confirm@")
+    });
+    assert!(
+        full_story,
+        "no core shows onset -> signal -> quarantine -> confirm:\n{timeline}"
+    );
+    // Stages within each core line read in chronological order.
+    for line in timeline.lines().skip(1) {
+        let hours: Vec<f64> = line
+            .split("@h")
+            .skip(1)
+            .filter_map(|part| {
+                part.split(|c: char| !c.is_ascii_digit() && c != '.')
+                    .next()
+                    .and_then(|h| h.parse().ok())
+            })
+            .collect();
+        for w in hours.windows(2) {
+            assert!(w[0] <= w[1], "stages out of order in: {line}");
+        }
+    }
+}

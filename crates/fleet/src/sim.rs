@@ -23,6 +23,7 @@ use crate::signals::{Signal, SignalKind, SignalLog};
 use crate::topology::FleetTopology;
 use crate::workload::WorkloadClass;
 use mercurial_fault::{CoreUid, CounterRng, FunctionalUnit, SymptomClass};
+use mercurial_trace::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// Simulation parameters.
@@ -310,6 +311,36 @@ impl FleetSim {
         log: &mut SignalLog,
         summary: &mut SimSummary,
     ) -> u32 {
+        self.step_epochs_traced(state, max_epochs, log, summary, &mut Recorder::disabled())
+    }
+
+    /// [`FleetSim::step_epoch`] with telemetry recording.
+    pub fn step_epoch_traced(
+        &self,
+        state: &mut SimState,
+        log: &mut SignalLog,
+        summary: &mut SimSummary,
+        rec: &mut Recorder,
+    ) -> bool {
+        self.step_epochs_traced(state, 1, log, summary, rec) == 1
+    }
+
+    /// [`FleetSim::step_epochs`] with telemetry recording.
+    ///
+    /// Each epoch records into its own shard [`Recorder`] — a `sim.epoch`
+    /// span, per-epoch counters/histograms, and a `sim.first_corruption`
+    /// instant the first time each mercurial core corrupts — and shards
+    /// are absorbed in epoch order, so the trace is identical for any
+    /// `parallelism` and any stepping granularity. With a disabled
+    /// recorder the serial path is the exact untraced loop.
+    pub fn step_epochs_traced(
+        &self,
+        state: &mut SimState,
+        max_epochs: u32,
+        log: &mut SignalLog,
+        summary: &mut SimSummary,
+        rec: &mut Recorder,
+    ) -> u32 {
         let batch = (state.epochs - state.next_epoch.min(state.epochs)).min(max_epochs);
         let first = state.next_epoch;
         let SimState {
@@ -320,35 +351,84 @@ impl FleetSim {
         } = state;
         let workers =
             crate::par::resolve_parallelism(self.config.parallelism).min(batch.max(1) as usize);
+        let epoch_hours = self.config.epoch_hours;
+        let flags = rec.flags();
+
+        // One epoch = one shard. The closure is shared by the serial-traced
+        // and parallel paths so they emit bit-identical shards.
+        let run_shard = |epoch: u32| {
+            let mut shard_log = SignalLog::new();
+            let mut shard_summary = SimSummary::default();
+            let mut shard_active = vec![false; mercurial.len()];
+            let mut shard_rec = Recorder::with_flags(flags);
+            let hour = epoch as f64 * epoch_hours;
+            shard_rec.begin(hour, "sim.epoch");
+            self.run_epoch(
+                epoch,
+                mercurial,
+                active,
+                &mut shard_log,
+                &mut shard_summary,
+                &mut shard_active,
+            );
+            shard_rec.counter_add("sim.corruptions", shard_summary.corruptions);
+            shard_rec.counter_add("sim.signals_emitted", shard_summary.signals_emitted);
+            shard_rec.counter_add("sim.noise_signals", shard_summary.noise_signals);
+            shard_rec.observe("sim.epoch_corruptions", shard_summary.corruptions as f64);
+            shard_rec.observe(
+                "sim.epoch_signals",
+                (shard_summary.signals_emitted + shard_summary.noise_signals) as f64,
+            );
+            shard_rec.end(hour + epoch_hours, "sim.epoch");
+            (shard_log, shard_summary, shard_active, shard_rec)
+        };
+        // Shard merge, always in epoch order. First-corruption instants are
+        // derived here by diffing the shard's activity against the
+        // cumulative mask *before* or-ing it in: shards start from a blank
+        // mask, so deriving them inside `run_epoch` would re-fire on every
+        // later shard.
+        let mut merge_shard = |epoch: u32, shard: (SignalLog, SimSummary, Vec<bool>, Recorder)| {
+            let (shard_log, shard_summary, shard_active, shard_rec) = shard;
+            if flags.enabled {
+                let hour = epoch as f64 * epoch_hours;
+                for (i, &hit) in shard_active.iter().enumerate() {
+                    if hit && !core_was_active[i] {
+                        rec.instant(
+                            hour,
+                            "sim.first_corruption",
+                            Some(mercurial[i].as_u64()),
+                            0.0,
+                        );
+                    }
+                }
+            }
+            rec.absorb(shard_rec);
+            log.append(shard_log);
+            summary.merge(&shard_summary);
+            for (mine, theirs) in core_was_active.iter_mut().zip(shard_active) {
+                *mine |= theirs;
+            }
+        };
 
         if workers <= 1 {
-            for epoch in first..first + batch {
-                self.run_epoch(epoch, mercurial, active, log, summary, core_was_active);
+            if flags.enabled {
+                for epoch in first..first + batch {
+                    let shard = run_shard(epoch);
+                    merge_shard(epoch, shard);
+                }
+            } else {
+                // The zero-cost path: the exact untraced serial loop.
+                for epoch in first..first + batch {
+                    self.run_epoch(epoch, mercurial, active, log, summary, core_was_active);
+                }
             }
         } else {
-            // Each epoch becomes an independent shard; merging in epoch
-            // order reconstructs the serial pre-sort log.
             let epoch_ids: Vec<u32> = (first..first + batch).collect();
             let shards = crate::par::map_parallel(&epoch_ids, self.config.parallelism, |&epoch| {
-                let mut shard_log = SignalLog::new();
-                let mut shard_summary = SimSummary::default();
-                let mut shard_active = vec![false; mercurial.len()];
-                self.run_epoch(
-                    epoch,
-                    mercurial,
-                    active,
-                    &mut shard_log,
-                    &mut shard_summary,
-                    &mut shard_active,
-                );
-                (shard_log, shard_summary, shard_active)
+                run_shard(epoch)
             });
-            for (shard_log, shard_summary, shard_active) in shards {
-                log.append(shard_log);
-                summary.merge(&shard_summary);
-                for (mine, theirs) in core_was_active.iter_mut().zip(shard_active) {
-                    *mine |= theirs;
-                }
+            for (epoch, shard) in epoch_ids.into_iter().zip(shards) {
+                merge_shard(epoch, shard);
             }
         }
         state.next_epoch += batch;
@@ -833,6 +913,50 @@ mod tests {
             assert_eq!(summary, serial_summary, "{threads} threads");
             assert_eq!(log.all(), serial_log.all(), "{threads} threads");
         }
+    }
+
+    #[test]
+    fn traced_stepping_is_parallelism_and_granularity_invariant() {
+        let uid = CoreUid::new(3, 0, 1);
+        let build = |parallelism: usize| {
+            let topo = FleetTopology::build(FleetConfig::tiny(50, 21));
+            let pop = Population::with_explicit(21, vec![(uid, library::string_bitflip(9, 1e-4))]);
+            FleetSim::new(
+                topo,
+                pop,
+                SimConfig {
+                    months: 6,
+                    parallelism,
+                    ..SimConfig::default()
+                },
+            )
+        };
+        let trace_of = |parallelism: usize, granularity: u32| {
+            let sim = build(parallelism);
+            let mut state = sim.begin();
+            let mut log = SignalLog::new();
+            let mut summary = SimSummary::default();
+            let mut rec = Recorder::with_flags(mercurial_trace::TraceFlags::enabled());
+            while !state.is_done() {
+                sim.step_epochs_traced(&mut state, granularity, &mut log, &mut summary, &mut rec);
+            }
+            (rec.finish().to_jsonl(), log, summary)
+        };
+        let (base_jsonl, base_log, base_summary) = trace_of(1, u32::MAX);
+        assert!(base_jsonl.contains("sim.first_corruption"));
+        assert!(base_jsonl.contains("\"k\":\"B\",\"n\":\"sim.epoch\""));
+        for (threads, granularity) in [(1usize, 1u32), (2, u32::MAX), (2, 5), (8, u32::MAX)] {
+            let (jsonl, log, summary) = trace_of(threads, granularity);
+            assert_eq!(jsonl, base_jsonl, "{threads} threads / batch {granularity}");
+            assert_eq!(log.all(), base_log.all());
+            assert_eq!(summary, base_summary);
+        }
+        // The traced run perturbs nothing: untraced output is identical.
+        let (untraced_log, untraced_summary) = build(1).run();
+        let mut sorted = base_log;
+        sorted.sort_by_time();
+        assert_eq!(sorted.all(), untraced_log.all());
+        assert_eq!(base_summary, untraced_summary);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! happy detector would cost.
 
 use mercurial_fault::CoreUid;
+use mercurial_trace::Recorder;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -75,10 +76,40 @@ impl CapacityLedger {
         );
     }
 
+    /// [`CapacityLedger::remove_core`] with telemetry: a
+    /// `capacity.core_removed` instant plus counter (first removal only —
+    /// idempotent repeats are not re-announced).
+    pub fn remove_core_traced(&mut self, core: CoreUid, hour: f64, rec: &mut Recorder) {
+        let already = self
+            .lost
+            .get(&core.machine)
+            .is_some_and(|s| s.contains(&core));
+        self.remove_core(core);
+        if !already {
+            rec.instant(hour, "capacity.core_removed", Some(core.as_u64()), 0.0);
+            rec.counter_add("capacity.cores_removed", 1);
+        }
+    }
+
     /// Returns a core to service.
     pub fn restore_core(&mut self, core: CoreUid) {
         if let Some(set) = self.lost.get_mut(&core.machine) {
             set.remove(&core);
+        }
+    }
+
+    /// [`CapacityLedger::restore_core`] with telemetry: a
+    /// `capacity.core_restored` instant plus counter (only when the core
+    /// was actually out of service).
+    pub fn restore_core_traced(&mut self, core: CoreUid, hour: f64, rec: &mut Recorder) {
+        let was_lost = self
+            .lost
+            .get(&core.machine)
+            .is_some_and(|s| s.contains(&core));
+        self.restore_core(core);
+        if was_lost {
+            rec.instant(hour, "capacity.core_restored", Some(core.as_u64()), 0.0);
+            rec.counter_add("capacity.cores_restored", 1);
         }
     }
 

@@ -16,6 +16,7 @@
 //! ```
 
 use mercurial_fault::CoreUid;
+use mercurial_trace::Recorder;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -112,12 +113,25 @@ impl QuarantineRegistry {
         matches!(self.state(core), CoreState::Healthy | CoreState::Suspect)
     }
 
+    /// The `core.*` instant-event name announcing arrival in a state.
+    fn event_name(to: CoreState) -> &'static str {
+        match to {
+            CoreState::Healthy => "core.restore",
+            CoreState::Suspect => "core.suspect",
+            CoreState::Quarantined => "core.quarantine",
+            CoreState::Confirmed => "core.confirm",
+            CoreState::Exonerated => "core.exonerate",
+            CoreState::Retired => "core.retire",
+        }
+    }
+
     fn transition(
         &mut self,
         core: CoreUid,
         to: CoreState,
         hour: f64,
         reason: impl Into<String>,
+        rec: &mut Recorder,
     ) -> Result<(), QuarantineError> {
         let from = self.state(core);
         if !legal(from, to) {
@@ -134,6 +148,8 @@ impl QuarantineRegistry {
             to,
             reason: reason.into(),
         });
+        rec.instant(hour, Self::event_name(to), Some(core.as_u64()), 0.0);
+        rec.counter_add("core.transitions", 1);
         Ok(())
     }
 
@@ -144,7 +160,24 @@ impl QuarantineRegistry {
         hour: f64,
         reason: impl Into<String>,
     ) -> Result<(), QuarantineError> {
-        self.transition(core, CoreState::Suspect, hour, reason)
+        self.transition(
+            core,
+            CoreState::Suspect,
+            hour,
+            reason,
+            &mut Recorder::disabled(),
+        )
+    }
+
+    /// [`QuarantineRegistry::mark_suspect`] with a `core.suspect` instant.
+    pub fn mark_suspect_traced(
+        &mut self,
+        core: CoreUid,
+        hour: f64,
+        reason: impl Into<String>,
+        rec: &mut Recorder,
+    ) -> Result<(), QuarantineError> {
+        self.transition(core, CoreState::Suspect, hour, reason, rec)
     }
 
     /// Suspect → Quarantined (removes the core from the pool).
@@ -154,7 +187,24 @@ impl QuarantineRegistry {
         hour: f64,
         reason: impl Into<String>,
     ) -> Result<(), QuarantineError> {
-        self.transition(core, CoreState::Quarantined, hour, reason)
+        self.transition(
+            core,
+            CoreState::Quarantined,
+            hour,
+            reason,
+            &mut Recorder::disabled(),
+        )
+    }
+
+    /// [`QuarantineRegistry::quarantine`] with a `core.quarantine` instant.
+    pub fn quarantine_traced(
+        &mut self,
+        core: CoreUid,
+        hour: f64,
+        reason: impl Into<String>,
+        rec: &mut Recorder,
+    ) -> Result<(), QuarantineError> {
+        self.transition(core, CoreState::Quarantined, hour, reason, rec)
     }
 
     /// Quarantined → Confirmed (deep checking reproduced the defect).
@@ -164,7 +214,24 @@ impl QuarantineRegistry {
         hour: f64,
         reason: impl Into<String>,
     ) -> Result<(), QuarantineError> {
-        self.transition(core, CoreState::Confirmed, hour, reason)
+        self.transition(
+            core,
+            CoreState::Confirmed,
+            hour,
+            reason,
+            &mut Recorder::disabled(),
+        )
+    }
+
+    /// [`QuarantineRegistry::confirm`] with a `core.confirm` instant.
+    pub fn confirm_traced(
+        &mut self,
+        core: CoreUid,
+        hour: f64,
+        reason: impl Into<String>,
+        rec: &mut Recorder,
+    ) -> Result<(), QuarantineError> {
+        self.transition(core, CoreState::Confirmed, hour, reason, rec)
     }
 
     /// Suspect/Quarantined → Exonerated (nothing reproduced).
@@ -174,7 +241,24 @@ impl QuarantineRegistry {
         hour: f64,
         reason: impl Into<String>,
     ) -> Result<(), QuarantineError> {
-        self.transition(core, CoreState::Exonerated, hour, reason)
+        self.transition(
+            core,
+            CoreState::Exonerated,
+            hour,
+            reason,
+            &mut Recorder::disabled(),
+        )
+    }
+
+    /// [`QuarantineRegistry::exonerate`] with a `core.exonerate` instant.
+    pub fn exonerate_traced(
+        &mut self,
+        core: CoreUid,
+        hour: f64,
+        reason: impl Into<String>,
+        rec: &mut Recorder,
+    ) -> Result<(), QuarantineError> {
+        self.transition(core, CoreState::Exonerated, hour, reason, rec)
     }
 
     /// Exonerated → Healthy (returned to the pool).
@@ -184,7 +268,24 @@ impl QuarantineRegistry {
         hour: f64,
         reason: impl Into<String>,
     ) -> Result<(), QuarantineError> {
-        self.transition(core, CoreState::Healthy, hour, reason)
+        self.transition(
+            core,
+            CoreState::Healthy,
+            hour,
+            reason,
+            &mut Recorder::disabled(),
+        )
+    }
+
+    /// [`QuarantineRegistry::restore`] with a `core.restore` instant.
+    pub fn restore_traced(
+        &mut self,
+        core: CoreUid,
+        hour: f64,
+        reason: impl Into<String>,
+        rec: &mut Recorder,
+    ) -> Result<(), QuarantineError> {
+        self.transition(core, CoreState::Healthy, hour, reason, rec)
     }
 
     /// Confirmed → Retired (permanent removal).
@@ -194,7 +295,24 @@ impl QuarantineRegistry {
         hour: f64,
         reason: impl Into<String>,
     ) -> Result<(), QuarantineError> {
-        self.transition(core, CoreState::Retired, hour, reason)
+        self.transition(
+            core,
+            CoreState::Retired,
+            hour,
+            reason,
+            &mut Recorder::disabled(),
+        )
+    }
+
+    /// [`QuarantineRegistry::retire`] with a `core.retire` instant.
+    pub fn retire_traced(
+        &mut self,
+        core: CoreUid,
+        hour: f64,
+        reason: impl Into<String>,
+        rec: &mut Recorder,
+    ) -> Result<(), QuarantineError> {
+        self.transition(core, CoreState::Retired, hour, reason, rec)
     }
 
     /// The audit trail of a core.

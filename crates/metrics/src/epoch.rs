@@ -140,7 +140,14 @@ impl EpochSeries {
     /// corruption, bucketed into at most `rows` rows.
     pub fn render(&self, rows: usize) -> String {
         if self.points.is_empty() {
-            return String::from("(empty epoch series)\n");
+            // Keep the summary header shape even with nothing recorded so
+            // consumers that read the first line see the same format.
+            return format!(
+                "closed-loop epochs (capacity trough {:.4}%, residual corrupt-ops {})\n\
+                 (no epochs recorded)\n",
+                100.0 * self.min_capacity(),
+                self.total_corrupt_ops()
+            );
         }
         let rows = rows.max(1).min(self.points.len());
         let per_row = self.points.len().div_ceil(rows);
@@ -216,7 +223,59 @@ mod tests {
         }
         let chart = s.render(10);
         assert_eq!(chart.lines().count(), 11); // header + 10 buckets
-        assert!(EpochSeries::new(73.0).render(5).contains("empty"));
+    }
+
+    #[test]
+    fn empty_series_renders_header_and_placeholder() {
+        let s = EpochSeries::new(73.0);
+        let chart = s.render(5);
+        assert_eq!(
+            chart,
+            "closed-loop epochs (capacity trough 100.0000%, residual corrupt-ops 0)\n\
+             (no epochs recorded)\n"
+        );
+        // The summary header line has the same shape as a populated render.
+        assert!(chart.starts_with("closed-loop epochs (capacity trough"));
+    }
+
+    #[test]
+    fn empty_series_aggregates_and_csv() {
+        let s = EpochSeries::new(73.0);
+        assert!(s.is_empty());
+        assert_eq!(s.min_capacity(), 1.0, "trough of nothing is full capacity");
+        assert_eq!(s.total_corrupt_ops(), 0);
+        assert_eq!(
+            s.to_csv(),
+            "epoch,hour,capacity,capacity_with_safetask,corrupt_ops,active_mercurial\n"
+        );
+    }
+
+    #[test]
+    fn single_epoch_renders_one_bucket() {
+        let mut s = EpochSeries::new(73.0);
+        s.push(0.999, 1.0, 7, 2);
+        // Any requested row count clamps to the single available epoch.
+        for rows in [0, 1, 5] {
+            let chart = s.render(rows);
+            assert_eq!(chart.lines().count(), 2, "header + 1 bucket (rows={rows})");
+            assert!(chart.contains("ops         7"));
+        }
+        assert_eq!(s.to_csv().lines().count(), 2);
+        assert_eq!(
+            s.to_csv().lines().nth(1).unwrap(),
+            "0,0.0,0.99900000,1.00000000,7,2"
+        );
+    }
+
+    #[test]
+    fn render_zero_rows_clamps_to_one() {
+        let s = series();
+        let chart = s.render(0);
+        assert_eq!(chart.lines().count(), 2, "all epochs collapse into 1 row");
+        assert!(
+            chart.contains("ops        80"),
+            "bucket sums all corrupt-ops"
+        );
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Percentile readout over log-bucketed histograms.
+//!
+//! A thin wrapper around [`mercurial_trace::LogHistogram`] so the trace
+//! layer's fixed bucket layout is the single source of truth for quantile
+//! estimation — detection-latency percentiles in reports and the p50/p95/
+//! p99 columns of exported telemetry agree by construction.
+
+use mercurial_trace::LogHistogram;
+
+/// The p50/p95/p99 readout of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Builds a [`LogHistogram`] from raw samples.
+pub fn log_histogram(samples: &[f64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &s in samples {
+        h.observe(s);
+    }
+    h
+}
+
+/// The p50/p95/p99 of `samples`, estimated through the shared log-bucketed
+/// histogram. `None` when `samples` is empty; exact for a single sample
+/// (estimates are clamped to the observed `[min, max]`).
+pub fn percentiles(samples: &[f64]) -> Option<Percentiles> {
+    let h = log_histogram(samples);
+    Some(Percentiles {
+        p50: h.p50()?,
+        p95: h.p95()?,
+        p99: h.p99()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_yield_none() {
+        assert_eq!(percentiles(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_is_exact() {
+        let p = percentiles(&[42.0]).unwrap();
+        assert_eq!(p.p50, 42.0);
+        assert_eq!(p.p95, 42.0);
+        assert_eq!(p.p99, 42.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_in_range() {
+        let samples: Vec<f64> = (1..=500).map(|i| i as f64).collect();
+        let p = percentiles(&samples).unwrap();
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+        assert!(p.p50 >= 1.0 && p.p99 <= 500.0);
+        // Within one log10/8 bucket of the exact answers.
+        assert!(
+            (p.p50 / 250.0) > 0.7 && (p.p50 / 250.0) < 1.4,
+            "p50={}",
+            p.p50
+        );
+        assert!(
+            (p.p99 / 495.0) > 0.7 && (p.p99 / 495.0) < 1.4,
+            "p99={}",
+            p.p99
+        );
+    }
+
+    #[test]
+    fn zeros_are_representable() {
+        let p = percentiles(&[0.0, 0.0, 0.0, 10.0]).unwrap();
+        assert_eq!(p.p50, 0.0);
+        assert!(p.p99 > 0.0 && p.p99 <= 10.0);
+    }
+}

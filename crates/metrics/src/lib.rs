@@ -29,6 +29,7 @@
 
 pub mod cost;
 pub mod epoch;
+pub mod histo;
 pub mod incidence;
 pub mod onset;
 pub mod rates;
@@ -36,6 +37,7 @@ pub mod series;
 pub mod sprt;
 
 pub use epoch::{EpochPoint, EpochSeries};
+pub use histo::{log_histogram, percentiles, Percentiles};
 pub use incidence::{clopper_pearson, wilson_interval, IncidenceEstimate};
 pub use onset::{KaplanMeier, Observation};
 pub use rates::LogDecadeHistogram;

@@ -12,6 +12,7 @@
 
 use mercurial_fault::CoreUid;
 use mercurial_fleet::{Signal, SignalKind};
+use mercurial_trace::Recorder;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -79,17 +80,43 @@ impl Scoreboard {
 
     /// Ingests one signal.
     pub fn ingest(&mut self, signal: &Signal) {
-        let entry = self.scores.entry(signal.core).or_insert_with(|| CoreScore {
-            core: signal.core,
-            counts: HashMap::new(),
-            first_hour: signal.hour,
-            last_hour: signal.hour,
-            evidence: 0.0,
+        self.ingest_traced(signal, &mut Recorder::disabled());
+    }
+
+    /// [`Scoreboard::ingest`] with telemetry: emits a `score.first_signal`
+    /// instant the first time a core is accused and a `score.recidivist`
+    /// instant when it crosses the recidivism predicate (second signal).
+    pub fn ingest_traced(&mut self, signal: &Signal, rec: &mut Recorder) {
+        let mut is_new = false;
+        let entry = self.scores.entry(signal.core).or_insert_with(|| {
+            is_new = true;
+            CoreScore {
+                core: signal.core,
+                counts: HashMap::new(),
+                first_hour: signal.hour,
+                last_hour: signal.hour,
+                evidence: 0.0,
+            }
         });
         *entry.counts.entry(signal.kind).or_insert(0) += 1;
         entry.first_hour = entry.first_hour.min(signal.hour);
         entry.last_hour = entry.last_hour.max(signal.hour);
         entry.evidence += kind_weight(signal.kind);
+        if is_new {
+            rec.instant(
+                signal.hour,
+                "score.first_signal",
+                Some(signal.core.as_u64()),
+                0.0,
+            );
+        } else if entry.total() == 2 {
+            rec.instant(
+                signal.hour,
+                "score.recidivist",
+                Some(signal.core.as_u64()),
+                entry.suspicion(),
+            );
+        }
     }
 
     /// Ingests a batch.
@@ -97,6 +124,21 @@ impl Scoreboard {
         for s in signals {
             self.ingest(s);
         }
+    }
+
+    /// [`Scoreboard::ingest_all`] with telemetry; also bumps the
+    /// `score.signals_ingested` counter once for the whole batch.
+    pub fn ingest_all_traced<'a>(
+        &mut self,
+        signals: impl IntoIterator<Item = &'a Signal>,
+        rec: &mut Recorder,
+    ) {
+        let mut n = 0u64;
+        for s in signals {
+            self.ingest_traced(s, rec);
+            n += 1;
+        }
+        rec.counter_add("score.signals_ingested", n);
     }
 
     /// The score for one core, if any signal has been seen.

@@ -27,6 +27,7 @@ use mercurial_fleet::par::map_parallel;
 use mercurial_fleet::population::TestSpec;
 use mercurial_fleet::FleetTopology;
 use mercurial_fleet::{Population, Signal, SignalKind, SignalLog};
+use mercurial_trace::Recorder;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -315,6 +316,16 @@ struct ScreenSinks<'a> {
     stats: &'a mut ScreeningStats,
 }
 
+/// The `detect.*` instant-event name for a detection method.
+fn detect_event_name(method: DetectionMethod) -> &'static str {
+    match method {
+        DetectionMethod::BurnIn => "detect.burnin",
+        DetectionMethod::Offline => "detect.offline",
+        DetectionMethod::Online => "detect.online",
+        DetectionMethod::Triage => "detect.triage",
+    }
+}
+
 /// Fans a batch of per-machine screens through [`map_parallel`] and merges
 /// the results serially in machine order.
 ///
@@ -322,14 +333,17 @@ struct ScreenSinks<'a> {
 /// as a snapshot, so the merged outcome is bit-for-bit identical to the
 /// serial loop at any worker count — including the `ScreeningStats` f64
 /// drain accumulation, which is summed in the same order the serial loop
-/// would have.
+/// would have. Telemetry is emitted only in the serial merge loop (task
+/// order), so the trace inherits the same determinism.
 fn run_machine_tasks(
     topo: &FleetTopology,
     pop: &Population,
     tasks: &[MachineTask],
     parallelism: usize,
     sinks: &mut ScreenSinks<'_>,
+    rec: &mut Recorder,
 ) {
+    let machine_spans = rec.flags().machine_spans;
     let snapshot: &HashSet<CoreUid> = sinks.detected;
     let results: Vec<(Vec<CoreUid>, ScreeningStats)> = map_parallel(tasks, parallelism, |task| {
         let mut local = ScreeningStats::default();
@@ -347,11 +361,24 @@ fn run_machine_tasks(
         (newly, local)
     });
     for (task, (newly, local)) in tasks.iter().zip(results) {
+        if machine_spans {
+            rec.begin(task.hour, "screen.machine");
+            rec.end(task.hour + task.drain_hours, "screen.machine");
+        }
+        rec.counter_add("screen.core_screens", local.core_screens);
+        rec.counter_add("screen.test_ops", local.test_ops);
+        rec.counter_add("screen.detections", local.detections);
         sinks.stats.drained_machine_hours += task.drain_hours;
         sinks.stats.core_screens += local.core_screens;
         sinks.stats.test_ops += local.test_ops;
         sinks.stats.detections += local.detections;
         for core in newly {
+            rec.instant(
+                task.hour,
+                detect_event_name(task.method),
+                Some(core.as_u64()),
+                0.0,
+            );
             sinks.detected.insert(core);
             sinks.records.push(DetectionRecord {
                 core,
@@ -424,6 +451,7 @@ impl BurnIn {
                 records: &mut records,
                 stats: &mut stats,
             },
+            &mut Recorder::disabled(),
         );
         (records, stats)
     }
@@ -478,6 +506,27 @@ impl BurnInCampaign {
         detected: &mut HashSet<CoreUid>,
         log: &mut SignalLog,
     ) -> Vec<DetectionRecord> {
+        self.step_until_traced(
+            topo,
+            pop,
+            until_hour,
+            detected,
+            log,
+            &mut Recorder::disabled(),
+        )
+    }
+
+    /// [`BurnInCampaign::step_until`] with telemetry: a `screen.burnin`
+    /// span over the due batch plus per-detection `detect.burnin` instants.
+    pub fn step_until_traced(
+        &mut self,
+        topo: &FleetTopology,
+        pop: &Population,
+        until_hour: f64,
+        detected: &mut HashSet<CoreUid>,
+        log: &mut SignalLog,
+        rec: &mut Recorder,
+    ) -> Vec<DetectionRecord> {
         let due = self.queue[self.cursor..]
             .iter()
             .take_while(|(h, _)| *h < until_hour)
@@ -488,6 +537,10 @@ impl BurnInCampaign {
             .collect();
         self.cursor += due;
         let mut records = Vec::new();
+        let span = tasks.first().map(|t| (t.hour, tasks.last().unwrap().hour));
+        if let Some((start, _)) = span {
+            rec.begin(start, "screen.burnin");
+        }
         run_machine_tasks(
             topo,
             pop,
@@ -499,7 +552,11 @@ impl BurnInCampaign {
                 records: &mut records,
                 stats: &mut self.stats,
             },
+            rec,
         );
+        if let Some((_, end)) = span {
+            rec.end(end, "screen.burnin");
+        }
         records
     }
 
@@ -622,11 +679,38 @@ impl OfflineCampaign {
         detected: &mut HashSet<CoreUid>,
         log: &mut SignalLog,
     ) -> Vec<DetectionRecord> {
+        self.step_until_traced(
+            topo,
+            pop,
+            until_hour,
+            detected,
+            log,
+            &mut Recorder::disabled(),
+        )
+    }
+
+    /// [`OfflineCampaign::step_until`] with telemetry: a `screen.offline`
+    /// span per sweep (spanning its drain window) plus per-detection
+    /// `detect.offline` instants.
+    pub fn step_until_traced(
+        &mut self,
+        topo: &FleetTopology,
+        pop: &Population,
+        until_hour: f64,
+        detected: &mut HashSet<CoreUid>,
+        log: &mut SignalLog,
+        rec: &mut Recorder,
+    ) -> Vec<DetectionRecord> {
         let mut records = Vec::new();
         while self.next_hour < self.total_hours && self.next_hour < until_hour {
             let tasks = self
                 .screener
                 .sweep_tasks(topo, self.next_hour, self.sweep_idx);
+            let span_end =
+                self.next_hour + tasks.iter().map(|t| t.drain_hours).fold(0.0f64, f64::max);
+            if !tasks.is_empty() {
+                rec.begin(self.next_hour, "screen.offline");
+            }
             run_machine_tasks(
                 topo,
                 pop,
@@ -638,7 +722,11 @@ impl OfflineCampaign {
                     records: &mut records,
                     stats: &mut self.stats,
                 },
+                rec,
             );
+            if !tasks.is_empty() {
+                rec.end(span_end, "screen.offline");
+            }
             self.sweep_idx += 1;
             self.next_hour += self.screener.interval_hours;
         }
@@ -753,9 +841,33 @@ impl OnlineCampaign {
         detected: &mut HashSet<CoreUid>,
         log: &mut SignalLog,
     ) -> Vec<DetectionRecord> {
+        self.step_until_traced(
+            topo,
+            pop,
+            until_hour,
+            detected,
+            log,
+            &mut Recorder::disabled(),
+        )
+    }
+
+    /// [`OnlineCampaign::step_until`] with telemetry: a `screen.online`
+    /// span per pass plus per-detection `detect.online` instants.
+    pub fn step_until_traced(
+        &mut self,
+        topo: &FleetTopology,
+        pop: &Population,
+        until_hour: f64,
+        detected: &mut HashSet<CoreUid>,
+        log: &mut SignalLog,
+        rec: &mut Recorder,
+    ) -> Vec<DetectionRecord> {
         let mut records = Vec::new();
         while self.next_hour < self.total_hours && self.next_hour < until_hour {
             let tasks = self.screener.pass_tasks(topo, self.next_hour, self.pass);
+            if !tasks.is_empty() {
+                rec.begin(self.next_hour, "screen.online");
+            }
             run_machine_tasks(
                 topo,
                 pop,
@@ -767,7 +879,11 @@ impl OnlineCampaign {
                     records: &mut records,
                     stats: &mut self.stats,
                 },
+                rec,
             );
+            if !tasks.is_empty() {
+                rec.end(self.next_hour, "screen.online");
+            }
             self.pass += 1;
             self.next_hour += self.screener.interval_hours;
         }

@@ -1,0 +1,84 @@
+//! Trace event model.
+//!
+//! Events are tiny `Copy` records stamped with the *simulation* hour.
+//! Names are `&'static str` so the hot path never allocates; the core is
+//! carried as the packed `CoreUid` u64 (this crate sits below
+//! `mercurial-fault` and cannot name the type).
+
+/// What an event marks on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span open (Chrome `ph:"B"`). Paired with a later [`EventKind::End`]
+    /// of the same name; pairs nest in emission order.
+    Begin,
+    /// Span close (Chrome `ph:"E"`).
+    End,
+    /// Point event (Chrome `ph:"i"`), e.g. a detection or a state change.
+    Instant,
+    /// Sampled gauge value (Chrome `ph:"C"` counter sample).
+    Gauge,
+}
+
+impl EventKind {
+    /// One-letter code used by the JSONL export (`B`/`E`/`I`/`G`).
+    pub fn code(self) -> char {
+        match self {
+            EventKind::Begin => 'B',
+            EventKind::End => 'E',
+            EventKind::Instant => 'I',
+            EventKind::Gauge => 'G',
+        }
+    }
+}
+
+/// One structured telemetry event on the simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation hour the event was recorded at (never wall-clock).
+    pub hour: f64,
+    /// Event kind (span open/close, instant, gauge sample).
+    pub kind: EventKind,
+    /// Static event name, dot-namespaced (`sim.epoch`, `core.quarantine`).
+    pub name: &'static str,
+    /// Packed `CoreUid` (`(machine<<32)|(socket<<16)|core`) when the event
+    /// concerns a specific core.
+    pub core: Option<u64>,
+    /// Payload value: gauge reading, counter delta, or 0.0 when unused.
+    pub value: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_are_distinct() {
+        let codes = [
+            EventKind::Begin.code(),
+            EventKind::End.code(),
+            EventKind::Instant.code(),
+            EventKind::Gauge.code(),
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            for b in codes.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn event_is_small_and_copy() {
+        // The recorder buffers millions of these at paper scale; keep the
+        // footprint bounded (two words of payload + name + discriminants).
+        assert!(std::mem::size_of::<TraceEvent>() <= 56);
+        let e = TraceEvent {
+            hour: 1.0,
+            kind: EventKind::Instant,
+            name: "x",
+            core: None,
+            value: 0.0,
+        };
+        let f = e; // Copy
+        assert_eq!(e, f);
+    }
+}

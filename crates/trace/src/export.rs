@@ -1,0 +1,288 @@
+//! Exporters: JSONL, Prometheus text exposition, Chrome trace-event JSON.
+//!
+//! All three are hand-rolled (this crate is zero-dependency) and
+//! deterministic: floats go through Rust's shortest-roundtrip `Display`,
+//! events are written in merge order, and metrics in `BTreeMap` order.
+
+use std::fmt::Write as _;
+
+use crate::event::EventKind;
+use crate::recorder::Trace;
+
+/// Escape a string for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an f64 as a JSON number. Rust's `Display` prints the shortest
+/// string that round-trips, which is deterministic; non-finite values
+/// (never produced by the recorder's clocked paths) degrade to 0.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// JSONL event log: one JSON object per line. Events first (merge order),
+/// then one `metric` line per counter, gauge, and histogram (name order).
+///
+/// Event lines: `{"h":<hour>,"k":"B|E|I|G","n":"<name>"[,"core":<u64>][,"v":<value>]}`.
+pub fn to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in &trace.events {
+        let _ = write!(
+            out,
+            "{{\"h\":{},\"k\":\"{}\",\"n\":\"{}\"",
+            json_num(e.hour),
+            e.kind.code(),
+            json_escape(e.name)
+        );
+        if let Some(core) = e.core {
+            let _ = write!(out, ",\"core\":{core}");
+        }
+        if e.value != 0.0 || e.kind == EventKind::Gauge {
+            let _ = write!(out, ",\"v\":{}", json_num(e.value));
+        }
+        out.push_str("}\n");
+    }
+    for (name, v) in trace.metrics.counters() {
+        let _ = writeln!(
+            out,
+            "{{\"metric\":\"counter\",\"n\":\"{}\",\"v\":{v}}}",
+            json_escape(name)
+        );
+    }
+    for (name, v) in trace.metrics.gauges() {
+        let _ = writeln!(
+            out,
+            "{{\"metric\":\"gauge\",\"n\":\"{}\",\"v\":{}}}",
+            json_escape(name),
+            json_num(v)
+        );
+    }
+    for (name, h) in trace.metrics.histograms() {
+        let _ = write!(
+            out,
+            "{{\"metric\":\"histogram\",\"n\":\"{}\",\"count\":{},\"sum\":{}",
+            json_escape(name),
+            h.count(),
+            json_num(h.sum())
+        );
+        for (label, q) in [
+            ("min", h.min()),
+            ("p50", h.p50()),
+            ("p95", h.p95()),
+            ("p99", h.p99()),
+            ("max", h.max()),
+        ] {
+            if let Some(q) = q {
+                let _ = write!(out, ",\"{label}\":{}", json_num(q));
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Sanitize a dot-namespaced metric name into a Prometheus metric name.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("mercurial_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Prometheus text exposition of the final metric set. Counters and gauges
+/// export directly; histograms export as summaries with p50/p95/p99
+/// quantile samples plus `_sum` and `_count`.
+pub fn to_prometheus(trace: &Trace) -> String {
+    let mut out = String::new();
+    for (name, v) in trace.metrics.counters() {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in trace.metrics.gauges() {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", json_num(v));
+    }
+    for (name, h) in trace.metrics.histograms() {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+            if let Some(v) = v {
+                let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {}", json_num(v));
+            }
+        }
+        let _ = writeln!(out, "{n}_sum {}", json_num(h.sum()));
+        let _ = writeln!(out, "{n}_count {}", h.count());
+    }
+    out
+}
+
+/// Chrome trace-event JSON (the `{"traceEvents":[...]}` object format),
+/// loadable in Perfetto / `chrome://tracing`.
+///
+/// The simulated hour maps to microsecond timestamps at 1 hour = 1000 µs
+/// so a multi-year run stays navigable. Spans emit `B`/`E` pairs, instants
+/// `i` (process-scoped), gauges `C` counter samples.
+pub fn to_chrome_trace(trace: &Trace) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for e in &trace.events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ts = json_num(e.hour * 1000.0);
+        let name = json_escape(e.name);
+        match e.kind {
+            EventKind::Begin => {
+                let _ = write!(
+                    out,
+                    "\n{{\"name\":\"{name}\",\"ph\":\"B\",\"ts\":{ts},\"pid\":1,\"tid\":1}}"
+                );
+            }
+            EventKind::End => {
+                let _ = write!(
+                    out,
+                    "\n{{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{ts},\"pid\":1,\"tid\":1}}"
+                );
+            }
+            EventKind::Instant => {
+                let _ = write!(
+                    out,
+                    "\n{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{ts},\"pid\":1,\"tid\":1,\"args\":{{"
+                );
+                let mut any = false;
+                if let Some(core) = e.core {
+                    let _ = write!(out, "\"core\":{core}");
+                    any = true;
+                }
+                if e.value != 0.0 {
+                    if any {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"value\":{}", json_num(e.value));
+                }
+                out.push_str("}}");
+            }
+            EventKind::Gauge => {
+                let _ = write!(
+                    out,
+                    "\n{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"tid\":1,\"args\":{{\"value\":{}}}}}",
+                    json_num(e.value)
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::recorder::{Recorder, TraceFlags};
+
+    fn sample_trace() -> crate::recorder::Trace {
+        let mut r = Recorder::with_flags(TraceFlags::enabled());
+        r.begin(0.0, "sim.epoch");
+        r.instant(
+            10.5,
+            "detect.online",
+            Some((3u64 << 32) | (1 << 16) | 2),
+            0.0,
+        );
+        r.gauge(73.0, "capacity.availability", 0.9975);
+        r.counter_add("sim.corruptions", 42);
+        r.observe("screen.latency_hours", 120.0);
+        r.end(73.0, "sim.epoch");
+        r.finish()
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let t = sample_trace();
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        // 4 events + 1 counter + 1 gauge + 1 histogram metric line.
+        assert_eq!(lines.len(), 7);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains("\"k\":\"B\""));
+        assert!(lines[1].contains("\"core\":12884967426"));
+        assert!(jsonl.contains("\"metric\":\"counter\",\"n\":\"sim.corruptions\",\"v\":42"));
+        assert!(jsonl.contains("\"metric\":\"histogram\""));
+    }
+
+    #[test]
+    fn jsonl_is_deterministic() {
+        assert_eq!(sample_trace().to_jsonl(), sample_trace().to_jsonl());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let prom = sample_trace().to_prometheus();
+        assert!(prom.contains("# TYPE mercurial_sim_corruptions counter"));
+        assert!(prom.contains("mercurial_sim_corruptions 42"));
+        assert!(prom.contains("# TYPE mercurial_capacity_availability gauge"));
+        assert!(prom.contains("mercurial_screen_latency_hours{quantile=\"0.5\"} 120"));
+        assert!(prom.contains("mercurial_screen_latency_hours_count 1"));
+    }
+
+    #[test]
+    fn chrome_trace_has_balanced_spans_and_valid_shape() {
+        let chrome = sample_trace().to_chrome_trace();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.trim_end().ends_with("]}"));
+        let begins = chrome.matches("\"ph\":\"B\"").count();
+        let ends = chrome.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, ends);
+        assert_eq!(begins, 1);
+        // Braces balance — a cheap structural check; the bench validates
+        // full JSON parsing with serde_json.
+        let open = chrome.matches('{').count();
+        let close = chrome.matches('}').count();
+        assert_eq!(open, close);
+        // Hour 73.0 → ts 73000 µs.
+        assert!(chrome.contains("\"ts\":73000"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_trace_exports_are_empty_but_wellformed() {
+        let t = Recorder::disabled().finish();
+        assert_eq!(t.to_jsonl(), "");
+        assert_eq!(t.to_prometheus(), "");
+        assert_eq!(t.to_chrome_trace(), "{\"traceEvents\":[\n]}\n");
+    }
+}

@@ -1,0 +1,311 @@
+//! The [`Recorder`]: the single handle instrumented code writes through.
+//!
+//! Enabled recorders buffer events and metrics; disabled recorders are a
+//! `None` and every method is one branch with no allocation. Parallel
+//! producers record into [`Recorder::shard`] clones which the driver
+//! merges back in shard order with [`Recorder::absorb`] — the same
+//! determinism contract as `fleet::par::map_parallel`.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::metric::MetricSet;
+
+/// Which recording features a scenario turned on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceFlags {
+    /// Master switch. When false the recorder is inert.
+    pub enabled: bool,
+    /// Also emit a span per screened machine. Off by default: at paper
+    /// scale the online screener visits millions of machines and the
+    /// per-machine spans dominate the event buffer.
+    pub machine_spans: bool,
+}
+
+impl TraceFlags {
+    /// Flags with everything off.
+    pub fn disabled() -> Self {
+        TraceFlags::default()
+    }
+
+    /// Flags with the master switch on (machine spans still off).
+    pub fn enabled() -> Self {
+        TraceFlags {
+            enabled: true,
+            machine_spans: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Inner {
+    flags: TraceFlags,
+    events: Vec<TraceEvent>,
+    metrics: MetricSet,
+}
+
+/// Buffering telemetry sink threaded through the simulator's hot layers.
+///
+/// All methods take the simulation hour explicitly — the recorder never
+/// reads a wall clock, which is what keeps traces reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Box<Inner>>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything at the cost of one branch per call.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Build a recorder from scenario flags; `enabled: false` yields the
+    /// same inert recorder as [`Recorder::disabled`].
+    pub fn with_flags(flags: TraceFlags) -> Self {
+        if flags.enabled {
+            Recorder {
+                inner: Some(Box::new(Inner {
+                    flags,
+                    ..Inner::default()
+                })),
+            }
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Whether this recorder keeps anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The flags this recorder was built with (all-off when disabled).
+    pub fn flags(&self) -> TraceFlags {
+        self.inner
+            .as_ref()
+            .map(|i| i.flags)
+            .unwrap_or_else(TraceFlags::disabled)
+    }
+
+    /// An empty recorder with the same flags, for a parallel worker to
+    /// fill. Shards of a disabled recorder are disabled, so parallel code
+    /// paths pay nothing when tracing is off.
+    pub fn shard(&self) -> Recorder {
+        Recorder::with_flags(self.flags())
+    }
+
+    /// Merge a worker shard back. Events append in call order — the caller
+    /// must absorb shards in deterministic (input-index) order, exactly as
+    /// `map_parallel` returns them. Counters sum; gauges take the shard's
+    /// value; histograms merge exactly.
+    pub fn absorb(&mut self, shard: Recorder) {
+        let (Some(inner), Some(other)) = (self.inner.as_deref_mut(), shard.inner) else {
+            return;
+        };
+        inner.events.extend_from_slice(&other.events);
+        inner.metrics.merge(&other.metrics);
+    }
+
+    /// Open a span at `hour`. Must be matched by [`Recorder::end`] with the
+    /// same name; spans nest in emission order.
+    pub fn begin(&mut self, hour: f64, name: &'static str) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        inner.events.push(TraceEvent {
+            hour,
+            kind: EventKind::Begin,
+            name,
+            core: None,
+            value: 0.0,
+        });
+    }
+
+    /// Close the innermost open span of `name` at `hour`.
+    pub fn end(&mut self, hour: f64, name: &'static str) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        inner.events.push(TraceEvent {
+            hour,
+            kind: EventKind::End,
+            name,
+            core: None,
+            value: 0.0,
+        });
+    }
+
+    /// Record a point event, optionally tied to a packed `CoreUid`.
+    pub fn instant(&mut self, hour: f64, name: &'static str, core: Option<u64>, value: f64) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        inner.events.push(TraceEvent {
+            hour,
+            kind: EventKind::Instant,
+            name,
+            core,
+            value,
+        });
+    }
+
+    /// Sample a gauge: records both a timeline event and the latest value
+    /// in the metric set.
+    pub fn gauge(&mut self, hour: f64, name: &'static str, value: f64) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        inner.events.push(TraceEvent {
+            hour,
+            kind: EventKind::Gauge,
+            name,
+            core: None,
+            value,
+        });
+        inner.metrics.gauge_set(name, value);
+    }
+
+    /// Bump a counter (metric only, no timeline event — counters are read
+    /// out once at export time).
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        inner.metrics.counter_add(name, delta);
+    }
+
+    /// Record a histogram sample (metric only).
+    pub fn observe(&mut self, name: &'static str, sample: f64) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        inner.metrics.observe(name, sample);
+    }
+
+    /// Number of buffered events (0 when disabled).
+    pub fn event_count(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.events.len())
+    }
+
+    /// Consume the recorder and return the finished trace. A disabled
+    /// recorder yields an empty trace.
+    pub fn finish(self) -> Trace {
+        match self.inner {
+            Some(inner) => Trace {
+                events: inner.events,
+                metrics: inner.metrics,
+            },
+            None => Trace::default(),
+        }
+    }
+}
+
+/// A completed trace: the merged event stream plus the final metric set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Events in deterministic merge order.
+    pub events: Vec<TraceEvent>,
+    /// Final counters/gauges/histograms.
+    pub metrics: MetricSet,
+}
+
+impl Trace {
+    /// True when nothing was recorded (e.g. tracing was disabled).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.metrics.is_empty()
+    }
+
+    /// JSONL export — one event per line, then one `metric` line per
+    /// counter/gauge/histogram. See [`crate::export::to_jsonl`].
+    pub fn to_jsonl(&self) -> String {
+        crate::export::to_jsonl(self)
+    }
+
+    /// Prometheus text exposition. See [`crate::export::to_prometheus`].
+    pub fn to_prometheus(&self) -> String {
+        crate::export::to_prometheus(self)
+    }
+
+    /// Chrome trace-event JSON (Perfetto-loadable). See
+    /// [`crate::export::to_chrome_trace`].
+    pub fn to_chrome_trace(&self) -> String {
+        crate::export::to_chrome_trace(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = Recorder::disabled();
+        r.begin(0.0, "sim");
+        r.instant(1.0, "x", Some(7), 1.0);
+        r.gauge(2.0, "g", 0.5);
+        r.counter_add("c", 10);
+        r.observe("h", 3.0);
+        r.end(3.0, "sim");
+        assert!(!r.enabled());
+        assert_eq!(r.event_count(), 0);
+        let t = r.finish();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn with_flags_disabled_is_inert() {
+        let r = Recorder::with_flags(TraceFlags::disabled());
+        assert!(!r.enabled());
+        assert!(!r.shard().enabled());
+    }
+
+    #[test]
+    fn enabled_recorder_buffers_in_order() {
+        let mut r = Recorder::with_flags(TraceFlags::enabled());
+        r.begin(0.0, "a");
+        r.instant(1.0, "b", Some(42), 2.0);
+        r.end(3.0, "a");
+        let t = r.finish();
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.events[0].kind, EventKind::Begin);
+        assert_eq!(t.events[1].core, Some(42));
+        assert_eq!(t.events[2].kind, EventKind::End);
+    }
+
+    #[test]
+    fn shard_absorb_is_deterministic_in_absorb_order() {
+        let parent = Recorder::with_flags(TraceFlags::enabled());
+        let build = |tag: &'static str, hour: f64| {
+            let mut s = parent.shard();
+            s.instant(hour, tag, None, 0.0);
+            s.counter_add("n", 1);
+            s
+        };
+        let s1 = build("one", 1.0);
+        let s2 = build("two", 2.0);
+
+        let mut a = parent.clone();
+        a.absorb(s1.clone());
+        a.absorb(s2.clone());
+        let ta = a.finish();
+        assert_eq!(ta.events[0].name, "one");
+        assert_eq!(ta.events[1].name, "two");
+        assert_eq!(ta.metrics.counter("n"), 2);
+
+        // Absorbing in a different order changes the event stream —
+        // which is exactly why callers must absorb in input-index order.
+        let mut b = parent.clone();
+        b.absorb(s2);
+        b.absorb(s1);
+        let tb = b.finish();
+        assert_eq!(tb.events[0].name, "two");
+        assert_eq!(tb.metrics.counter("n"), 2);
+    }
+
+    #[test]
+    fn absorb_into_disabled_is_noop() {
+        let mut parent = Recorder::disabled();
+        let mut s = Recorder::with_flags(TraceFlags::enabled());
+        s.instant(0.0, "x", None, 0.0);
+        parent.absorb(s);
+        assert!(parent.finish().is_empty());
+    }
+}

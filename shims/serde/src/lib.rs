@@ -115,6 +115,20 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// Identity conversions so callers can work with raw JSON trees — e.g.
+// `serde_json::from_str::<Value>(text)` to validate arbitrary documents.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Fetches and deserializes a required object field (used by derived
 /// `Deserialize` impls).
 ///

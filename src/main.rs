@@ -5,14 +5,17 @@
 //! mercurial-lab pipeline [--seed N] [--paper] [--scenario FILE]
 //! mercurial-lab fig1     [--seed N] [--paper] [--csv FILE]
 //! mercurial-lab screen   <archetype> [--age HOURS]
+//! mercurial-lab trace    [--seed N] [--paper] [--format FMT] [--out FILE]
 //! mercurial-lab archetypes                    # list the §2 defect archetypes
 //! ```
 
-use mercurial::fault::{library, Injector};
+use mercurial::closedloop::ClosedLoopDriver;
+use mercurial::fault::{library, CoreUid, Injector};
 use mercurial::pipeline::PipelineRun;
 use mercurial::screening::chipscreen::ChipScreen;
 use mercurial::screening::{Divergence, DivergenceFinder};
 use mercurial::simcpu::{CoreConfig, SimCore};
+use mercurial::trace::incident_timeline;
 use mercurial::{report, run_fig1, Scenario};
 
 fn usage() -> ! {
@@ -26,6 +29,9 @@ fn usage() -> ! {
          fig1     [--seed N] [--paper] [--csv FILE]\n\
          .                                regenerate Figure 1 (normalized report rates)\n\
          screen <archetype> [--age H]     screen one defective core with the corpus\n\
+         trace    [--seed N] [--paper] [--scenario FILE]\n\
+         .        [--format jsonl|prom|chrome|timeline|summary] [--out FILE]\n\
+         .                                run the closed loop with tracing on and export telemetry\n\
          archetypes                       list the available defect archetypes"
     );
     std::process::exit(2)
@@ -121,6 +127,65 @@ fn cmd_fig1(args: &Args) {
     }
 }
 
+fn cmd_trace(args: &Args) {
+    let mut scenario = scenario_from_args(args);
+    scenario.trace.enabled = true;
+    scenario.trace.machine_spans |= args.flag("machine-spans");
+    scenario.closed_loop.feedback = true;
+    let format = args.value("format").unwrap_or("summary");
+    eprintln!(
+        "tracing closed loop: {} machines, {} months …",
+        scenario.fleet.machines, scenario.sim.months
+    );
+    let out = ClosedLoopDriver::execute(&scenario);
+    let label = |id: u64| CoreUid::from_u64(id).to_string();
+    let rendered = match format {
+        "jsonl" => out.trace.to_jsonl(),
+        "prom" => out.trace.to_prometheus(),
+        "chrome" => out.trace.to_chrome_trace(),
+        "timeline" => incident_timeline(&out.trace, &label),
+        "summary" => {
+            let m = &out.trace.metrics;
+            let mut s = format!(
+                "trace: {} events, {} counters, {} gauges, {} histograms\n",
+                out.trace.events.len(),
+                m.counters().count(),
+                m.gauges().count(),
+                m.histograms().count()
+            );
+            for (name, v) in m.counters() {
+                s.push_str(&format!("  counter {name:<24} {v}\n"));
+            }
+            for (name, h) in m.histograms() {
+                s.push_str(&format!(
+                    "  histo   {name:<24} n={} p50={:.1} p95={:.1} p99={:.1}\n",
+                    h.count(),
+                    h.p50().unwrap_or(0.0),
+                    h.p95().unwrap_or(0.0),
+                    h.p99().unwrap_or(0.0)
+                ));
+            }
+            s.push('\n');
+            s.push_str(&incident_timeline(&out.trace, &label));
+            s
+        }
+        other => {
+            eprintln!("unknown --format `{other}` (jsonl|prom|chrome|timeline|summary)");
+            std::process::exit(2);
+        }
+    };
+    match args.value("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("trace ({format}) written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}
+
 fn archetype_by_name(name: &str) -> Option<mercurial::fault::CoreFaultProfile> {
     Some(match name {
         "self-inverting-aes" => library::self_inverting_aes(),
@@ -198,6 +263,7 @@ fn main() {
         Some("pipeline") => cmd_pipeline(&args),
         Some("fig1") => cmd_fig1(&args),
         Some("screen") => cmd_screen(&args),
+        Some("trace") => cmd_trace(&args),
         Some("archetypes") => {
             for a in library::ARCHETYPES {
                 println!("{a}");

@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke
+.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke watch-smoke
 
-ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke
+ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke watch-smoke
 
 build:
 	$(CARGO) build --release
@@ -48,3 +48,12 @@ e15-smoke:
 # onset -> signal -> quarantine -> confirm story.
 trace-smoke:
 	$(CARGO) run --release -p mercurial-bench --bin e16_trace_overhead -- --smoke
+
+# Alerting contracts (demo scale, fixed seed) plus the paper-scale alert
+# gate: the committed rule file must stay silent on the healthy paper
+# scenario (against the committed baseline) and must fire on the seeded
+# detection-regression scenario.
+watch-smoke:
+	$(CARGO) run --release -p mercurial-bench --bin e17_watch_overhead -- --smoke
+	$(CARGO) run --release -- watch --rules scenarios/watch_rules.json --scenario scenarios/paper.json
+	! $(CARGO) run --release -- watch --rules scenarios/watch_rules.json --scenario scenarios/watch_regression.json

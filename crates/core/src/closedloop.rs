@@ -42,7 +42,8 @@ use mercurial_screening::{
     BurnIn, DetectionMethod, DetectionRecord, HumanTriage, OfflineScreener, OnlineScreener,
     Scoreboard, TriageOutcome, TriageStats,
 };
-use mercurial_trace::Recorder;
+use mercurial_trace::{MetricSet, Recorder, TraceSink};
+use mercurial_watch::{Alert, Baseline, EpochRow, RuleSet, WatchEngine, WatchReport};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Emits one `gt.onset` instant per mercurial core at the hour its defect
@@ -72,8 +73,46 @@ pub struct ClosedLoopOutcome {
     pub epochs: u32,
     /// Epoch length in hours.
     pub epoch_hours: f64,
-    /// Structured trace of the run (empty unless `scenario.trace.enabled`).
+    /// Structured trace of the run (empty unless `scenario.trace.enabled`;
+    /// when a streaming sink drained the run, events live in the sink's
+    /// output and only the metric set remains here).
     pub trace: mercurial_trace::Trace,
+    /// Alert readout (`None` unless rules were supplied via
+    /// [`RunOptions::rules`] or `scenario.watch.enabled`).
+    pub watch: Option<WatchReport>,
+}
+
+/// Optional attachments for a closed-loop run: alert rules, a cross-run
+/// baseline for regression rules, and a streaming trace sink.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Alert rules to evaluate in-loop. `None` falls back to the
+    /// scenario's `watch` block (or no evaluation when that is off).
+    pub rules: Option<RuleSet>,
+    /// Baseline for regression rules (without one they report
+    /// "no baseline" and never fire).
+    pub baseline: Option<&'a Baseline>,
+    /// Streaming sink drained at every epoch boundary. With a sink
+    /// attached the outcome's `trace.events` is empty — events live in
+    /// the sink's output, byte-identical to the buffered export.
+    pub sink: Option<&'a mut dyn TraceSink>,
+}
+
+/// The in-loop alert engine a run asked for, if any.
+fn watch_engine(scenario: &Scenario, rules: &Option<RuleSet>) -> Option<WatchEngine> {
+    match rules {
+        Some(rs) => Some(WatchEngine::new(rs.clone())),
+        None if scenario.watch.enabled => Some(WatchEngine::new(scenario.watch.rule_set())),
+        None => None,
+    }
+}
+
+/// Stamp freshly fired alerts into the trace as `alert.fired` instants
+/// (value = rule index, hour = the violation's hour).
+fn record_alerts(rec: &mut Recorder, alerts: &[(usize, Alert)]) {
+    for (idx, a) in alerts {
+        rec.instant(a.hour, "alert.fired", None, *idx as f64);
+    }
 }
 
 /// A pending deep-check case (FIFO; the triage team is a bounded queue).
@@ -154,10 +193,21 @@ impl ClosedLoopDriver {
 
     /// Executes on a prebuilt experiment.
     pub fn execute_on(scenario: &Scenario, experiment: &FleetExperiment) -> ClosedLoopOutcome {
+        ClosedLoopDriver::execute_with(scenario, experiment, RunOptions::default())
+    }
+
+    /// Executes on a prebuilt experiment with run attachments: alert
+    /// rules (evaluated at every epoch boundary), a regression baseline,
+    /// and/or a streaming trace sink.
+    pub fn execute_with(
+        scenario: &Scenario,
+        experiment: &FleetExperiment,
+        opts: RunOptions<'_>,
+    ) -> ClosedLoopOutcome {
         if scenario.closed_loop.feedback {
-            ClosedLoopDriver::run_with_feedback(scenario, experiment)
+            ClosedLoopDriver::run_with_feedback(scenario, experiment, opts)
         } else {
-            ClosedLoopDriver::run_open_loop_stepped(scenario, experiment)
+            ClosedLoopDriver::run_open_loop_stepped(scenario, experiment, opts)
         }
     }
 
@@ -167,6 +217,7 @@ impl ClosedLoopDriver {
     fn run_open_loop_stepped(
         scenario: &Scenario,
         experiment: &FleetExperiment,
+        mut opts: RunOptions<'_>,
     ) -> ClosedLoopOutcome {
         let sim = experiment.sim();
         let topo = experiment.topology();
@@ -176,31 +227,71 @@ impl ClosedLoopDriver {
         let mut log = SignalLog::new();
         let mut summary = SimSummary::default();
         let mut series = EpochSeries::new(epoch_hours);
+        let mut engine = watch_engine(scenario, &opts.rules);
         let mut rec = scenario.trace.recorder();
         record_ground_truth_onsets(experiment, &mut rec);
         while !state.is_done() {
             let h0 = state.hour();
+            let h1 = h0 + epoch_hours;
             let before = summary.corruptions;
             sim.step_epoch_traced(&mut state, &mut log, &mut summary, &mut rec);
             // Open loop: nothing is ever quarantined mid-window, so
             // capacity is flat at 1.0 and every defect stays active.
             let active = state.active_deployed_mercurial(topo, h0);
-            rec.gauge(h0 + epoch_hours, "fleet.active_mercurial", active as f64);
-            series.push(1.0, 1.0, summary.corruptions - before, active);
+            let ops = summary.corruptions - before;
+            rec.gauge(h1, "fleet.active_mercurial", active as f64);
+            // Last gauge of every epoch boundary: the replay path
+            // (`WatchInput::from_jsonl`) closes the epoch row on it.
+            rec.gauge(h1, "epoch.corrupt_ops", ops as f64);
+            series.push(1.0, 1.0, ops, active);
+            if let Some(eng) = engine.as_mut() {
+                let fired = eng.push_epoch(EpochRow {
+                    hour: h1,
+                    capacity: 1.0,
+                    capacity_with_safetask: 1.0,
+                    corrupt_ops: ops as f64,
+                    active_mercurial: active as f64,
+                });
+                record_alerts(&mut rec, &fired);
+            }
+            if let Some(s) = opts.sink.as_mut() {
+                s.drain(&mut rec).expect("stream sink drain");
+            }
         }
         log.sort_by_time();
         let pipeline = PipelineRun::complete_from_signals(scenario, experiment, log, summary);
+        for latency in &pipeline.detection_latency_hours {
+            rec.observe("detect.latency_hours", *latency);
+        }
+        let watch = match engine {
+            Some(eng) => {
+                let empty = MetricSet::new();
+                let (report, end_alerts) =
+                    eng.finish(rec.metrics().unwrap_or(&empty), opts.baseline);
+                record_alerts(&mut rec, &end_alerts);
+                Some(report)
+            }
+            None => None,
+        };
+        if let Some(s) = opts.sink.as_mut() {
+            s.finish(&mut rec).expect("stream sink finish");
+        }
         ClosedLoopOutcome {
             pipeline,
             series,
             epochs,
             epoch_hours,
             trace: rec.finish(),
+            watch,
         }
     }
 
     /// Feedback enabled: the full epoch-interleaved loop.
-    fn run_with_feedback(scenario: &Scenario, experiment: &FleetExperiment) -> ClosedLoopOutcome {
+    fn run_with_feedback(
+        scenario: &Scenario,
+        experiment: &FleetExperiment,
+        mut opts: RunOptions<'_>,
+    ) -> ClosedLoopOutcome {
         let sim = experiment.sim();
         let topo = experiment.topology();
         let pop = experiment.population();
@@ -270,6 +361,7 @@ impl ClosedLoopDriver {
         let mut restores: Vec<PendingRestore> = Vec::new();
         let mut exonerated_innocents = 0usize;
 
+        let mut engine = watch_engine(scenario, &opts.rules);
         let mut rec = scenario.trace.recorder();
         record_ground_truth_onsets(experiment, &mut rec);
 
@@ -455,16 +547,28 @@ impl ClosedLoopDriver {
                 (pool.effective_cores as f64 + recovered_cores) / pool.nominal_cores as f64
             };
             let active = state.active_deployed_mercurial(topo, h0);
+            let ops = summary.corruptions - before_corruptions;
             rec.gauge(h1, "capacity.availability", base);
             rec.gauge(h1, "capacity.with_safetask", with_safetask);
             rec.gauge(h1, "fleet.active_mercurial", active as f64);
-            series.push(
-                base,
-                with_safetask,
-                summary.corruptions - before_corruptions,
-                active,
-            );
+            // Last gauge of every epoch boundary: the replay path
+            // (`WatchInput::from_jsonl`) closes the epoch row on it.
+            rec.gauge(h1, "epoch.corrupt_ops", ops as f64);
+            series.push(base, with_safetask, ops, active);
+            if let Some(eng) = engine.as_mut() {
+                let fired = eng.push_epoch(EpochRow {
+                    hour: h1,
+                    capacity: base,
+                    capacity_with_safetask: with_safetask,
+                    corrupt_ops: ops as f64,
+                    active_mercurial: active as f64,
+                });
+                record_alerts(&mut rec, &fired);
+            }
             rec.end(h1, "loop.epoch");
+            if let Some(s) = opts.sink.as_mut() {
+                s.drain(&mut rec).expect("stream sink drain");
+            }
         }
 
         // Final assembly. User-report escalations drawn while a core was
@@ -528,12 +632,26 @@ impl ClosedLoopDriver {
             exonerated_innocents,
             detection_latency_hours,
         };
+        let watch = match engine {
+            Some(eng) => {
+                let empty = MetricSet::new();
+                let (report, end_alerts) =
+                    eng.finish(rec.metrics().unwrap_or(&empty), opts.baseline);
+                record_alerts(&mut rec, &end_alerts);
+                Some(report)
+            }
+            None => None,
+        };
+        if let Some(s) = opts.sink.as_mut() {
+            s.finish(&mut rec).expect("stream sink finish");
+        }
         ClosedLoopOutcome {
             pipeline,
             series,
             epochs,
             epoch_hours,
             trace: rec.finish(),
+            watch,
         }
     }
 }

@@ -36,7 +36,8 @@
 //!
 //! The sub-crates are re-exported under their own names for direct use:
 //! [`fault`], [`simcpu`], [`corpus`], [`fleet`], [`screening`],
-//! [`fuzz`], [`isolation`], [`mitigation`], [`metrics`].
+//! [`fuzz`], [`isolation`], [`mitigation`], [`metrics`], [`trace`],
+//! [`watch`].
 #![warn(missing_docs)]
 
 pub mod closedloop;
@@ -46,7 +47,7 @@ pub mod pipeline;
 pub mod report;
 pub mod scenario;
 
-pub use closedloop::{ClosedLoopDriver, ClosedLoopOutcome};
+pub use closedloop::{ClosedLoopDriver, ClosedLoopOutcome, RunOptions};
 pub use experiment::FleetExperiment;
 pub use fig1::{fig1_from_outcome, run_fig1, run_fig1_closed_loop, Fig1Result};
 pub use pipeline::{PipelineOutcome, PipelineRun};
@@ -62,10 +63,11 @@ pub use mercurial_mitigation as mitigation;
 pub use mercurial_screening as screening;
 pub use mercurial_simcpu as simcpu;
 pub use mercurial_trace as trace;
+pub use mercurial_watch as watch;
 
 /// The most commonly used types, in one import.
 pub mod prelude {
-    pub use crate::closedloop::{ClosedLoopDriver, ClosedLoopOutcome};
+    pub use crate::closedloop::{ClosedLoopDriver, ClosedLoopOutcome, RunOptions};
     pub use crate::experiment::FleetExperiment;
     pub use crate::fig1::{run_fig1, Fig1Result};
     pub use crate::pipeline::{PipelineOutcome, PipelineRun};

@@ -153,6 +153,131 @@ impl TraceConfig {
     }
 }
 
+/// Alert-rule block for `mercurial-watch` (off by default, like `trace`).
+///
+/// The threshold knobs mirror the PR-3 `tuning` pattern: every limit that
+/// would otherwise be hard-coded in `crates/watch` lives here with a
+/// serde default, so rule files and scenario JSON can tune them without
+/// code changes. [`WatchConfig::rule_set`] expands the knobs into the
+/// default rule set and appends any custom `rules`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchConfig {
+    /// Whether the closed-loop driver evaluates rules in-loop (emitting
+    /// `alert.fired` trace instants and a `WatchReport` on the outcome).
+    #[serde(default)]
+    pub enabled: bool,
+    /// Threshold for the per-epoch corrupt-ops rule: fire when any single
+    /// epoch draws more corruption than this.
+    #[serde(default = "default_max_corrupt_ops_per_epoch")]
+    pub max_corrupt_ops_per_epoch: f64,
+    /// Rate budget for the capacity rule: fire when schedulable capacity
+    /// drops by more than this fraction of nominal between two epochs.
+    #[serde(default = "default_max_capacity_drop_per_epoch")]
+    pub max_capacity_drop_per_epoch: f64,
+    /// SLO for the latency-percentile rule: fire when the end-of-run
+    /// `detect.latency_hours` p95 reaches this many hours.
+    #[serde(default = "default_max_detect_latency_p95_hours")]
+    pub max_detect_latency_p95_hours: f64,
+    /// Fractional tolerance band of the cross-run regression rules.
+    #[serde(default = "default_regression_tolerance")]
+    pub regression_tolerance: f64,
+    /// Extra rules appended after the defaults (rule-file grammar).
+    #[serde(default)]
+    pub rules: Vec<mercurial_watch::Rule>,
+}
+
+// The paper-scale scenario (seed 24301, feedback on) peaks at ~17.2k
+// residual corrupt ops in its worst epoch and lands detect-latency p95 at
+// ~3650 h (one full offline sweep: 10 intervals × 365 h covering 10% of
+// the fleet each). The defaults leave ~2-3× headroom over those healthy
+// readings, so a quiet fleet never fires and a halved screening cadence
+// does.
+fn default_max_corrupt_ops_per_epoch() -> f64 {
+    50_000.0
+}
+fn default_max_capacity_drop_per_epoch() -> f64 {
+    0.001
+}
+fn default_max_detect_latency_p95_hours() -> f64 {
+    4_500.0
+}
+fn default_regression_tolerance() -> f64 {
+    0.25
+}
+
+impl Default for WatchConfig {
+    fn default() -> WatchConfig {
+        WatchConfig {
+            enabled: false,
+            max_corrupt_ops_per_epoch: default_max_corrupt_ops_per_epoch(),
+            max_capacity_drop_per_epoch: default_max_capacity_drop_per_epoch(),
+            max_detect_latency_p95_hours: default_max_detect_latency_p95_hours(),
+            regression_tolerance: default_regression_tolerance(),
+            rules: Vec::new(),
+        }
+    }
+}
+
+impl WatchConfig {
+    /// Expand the knobs into the default six-rule set (three invariants,
+    /// three cross-run regressions) plus any custom rules.
+    pub fn rule_set(&self) -> mercurial_watch::RuleSet {
+        use mercurial_watch::{Cmp, EpochField, Rule, RuleKind, Source};
+        let mut rules = vec![
+            Rule {
+                name: "epoch-corrupt-ops".to_string(),
+                kind: RuleKind::Threshold {
+                    source: Source::EpochMax(EpochField::CorruptOps),
+                    op: Cmp::Gt,
+                    limit: self.max_corrupt_ops_per_epoch,
+                },
+            },
+            Rule {
+                name: "capacity-drop-rate".to_string(),
+                kind: RuleKind::Rate {
+                    field: EpochField::Capacity,
+                    max_drop_per_epoch: self.max_capacity_drop_per_epoch,
+                },
+            },
+            Rule {
+                name: "detect-latency-p95".to_string(),
+                kind: RuleKind::Percentile {
+                    histogram: "detect.latency_hours".to_string(),
+                    q: 0.95,
+                    op: Cmp::Ge,
+                    limit: self.max_detect_latency_p95_hours,
+                },
+            },
+            Rule {
+                name: "baseline-detect-latency-p95".to_string(),
+                kind: RuleKind::Regression {
+                    source: Source::Quantile {
+                        histogram: "detect.latency_hours".to_string(),
+                        q: 0.95,
+                    },
+                    tolerance_frac: self.regression_tolerance,
+                },
+            },
+            Rule {
+                name: "baseline-residual-corrupt-ops".to_string(),
+                kind: RuleKind::Regression {
+                    source: Source::EpochSum(EpochField::CorruptOps),
+                    tolerance_frac: self.regression_tolerance,
+                },
+            },
+            Rule {
+                name: "baseline-capacity-trough".to_string(),
+                kind: RuleKind::Regression {
+                    source: Source::EpochMin(EpochField::Capacity),
+                    tolerance_frac: self.regression_tolerance,
+                },
+            },
+        ];
+        rules.extend(self.rules.iter().cloned());
+        mercurial_watch::RuleSet { rules }
+    }
+}
+
 /// A complete experiment configuration.
 ///
 /// Scenarios serialize to JSON so experiment parameters live in files and
@@ -184,6 +309,9 @@ pub struct Scenario {
     /// Structured-tracing options (off by default).
     #[serde(default)]
     pub trace: TraceConfig,
+    /// Alert-rule options (off by default).
+    #[serde(default)]
+    pub watch: WatchConfig,
 }
 
 impl Scenario {
@@ -205,6 +333,7 @@ impl Scenario {
             tuning: PipelineTuning::default(),
             closed_loop: ClosedLoopConfig::default(),
             trace: TraceConfig::default(),
+            watch: WatchConfig::default(),
         }
     }
 
@@ -281,22 +410,22 @@ mod tests {
         s.tuning.burnin_ops_multiplier = 9; // non-default, must NOT survive
         s.closed_loop.feedback = true;
         s.trace.enabled = true;
+        s.watch.enabled = true;
         let mut v = s.to_value();
         let serde::Value::Object(entries) = &mut v else {
             panic!("scenario serializes to an object");
         };
         let before = entries.len();
-        entries.retain(|(k, _)| k != "tuning" && k != "closed_loop" && k != "trace");
-        assert_eq!(
-            entries.len(),
-            before - 3,
-            "test must strip all three blocks"
-        );
+        entries
+            .retain(|(k, _)| k != "tuning" && k != "closed_loop" && k != "trace" && k != "watch");
+        assert_eq!(entries.len(), before - 4, "test must strip all four blocks");
         let back = Scenario::from_value(&v).unwrap();
         assert_eq!(back.tuning, PipelineTuning::default());
         assert_eq!(back.closed_loop, ClosedLoopConfig::default());
         assert_eq!(back.trace, TraceConfig::default());
+        assert_eq!(back.watch, WatchConfig::default());
         assert!(!back.trace.enabled, "tracing defaults to off");
+        assert!(!back.watch.enabled, "watch defaults to off");
         assert_eq!(back.tuning.triage_latency_hours, 72.0);
         assert_eq!(back.tuning.restore_latency_hours, 96.0);
         assert_eq!(back.tuning.burnin_ops_multiplier, 5);
@@ -314,6 +443,36 @@ mod tests {
         assert_eq!(t.triage_latency_hours, 48.0);
         assert_eq!(t.restore_latency_hours, 96.0);
         assert_eq!(t.burnin_ops_multiplier, 5);
+    }
+
+    #[test]
+    fn partial_watch_block_fills_missing_knobs_and_validates() {
+        let json = r#"{"enabled": true, "max_corrupt_ops_per_epoch": 123.0}"#;
+        let w: WatchConfig = serde_json::from_str(json).unwrap();
+        assert!(w.enabled);
+        assert_eq!(w.max_corrupt_ops_per_epoch, 123.0);
+        assert_eq!(
+            w.max_capacity_drop_per_epoch,
+            default_max_capacity_drop_per_epoch()
+        );
+        assert!(w.rules.is_empty());
+        let set = w.rule_set();
+        assert_eq!(set.rules.len(), 6);
+        set.validate().expect("default rule set validates");
+        // Custom rules append after the defaults.
+        let mut with_custom = w.clone();
+        with_custom.rules.push(mercurial_watch::Rule {
+            name: "custom".to_string(),
+            kind: mercurial_watch::RuleKind::Threshold {
+                source: mercurial_watch::Source::Counter("sim.corruptions".to_string()),
+                op: mercurial_watch::Cmp::Gt,
+                limit: 1e9,
+            },
+        });
+        let set = with_custom.rule_set();
+        assert_eq!(set.rules.len(), 7);
+        assert_eq!(set.rules[6].name, "custom");
+        set.validate().expect("custom rule set validates");
     }
 
     #[test]

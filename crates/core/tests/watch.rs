@@ -1,0 +1,200 @@
+//! Integration contracts of the alert-rule engine over live runs.
+//!
+//! Four properties anchor the watch layer:
+//!
+//! 1. **Determinism parity** — the alerts a run fires (and the
+//!    `alert.fired` instants stamped into its trace) are bit-for-bit
+//!    identical across worker-thread counts (1, 2, 8), the same §4.1
+//!    contract the simulation and trace honor.
+//! 2. **Streaming parity** — a run drained through [`JsonlStreamSink`]
+//!    produces byte-identical JSONL to the buffered export, while the
+//!    in-memory trace keeps only the metric set.
+//! 3. **Replay equivalence** — evaluating the rules over the exported
+//!    JSONL reproduces the in-loop report exactly.
+//! 4. **Quiet fleets stay quiet** — with no mercurial cores, even
+//!    hair-trigger rules never fire, and regression rules without a
+//!    baseline report "no baseline" instead of firing.
+
+use mercurial::closedloop::{ClosedLoopDriver, RunOptions};
+use mercurial::trace::{EventKind, JsonlStreamSink};
+use mercurial::watch::{Cmp, EpochField, Rule, RuleKind, RuleSet, RuleStatus, Source, WatchInput};
+use mercurial::{FleetExperiment, Scenario};
+
+fn watched_demo(seed: u64) -> Scenario {
+    let mut s = Scenario::demo(seed);
+    s.closed_loop.feedback = true;
+    s.trace.enabled = true;
+    s.watch.enabled = true;
+    s
+}
+
+/// Rules tight enough that any defective demo fleet trips them.
+fn hair_trigger_rules() -> RuleSet {
+    RuleSet {
+        rules: vec![
+            Rule {
+                name: "ops".into(),
+                kind: RuleKind::Threshold {
+                    source: Source::EpochMax(EpochField::CorruptOps),
+                    op: Cmp::Gt,
+                    limit: 10.0,
+                },
+            },
+            Rule {
+                name: "latency".into(),
+                kind: RuleKind::Percentile {
+                    histogram: "detect.latency_hours".into(),
+                    q: 0.95,
+                    op: Cmp::Ge,
+                    limit: 1.0,
+                },
+            },
+            Rule {
+                name: "regress".into(),
+                kind: RuleKind::Regression {
+                    source: Source::EpochSum(EpochField::CorruptOps),
+                    tolerance_frac: 0.25,
+                },
+            },
+        ],
+    }
+}
+
+#[test]
+fn alerts_are_bit_identical_across_thread_counts() {
+    let base = watched_demo(7);
+    let runs: Vec<(String, String)> = [1usize, 2, 8]
+        .iter()
+        .map(|&p| {
+            let mut s = base.clone();
+            s.sim.parallelism = p;
+            let out = ClosedLoopDriver::execute(&s);
+            let report = out.watch.expect("watch block is enabled");
+            (report.render(), out.trace.to_jsonl())
+        })
+        .collect();
+    assert!(
+        runs[0].0.contains("FIRED"),
+        "demo fleet must trip the default rules:\n{}",
+        runs[0].0
+    );
+    for (i, r) in runs[1..].iter().enumerate() {
+        assert_eq!(
+            runs[0].0,
+            r.0,
+            "alert report differs between 1 and {} workers",
+            [2, 8][i]
+        );
+        assert_eq!(
+            runs[0].1,
+            r.1,
+            "trace (with alert.fired instants) differs between 1 and {} workers",
+            [2, 8][i]
+        );
+    }
+}
+
+#[test]
+fn alert_instants_carry_rule_indices_and_hours() {
+    let out = ClosedLoopDriver::execute(&watched_demo(7));
+    let report = out.watch.expect("watch block is enabled");
+    let instants: Vec<(f64, f64)> = out
+        .trace
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Instant && e.name == "alert.fired")
+        .map(|e| (e.hour, e.value))
+        .collect();
+    let fired: Vec<(usize, f64)> = report
+        .outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| match &o.status {
+            RuleStatus::Fired(a) => Some((i, a.hour)),
+            _ => None,
+        })
+        .collect();
+    assert!(!fired.is_empty(), "demo fleet must fire at least one rule");
+    assert_eq!(
+        instants.len(),
+        fired.len(),
+        "one alert.fired instant per fired rule"
+    );
+    for (idx, hour) in fired {
+        assert!(
+            instants.contains(&(hour, idx as f64)),
+            "rule {idx} fired at h{hour} but no matching instant in {instants:?}"
+        );
+    }
+}
+
+#[test]
+fn streamed_run_is_byte_identical_to_buffered_export() {
+    let base = watched_demo(7);
+    let buffered = ClosedLoopDriver::execute(&base).trace.to_jsonl();
+
+    for p in [1usize, 2, 8] {
+        let mut scenario = base.clone();
+        scenario.sim.parallelism = p;
+        let experiment = FleetExperiment::build(&scenario);
+        let mut sink = JsonlStreamSink::new(Vec::new());
+        let out = ClosedLoopDriver::execute_with(
+            &scenario,
+            &experiment,
+            RunOptions {
+                sink: Some(&mut sink),
+                ..RunOptions::default()
+            },
+        );
+        let streamed = String::from_utf8(sink.into_inner()).expect("JSONL is UTF-8");
+        assert_eq!(
+            streamed, buffered,
+            "streaming at {p} workers must not change a byte"
+        );
+        // The sink drained the events; only the metric set stays in memory.
+        assert!(out.trace.events.is_empty(), "events live in the sink");
+        assert!(out.trace.metrics.histograms().count() > 0);
+    }
+}
+
+#[test]
+fn replaying_the_exported_trace_reproduces_the_report() {
+    let scenario = watched_demo(7);
+    let out = ClosedLoopDriver::execute(&scenario);
+    let live = out.watch.expect("watch block is enabled");
+    let input = WatchInput::from_jsonl(&out.trace.to_jsonl()).expect("exported trace replays");
+    let offline = scenario.watch.rule_set().evaluate(&input, None);
+    assert_eq!(
+        live.render(),
+        offline.render(),
+        "offline replay must agree with the in-loop engine"
+    );
+}
+
+#[test]
+fn healthy_fleet_fires_nothing_even_on_hair_trigger_rules() {
+    let mut scenario = watched_demo(7);
+    for p in &mut scenario.fleet.products {
+        p.mercurial_rate_per_core = 0.0;
+    }
+    let experiment = FleetExperiment::build(&scenario);
+    assert_eq!(experiment.population().count(), 0, "fleet must be healthy");
+    let out = ClosedLoopDriver::execute_with(
+        &scenario,
+        &experiment,
+        RunOptions {
+            rules: Some(hair_trigger_rules()),
+            ..RunOptions::default()
+        },
+    );
+    let report = out.watch.expect("rules were supplied");
+    assert!(
+        !report.any_fired(),
+        "healthy fleet tripped a rule:\n{}",
+        report.render()
+    );
+    // Nothing was ever detected, so the latency histogram is empty...
+    assert!(matches!(report.outcomes[1].status, RuleStatus::NoData));
+    // ...and without a recorded baseline the regression rule cannot fire.
+    assert!(matches!(report.outcomes[2].status, RuleStatus::NoBaseline));
+}

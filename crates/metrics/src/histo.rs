@@ -31,7 +31,14 @@ pub fn log_histogram(samples: &[f64]) -> LogHistogram {
 /// histogram. `None` when `samples` is empty; exact for a single sample
 /// (estimates are clamped to the observed `[min, max]`).
 pub fn percentiles(samples: &[f64]) -> Option<Percentiles> {
-    let h = log_histogram(samples);
+    percentiles_of(&log_histogram(samples))
+}
+
+/// The p50/p95/p99 readout of an already-built histogram — what alert
+/// rules evaluate against a live `Recorder`'s metric set without
+/// re-observing samples. `None` when the histogram is empty (or holds
+/// only non-finite junk).
+pub fn percentiles_of(h: &LogHistogram) -> Option<Percentiles> {
     Some(Percentiles {
         p50: h.p50()?,
         p95: h.p95()?,
@@ -80,5 +87,36 @@ mod tests {
         let p = percentiles(&[0.0, 0.0, 0.0, 10.0]).unwrap();
         assert_eq!(p.p50, 0.0);
         assert!(p.p99 > 0.0 && p.p99 <= 10.0);
+    }
+
+    #[test]
+    fn all_zero_samples_report_exactly_zero() {
+        // The "no corruptions this epoch" histogram: every percentile of
+        // an all-zero sample set is exactly 0, not a bucket estimate.
+        let p = percentiles(&[0.0; 12]).unwrap();
+        assert_eq!(p.p50, 0.0);
+        assert_eq!(p.p95, 0.0);
+        assert_eq!(p.p99, 0.0);
+    }
+
+    #[test]
+    fn single_populated_bucket_reports_the_bucket_not_empty_decades() {
+        // Zeros plus one populated bucket at 100: high percentiles must
+        // land in that bucket (clamped to the exact max), never in the
+        // empty decades between 0 and 100.
+        let mut samples = vec![0.0; 9];
+        samples.extend([100.0; 5]);
+        let p = percentiles(&samples).unwrap();
+        assert_eq!(p.p50, 0.0);
+        assert_eq!(p.p95, 100.0);
+        assert_eq!(p.p99, 100.0);
+    }
+
+    #[test]
+    fn percentiles_of_matches_sample_path() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 * 1.7).collect();
+        let h = log_histogram(&samples);
+        assert_eq!(percentiles_of(&h), percentiles(&samples));
+        assert_eq!(percentiles_of(&LogHistogram::new()), None);
     }
 }

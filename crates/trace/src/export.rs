@@ -6,7 +6,8 @@
 
 use std::fmt::Write as _;
 
-use crate::event::EventKind;
+use crate::event::{EventKind, TraceEvent};
+use crate::metric::MetricSet;
 use crate::recorder::Trace;
 
 /// Escape a string for embedding inside a JSON string literal.
@@ -39,36 +40,41 @@ fn json_num(v: f64) -> String {
     }
 }
 
-/// JSONL event log: one JSON object per line. Events first (merge order),
-/// then one `metric` line per counter, gauge, and histogram (name order).
+/// Append one event's JSONL line (newline included):
+/// `{"h":<hour>,"k":"B|E|I|G","n":"<name>"[,"core":<u64>][,"v":<value>]}`.
 ///
-/// Event lines: `{"h":<hour>,"k":"B|E|I|G","n":"<name>"[,"core":<u64>][,"v":<value>]}`.
-pub fn to_jsonl(trace: &Trace) -> String {
-    let mut out = String::new();
-    for e in &trace.events {
-        let _ = write!(
-            out,
-            "{{\"h\":{},\"k\":\"{}\",\"n\":\"{}\"",
-            json_num(e.hour),
-            e.kind.code(),
-            json_escape(e.name)
-        );
-        if let Some(core) = e.core {
-            let _ = write!(out, ",\"core\":{core}");
-        }
-        if e.value != 0.0 || e.kind == EventKind::Gauge {
-            let _ = write!(out, ",\"v\":{}", json_num(e.value));
-        }
-        out.push_str("}\n");
+/// Both [`to_jsonl`] and the incremental [`crate::stream::JsonlStreamSink`]
+/// format events through this one function, which is what makes the
+/// streamed file byte-identical to the buffered export by construction.
+pub fn write_jsonl_event(out: &mut String, e: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"h\":{},\"k\":\"{}\",\"n\":\"{}\"",
+        json_num(e.hour),
+        e.kind.code(),
+        json_escape(e.name)
+    );
+    if let Some(core) = e.core {
+        let _ = write!(out, ",\"core\":{core}");
     }
-    for (name, v) in trace.metrics.counters() {
+    if e.value != 0.0 || e.kind == EventKind::Gauge {
+        let _ = write!(out, ",\"v\":{}", json_num(e.value));
+    }
+    out.push_str("}\n");
+}
+
+/// Append the metric tail of a JSONL export: one `metric` line per
+/// counter, gauge, and histogram, in name order. Shared by [`to_jsonl`]
+/// and [`crate::stream::JsonlStreamSink::finish`].
+pub fn write_jsonl_metrics(out: &mut String, metrics: &MetricSet) {
+    for (name, v) in metrics.counters() {
         let _ = writeln!(
             out,
             "{{\"metric\":\"counter\",\"n\":\"{}\",\"v\":{v}}}",
             json_escape(name)
         );
     }
-    for (name, v) in trace.metrics.gauges() {
+    for (name, v) in metrics.gauges() {
         let _ = writeln!(
             out,
             "{{\"metric\":\"gauge\",\"n\":\"{}\",\"v\":{}}}",
@@ -76,7 +82,7 @@ pub fn to_jsonl(trace: &Trace) -> String {
             json_num(v)
         );
     }
-    for (name, h) in trace.metrics.histograms() {
+    for (name, h) in metrics.histograms() {
         let _ = write!(
             out,
             "{{\"metric\":\"histogram\",\"n\":\"{}\",\"count\":{},\"sum\":{}",
@@ -97,6 +103,18 @@ pub fn to_jsonl(trace: &Trace) -> String {
         }
         out.push_str("}\n");
     }
+}
+
+/// JSONL event log: one JSON object per line. Events first (merge order),
+/// then one `metric` line per counter, gauge, and histogram (name order).
+///
+/// Event lines: `{"h":<hour>,"k":"B|E|I|G","n":"<name>"[,"core":<u64>][,"v":<value>]}`.
+pub fn to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in &trace.events {
+        write_jsonl_event(&mut out, e);
+    }
+    write_jsonl_metrics(&mut out, &trace.metrics);
     out
 }
 

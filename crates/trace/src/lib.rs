@@ -34,9 +34,11 @@ pub mod event;
 pub mod export;
 pub mod metric;
 pub mod recorder;
+pub mod stream;
 pub mod timeline;
 
 pub use event::{EventKind, TraceEvent};
 pub use metric::{LogHistogram, MetricSet};
 pub use recorder::{Recorder, Trace, TraceFlags};
+pub use stream::{JsonlStreamSink, TraceSink};
 pub use timeline::incident_timeline;

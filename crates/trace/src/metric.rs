@@ -131,19 +131,26 @@ impl LogHistogram {
         }
     }
 
-    /// Quantile estimate for `q` in `[0, 1]`; `None` on an empty histogram.
+    /// Quantile estimate for `q` in `[0, 1]`; `None` on an empty histogram
+    /// or one that only ever saw non-finite samples.
     ///
     /// Walks the cumulative bucket counts and returns the geometric
     /// midpoint of the target bucket, clamped to the exact `[min, max]`
-    /// range (so single-sample histograms are exact).
+    /// range — so single-sample and single-bucket histograms are exact and
+    /// estimates never interpolate across decades no sample landed in.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
         }
+        // `count > 0` with no finite extremes means every sample was
+        // NaN/∞: there is no finite range to estimate within, so report
+        // "no data" rather than fabricate a zero.
+        let (Some(lo), Some(hi)) = (self.min(), self.max()) else {
+            return None;
+        };
         let q = q.clamp(0.0, 1.0);
         // Rank of the target sample, 1-based.
         let target = ((q * self.count as f64).ceil() as u64).max(1);
-        let (lo, hi) = (self.min().unwrap_or(0.0), self.max().unwrap_or(0.0));
         let clamp = |v: f64| v.clamp(lo, hi);
         let mut seen = self.zeros;
         if target <= seen {
@@ -350,6 +357,61 @@ mod tests {
             assert_eq!(a.quantile(q), all.quantile(q));
         }
         assert!((a.sum() - all.sum()).abs() < 1e-9 * all.sum().abs());
+    }
+
+    #[test]
+    fn all_zero_histogram_quantiles_are_exactly_zero() {
+        let mut h = LogHistogram::new();
+        for _ in 0..7 {
+            h.observe(0.0);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(0.0));
+        }
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.max(), Some(0.0));
+    }
+
+    #[test]
+    fn single_bucket_histogram_does_not_interpolate_across_empty_decades() {
+        // Nine zeros and five samples in one bucket: every quantile must
+        // land either exactly at 0 or inside the populated bucket's
+        // clamped range — never in the empty decades between them.
+        let mut h = LogHistogram::new();
+        for _ in 0..9 {
+            h.observe(0.0);
+        }
+        for _ in 0..5 {
+            h.observe(100.0);
+        }
+        assert_eq!(h.p50(), Some(0.0));
+        // Rank 14 of 14 → the 100.0 bucket; its geometric midpoint
+        // (≈115.5) clamps to the exact max.
+        assert_eq!(h.p95(), Some(100.0));
+        assert_eq!(h.p99(), Some(100.0));
+    }
+
+    #[test]
+    fn identical_samples_are_exact_at_every_quantile() {
+        let mut h = LogHistogram::new();
+        for _ in 0..100 {
+            h.observe(73.0);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(73.0));
+        }
+    }
+
+    #[test]
+    fn non_finite_only_histogram_has_no_quantiles() {
+        let mut h = LogHistogram::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        // Previously this fabricated Some(0.0) from the missing extremes.
+        assert_eq!(h.quantile(0.5), None);
     }
 
     #[test]

@@ -185,6 +185,21 @@ impl Recorder {
         self.inner.as_ref().map_or(0, |i| i.events.len())
     }
 
+    /// The metric set accumulated so far (`None` when disabled).
+    pub fn metrics(&self) -> Option<&MetricSet> {
+        self.inner.as_deref().map(|i| &i.metrics)
+    }
+
+    /// Drain the buffered events, leaving metrics and flags in place — the
+    /// hook a streaming [`crate::stream::TraceSink`] uses to flush merged
+    /// events to disk incrementally instead of holding the whole run in
+    /// memory. Returns an empty vec when disabled.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        self.inner
+            .as_deref_mut()
+            .map_or_else(Vec::new, |i| std::mem::take(&mut i.events))
+    }
+
     /// Consume the recorder and return the finished trace. A disabled
     /// recorder yields an empty trace.
     pub fn finish(self) -> Trace {
@@ -298,6 +313,23 @@ mod tests {
         let tb = b.finish();
         assert_eq!(tb.events[0].name, "two");
         assert_eq!(tb.metrics.counter("n"), 2);
+    }
+
+    #[test]
+    fn take_events_drains_but_keeps_metrics() {
+        let mut r = Recorder::with_flags(TraceFlags::enabled());
+        r.begin(0.0, "a");
+        r.counter_add("n", 3);
+        r.end(1.0, "a");
+        let drained = r.take_events();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(r.event_count(), 0);
+        assert_eq!(r.metrics().unwrap().counter("n"), 3);
+        // Subsequent events buffer afresh.
+        r.instant(2.0, "x", None, 0.0);
+        assert_eq!(r.take_events().len(), 1);
+        assert!(Recorder::disabled().take_events().is_empty());
+        assert!(Recorder::disabled().metrics().is_none());
     }
 
     #[test]

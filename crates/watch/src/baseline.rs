@@ -1,0 +1,119 @@
+//! Persisted cross-run baselines for regression rules.
+//!
+//! A baseline is a snapshot of every regression-watched source's value
+//! from a known-good run, keyed by [`crate::rule::Source::key`]. It is
+//! recorded by `mercurial-lab watch --record-baseline`, committed next to
+//! the BENCH files, and compared with a tolerance band on later runs —
+//! the "BENCH trajectory with teeth".
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::input::WatchInput;
+use crate::rule::{RuleKind, RuleSet};
+
+/// A committed known-good snapshot of regression sources.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Name of the scenario the baseline was recorded from.
+    pub scenario: String,
+    /// The seed the run used (baselines are only comparable at the same
+    /// (scenario, seed) — the determinism contract makes the comparison
+    /// exact, the tolerance band absorbs intended tuning drift).
+    pub seed: u64,
+    /// Source key → recorded value.
+    pub values: BTreeMap<String, f64>,
+}
+
+impl Baseline {
+    /// Record a baseline: snapshot every regression rule's source value
+    /// from `input`. Sources with no data are skipped (a later comparison
+    /// reports them as "no baseline" rather than firing).
+    pub fn record(rules: &RuleSet, input: &WatchInput, scenario: &str, seed: u64) -> Baseline {
+        let mut values = BTreeMap::new();
+        for rule in &rules.rules {
+            if let RuleKind::Regression { source, .. } = &rule.kind {
+                if let Some(v) = input.source_value(source) {
+                    values.insert(source.key(), v);
+                }
+            }
+        }
+        Baseline {
+            scenario: scenario.to_string(),
+            seed,
+            values,
+        }
+    }
+
+    /// Look up the recorded value for a source key.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.values.get(key).copied()
+    }
+
+    /// Serialize to pretty JSON (the `BASELINE_watch.json` format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("baseline serializes")
+    }
+
+    /// Parse a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error message.
+    pub fn from_json(json: &str) -> Result<Baseline, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Rule, Source};
+
+    fn regression_rules() -> RuleSet {
+        RuleSet {
+            rules: vec![
+                Rule {
+                    name: "ops".into(),
+                    kind: RuleKind::Regression {
+                        source: Source::Counter("sim.corruptions".into()),
+                        tolerance_frac: 0.25,
+                    },
+                },
+                Rule {
+                    name: "missing".into(),
+                    kind: RuleKind::Regression {
+                        source: Source::Counter("never.recorded".into()),
+                        tolerance_frac: 0.25,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn record_compare_roundtrip() {
+        let mut input = WatchInput::default();
+        input.counters.insert("sim.corruptions".into(), 1234.0);
+        let base = Baseline::record(&regression_rules(), &input, "demo-5", 5);
+        assert_eq!(base.get("counter:sim.corruptions"), Some(1234.0));
+        // Sources with no data are skipped, not recorded as zero.
+        assert_eq!(base.get("counter:never.recorded"), None);
+        let back = Baseline::from_json(&base.to_json()).unwrap();
+        assert_eq!(base, back);
+
+        // Within the band: holds. Outside: fires.
+        let rules = regression_rules();
+        let mut same = input.clone();
+        same.counters.insert("sim.corruptions".into(), 1300.0);
+        let report = rules.evaluate(&same, Some(&base));
+        assert!(!report.any_fired());
+
+        let mut worse = input.clone();
+        worse.counters.insert("sim.corruptions".into(), 2000.0);
+        let report = rules.evaluate(&worse, Some(&base));
+        assert_eq!(report.alerts().len(), 1);
+        assert_eq!(report.alerts()[0].limit, 1234.0);
+    }
+}

@@ -1,0 +1,558 @@
+//! Rule evaluation: one code path shared by the in-loop engine and the
+//! offline replay, so both report identical alerts for the same run.
+//!
+//! Epoch-scoped rules (epoch thresholds, rates) fire at most once, at the
+//! first violating epoch boundary, stamped with that boundary's hour.
+//! End-of-run rules (metric thresholds, percentiles, regressions) are
+//! stamped with the run's last boundary hour. Missing data is reported as
+//! [`RuleStatus::NoData`], a missing baseline as
+//! [`RuleStatus::NoBaseline`] — neither ever fires.
+
+use crate::baseline::Baseline;
+use crate::input::{EpochRow, WatchInput};
+use crate::rule::{Rule, RuleKind, RuleSet};
+use mercurial_trace::MetricSet;
+
+/// One firing: which rule, when, and the observed-vs-limit pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// The firing rule's name.
+    pub rule: String,
+    /// Fleet hour the alert is stamped with (first violating epoch
+    /// boundary, or the run's end for end-of-run rules).
+    pub hour: f64,
+    /// The observed value.
+    pub value: f64,
+    /// The limit (for regressions: the baseline value).
+    pub limit: f64,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// The outcome of evaluating one rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleStatus {
+    /// The rule held.
+    Ok,
+    /// The rule fired.
+    Fired(Alert),
+    /// A regression rule found no baseline entry for its source.
+    NoBaseline,
+    /// The watched metric/column recorded no data.
+    NoData,
+}
+
+/// One rule's evaluated outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleOutcome {
+    /// The rule's name.
+    pub rule: String,
+    /// What happened.
+    pub status: RuleStatus,
+}
+
+/// The full readout of a rule set over one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WatchReport {
+    /// One outcome per rule, in rule order.
+    pub outcomes: Vec<RuleOutcome>,
+}
+
+impl WatchReport {
+    /// The alerts that fired, in rule order.
+    pub fn alerts(&self) -> Vec<&Alert> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match &o.status {
+                RuleStatus::Fired(a) => Some(a),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether any rule fired.
+    pub fn any_fired(&self) -> bool {
+        self.outcomes
+            .iter()
+            .any(|o| matches!(o.status, RuleStatus::Fired(_)))
+    }
+
+    /// Render a fixed-width status table (deterministic).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let fired = self.alerts().len();
+        out.push_str(&format!(
+            "watch report: {} rules, {} fired\n",
+            self.outcomes.len(),
+            fired
+        ));
+        let width = self
+            .outcomes
+            .iter()
+            .map(|o| o.rule.len())
+            .max()
+            .unwrap_or(0);
+        for o in &self.outcomes {
+            let line = match &o.status {
+                RuleStatus::Ok => "ok".to_string(),
+                RuleStatus::NoBaseline => {
+                    "no baseline (record one with --record-baseline)".to_string()
+                }
+                RuleStatus::NoData => "no data".to_string(),
+                RuleStatus::Fired(a) => format!("FIRED @h{:.0}  {}", a.hour, a.message),
+            };
+            out.push_str(&format!("  {:<width$}  {line}\n", o.rule));
+        }
+        out
+    }
+}
+
+/// Format a value the way reports show them: trimmed floats.
+fn fmt_v(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// First epoch index (with the violating value) at which an epoch-scoped
+/// rule's condition holds over the running prefix of `rows`.
+fn first_violation(rule: &Rule, rows: &[EpochRow]) -> Option<(usize, f64, f64, String)> {
+    match &rule.kind {
+        RuleKind::Threshold { source, op, limit } => {
+            use crate::rule::Source as S;
+            enum Agg {
+                Max,
+                Min,
+                Sum,
+            }
+            let (field, combine) = match source {
+                S::EpochMax(f) => (*f, Agg::Max),
+                S::EpochMin(f) => (*f, Agg::Min),
+                S::EpochSum(f) => (*f, Agg::Sum),
+                _ => return None,
+            };
+            // Running-aggregate walk: the first row where the aggregate
+            // over rows[0..=i] violates is the firing epoch.
+            let mut agg: Option<f64> = None;
+            for (i, row) in rows.iter().enumerate() {
+                let v = field.of(row);
+                let next = match (agg, &combine) {
+                    (None, _) => v,
+                    (Some(a), Agg::Max) => a.max(v),
+                    (Some(a), Agg::Min) => a.min(v),
+                    (Some(a), Agg::Sum) => a + v,
+                };
+                agg = Some(next);
+                if op.holds(next, *limit) {
+                    let msg = format!(
+                        "{} = {} {} {}",
+                        source.key(),
+                        fmt_v(next),
+                        op.symbol(),
+                        fmt_v(*limit)
+                    );
+                    return Some((i, next, *limit, msg));
+                }
+            }
+            None
+        }
+        RuleKind::Rate {
+            field,
+            max_drop_per_epoch,
+        } => {
+            for i in 1..rows.len() {
+                let drop = field.of(&rows[i - 1]) - field.of(&rows[i]);
+                if drop > *max_drop_per_epoch {
+                    let msg = format!(
+                        "{} dropped {} in one epoch (budget {})",
+                        field.key(),
+                        fmt_v(drop),
+                        fmt_v(*max_drop_per_epoch)
+                    );
+                    return Some((i, drop, *max_drop_per_epoch, msg));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Evaluate one end-of-run rule against the input snapshot.
+fn eval_end_of_run(rule: &Rule, input: &WatchInput, baseline: Option<&Baseline>) -> RuleStatus {
+    let hour = input.end_hour();
+    match &rule.kind {
+        RuleKind::Threshold { source, op, limit } => match input.source_value(source) {
+            None => RuleStatus::NoData,
+            Some(value) if op.holds(value, *limit) => RuleStatus::Fired(Alert {
+                rule: rule.name.clone(),
+                hour,
+                value,
+                limit: *limit,
+                message: format!(
+                    "{} = {} {} {}",
+                    source.key(),
+                    fmt_v(value),
+                    op.symbol(),
+                    fmt_v(*limit)
+                ),
+            }),
+            Some(_) => RuleStatus::Ok,
+        },
+        RuleKind::Percentile {
+            histogram,
+            q,
+            op,
+            limit,
+        } => {
+            let source = crate::rule::Source::Quantile {
+                histogram: histogram.clone(),
+                q: *q,
+            };
+            match input.source_value(&source) {
+                None => RuleStatus::NoData,
+                Some(value) if op.holds(value, *limit) => RuleStatus::Fired(Alert {
+                    rule: rule.name.clone(),
+                    hour,
+                    value,
+                    limit: *limit,
+                    message: format!(
+                        "{} = {} {} {}",
+                        source.key(),
+                        fmt_v(value),
+                        op.symbol(),
+                        fmt_v(*limit)
+                    ),
+                }),
+                Some(_) => RuleStatus::Ok,
+            }
+        }
+        RuleKind::Regression {
+            source,
+            tolerance_frac,
+        } => {
+            let Some(value) = input.source_value(source) else {
+                return RuleStatus::NoData;
+            };
+            let Some(base) = baseline.and_then(|b| b.get(&source.key())) else {
+                return RuleStatus::NoBaseline;
+            };
+            let band = tolerance_frac * base.abs();
+            if (value - base).abs() > band {
+                RuleStatus::Fired(Alert {
+                    rule: rule.name.clone(),
+                    hour,
+                    value,
+                    limit: base,
+                    message: format!(
+                        "{} = {} vs baseline {} (±{})",
+                        source.key(),
+                        fmt_v(value),
+                        fmt_v(base),
+                        fmt_v(band)
+                    ),
+                })
+            } else {
+                RuleStatus::Ok
+            }
+        }
+        // Epoch-scoped kinds are handled by `first_violation`.
+        RuleKind::Rate { .. } => RuleStatus::Ok,
+    }
+}
+
+impl RuleSet {
+    /// Evaluate every rule against a finished input snapshot. This is the
+    /// single evaluator: the in-loop [`WatchEngine`] produces the exact
+    /// same report for the same run.
+    pub fn evaluate(&self, input: &WatchInput, baseline: Option<&Baseline>) -> WatchReport {
+        let outcomes = self
+            .rules
+            .iter()
+            .map(|rule| {
+                let status = if rule.is_epoch_scoped() {
+                    match first_violation(rule, &input.epochs) {
+                        Some((idx, value, limit, message)) => RuleStatus::Fired(Alert {
+                            rule: rule.name.clone(),
+                            hour: input.epochs[idx].hour,
+                            value,
+                            limit,
+                            message,
+                        }),
+                        None if input.epochs.is_empty() => RuleStatus::NoData,
+                        None => RuleStatus::Ok,
+                    }
+                } else {
+                    eval_end_of_run(rule, input, baseline)
+                };
+                RuleOutcome {
+                    rule: rule.name.clone(),
+                    status,
+                }
+            })
+            .collect();
+        WatchReport { outcomes }
+    }
+}
+
+/// The in-loop evaluator the closed-loop driver drives: epoch-scoped
+/// rules are checked at every [`WatchEngine::push_epoch`] so alerts can
+/// be stamped into the trace as they happen; [`WatchEngine::finish`]
+/// evaluates the end-of-run rules and assembles the final report.
+pub struct WatchEngine {
+    rules: RuleSet,
+    rows: Vec<EpochRow>,
+    /// Per-rule fired flag (epoch-scoped rules fire at most once).
+    fired: Vec<bool>,
+}
+
+impl WatchEngine {
+    /// New engine over a rule set.
+    pub fn new(rules: RuleSet) -> WatchEngine {
+        let n = rules.rules.len();
+        WatchEngine {
+            rules,
+            rows: Vec::new(),
+            fired: vec![false; n],
+        }
+    }
+
+    /// The rule set this engine evaluates.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Feed the epoch that just completed. Returns the **newly** fired
+    /// epoch-scoped alerts with their rule indices (for `alert.fired`
+    /// trace instants), in rule order.
+    pub fn push_epoch(&mut self, row: EpochRow) -> Vec<(usize, Alert)> {
+        self.rows.push(row);
+        let mut fresh = Vec::new();
+        for (i, rule) in self.rules.rules.iter().enumerate() {
+            if self.fired[i] || !rule.is_epoch_scoped() {
+                continue;
+            }
+            if let Some((idx, value, limit, message)) = first_violation(rule, &self.rows) {
+                // A violation can only first appear at the newest row.
+                debug_assert_eq!(idx, self.rows.len() - 1);
+                self.fired[i] = true;
+                fresh.push((
+                    i,
+                    Alert {
+                        rule: rule.name.clone(),
+                        hour: self.rows[idx].hour,
+                        value,
+                        limit,
+                        message,
+                    },
+                ));
+            }
+        }
+        fresh
+    }
+
+    /// Finish the run: evaluate end-of-run rules against the final metric
+    /// set and return the full report plus the alerts that fired **at**
+    /// the end (epoch-scoped firings were already returned by
+    /// `push_epoch`), with rule indices for trace instants.
+    pub fn finish(
+        self,
+        metrics: &MetricSet,
+        baseline: Option<&Baseline>,
+    ) -> (WatchReport, Vec<(usize, Alert)>) {
+        let mut input = WatchInput::from_metrics(metrics);
+        input.epochs = self.rows;
+        let report = self.rules.evaluate(&input, baseline);
+        let end_alerts = report
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter_map(
+                |(i, o)| match (&o.status, self.rules.rules[i].is_epoch_scoped()) {
+                    (RuleStatus::Fired(a), false) => Some((i, a.clone())),
+                    _ => None,
+                },
+            )
+            .collect();
+        (report, end_alerts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Cmp, EpochField, Source};
+
+    fn row(hour: f64, capacity: f64, corrupt_ops: f64) -> EpochRow {
+        EpochRow {
+            hour,
+            capacity,
+            capacity_with_safetask: capacity,
+            corrupt_ops,
+            active_mercurial: 1.0,
+        }
+    }
+
+    fn input_with(epochs: Vec<EpochRow>) -> WatchInput {
+        WatchInput {
+            epochs,
+            ..WatchInput::default()
+        }
+    }
+
+    fn ops_threshold(limit: f64) -> RuleSet {
+        RuleSet {
+            rules: vec![Rule {
+                name: "ops".into(),
+                kind: RuleKind::Threshold {
+                    source: Source::EpochMax(EpochField::CorruptOps),
+                    op: Cmp::Gt,
+                    limit,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn threshold_fires_at_first_violating_epoch() {
+        let input = input_with(vec![
+            row(73.0, 1.0, 5.0),
+            row(146.0, 1.0, 50.0),
+            row(219.0, 1.0, 60.0),
+        ]);
+        let report = ops_threshold(10.0).evaluate(&input, None);
+        let alerts = report.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].hour, 146.0);
+        assert_eq!(alerts[0].value, 50.0);
+        assert!(report.any_fired());
+    }
+
+    #[test]
+    fn engine_matches_offline_evaluation() {
+        let rules = ops_threshold(10.0);
+        let rows = vec![
+            row(73.0, 1.0, 5.0),
+            row(146.0, 1.0, 50.0),
+            row(219.0, 1.0, 60.0),
+        ];
+
+        let mut engine = WatchEngine::new(rules.clone());
+        let mut live_alerts = Vec::new();
+        for r in &rows {
+            live_alerts.extend(engine.push_epoch(*r));
+        }
+        let metrics = MetricSet::new();
+        let (live_report, end_alerts) = engine.finish(&metrics, None);
+        assert!(end_alerts.is_empty());
+        assert_eq!(live_alerts.len(), 1);
+        assert_eq!(live_alerts[0].0, 0);
+        assert_eq!(live_alerts[0].1.hour, 146.0);
+
+        let input = input_with(rows);
+        assert_eq!(rules.evaluate(&input, None), live_report);
+    }
+
+    #[test]
+    fn rate_rule_fires_on_fast_drop_only() {
+        let rules = RuleSet {
+            rules: vec![Rule {
+                name: "cap-drop".into(),
+                kind: RuleKind::Rate {
+                    field: EpochField::Capacity,
+                    max_drop_per_epoch: 0.05,
+                },
+            }],
+        };
+        let slow = input_with(vec![
+            row(73.0, 1.0, 0.0),
+            row(146.0, 0.97, 0.0),
+            row(219.0, 0.95, 0.0),
+        ]);
+        assert!(!rules.evaluate(&slow, None).any_fired());
+
+        let fast = input_with(vec![row(73.0, 1.0, 0.0), row(146.0, 0.90, 0.0)]);
+        let report = rules.evaluate(&fast, None);
+        let alerts = report.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].hour, 146.0);
+    }
+
+    #[test]
+    fn empty_series_reports_no_data_and_never_fires() {
+        let input = WatchInput::default();
+        let report = ops_threshold(0.0).evaluate(&input, None);
+        assert!(!report.any_fired());
+        assert_eq!(report.outcomes[0].status, RuleStatus::NoData);
+    }
+
+    #[test]
+    fn single_epoch_series_evaluates() {
+        let input = input_with(vec![row(73.0, 1.0, 42.0)]);
+        // Threshold sees the one row...
+        assert!(ops_threshold(10.0).evaluate(&input, None).any_fired());
+        assert!(!ops_threshold(100.0).evaluate(&input, None).any_fired());
+        // ...and a rate rule needs two rows, so it holds (Ok, not NoData —
+        // there was a series, just no deltas).
+        let rate = RuleSet {
+            rules: vec![Rule {
+                name: "r".into(),
+                kind: RuleKind::Rate {
+                    field: EpochField::Capacity,
+                    max_drop_per_epoch: 0.0,
+                },
+            }],
+        };
+        let report = rate.evaluate(&input, None);
+        assert_eq!(report.outcomes[0].status, RuleStatus::Ok);
+    }
+
+    #[test]
+    fn percentile_rule_no_data_without_histogram() {
+        let rules = RuleSet {
+            rules: vec![Rule {
+                name: "lat".into(),
+                kind: RuleKind::Percentile {
+                    histogram: "detect.latency_hours".into(),
+                    q: 0.95,
+                    op: Cmp::Ge,
+                    limit: 100.0,
+                },
+            }],
+        };
+        let report = rules.evaluate(&WatchInput::default(), None);
+        assert_eq!(report.outcomes[0].status, RuleStatus::NoData);
+        assert!(!report.any_fired());
+    }
+
+    #[test]
+    fn regression_without_baseline_reports_no_baseline() {
+        let rules = RuleSet {
+            rules: vec![Rule {
+                name: "reg".into(),
+                kind: RuleKind::Regression {
+                    source: Source::Counter("sim.corruptions".into()),
+                    tolerance_frac: 0.25,
+                },
+            }],
+        };
+        let mut input = WatchInput::default();
+        input.counters.insert("sim.corruptions".into(), 100.0);
+        let report = rules.evaluate(&input, None);
+        assert_eq!(report.outcomes[0].status, RuleStatus::NoBaseline);
+        assert!(!report.any_fired());
+        assert!(report.render().contains("no baseline"));
+    }
+
+    #[test]
+    fn report_renders_fired_and_ok_lines() {
+        let input = input_with(vec![row(73.0, 1.0, 50.0)]);
+        let report = ops_threshold(10.0).evaluate(&input, None);
+        let rendered = report.render();
+        assert!(rendered.contains("1 rules, 1 fired"));
+        assert!(rendered.contains("FIRED @h73"));
+        assert!(rendered.contains("epoch_max:corrupt_ops = 50 > 10"));
+    }
+}

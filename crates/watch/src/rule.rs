@@ -1,0 +1,452 @@
+//! The rule grammar: what an alert watches and when it fires.
+//!
+//! Rules are data (serde-serializable), so rule sets live in JSON files
+//! next to scenarios and in the scenario's `watch` block. Four kinds,
+//! matching the monitors the paper's §6 operations sketch implies:
+//!
+//! * **Threshold** — a scalar source compared against a limit. Epoch
+//!   sources (`EpochMax`/`EpochMin`/`EpochSum` over a series column) are
+//!   checked at every epoch boundary and fire at the first violation;
+//!   metric sources (counter / gauge / histogram quantile) are checked at
+//!   end of run.
+//! * **Rate** — an epoch column dropping faster than a per-epoch budget
+//!   (e.g. quarantine eating capacity too quickly).
+//! * **Percentile** — a histogram quantile against a limit (e.g.
+//!   `detect.latency_hours` p95 must stay under H).
+//! * **Regression** — a scalar source compared against a persisted
+//!   cross-run baseline with a tolerance band.
+
+use serde::{Deserialize, Serialize};
+
+use crate::input::EpochRow;
+
+/// Comparison operator of a threshold-style rule. The rule **fires** when
+/// `value <op> limit` holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cmp {
+    /// Fire when the value is strictly greater than the limit.
+    Gt,
+    /// Fire when the value is greater than or equal to the limit.
+    Ge,
+    /// Fire when the value is strictly less than the limit.
+    Lt,
+    /// Fire when the value is less than or equal to the limit.
+    Le,
+}
+
+impl Cmp {
+    /// Whether `value <op> limit` holds.
+    pub fn holds(self, value: f64, limit: f64) -> bool {
+        match self {
+            Cmp::Gt => value > limit,
+            Cmp::Ge => value >= limit,
+            Cmp::Lt => value < limit,
+            Cmp::Le => value <= limit,
+        }
+    }
+
+    /// The operator as a display symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+        }
+    }
+}
+
+/// A per-epoch column of the closed-loop telemetry series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EpochField {
+    /// Schedulable fraction of nominal capacity.
+    Capacity,
+    /// Capacity including safe-task recovery on confirmed cores.
+    CapacityWithSafetask,
+    /// Corruption events drawn during the epoch.
+    CorruptOps,
+    /// Ground-truth mercurial cores still in service.
+    ActiveMercurial,
+}
+
+impl EpochField {
+    /// Read this column from one epoch row.
+    pub fn of(self, row: &EpochRow) -> f64 {
+        match self {
+            EpochField::Capacity => row.capacity,
+            EpochField::CapacityWithSafetask => row.capacity_with_safetask,
+            EpochField::CorruptOps => row.corrupt_ops,
+            EpochField::ActiveMercurial => row.active_mercurial,
+        }
+    }
+
+    /// Canonical short name (used in source keys and reports).
+    pub fn key(self) -> &'static str {
+        match self {
+            EpochField::Capacity => "capacity",
+            EpochField::CapacityWithSafetask => "capacity_with_safetask",
+            EpochField::CorruptOps => "corrupt_ops",
+            EpochField::ActiveMercurial => "active_mercurial",
+        }
+    }
+}
+
+/// A scalar observable a rule can watch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Source {
+    /// A counter's end-of-run value.
+    Counter(String),
+    /// A gauge's last-written value.
+    Gauge(String),
+    /// A histogram quantile (`q` must be one of the exported 0.5 / 0.95 /
+    /// 0.99).
+    Quantile {
+        /// Histogram metric name, e.g. `detect.latency_hours`.
+        histogram: String,
+        /// Quantile in (0, 1); restricted to {0.5, 0.95, 0.99}.
+        q: f64,
+    },
+    /// Maximum of an epoch column over the epochs seen so far.
+    EpochMax(EpochField),
+    /// Minimum of an epoch column over the epochs seen so far.
+    EpochMin(EpochField),
+    /// Running sum of an epoch column.
+    EpochSum(EpochField),
+}
+
+impl Source {
+    /// Canonical string key — the name baselines persist values under.
+    pub fn key(&self) -> String {
+        match self {
+            Source::Counter(n) => format!("counter:{n}"),
+            Source::Gauge(n) => format!("gauge:{n}"),
+            Source::Quantile { histogram, q } => {
+                format!("quantile:{histogram}:p{}", (q * 100.0).round())
+            }
+            Source::EpochMax(f) => format!("epoch_max:{}", f.key()),
+            Source::EpochMin(f) => format!("epoch_min:{}", f.key()),
+            Source::EpochSum(f) => format!("epoch_sum:{}", f.key()),
+        }
+    }
+
+    /// Whether this source is derived from the per-epoch series (checked
+    /// at every epoch boundary) rather than the end-of-run metric set.
+    pub fn is_epoch_scoped(&self) -> bool {
+        matches!(
+            self,
+            Source::EpochMax(_) | Source::EpochMin(_) | Source::EpochSum(_)
+        )
+    }
+}
+
+/// What makes a rule fire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RuleKind {
+    /// `source <op> limit`.
+    Threshold {
+        /// The watched observable.
+        source: Source,
+        /// Fire when `value <op> limit` holds.
+        op: Cmp,
+        /// The limit.
+        limit: f64,
+    },
+    /// An epoch column dropped by more than `max_drop_per_epoch` between
+    /// two consecutive epochs.
+    Rate {
+        /// The watched epoch column.
+        field: EpochField,
+        /// Largest tolerated one-epoch drop (absolute units of the
+        /// column; for capacity columns this is a fraction of nominal).
+        max_drop_per_epoch: f64,
+    },
+    /// A histogram quantile against a limit — sugar for a `Threshold`
+    /// over `Source::Quantile`, kept distinct because it is the common
+    /// latency-SLO shape.
+    Percentile {
+        /// Histogram metric name.
+        histogram: String,
+        /// Quantile in {0.5, 0.95, 0.99}.
+        q: f64,
+        /// Fire when `quantile <op> limit` holds.
+        op: Cmp,
+        /// The limit.
+        limit: f64,
+    },
+    /// The source moved outside `tolerance_frac` of the persisted
+    /// baseline value: fire when `|value − base| > tolerance_frac·|base|`.
+    /// Without a baseline entry the rule reports "no baseline" and never
+    /// fires.
+    Regression {
+        /// The watched observable.
+        source: Source,
+        /// Fractional tolerance band around the baseline value.
+        tolerance_frac: f64,
+    },
+}
+
+/// One named alert rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Unique display name (reports and `alert.fired` events key on it).
+    pub name: String,
+    /// The firing condition.
+    pub kind: RuleKind,
+}
+
+impl Rule {
+    /// Whether this rule is evaluated at every epoch boundary (epoch
+    /// thresholds and rates) rather than once at end of run.
+    pub fn is_epoch_scoped(&self) -> bool {
+        match &self.kind {
+            RuleKind::Threshold { source, .. } => source.is_epoch_scoped(),
+            RuleKind::Rate { .. } => true,
+            RuleKind::Percentile { .. } | RuleKind::Regression { .. } => false,
+        }
+    }
+}
+
+/// An ordered set of rules — the unit rule files and scenario blocks
+/// carry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    /// Rules in evaluation (and `alert.fired` index) order.
+    pub rules: Vec<Rule>,
+}
+
+/// Quantiles the JSONL histogram lines export — the only ones an offline
+/// replay can reconstruct, so the only ones rules may watch.
+const EXPORTED_QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
+
+fn check_quantile(rule: &str, q: f64) -> Result<(), String> {
+    if EXPORTED_QUANTILES.contains(&q) {
+        Ok(())
+    } else {
+        Err(format!(
+            "rule `{rule}`: quantile {q} is not exported; use one of 0.5, 0.95, 0.99"
+        ))
+    }
+}
+
+fn check_finite(rule: &str, what: &str, v: f64) -> Result<(), String> {
+    if v.is_finite() {
+        Ok(())
+    } else {
+        Err(format!("rule `{rule}`: {what} must be finite, got {v}"))
+    }
+}
+
+impl RuleSet {
+    /// Validate the set: unique non-empty names, finite limits, and only
+    /// exported quantiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::BTreeSet::new();
+        for rule in &self.rules {
+            if rule.name.trim().is_empty() {
+                return Err("rule with empty name".to_string());
+            }
+            if !seen.insert(rule.name.as_str()) {
+                return Err(format!("duplicate rule name `{}`", rule.name));
+            }
+            match &rule.kind {
+                RuleKind::Threshold { source, limit, .. } => {
+                    check_finite(&rule.name, "limit", *limit)?;
+                    if let Source::Quantile { q, .. } = source {
+                        check_quantile(&rule.name, *q)?;
+                    }
+                }
+                RuleKind::Rate {
+                    max_drop_per_epoch, ..
+                } => {
+                    check_finite(&rule.name, "max_drop_per_epoch", *max_drop_per_epoch)?;
+                    if *max_drop_per_epoch < 0.0 {
+                        return Err(format!(
+                            "rule `{}`: max_drop_per_epoch must be >= 0",
+                            rule.name
+                        ));
+                    }
+                }
+                RuleKind::Percentile { q, limit, .. } => {
+                    check_quantile(&rule.name, *q)?;
+                    check_finite(&rule.name, "limit", *limit)?;
+                }
+                RuleKind::Regression {
+                    source,
+                    tolerance_frac,
+                } => {
+                    check_finite(&rule.name, "tolerance_frac", *tolerance_frac)?;
+                    if *tolerance_frac < 0.0 {
+                        return Err(format!("rule `{}`: tolerance_frac must be >= 0", rule.name));
+                    }
+                    if let Source::Quantile { q, .. } = source {
+                        check_quantile(&rule.name, *q)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to pretty JSON (the rule-file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("rule set serializes")
+    }
+
+    /// Parse a rule file and validate it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error or the first validation problem.
+    pub fn from_json(json: &str) -> Result<RuleSet, String> {
+        let set: RuleSet = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        set.validate()?;
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn threshold(name: &str, source: Source, op: Cmp, limit: f64) -> Rule {
+        Rule {
+            name: name.to_string(),
+            kind: RuleKind::Threshold { source, op, limit },
+        }
+    }
+
+    #[test]
+    fn cmp_semantics() {
+        assert!(Cmp::Gt.holds(2.0, 1.0));
+        assert!(!Cmp::Gt.holds(1.0, 1.0));
+        assert!(Cmp::Ge.holds(1.0, 1.0));
+        assert!(Cmp::Lt.holds(0.5, 1.0));
+        assert!(Cmp::Le.holds(1.0, 1.0));
+        assert_eq!(Cmp::Gt.symbol(), ">");
+    }
+
+    #[test]
+    fn source_keys_are_canonical() {
+        assert_eq!(
+            Source::Counter("sim.corruptions".into()).key(),
+            "counter:sim.corruptions"
+        );
+        assert_eq!(
+            Source::Quantile {
+                histogram: "detect.latency_hours".into(),
+                q: 0.95
+            }
+            .key(),
+            "quantile:detect.latency_hours:p95"
+        );
+        assert_eq!(
+            Source::EpochMin(EpochField::Capacity).key(),
+            "epoch_min:capacity"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let set = RuleSet {
+            rules: vec![
+                threshold(
+                    "ops",
+                    Source::EpochMax(EpochField::CorruptOps),
+                    Cmp::Gt,
+                    100.0,
+                ),
+                Rule {
+                    name: "cap-drop".into(),
+                    kind: RuleKind::Rate {
+                        field: EpochField::Capacity,
+                        max_drop_per_epoch: 0.01,
+                    },
+                },
+                Rule {
+                    name: "latency".into(),
+                    kind: RuleKind::Percentile {
+                        histogram: "detect.latency_hours".into(),
+                        q: 0.95,
+                        op: Cmp::Ge,
+                        limit: 500.0,
+                    },
+                },
+                Rule {
+                    name: "base".into(),
+                    kind: RuleKind::Regression {
+                        source: Source::Counter("sim.corruptions".into()),
+                        tolerance_frac: 0.25,
+                    },
+                },
+            ],
+        };
+        let back = RuleSet::from_json(&set.to_json()).unwrap();
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rules() {
+        let dup = RuleSet {
+            rules: vec![
+                threshold("a", Source::Counter("x".into()), Cmp::Gt, 1.0),
+                threshold("a", Source::Counter("y".into()), Cmp::Gt, 1.0),
+            ],
+        };
+        assert!(dup.validate().unwrap_err().contains("duplicate"));
+
+        let bad_q = RuleSet {
+            rules: vec![Rule {
+                name: "q".into(),
+                kind: RuleKind::Percentile {
+                    histogram: "h".into(),
+                    q: 0.9,
+                    op: Cmp::Gt,
+                    limit: 1.0,
+                },
+            }],
+        };
+        assert!(bad_q.validate().unwrap_err().contains("not exported"));
+
+        let inf = RuleSet {
+            rules: vec![threshold(
+                "i",
+                Source::Counter("x".into()),
+                Cmp::Gt,
+                f64::NAN,
+            )],
+        };
+        assert!(inf.validate().is_err());
+
+        let neg_tol = RuleSet {
+            rules: vec![Rule {
+                name: "t".into(),
+                kind: RuleKind::Regression {
+                    source: Source::Counter("x".into()),
+                    tolerance_frac: -0.1,
+                },
+            }],
+        };
+        assert!(neg_tol.validate().is_err());
+    }
+
+    #[test]
+    fn epoch_scoping() {
+        assert!(
+            threshold("a", Source::EpochMax(EpochField::CorruptOps), Cmp::Gt, 1.0)
+                .is_epoch_scoped()
+        );
+        assert!(!threshold("b", Source::Counter("x".into()), Cmp::Gt, 1.0).is_epoch_scoped());
+        assert!(Rule {
+            name: "r".into(),
+            kind: RuleKind::Rate {
+                field: EpochField::Capacity,
+                max_drop_per_epoch: 0.1
+            }
+        }
+        .is_epoch_scoped());
+    }
+}

@@ -6,10 +6,11 @@
 //! mercurial-lab fig1     [--seed N] [--paper] [--csv FILE]
 //! mercurial-lab screen   <archetype> [--age HOURS]
 //! mercurial-lab trace    [--seed N] [--paper] [--format FMT] [--out FILE]
+//! mercurial-lab watch    [--rules FILE] [--scenario FILE | --trace FILE]
 //! mercurial-lab archetypes                    # list the §2 defect archetypes
 //! ```
 
-use mercurial::closedloop::ClosedLoopDriver;
+use mercurial::closedloop::{ClosedLoopDriver, RunOptions};
 use mercurial::fault::{library, CoreUid, Injector};
 use mercurial::pipeline::PipelineRun;
 use mercurial::screening::chipscreen::ChipScreen;
@@ -32,6 +33,10 @@ fn usage() -> ! {
          trace    [--seed N] [--paper] [--scenario FILE]\n\
          .        [--format jsonl|prom|chrome|timeline|summary] [--out FILE]\n\
          .                                run the closed loop with tracing on and export telemetry\n\
+         watch    [--rules FILE] [--seed N] [--paper] [--scenario FILE | --trace FILE]\n\
+         .        [--baseline FILE] [--record-baseline] [--stream FILE] [--dump-rules]\n\
+         .                                evaluate alert rules over a run (or replay a JSONL\n\
+         .                                trace); exits 1 if any rule fires\n\
          archetypes                       list the available defect archetypes"
     );
     std::process::exit(2)
@@ -186,6 +191,108 @@ fn cmd_trace(args: &Args) {
     }
 }
 
+fn cmd_watch(args: &Args) {
+    use mercurial::trace::JsonlStreamSink;
+    use mercurial::watch::{Baseline, RuleSet, WatchInput};
+
+    if args.value("scenario").is_some() && args.value("trace").is_some() {
+        eprintln!("watch: --scenario and --trace are mutually exclusive");
+        std::process::exit(2);
+    }
+
+    // Rules: an explicit file wins; otherwise the scenario's `watch`
+    // block (including its defaults) supplies them.
+    let explicit_rules = args.value("rules").map(|path| {
+        let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read rules file {path}: {e}");
+            std::process::exit(1);
+        });
+        RuleSet::from_json(&json).unwrap_or_else(|e| {
+            eprintln!("invalid rules file {path}: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    let baseline_path = args.value("baseline").unwrap_or("BASELINE_watch.json");
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(json) => Some(Baseline::from_json(&json).unwrap_or_else(|e| {
+            eprintln!("invalid baseline file {baseline_path}: {e}");
+            std::process::exit(1);
+        })),
+        Err(_) => None,
+    };
+
+    // Replay mode: evaluate the rules over an exported JSONL trace.
+    if let Some(path) = args.value("trace") {
+        let jsonl = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read trace file {path}: {e}");
+            std::process::exit(1);
+        });
+        let input = WatchInput::from_jsonl(&jsonl).unwrap_or_else(|e| {
+            eprintln!("cannot replay trace {path}: {e}");
+            std::process::exit(1);
+        });
+        let rules = explicit_rules.unwrap_or_else(|| Scenario::default_paper().watch.rule_set());
+        let report = rules.evaluate(&input, baseline.as_ref());
+        print!("{}", report.render());
+        std::process::exit(if report.any_fired() { 1 } else { 0 });
+    }
+
+    // Scenario mode: run the closed loop with tracing forced on so the
+    // in-loop engine sees the full metric surface.
+    let mut scenario = scenario_from_args(args);
+    scenario.trace.enabled = true;
+    scenario.closed_loop.feedback = true;
+    let rules = explicit_rules.unwrap_or_else(|| scenario.watch.rule_set());
+    if args.flag("dump-rules") {
+        println!("{}", rules.to_json());
+        return;
+    }
+    eprintln!(
+        "watching closed loop: {} machines, {} months, {} rules …",
+        scenario.fleet.machines,
+        scenario.sim.months,
+        rules.rules.len()
+    );
+
+    let experiment = mercurial::FleetExperiment::build(&scenario);
+    let mut stream = args.value("stream").map(|path| {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create stream file {path}: {e}");
+            std::process::exit(1);
+        });
+        JsonlStreamSink::new(std::io::BufWriter::new(file))
+    });
+    let opts = RunOptions {
+        rules: Some(rules.clone()),
+        baseline: baseline.as_ref(),
+        sink: stream
+            .as_mut()
+            .map(|s| s as &mut dyn mercurial::trace::TraceSink),
+    };
+    let out = ClosedLoopDriver::execute_with(&scenario, &experiment, opts);
+
+    if args.flag("record-baseline") {
+        let input = WatchInput::from_run(&out.trace.metrics, &out.series);
+        let snap = Baseline::record(
+            &rules,
+            &input,
+            args.value("scenario").unwrap_or("(builtin)"),
+            scenario.fleet.seed,
+        );
+        std::fs::write(baseline_path, snap.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("baseline recorded to {baseline_path}");
+        return;
+    }
+
+    let report = out.watch.expect("rules were supplied");
+    print!("{}", report.render());
+    std::process::exit(if report.any_fired() { 1 } else { 0 });
+}
+
 fn archetype_by_name(name: &str) -> Option<mercurial::fault::CoreFaultProfile> {
     Some(match name {
         "self-inverting-aes" => library::self_inverting_aes(),
@@ -264,6 +371,7 @@ fn main() {
         Some("fig1") => cmd_fig1(&args),
         Some("screen") => cmd_screen(&args),
         Some("trace") => cmd_trace(&args),
+        Some("watch") => cmd_watch(&args),
         Some("archetypes") => {
             for a in library::ARCHETYPES {
                 println!("{a}");

@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke watch-smoke
+.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke
 
-ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke watch-smoke
+ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke
 
 build:
 	$(CARGO) build --release
@@ -57,3 +57,10 @@ watch-smoke:
 	$(CARGO) run --release -p mercurial-bench --bin e17_watch_overhead -- --smoke
 	$(CARGO) run --release -- watch --rules scenarios/watch_rules.json --scenario scenarios/paper.json
 	! $(CARGO) run --release -- watch --rules scenarios/watch_rules.json --scenario scenarios/watch_regression.json
+
+# Sparse fleet-core contracts: dense/sparse bit-parity through the
+# closed-loop driver (traced and untraced, 1/2/8 workers), stepping-
+# granularity invariance, and the 1M-machine event accounting — zero
+# per-epoch work on healthy machines, wall clock within budget.
+sparse-smoke:
+	$(CARGO) run --release -p mercurial-bench --bin e18_sparse -- --smoke

@@ -10,6 +10,7 @@
 //! cargo run --release -p mercurial-bench --bin e6_screening
 //! ```
 
+use mercurial::fault::FastSet;
 use mercurial_fleet::topology::{FleetConfig, FleetTopology};
 use mercurial_fleet::{Population, SignalLog};
 use mercurial_screening::{
@@ -51,7 +52,7 @@ fn main() {
 
     // Online only.
     {
-        let mut detected = HashSet::new();
+        let mut detected = FastSet::default();
         let mut log = SignalLog::new();
         let (records, stats) =
             OnlineScreener::default().run(&topo, &pop, months, &mut detected, &mut log);
@@ -63,7 +64,7 @@ fn main() {
     }
     // Offline only.
     {
-        let mut detected = HashSet::new();
+        let mut detected = FastSet::default();
         let mut log = SignalLog::new();
         let (records, stats) =
             OfflineScreener::default().run(&topo, &pop, months, &mut detected, &mut log);
@@ -75,7 +76,7 @@ fn main() {
     }
     // Combined.
     {
-        let mut detected = HashSet::new();
+        let mut detected = FastSet::default();
         let mut log = SignalLog::new();
         let (mut records, on_stats) =
             OnlineScreener::default().run(&topo, &pop, months, &mut detected, &mut log);
@@ -96,7 +97,7 @@ fn main() {
     // Combined but with month-0 coverage frozen forever (ablation).
     {
         let frozen = EraSchedule::frozen(EraSchedule::default_history().era_at(0).clone());
-        let mut detected = HashSet::new();
+        let mut detected = FastSet::default();
         let mut log = SignalLog::new();
         let online = OnlineScreener {
             schedule: frozen.clone(),

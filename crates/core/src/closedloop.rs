@@ -33,9 +33,9 @@
 use crate::experiment::FleetExperiment;
 use crate::pipeline::{PipelineOutcome, PipelineRun};
 use crate::scenario::Scenario;
-use mercurial_fault::{CoreUid, FunctionalUnit};
+use mercurial_fault::{CoreUid, FastSet, FunctionalUnit};
 use mercurial_fleet::sim::SimSummary;
-use mercurial_fleet::SignalLog;
+use mercurial_fleet::{EventKind, EventQueue, SignalLog};
 use mercurial_isolation::{CapacityLedger, QuarantineRegistry, SafeTaskPolicy, TaskUnitProfile};
 use mercurial_metrics::EpochSeries;
 use mercurial_screening::{
@@ -44,7 +44,7 @@ use mercurial_screening::{
 };
 use mercurial_trace::{MetricSet, Recorder, TraceSink};
 use mercurial_watch::{Alert, Baseline, EpochRow, RuleSet, WatchEngine, WatchReport};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 /// Emits one `gt.onset` instant per mercurial core at the hour its defect
 /// can first manifest (deploy + earliest onset), in population (sorted
@@ -113,18 +113,6 @@ fn record_alerts(rec: &mut Recorder, alerts: &[(usize, Alert)]) {
     for (idx, a) in alerts {
         rec.instant(a.hour, "alert.fired", None, *idx as f64);
     }
-}
-
-/// A pending deep-check case (FIFO; the triage team is a bounded queue).
-struct DeepCheck {
-    due_hour: f64,
-    core: CoreUid,
-}
-
-/// A core awaiting restoration to service after exoneration.
-struct PendingRestore {
-    restore_hour: f64,
-    core: CoreUid,
 }
 
 /// The §6.1 task mix used to price safe-task recovery on confirmed cores
@@ -344,6 +332,7 @@ impl ClosedLoopDriver {
         let mut case_id = 0u64;
 
         let mut scoreboard = Scoreboard::new();
+        scoreboard.arm(scenario.suspicion_threshold);
         let mut state = sim.begin();
         let epochs = state.total_epochs();
         let mut log = SignalLog::new();
@@ -353,12 +342,30 @@ impl ClosedLoopDriver {
         let mut detections: Vec<DetectionRecord> = Vec::new();
         // Cores currently out of service: skipped by screeners, masked in
         // the sim, and stripped of newly attributed signals.
-        let mut out_of_service: HashSet<CoreUid> = HashSet::new();
+        let mut out_of_service: FastSet<CoreUid> = FastSet::default();
         // Cores ever sent to triage — a restored core is not re-triaged on
         // the same (stale) suspicion score.
-        let mut handled: HashSet<CoreUid> = HashSet::new();
-        let mut deep_queue: VecDeque<DeepCheck> = VecDeque::new();
-        let mut restores: Vec<PendingRestore> = Vec::new();
+        let mut handled: FastSet<CoreUid> = FastSet::default();
+        // Driver timers live on event heaps: deep-check verdicts pop in
+        // due-hour order (an earlier-quarantined suspect is never starved
+        // behind a later one by queue position — the old FIFO could
+        // reorder same-epoch crossings), restorations pop in restore-hour
+        // order, and each screening campaign keeps exactly one pending
+        // wake. Ties break `Restore < ScreeningDue < DeepCheck` per the
+        // [`EventKind`] rank contract, then by insertion order.
+        let mut deep_q: EventQueue<CoreUid> = EventQueue::new();
+        let mut restore_q: EventQueue<CoreUid> = EventQueue::new();
+        // Payload: 0 = burn-in, 1 = offline, 2 = online.
+        let mut screen_q: EventQueue<u8> = EventQueue::new();
+        if let Some(h) = burnin_campaign.next_hour() {
+            screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 0);
+        }
+        if let Some(h) = offline_campaign.next_hour() {
+            screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 1);
+        }
+        if let Some(h) = online_campaign.next_hour() {
+            screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 2);
+        }
         let mut exonerated_innocents = 0usize;
 
         let mut engine = watch_engine(scenario, &opts.rules);
@@ -371,73 +378,58 @@ impl ClosedLoopDriver {
             rec.begin(h0, "loop.epoch");
 
             // 1. Restorations whose repair latency has elapsed re-enter
-            //    service at the epoch boundary.
-            let due: Vec<PendingRestore> = {
-                let (ready, waiting) = restores
-                    .drain(..)
-                    .partition(|r: &PendingRestore| r.restore_hour <= h0);
-                restores = waiting;
-                ready
-            };
-            for r in due {
+            //    service at the epoch boundary, in restore-hour order.
+            while let Some((restore_hour, core)) = restore_q.pop_due(h0) {
                 registry
-                    .restore_traced(r.core, r.restore_hour, "repair latency elapsed", &mut rec)
+                    .restore_traced(core, restore_hour, "repair latency elapsed", &mut rec)
                     .expect("exonerated core can restore");
-                ledger.restore_core_traced(r.core, r.restore_hour, &mut rec);
-                out_of_service.remove(&r.core);
-                state.set_active(r.core, true);
+                ledger.restore_core_traced(core, restore_hour, &mut rec);
+                out_of_service.remove(&core);
+                state.set_active(core, true);
             }
 
-            // 2. Deep-check verdicts, FIFO under the per-epoch budget (the
-            //    triage team is finite; excess suspects queue).
+            // 2. Deep-check verdicts, due-hour order under the per-epoch
+            //    budget (the triage team is finite; excess suspects stay
+            //    queued and their verdicts slip to the next boundary).
             let mut budget = policy.deep_checks_per_epoch;
-            while budget > 0 && deep_queue.front().is_some_and(|c| c.due_hour < h1) {
-                let case = deep_queue.pop_front().expect("front checked");
-                let verdict_hour = case.due_hour.max(h0);
+            while budget > 0 && deep_q.peek_time().is_some_and(|t| t < h1) {
+                let (due_hour, core) = deep_q.pop().expect("peeked a due case");
+                let verdict_hour = due_hour.max(h0);
                 budget -= 1;
                 triage_stats.investigated += 1;
-                match triage.investigate(topo, pop, case.core, verdict_hour, case_id) {
+                match triage.investigate(topo, pop, core, verdict_hour, case_id) {
                     TriageOutcome::Confirmed => {
                         triage_stats.confirmed += 1;
-                        if pop.is_mercurial(case.core) {
+                        if pop.is_mercurial(core) {
                             triage_stats.confirmed_true += 1;
                         }
                         registry
-                            .confirm_traced(
-                                case.core,
-                                verdict_hour,
-                                "deep check confession",
-                                &mut rec,
-                            )
+                            .confirm_traced(core, verdict_hour, "deep check confession", &mut rec)
                             .expect("quarantined core can confirm");
-                        rec.instant(verdict_hour, "detect.triage", Some(case.core.as_u64()), 0.0);
-                        recovered_cores += safe_task_share(&safe_policy, &task_mix, pop, case.core);
+                        rec.instant(verdict_hour, "detect.triage", Some(core.as_u64()), 0.0);
+                        recovered_cores += safe_task_share(&safe_policy, &task_mix, pop, core);
                         detections.push(DetectionRecord {
-                            core: case.core,
+                            core,
                             hour: verdict_hour,
                             method: DetectionMethod::Triage,
                         });
                     }
                     TriageOutcome::NotReproduced => {
                         triage_stats.not_reproduced += 1;
-                        if pop.is_mercurial(case.core) {
+                        if pop.is_mercurial(core) {
                             triage_stats.missed_true += 1;
                         }
                         registry
-                            .exonerate_traced(
-                                case.core,
-                                verdict_hour,
-                                "nothing reproduced",
-                                &mut rec,
-                            )
+                            .exonerate_traced(core, verdict_hour, "nothing reproduced", &mut rec)
                             .expect("quarantined core can exonerate");
-                        if !pop.is_mercurial(case.core) {
+                        if !pop.is_mercurial(core) {
                             exonerated_innocents += 1;
                         }
-                        restores.push(PendingRestore {
-                            restore_hour: verdict_hour + policy.restore_latency_hours,
-                            core: case.core,
-                        });
+                        restore_q.schedule_ranked(
+                            verdict_hour + policy.restore_latency_hours,
+                            EventKind::Restore.rank(),
+                            core,
+                        );
                     }
                 }
                 case_id += 1;
@@ -445,32 +437,55 @@ impl ClosedLoopDriver {
 
             // 3. Screens due this epoch. A screener failure is proof (a
             //    controlled test failed), so the core is confirmed and
-            //    leaves service immediately.
+            //    leaves service immediately. Campaign timers live on the
+            //    event heap — an epoch with nothing due costs one peek —
+            //    and due campaigns run in the fixed burn-in → offline →
+            //    online phase order regardless of their timer hours.
+            let mut campaign_due = [false; 3];
+            while screen_q.peek_time().is_some_and(|t| t < h1) {
+                let (_, which) = screen_q.pop().expect("peeked a due timer");
+                campaign_due[which as usize] = true;
+            }
             let mut screened = Vec::new();
-            screened.extend(burnin_campaign.step_until_traced(
-                topo,
-                pop,
-                h1,
-                &mut out_of_service,
-                &mut log,
-                &mut rec,
-            ));
-            screened.extend(offline_campaign.step_until_traced(
-                topo,
-                pop,
-                h1,
-                &mut out_of_service,
-                &mut log,
-                &mut rec,
-            ));
-            screened.extend(online_campaign.step_until_traced(
-                topo,
-                pop,
-                h1,
-                &mut out_of_service,
-                &mut log,
-                &mut rec,
-            ));
+            if campaign_due[0] {
+                screened.extend(burnin_campaign.step_until_traced(
+                    topo,
+                    pop,
+                    h1,
+                    &mut out_of_service,
+                    &mut log,
+                    &mut rec,
+                ));
+                if let Some(h) = burnin_campaign.next_hour() {
+                    screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 0);
+                }
+            }
+            if campaign_due[1] {
+                screened.extend(offline_campaign.step_until_traced(
+                    topo,
+                    pop,
+                    h1,
+                    &mut out_of_service,
+                    &mut log,
+                    &mut rec,
+                ));
+                if let Some(h) = offline_campaign.next_hour() {
+                    screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 1);
+                }
+            }
+            if campaign_due[2] {
+                screened.extend(online_campaign.step_until_traced(
+                    topo,
+                    pop,
+                    h1,
+                    &mut out_of_service,
+                    &mut log,
+                    &mut rec,
+                ));
+                if let Some(h) = online_campaign.next_hour() {
+                    screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 2);
+                }
+            }
             for d in screened {
                 registry
                     .mark_suspect_traced(d.core, d.hour, "screener failure", &mut rec)
@@ -515,7 +530,7 @@ impl ClosedLoopDriver {
             // 6. New threshold crossings are quarantined and queued for a
             //    deep check after the triage latency.
             let crossings: Vec<(CoreUid, f64)> = scoreboard
-                .suspects_excluding(scenario.suspicion_threshold, |core| {
+                .armed_suspects_excluding(|core| {
                     handled.contains(&core) || out_of_service.contains(&core)
                 })
                 .into_iter()
@@ -532,10 +547,11 @@ impl ClosedLoopDriver {
                 out_of_service.insert(core);
                 handled.insert(core);
                 state.set_active(core, false);
-                deep_queue.push_back(DeepCheck {
-                    due_hour: hour + policy.triage_latency_hours,
+                deep_q.schedule_ranked(
+                    hour + policy.triage_latency_hours,
+                    EventKind::DeepCheck.rank(),
                     core,
-                });
+                );
             }
 
             // 7. The epoch's telemetry point.

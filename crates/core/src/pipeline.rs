@@ -9,7 +9,7 @@
 
 use crate::experiment::FleetExperiment;
 use crate::scenario::Scenario;
-use mercurial_fault::CoreUid;
+use mercurial_fault::{CoreUid, FastSet};
 use mercurial_fleet::sim::SimSummary;
 use mercurial_fleet::SignalLog;
 use mercurial_isolation::{CapacityLedger, PoolCapacity, QuarantineRegistry};
@@ -129,7 +129,7 @@ impl PipelineRun {
         // 2. Automated screening: burn-in, then offline + online campaigns
         //    sharing one detected set (a core caught once is quarantined
         //    and not rescreened).
-        let mut detected: HashSet<CoreUid> = HashSet::new();
+        let mut detected: FastSet<CoreUid> = FastSet::default();
         // The scenario's fuzz_corpus knob decides whether this is the
         // hand-written default history or the fuzz-augmented schedule; the
         // screeners' machine fan-out reuses the sim parallelism knob.

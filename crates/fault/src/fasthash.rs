@@ -1,0 +1,131 @@
+//! A fast, deterministic hasher for hot-path maps keyed by small ids.
+//!
+//! `std`'s default `HashMap` hasher (SipHash) is keyed per-process for
+//! HashDoS resistance, which this simulator neither needs (keys are
+//! internal ids, not attacker-controlled input) nor wants: at fleet-study
+//! scale the driver performs millions of map operations per run, and
+//! SipHash's per-lookup cost dominates. `FxHasher` is a Fowler–Noll–Vo /
+//! multiply-mix hybrid in the spirit of rustc's `FxHashMap`: a wrapping
+//! multiply plus xor-shift per word, fully deterministic across runs and
+//! platforms.
+//!
+//! Determinism note: swapping the hasher changes only *iteration order*
+//! of maps, never their contents. Every consumer in this workspace
+//! either sorts before emitting or only performs point lookups, so the
+//! §4.1 bit-for-bit contract is unaffected — but new consumers must keep
+//! that discipline (never emit map iteration order directly).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A deterministic multiply-mix hasher for internal ids.
+///
+/// Not HashDoS-resistant; use only for maps keyed by trusted internal
+/// values such as [`CoreUid`](crate::CoreUid) or machine indices.
+#[derive(Default)]
+pub struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        // splitmix64-style finalizer step: multiply then xor-shift. One
+        // round per written word is plenty for well-distributed ids.
+        let mut x = self.0 ^ word;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        self.0 = x;
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the deterministic fast hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the deterministic fast hasher.
+pub type FastSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreUid;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let uid = CoreUid::new(123_456, 1, 17);
+        assert_eq!(hash_of(&uid), hash_of(&uid));
+        assert_ne!(hash_of(&uid), hash_of(&CoreUid::new(123_456, 1, 18)));
+    }
+
+    #[test]
+    fn nearby_ids_spread() {
+        // Sequential machine ids must not collide in the low bits, or
+        // every fleet map degenerates to a few buckets.
+        // 1000 uniform draws into 4096 buckets leave ~887 distinct by the
+        // birthday bound; far fewer means the low bits are degenerate.
+        let mut low_bits = std::collections::HashSet::new();
+        for m in 0..1000u32 {
+            low_bits.insert(hash_of(&m) & 0xfff);
+        }
+        assert!(low_bits.len() > 800, "only {} distinct", low_bits.len());
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut map: FastMap<CoreUid, u64> = FastMap::default();
+        let mut set: FastSet<CoreUid> = FastSet::default();
+        for m in 0..100 {
+            map.insert(CoreUid::new(m, 0, 0), m as u64);
+            set.insert(CoreUid::new(m, 1, 1));
+        }
+        assert_eq!(map[&CoreUid::new(42, 0, 0)], 42);
+        assert!(set.contains(&CoreUid::new(42, 1, 1)));
+        assert!(!set.contains(&CoreUid::new(42, 0, 0)));
+    }
+}

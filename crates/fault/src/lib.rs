@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod fasthash;
 pub mod inject;
 pub mod lesion;
 pub mod library;
@@ -48,6 +49,7 @@ pub mod symptom;
 pub mod unit;
 
 pub use activation::{Activation, AgingModel, DataPattern, FreqResponse};
+pub use fasthash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use inject::{Injector, OpContext, OpOutcome};
 pub use lesion::{Lesion, LockFailureMode};
 pub use oppoint::{DvfsCurve, OperatingPoint};

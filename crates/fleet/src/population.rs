@@ -114,6 +114,14 @@ impl Population {
         self.mercurial.values()
     }
 
+    /// The mercurial cores on one machine, in ascending [`CoreUid`] order
+    /// (a `BTreeMap` range — O(log n + hits), not a population scan).
+    pub fn mercurial_on(&self, machine: u32) -> impl Iterator<Item = &MercurialCore> {
+        self.mercurial
+            .range(CoreUid::new(machine, 0, 0)..=CoreUid::new(machine, u8::MAX, u16::MAX))
+            .map(|(_, core)| core)
+    }
+
     /// Ground truth: is this core mercurial?
     pub fn is_mercurial(&self, uid: CoreUid) -> bool {
         self.mercurial.contains_key(&uid)
@@ -228,6 +236,34 @@ mod tests {
         let ka: Vec<CoreUid> = a.mercurial_cores().map(|c| c.uid).collect();
         let kb: Vec<CoreUid> = b.mercurial_cores().map(|c| c.uid).collect();
         assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn mercurial_on_selects_one_machine_in_uid_order() {
+        let profile = |name: &str| {
+            CoreFaultProfile::single(
+                name,
+                FunctionalUnit::ScalarAlu,
+                Lesion::FlipBit { bit: 0 },
+                Activation::always(),
+            )
+        };
+        let pop = Population::with_explicit(
+            3,
+            vec![
+                (CoreUid::new(9, 1, 2), profile("a")),
+                (CoreUid::new(2, 0, 5), profile("b")),
+                (CoreUid::new(9, 0, 7), profile("c")),
+                (CoreUid::new(10, 0, 0), profile("d")),
+            ],
+        );
+        let on9: Vec<CoreUid> = pop.mercurial_on(9).map(|c| c.uid).collect();
+        assert_eq!(on9, vec![CoreUid::new(9, 0, 7), CoreUid::new(9, 1, 2)]);
+        assert_eq!(pop.mercurial_on(2).count(), 1);
+        assert_eq!(pop.mercurial_on(3).count(), 0);
+        // Every machine's slice unions back to the full population.
+        let total: usize = (0..=10).map(|m| pop.mercurial_on(m).count()).sum();
+        assert_eq!(total, pop.count());
     }
 
     #[test]

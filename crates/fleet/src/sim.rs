@@ -20,11 +20,30 @@
 
 use crate::population::Population;
 use crate::signals::{Signal, SignalKind, SignalLog};
+use crate::time::{EventKind, EventQueue};
 use crate::topology::FleetTopology;
 use crate::workload::WorkloadClass;
 use mercurial_fault::{CoreUid, CounterRng, FunctionalUnit, SymptomClass};
 use mercurial_trace::Recorder;
 use serde::{Deserialize, Serialize};
+
+/// Which core-iteration strategy the epoch loop uses.
+///
+/// Both engines draw from the same `(seed, stream, counter)` random
+/// streams and are **bit-for-bit identical** in every output (signal log,
+/// summary, trace); the sparse engine merely skips work the dense engine
+/// provably would not do. Dense is kept as the reference implementation
+/// the parity pins compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SimEngine {
+    /// Visit every mercurial core every epoch (the reference loop).
+    Dense,
+    /// Event-driven: an [`EventQueue`] clock wakes cores at their deploy
+    /// and activation-onset edges; epochs only visit cores whose rates
+    /// can be non-zero. Dormant cores cost zero between events.
+    #[default]
+    Sparse,
+}
 
 /// Simulation parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,6 +66,10 @@ pub struct SimConfig {
     /// `1` = the serial legacy path. Output is bit-for-bit identical for
     /// every value (see [`crate::par`]).
     pub parallelism: usize,
+    /// Core-iteration strategy; defaults to [`SimEngine::Sparse`]. Both
+    /// values produce identical output.
+    #[serde(default)]
+    pub engine: SimEngine,
 }
 
 impl Default for SimConfig {
@@ -59,6 +82,7 @@ impl Default for SimConfig {
             per_core_epoch_cap: 25,
             machine_check_share: 0.08,
             parallelism: 0,
+            engine: SimEngine::default(),
         }
     }
 }
@@ -123,6 +147,32 @@ pub struct SimState {
     active: Vec<bool>,
     /// Whether each mercurial core has produced at least one corruption.
     core_was_active: Vec<bool>,
+    /// Sparse-engine liveness, indexed like `mercurial`: whether the
+    /// core's effective rates can currently be non-zero. Dormant cores
+    /// (`false`) provably draw nothing and emit nothing, so the sparse
+    /// epoch loop skips them (see [`FleetSim::advance_clock`]).
+    live: Vec<bool>,
+    /// The sparse engine's event clock. Payloads are indices into
+    /// `mercurial`; events fire at machine-deploy and activation-onset
+    /// edges and re-evaluate liveness.
+    wake: EventQueue<u32>,
+    /// Events popped off the clock so far.
+    events_processed: u64,
+    /// Sum over epochs of the live-set size — the sparse engine's total
+    /// per-core epoch work (dense would be `mercurial.len()` × epochs).
+    live_core_epochs: u64,
+}
+
+/// Event-clock accounting, for asserting "zero per-epoch work on healthy
+/// state" (all zeros while the dense engine runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClockStats {
+    /// Events popped off the wake clock so far.
+    pub events_processed: u64,
+    /// Sum over simulated epochs of the live-core set size.
+    pub live_core_epochs: u64,
+    /// Events still pending on the clock.
+    pub pending_events: u64,
 }
 
 impl SimState {
@@ -176,6 +226,15 @@ impl SimState {
             .filter(|&(uid, &on)| on && topo.is_deployed(uid.machine, hour))
             .count() as u64
     }
+
+    /// Event-clock accounting (all zeros under [`SimEngine::Dense`]).
+    pub fn clock_stats(&self) -> ClockStats {
+        ClockStats {
+            events_processed: self.events_processed,
+            live_core_epochs: self.live_core_epochs,
+            pending_events: self.wake.len() as u64,
+        }
+    }
 }
 
 /// The fleet simulator.
@@ -188,6 +247,16 @@ pub struct FleetSim {
     /// (the weighted draw is per-machine invariant; resolving it in the
     /// epoch loop re-summed the weight vector for every core×epoch).
     workload_ix: Vec<usize>,
+    /// `0..machines` — the deployed set once rollout has completed. The
+    /// noise layer borrows this after `rollout_end_hour` instead of
+    /// rebuilding an O(machines) vector every epoch.
+    all_machines: Vec<u32>,
+    /// Hour at (and after) which every machine is in service.
+    rollout_end_hour: f64,
+    /// End of the observation window in hours; lagged user-report
+    /// escalations are clamped here so no signal is ever dated outside
+    /// the last epoch.
+    horizon_hours: f64,
 }
 
 impl FleetSim {
@@ -196,12 +265,19 @@ impl FleetSim {
     pub fn new(topo: FleetTopology, pop: Population, config: SimConfig) -> FleetSim {
         let workloads = WorkloadClass::default_mix();
         let workload_ix = Self::assign_workloads(&workloads, &topo, &pop);
+        let all_machines: Vec<u32> = (0..topo.machines().len() as u32).collect();
+        let rollout_end_hour = topo.rollout_end_hour();
+        let horizon_hours =
+            (config.months as f64 * 730.0 / config.epoch_hours).ceil() * config.epoch_hours;
         FleetSim {
             topo,
             pop,
             config,
             workloads,
             workload_ix,
+            all_machines,
+            rollout_end_hour,
+            horizon_hours,
         }
     }
 
@@ -264,6 +340,10 @@ impl FleetSim {
 
     /// Starts a resumable simulation: every mercurial core in service,
     /// cursor at epoch 0. Step it with [`FleetSim::step_epochs`].
+    ///
+    /// The sparse event clock is armed here with one machine-deploy wake
+    /// per mercurial core; liveness is resolved lazily as epochs reach
+    /// those events (the dense engine simply never consults the clock).
     pub fn begin(&self) -> SimState {
         let mercurial: Vec<CoreUid> = self.pop.mercurial_cores().map(|c| c.uid).collect();
         debug_assert!(
@@ -271,6 +351,11 @@ impl FleetSim {
             "population iterates in sorted CoreUid order"
         );
         let n = mercurial.len();
+        let mut wake = EventQueue::new();
+        for (i, uid) in mercurial.iter().enumerate() {
+            let deploy = self.topo.machines()[uid.machine as usize].deploy_hour;
+            wake.schedule_ranked(deploy, EventKind::MachineDeploy.rank(), i as u32);
+        }
         SimState {
             next_epoch: 0,
             epochs: self.epochs(),
@@ -278,6 +363,10 @@ impl FleetSim {
             mercurial,
             active: vec![true; n],
             core_was_active: vec![false; n],
+            live: vec![false; n],
+            wake,
+            events_processed: 0,
+            live_core_epochs: 0,
         }
     }
 
@@ -343,6 +432,37 @@ impl FleetSim {
     ) -> u32 {
         let batch = (state.epochs - state.next_epoch.min(state.epochs)).min(max_epochs);
         let first = state.next_epoch;
+        let epoch_hours = self.config.epoch_hours;
+        let sparse = self.config.engine == SimEngine::Sparse;
+
+        // Sparse engine: advance the event clock through every epoch start
+        // of the batch up front (liveness depends only on topology ages and
+        // defect profiles, never on epoch outcomes, so this is safe to do
+        // before the fan-out) and snapshot the live index set at each
+        // change point. Epochs between events share one snapshot; healthy
+        // stretches cost one heap peek per epoch and nothing per core.
+        let mut snapshots: Vec<Vec<u32>> = Vec::new();
+        let mut snapshot_of: Vec<usize> = Vec::with_capacity(batch as usize);
+        if sparse {
+            for k in 0..batch {
+                let hour = (first + k) as f64 * epoch_hours;
+                let changed = self.advance_clock(state, hour);
+                if changed || snapshots.is_empty() {
+                    snapshots.push(
+                        state
+                            .live
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, &l)| l.then_some(i as u32))
+                            .collect(),
+                    );
+                }
+                snapshot_of.push(snapshots.len() - 1);
+                state.live_core_epochs +=
+                    snapshots.last().expect("snapshot pushed above").len() as u64;
+            }
+        }
+
         let SimState {
             mercurial,
             active,
@@ -351,8 +471,10 @@ impl FleetSim {
         } = state;
         let workers =
             crate::par::resolve_parallelism(self.config.parallelism).min(batch.max(1) as usize);
-        let epoch_hours = self.config.epoch_hours;
         let flags = rec.flags();
+        let live_of = |epoch: u32| -> Option<&[u32]> {
+            sparse.then(|| snapshots[snapshot_of[(epoch - first) as usize]].as_slice())
+        };
 
         // One epoch = one shard. The closure is shared by the serial-traced
         // and parallel paths so they emit bit-identical shards.
@@ -367,6 +489,7 @@ impl FleetSim {
                 epoch,
                 mercurial,
                 active,
+                live_of(epoch),
                 &mut shard_log,
                 &mut shard_summary,
                 &mut shard_active,
@@ -419,7 +542,15 @@ impl FleetSim {
             } else {
                 // The zero-cost path: the exact untraced serial loop.
                 for epoch in first..first + batch {
-                    self.run_epoch(epoch, mercurial, active, log, summary, core_was_active);
+                    self.run_epoch(
+                        epoch,
+                        mercurial,
+                        active,
+                        live_of(epoch),
+                        log,
+                        summary,
+                        core_was_active,
+                    );
                 }
             }
         } else {
@@ -451,24 +582,99 @@ impl FleetSim {
         (log, summary)
     }
 
+    /// Advances the sparse event clock to `hour` (an epoch start): pops
+    /// every due wake and re-evaluates that core's liveness. Returns
+    /// whether the live set changed.
+    ///
+    /// Soundness of the sparse skip: a core is marked dormant only when
+    /// every per-unit `rate × ops_per_hour` product is exactly zero at
+    /// `hour`. [`FleetSim::epoch_core`] tests `lambda <= 0.0` *before*
+    /// touching the RNG and [`poisson`] draws nothing for non-positive
+    /// lambda, so the dense engine would consume no randomness and emit
+    /// nothing for such a core — skipping it is bit-identical. The rates
+    /// are a static per-operand factor times the aging multiplier, and
+    /// the only zero-to-non-zero edge of the multiplier is an onset
+    /// ([`mercurial_fault::CoreFaultProfile::next_transition_age`]), so a
+    /// dormant core sleeps until its next onset, or forever when none
+    /// remains.
+    fn advance_clock(&self, state: &mut SimState, hour: f64) -> bool {
+        let mut changed = false;
+        while let Some((_, i)) = state.wake.pop_due(hour) {
+            state.events_processed += 1;
+            let ix = i as usize;
+            let uid = state.mercurial[ix];
+            let wl = self.workload_of(uid.machine);
+            let age = self.topo.age_hours(uid.machine, hour);
+            let point = self.topo.product_of(uid.machine).dvfs.max_point(65);
+            let rates = self.pop.unit_rates(uid, &wl.operands, point, age);
+            let live = FunctionalUnit::ALL
+                .iter()
+                .any(|u| rates[u.index()] * wl.ops_per_hour[u.index()] > 0.0);
+            if state.live[ix] != live {
+                state.live[ix] = live;
+                changed = true;
+            }
+            if !live {
+                // Dormant: provably silent until the next onset edge (if
+                // any). Wakes are only processed at or past the deploy
+                // hour, so `deploy + next_age > hour` and the clock always
+                // makes progress.
+                if let Some(profile) = self.pop.profile_of(uid) {
+                    if let Some(next_age) = profile.next_transition_age(age) {
+                        let deploy = self.topo.machines()[uid.machine as usize].deploy_hour;
+                        state.wake.schedule_ranked(
+                            deploy + next_age,
+                            EventKind::ActivationEdge.rank(),
+                            i,
+                        );
+                    }
+                }
+            }
+        }
+        changed
+    }
+
     /// Simulates one epoch: every deployed, in-service mercurial core,
     /// then the background noise layer. `mask` and `was_active` are
-    /// indexed like `mercurial`.
+    /// indexed like `mercurial`; `live` (sparse engine) narrows the scan
+    /// to the event clock's live index set, in the same ascending order.
+    #[allow(clippy::too_many_arguments)]
     fn run_epoch(
         &self,
         epoch: u32,
         mercurial: &[CoreUid],
         mask: &[bool],
+        live: Option<&[u32]>,
         log: &mut SignalLog,
         summary: &mut SimSummary,
         was_active: &mut [bool],
     ) {
         let hour = epoch as f64 * self.config.epoch_hours;
-        for (i, &uid) in mercurial.iter().enumerate() {
-            if !mask[i] || !self.topo.is_deployed(uid.machine, hour) {
-                continue;
+        match live {
+            Some(live) => {
+                // Sparse: liveness implies the machine is deployed (wakes
+                // never fire before the deploy hour), and every skipped
+                // core provably draws and emits nothing (see
+                // `advance_clock`), so this equals the dense scan below
+                // bit for bit.
+                for &i in live {
+                    let i = i as usize;
+                    let uid = mercurial[i];
+                    debug_assert!(self.topo.is_deployed(uid.machine, hour));
+                    if !mask[i] {
+                        continue;
+                    }
+                    was_active[i] |= self.epoch_core(uid, hour, epoch, log, summary);
+                }
             }
-            was_active[i] |= self.epoch_core(uid, hour, epoch, log, summary);
+            None => {
+                for (i, &uid) in mercurial.iter().enumerate() {
+                    if !mask[i] || !self.topo.is_deployed(uid.machine, hour) {
+                        continue;
+                    }
+                    was_active[i] |= self.epoch_core(uid, hour, epoch, log, summary);
+                }
+            }
         }
         self.epoch_noise(hour, epoch, log, summary);
     }
@@ -529,8 +735,16 @@ impl FleetSim {
                             && rng.next_bool(wl.user_report_rate)
                             && emitted < self.config.per_core_epoch_cap
                         {
+                            // The 24–96 h escalation lag can overshoot the
+                            // observation window from its last epochs;
+                            // clamp the stamp (not the draw — RNG
+                            // consumption is part of the determinism
+                            // contract) so every signal belongs to some
+                            // epoch.
+                            let escalated = (hour + jitter + 24.0 + rng.next_uniform() * 72.0)
+                                .min(self.horizon_hours);
                             log.push(Signal {
-                                hour: hour + jitter + 24.0 + rng.next_uniform() * 72.0,
+                                hour: escalated,
                                 core: uid,
                                 kind: SignalKind::UserReport,
                                 caused_by_cee: true,
@@ -695,9 +909,21 @@ impl FleetSim {
         // Sample from the *deployed* machines only. Drawing from the full
         // machine range and discarding undeployed picks would deflate the
         // realized noise rate by the deployed fraction during rollout.
-        let deployed: Vec<u32> = (0..self.topo.machines().len() as u32)
-            .filter(|&m| self.topo.is_deployed(m, hour))
-            .collect();
+        // Deployment is monotone, so once rollout has ended the deployed
+        // set is the whole fleet — borrow the cached `0..machines` vector
+        // instead of rebuilding an O(machines) scratch every epoch. The
+        // scratch is only built while `hour` is inside the rollout window,
+        // in the same ascending machine order, so the indexing draws below
+        // see identical tables either way.
+        let scratch: Vec<u32>;
+        let deployed: &[u32] = if hour >= self.rollout_end_hour {
+            &self.all_machines
+        } else {
+            scratch = (0..self.topo.machines().len() as u32)
+                .filter(|&m| self.topo.is_deployed(m, hour))
+                .collect();
+            &scratch
+        };
         if deployed.is_empty() {
             return;
         }
@@ -1009,12 +1235,14 @@ mod tests {
                 .all(|s| s.hour < masked_hour),
             "no prompt CEE signal after the mask hour"
         );
+        let horizon = state.total_epochs() as f64 * sim.config().epoch_hours;
         assert!(
             log.all()
                 .iter()
                 .filter(|s| s.caused_by_cee)
-                .all(|s| s.hour < masked_hour + 96.0),
-            "even lagged reports stay within the escalation window"
+                .all(|s| s.hour < masked_hour + 96.0 && s.hour <= horizon),
+            "lagged reports stay within the escalation window and the \
+             observation window"
         );
         // Masking an unknown (healthy) core is a harmless no-op.
         assert!(!state.set_active(CoreUid::new(0, 0, 0), false));
@@ -1083,6 +1311,227 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A rollout fleet carrying a from-birth defect, a mid-window latent
+    /// defect, and a control-path defect — exercises deploy wakes, onset
+    /// wakes, and permanently-live cores all at once.
+    fn parity_fleet(seed: u64, engine: SimEngine, parallelism: usize, months: u32) -> FleetSim {
+        let topo = FleetTopology::build(FleetConfig {
+            machines: 120,
+            sockets_per_machine: 2,
+            products: crate::product::CpuProduct::default_catalog(),
+            rollout_months: 4,
+            seed,
+        });
+        let pop = Population::with_explicit(
+            seed,
+            vec![
+                (CoreUid::new(3, 0, 1), library::string_bitflip(9, 1e-4)),
+                (
+                    CoreUid::new(40, 1, 2),
+                    library::late_onset_muldiv(3.0 * 730.0, 1e-4),
+                ),
+                (CoreUid::new(77, 0, 0), library::lock_violator(1e-4)),
+            ],
+        );
+        FleetSim::new(
+            topo,
+            pop,
+            SimConfig {
+                months,
+                parallelism,
+                engine,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sparse_engine_matches_dense_bit_for_bit() {
+        for seed in [21u64, 97, 4242] {
+            let (dense_log, dense_summary) = parity_fleet(seed, SimEngine::Dense, 1, 9).run();
+            assert!(
+                dense_summary.signals_emitted > 0,
+                "seed {seed}: defects must fire"
+            );
+            for parallelism in [1usize, 2, 8] {
+                for granularity in [1u32, 5, u32::MAX] {
+                    let sim = parity_fleet(seed, SimEngine::Sparse, parallelism, 9);
+                    let mut state = sim.begin();
+                    let mut log = SignalLog::new();
+                    let mut summary = SimSummary::default();
+                    while sim.step_epochs(&mut state, granularity, &mut log, &mut summary) > 0 {}
+                    log.sort_by_time();
+                    assert_eq!(
+                        summary, dense_summary,
+                        "seed {seed}, {parallelism} workers, batch {granularity}"
+                    );
+                    assert_eq!(
+                        log.all(),
+                        dense_log.all(),
+                        "seed {seed}, {parallelism} workers, batch {granularity}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_trace_matches_dense_trace_bit_for_bit() {
+        let trace_of = |engine: SimEngine, parallelism: usize, granularity: u32| {
+            let sim = parity_fleet(33, engine, parallelism, 9);
+            let mut state = sim.begin();
+            let mut log = SignalLog::new();
+            let mut summary = SimSummary::default();
+            let mut rec = Recorder::with_flags(mercurial_trace::TraceFlags::enabled());
+            while !state.is_done() {
+                sim.step_epochs_traced(&mut state, granularity, &mut log, &mut summary, &mut rec);
+            }
+            (rec.finish().to_jsonl(), log, summary)
+        };
+        let (dense_jsonl, dense_log, dense_summary) = trace_of(SimEngine::Dense, 1, u32::MAX);
+        assert!(dense_jsonl.contains("sim.first_corruption"));
+        for (parallelism, granularity) in [(1usize, 1u32), (2, 5), (8, u32::MAX)] {
+            let (jsonl, log, summary) = trace_of(SimEngine::Sparse, parallelism, granularity);
+            assert_eq!(jsonl, dense_jsonl, "{parallelism} workers / {granularity}");
+            assert_eq!(log.all(), dense_log.all());
+            assert_eq!(summary, dense_summary);
+        }
+    }
+
+    #[test]
+    fn dormant_cores_cost_zero_per_epoch_work() {
+        // Every defect's onset lies beyond the observation window: the
+        // sparse engine must do exactly one deploy wake per core and no
+        // per-epoch work at all, with both onset wakes still pending.
+        let far = 1.0e6;
+        let cores: Vec<(CoreUid, CoreFaultProfile)> = vec![
+            (CoreUid::new(2, 0, 0), library::late_onset_muldiv(far, 1e-3)),
+            (CoreUid::new(7, 0, 3), library::late_onset_muldiv(far, 1e-3)),
+        ];
+        let topo = FleetTopology::build(FleetConfig::tiny(50, 5));
+        let pop = Population::with_explicit(5, cores);
+        let sim = FleetSim::new(
+            topo,
+            pop,
+            SimConfig {
+                months: 6,
+                engine: SimEngine::Sparse,
+                ..SimConfig::default()
+            },
+        );
+        let mut state = sim.begin();
+        let mut log = SignalLog::new();
+        let mut summary = SimSummary::default();
+        while sim.step_epochs(&mut state, 7, &mut log, &mut summary) > 0 {}
+        assert_eq!(summary.corruptions, 0);
+        let stats = state.clock_stats();
+        assert_eq!(stats.events_processed, 2, "one deploy wake per core");
+        assert_eq!(stats.live_core_epochs, 0, "no core-epoch was simulated");
+        assert_eq!(stats.pending_events, 2, "onset wakes parked past window");
+    }
+
+    #[test]
+    fn live_cores_are_accounted_and_dense_never_uses_the_clock() {
+        let build = |engine: SimEngine| {
+            let uid = CoreUid::new(3, 0, 1);
+            tiny_sim_with_engine(50, vec![(uid, library::string_bitflip(9, 1e-4))], 6, engine)
+        };
+        let run = |engine: SimEngine| {
+            let sim = build(engine);
+            let mut state = sim.begin();
+            let mut log = SignalLog::new();
+            let mut summary = SimSummary::default();
+            while sim.step_epochs(&mut state, u32::MAX, &mut log, &mut summary) > 0 {}
+            (state.clock_stats(), state.total_epochs())
+        };
+        let (sparse, epochs) = run(SimEngine::Sparse);
+        // One from-birth defect on a rollout-0 fleet: live from epoch 0.
+        assert_eq!(sparse.live_core_epochs, epochs as u64);
+        assert_eq!(sparse.events_processed, 1);
+        assert_eq!(sparse.pending_events, 0);
+        let (dense, _) = run(SimEngine::Dense);
+        assert_eq!(dense.events_processed, 0);
+        assert_eq!(dense.live_core_epochs, 0);
+    }
+
+    fn tiny_sim_with_engine(
+        machines: u32,
+        cores: Vec<(CoreUid, CoreFaultProfile)>,
+        months: u32,
+        engine: SimEngine,
+    ) -> FleetSim {
+        let topo = FleetTopology::build(FleetConfig::tiny(machines, 21));
+        let pop = Population::with_explicit(21, cores);
+        FleetSim::new(
+            topo,
+            pop,
+            SimConfig {
+                months,
+                engine,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn noise_fast_path_is_bit_identical_to_the_scan() {
+        // Post-rollout epochs borrow the cached all-machines table; this
+        // pin forces the slow per-epoch scan on an identical twin and
+        // demands the same signal log bit for bit.
+        let build = || {
+            let topo = FleetTopology::build(FleetConfig {
+                machines: 300,
+                sockets_per_machine: 1,
+                products: crate::product::CpuProduct::default_catalog(),
+                rollout_months: 2,
+                seed: 77,
+            });
+            let pop = Population::with_explicit(77, vec![]);
+            FleetSim::new(
+                topo,
+                pop,
+                SimConfig {
+                    months: 6,
+                    noise_crash_rate: 1e-3,
+                    ..SimConfig::default()
+                },
+            )
+        };
+        let fast = build();
+        let mut slow = build();
+        slow.rollout_end_hour = f64::INFINITY; // force the per-epoch rebuild
+        let (fast_log, fast_summary) = fast.run();
+        let (slow_log, slow_summary) = slow.run();
+        assert!(fast_summary.noise_signals > 0, "noise must flow");
+        assert_eq!(fast_summary, slow_summary);
+        assert_eq!(fast_log.all(), slow_log.all());
+    }
+
+    #[test]
+    fn no_signal_is_dated_past_the_window_end() {
+        // Hot defects active through the last epoch: escalations drawn
+        // there would overshoot the window by up to ~96 h without the
+        // clamp.
+        let cores: Vec<(CoreUid, CoreFaultProfile)> = (0..12)
+            .map(|m| (CoreUid::new(m, 0, 1), library::string_bitflip(9, 1e-3)))
+            .collect();
+        let sim = tiny_sim(30, cores, 2);
+        let horizon = sim.epochs() as f64 * sim.config().epoch_hours;
+        let (log, summary) = sim.run();
+        assert!(summary.signals_emitted > 0, "defect must fire");
+        assert!(
+            log.all().iter().all(|s| s.hour <= horizon),
+            "every signal must belong to some epoch of the window"
+        );
+        assert!(
+            log.all()
+                .iter()
+                .any(|s| s.kind == SignalKind::UserReport && s.hour == horizon),
+            "an escalation from the final epochs must have been clamped \
+             to the window end (the pre-clamp stamp exceeded it)"
+        );
     }
 
     #[test]

@@ -63,6 +63,15 @@ pub struct FleetTopology {
     config: FleetConfig,
     machines: Vec<MachineInfo>,
     total_cores: u64,
+    /// Deploy hours sorted ascending (ties by machine index). Deployment
+    /// is monotone — machines never undeploy — so "how many machines (or
+    /// cores) are in service at `hour`" is a binary search here instead
+    /// of a fleet scan.
+    deploy_hours_sorted: Vec<f64>,
+    /// Prefix sums of core counts in deploy order:
+    /// `cores_deploy_prefix[k]` = total cores on the `k` earliest-deployed
+    /// machines (length `machines + 1`).
+    cores_deploy_prefix: Vec<u64>,
 }
 
 impl FleetTopology {
@@ -104,10 +113,32 @@ impl FleetTopology {
                 deploy_hour,
             });
         }
+        let mut deploy_order: Vec<u32> = (0..config.machines).collect();
+        deploy_order.sort_by(|&a, &b| {
+            machines[a as usize]
+                .deploy_hour
+                .partial_cmp(&machines[b as usize].deploy_hour)
+                .expect("deploy hours are finite")
+                .then(a.cmp(&b))
+        });
+        let deploy_hours_sorted: Vec<f64> = deploy_order
+            .iter()
+            .map(|&m| machines[m as usize].deploy_hour)
+            .collect();
+        let mut cores_deploy_prefix = Vec::with_capacity(deploy_order.len() + 1);
+        cores_deploy_prefix.push(0u64);
+        let mut running = 0u64;
+        for &m in &deploy_order {
+            running += config.products[machines[m as usize].product].cores_per_socket as u64
+                * config.sockets_per_machine as u64;
+            cores_deploy_prefix.push(running);
+        }
         FleetTopology {
             config,
             machines,
             total_cores,
+            deploy_hours_sorted,
+            cores_deploy_prefix,
         }
     }
 
@@ -149,12 +180,27 @@ impl FleetTopology {
         hour >= self.machines[machine as usize].deploy_hour
     }
 
-    /// Machines in service at fleet time `hour`.
+    /// Number of cores on a machine.
+    pub fn cores_on(&self, machine: u32) -> u64 {
+        self.product_of(machine).cores_per_socket as u64 * self.config.sockets_per_machine as u64
+    }
+
+    /// Machines in service at fleet time `hour` (binary search over the
+    /// sorted deploy hours — O(log machines), not a fleet scan).
     pub fn deployed_count(&self, hour: f64) -> u64 {
-        self.machines
-            .iter()
-            .filter(|m| m.deploy_hour <= hour)
-            .count() as u64
+        self.deploy_hours_sorted.partition_point(|&d| d <= hour) as u64
+    }
+
+    /// Cores in service at fleet time `hour` (prefix sums in deploy
+    /// order — O(log machines)).
+    pub fn deployed_cores(&self, hour: f64) -> u64 {
+        self.cores_deploy_prefix[self.deploy_hours_sorted.partition_point(|&d| d <= hour)]
+    }
+
+    /// The hour at (and after) which every machine is in service; 0 for
+    /// an empty fleet.
+    pub fn rollout_end_hour(&self) -> f64 {
+        self.deploy_hours_sorted.last().copied().unwrap_or(0.0)
     }
 }
 
@@ -204,6 +250,57 @@ mod tests {
         let topo = FleetTopology::build(FleetConfig::tiny(50, 5));
         let counted: u64 = (0..50).map(|m| topo.cores_of(m).count() as u64).sum();
         assert_eq!(counted, topo.total_cores());
+    }
+
+    #[test]
+    fn deployed_counts_match_naive_scans() {
+        let mut cfg = FleetConfig::tiny(500, 9);
+        cfg.rollout_months = 8;
+        cfg.sockets_per_machine = 2;
+        let topo = FleetTopology::build(cfg);
+        for hour in [0.0, 1.0, 365.0, 730.0, 2500.0, 5840.0, 1e6] {
+            let naive_machines = topo
+                .machines()
+                .iter()
+                .filter(|m| m.deploy_hour <= hour)
+                .count() as u64;
+            let naive_cores: u64 = topo
+                .machines()
+                .iter()
+                .filter(|m| m.deploy_hour <= hour)
+                .map(|m| topo.cores_on(m.machine))
+                .sum();
+            assert_eq!(topo.deployed_count(hour), naive_machines, "hour {hour}");
+            assert_eq!(topo.deployed_cores(hour), naive_cores, "hour {hour}");
+        }
+        assert_eq!(topo.deployed_cores(1e9), topo.total_cores());
+    }
+
+    #[test]
+    fn rollout_end_hour_is_the_last_deploy() {
+        let mut cfg = FleetConfig::tiny(200, 11);
+        cfg.rollout_months = 6;
+        let topo = FleetTopology::build(cfg);
+        let max = topo
+            .machines()
+            .iter()
+            .map(|m| m.deploy_hour)
+            .fold(0.0, f64::max);
+        assert_eq!(topo.rollout_end_hour(), max);
+        assert_eq!(topo.deployed_count(max), 200);
+        assert!(topo.deployed_count(max - 1e-6) < 200);
+        let flat = FleetTopology::build(FleetConfig::tiny(10, 1));
+        assert_eq!(flat.rollout_end_hour(), 0.0);
+    }
+
+    #[test]
+    fn cores_on_matches_iteration() {
+        let mut cfg = FleetConfig::tiny(40, 13);
+        cfg.sockets_per_machine = 2;
+        let topo = FleetTopology::build(cfg);
+        for m in 0..40 {
+            assert_eq!(topo.cores_on(m), topo.cores_of(m).count() as u64);
+        }
     }
 
     #[test]

@@ -10,19 +10,41 @@
 //! undiagnosed software bugs that we always assume lurk within a code base
 //! at scale"); five signals on the same core in a week means a lot.
 
-use mercurial_fault::CoreUid;
+use mercurial_fault::{CoreUid, FastMap};
 use mercurial_fleet::{Signal, SignalKind};
 use mercurial_trace::Recorder;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeSet;
+
+/// Number of [`SignalKind`] variants (the width of the per-core count
+/// table).
+const SIGNAL_KINDS: usize = 8;
+
+/// Dense index of a signal kind into the per-core count table.
+fn kind_index(kind: SignalKind) -> usize {
+    match kind {
+        SignalKind::AppChecksumMismatch => 0,
+        SignalKind::ProcessCrash => 1,
+        SignalKind::KernelCrash => 2,
+        SignalKind::MachineCheckEvent => 3,
+        SignalKind::SanitizerHit => 4,
+        SignalKind::ReplicaDivergence => 5,
+        SignalKind::UserReport => 6,
+        SignalKind::ScreenerFailure => 7,
+    }
+}
 
 /// Evidence accumulated against one core.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CoreScore {
     /// The core.
     pub core: CoreUid,
-    /// Signals attributed to this core, by kind.
-    pub counts: HashMap<SignalKind, u64>,
+    /// Signals attributed to this core, indexed by [`kind_index`]. A
+    /// dense table instead of a map: the scoreboard ingests every signal
+    /// the fleet emits, and at fleet-study scale the per-signal map
+    /// overhead (hashing plus a heap allocation per accused core)
+    /// dominated the driver loop.
+    counts: [u64; SIGNAL_KINDS],
     /// Hour of the first signal.
     pub first_hour: f64,
     /// Hour of the most recent signal.
@@ -33,9 +55,14 @@ pub struct CoreScore {
 }
 
 impl CoreScore {
+    /// Signals of one kind attributed to this core.
+    pub fn count_of(&self, kind: SignalKind) -> u64 {
+        self.counts[kind_index(kind)]
+    }
+
     /// Total signals against this core.
     pub fn total(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.iter().sum()
     }
 
     /// Whether the core has repeated signals (the recidivism predicate).
@@ -69,7 +96,14 @@ fn kind_weight(kind: SignalKind) -> f64 {
 /// The fleet-wide per-core scoreboard.
 #[derive(Debug, Clone, Default)]
 pub struct Scoreboard {
-    scores: HashMap<CoreUid, CoreScore>,
+    scores: FastMap<CoreUid, CoreScore>,
+    /// Armed suspicion threshold, if any (see [`Scoreboard::arm`]).
+    armed: Option<f64>,
+    /// Cores whose suspicion has ever reached the armed threshold.
+    /// Evidence is monotone non-decreasing, so this is always a superset
+    /// of the cores currently at or above it — which lets
+    /// [`Scoreboard::armed_suspects_excluding`] skip the fleet-wide scan.
+    watchlist: BTreeSet<CoreUid>,
 }
 
 impl Scoreboard {
@@ -92,16 +126,22 @@ impl Scoreboard {
             is_new = true;
             CoreScore {
                 core: signal.core,
-                counts: HashMap::new(),
+                counts: [0; SIGNAL_KINDS],
                 first_hour: signal.hour,
                 last_hour: signal.hour,
                 evidence: 0.0,
             }
         });
-        *entry.counts.entry(signal.kind).or_insert(0) += 1;
+        entry.counts[kind_index(signal.kind)] += 1;
         entry.first_hour = entry.first_hour.min(signal.hour);
         entry.last_hour = entry.last_hour.max(signal.hour);
         entry.evidence += kind_weight(signal.kind);
+        let crossed = self
+            .armed
+            .is_some_and(|threshold| entry.suspicion() >= threshold);
+        if crossed {
+            self.watchlist.insert(signal.core);
+        }
         if is_new {
             rec.instant(
                 signal.hour,
@@ -163,6 +203,44 @@ impl Scoreboard {
         let mut out: Vec<&CoreScore> = self
             .scores
             .values()
+            .filter(|s| s.suspicion() >= threshold && !exclude(s.core))
+            .collect();
+        out.sort_by(|a, b| {
+            b.suspicion()
+                .partial_cmp(&a.suspicion())
+                .expect("suspicion is finite")
+                .then(a.core.cmp(&b.core))
+        });
+        out
+    }
+
+    /// Arms a suspicion threshold: from now on the scoreboard keeps a
+    /// watchlist of every core whose suspicion has reached it, so
+    /// [`Scoreboard::armed_suspects_excluding`] can answer without
+    /// scanning every accused core. Existing scores are backfilled.
+    pub fn arm(&mut self, threshold: f64) {
+        self.armed = Some(threshold);
+        self.watchlist = self
+            .scores
+            .values()
+            .filter(|s| s.suspicion() >= threshold)
+            .map(|s| s.core)
+            .collect();
+    }
+
+    /// [`Scoreboard::suspects_excluding`] at the armed threshold, served
+    /// from the watchlist: identical output (same filter predicate, same
+    /// total sort order), but O(watchlist) instead of O(cores accused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Scoreboard::arm`] has not been called.
+    pub fn armed_suspects_excluding(&self, exclude: impl Fn(CoreUid) -> bool) -> Vec<&CoreScore> {
+        let threshold = self.armed.expect("scoreboard is armed");
+        let mut out: Vec<&CoreScore> = self
+            .watchlist
+            .iter()
+            .map(|core| &self.scores[core])
             .filter(|s| s.suspicion() >= threshold && !exclude(s.core))
             .collect();
         out.sort_by(|a, b| {
@@ -258,6 +336,51 @@ mod tests {
             filtered.iter().map(|s| s.core).collect::<Vec<_>>(),
             vec![a, d]
         );
+    }
+
+    #[test]
+    fn armed_watchlist_matches_the_full_scan() {
+        let mut armed = Scoreboard::new();
+        armed.arm(0.5);
+        let mut plain = Scoreboard::new();
+        // A spread of strengths: some cross 0.5, some never do, one is
+        // excluded at query time.
+        for (m, n, kind) in [
+            (1u32, 1, SignalKind::ProcessCrash),
+            (2, 4, SignalKind::MachineCheckEvent),
+            (3, 2, SignalKind::UserReport),
+            (4, 1, SignalKind::ScreenerFailure),
+            (5, 3, SignalKind::AppChecksumMismatch),
+        ] {
+            for i in 0..n {
+                let s = sig(CoreUid::new(m, 0, 0), kind, i as f64);
+                armed.ingest(&s);
+                plain.ingest(&s);
+            }
+        }
+        let exclude = |core: CoreUid| core.machine == 4;
+        let fast: Vec<CoreUid> = armed
+            .armed_suspects_excluding(exclude)
+            .iter()
+            .map(|s| s.core)
+            .collect();
+        let slow: Vec<CoreUid> = plain
+            .suspects_excluding(0.5, exclude)
+            .iter()
+            .map(|s| s.core)
+            .collect();
+        assert_eq!(fast, slow);
+        assert!(!fast.is_empty());
+
+        // Arming after the fact backfills the same watchlist.
+        let mut late = plain.clone();
+        late.arm(0.5);
+        let backfilled: Vec<CoreUid> = late
+            .armed_suspects_excluding(exclude)
+            .iter()
+            .map(|s| s.core)
+            .collect();
+        assert_eq!(backfilled, slow);
     }
 
     #[test]

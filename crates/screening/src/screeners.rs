@@ -23,13 +23,14 @@
 //! mechanism behind Figure 1's gradually rising automatic-detection rate.
 
 use mercurial_fault::{CoreUid, FunctionalUnit, OperatingPoint};
+use mercurial_fault::{FastMap, FastSet};
 use mercurial_fleet::par::map_parallel;
 use mercurial_fleet::population::TestSpec;
 use mercurial_fleet::FleetTopology;
 use mercurial_fleet::{Population, Signal, SignalKind, SignalLog};
 use mercurial_trace::Recorder;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::sync::Arc;
 
 /// How a core was detected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -254,34 +255,48 @@ fn sweep_points(topo: &FleetTopology, machine: u32, sweep: bool) -> Vec<Operatin
 /// Screens every core of a machine with the spec-per-point, returning
 /// newly detected cores.
 ///
-/// `detected` is a read-only snapshot: each core of a machine is visited
-/// at most once per call, so deferring the inserts to the caller changes
-/// nothing — and it is what lets machines of one sweep run on different
-/// threads (machines own disjoint core sets).
+/// Only the machine's *mercurial* cores are walked per-point: a healthy
+/// core has detection probability exactly 0 at every operating point, so
+/// [`Population::screen_core`] returns `false` for it without consulting
+/// the RNG — its screens reduce to the closed-form counter bump at the
+/// end, bit-identical to looping over it (which earlier revisions did,
+/// and which dominated fleet-scale wall clock).
+///
+/// `detected_on_machine` is a sorted read-only snapshot of this machine's
+/// already-detected cores: each core is visited at most once per call, so
+/// deferring the inserts to the caller changes nothing — and it is what
+/// lets machines of one sweep run on different threads (machines own
+/// disjoint core sets).
 #[allow(clippy::too_many_arguments)]
 fn screen_machine(
     topo: &FleetTopology,
     pop: &Population,
     machine: u32,
     era: &ScreeningEra,
-    points: &[OperatingPoint],
+    sweep: bool,
     hour: f64,
     test_id_base: u64,
-    detected: &HashSet<CoreUid>,
+    detected_on_machine: &[CoreUid],
     stats: &mut ScreeningStats,
 ) -> Vec<CoreUid> {
     let age = topo.age_hours(machine, hour);
-    // One spec per sweep point, shared by every core of the machine (the
-    // per-core loop below is the hottest path in fleet-scale runs).
-    let specs: Vec<TestSpec> = points.iter().map(|&p| spec_for(era, p)).collect();
+    let points = sweep_points(topo, machine, sweep);
+    let ops_per_screen = era.ops_per_unit * era.units.len() as u64;
     let mut newly = Vec::new();
-    for core in topo.cores_of(machine) {
-        if detected.contains(&core) {
+    let mut hot_screened = 0u64;
+    // One spec per sweep point, shared by every hot core of the machine —
+    // and built only if the machine hosts an undetected mercurial core.
+    let mut specs: Option<Vec<TestSpec>> = None;
+    for hot in pop.mercurial_on(machine) {
+        let core = hot.uid;
+        if detected_on_machine.binary_search(&core).is_ok() {
             continue;
         }
+        hot_screened += 1;
+        let specs = specs.get_or_insert_with(|| points.iter().map(|&p| spec_for(era, p)).collect());
         for (pi, spec) in specs.iter().enumerate() {
             stats.core_screens += 1;
-            stats.test_ops += era.ops_per_unit * era.units.len() as u64;
+            stats.test_ops += ops_per_screen;
             let test_id = test_id_base
                 .wrapping_mul(1_000_003)
                 .wrapping_add(core.as_u64())
@@ -293,24 +308,70 @@ fn screen_machine(
             }
         }
     }
+    // Every other core is healthy and undetected: screened at every point,
+    // never failing, never drawing randomness.
+    let clean = topo.cores_on(machine) - hot_screened - detected_on_machine.len() as u64;
+    stats.core_screens += clean * points.len() as u64;
+    stats.test_ops += clean * points.len() as u64 * ops_per_screen;
     newly
 }
 
 /// One machine's worth of screening work within a sweep/pass.
+///
+/// The era is `Arc`-shared across a sweep's tasks (it owns two `Vec`s)
+/// and the operating points are re-derived from `sweep` inside
+/// [`screen_machine`], keeping task materialization allocation-free.
 struct MachineTask {
     machine: u32,
-    era: ScreeningEra,
-    points: Vec<OperatingPoint>,
+    era: Arc<ScreeningEra>,
+    sweep: bool,
     hour: f64,
     test_id_base: u64,
     drain_hours: f64,
     method: DetectionMethod,
 }
 
+/// How a campaign turns a sweep/pass into per-machine tasks.
+///
+/// Whenever telemetry records (counters are charged per task, spans per
+/// machine), every machine needs a task. Untraced, only "hot" machines —
+/// those hosting a mercurial or already-detected core — can differ from
+/// the closed-form counter bump, so the all-healthy remainder is folded
+/// into [`ScreeningStats`] arithmetic without materializing tasks.
+/// Bit-for-bit equality with the per-machine walk holds because clean
+/// machines never draw randomness, never detect, and charge
+/// order-independent counters (the f64 drain accumulator sums the same
+/// per-machine constant the same number of times, so reordering clean
+/// relative to hot machines cannot change the float result).
+enum ScreenPlan<'a> {
+    /// Materialize a task per machine (required while tracing).
+    EveryMachine,
+    /// Tasks only for this sorted machine set; the rest go to counters.
+    HotOnly(&'a [u32]),
+}
+
+/// Whether the recorder forces the fully materialized per-machine walk.
+fn per_task_trace(rec: &Recorder) -> bool {
+    rec.flags().enabled
+}
+
+/// The sorted set of machines hosting a mercurial or detected core — the
+/// only machines whose screening can deviate from closed-form accounting.
+fn hot_machines(pop: &Population, detected: &FastSet<CoreUid>) -> Vec<u32> {
+    let mut hot: Vec<u32> = pop
+        .mercurial_cores()
+        .map(|c| c.uid.machine)
+        .chain(detected.iter().map(|c| c.machine))
+        .collect();
+    hot.sort_unstable();
+    hot.dedup();
+    hot
+}
+
 /// The mutable outputs a screener accumulates into: the cross-screener
 /// detected set, the shared signal log, and this policy's records/stats.
 struct ScreenSinks<'a> {
-    detected: &'a mut HashSet<CoreUid>,
+    detected: &'a mut FastSet<CoreUid>,
     log: &'a mut SignalLog,
     records: &'a mut Vec<DetectionRecord>,
     stats: &'a mut ScreeningStats,
@@ -344,18 +405,31 @@ fn run_machine_tasks(
     rec: &mut Recorder,
 ) {
     let machine_spans = rec.flags().machine_spans;
-    let snapshot: &HashSet<CoreUid> = sinks.detected;
+    // Group the detected snapshot by machine once per batch: each task
+    // then binary-searches a short sorted slice instead of hashing every
+    // core of its machine.
+    let mut by_machine: FastMap<u32, Vec<CoreUid>> = FastMap::default();
+    for &core in sinks.detected.iter() {
+        by_machine.entry(core.machine).or_default().push(core);
+    }
+    for cores in by_machine.values_mut() {
+        cores.sort_unstable();
+    }
     let results: Vec<(Vec<CoreUid>, ScreeningStats)> = map_parallel(tasks, parallelism, |task| {
         let mut local = ScreeningStats::default();
+        let detected_on_machine = by_machine
+            .get(&task.machine)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
         let newly = screen_machine(
             topo,
             pop,
             task.machine,
             &task.era,
-            &task.points,
+            task.sweep,
             task.hour,
             task.test_id_base,
-            snapshot,
+            detected_on_machine,
             &mut local,
         );
         (newly, local)
@@ -410,14 +484,14 @@ pub struct BurnIn {
 
 impl BurnIn {
     /// The burn-in screen for one machine at its deploy hour.
-    fn task_for(&self, topo: &FleetTopology, machine: u32, deploy_hour: f64) -> MachineTask {
+    fn task_for(&self, machine: u32, deploy_hour: f64) -> MachineTask {
         let month = (deploy_hour / 730.0) as u32;
         let mut era = self.schedule.era_at(month).clone();
         era.ops_per_unit *= self.ops_multiplier.max(1);
         MachineTask {
             machine,
-            era,
-            points: sweep_points(topo, machine, true),
+            era: Arc::new(era),
+            sweep: true,
             hour: deploy_hour,
             test_id_base: 0xb1b1 ^ machine as u64,
             drain_hours: 0.0,
@@ -430,7 +504,7 @@ impl BurnIn {
         &self,
         topo: &FleetTopology,
         pop: &Population,
-        detected: &mut HashSet<CoreUid>,
+        detected: &mut FastSet<CoreUid>,
         log: &mut SignalLog,
     ) -> (Vec<DetectionRecord>, ScreeningStats) {
         let mut stats = ScreeningStats::default();
@@ -438,7 +512,7 @@ impl BurnIn {
         let tasks: Vec<MachineTask> = topo
             .machines()
             .iter()
-            .map(|m| self.task_for(topo, m.machine, m.deploy_hour))
+            .map(|m| self.task_for(m.machine, m.deploy_hour))
             .collect();
         run_machine_tasks(
             topo,
@@ -503,7 +577,7 @@ impl BurnInCampaign {
         topo: &FleetTopology,
         pop: &Population,
         until_hour: f64,
-        detected: &mut HashSet<CoreUid>,
+        detected: &mut FastSet<CoreUid>,
         log: &mut SignalLog,
     ) -> Vec<DetectionRecord> {
         self.step_until_traced(
@@ -523,7 +597,7 @@ impl BurnInCampaign {
         topo: &FleetTopology,
         pop: &Population,
         until_hour: f64,
-        detected: &mut HashSet<CoreUid>,
+        detected: &mut FastSet<CoreUid>,
         log: &mut SignalLog,
         rec: &mut Recorder,
     ) -> Vec<DetectionRecord> {
@@ -531,13 +605,37 @@ impl BurnInCampaign {
             .iter()
             .take_while(|(h, _)| *h < until_hour)
             .count();
-        let tasks: Vec<MachineTask> = self.queue[self.cursor..self.cursor + due]
-            .iter()
-            .map(|&(hour, machine)| self.screener.task_for(topo, machine, hour))
-            .collect();
+        let due_batch = &self.queue[self.cursor..self.cursor + due];
+        let hot;
+        let plan = if per_task_trace(rec) {
+            ScreenPlan::EveryMachine
+        } else {
+            hot = hot_machines(pop, detected);
+            ScreenPlan::HotOnly(&hot)
+        };
+        let mut tasks = Vec::new();
+        for &(hour, machine) in due_batch {
+            match &plan {
+                ScreenPlan::HotOnly(hot) if hot.binary_search(&machine).is_err() => {
+                    // An all-healthy machine's burn-in is pure accounting:
+                    // every core, three sweep points, zero detections.
+                    let month = (hour / 730.0) as u32;
+                    let era = self.screener.schedule.era_at(month);
+                    let ops_per_screen = era.ops_per_unit
+                        * self.screener.ops_multiplier.max(1)
+                        * era.units.len() as u64;
+                    let screens = topo.cores_on(machine) * 3;
+                    self.stats.core_screens += screens;
+                    self.stats.test_ops += screens * ops_per_screen;
+                }
+                _ => tasks.push(self.screener.task_for(machine, hour)),
+            }
+        }
+        let span = due_batch
+            .first()
+            .map(|&(h, _)| (h, due_batch.last().unwrap().0));
         self.cursor += due;
         let mut records = Vec::new();
-        let span = tasks.first().map(|t| (t.hour, tasks.last().unwrap().hour));
         if let Some((start, _)) = span {
             rec.begin(start, "screen.burnin");
         }
@@ -602,8 +700,15 @@ impl Default for OfflineScreener {
 
 impl OfflineScreener {
     /// One sweep's per-machine tasks (the rotating fleet subset deployed
-    /// at `hour`).
-    fn sweep_tasks(&self, topo: &FleetTopology, hour: f64, sweep_idx: u64) -> Vec<MachineTask> {
+    /// at `hour`), folding plan-skipped machines into `stats`.
+    fn sweep_tasks(
+        &self,
+        topo: &FleetTopology,
+        hour: f64,
+        sweep_idx: u64,
+        plan: &ScreenPlan<'_>,
+        stats: &mut ScreeningStats,
+    ) -> Vec<MachineTask> {
         let n_machines = topo.machines().len() as u64;
         // Clamped so a sweep never visits a machine twice (a duplicate
         // would see a stale detected-snapshot under the parallel fan-out).
@@ -611,22 +716,36 @@ impl OfflineScreener {
             .max(1)
             .min(n_machines);
         let month = (hour / 730.0) as u32;
-        let era = self.schedule.era_at(month);
+        let era = Arc::new(self.schedule.era_at(month).clone());
+        let points = if era.sweep_points { 3u64 } else { 1u64 };
+        let ops_per_screen = era.ops_per_unit * era.units.len() as u64;
         // Rotate deterministically through the fleet.
         let start = (sweep_idx * per_sweep) % n_machines;
-        (0..per_sweep)
-            .map(|k| ((start + k) % n_machines) as u32)
-            .filter(|&machine| topo.is_deployed(machine, hour))
-            .map(|machine| MachineTask {
-                machine,
-                era: era.clone(),
-                points: sweep_points(topo, machine, era.sweep_points),
-                hour,
-                test_id_base: 0x0ff1 ^ sweep_idx.wrapping_mul(65_537),
-                drain_hours: self.drain_hours_per_machine,
-                method: DetectionMethod::Offline,
-            })
-            .collect()
+        let mut tasks = Vec::new();
+        for k in 0..per_sweep {
+            let machine = ((start + k) % n_machines) as u32;
+            if !topo.is_deployed(machine, hour) {
+                continue;
+            }
+            match plan {
+                ScreenPlan::HotOnly(hot) if hot.binary_search(&machine).is_err() => {
+                    let screens = topo.cores_on(machine) * points;
+                    stats.core_screens += screens;
+                    stats.test_ops += screens * ops_per_screen;
+                    stats.drained_machine_hours += self.drain_hours_per_machine;
+                }
+                _ => tasks.push(MachineTask {
+                    machine,
+                    era: Arc::clone(&era),
+                    sweep: era.sweep_points,
+                    hour,
+                    test_id_base: 0x0ff1 ^ sweep_idx.wrapping_mul(65_537),
+                    drain_hours: self.drain_hours_per_machine,
+                    method: DetectionMethod::Offline,
+                }),
+            }
+        }
+        tasks
     }
 
     /// Runs the campaign over `months`, skipping cores already in
@@ -636,7 +755,7 @@ impl OfflineScreener {
         topo: &FleetTopology,
         pop: &Population,
         months: u32,
-        detected: &mut HashSet<CoreUid>,
+        detected: &mut FastSet<CoreUid>,
         log: &mut SignalLog,
     ) -> (Vec<DetectionRecord>, ScreeningStats) {
         let mut campaign = self.campaign(months);
@@ -676,7 +795,7 @@ impl OfflineCampaign {
         topo: &FleetTopology,
         pop: &Population,
         until_hour: f64,
-        detected: &mut HashSet<CoreUid>,
+        detected: &mut FastSet<CoreUid>,
         log: &mut SignalLog,
     ) -> Vec<DetectionRecord> {
         self.step_until_traced(
@@ -697,15 +816,29 @@ impl OfflineCampaign {
         topo: &FleetTopology,
         pop: &Population,
         until_hour: f64,
-        detected: &mut HashSet<CoreUid>,
+        detected: &mut FastSet<CoreUid>,
         log: &mut SignalLog,
         rec: &mut Recorder,
     ) -> Vec<DetectionRecord> {
         let mut records = Vec::new();
+        let hot;
+        let plan = if per_task_trace(rec) {
+            ScreenPlan::EveryMachine
+        } else {
+            // `hot` stays a superset across this call's sweeps: new
+            // detections land on machines that host a mercurial core and
+            // are therefore already in it.
+            hot = hot_machines(pop, detected);
+            ScreenPlan::HotOnly(&hot)
+        };
         while self.next_hour < self.total_hours && self.next_hour < until_hour {
-            let tasks = self
-                .screener
-                .sweep_tasks(topo, self.next_hour, self.sweep_idx);
+            let tasks = self.screener.sweep_tasks(
+                topo,
+                self.next_hour,
+                self.sweep_idx,
+                &plan,
+                &mut self.stats,
+            );
             let span_end =
                 self.next_hour + tasks.iter().map(|t| t.drain_hours).fold(0.0f64, f64::max);
             if !tasks.is_empty() {
@@ -772,24 +905,59 @@ impl Default for OnlineScreener {
 
 impl OnlineScreener {
     /// One pass's per-machine tasks (every machine deployed at `hour`,
-    /// with the era's op budget scaled to spare cycles).
-    fn pass_tasks(&self, topo: &FleetTopology, hour: f64, pass: u64) -> Vec<MachineTask> {
+    /// with the era's op budget scaled to spare cycles), folding
+    /// plan-skipped machines into `stats`.
+    ///
+    /// Under [`ScreenPlan::HotOnly`] the pass never walks the fleet:
+    /// tasks come from the hot set (ascending machine order, matching the
+    /// full walk) and the healthy remainder is a [`FleetTopology::
+    /// deployed_cores`] lookup — one screen per core at the nominal
+    /// point, zero detections, no randomness.
+    fn pass_tasks(
+        &self,
+        topo: &FleetTopology,
+        hour: f64,
+        pass: u64,
+        plan: &ScreenPlan<'_>,
+        stats: &mut ScreeningStats,
+    ) -> Vec<MachineTask> {
         let month = (hour / 730.0) as u32;
-        let mut era = self.schedule.era_at(month).clone();
-        era.ops_per_unit = ((era.ops_per_unit as f64 * self.ops_fraction).ceil() as u64).max(1);
-        topo.machines()
-            .iter()
-            .filter(|m| topo.is_deployed(m.machine, hour))
-            .map(|m| MachineTask {
-                machine: m.machine,
-                era: era.clone(),
-                points: sweep_points(topo, m.machine, false),
-                hour,
-                test_id_base: 0x0a11 ^ pass.wrapping_mul(2_654_435_761),
-                drain_hours: 0.0,
-                method: DetectionMethod::Online,
-            })
-            .collect()
+        let mut scaled = self.schedule.era_at(month).clone();
+        scaled.ops_per_unit =
+            ((scaled.ops_per_unit as f64 * self.ops_fraction).ceil() as u64).max(1);
+        let ops_per_screen = scaled.ops_per_unit * scaled.units.len() as u64;
+        let era = Arc::new(scaled);
+        let task = |machine: u32| MachineTask {
+            machine,
+            era: Arc::clone(&era),
+            sweep: false,
+            hour,
+            test_id_base: 0x0a11 ^ pass.wrapping_mul(2_654_435_761),
+            drain_hours: 0.0,
+            method: DetectionMethod::Online,
+        };
+        match plan {
+            ScreenPlan::EveryMachine => topo
+                .machines()
+                .iter()
+                .filter(|m| topo.is_deployed(m.machine, hour))
+                .map(|m| task(m.machine))
+                .collect(),
+            ScreenPlan::HotOnly(hot) => {
+                let mut hot_cores = 0u64;
+                let tasks: Vec<MachineTask> = hot
+                    .iter()
+                    .copied()
+                    .filter(|&machine| topo.is_deployed(machine, hour))
+                    .inspect(|&machine| hot_cores += topo.cores_on(machine))
+                    .map(task)
+                    .collect();
+                let clean = topo.deployed_cores(hour) - hot_cores;
+                stats.core_screens += clean;
+                stats.test_ops += clean * ops_per_screen;
+                tasks
+            }
+        }
     }
 
     /// Runs the campaign over `months`.
@@ -798,7 +966,7 @@ impl OnlineScreener {
         topo: &FleetTopology,
         pop: &Population,
         months: u32,
-        detected: &mut HashSet<CoreUid>,
+        detected: &mut FastSet<CoreUid>,
         log: &mut SignalLog,
     ) -> (Vec<DetectionRecord>, ScreeningStats) {
         let mut campaign = self.campaign(months);
@@ -838,7 +1006,7 @@ impl OnlineCampaign {
         topo: &FleetTopology,
         pop: &Population,
         until_hour: f64,
-        detected: &mut HashSet<CoreUid>,
+        detected: &mut FastSet<CoreUid>,
         log: &mut SignalLog,
     ) -> Vec<DetectionRecord> {
         self.step_until_traced(
@@ -858,13 +1026,23 @@ impl OnlineCampaign {
         topo: &FleetTopology,
         pop: &Population,
         until_hour: f64,
-        detected: &mut HashSet<CoreUid>,
+        detected: &mut FastSet<CoreUid>,
         log: &mut SignalLog,
         rec: &mut Recorder,
     ) -> Vec<DetectionRecord> {
         let mut records = Vec::new();
+        let hot;
+        let plan = if per_task_trace(rec) {
+            ScreenPlan::EveryMachine
+        } else {
+            // A superset across this call's passes, as for offline sweeps.
+            hot = hot_machines(pop, detected);
+            ScreenPlan::HotOnly(&hot)
+        };
         while self.next_hour < self.total_hours && self.next_hour < until_hour {
-            let tasks = self.screener.pass_tasks(topo, self.next_hour, self.pass);
+            let tasks =
+                self.screener
+                    .pass_tasks(topo, self.next_hour, self.pass, &plan, &mut self.stats);
             if !tasks.is_empty() {
                 rec.begin(self.next_hour, "screen.online");
             }
@@ -941,7 +1119,7 @@ mod tests {
     fn burn_in_catches_hot_manufacturing_defects() {
         let topo = topo(20, 31);
         let pop = Population::with_explicit(31, vec![hot_core(4)]);
-        let mut detected = HashSet::new();
+        let mut detected = FastSet::default();
         let mut log = SignalLog::new();
         let burnin = BurnIn {
             schedule: EraSchedule::default_history(),
@@ -965,7 +1143,7 @@ mod tests {
             library::late_onset_muldiv(1000.0, 0.01),
         );
         let pop = Population::with_explicit(32, vec![latent]);
-        let mut detected = HashSet::new();
+        let mut detected = FastSet::default();
         let mut log = SignalLog::new();
         let burnin = BurnIn {
             schedule: EraSchedule::default_history(),
@@ -985,7 +1163,7 @@ mod tests {
             library::late_onset_muldiv(onset, 1e-3),
         );
         let pop = Population::with_explicit(33, vec![latent]);
-        let mut detected = HashSet::new();
+        let mut detected = FastSet::default();
         let mut log = SignalLog::new();
         let screener = OfflineScreener {
             fraction_per_sweep: 1.0,
@@ -1005,12 +1183,12 @@ mod tests {
         let bad = (CoreUid::new(2, 0, 0), library::low_freq_worse_alu(0.9));
         let pop = Population::with_explicit(34, vec![bad.clone()]);
 
-        let mut det_online = HashSet::new();
+        let mut det_online = FastSet::default();
         let mut log1 = SignalLog::new();
         let online = OnlineScreener::default();
         let (online_records, _) = online.run(&topo, &pop, 12, &mut det_online, &mut log1);
 
-        let mut det_offline = HashSet::new();
+        let mut det_offline = FastSet::default();
         let mut log2 = SignalLog::new();
         let offline = OfflineScreener {
             fraction_per_sweep: 1.0,
@@ -1047,8 +1225,8 @@ mod tests {
             ),
         );
         let pop2 = Population::with_explicit(35, vec![floor_only.clone()]);
-        let mut d1 = HashSet::new();
-        let mut d2 = HashSet::new();
+        let mut d1 = FastSet::default();
+        let mut d2 = FastSet::default();
         let mut l = SignalLog::new();
         let (on2, _) = online.run(&topo, &pop2, 12, &mut d1, &mut l);
         let (off2, _) = offline.run(&topo, &pop2, 12, &mut d2, &mut l);
@@ -1071,7 +1249,7 @@ mod tests {
         let topo = topo(10, 36);
         let bad = (CoreUid::new(1, 0, 0), library::self_inverting_aes());
         let pop = Population::with_explicit(36, vec![bad]);
-        let mut detected = HashSet::new();
+        let mut detected = FastSet::default();
         let mut log = SignalLog::new();
         let screener = OfflineScreener {
             fraction_per_sweep: 1.0,
@@ -1106,8 +1284,8 @@ mod tests {
             ..OfflineScreener::default()
         };
         let online = OnlineScreener::default();
-        let mut d1 = HashSet::new();
-        let mut d2 = HashSet::new();
+        let mut d1 = FastSet::default();
+        let mut d2 = FastSet::default();
         let mut l = SignalLog::new();
         let (off_rec, off_stats) = offline.run(&topo, &pop, 24, &mut d1, &mut l);
         let (on_rec, on_stats) = online.run(&topo, &pop, 24, &mut d2, &mut l);
@@ -1141,7 +1319,7 @@ mod tests {
         let pop = Population::with_explicit(39, defects);
 
         let run_all = |parallelism: usize| {
-            let mut detected = HashSet::new();
+            let mut detected = FastSet::default();
             let mut log = SignalLog::new();
             let burnin = BurnIn {
                 schedule: EraSchedule::default_history(),
@@ -1199,7 +1377,7 @@ mod tests {
         };
         let online = OnlineScreener::default();
 
-        let mut batch_detected = HashSet::new();
+        let mut batch_detected = FastSet::default();
         let mut batch_log = SignalLog::new();
         let (batch_off, batch_off_stats) =
             offline.run(&topo, &pop, months, &mut batch_detected, &mut batch_log);
@@ -1207,7 +1385,7 @@ mod tests {
             online.run(&topo, &pop, months, &mut batch_detected, &mut batch_log);
 
         for step_hours in [73.0, 311.0] {
-            let mut detected = HashSet::new();
+            let mut detected = FastSet::default();
             let mut log = SignalLog::new();
             let mut off_campaign = offline.campaign(months);
             let mut on_campaign = online.campaign(months);
@@ -1259,13 +1437,13 @@ mod tests {
             ops_multiplier: 10,
             parallelism: 1,
         };
-        let mut batch_detected = HashSet::new();
+        let mut batch_detected = FastSet::default();
         let mut batch_log = SignalLog::new();
         let (batch_records, batch_stats) =
             burnin.run(&topo, &pop, &mut batch_detected, &mut batch_log);
 
         let mut campaign = burnin.campaign(&topo);
-        let mut detected = HashSet::new();
+        let mut detected = FastSet::default();
         let mut log = SignalLog::new();
         let mut records = Vec::new();
         let mut until = 100.0;
@@ -1298,11 +1476,95 @@ mod tests {
     }
 
     #[test]
+    fn untraced_fast_plans_match_the_traced_task_walk() {
+        // The untraced campaigns skip all-healthy machines via closed-form
+        // accounting; a recording recorder forces the per-machine walk.
+        // Records, stats (including the f64 drain accumulator), detected
+        // sets, and logs must be bit-for-bit identical either way.
+        use mercurial_trace::TraceFlags;
+        let mut cfg = FleetConfig::tiny(24, 39);
+        cfg.rollout_months = 6;
+        let topo = FleetTopology::build(cfg);
+        let defects = vec![
+            hot_core(2),
+            hot_core(17),
+            (
+                CoreUid::new(5, 0, 1),
+                library::late_onset_muldiv(1.5 * 730.0, 1e-3),
+            ),
+            (CoreUid::new(12, 0, 0), library::low_freq_worse_alu(0.9)),
+        ];
+        let pop = Population::with_explicit(39, defects);
+        let months = 18u32;
+        let run_all = |traced: bool| {
+            let mut rec = if traced {
+                Recorder::with_flags(TraceFlags::enabled())
+            } else {
+                Recorder::disabled()
+            };
+            let mut detected = FastSet::default();
+            let mut log = SignalLog::new();
+            let burnin = BurnIn {
+                schedule: EraSchedule::default_history(),
+                ops_multiplier: 5,
+                parallelism: 1,
+            };
+            let offline = OfflineScreener {
+                fraction_per_sweep: 0.5,
+                ..OfflineScreener::default()
+            };
+            let online = OnlineScreener::default();
+            let mut bc = burnin.campaign(&topo);
+            let mut off = offline.campaign(months);
+            let mut on = online.campaign(months);
+            let mut records = Vec::new();
+            let mut until = 73.0;
+            while until <= months as f64 * 730.0 + 73.0 {
+                records.extend(bc.step_until_traced(
+                    &topo,
+                    &pop,
+                    until,
+                    &mut detected,
+                    &mut log,
+                    &mut rec,
+                ));
+                records.extend(off.step_until_traced(
+                    &topo,
+                    &pop,
+                    until,
+                    &mut detected,
+                    &mut log,
+                    &mut rec,
+                ));
+                records.extend(on.step_until_traced(
+                    &topo,
+                    &pop,
+                    until,
+                    &mut detected,
+                    &mut log,
+                    &mut rec,
+                ));
+                until += 73.0;
+            }
+            let mut det: Vec<CoreUid> = detected.into_iter().collect();
+            det.sort_unstable();
+            (records, [bc.stats(), off.stats(), on.stats()], det, log)
+        };
+        let (r_fast, s_fast, d_fast, l_fast) = run_all(false);
+        let (r_traced, s_traced, d_traced, l_traced) = run_all(true);
+        assert!(!r_fast.is_empty(), "test needs detections to compare");
+        assert_eq!(r_fast, r_traced, "records diverge between plans");
+        assert_eq!(s_fast, s_traced, "stats diverge between plans");
+        assert_eq!(d_fast, d_traced, "detected sets diverge between plans");
+        assert_eq!(l_fast.all(), l_traced.all(), "logs diverge between plans");
+    }
+
+    #[test]
     fn detected_cores_are_not_rescreened() {
         let topo = topo(5, 38);
         let bad = hot_core(1);
         let pop = Population::with_explicit(38, vec![bad]);
-        let mut detected = HashSet::new();
+        let mut detected = FastSet::default();
         let mut log = SignalLog::new();
         let screener = OfflineScreener {
             fraction_per_sweep: 1.0,

@@ -14,6 +14,7 @@
 //! cargo run --release --example screening_policy
 //! ```
 
+use mercurial::fault::FastSet;
 use mercurial::fleet::topology::{FleetConfig, FleetTopology};
 use mercurial::fleet::{Population, SignalLog};
 use mercurial::screening::{OfflineScreener, OnlineScreener};
@@ -36,13 +37,13 @@ fn main() {
         fraction_per_sweep: 0.15,
         ..OfflineScreener::default()
     };
-    let mut detected = HashSet::new();
+    let mut detected = FastSet::default();
     let mut log = SignalLog::new();
     let (off_records, off_stats) = offline.run(&topo, &pop, months, &mut detected, &mut log);
 
     // Online-only campaign.
     let online = OnlineScreener::default();
-    let mut detected = HashSet::new();
+    let mut detected = FastSet::default();
     let mut log = SignalLog::new();
     let (on_records, on_stats) = online.run(&topo, &pop, months, &mut detected, &mut log);
 

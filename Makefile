@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke
+.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke
 
-ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke
+ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke
 
 build:
 	$(CARGO) build --release
@@ -64,3 +64,9 @@ watch-smoke:
 # per-epoch work on healthy machines, wall clock within budget.
 sparse-smoke:
 	$(CARGO) run --release -p mercurial-bench --bin e18_sparse -- --smoke
+
+# Served-topology contracts: frame-codec round-trip, zero-impairment
+# bit-parity between the socket-split pipeline and the in-process driver
+# (1/2/4 workers), and loss monotonicity of the impairment layer.
+serve-smoke:
+	$(CARGO) run --release -p mercurial-bench --bin e19_serve -- --smoke

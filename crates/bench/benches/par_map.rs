@@ -1,0 +1,90 @@
+//! Bench: `fleet::par::map_parallel` on the post-E18 sparse hot path.
+//!
+//! The carried-over work-stealing ROADMAP item says "re-profile first":
+//! the event clock (E18) made the per-epoch shard body so cheap on
+//! healthy-dominated fleets that fan-out overhead, not imbalance, is the
+//! question. Three measurements answer it:
+//!
+//! * the bare fan-out overhead — `map_parallel` over epoch-shaped item
+//!   counts with a trivial body, against the serial loop;
+//! * the real hot path — a sparse demo fleet simulation at 1/2/8
+//!   workers (the per-epoch closure `sim.rs` actually fans out);
+//! * a skew probe — items whose costs differ 100× tail-to-head, the
+//!   case a work-stealing deque would help (the atomic-cursor claim in
+//!   `map_parallel` already balances these dynamically).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mercurial::Scenario;
+use mercurial_fleet::par::map_parallel;
+use mercurial_fleet::topology::FleetTopology;
+use mercurial_fleet::{FleetSim, Population, SimEngine};
+use std::hint::black_box;
+
+fn bench_fanout_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par-map-overhead");
+    // A sparse 18-month demo run steps 180 epochs in batches; each
+    // map_parallel call sees one batch of epoch ids.
+    for items in [8usize, 32, 180] {
+        let ids: Vec<u32> = (0..items as u32).collect();
+        group.bench_with_input(BenchmarkId::new("serial", items), &ids, |b, ids| {
+            b.iter(|| {
+                let out: Vec<u64> = ids.iter().map(|&i| black_box(i as u64 + 1)).collect();
+                black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fanout-8", items), &ids, |b, ids| {
+            b.iter(|| black_box(map_parallel(ids, 8, |&i| black_box(i as u64 + 1))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_hot_path(c: &mut Criterion) {
+    let mut scenario = Scenario::demo(0xacce55);
+    scenario.sim.engine = SimEngine::Sparse;
+    let topo = FleetTopology::build(scenario.fleet.clone());
+    let pop = Population::seed_from(&topo);
+    let mut group = c.benchmark_group("par-map-sparse-sim");
+    for workers in [1usize, 2, 8] {
+        let mut config = scenario.sim.clone();
+        config.parallelism = workers;
+        let sim = FleetSim::new(topo.clone(), pop.clone(), config);
+        group.bench_with_input(BenchmarkId::new("demo-18mo", workers), &sim, |b, sim| {
+            b.iter(|| black_box(sim.run().1.corruptions))
+        });
+    }
+    group.finish();
+}
+
+fn bench_skewed_items(c: &mut Criterion) {
+    // Cost ratio ~100:1 between the heaviest and lightest item, heavy
+    // items first — the adversarial layout for fixed chunking, the
+    // benign one for a dynamic cursor.
+    let weights: Vec<u64> = (0..32u64).map(|i| 1_000 * (32 - i) * (32 - i)).collect();
+    let spin = |n: &u64| {
+        let mut acc = 0u64;
+        for i in 0..*n {
+            acc = acc.wrapping_mul(0x9E37).wrapping_add(i);
+        }
+        acc
+    };
+    let mut group = c.benchmark_group("par-map-skew");
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let out: Vec<u64> = weights.iter().map(spin).collect();
+            black_box(out)
+        })
+    });
+    group.bench_function("fanout-8", |b| {
+        b.iter(|| black_box(map_parallel(&weights, 8, spin)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fanout_overhead,
+    bench_sparse_hot_path,
+    bench_skewed_items
+);
+criterion_main!(benches);

@@ -33,34 +33,14 @@
 use crate::experiment::FleetExperiment;
 use crate::pipeline::{PipelineOutcome, PipelineRun};
 use crate::scenario::Scenario;
-use mercurial_fault::{CoreUid, FastSet, FunctionalUnit};
-use mercurial_fleet::sim::SimSummary;
-use mercurial_fleet::{EventKind, EventQueue, SignalLog};
-use mercurial_isolation::{CapacityLedger, QuarantineRegistry, SafeTaskPolicy, TaskUnitProfile};
-use mercurial_metrics::EpochSeries;
-use mercurial_screening::{
-    BurnIn, DetectionMethod, DetectionRecord, HumanTriage, OfflineScreener, OnlineScreener,
-    Scoreboard, TriageOutcome, TriageStats,
+use crate::shardloop::{
+    record_alerts, record_ground_truth_onsets, watch_engine, FleetAggregator, FleetShard,
 };
-use mercurial_trace::{MetricSet, Recorder, TraceSink};
-use mercurial_watch::{Alert, Baseline, EpochRow, RuleSet, WatchEngine, WatchReport};
-use std::collections::{HashMap, HashSet};
-
-/// Emits one `gt.onset` instant per mercurial core at the hour its defect
-/// can first manifest (deploy + earliest onset), in population (sorted
-/// `CoreUid`) order — the ground-truth anchor of the incident timeline.
-fn record_ground_truth_onsets(experiment: &FleetExperiment, rec: &mut Recorder) {
-    if !rec.enabled() {
-        return;
-    }
-    let topo = experiment.topology();
-    for core in experiment.population().mercurial_cores() {
-        let deploy = topo.machines()[core.uid.machine as usize].deploy_hour;
-        let onset = deploy + core.profile.earliest_onset_hours().max(0.0);
-        rec.instant(onset, "gt.onset", Some(core.uid.as_u64()), 0.0);
-    }
-    rec.counter_add("gt.mercurial_cores", experiment.population().count() as u64);
-}
+use mercurial_fleet::sim::SimSummary;
+use mercurial_fleet::SignalLog;
+use mercurial_metrics::EpochSeries;
+use mercurial_trace::{MetricSet, TraceSink};
+use mercurial_watch::{Baseline, EpochRow, RuleSet, WatchReport};
 
 /// Everything a closed-loop run produced: the familiar end-of-window
 /// aggregates plus the per-epoch time series.
@@ -96,77 +76,6 @@ pub struct RunOptions<'a> {
     /// attached the outcome's `trace.events` is empty — events live in
     /// the sink's output, byte-identical to the buffered export.
     pub sink: Option<&'a mut dyn TraceSink>,
-}
-
-/// The in-loop alert engine a run asked for, if any.
-fn watch_engine(scenario: &Scenario, rules: &Option<RuleSet>) -> Option<WatchEngine> {
-    match rules {
-        Some(rs) => Some(WatchEngine::new(rs.clone())),
-        None if scenario.watch.enabled => Some(WatchEngine::new(scenario.watch.rule_set())),
-        None => None,
-    }
-}
-
-/// Stamp freshly fired alerts into the trace as `alert.fired` instants
-/// (value = rule index, hour = the violation's hour).
-fn record_alerts(rec: &mut Recorder, alerts: &[(usize, Alert)]) {
-    for (idx, a) in alerts {
-        rec.instant(a.hour, "alert.fired", None, *idx as f64);
-    }
-}
-
-/// The §6.1 task mix used to price safe-task recovery on confirmed cores
-/// (the "balanced" mix of the E10 experiment).
-fn balanced_task_mix() -> Vec<(TaskUnitProfile, f64)> {
-    use FunctionalUnit as U;
-    vec![
-        (
-            TaskUnitProfile::new(
-                "scalar-batch",
-                vec![U::ScalarAlu, U::LoadStore, U::BranchUnit, U::AddressGen],
-                false,
-            ),
-            0.35,
-        ),
-        (
-            TaskUnitProfile::new(
-                "gemm",
-                vec![U::Fma, U::VectorPipe, U::LoadStore, U::AddressGen],
-                false,
-            ),
-            0.25,
-        ),
-        (
-            TaskUnitProfile::new(
-                "tls",
-                vec![U::CryptoUnit, U::ScalarAlu, U::LoadStore, U::AddressGen],
-                false,
-            ),
-            0.15,
-        ),
-        (
-            TaskUnitProfile::new(
-                "db",
-                vec![
-                    U::ScalarAlu,
-                    U::Atomics,
-                    U::LoadStore,
-                    U::BranchUnit,
-                    U::AddressGen,
-                ],
-                false,
-            ),
-            0.15,
-        ),
-        (
-            TaskUnitProfile::new(
-                "log-shipper",
-                vec![U::ScalarAlu, U::LoadStore, U::AddressGen],
-                true,
-            ),
-            0.10,
-        ),
-    ]
 }
 
 /// The closed-loop driver.
@@ -274,417 +183,46 @@ impl ClosedLoopDriver {
         }
     }
 
-    /// Feedback enabled: the full epoch-interleaved loop.
+    /// Feedback enabled: the full epoch-interleaved loop, run as one
+    /// full-fleet [`FleetShard`] in lockstep with a [`FleetAggregator`]
+    /// sharing a single recorder. This is exactly the service
+    /// decomposition `mercurial-serve` runs across processes; here the
+    /// "wire" is a function call, which pins the in-process loop and the
+    /// zero-impairment served run to the same code path.
     fn run_with_feedback(
         scenario: &Scenario,
         experiment: &FleetExperiment,
         mut opts: RunOptions<'_>,
     ) -> ClosedLoopOutcome {
-        let sim = experiment.sim();
-        let topo = experiment.topology();
-        let pop = experiment.population();
-        let tuning = &scenario.tuning;
-        let policy = &scenario.closed_loop;
-        let epoch_hours = scenario.sim.epoch_hours;
-        let parallelism = scenario.sim.parallelism;
-        let schedule = experiment.screening_schedule();
-
-        // Screeners, stepped as campaigns instead of whole-window runs.
-        let burnin = BurnIn {
-            schedule: schedule.clone(),
-            ops_multiplier: tuning.burnin_ops_multiplier,
-            parallelism,
-        };
-        let mut burnin_campaign = burnin.campaign(topo);
-        let offline = OfflineScreener {
-            schedule: schedule.clone(),
-            interval_hours: scenario.offline_interval_hours,
-            fraction_per_sweep: scenario.offline_fraction,
-            drain_hours_per_machine: tuning.offline_drain_hours_per_machine,
-            parallelism,
-        };
-        let mut offline_campaign = offline.campaign(scenario.sim.months);
-        let online = OnlineScreener {
-            schedule,
-            interval_hours: scenario.online_interval_hours,
-            ops_fraction: tuning.online_ops_fraction,
-            parallelism,
-        };
-        let mut online_campaign = online.campaign(scenario.sim.months);
-
-        // In-loop isolation machinery.
-        let mut registry = QuarantineRegistry::new();
-        let mut ledger = CapacityLedger::new();
-        for m in topo.machines() {
-            let cores = topo.product_of(m.machine).cores_per_socket as u64
-                * topo.config().sockets_per_machine as u64;
-            ledger.register_machine(m.machine, cores);
-        }
-        let safe_policy = SafeTaskPolicy;
-        let task_mix = balanced_task_mix();
-        // Fractional cores recovered by safe-task placement on confirmed
-        // cores (each confirmed core contributes the placeable share of
-        // the task mix, given its now-known defective units).
-        let mut recovered_cores = 0.0f64;
-
-        let triage = HumanTriage::default();
-        let mut triage_stats = TriageStats::default();
-        let mut case_id = 0u64;
-
-        let mut scoreboard = Scoreboard::new();
-        scoreboard.arm(scenario.suspicion_threshold);
-        let mut state = sim.begin();
-        let epochs = state.total_epochs();
-        let mut log = SignalLog::new();
-        let mut summary = SimSummary::default();
-        let mut series = EpochSeries::new(epoch_hours);
-
-        let mut detections: Vec<DetectionRecord> = Vec::new();
-        // Cores currently out of service: skipped by screeners, masked in
-        // the sim, and stripped of newly attributed signals.
-        let mut out_of_service: FastSet<CoreUid> = FastSet::default();
-        // Cores ever sent to triage — a restored core is not re-triaged on
-        // the same (stale) suspicion score.
-        let mut handled: FastSet<CoreUid> = FastSet::default();
-        // Driver timers live on event heaps: deep-check verdicts pop in
-        // due-hour order (an earlier-quarantined suspect is never starved
-        // behind a later one by queue position — the old FIFO could
-        // reorder same-epoch crossings), restorations pop in restore-hour
-        // order, and each screening campaign keeps exactly one pending
-        // wake. Ties break `Restore < ScreeningDue < DeepCheck` per the
-        // [`EventKind`] rank contract, then by insertion order.
-        let mut deep_q: EventQueue<CoreUid> = EventQueue::new();
-        let mut restore_q: EventQueue<CoreUid> = EventQueue::new();
-        // Payload: 0 = burn-in, 1 = offline, 2 = online.
-        let mut screen_q: EventQueue<u8> = EventQueue::new();
-        if let Some(h) = burnin_campaign.next_hour() {
-            screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 0);
-        }
-        if let Some(h) = offline_campaign.next_hour() {
-            screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 1);
-        }
-        if let Some(h) = online_campaign.next_hour() {
-            screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 2);
-        }
-        let mut exonerated_innocents = 0usize;
-
-        let mut engine = watch_engine(scenario, &opts.rules);
+        let machines = experiment.topology().config().machines;
+        let engine = watch_engine(scenario, &opts.rules);
         let mut rec = scenario.trace.recorder();
         record_ground_truth_onsets(experiment, &mut rec);
-
-        while !state.is_done() {
-            let h0 = state.hour();
-            let h1 = h0 + epoch_hours;
-            rec.begin(h0, "loop.epoch");
-
-            // 1. Restorations whose repair latency has elapsed re-enter
-            //    service at the epoch boundary, in restore-hour order.
-            while let Some((restore_hour, core)) = restore_q.pop_due(h0) {
-                registry
-                    .restore_traced(core, restore_hour, "repair latency elapsed", &mut rec)
-                    .expect("exonerated core can restore");
-                ledger.restore_core_traced(core, restore_hour, &mut rec);
-                out_of_service.remove(&core);
-                state.set_active(core, true);
-            }
-
-            // 2. Deep-check verdicts, due-hour order under the per-epoch
-            //    budget (the triage team is finite; excess suspects stay
-            //    queued and their verdicts slip to the next boundary).
-            let mut budget = policy.deep_checks_per_epoch;
-            while budget > 0 && deep_q.peek_time().is_some_and(|t| t < h1) {
-                let (due_hour, core) = deep_q.pop().expect("peeked a due case");
-                let verdict_hour = due_hour.max(h0);
-                budget -= 1;
-                triage_stats.investigated += 1;
-                match triage.investigate(topo, pop, core, verdict_hour, case_id) {
-                    TriageOutcome::Confirmed => {
-                        triage_stats.confirmed += 1;
-                        if pop.is_mercurial(core) {
-                            triage_stats.confirmed_true += 1;
-                        }
-                        registry
-                            .confirm_traced(core, verdict_hour, "deep check confession", &mut rec)
-                            .expect("quarantined core can confirm");
-                        rec.instant(verdict_hour, "detect.triage", Some(core.as_u64()), 0.0);
-                        recovered_cores += safe_task_share(&safe_policy, &task_mix, pop, core);
-                        detections.push(DetectionRecord {
-                            core,
-                            hour: verdict_hour,
-                            method: DetectionMethod::Triage,
-                        });
-                    }
-                    TriageOutcome::NotReproduced => {
-                        triage_stats.not_reproduced += 1;
-                        if pop.is_mercurial(core) {
-                            triage_stats.missed_true += 1;
-                        }
-                        registry
-                            .exonerate_traced(core, verdict_hour, "nothing reproduced", &mut rec)
-                            .expect("quarantined core can exonerate");
-                        if !pop.is_mercurial(core) {
-                            exonerated_innocents += 1;
-                        }
-                        restore_q.schedule_ranked(
-                            verdict_hour + policy.restore_latency_hours,
-                            EventKind::Restore.rank(),
-                            core,
-                        );
-                    }
-                }
-                case_id += 1;
-            }
-
-            // 3. Screens due this epoch. A screener failure is proof (a
-            //    controlled test failed), so the core is confirmed and
-            //    leaves service immediately. Campaign timers live on the
-            //    event heap — an epoch with nothing due costs one peek —
-            //    and due campaigns run in the fixed burn-in → offline →
-            //    online phase order regardless of their timer hours.
-            let mut campaign_due = [false; 3];
-            while screen_q.peek_time().is_some_and(|t| t < h1) {
-                let (_, which) = screen_q.pop().expect("peeked a due timer");
-                campaign_due[which as usize] = true;
-            }
-            let mut screened = Vec::new();
-            if campaign_due[0] {
-                screened.extend(burnin_campaign.step_until_traced(
-                    topo,
-                    pop,
-                    h1,
-                    &mut out_of_service,
-                    &mut log,
-                    &mut rec,
-                ));
-                if let Some(h) = burnin_campaign.next_hour() {
-                    screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 0);
-                }
-            }
-            if campaign_due[1] {
-                screened.extend(offline_campaign.step_until_traced(
-                    topo,
-                    pop,
-                    h1,
-                    &mut out_of_service,
-                    &mut log,
-                    &mut rec,
-                ));
-                if let Some(h) = offline_campaign.next_hour() {
-                    screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 1);
-                }
-            }
-            if campaign_due[2] {
-                screened.extend(online_campaign.step_until_traced(
-                    topo,
-                    pop,
-                    h1,
-                    &mut out_of_service,
-                    &mut log,
-                    &mut rec,
-                ));
-                if let Some(h) = online_campaign.next_hour() {
-                    screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 2);
-                }
-            }
-            for d in screened {
-                registry
-                    .mark_suspect_traced(d.core, d.hour, "screener failure", &mut rec)
-                    .and_then(|()| {
-                        registry.quarantine_traced(
-                            d.core,
-                            d.hour,
-                            "controlled test failed",
-                            &mut rec,
-                        )
-                    })
-                    .and_then(|()| {
-                        registry.confirm_traced(
-                            d.core,
-                            d.hour,
-                            "screen reproduced defect",
-                            &mut rec,
-                        )
-                    })
-                    .expect("in-service core walks the legal path");
-                ledger.remove_core_traced(d.core, d.hour, &mut rec);
-                recovered_cores += safe_task_share(&safe_policy, &task_mix, pop, d.core);
-                state.set_active(d.core, false);
-                detections.push(d);
-            }
-
-            // 4. One epoch of workload simulation, masked cores silent.
-            let before_corruptions = summary.corruptions;
-            let mut epoch_log = SignalLog::new();
-            sim.step_epoch_traced(&mut state, &mut epoch_log, &mut summary, &mut rec);
-            // Withdraw signals attributed to out-of-service cores (the
-            // noise layer attributes background events to random cores; a
-            // drained core files no reports).
-            let dropped = epoch_log.retain(|s| !out_of_service.contains(&s.core));
-            summary.signals_emitted -= dropped as u64;
-            summary.noise_signals -= dropped as u64;
-
-            // 5. Suspicion accumulates from this epoch's surviving signals.
-            scoreboard.ingest_all_traced(epoch_log.all().iter(), &mut rec);
-            log.append(epoch_log);
-
-            // 6. New threshold crossings are quarantined and queued for a
-            //    deep check after the triage latency.
-            let crossings: Vec<(CoreUid, f64)> = scoreboard
-                .armed_suspects_excluding(|core| {
-                    handled.contains(&core) || out_of_service.contains(&core)
-                })
-                .into_iter()
-                .map(|s| (s.core, s.last_hour))
-                .collect();
-            for (core, hour) in crossings {
-                registry
-                    .mark_suspect_traced(core, hour, "signal concentration", &mut rec)
-                    .and_then(|()| {
-                        registry.quarantine_traced(core, hour, "suspicion threshold", &mut rec)
-                    })
-                    .expect("in-service core walks the legal path");
-                ledger.remove_core_traced(core, hour, &mut rec);
-                out_of_service.insert(core);
-                handled.insert(core);
-                state.set_active(core, false);
-                deep_q.schedule_ranked(
-                    hour + policy.triage_latency_hours,
-                    EventKind::DeepCheck.rank(),
-                    core,
-                );
-            }
-
-            // 7. The epoch's telemetry point.
-            let pool = ledger.pool();
-            let base = pool.availability();
-            let with_safetask = if pool.nominal_cores == 0 {
-                1.0
-            } else {
-                (pool.effective_cores as f64 + recovered_cores) / pool.nominal_cores as f64
-            };
-            let active = state.active_deployed_mercurial(topo, h0);
-            let ops = summary.corruptions - before_corruptions;
-            rec.gauge(h1, "capacity.availability", base);
-            rec.gauge(h1, "capacity.with_safetask", with_safetask);
-            rec.gauge(h1, "fleet.active_mercurial", active as f64);
-            // Last gauge of every epoch boundary: the replay path
-            // (`WatchInput::from_jsonl`) closes the epoch row on it.
-            rec.gauge(h1, "epoch.corrupt_ops", ops as f64);
-            series.push(base, with_safetask, ops, active);
-            if let Some(eng) = engine.as_mut() {
-                let fired = eng.push_epoch(EpochRow {
-                    hour: h1,
-                    capacity: base,
-                    capacity_with_safetask: with_safetask,
-                    corrupt_ops: ops as f64,
-                    active_mercurial: active as f64,
-                });
-                record_alerts(&mut rec, &fired);
-            }
-            rec.end(h1, "loop.epoch");
+        let mut agg = FleetAggregator::new(scenario, experiment, engine);
+        let mut shard = FleetShard::new(scenario, experiment, 0, machines);
+        let epochs = agg.total_epochs();
+        let epoch_hours = agg.epoch_hours();
+        while !agg.is_done() {
+            let cmds = agg.begin_epoch(&mut rec);
+            shard.apply_commands(&cmds);
+            let report = shard.step_epoch(&mut rec);
+            agg.ingest_reports(vec![report], &mut rec);
             if let Some(s) = opts.sink.as_mut() {
                 s.drain(&mut rec).expect("stream sink drain");
             }
         }
-
-        // Final assembly. User-report escalations drawn while a core was
-        // still in service can carry dates past its later confirmation
-        // hour; withdraw them so no signal is attributed to a core after
-        // it was confirmed defective.
-        let confirm_hour: HashMap<CoreUid, f64> = registry
-            .in_state(mercurial_isolation::CoreState::Confirmed)
-            .into_iter()
-            .map(|core| {
-                let hour = registry
-                    .history(core)
-                    .iter()
-                    .find(|t| t.to == mercurial_isolation::CoreState::Confirmed)
-                    .expect("confirmed core has a confirm transition")
-                    .hour;
-                (core, hour)
-            })
-            .collect();
-        let mut dropped_noise = 0u64;
-        let dropped = log.retain(|s| {
-            let keep = confirm_hour.get(&s.core).is_none_or(|&c| s.hour <= c);
-            if !keep && !s.caused_by_cee {
-                dropped_noise += 1;
-            }
-            keep
-        });
-        summary.signals_emitted -= dropped as u64;
-        summary.noise_signals -= dropped_noise;
-        log.sort_by_time();
-
-        detections.sort_by(|a, b| a.hour.partial_cmp(&b.hour).expect("hours are finite"));
-        let detected_cores: HashSet<CoreUid> = detections.iter().map(|d| d.core).collect();
-        let detected_true = detected_cores
-            .iter()
-            .filter(|c| pop.is_mercurial(**c))
-            .count();
-        let mut detection_latency_hours = Vec::new();
-        for d in &detections {
-            if let Some(profile) = pop.profile_of(d.core) {
-                let deploy = topo.machines()[d.core.machine as usize].deploy_hour;
-                let active_from = deploy + profile.earliest_onset_hours().max(0.0);
-                let latency = (d.hour - active_from).max(0.0);
-                rec.observe("detect.latency_hours", latency);
-                detection_latency_hours.push(latency);
-            }
-        }
-
-        let pipeline = PipelineOutcome {
-            detections,
-            burnin_stats: burnin_campaign.stats(),
-            offline_stats: offline_campaign.stats(),
-            online_stats: online_campaign.stats(),
-            triage_stats,
-            capacity: ledger.pool(),
-            registry,
-            signals: log,
-            sim_summary: summary,
-            ground_truth: pop.count(),
-            detected_true,
-            exonerated_innocents,
-            detection_latency_hours,
-        };
-        let watch = match engine {
-            Some(eng) => {
-                let empty = MetricSet::new();
-                let (report, end_alerts) =
-                    eng.finish(rec.metrics().unwrap_or(&empty), opts.baseline);
-                record_alerts(&mut rec, &end_alerts);
-                Some(report)
-            }
-            None => None,
-        };
+        let finished = agg.finish(&mut rec, &[], opts.baseline);
         if let Some(s) = opts.sink.as_mut() {
             s.finish(&mut rec).expect("stream sink finish");
         }
         ClosedLoopOutcome {
-            pipeline,
-            series,
+            pipeline: finished.pipeline,
+            series: finished.series,
             epochs,
             epoch_hours,
             trace: rec.finish(),
-            watch,
+            watch: finished.watch,
         }
-    }
-}
-
-/// The share of the task mix placeable on one confirmed core, given its
-/// ground-truth defective units (known post-confession).
-fn safe_task_share(
-    policy: &SafeTaskPolicy,
-    task_mix: &[(TaskUnitProfile, f64)],
-    pop: &mercurial_fleet::Population,
-    core: CoreUid,
-) -> f64 {
-    match pop.profile_of(core) {
-        Some(profile) => policy.capacity_recovered(task_mix, &[profile.afflicted_units()]),
-        // Only genuinely defective cores can be confirmed (screens are
-        // exact), so this arm is unreachable in practice.
-        None => 0.0,
     }
 }
 

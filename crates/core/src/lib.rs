@@ -31,6 +31,8 @@
 //!   quarantine → triage → capacity accounting);
 //! * [`closedloop`] — the epoch-interleaved driver: detect → quarantine →
 //!   reschedule with in-loop feedback and per-epoch telemetry;
+//! * [`shardloop`] — the closed loop split into service halves: fleet-shard
+//!   workers and a central aggregator (the `mercurial-serve` substrate);
 //! * [`fig1`] — the Figure 1 reproduction;
 //! * [`report`] — text/CSV rendering of experiment outputs.
 //!
@@ -46,12 +48,16 @@ pub mod fig1;
 pub mod pipeline;
 pub mod report;
 pub mod scenario;
+pub mod shardloop;
 
 pub use closedloop::{ClosedLoopDriver, ClosedLoopOutcome, RunOptions};
 pub use experiment::FleetExperiment;
 pub use fig1::{fig1_from_outcome, run_fig1, run_fig1_closed_loop, Fig1Result};
 pub use pipeline::{PipelineOutcome, PipelineRun};
 pub use scenario::{FuzzCorpusConfig, Scenario};
+pub use shardloop::{
+    shard_ranges, EpochCommands, FinishedLoop, FleetAggregator, FleetShard, ShardEpochReport,
+};
 
 pub use mercurial_corpus as corpus;
 pub use mercurial_fault as fault;

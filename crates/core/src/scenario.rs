@@ -278,6 +278,92 @@ impl WatchConfig {
     }
 }
 
+/// Per-link impairment model for the served (worker/server) topology.
+///
+/// Applied deterministically at the server's ingest point to **evidence**
+/// frames only — the reliable lockstep command/report channel stays
+/// intact, the suspect-signal telemetry riding beside it does not. Each
+/// decision is a pure function of `(seed, worker, epoch, frame)`, so an
+/// impaired run is exactly reproducible, and the loss draw uses the
+/// shared-uniform coupling (`u < p`) so raising `loss` can only drop a
+/// superset of the frames a lower setting dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImpairConfig {
+    /// Seed of the impairment draws (independent of the fleet seed).
+    #[serde(default = "default_impair_seed")]
+    pub seed: u64,
+    /// Probability an evidence frame is silently dropped.
+    #[serde(default)]
+    pub loss: f64,
+    /// Maximum whole-epoch delivery delay; each frame draws a delay
+    /// uniformly from `0..=max_delay_epochs`.
+    #[serde(default)]
+    pub max_delay_epochs: u32,
+    /// Probability a delivered frame arrives twice (the duplicate is not
+    /// deduplicated downstream, exactly like a redelivered datagram).
+    #[serde(default)]
+    pub duplicate: f64,
+    /// Probability a delivered frame swaps places with its successor in
+    /// the per-epoch arrival order.
+    #[serde(default)]
+    pub reorder: f64,
+}
+
+fn default_impair_seed() -> u64 {
+    0x11F7
+}
+
+impl Default for ImpairConfig {
+    fn default() -> ImpairConfig {
+        ImpairConfig {
+            seed: default_impair_seed(),
+            loss: 0.0,
+            max_delay_epochs: 0,
+            duplicate: 0.0,
+            reorder: 0.0,
+        }
+    }
+}
+
+impl ImpairConfig {
+    /// True when every impairment knob is at its do-nothing setting — the
+    /// configuration under which the served run must reproduce the
+    /// in-process closed loop bit-for-bit.
+    pub fn is_noop(&self) -> bool {
+        self.loss == 0.0
+            && self.max_delay_epochs == 0
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+    }
+}
+
+/// Service-topology block for `mercurial-serve` (fleet-as-a-service):
+/// how many shard workers the fleet splits across and what the links
+/// between them suffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Fleet-shard worker processes (machines are split into this many
+    /// contiguous ranges).
+    #[serde(default = "default_serve_workers")]
+    pub workers: u32,
+    /// Link impairment applied to worker→server evidence frames.
+    #[serde(default)]
+    pub impair: ImpairConfig,
+}
+
+fn default_serve_workers() -> u32 {
+    1
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: default_serve_workers(),
+            impair: ImpairConfig::default(),
+        }
+    }
+}
+
 /// A complete experiment configuration.
 ///
 /// Scenarios serialize to JSON so experiment parameters live in files and
@@ -312,6 +398,9 @@ pub struct Scenario {
     /// Alert-rule options (off by default).
     #[serde(default)]
     pub watch: WatchConfig,
+    /// Served-topology options (single worker, clean links by default).
+    #[serde(default)]
+    pub serve: ServeConfig,
 }
 
 impl Scenario {
@@ -334,6 +423,7 @@ impl Scenario {
             closed_loop: ClosedLoopConfig::default(),
             trace: TraceConfig::default(),
             watch: WatchConfig::default(),
+            serve: ServeConfig::default(),
         }
     }
 
@@ -411,19 +501,24 @@ mod tests {
         s.closed_loop.feedback = true;
         s.trace.enabled = true;
         s.watch.enabled = true;
+        s.serve.workers = 3; // non-default, must NOT survive
         let mut v = s.to_value();
         let serde::Value::Object(entries) = &mut v else {
             panic!("scenario serializes to an object");
         };
         let before = entries.len();
-        entries
-            .retain(|(k, _)| k != "tuning" && k != "closed_loop" && k != "trace" && k != "watch");
-        assert_eq!(entries.len(), before - 4, "test must strip all four blocks");
+        entries.retain(|(k, _)| {
+            k != "tuning" && k != "closed_loop" && k != "trace" && k != "watch" && k != "serve"
+        });
+        assert_eq!(entries.len(), before - 5, "test must strip all five blocks");
         let back = Scenario::from_value(&v).unwrap();
         assert_eq!(back.tuning, PipelineTuning::default());
         assert_eq!(back.closed_loop, ClosedLoopConfig::default());
         assert_eq!(back.trace, TraceConfig::default());
         assert_eq!(back.watch, WatchConfig::default());
+        assert_eq!(back.serve, ServeConfig::default());
+        assert_eq!(back.serve.workers, 1);
+        assert!(back.serve.impair.is_noop());
         assert!(!back.trace.enabled, "tracing defaults to off");
         assert!(!back.watch.enabled, "watch defaults to off");
         assert_eq!(back.tuning.triage_latency_hours, 72.0);

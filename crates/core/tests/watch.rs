@@ -198,3 +198,21 @@ fn healthy_fleet_fires_nothing_even_on_hair_trigger_rules() {
     // ...and without a recorded baseline the regression rule cannot fire.
     assert!(matches!(report.outcomes[2].status, RuleStatus::NoBaseline));
 }
+
+#[test]
+fn prometheus_rules_export_matches_the_golden_file() {
+    // The CLI surface (`watch --dump-rules --format prom`) renders the
+    // scenario's default rule set at the scenario's epoch length; the
+    // golden file pins every formatting decision (names, durations,
+    // lookbacks, the commented-out regression rules).
+    let scenario = Scenario::demo(0);
+    let rendered = scenario
+        .watch
+        .rule_set()
+        .to_prometheus_rules("mercurial-watch", scenario.sim.epoch_hours);
+    assert_eq!(
+        rendered,
+        include_str!("golden/watch_rules.prom.yaml"),
+        "regenerate with `mercurial-lab watch --dump-rules --format prom`"
+    );
+}

@@ -161,6 +161,13 @@ pub struct SimState {
     /// Sum over epochs of the live-set size — the sparse engine's total
     /// per-core epoch work (dense would be `mercurial.len()` × epochs).
     live_core_epochs: u64,
+    /// When `Some((lo, hi))`, this state simulates only the machines in
+    /// `[lo, hi)` (see [`FleetSim::begin_shard`]): the mercurial list is
+    /// filtered to owned machines and the background-noise layer keeps
+    /// only signals attributed to owned machines while replaying the
+    /// *global* random stream, so a partition of shards unions to the
+    /// full-fleet run bit for bit.
+    shard: Option<(u32, u32)>,
 }
 
 /// Event-clock accounting, for asserting "zero per-epoch work on healthy
@@ -225,6 +232,12 @@ impl SimState {
             .zip(&self.active)
             .filter(|&(uid, &on)| on && topo.is_deployed(uid.machine, hour))
             .count() as u64
+    }
+
+    /// The machine range this state owns, when sharded via
+    /// [`FleetSim::begin_shard`].
+    pub fn shard_range(&self) -> Option<(u32, u32)> {
+        self.shard
     }
 
     /// Event-clock accounting (all zeros under [`SimEngine::Dense`]).
@@ -345,7 +358,29 @@ impl FleetSim {
     /// per mercurial core; liveness is resolved lazily as epochs reach
     /// those events (the dense engine simply never consults the clock).
     pub fn begin(&self) -> SimState {
-        let mercurial: Vec<CoreUid> = self.pop.mercurial_cores().map(|c| c.uid).collect();
+        self.begin_with(None)
+    }
+
+    /// Starts a *shard* of the simulation owning only machines in
+    /// `[lo, hi)`: the mercurial set is filtered to owned machines, and
+    /// the background-noise layer replays the full-fleet random stream
+    /// but keeps only signals landing on owned machines. Stepping a
+    /// partition of shards over the same window and merging each epoch's
+    /// logs (in any per-epoch order) and summing the summaries reproduces
+    /// the unsharded run bit for bit — the distribution contract the
+    /// `mercurial-serve` workers rely on.
+    pub fn begin_shard(&self, lo: u32, hi: u32) -> SimState {
+        assert!(lo <= hi, "shard range must be ordered: [{lo}, {hi})");
+        self.begin_with(Some((lo, hi)))
+    }
+
+    fn begin_with(&self, shard: Option<(u32, u32)>) -> SimState {
+        let mercurial: Vec<CoreUid> = self
+            .pop
+            .mercurial_cores()
+            .map(|c| c.uid)
+            .filter(|uid| shard.is_none_or(|(lo, hi)| uid.machine >= lo && uid.machine < hi))
+            .collect();
         debug_assert!(
             mercurial.windows(2).all(|w| w[0] < w[1]),
             "population iterates in sorted CoreUid order"
@@ -367,6 +402,7 @@ impl FleetSim {
             wake,
             events_processed: 0,
             live_core_epochs: 0,
+            shard,
         }
     }
 
@@ -463,6 +499,7 @@ impl FleetSim {
             }
         }
 
+        let shard = state.shard;
         let SimState {
             mercurial,
             active,
@@ -490,6 +527,7 @@ impl FleetSim {
                 mercurial,
                 active,
                 live_of(epoch),
+                shard,
                 &mut shard_log,
                 &mut shard_summary,
                 &mut shard_active,
@@ -497,11 +535,17 @@ impl FleetSim {
             shard_rec.counter_add("sim.corruptions", shard_summary.corruptions);
             shard_rec.counter_add("sim.signals_emitted", shard_summary.signals_emitted);
             shard_rec.counter_add("sim.noise_signals", shard_summary.noise_signals);
-            shard_rec.observe("sim.epoch_corruptions", shard_summary.corruptions as f64);
-            shard_rec.observe(
-                "sim.epoch_signals",
-                (shard_summary.signals_emitted + shard_summary.noise_signals) as f64,
-            );
+            // Per-epoch histograms describe the *fleet-wide* epoch; a
+            // shard only sees its slice, so the serve aggregator observes
+            // the cross-shard sums instead (counters above still sum
+            // exactly across shards).
+            if shard.is_none() {
+                shard_rec.observe("sim.epoch_corruptions", shard_summary.corruptions as f64);
+                shard_rec.observe(
+                    "sim.epoch_signals",
+                    (shard_summary.signals_emitted + shard_summary.noise_signals) as f64,
+                );
+            }
             shard_rec.end(hour + epoch_hours, "sim.epoch");
             (shard_log, shard_summary, shard_active, shard_rec)
         };
@@ -547,6 +591,7 @@ impl FleetSim {
                         mercurial,
                         active,
                         live_of(epoch),
+                        shard,
                         log,
                         summary,
                         core_was_active,
@@ -645,6 +690,7 @@ impl FleetSim {
         mercurial: &[CoreUid],
         mask: &[bool],
         live: Option<&[u32]>,
+        shard: Option<(u32, u32)>,
         log: &mut SignalLog,
         summary: &mut SimSummary,
         was_active: &mut [bool],
@@ -676,7 +722,7 @@ impl FleetSim {
                 }
             }
         }
-        self.epoch_noise(hour, epoch, log, summary);
+        self.epoch_noise(hour, epoch, shard, log, summary);
     }
 
     /// Simulates one mercurial core for one epoch; returns whether it
@@ -905,7 +951,21 @@ impl FleetSim {
     }
 
     /// Emits background noise for one epoch.
-    fn epoch_noise(&self, hour: f64, epoch: u32, log: &mut SignalLog, summary: &mut SimSummary) {
+    ///
+    /// Under a shard (`Some((lo, hi))`) every random draw still happens —
+    /// the noise stream is a *global* `(seed, 0xbadd, 0x6e6f, epoch)`
+    /// sequence over the full deployed fleet — but only signals landing
+    /// on owned machines are pushed and counted. Each noise signal is
+    /// attributed to exactly one machine, so a partition of shards emits
+    /// every signal exactly once and the union equals the unsharded log.
+    fn epoch_noise(
+        &self,
+        hour: f64,
+        epoch: u32,
+        shard: Option<(u32, u32)>,
+        log: &mut SignalLog,
+        summary: &mut SimSummary,
+    ) {
         // Sample from the *deployed* machines only. Drawing from the full
         // machine range and discarding undeployed picks would deflate the
         // realized noise rate by the deployed fraction during rollout.
@@ -936,18 +996,23 @@ impl FleetSim {
             let n = poisson(&mut rng, machine_hours * rate);
             for _ in 0..n {
                 // Attribute to a uniformly random deployed machine/core.
+                // All four draws happen unconditionally so a shard stays
+                // aligned with the global stream; only the push is gated.
                 let midx = deployed[rng.next_below(deployed.len() as u64) as usize];
                 let product = self.topo.product_of(midx);
                 let socket = rng.next_below(self.topo.config().sockets_per_machine as u64) as u8;
                 let core = rng.next_below(product.cores_per_socket as u64) as u16;
-                log.push(Signal {
-                    hour: hour + rng.next_uniform() * self.config.epoch_hours,
-                    core: CoreUid::new(midx, socket, core),
-                    kind,
-                    caused_by_cee: false,
-                });
-                summary.noise_signals += 1;
-                summary.signals_emitted += 1;
+                let signal_hour = hour + rng.next_uniform() * self.config.epoch_hours;
+                if shard.is_none_or(|(lo, hi)| midx >= lo && midx < hi) {
+                    log.push(Signal {
+                        hour: signal_hour,
+                        core: CoreUid::new(midx, socket, core),
+                        kind,
+                        caused_by_cee: false,
+                    });
+                    summary.noise_signals += 1;
+                    summary.signals_emitted += 1;
+                }
             }
         }
     }
@@ -1532,6 +1597,53 @@ mod tests {
             "an escalation from the final epochs must have been clamped \
              to the window end (the pre-clamp stamp exceeded it)"
         );
+    }
+
+    #[test]
+    fn machine_shards_union_to_the_full_fleet_bit_for_bit() {
+        // The serve contract: partition the machine range into contiguous
+        // shards, run each shard's SimState over the whole window, merge.
+        // Logs must union to the full run exactly (as a multiset — epoch-
+        // internal emission order differs across shards) and summaries
+        // must sum exactly.
+        let canon = |log: &SignalLog| {
+            let mut v: Vec<Signal> = log.all().to_vec();
+            v.sort_by(|a, b| {
+                a.hour
+                    .total_cmp(&b.hour)
+                    .then(a.core.cmp(&b.core))
+                    .then((a.kind as u8).cmp(&(b.kind as u8)))
+            });
+            v
+        };
+        for seed in [21u64, 97] {
+            let sim = parity_fleet(seed, SimEngine::Sparse, 1, 9);
+            let (full_log, full_summary) = sim.run();
+            assert!(full_summary.signals_emitted > 0, "defects must fire");
+            assert!(full_summary.noise_signals > 0, "noise must flow");
+            let machines = sim.topology().machines().len() as u32;
+            for workers in [1u32, 2, 4] {
+                let mut merged = SignalLog::new();
+                let mut summed = SimSummary::default();
+                for w in 0..workers {
+                    let lo = machines * w / workers;
+                    let hi = machines * (w + 1) / workers;
+                    let mut state = sim.begin_shard(lo, hi);
+                    assert_eq!(state.shard_range(), Some((lo, hi)));
+                    let mut log = SignalLog::new();
+                    let mut summary = SimSummary::default();
+                    while sim.step_epochs(&mut state, u32::MAX, &mut log, &mut summary) > 0 {}
+                    merged.append(log);
+                    summed.merge(&summary);
+                }
+                assert_eq!(summed, full_summary, "seed {seed}, {workers} shards");
+                assert_eq!(
+                    canon(&merged),
+                    canon(&full_log),
+                    "seed {seed}, {workers} shards"
+                );
+            }
+        }
     }
 
     #[test]

@@ -197,6 +197,21 @@ impl FleetTopology {
         self.cores_deploy_prefix[self.deploy_hours_sorted.partition_point(|&d| d <= hour)]
     }
 
+    /// Cores in service at fleet time `hour` on machines in `[lo, hi)` —
+    /// the shard-scoped companion of [`FleetTopology::deployed_cores`].
+    /// Summed over a partition of the machine range this equals the
+    /// global closed form exactly (both count the same integer cores), so
+    /// shard-local screening accounting stays bit-identical in aggregate.
+    pub fn deployed_cores_in_range(&self, lo: u32, hi: u32, hour: f64) -> u64 {
+        let hi = (hi as usize).min(self.machines.len());
+        let lo = (lo as usize).min(hi);
+        self.machines[lo..hi]
+            .iter()
+            .filter(|m| m.deploy_hour <= hour)
+            .map(|m| self.cores_on(m.machine))
+            .sum()
+    }
+
     /// The hour at (and after) which every machine is in service; 0 for
     /// an empty fleet.
     pub fn rollout_end_hour(&self) -> f64 {

@@ -355,6 +355,15 @@ fn per_task_trace(rec: &Recorder) -> bool {
     rec.flags().enabled
 }
 
+/// Whether `machine` belongs to the campaign's machine shard (`None`
+/// means the whole fleet). Sharded campaigns skip non-owned machines
+/// entirely — tasks, closed-form accounting, and drain charges — so a
+/// partition of shards sums to the unsharded campaign exactly (every
+/// machine is owned by exactly one shard and machines are independent).
+fn shard_owns(shard: Option<(u32, u32)>, machine: u32) -> bool {
+    shard.is_none_or(|(lo, hi)| machine >= lo && machine < hi)
+}
+
 /// The sorted set of machines hosting a mercurial or detected core — the
 /// only machines whose screening can deviate from closed-form accounting.
 fn hot_machines(pop: &Population, detected: &FastSet<CoreUid>) -> Vec<u32> {
@@ -534,9 +543,22 @@ impl BurnIn {
     /// screened as their deploy hour is reached, in `(deploy_hour,
     /// machine)` order, via [`BurnInCampaign::step_until`].
     pub fn campaign(&self, topo: &FleetTopology) -> BurnInCampaign {
+        self.campaign_shard(topo, None)
+    }
+
+    /// [`BurnIn::campaign`] restricted to machines in `shard` (`[lo, hi)`)
+    /// — the per-worker half of the serve split. A partition of shard
+    /// campaigns screens every machine exactly once, in the same
+    /// per-machine order and with the same test ids as the full campaign.
+    pub fn campaign_shard(
+        &self,
+        topo: &FleetTopology,
+        shard: Option<(u32, u32)>,
+    ) -> BurnInCampaign {
         let mut queue: Vec<(f64, u32)> = topo
             .machines()
             .iter()
+            .filter(|m| shard_owns(shard, m.machine))
             .map(|m| (m.deploy_hour, m.machine))
             .collect();
         queue.sort_by(|a, b| {
@@ -706,6 +728,7 @@ impl OfflineScreener {
         topo: &FleetTopology,
         hour: f64,
         sweep_idx: u64,
+        shard: Option<(u32, u32)>,
         plan: &ScreenPlan<'_>,
         stats: &mut ScreeningStats,
     ) -> Vec<MachineTask> {
@@ -724,7 +747,10 @@ impl OfflineScreener {
         let mut tasks = Vec::new();
         for k in 0..per_sweep {
             let machine = ((start + k) % n_machines) as u32;
-            if !topo.is_deployed(machine, hour) {
+            // The rotation arithmetic (`start`, `per_sweep`) is global so
+            // every shard agrees on which machines this sweep visits; a
+            // shard then keeps only its own.
+            if !shard_owns(shard, machine) || !topo.is_deployed(machine, hour) {
                 continue;
             }
             match plan {
@@ -766,11 +792,19 @@ impl OfflineScreener {
     /// Starts an incremental campaign over `months`; sweeps fire as
     /// simulated time passes them via [`OfflineCampaign::step_until`].
     pub fn campaign(&self, months: u32) -> OfflineCampaign {
+        self.campaign_shard(months, None)
+    }
+
+    /// [`OfflineScreener::campaign`] restricted to machines in `shard`:
+    /// the sweep rotation stays globally synchronized (same `sweep_idx`,
+    /// same test ids) while each shard screens only its own machines.
+    pub fn campaign_shard(&self, months: u32, shard: Option<(u32, u32)>) -> OfflineCampaign {
         OfflineCampaign {
             screener: self.clone(),
             total_hours: months as f64 * 730.0,
             sweep_idx: 0,
             next_hour: self.interval_hours,
+            shard,
             stats: ScreeningStats::default(),
         }
     }
@@ -783,6 +817,7 @@ pub struct OfflineCampaign {
     total_hours: f64,
     sweep_idx: u64,
     next_hour: f64,
+    shard: Option<(u32, u32)>,
     stats: ScreeningStats,
 }
 
@@ -836,6 +871,7 @@ impl OfflineCampaign {
                 topo,
                 self.next_hour,
                 self.sweep_idx,
+                self.shard,
                 &plan,
                 &mut self.stats,
             );
@@ -918,6 +954,7 @@ impl OnlineScreener {
         topo: &FleetTopology,
         hour: f64,
         pass: u64,
+        shard: Option<(u32, u32)>,
         plan: &ScreenPlan<'_>,
         stats: &mut ScreeningStats,
     ) -> Vec<MachineTask> {
@@ -940,7 +977,7 @@ impl OnlineScreener {
             ScreenPlan::EveryMachine => topo
                 .machines()
                 .iter()
-                .filter(|m| topo.is_deployed(m.machine, hour))
+                .filter(|m| shard_owns(shard, m.machine) && topo.is_deployed(m.machine, hour))
                 .map(|m| task(m.machine))
                 .collect(),
             ScreenPlan::HotOnly(hot) => {
@@ -948,11 +985,19 @@ impl OnlineScreener {
                 let tasks: Vec<MachineTask> = hot
                     .iter()
                     .copied()
-                    .filter(|&machine| topo.is_deployed(machine, hour))
+                    .filter(|&machine| {
+                        shard_owns(shard, machine) && topo.is_deployed(machine, hour)
+                    })
                     .inspect(|&machine| hot_cores += topo.cores_on(machine))
                     .map(task)
                     .collect();
-                let clean = topo.deployed_cores(hour) - hot_cores;
+                // The closed-form remainder is shard-scoped too: ranged
+                // deployed-core sums over a machine partition add to the
+                // global prefix-sum lookup exactly (same integer cores).
+                let clean = match shard {
+                    None => topo.deployed_cores(hour) - hot_cores,
+                    Some((lo, hi)) => topo.deployed_cores_in_range(lo, hi, hour) - hot_cores,
+                };
                 stats.core_screens += clean;
                 stats.test_ops += clean * ops_per_screen;
                 tasks
@@ -977,11 +1022,19 @@ impl OnlineScreener {
     /// Starts an incremental campaign over `months`; passes fire as
     /// simulated time passes them via [`OnlineCampaign::step_until`].
     pub fn campaign(&self, months: u32) -> OnlineCampaign {
+        self.campaign_shard(months, None)
+    }
+
+    /// [`OnlineScreener::campaign`] restricted to machines in `shard`:
+    /// the pass cadence and test ids stay globally synchronized while
+    /// each shard screens only its own machines.
+    pub fn campaign_shard(&self, months: u32, shard: Option<(u32, u32)>) -> OnlineCampaign {
         OnlineCampaign {
             screener: self.clone(),
             total_hours: months as f64 * 730.0,
             pass: 0,
             next_hour: self.interval_hours,
+            shard,
             stats: ScreeningStats::default(),
         }
     }
@@ -994,6 +1047,7 @@ pub struct OnlineCampaign {
     total_hours: f64,
     pass: u64,
     next_hour: f64,
+    shard: Option<(u32, u32)>,
     stats: ScreeningStats,
 }
 
@@ -1040,9 +1094,14 @@ impl OnlineCampaign {
             ScreenPlan::HotOnly(&hot)
         };
         while self.next_hour < self.total_hours && self.next_hour < until_hour {
-            let tasks =
-                self.screener
-                    .pass_tasks(topo, self.next_hour, self.pass, &plan, &mut self.stats);
+            let tasks = self.screener.pass_tasks(
+                topo,
+                self.next_hour,
+                self.pass,
+                self.shard,
+                &plan,
+                &mut self.stats,
+            );
             if !tasks.is_empty() {
                 rec.begin(self.next_hour, "screen.online");
             }
@@ -1557,6 +1616,101 @@ mod tests {
         assert_eq!(s_fast, s_traced, "stats diverge between plans");
         assert_eq!(d_fast, d_traced, "detected sets diverge between plans");
         assert_eq!(l_fast.all(), l_traced.all(), "logs diverge between plans");
+    }
+
+    #[test]
+    fn sharded_campaigns_union_to_the_full_fleet() {
+        // The serve contract: a partition of machine-range shard campaigns
+        // must produce exactly the full campaign's detections (as a set —
+        // within a sweep, shard-internal order is machine order anyway),
+        // the same detected set, the same logs as a multiset, and stats
+        // that sum exactly (drain is a constant per machine, so the f64
+        // accumulator is exact in any grouping).
+        let topo = topo(24, 39);
+        let defects = vec![
+            hot_core(2),
+            hot_core(9),
+            hot_core(17),
+            (
+                CoreUid::new(5, 0, 1),
+                library::late_onset_muldiv(1.5 * 730.0, 1e-3),
+            ),
+            (CoreUid::new(12, 0, 0), library::low_freq_worse_alu(0.9)),
+        ];
+        let pop = Population::with_explicit(39, defects);
+        let months = 18u32;
+        let burnin = BurnIn {
+            schedule: EraSchedule::default_history(),
+            ops_multiplier: 5,
+            parallelism: 1,
+        };
+        let offline = OfflineScreener {
+            fraction_per_sweep: 0.5,
+            ..OfflineScreener::default()
+        };
+        let online = OnlineScreener::default();
+
+        let run_shard = |shard: Option<(u32, u32)>| {
+            let mut detected = FastSet::default();
+            let mut log = SignalLog::new();
+            let mut bc = burnin.campaign_shard(&topo, shard);
+            let mut off = offline.campaign_shard(months, shard);
+            let mut on = online.campaign_shard(months, shard);
+            let mut records = Vec::new();
+            let mut until = 73.0;
+            while until <= months as f64 * 730.0 + 73.0 {
+                records.extend(bc.step_until(&topo, &pop, until, &mut detected, &mut log));
+                records.extend(off.step_until(&topo, &pop, until, &mut detected, &mut log));
+                records.extend(on.step_until(&topo, &pop, until, &mut detected, &mut log));
+                until += 73.0;
+            }
+            let mut det: Vec<CoreUid> = detected.into_iter().collect();
+            det.sort_unstable();
+            (records, [bc.stats(), off.stats(), on.stats()], det, log)
+        };
+        let canon_records = |records: &[DetectionRecord]| {
+            let mut v = records.to_vec();
+            v.sort_by(|a, b| a.hour.total_cmp(&b.hour).then(a.core.cmp(&b.core)));
+            v
+        };
+        let canon_log = |log: &SignalLog| {
+            let mut v = log.all().to_vec();
+            v.sort_by(|a, b| a.hour.total_cmp(&b.hour).then(a.core.cmp(&b.core)));
+            v
+        };
+
+        let (full_rec, full_stats, full_det, full_log) = run_shard(None);
+        assert!(full_rec.len() >= 3, "test needs detections to compare");
+        let machines = topo.machines().len() as u32;
+        for workers in [1u32, 2, 4] {
+            let mut records = Vec::new();
+            let mut stats = [ScreeningStats::default(); 3];
+            let mut det = Vec::new();
+            let mut log = SignalLog::new();
+            for w in 0..workers {
+                let lo = machines * w / workers;
+                let hi = machines * (w + 1) / workers;
+                let (r, s, d, l) = run_shard(Some((lo, hi)));
+                records.extend(r);
+                for (sum, part) in stats.iter_mut().zip(s) {
+                    sum.core_screens += part.core_screens;
+                    sum.test_ops += part.test_ops;
+                    sum.drained_machine_hours += part.drained_machine_hours;
+                    sum.detections += part.detections;
+                }
+                det.extend(d);
+                log.append(l);
+            }
+            det.sort_unstable();
+            assert_eq!(
+                canon_records(&records),
+                canon_records(&full_rec),
+                "{workers} shards"
+            );
+            assert_eq!(stats, full_stats, "{workers} shards");
+            assert_eq!(det, full_det, "{workers} shards");
+            assert_eq!(canon_log(&log), canon_log(&full_log), "{workers} shards");
+        }
     }
 
     #[test]

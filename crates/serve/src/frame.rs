@@ -1,0 +1,109 @@
+//! Length-delimited framing: `u32` big-endian payload length followed by
+//! the payload bytes.
+//!
+//! The one primitive the whole service rides on. Frames are the unit of
+//! atomicity (a reader never sees half a message) and the unit of
+//! impairment (the link model drops, delays, and duplicates whole
+//! frames). Kept byte-trivial on purpose: four length bytes, no magic, no
+//! checksum — TCP already guarantees integrity, and determinism demands
+//! nothing on the wire that could vary between runs.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload. A paper-scale epoch batch is
+/// a few megabytes; anything near this limit is a protocol bug, not data.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Write one frame: length prefix plus payload. Does **not** flush — the
+/// caller batches frames per epoch and flushes once.
+///
+/// # Errors
+///
+/// Propagates the writer's I/O error; rejects oversized payloads with
+/// `InvalidInput`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_BYTES", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one frame's payload. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed after a complete frame); a mid-frame EOF is
+/// an `UnexpectedEof` error.
+///
+/// # Errors
+///
+/// Propagates the reader's I/O error; rejects oversized length prefixes
+/// with `InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    // Hand-rolled first-byte read so boundary EOF is distinguishable from
+    // a truncated length prefix.
+    let mut got = 0;
+    while got < len.len() {
+        match r.read(&mut len[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length prefix",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("incoming frame of {len} bytes exceeds MAX_FRAME_BYTES"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xAB; 1000]).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![0xAB; 1000]);
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        buf.truncate(buf.len() - 2); // cut the payload short
+        let mut r = buf.as_slice();
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        let mut r = &buf[..2]; // cut the length prefix short
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let buf = u32::MAX.to_be_bytes().to_vec();
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,308 @@
+//! Deterministic link impairment over evidence frames.
+//!
+//! The model sits at the server's ingest point — equivalent to a lossy
+//! telemetry path between each worker and the scoreboard — and mangles
+//! **only** evidence frames; the lockstep command/report channel stays
+//! reliable, so an impaired run still terminates with a well-defined
+//! fleet state, it just detects later (or never) because suspicion
+//! evidence went missing, arrived late, doubled up, or shuffled.
+//!
+//! Every decision is a pure function of
+//! `(impair seed, worker, epoch, draw index)` via a splitmix64-style
+//! hash: an impaired run replays bit-for-bit, and the loss draw uses the
+//! shared-uniform coupling (drop iff `u < loss`), so a higher loss
+//! setting drops a strict superset of a lower one's frames — which is
+//! what makes the measured degradation curves monotone by construction,
+//! not by luck.
+
+use mercurial::scenario::ImpairConfig;
+use mercurial_fleet::SignalLog;
+use serde::{Deserialize, Serialize};
+
+/// What the link did to the frames that crossed it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Evidence frames offered to the link.
+    pub frames: u64,
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames delivered at least one epoch late.
+    pub delayed: u64,
+    /// Extra copies delivered.
+    pub duplicated: u64,
+    /// Adjacent-frame swaps applied at ingest.
+    pub reordered: u64,
+}
+
+/// A frame sitting in the link, waiting for its arrival epoch.
+#[derive(Debug, Clone)]
+struct PendingFrame {
+    arrival: u32,
+    worker: u32,
+    epoch: u32,
+    /// 0 for the original, 1 for a duplicate.
+    copy: u32,
+    log: SignalLog,
+}
+
+/// The impaired channel all workers' evidence frames pass through.
+#[derive(Debug)]
+pub struct ImpairedChannel {
+    cfg: ImpairConfig,
+    pending: Vec<PendingFrame>,
+    /// Cumulative link statistics.
+    pub stats: LinkStats,
+}
+
+/// splitmix64 finalizer over a combined key — the same counter-based-RNG
+/// discipline as the fleet sim: no state, every draw addressable.
+fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add(b.wrapping_mul(0xBF58476D1CE4E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D049BB133111EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` for one addressed draw.
+fn unit(seed: u64, worker: u32, epoch: u32, draw: u64) -> f64 {
+    (mix(seed, worker as u64, epoch as u64, draw) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+// Draw indices — one per decision so adding a knob never perturbs
+// another knob's stream.
+const DRAW_LOSS: u64 = 0;
+const DRAW_DELAY: u64 = 1;
+const DRAW_DUP: u64 = 2;
+const DRAW_DUP_DELAY: u64 = 3;
+const DRAW_REORDER: u64 = 4;
+
+impl ImpairedChannel {
+    /// A channel applying `cfg` to every offered frame.
+    pub fn new(cfg: ImpairConfig) -> ImpairedChannel {
+        ImpairedChannel {
+            cfg,
+            pending: Vec::new(),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Offer one worker's epoch evidence frame to the link: it is
+    /// dropped, scheduled (possibly late), and possibly duplicated, all
+    /// deterministically.
+    pub fn offer(&mut self, worker: u32, epoch: u32, log: SignalLog) {
+        self.stats.frames += 1;
+        // Shared-uniform coupling: the frame survives loss p iff its one
+        // uniform draw clears p, so survivors at a higher p are a subset.
+        if unit(self.cfg.seed, worker, epoch, DRAW_LOSS) < self.cfg.loss {
+            self.stats.dropped += 1;
+            return;
+        }
+        let delay = |draw: u64| -> u32 {
+            if self.cfg.max_delay_epochs == 0 {
+                0
+            } else {
+                (mix(self.cfg.seed, worker as u64, epoch as u64, draw)
+                    % (self.cfg.max_delay_epochs as u64 + 1)) as u32
+            }
+        };
+        let d = delay(DRAW_DELAY);
+        if d > 0 {
+            self.stats.delayed += 1;
+        }
+        self.pending.push(PendingFrame {
+            arrival: epoch + d,
+            worker,
+            epoch,
+            copy: 0,
+            log: log.clone(),
+        });
+        if unit(self.cfg.seed, worker, epoch, DRAW_DUP) < self.cfg.duplicate {
+            self.stats.duplicated += 1;
+            self.pending.push(PendingFrame {
+                arrival: epoch + delay(DRAW_DUP_DELAY),
+                worker,
+                epoch,
+                copy: 1,
+                log,
+            });
+        }
+    }
+
+    /// Deliver every frame whose arrival epoch has come, in canonical
+    /// arrival order `(arrival, worker, epoch, copy)` with the reorder
+    /// permutation applied on top. With a no-op configuration this is
+    /// exactly the offered frames in worker order — the bit-for-bit
+    /// parity path.
+    pub fn drain(&mut self, epoch: u32) -> Vec<SignalLog> {
+        let mut due: Vec<PendingFrame> = Vec::new();
+        self.pending.retain_mut(|f| {
+            if f.arrival <= epoch {
+                due.push(PendingFrame {
+                    arrival: f.arrival,
+                    worker: f.worker,
+                    epoch: f.epoch,
+                    copy: f.copy,
+                    log: std::mem::take(&mut f.log),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|f| (f.arrival, f.worker, f.epoch, f.copy));
+        // Reorder: each frame may swap with its successor, decided by the
+        // frame's own addressed draw.
+        if self.cfg.reorder > 0.0 {
+            let mut i = 0;
+            while i + 1 < due.len() {
+                if unit(self.cfg.seed, due[i].worker, due[i].epoch, DRAW_REORDER) < self.cfg.reorder
+                {
+                    due.swap(i, i + 1);
+                    self.stats.reordered += 1;
+                    i += 2; // a swapped pair is settled; don't re-swap its tail
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        due.into_iter().map(|f| f.log).collect()
+    }
+
+    /// Frames still in flight (undelivered, not dropped).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial_fleet::signals::{Signal, SignalKind};
+
+    fn one_signal_log(hour: f64) -> SignalLog {
+        let mut log = SignalLog::new();
+        log.push(Signal {
+            hour,
+            core: mercurial::fault::CoreUid::new(1, 0, 0),
+            kind: SignalKind::MachineCheckEvent,
+            caused_by_cee: true,
+        });
+        log
+    }
+
+    fn clean() -> ImpairConfig {
+        ImpairConfig::default()
+    }
+
+    #[test]
+    fn noop_channel_delivers_in_worker_order() {
+        let mut ch = ImpairedChannel::new(clean());
+        for w in 0..4u32 {
+            ch.offer(w, 0, one_signal_log(w as f64));
+        }
+        let out = ch.drain(0);
+        assert_eq!(out.len(), 4);
+        for (w, log) in out.iter().enumerate() {
+            assert_eq!(log.all()[0].hour, w as f64);
+        }
+        assert_eq!(
+            ch.stats,
+            LinkStats {
+                frames: 4,
+                ..LinkStats::default()
+            }
+        );
+        assert_eq!(ch.in_flight(), 0);
+    }
+
+    #[test]
+    fn loss_is_monotone_in_probability() {
+        // Shared-uniform coupling: the frames dropped at loss p must be a
+        // subset of those dropped at any p' > p.
+        let frames: Vec<(u32, u32)> = (0..8).flat_map(|w| (0..50).map(move |e| (w, e))).collect();
+        let dropped_at = |loss: f64| -> Vec<(u32, u32)> {
+            let mut cfg = clean();
+            cfg.loss = loss;
+            let mut ch = ImpairedChannel::new(cfg);
+            let mut dropped = Vec::new();
+            for &(w, e) in &frames {
+                let before = ch.stats.dropped;
+                ch.offer(w, e, one_signal_log(0.0));
+                if ch.stats.dropped > before {
+                    dropped.push((w, e));
+                }
+            }
+            dropped
+        };
+        let mut prev: Vec<(u32, u32)> = Vec::new();
+        for loss in [0.0, 0.1, 0.3, 0.5, 0.9] {
+            let cur = dropped_at(loss);
+            assert!(
+                prev.iter().all(|f| cur.contains(f)),
+                "loss {loss} must drop a superset of the previous level"
+            );
+            prev = cur;
+        }
+        assert!(!prev.is_empty(), "loss 0.9 drops something");
+    }
+
+    #[test]
+    fn delay_holds_frames_until_their_arrival_epoch() {
+        let mut cfg = clean();
+        cfg.max_delay_epochs = 3;
+        let mut ch = ImpairedChannel::new(cfg);
+        for e in 0..20u32 {
+            ch.offer(0, e, one_signal_log(e as f64));
+        }
+        let mut seen = 0;
+        for epoch in 0..24u32 {
+            for log in ch.drain(epoch) {
+                // Nothing arrives before it was sent.
+                assert!(log.all()[0].hour <= epoch as f64);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 20, "every frame eventually arrives");
+        assert_eq!(ch.in_flight(), 0);
+        assert!(ch.stats.delayed > 0, "a 3-epoch cap delays some frames");
+    }
+
+    #[test]
+    fn duplication_adds_copies_and_determinism_holds() {
+        let mut cfg = clean();
+        cfg.duplicate = 0.5;
+        let run = || {
+            let mut ch = ImpairedChannel::new(cfg);
+            for e in 0..40u32 {
+                ch.offer(0, e, one_signal_log(e as f64));
+            }
+            let out: Vec<f64> = ch.drain(100).iter().map(|l| l.all()[0].hour).collect();
+            (out, ch.stats)
+        };
+        let (a, stats_a) = run();
+        let (b, stats_b) = run();
+        assert_eq!(a, b, "impairment is a pure function of the seed");
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.duplicated > 0);
+        assert_eq!(a.len() as u64, stats_a.frames + stats_a.duplicated);
+    }
+
+    #[test]
+    fn reorder_permutes_but_preserves_the_multiset() {
+        let mut cfg = clean();
+        cfg.reorder = 0.8;
+        let mut ch = ImpairedChannel::new(cfg);
+        for w in 0..6u32 {
+            ch.offer(w, 0, one_signal_log(w as f64));
+        }
+        let out: Vec<f64> = ch.drain(0).iter().map(|l| l.all()[0].hour).collect();
+        let mut sorted = out.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(ch.stats.reordered > 0);
+        assert_ne!(out, sorted, "0.8 reorder shuffles six frames");
+    }
+}

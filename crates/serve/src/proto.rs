@@ -1,0 +1,198 @@
+//! The wire protocol: JSON messages, one per frame.
+//!
+//! Two logical channels share one TCP connection:
+//!
+//! * the **lockstep channel** (`Config`/`Cmd` down, `Report`/`Bye` up) —
+//!   reliable by construction, it carries the closed-loop state machine;
+//! * the **telemetry channel** (`Evidence`/`Trace` up) — the
+//!   suspect-signal and trace stream the link-impairment model is allowed
+//!   to mangle, exactly like the lossy monitoring path of a real fleet.
+//!
+//! Payloads are JSON rather than a bespoke binary layout because every
+//! type already carries serde derives for scenario/report persistence,
+//! and the epoch cadence (hours of simulated time per frame) makes wire
+//! compactness irrelevant next to debuggability.
+
+use std::io::{self, Read, Write};
+
+use mercurial::shardloop::{EpochCommands, ShardEpochReport};
+use mercurial_fleet::SignalLog;
+use serde::{Deserialize, Serialize};
+
+use crate::frame::{read_frame, write_frame};
+
+/// Protocol revision; bumped on any wire-visible change.
+pub const PROTO_VERSION: u32 = 1;
+
+/// One worker counter at end of run (worker-side metric names are a fixed
+/// compile-time set, shipped by value because `MetricSet` interns
+/// `&'static str` keys).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Metric name.
+    pub name: String,
+    /// Final counter value.
+    pub value: u64,
+}
+
+/// One worker gauge at end of run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    /// Metric name.
+    pub name: String,
+    /// Last-written value.
+    pub value: f64,
+}
+
+/// Every message that can cross the socket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Message {
+    /// Worker → server, first frame after connecting.
+    Hello {
+        /// The worker's [`PROTO_VERSION`]; mismatches abort the handshake.
+        proto: u32,
+    },
+    /// Server → worker: the run configuration and this worker's shard.
+    Config {
+        /// Full scenario as JSON (workers rebuild the experiment from it,
+        /// so determinism needs no shared filesystem).
+        scenario: String,
+        /// This worker's index (also its report order).
+        worker: u32,
+        /// First owned machine.
+        lo: u32,
+        /// One past the last owned machine.
+        hi: u32,
+    },
+    /// Server → worker: one epoch's restore/quarantine commands.
+    Cmd {
+        /// The epoch commands (worker asserts the epoch matches its own).
+        cmds: EpochCommands,
+    },
+    /// Worker → server: the epoch's suspect-signal batch (the impairable
+    /// telemetry frame, split out of the report).
+    Evidence {
+        /// Originating worker.
+        worker: u32,
+        /// Epoch the signals were drawn in.
+        epoch: u32,
+        /// The signals.
+        log: SignalLog,
+    },
+    /// Worker → server: the epoch's lockstep report (evidence emptied —
+    /// it travels in the [`Message::Evidence`] frame).
+    Report {
+        /// The shard's epoch report (boxed: it dwarfs the other variants).
+        report: Box<ShardEpochReport>,
+    },
+    /// Worker → server: trace events drained since the last epoch,
+    /// streamed through the standard JSONL sink.
+    Trace {
+        /// Originating worker.
+        worker: u32,
+        /// Zero or more complete JSONL lines (may be empty).
+        jsonl: String,
+    },
+    /// Server → worker: the run is over; send your tail and hang up.
+    Fin,
+    /// Worker → server: end-of-run metric readout (counters sum across
+    /// workers; histograms are aggregator-side by design, so none ship).
+    Bye {
+        /// Final counters.
+        counters: Vec<CounterEntry>,
+        /// Final gauges.
+        gauges: Vec<GaugeEntry>,
+    },
+}
+
+/// Serialize and frame one message. The caller flushes.
+///
+/// # Errors
+///
+/// Propagates the writer's I/O error.
+pub fn send(w: &mut impl Write, msg: &Message) -> io::Result<()> {
+    let json = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_frame(w, json.as_bytes())
+}
+
+/// Read and decode one message; `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// Propagates the reader's I/O error; malformed payloads are
+/// `InvalidData`.
+pub fn recv(r: &mut impl Read) -> io::Result<Option<Message>> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let text = String::from_utf8(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let msg = serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(Some(msg))
+}
+
+/// A protocol-sequence violation (the peer sent something the state
+/// machine cannot accept here).
+pub fn proto_err(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("protocol error: {what}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mercurial::fault::CoreUid;
+
+    #[test]
+    fn messages_roundtrip_through_frames() {
+        let msgs = vec![
+            Message::Hello {
+                proto: PROTO_VERSION,
+            },
+            Message::Config {
+                scenario: "{\"k\": 1}".to_string(),
+                worker: 2,
+                lo: 500,
+                hi: 1000,
+            },
+            Message::Cmd {
+                cmds: EpochCommands {
+                    epoch: 7,
+                    restores: vec![CoreUid::new(3, 0, 1)],
+                    quarantines: vec![CoreUid::new(9, 1, 0)],
+                },
+            },
+            Message::Trace {
+                worker: 0,
+                jsonl: "{\"h\":0,\"k\":\"B\",\"n\":\"loop.epoch\"}\n".to_string(),
+            },
+            Message::Fin,
+            Message::Bye {
+                counters: vec![CounterEntry {
+                    name: "sim.corruptions".to_string(),
+                    value: 42,
+                }],
+                gauges: Vec::new(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            send(&mut buf, m).unwrap();
+        }
+        let mut r = buf.as_slice();
+        for m in &msgs {
+            let back = recv(&mut r).unwrap().expect("frame present");
+            // Message lacks PartialEq (SignalLog payloads are big); compare
+            // through the serialized form, which is what the wire carries.
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(m).unwrap()
+            );
+        }
+        assert!(recv(&mut r).unwrap().is_none());
+    }
+}

@@ -1,0 +1,356 @@
+//! The scoreboard/watch server: accepts N shard workers, drives the
+//! closed loop in lockstep, ingests their telemetry through the
+//! impairable link, evaluates alert rules live, and exposes a plain-text
+//! Prometheus status endpoint.
+//!
+//! The server owns everything global — quarantine registry, capacity
+//! ledger, scoreboard, deep-check/restore queues, watch engine — via
+//! [`FleetAggregator`]; workers own nothing but their machine range. One
+//! epoch is one protocol round: broadcast `Cmd`, collect each worker's
+//! `Evidence` + `Report` + `Trace` frames in worker-index order, pass the
+//! evidence through the [`ImpairedChannel`], ingest. With clean links the
+//! outcome is bit-for-bit the in-process [`ClosedLoopDriver`] run — the
+//! parity tests pin it — so every divergence measured under impairment is
+//! attributable to the link, not the split.
+//!
+//! [`ClosedLoopDriver`]: mercurial::closedloop::ClosedLoopDriver
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+use mercurial::closedloop::ClosedLoopOutcome;
+use mercurial::scenario::ImpairConfig;
+use mercurial::shardloop::{
+    record_ground_truth_onsets, shard_ranges, watch_engine, FleetAggregator, ShardEpochReport,
+};
+use mercurial::{FleetExperiment, Scenario};
+use mercurial_fleet::SignalLog;
+use mercurial_trace::export::metrics_to_prometheus;
+use mercurial_watch::{Baseline, RuleSet};
+
+use crate::impair::{ImpairedChannel, LinkStats};
+use crate::proto::{proto_err, recv, send, Message, PROTO_VERSION};
+use crate::worker::run_worker;
+
+/// Attachments for a served run.
+#[derive(Default)]
+pub struct ServeOptions<'a> {
+    /// Alert rules; `None` falls back to the scenario's `watch` block.
+    pub rules: Option<RuleSet>,
+    /// Baseline for regression rules.
+    pub baseline: Option<&'a Baseline>,
+    /// Bind address for the live Prometheus status endpoint (e.g.
+    /// `127.0.0.1:9184`); `None` disables it.
+    pub status_addr: Option<String>,
+}
+
+/// Everything a served run produced: the ordinary closed-loop outcome
+/// plus what the link did on the way.
+pub struct ServedOutcome {
+    /// The run outcome, same shape as the in-process driver's.
+    pub outcome: ClosedLoopOutcome,
+    /// Link statistics across all workers' evidence frames.
+    pub link: LinkStats,
+    /// Each worker's streamed trace JSONL, in worker order (empty
+    /// strings unless the scenario enables tracing).
+    pub worker_traces: Vec<String>,
+}
+
+/// One connected worker's framed channels.
+struct Link {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// Run the server over an already-bound listener: accept
+/// `scenario.serve.workers` workers, drive the run, return the outcome.
+/// Worker indices are assigned in connection order.
+///
+/// # Errors
+///
+/// Propagates socket I/O errors and protocol violations.
+pub fn run_server(
+    listener: &TcpListener,
+    scenario: &Scenario,
+    opts: &ServeOptions<'_>,
+) -> io::Result<ServedOutcome> {
+    let workers = scenario.serve.workers.max(1);
+    let machines = scenario.fleet.machines;
+    let ranges = shard_ranges(machines, workers);
+
+    // Handshake every worker before the first epoch: Hello up, Config
+    // (scenario + shard range) down.
+    let scenario_json = scenario.to_json();
+    let mut links = Vec::with_capacity(workers as usize);
+    for (w, &(lo, hi)) in ranges.iter().enumerate() {
+        let (stream, _) = listener.accept()?;
+        stream.set_nodelay(true)?;
+        let mut link = Link {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        };
+        match recv(&mut link.reader)? {
+            Some(Message::Hello { proto }) if proto == PROTO_VERSION => {}
+            Some(Message::Hello { proto }) => {
+                return Err(proto_err(&format!(
+                    "worker speaks protocol {proto}, server speaks {PROTO_VERSION}"
+                )))
+            }
+            _ => return Err(proto_err("expected Hello")),
+        }
+        send(
+            &mut link.writer,
+            &Message::Config {
+                scenario: scenario_json.clone(),
+                worker: w as u32,
+                lo,
+                hi,
+            },
+        )?;
+        link.writer.flush()?;
+        links.push(link);
+    }
+
+    serve_run(scenario, &mut links, opts)
+}
+
+/// The epoch loop over handshaken links.
+fn serve_run(
+    scenario: &Scenario,
+    links: &mut [Link],
+    opts: &ServeOptions<'_>,
+) -> io::Result<ServedOutcome> {
+    let experiment = FleetExperiment::build(scenario);
+    let engine = watch_engine(scenario, &opts.rules);
+    let mut rec = scenario.trace.recorder();
+    record_ground_truth_onsets(&experiment, &mut rec);
+    let mut agg = FleetAggregator::new(scenario, &experiment, engine);
+    let epochs = agg.total_epochs();
+    let epoch_hours = agg.epoch_hours();
+
+    let status = opts
+        .status_addr
+        .as_deref()
+        .map(spawn_status_endpoint)
+        .transpose()?;
+    let mut channel = ImpairedChannel::new(scenario.serve.impair);
+    let mut worker_traces = vec![String::new(); links.len()];
+
+    while !agg.is_done() {
+        let cmds = agg.begin_epoch(&mut rec);
+        let epoch = cmds.epoch;
+        // Broadcast: commands address cores by uid, and applying a
+        // non-owned core's command is a no-op, so every worker gets the
+        // same frame.
+        for link in links.iter_mut() {
+            send(&mut link.writer, &Message::Cmd { cmds: cmds.clone() })?;
+            link.writer.flush()?;
+        }
+        // Collect in worker-index order — the deterministic merge order
+        // the in-process multi-shard path uses.
+        let mut reports: Vec<ShardEpochReport> = Vec::with_capacity(links.len());
+        for (w, link) in links.iter_mut().enumerate() {
+            let (evidence, report, jsonl) = recv_epoch_frames(&mut link.reader, w as u32, epoch)?;
+            channel.offer(w as u32, epoch, evidence);
+            reports.push(report);
+            worker_traces[w].push_str(&jsonl);
+        }
+        // Every frame the link delivers this epoch rides in the first
+        // report's evidence slot: the aggregator ingests evidence as one
+        // ordered stream, so only the concatenation order matters — and
+        // the channel already emits canonical (delayed/duplicated/
+        // reordered) arrival order.
+        let mut delivered = SignalLog::new();
+        for log in channel.drain(epoch) {
+            delivered.append(log);
+        }
+        reports[0].evidence = delivered;
+        agg.ingest_reports(reports, &mut rec);
+
+        if let Some(body) = &status {
+            let mut s = body.lock().expect("status lock");
+            *s = status_body(&rec, &channel.stats, epoch + 1, epochs);
+        }
+    }
+
+    // Wind down: Fin to every worker, absorb their trace tails and
+    // metric readouts (counters merge into the server recorder so the
+    // final metric set equals the in-process run's).
+    for (w, link) in links.iter_mut().enumerate() {
+        send(&mut link.writer, &Message::Fin)?;
+        link.writer.flush()?;
+        loop {
+            match recv(&mut link.reader)? {
+                Some(Message::Trace { jsonl, .. }) => worker_traces[w].push_str(&jsonl),
+                Some(Message::Bye { counters, gauges }) => {
+                    for c in counters {
+                        rec.counter_add(intern(c.name), c.value);
+                    }
+                    for g in gauges {
+                        rec.gauge(0.0, intern(g.name), g.value);
+                    }
+                    break;
+                }
+                _ => return Err(proto_err("expected Trace/Bye after Fin")),
+            }
+        }
+    }
+
+    let finished = agg.finish(&mut rec, &[], opts.baseline);
+    if let Some(body) = &status {
+        let mut s = body.lock().expect("status lock");
+        *s = status_body(&rec, &channel.stats, epochs, epochs);
+    }
+    Ok(ServedOutcome {
+        outcome: ClosedLoopOutcome {
+            pipeline: finished.pipeline,
+            series: finished.series,
+            epochs,
+            epoch_hours,
+            trace: rec.finish(),
+            watch: finished.watch,
+        },
+        link: channel.stats,
+        worker_traces,
+    })
+}
+
+/// Receive one worker's epoch frames (Evidence, Report, Trace — in that
+/// order) and validate their epoch/worker stamps.
+fn recv_epoch_frames(
+    reader: &mut BufReader<TcpStream>,
+    worker: u32,
+    epoch: u32,
+) -> io::Result<(SignalLog, ShardEpochReport, String)> {
+    let Some(Message::Evidence {
+        worker: w,
+        epoch: e,
+        log,
+    }) = recv(reader)?
+    else {
+        return Err(proto_err("expected Evidence"));
+    };
+    if w != worker || e != epoch {
+        return Err(proto_err(&format!(
+            "evidence stamped worker {w} epoch {e}, expected {worker}/{epoch}"
+        )));
+    }
+    let Some(Message::Report { report }) = recv(reader)? else {
+        return Err(proto_err("expected Report"));
+    };
+    if report.epoch != epoch {
+        return Err(proto_err(&format!(
+            "report stamped epoch {}, expected {epoch}",
+            report.epoch
+        )));
+    }
+    let Some(Message::Trace { jsonl, .. }) = recv(reader)? else {
+        return Err(proto_err("expected Trace"));
+    };
+    Ok((log, *report, jsonl))
+}
+
+/// Worker metric names arrive as owned strings but `MetricSet` interns
+/// `&'static str`. The names form a small fixed compile-time set, so
+/// leaking each distinct arrival is bounded and exact.
+fn intern(name: String) -> &'static str {
+    Box::leak(name.into_boxed_str())
+}
+
+/// The status page: run progress, link statistics, and the Prometheus
+/// rendering of the live metric set.
+fn status_body(rec: &mercurial_trace::Recorder, link: &LinkStats, done: u32, total: u32) -> String {
+    let mut out = String::new();
+    out.push_str("# mercurial-serve status\n");
+    out.push_str(&format!("mercurial_serve_epochs_done {done}\n"));
+    out.push_str(&format!("mercurial_serve_epochs_total {total}\n"));
+    out.push_str(&format!("mercurial_serve_link_frames {}\n", link.frames));
+    out.push_str(&format!("mercurial_serve_link_dropped {}\n", link.dropped));
+    out.push_str(&format!("mercurial_serve_link_delayed {}\n", link.delayed));
+    out.push_str(&format!(
+        "mercurial_serve_link_duplicated {}\n",
+        link.duplicated
+    ));
+    out.push_str(&format!(
+        "mercurial_serve_link_reordered {}\n",
+        link.reordered
+    ));
+    if let Some(metrics) = rec.metrics() {
+        out.push_str(&metrics_to_prometheus(metrics));
+    }
+    out
+}
+
+/// Serve `GET /metrics`-style requests with the current snapshot body.
+/// Hand-rolled HTTP/1.0: read the request head, write one plain-text
+/// response, close. The thread is detached and dies with the process.
+fn spawn_status_endpoint(addr: &str) -> io::Result<Arc<Mutex<String>>> {
+    let listener = TcpListener::bind(addr)?;
+    let body = Arc::new(Mutex::new(String::from("# mercurial-serve starting\n")));
+    let shared = Arc::clone(&body);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            // Drain the request head; content is irrelevant (every path
+            // serves the same snapshot).
+            let mut buf = [0u8; 1024];
+            let _ = std::io::Read::read(&mut stream, &mut buf);
+            let snapshot = shared.lock().map(|s| s.clone()).unwrap_or_default();
+            let _ = write!(
+                stream,
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+                snapshot.len(),
+                snapshot
+            );
+            let _ = stream.flush();
+        }
+    });
+    Ok(body)
+}
+
+/// Run a complete served topology in one process: bind an ephemeral
+/// loopback listener, spawn `scenario.serve.workers` worker threads that
+/// connect to it, and drive the server on the calling thread. This is
+/// the harness tests and benches use; the CLI's multi-process demo mode
+/// runs the same protocol with workers as child processes.
+///
+/// # Errors
+///
+/// Propagates socket I/O errors and protocol violations from either
+/// side.
+pub fn run_served(scenario: &Scenario, opts: &ServeOptions<'_>) -> io::Result<ServedOutcome> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let workers = scenario.serve.workers.max(1);
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            std::thread::spawn(move || -> io::Result<()> {
+                let stream = TcpStream::connect(addr)?;
+                run_worker(stream)
+            })
+        })
+        .collect();
+    let out = run_server(&listener, scenario, opts)?;
+    for h in handles {
+        h.join()
+            .map_err(|_| io::Error::other("worker thread panicked"))??;
+    }
+    Ok(out)
+}
+
+/// A convenience for impairment sweeps: run the same scenario served,
+/// with `impair` overriding the scenario's `serve.impair` block.
+///
+/// # Errors
+///
+/// See [`run_served`].
+pub fn run_served_impaired(
+    scenario: &Scenario,
+    impair: ImpairConfig,
+    opts: &ServeOptions<'_>,
+) -> io::Result<ServedOutcome> {
+    let mut s = scenario.clone();
+    s.serve.impair = impair;
+    run_served(&s, opts)
+}

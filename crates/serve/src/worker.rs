@@ -1,0 +1,159 @@
+//! The fleet-shard worker: one process owning a contiguous machine range,
+//! stepping its shard of the closed loop in lockstep with the server.
+//!
+//! A worker is a thin shell around [`FleetShard`]: receive the epoch's
+//! commands, apply them, step, and ship three frames back — the
+//! impairable evidence batch, the reliable report, and the drained trace
+//! events (streamed through the standard [`JsonlStreamSink`], whose
+//! writer here backs socket frames instead of a file). Determinism needs
+//! nothing beyond the scenario JSON in the config frame: every draw the
+//! shard makes is a pure function of `(seed, stream, counter)`.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+
+use mercurial::shardloop::FleetShard;
+use mercurial::{FleetExperiment, Scenario};
+use mercurial_trace::{JsonlStreamSink, TraceSink};
+
+use crate::proto::{proto_err, recv, send, CounterEntry, GaugeEntry, Message, PROTO_VERSION};
+
+/// Connect to a server and run the shard it assigns until the run ends.
+///
+/// # Errors
+///
+/// Propagates socket I/O errors and protocol violations.
+pub fn connect_and_serve(addr: &str) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    run_worker(stream)
+}
+
+/// Drive one worker over an established connection: handshake, build the
+/// assigned shard, then lockstep epochs until `Fin`.
+///
+/// # Errors
+///
+/// Propagates socket I/O errors and protocol violations.
+pub fn run_worker(stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    send(
+        &mut writer,
+        &Message::Hello {
+            proto: PROTO_VERSION,
+        },
+    )?;
+    writer.flush()?;
+
+    let Some(Message::Config {
+        scenario,
+        worker,
+        lo,
+        hi,
+    }) = recv(&mut reader)?
+    else {
+        return Err(proto_err("expected Config after Hello"));
+    };
+    let scenario =
+        Scenario::from_json(&scenario).map_err(|e| proto_err(&format!("bad scenario: {e}")))?;
+    let experiment = FleetExperiment::build(&scenario);
+    let mut shard = FleetShard::new(&scenario, &experiment, lo, hi);
+    let mut rec = scenario.trace.recorder();
+    // The trace channel: the shard's recorder drains through the standard
+    // JSONL sink; its writer is the byte buffer each epoch's Trace frame
+    // ships.
+    let mut sink = JsonlStreamSink::new(Vec::new());
+
+    serve_epochs(
+        &mut reader,
+        &mut writer,
+        &mut shard,
+        &mut rec,
+        &mut sink,
+        worker,
+    )
+}
+
+fn serve_epochs(
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+    shard: &mut FleetShard<'_>,
+    rec: &mut mercurial_trace::Recorder,
+    sink: &mut JsonlStreamSink<Vec<u8>>,
+    worker: u32,
+) -> io::Result<()> {
+    loop {
+        match recv(reader)? {
+            Some(Message::Cmd { cmds }) => {
+                let epoch = cmds.epoch;
+                shard.apply_commands(&cmds);
+                let mut report = shard.step_epoch(rec);
+                let evidence = std::mem::take(&mut report.evidence);
+                send(
+                    writer,
+                    &Message::Evidence {
+                        worker,
+                        epoch,
+                        log: evidence,
+                    },
+                )?;
+                send(
+                    writer,
+                    &Message::Report {
+                        report: Box::new(report),
+                    },
+                )?;
+                sink.drain(rec).expect("Vec sink cannot fail");
+                let jsonl = String::from_utf8(std::mem::take(sink.get_mut()))
+                    .expect("JSONL sink writes UTF-8");
+                send(writer, &Message::Trace { worker, jsonl })?;
+                writer.flush()?;
+            }
+            Some(Message::Fin) => {
+                // Tail: remaining trace events, then the metric readout.
+                sink.drain(rec).expect("Vec sink cannot fail");
+                let jsonl = String::from_utf8(std::mem::take(sink.get_mut()))
+                    .expect("JSONL sink writes UTF-8");
+                send(writer, &Message::Trace { worker, jsonl })?;
+                let (counters, gauges) = metric_entries(rec);
+                send(writer, &Message::Bye { counters, gauges })?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Some(_) => return Err(proto_err("unexpected message in epoch loop")),
+            None => return Err(proto_err("server hung up mid-run")),
+        }
+    }
+}
+
+/// Snapshot the worker recorder's metric set for the `Bye` frame.
+/// Histograms are asserted empty: every per-run histogram (epoch
+/// aggregates, detection latency) is observed aggregator-side precisely
+/// so shard workers never need to ship one.
+fn metric_entries(rec: &mercurial_trace::Recorder) -> (Vec<CounterEntry>, Vec<GaugeEntry>) {
+    let Some(metrics) = rec.metrics() else {
+        return (Vec::new(), Vec::new());
+    };
+    debug_assert_eq!(
+        metrics.histograms().count(),
+        0,
+        "worker-side histograms are not wire-portable; observe them in the aggregator"
+    );
+    let counters = metrics
+        .counters()
+        .map(|(name, value)| CounterEntry {
+            name: name.to_string(),
+            value,
+        })
+        .collect();
+    let gauges = metrics
+        .gauges()
+        .map(|(name, value)| GaugeEntry {
+            name: name.to_string(),
+            value,
+        })
+        .collect();
+    (counters, gauges)
+}

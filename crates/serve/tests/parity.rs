@@ -1,0 +1,139 @@
+//! Served-topology parity: with clean links, splitting the closed loop
+//! across worker processes and a socket protocol must not move the
+//! outcome by a byte — at any worker count, across seeds, traced or not.
+//!
+//! The in-process [`ClosedLoopDriver`] run is the reference. Everything
+//! the scoreboard produces is compared: detections, the ingested signal
+//! log, the simulation summary, the per-epoch series, the watch report,
+//! and the Prometheus rendering of the final metric set (which pins the
+//! `Bye`-frame counter absorption). Divergence under impairment is then
+//! attributable to the link model alone — the last test spot-checks that
+//! a fully lossy link actually loses evidence.
+
+use mercurial::closedloop::ClosedLoopDriver;
+use mercurial::fleet::SimEngine;
+use mercurial::scenario::ImpairConfig;
+use mercurial::Scenario;
+use mercurial_serve::{run_served, run_served_impaired, ServeOptions};
+use mercurial_trace::export::to_prometheus;
+
+fn scenario(seed: u64, workers: u32, traced: bool) -> Scenario {
+    let mut s = Scenario::demo(seed);
+    s.closed_loop.feedback = true;
+    s.sim.engine = SimEngine::Sparse;
+    s.trace.enabled = traced;
+    s.watch.enabled = traced;
+    s.serve.workers = workers;
+    s
+}
+
+#[test]
+fn served_zero_impairment_is_bit_identical_to_in_process() {
+    for seed in [7u64, 23] {
+        let reference = ClosedLoopDriver::execute(&scenario(seed, 1, true));
+        assert!(
+            !reference.pipeline.detections.is_empty(),
+            "demo fleet must yield detections (seed {seed})"
+        );
+        let ref_watch = reference.watch.as_ref().expect("watch enabled").render();
+        let ref_prom = to_prometheus(&reference.trace);
+        for workers in [1u32, 2, 4] {
+            let s = scenario(seed, workers, true);
+            let served = run_served(&s, &ServeOptions::default()).expect("served run");
+            assert_eq!(served.link.dropped, 0, "clean link must not drop");
+            assert!(served.link.frames > 0, "evidence must ride the link");
+            let out = &served.outcome;
+            assert_eq!(
+                out.pipeline.detections, reference.pipeline.detections,
+                "detections diverge (seed {seed}, {workers} workers)"
+            );
+            assert_eq!(
+                out.pipeline.signals.all(),
+                reference.pipeline.signals.all(),
+                "signal log diverges (seed {seed}, {workers} workers)"
+            );
+            assert_eq!(
+                out.pipeline.sim_summary, reference.pipeline.sim_summary,
+                "sim summary diverges (seed {seed}, {workers} workers)"
+            );
+            assert_eq!(
+                out.series, reference.series,
+                "epoch series diverges (seed {seed}, {workers} workers)"
+            );
+            assert_eq!(
+                out.watch.as_ref().expect("watch enabled").render(),
+                ref_watch,
+                "watch report diverges (seed {seed}, {workers} workers)"
+            );
+            assert_eq!(
+                to_prometheus(&out.trace),
+                ref_prom,
+                "metric set diverges (seed {seed}, {workers} workers)"
+            );
+            assert_eq!(out.epochs, reference.epochs);
+            assert_eq!(out.epoch_hours, reference.epoch_hours);
+        }
+    }
+}
+
+#[test]
+fn served_untraced_run_matches_in_process() {
+    let reference = ClosedLoopDriver::execute(&scenario(11, 1, false));
+    for workers in [1u32, 2, 4] {
+        let s = scenario(11, workers, false);
+        let served = run_served(&s, &ServeOptions::default()).expect("served run");
+        let out = &served.outcome;
+        assert_eq!(out.pipeline.detections, reference.pipeline.detections);
+        assert_eq!(out.pipeline.signals.all(), reference.pipeline.signals.all());
+        assert_eq!(out.pipeline.sim_summary, reference.pipeline.sim_summary);
+        assert_eq!(out.series, reference.series);
+        assert!(out.watch.is_none(), "watch off means no report");
+        assert!(
+            served.worker_traces.iter().all(String::is_empty),
+            "tracing off means empty trace channel"
+        );
+    }
+}
+
+#[test]
+fn served_runs_are_deterministic_including_streamed_traces() {
+    let s = scenario(7, 2, true);
+    let a = run_served(&s, &ServeOptions::default()).expect("first run");
+    let b = run_served(&s, &ServeOptions::default()).expect("second run");
+    assert_eq!(a.link, b.link);
+    assert_eq!(a.worker_traces, b.worker_traces);
+    assert!(
+        a.worker_traces.iter().all(|t| !t.is_empty()),
+        "traced workers must stream events"
+    );
+    assert_eq!(
+        a.outcome.pipeline.sim_summary,
+        b.outcome.pipeline.sim_summary
+    );
+}
+
+#[test]
+fn fully_lossy_link_starves_the_scoreboard_of_evidence() {
+    let s = scenario(7, 2, false);
+    let reference = run_served(&s, &ServeOptions::default()).expect("clean run");
+    let impair = ImpairConfig {
+        loss: 1.0,
+        ..ImpairConfig::default()
+    };
+    let lossy = run_served_impaired(&s, impair, &ServeOptions::default()).expect("lossy run");
+    assert_eq!(
+        lossy.link.dropped, lossy.link.frames,
+        "loss=1.0 must drop every evidence frame"
+    );
+    // The scoreboard sees fewer signals (the loop is closed, so the
+    // simulation drifts too — undetected cores keep corrupting)…
+    assert!(
+        lossy.outcome.pipeline.signals.all().len() < reference.outcome.pipeline.signals.all().len(),
+        "dropped evidence must shrink the ingested signal log"
+    );
+    // …and a starved scoreboard cannot detect more.
+    assert!(
+        lossy.outcome.pipeline.detections.len() <= reference.outcome.pipeline.detections.len(),
+        "a starved scoreboard cannot detect more"
+    );
+}

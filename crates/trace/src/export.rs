@@ -136,18 +136,25 @@ fn prom_name(name: &str) -> String {
 /// export directly; histograms export as summaries with p50/p95/p99
 /// quantile samples plus `_sum` and `_count`.
 pub fn to_prometheus(trace: &Trace) -> String {
+    metrics_to_prometheus(&trace.metrics)
+}
+
+/// Prometheus text exposition of a bare metric set — the same body as
+/// [`to_prometheus`] without needing a finished [`Trace`], so a live
+/// status endpoint can render mid-run snapshots.
+pub fn metrics_to_prometheus(metrics: &MetricSet) -> String {
     let mut out = String::new();
-    for (name, v) in trace.metrics.counters() {
+    for (name, v) in metrics.counters() {
         let n = prom_name(name);
         let _ = writeln!(out, "# TYPE {n} counter");
         let _ = writeln!(out, "{n} {v}");
     }
-    for (name, v) in trace.metrics.gauges() {
+    for (name, v) in metrics.gauges() {
         let n = prom_name(name);
         let _ = writeln!(out, "# TYPE {n} gauge");
         let _ = writeln!(out, "{n} {}", json_num(v));
     }
-    for (name, h) in trace.metrics.histograms() {
+    for (name, h) in metrics.histograms() {
         let n = prom_name(name);
         let _ = writeln!(out, "# TYPE {n} summary");
         for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {

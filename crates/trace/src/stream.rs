@@ -67,6 +67,13 @@ impl<W: Write> JsonlStreamSink<W> {
     pub fn into_inner(self) -> W {
         self.out
     }
+
+    /// Borrow the underlying writer mutably — a socket-backed sink needs
+    /// this to take the bytes accumulated since the last drain without
+    /// consuming the sink.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.out
+    }
 }
 
 impl<W: Write> TraceSink for JsonlStreamSink<W> {

@@ -176,6 +176,36 @@ fn first_violation(rule: &Rule, rows: &[EpochRow]) -> Option<(usize, f64, f64, S
             }
             None
         }
+        RuleKind::Windowed {
+            field,
+            op,
+            limit,
+            window,
+        } => {
+            // Consecutive-violation streak; the row completing the
+            // streak is the firing epoch.
+            let mut streak = 0u32;
+            for (i, row) in rows.iter().enumerate() {
+                let v = field.of(row);
+                if op.holds(v, *limit) {
+                    streak += 1;
+                    if streak >= *window {
+                        let msg = format!(
+                            "{} {} {} for {} consecutive epochs (latest {})",
+                            field.key(),
+                            op.symbol(),
+                            fmt_v(*limit),
+                            window,
+                            fmt_v(v)
+                        );
+                        return Some((i, v, *limit, msg));
+                    }
+                } else {
+                    streak = 0;
+                }
+            }
+            None
+        }
         _ => None,
     }
 }
@@ -259,7 +289,7 @@ fn eval_end_of_run(rule: &Rule, input: &WatchInput, baseline: Option<&Baseline>)
             }
         }
         // Epoch-scoped kinds are handled by `first_violation`.
-        RuleKind::Rate { .. } => RuleStatus::Ok,
+        RuleKind::Rate { .. } | RuleKind::Windowed { .. } => RuleStatus::Ok,
     }
 }
 
@@ -478,6 +508,75 @@ mod tests {
         let alerts = report.alerts();
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].hour, 146.0);
+    }
+
+    fn windowed(limit: f64, window: u32) -> RuleSet {
+        RuleSet {
+            rules: vec![Rule {
+                name: "sustained".into(),
+                kind: RuleKind::Windowed {
+                    field: EpochField::CorruptOps,
+                    op: Cmp::Gt,
+                    limit,
+                    window,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn windowed_needs_consecutive_violations() {
+        // Violation, relief, violation, violation, violation: a window of
+        // 3 must ignore the broken streak and fire at the fifth row.
+        let rows = vec![
+            row(73.0, 1.0, 50.0),
+            row(146.0, 1.0, 5.0),
+            row(219.0, 1.0, 50.0),
+            row(292.0, 1.0, 60.0),
+            row(365.0, 1.0, 70.0),
+        ];
+        let report = windowed(10.0, 3).evaluate(&input_with(rows.clone()), None);
+        let alerts = report.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].hour, 365.0);
+        assert_eq!(alerts[0].value, 70.0);
+        assert!(alerts[0].message.contains("3 consecutive epochs"));
+
+        // A window of 4 never completes on this series.
+        assert!(!windowed(10.0, 4)
+            .evaluate(&input_with(rows), None)
+            .any_fired());
+    }
+
+    #[test]
+    fn windowed_of_one_degrades_to_plain_threshold() {
+        let rows = vec![row(73.0, 1.0, 5.0), row(146.0, 1.0, 50.0)];
+        let report = windowed(10.0, 1).evaluate(&input_with(rows), None);
+        let alerts = report.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].hour, 146.0);
+    }
+
+    #[test]
+    fn windowed_engine_matches_offline_evaluation() {
+        let rules = windowed(10.0, 2);
+        let rows = vec![
+            row(73.0, 1.0, 50.0),
+            row(146.0, 1.0, 5.0),
+            row(219.0, 1.0, 50.0),
+            row(292.0, 1.0, 60.0),
+            row(365.0, 1.0, 70.0),
+        ];
+        let mut engine = WatchEngine::new(rules.clone());
+        let mut live = Vec::new();
+        for r in &rows {
+            live.extend(engine.push_epoch(*r));
+        }
+        let (live_report, end_alerts) = engine.finish(&MetricSet::new(), None);
+        assert!(end_alerts.is_empty());
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].1.hour, 292.0);
+        assert_eq!(rules.evaluate(&input_with(rows), None), live_report);
     }
 
     #[test]

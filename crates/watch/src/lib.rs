@@ -27,9 +27,10 @@
 pub mod baseline;
 pub mod eval;
 pub mod input;
+pub mod promrules;
 pub mod rule;
 
 pub use baseline::Baseline;
 pub use eval::{Alert, RuleOutcome, RuleStatus, WatchEngine, WatchReport};
-pub use input::{EpochRow, HistoSummary, WatchInput};
+pub use input::{EpochRow, HistoSummary, StreamIngest, WatchInput};
 pub use rule::{Cmp, EpochField, Rule, RuleKind, RuleSet, Source};

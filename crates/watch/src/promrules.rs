@@ -1,0 +1,293 @@
+//! Export a [`RuleSet`] as Prometheus alerting-rules YAML.
+//!
+//! The exported file is a standard `groups:` rules file a real
+//! Alertmanager-backed Prometheus can load, with metric names matching
+//! the `mercurial_`-prefixed exposition the trace exporter serves (and
+//! `mercurial-serve`'s status endpoint re-serves). The translation is
+//! necessarily approximate where our evaluator is richer than PromQL
+//! over a scrape series:
+//!
+//! * metric thresholds / percentiles translate directly;
+//! * epoch aggregates (`EpochMax`/`EpochMin`/`EpochSum`) become
+//!   `*_over_time` over a whole-run lookback window (`1y`);
+//! * rate rules become an `offset` comparison against the previous
+//!   epoch;
+//! * windowed rules become a plain threshold with a `for:` clause of
+//!   `window × epoch_hours` — the exact construct the rule kind models;
+//! * regression rules need a cross-run baseline no scrape can provide,
+//!   so they are emitted as comments rather than silently dropped.
+//!
+//! The output is deterministic (rule order, fixed formatting), which is
+//! what the golden-file test pins.
+
+use crate::rule::{EpochField, Rule, RuleKind, RuleSet, Source};
+
+/// `mercurial_`-prefixed Prometheus metric name, matching the trace
+/// exporter's sanitation (non-alphanumerics become `_`).
+fn prom_metric(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("mercurial_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// A rule name sanitized into a valid Prometheus alertname
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`).
+fn alert_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// The boundary gauge each epoch column is exported under.
+fn epoch_field_metric(field: EpochField) -> &'static str {
+    match field {
+        EpochField::Capacity => "capacity.availability",
+        EpochField::CapacityWithSafetask => "capacity.with_safetask",
+        EpochField::CorruptOps => "epoch.corrupt_ops",
+        EpochField::ActiveMercurial => "fleet.active_mercurial",
+    }
+}
+
+/// Render a number the way the YAML pins it: trimmed integers, plain
+/// floats otherwise.
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a duration in hours as a Prometheus duration literal: whole
+/// hours as `Nh`, fractional hours as whole minutes `Nm`.
+fn fmt_duration_hours(hours: f64) -> String {
+    if hours <= 0.0 {
+        return "0m".to_string();
+    }
+    if hours == hours.trunc() {
+        format!("{}h", hours as u64)
+    } else {
+        format!("{}m", (hours * 60.0).round() as u64)
+    }
+}
+
+/// The PromQL expression for a scalar source, or `None` when the source
+/// cannot be expressed over a scrape series.
+fn source_expr(source: &Source) -> String {
+    match source {
+        Source::Counter(n) | Source::Gauge(n) => prom_metric(n),
+        Source::Quantile { histogram, q } => {
+            format!("{}{{quantile=\"{}\"}}", prom_metric(histogram), q)
+        }
+        Source::EpochMax(f) => {
+            format!("max_over_time({}[1y])", prom_metric(epoch_field_metric(*f)))
+        }
+        Source::EpochMin(f) => {
+            format!("min_over_time({}[1y])", prom_metric(epoch_field_metric(*f)))
+        }
+        Source::EpochSum(f) => {
+            format!("sum_over_time({}[1y])", prom_metric(epoch_field_metric(*f)))
+        }
+    }
+}
+
+/// One rule's `expr` / `for` pair, or `None` for rules that cannot be
+/// translated (regressions).
+fn rule_expr(rule: &Rule, epoch_hours: f64) -> Option<(String, String)> {
+    match &rule.kind {
+        RuleKind::Threshold { source, op, limit } => Some((
+            format!(
+                "{} {} {}",
+                source_expr(source),
+                op.symbol(),
+                fmt_num(*limit)
+            ),
+            "0m".to_string(),
+        )),
+        RuleKind::Percentile {
+            histogram,
+            q,
+            op,
+            limit,
+        } => {
+            let source = Source::Quantile {
+                histogram: histogram.clone(),
+                q: *q,
+            };
+            Some((
+                format!(
+                    "{} {} {}",
+                    source_expr(&source),
+                    op.symbol(),
+                    fmt_num(*limit)
+                ),
+                "0m".to_string(),
+            ))
+        }
+        RuleKind::Rate {
+            field,
+            max_drop_per_epoch,
+        } => {
+            let metric = prom_metric(epoch_field_metric(*field));
+            let epoch = fmt_duration_hours(epoch_hours);
+            Some((
+                format!(
+                    "({metric} offset {epoch}) - {metric} > {}",
+                    fmt_num(*max_drop_per_epoch)
+                ),
+                "0m".to_string(),
+            ))
+        }
+        RuleKind::Windowed {
+            field,
+            op,
+            limit,
+            window,
+        } => Some((
+            format!(
+                "{} {} {}",
+                prom_metric(epoch_field_metric(*field)),
+                op.symbol(),
+                fmt_num(*limit)
+            ),
+            fmt_duration_hours(epoch_hours * *window as f64),
+        )),
+        RuleKind::Regression { .. } => None,
+    }
+}
+
+/// Severity label: capacity-affecting conditions page, the rest warn.
+fn severity(rule: &Rule) -> &'static str {
+    let field_pages =
+        |f: &EpochField| matches!(f, EpochField::Capacity | EpochField::CapacityWithSafetask);
+    match &rule.kind {
+        RuleKind::Rate { field, .. } | RuleKind::Windowed { field, .. } if field_pages(field) => {
+            "page"
+        }
+        RuleKind::Threshold {
+            source: Source::EpochMax(f) | Source::EpochMin(f) | Source::EpochSum(f),
+            ..
+        } if field_pages(f) => "page",
+        _ => "warning",
+    }
+}
+
+impl RuleSet {
+    /// Render the set as a Prometheus alerting-rules YAML file: one
+    /// group named `group`, one alert per translatable rule (in rule
+    /// order), regressions as comments. `epoch_hours` sizes the
+    /// windowed rules' `for:` clauses and the rate rules' `offset`.
+    pub fn to_prometheus_rules(&self, group: &str, epoch_hours: f64) -> String {
+        let mut out = String::new();
+        out.push_str("# Prometheus alerting rules generated by mercurial-watch.\n");
+        out.push_str(&format!(
+            "# Epoch length: {}. Epoch aggregates use a whole-run (1y) lookback.\n",
+            fmt_duration_hours(epoch_hours)
+        ));
+        out.push_str("groups:\n");
+        out.push_str(&format!("- name: {}\n", alert_name(group)));
+        out.push_str("  rules:\n");
+        for rule in &self.rules {
+            match rule_expr(rule, epoch_hours) {
+                Some((expr, for_clause)) => {
+                    out.push_str(&format!("  - alert: {}\n", alert_name(&rule.name)));
+                    out.push_str(&format!("    expr: {expr}\n"));
+                    out.push_str(&format!("    for: {for_clause}\n"));
+                    out.push_str("    labels:\n");
+                    out.push_str(&format!("      severity: {}\n", severity(rule)));
+                    out.push_str("    annotations:\n");
+                    out.push_str(&format!(
+                        "      summary: mercurial-watch rule `{}` violated\n",
+                        rule.name
+                    ));
+                }
+                None => {
+                    out.push_str(&format!(
+                        "  # rule `{}` needs a cross-run baseline; \
+                         not expressible as a scrape-time alert\n",
+                        rule.name
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Cmp;
+
+    #[test]
+    fn metric_and_alert_names_sanitize() {
+        assert_eq!(
+            prom_metric("detect.latency_hours"),
+            "mercurial_detect_latency_hours"
+        );
+        assert_eq!(alert_name("cap-drop"), "cap_drop");
+        assert_eq!(alert_name("9lives"), "_9lives");
+        assert_eq!(alert_name(""), "_");
+    }
+
+    #[test]
+    fn durations_render_as_prometheus_literals() {
+        assert_eq!(fmt_duration_hours(73.0), "73h");
+        assert_eq!(fmt_duration_hours(0.5), "30m");
+        assert_eq!(fmt_duration_hours(219.0), "219h");
+        assert_eq!(fmt_duration_hours(0.0), "0m");
+    }
+
+    #[test]
+    fn windowed_rules_become_for_clauses() {
+        let set = RuleSet {
+            rules: vec![Rule {
+                name: "sustained-ops".into(),
+                kind: RuleKind::Windowed {
+                    field: EpochField::CorruptOps,
+                    op: Cmp::Gt,
+                    limit: 25.0,
+                    window: 3,
+                },
+            }],
+        };
+        let yaml = set.to_prometheus_rules("mercurial", 73.0);
+        assert!(yaml.contains("expr: mercurial_epoch_corrupt_ops > 25\n"));
+        assert!(yaml.contains("for: 219h\n"));
+    }
+
+    #[test]
+    fn regressions_are_commented_not_dropped() {
+        let set = RuleSet {
+            rules: vec![Rule {
+                name: "base".into(),
+                kind: RuleKind::Regression {
+                    source: Source::Counter("sim.corruptions".into()),
+                    tolerance_frac: 0.25,
+                },
+            }],
+        };
+        let yaml = set.to_prometheus_rules("g", 73.0);
+        assert!(yaml.contains("# rule `base`"));
+        assert!(!yaml.contains("- alert: base"));
+    }
+}

@@ -1,7 +1,7 @@
 //! The rule grammar: what an alert watches and when it fires.
 //!
 //! Rules are data (serde-serializable), so rule sets live in JSON files
-//! next to scenarios and in the scenario's `watch` block. Four kinds,
+//! next to scenarios and in the scenario's `watch` block. Five kinds,
 //! matching the monitors the paper's §6 operations sketch implies:
 //!
 //! * **Threshold** — a scalar source compared against a limit. Epoch
@@ -15,6 +15,9 @@
 //!   `detect.latency_hours` p95 must stay under H).
 //! * **Regression** — a scalar source compared against a persisted
 //!   cross-run baseline with a tolerance band.
+//! * **Windowed** — a per-epoch condition that must hold for K
+//!   *consecutive* epochs before firing (the debounced threshold real
+//!   alerting stacks express as Prometheus' `for:` clause).
 
 use serde::{Deserialize, Serialize};
 
@@ -183,6 +186,21 @@ pub enum RuleKind {
         /// Fractional tolerance band around the baseline value.
         tolerance_frac: f64,
     },
+    /// An epoch column violated `value <op> limit` for `window`
+    /// **consecutive** epochs. Fires at the epoch that completes the
+    /// streak — the debounced form of an epoch threshold, for noisy
+    /// columns where one bad epoch is weather but K in a row is climate.
+    Windowed {
+        /// The watched epoch column.
+        field: EpochField,
+        /// The per-epoch violation condition.
+        op: Cmp,
+        /// The per-epoch limit.
+        limit: f64,
+        /// Consecutive violating epochs required to fire (≥ 1; 1 degrades
+        /// to a plain per-epoch threshold).
+        window: u32,
+    },
 }
 
 /// One named alert rule.
@@ -200,7 +218,7 @@ impl Rule {
     pub fn is_epoch_scoped(&self) -> bool {
         match &self.kind {
             RuleKind::Threshold { source, .. } => source.is_epoch_scoped(),
-            RuleKind::Rate { .. } => true,
+            RuleKind::Rate { .. } | RuleKind::Windowed { .. } => true,
             RuleKind::Percentile { .. } | RuleKind::Regression { .. } => false,
         }
     }
@@ -284,6 +302,12 @@ impl RuleSet {
                     }
                     if let Source::Quantile { q, .. } = source {
                         check_quantile(&rule.name, *q)?;
+                    }
+                }
+                RuleKind::Windowed { limit, window, .. } => {
+                    check_finite(&rule.name, "limit", *limit)?;
+                    if *window == 0 {
+                        return Err(format!("rule `{}`: window must be >= 1", rule.name));
                     }
                 }
             }
@@ -382,10 +406,70 @@ mod tests {
                         tolerance_frac: 0.25,
                     },
                 },
+                Rule {
+                    name: "sustained-ops".into(),
+                    kind: RuleKind::Windowed {
+                        field: EpochField::CorruptOps,
+                        op: Cmp::Gt,
+                        limit: 25.0,
+                        window: 3,
+                    },
+                },
             ],
         };
         let back = RuleSet::from_json(&set.to_json()).unwrap();
         assert_eq!(set, back);
+    }
+
+    #[test]
+    fn windowed_serde_shape_is_pinned() {
+        // Pin the wire shape so rule files keep parsing across versions.
+        let json = r#"{
+            "rules": [{
+                "name": "w",
+                "kind": {"Windowed": {"field": "CorruptOps", "op": "Gt",
+                                      "limit": 10.0, "window": 4}}
+            }]
+        }"#;
+        let set = RuleSet::from_json(json).unwrap();
+        assert_eq!(
+            set.rules[0].kind,
+            RuleKind::Windowed {
+                field: EpochField::CorruptOps,
+                op: Cmp::Gt,
+                limit: 10.0,
+                window: 4,
+            }
+        );
+        assert!(set.rules[0].is_epoch_scoped());
+    }
+
+    #[test]
+    fn windowed_validation_rejects_degenerate_windows() {
+        let zero = RuleSet {
+            rules: vec![Rule {
+                name: "w".into(),
+                kind: RuleKind::Windowed {
+                    field: EpochField::Capacity,
+                    op: Cmp::Lt,
+                    limit: 0.9,
+                    window: 0,
+                },
+            }],
+        };
+        assert!(zero.validate().unwrap_err().contains("window must be >= 1"));
+        let nan = RuleSet {
+            rules: vec![Rule {
+                name: "w".into(),
+                kind: RuleKind::Windowed {
+                    field: EpochField::Capacity,
+                    op: Cmp::Lt,
+                    limit: f64::NAN,
+                    window: 2,
+                },
+            }],
+        };
+        assert!(nan.validate().is_err());
     }
 
     #[test]

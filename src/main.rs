@@ -7,6 +7,7 @@
 //! mercurial-lab screen   <archetype> [--age HOURS]
 //! mercurial-lab trace    [--seed N] [--paper] [--format FMT] [--out FILE]
 //! mercurial-lab watch    [--rules FILE] [--scenario FILE | --trace FILE]
+//! mercurial-lab serve    [--workers N] [--impair FILE] [--procs] [--status ADDR]
 //! mercurial-lab archetypes                    # list the §2 defect archetypes
 //! ```
 
@@ -34,9 +35,17 @@ fn usage() -> ! {
          .        [--format jsonl|prom|chrome|timeline|summary] [--out FILE]\n\
          .                                run the closed loop with tracing on and export telemetry\n\
          watch    [--rules FILE] [--seed N] [--paper] [--scenario FILE | --trace FILE]\n\
-         .        [--baseline FILE] [--record-baseline] [--stream FILE] [--dump-rules]\n\
+         .        [--baseline FILE] [--record-baseline] [--stream FILE]\n\
+         .        [--dump-rules [--format json|prom]]\n\
          .                                evaluate alert rules over a run (or replay a JSONL\n\
          .                                trace); exits 1 if any rule fires\n\
+         serve    [--seed N] [--paper] [--scenario FILE] [--workers N]\n\
+         .        [--impair FILE] [--status ADDR] [--procs]\n\
+         .                                run the closed loop as a service: N fleet-shard\n\
+         .                                workers streaming to one scoreboard/watch server\n\
+         .                                (--procs forks real worker processes)\n\
+         serve-worker --connect HOST:PORT\n\
+         .                                connect to a serve server and run the assigned shard\n\
          archetypes                       list the available defect archetypes"
     );
     std::process::exit(2)
@@ -245,7 +254,19 @@ fn cmd_watch(args: &Args) {
     scenario.closed_loop.feedback = true;
     let rules = explicit_rules.unwrap_or_else(|| scenario.watch.rule_set());
     if args.flag("dump-rules") {
-        println!("{}", rules.to_json());
+        match args.value("format").unwrap_or("json") {
+            "json" => println!("{}", rules.to_json()),
+            // The in-loop epoch is one simulation step; Prometheus
+            // durations and lookbacks are derived from its length.
+            "prom" => print!(
+                "{}",
+                rules.to_prometheus_rules("mercurial-watch", scenario.sim.epoch_hours)
+            ),
+            other => {
+                eprintln!("unknown --format `{other}` for --dump-rules (json|prom)");
+                std::process::exit(2);
+            }
+        }
         return;
     }
     eprintln!(
@@ -291,6 +312,99 @@ fn cmd_watch(args: &Args) {
     let report = out.watch.expect("rules were supplied");
     print!("{}", report.render());
     std::process::exit(if report.any_fired() { 1 } else { 0 });
+}
+
+fn cmd_serve(args: &Args) {
+    use mercurial_serve::{run_served, run_server, ServeOptions};
+    use std::net::TcpListener;
+
+    let mut scenario = scenario_from_args(args);
+    scenario.closed_loop.feedback = true;
+    if let Some(w) = args.value("workers") {
+        scenario.serve.workers = w.parse().expect("--workers takes an integer");
+    }
+    if let Some(path) = args.value("impair") {
+        let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read impairment file {path}: {e}");
+            std::process::exit(1);
+        });
+        scenario.serve.impair = serde_json::from_str(&json).unwrap_or_else(|e| {
+            eprintln!("invalid impairment JSON {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    let workers = scenario.serve.workers.max(1);
+    let opts = ServeOptions {
+        status_addr: args.value("status").map(str::to_string),
+        ..ServeOptions::default()
+    };
+    eprintln!(
+        "serving closed loop: {} machines, {} months, {} worker{} ({}) …",
+        scenario.fleet.machines,
+        scenario.sim.months,
+        workers,
+        if workers == 1 { "" } else { "s" },
+        if args.flag("procs") {
+            "processes"
+        } else {
+            "threads"
+        }
+    );
+
+    // Demo mode with --procs: real child processes speaking the protocol
+    // over loopback TCP; otherwise worker threads over the same sockets.
+    let served = if args.flag("procs") {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let exe = std::env::current_exe().expect("current exe");
+        let mut children: Vec<std::process::Child> = (0..workers)
+            .map(|_| {
+                std::process::Command::new(&exe)
+                    .args(["serve-worker", "--connect", &addr])
+                    .spawn()
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot spawn worker process: {e}");
+                        std::process::exit(1);
+                    })
+            })
+            .collect();
+        let out = run_server(&listener, &scenario, &opts);
+        for child in &mut children {
+            let status = child.wait().expect("wait for worker");
+            if !status.success() {
+                eprintln!("worker process exited with {status}");
+            }
+        }
+        out
+    } else {
+        run_served(&scenario, &opts)
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("serve failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!("{}", report::detection_table(&served.outcome.pipeline));
+    let l = &served.link;
+    println!(
+        "link: {} evidence frames, {} dropped, {} delayed, {} duplicated, {} reordered",
+        l.frames, l.dropped, l.delayed, l.duplicated, l.reordered
+    );
+    if let Some(watch) = &served.outcome.watch {
+        print!("{}", watch.render());
+        std::process::exit(if watch.any_fired() { 1 } else { 0 });
+    }
+}
+
+fn cmd_serve_worker(args: &Args) {
+    let Some(addr) = args.value("connect") else {
+        eprintln!("serve-worker: --connect HOST:PORT is required");
+        std::process::exit(2);
+    };
+    if let Err(e) = mercurial_serve::connect_and_serve(addr) {
+        eprintln!("serve-worker: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn archetype_by_name(name: &str) -> Option<mercurial::fault::CoreFaultProfile> {
@@ -372,6 +486,8 @@ fn main() {
         Some("screen") => cmd_screen(&args),
         Some("trace") => cmd_trace(&args),
         Some("watch") => cmd_watch(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("serve-worker") => cmd_serve_worker(&args),
         Some("archetypes") => {
             for a in library::ARCHETYPES {
                 println!("{a}");

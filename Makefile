@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke
+.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke frontier-smoke
 
-ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke
+ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke frontier-smoke
 
 build:
 	$(CARGO) build --release
@@ -70,3 +70,10 @@ sparse-smoke:
 # (1/2/4 workers), and loss monotonicity of the impairment layer.
 serve-smoke:
 	$(CARGO) run --release -p mercurial-bench --bin e19_serve -- --smoke
+
+# Workload-frontier contracts: a zeroed workload layer moves no
+# simulation bit, per-class attribution conserves fleet totals at any
+# parallelism, and the mitigation ladder is strictly monotone — lower
+# residual corruption at strictly higher overhead, every rung.
+frontier-smoke:
+	$(CARGO) run --release -p mercurial-bench --bin e20_frontier -- --smoke

@@ -124,6 +124,7 @@ fn run_smoke() {
     let hair_trigger = RuleSet {
         rules: vec![
             Rule {
+                scope: Default::default(),
                 name: "any-corruption".into(),
                 kind: RuleKind::Threshold {
                     source: Source::EpochMax(EpochField::CorruptOps),
@@ -132,6 +133,7 @@ fn run_smoke() {
                 },
             },
             Rule {
+                scope: Default::default(),
                 name: "any-latency".into(),
                 kind: RuleKind::Percentile {
                     histogram: "detect.latency_hours".into(),

@@ -57,6 +57,7 @@ fn serve_scenario(seed: u64, workers: u32) -> Scenario {
 fn fidelity_rules(scenario: &Scenario) -> RuleSet {
     let mut rules = scenario.watch.rule_set();
     rules.rules.push(Rule {
+        scope: Default::default(),
         name: "ops-hair-trigger".into(),
         kind: RuleKind::Threshold {
             source: Source::EpochMax(EpochField::CorruptOps),
@@ -65,6 +66,7 @@ fn fidelity_rules(scenario: &Scenario) -> RuleSet {
         },
     });
     rules.rules.push(Rule {
+        scope: Default::default(),
         name: "ops-windowed".into(),
         kind: RuleKind::Windowed {
             field: EpochField::CorruptOps,
@@ -74,6 +76,7 @@ fn fidelity_rules(scenario: &Scenario) -> RuleSet {
         },
     });
     rules.rules.push(Rule {
+        scope: Default::default(),
         name: "latency-hair-trigger".into(),
         kind: RuleKind::Percentile {
             histogram: "detect.latency_hours".into(),

@@ -34,11 +34,12 @@ use crate::experiment::FleetExperiment;
 use crate::pipeline::{PipelineOutcome, PipelineRun};
 use crate::scenario::Scenario;
 use crate::shardloop::{
-    record_alerts, record_ground_truth_onsets, watch_engine, FleetAggregator, FleetShard,
+    record_alerts, record_ground_truth_onsets, watch_engine, ClassMetricNames, FleetAggregator,
+    FleetShard,
 };
 use mercurial_fleet::sim::SimSummary;
 use mercurial_fleet::SignalLog;
-use mercurial_metrics::EpochSeries;
+use mercurial_metrics::{ClassPoint, EpochSeries};
 use mercurial_trace::{MetricSet, TraceSink};
 use mercurial_watch::{Baseline, EpochRow, RuleSet, WatchReport};
 
@@ -127,28 +128,100 @@ impl ClosedLoopDriver {
         let mut engine = watch_engine(scenario, &opts.rules);
         let mut rec = scenario.trace.recorder();
         record_ground_truth_onsets(experiment, &mut rec);
+        // Workload classes: initial mitigation policies apply even open
+        // loop (there is no adaptation without feedback, but a static
+        // policy ladder still trades overhead for coverage); all class
+        // surfacing is gated so legacy runs stay bit-for-bit.
+        let classes_on = scenario.workloads.enabled;
+        let mut class_names: Vec<String> = Vec::new();
+        let mut class_gauges: Vec<ClassMetricNames> = Vec::new();
+        if classes_on {
+            class_names = sim.class_names();
+            for (ix, p) in scenario
+                .workloads
+                .initial_policies(&class_names)
+                .into_iter()
+                .enumerate()
+            {
+                state.set_policy(ix, p);
+            }
+            class_gauges = class_names
+                .iter()
+                .map(|n| ClassMetricNames::gauges(n))
+                .collect();
+            series.set_class_names(class_names.clone());
+        }
         while !state.is_done() {
             let h0 = state.hour();
             let h1 = h0 + epoch_hours;
             let before = summary.corruptions;
+            let class_before = if classes_on {
+                state.class_tallies().to_vec()
+            } else {
+                Vec::new()
+            };
             sim.step_epoch_traced(&mut state, &mut log, &mut summary, &mut rec);
             // Open loop: nothing is ever quarantined mid-window, so
             // capacity is flat at 1.0 and every defect stays active.
             let active = state.active_deployed_mercurial(topo, h0);
             let ops = summary.corruptions - before;
             rec.gauge(h1, "fleet.active_mercurial", active as f64);
+            let class_points: Vec<ClassPoint> = if classes_on {
+                let deltas: Vec<_> = state
+                    .class_tallies()
+                    .iter()
+                    .zip(&class_before)
+                    .map(|(now, then)| now.delta_since(then))
+                    .collect();
+                // Per-class epoch gauges come before the boundary marker
+                // so the replay path snapshots them into this epoch row.
+                for (names, t) in class_gauges.iter().zip(&deltas) {
+                    rec.gauge(h1, names.corrupt_ops, t.corrupt_ops as f64);
+                    rec.gauge(
+                        h1,
+                        names.caught,
+                        (t.app_caught + t.mitigation_caught) as f64,
+                    );
+                    rec.gauge(h1, names.user_reports, t.user_reports as f64);
+                    rec.gauge(h1, names.overhead_ops, t.overhead_ops() as f64);
+                }
+                deltas
+                    .iter()
+                    .map(|t| ClassPoint {
+                        corrupt_ops: t.corrupt_ops,
+                        caught: t.app_caught + t.mitigation_caught,
+                        user_reports: t.user_reports,
+                        overhead_ops: t.overhead_ops(),
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
             // Last gauge of every epoch boundary: the replay path
             // (`WatchInput::from_jsonl`) closes the epoch row on it.
             rec.gauge(h1, "epoch.corrupt_ops", ops as f64);
             series.push(1.0, 1.0, ops, active);
+            if classes_on {
+                series.push_classes(class_points.clone());
+            }
             if let Some(eng) = engine.as_mut() {
-                let fired = eng.push_epoch(EpochRow {
+                let row = EpochRow {
                     hour: h1,
                     capacity: 1.0,
                     capacity_with_safetask: 1.0,
                     corrupt_ops: ops as f64,
                     active_mercurial: active as f64,
-                });
+                };
+                let fired = if classes_on {
+                    let classes: Vec<(String, f64)> = class_names
+                        .iter()
+                        .cloned()
+                        .zip(class_points.iter().map(|p| p.corrupt_ops as f64))
+                        .collect();
+                    eng.push_epoch_classed(row, &classes)
+                } else {
+                    eng.push_epoch(row)
+                };
                 record_alerts(&mut rec, &fired);
             }
             if let Some(s) = opts.sink.as_mut() {

@@ -96,13 +96,29 @@ impl FleetExperiment {
     /// the closed-loop driver steps it epoch by epoch; [`run_signals`]
     /// runs it to completion.
     ///
+    /// When the scenario's `workloads` block is enabled, each class in
+    /// the default mix gets its diurnal traffic shape
+    /// ([`WorkloadsConfig::shape_for`](crate::scenario::WorkloadsConfig::shape_for));
+    /// the class weights are untouched, so machine→class assignment (a
+    /// pure function of seed and weights) is identical either way.
+    ///
     /// [`run_signals`]: FleetExperiment::run_signals
     pub fn sim(&self) -> FleetSim {
-        FleetSim::new(
+        let sim = FleetSim::new(
             self.topo.clone(),
             self.pop.clone(),
             self.scenario.sim.clone(),
-        )
+        );
+        let wk = &self.scenario.workloads;
+        if !wk.enabled || wk.traffic_amplitude == 0.0 {
+            return sim;
+        }
+        let mix = mercurial_fleet::WorkloadClass::default_mix()
+            .into_iter()
+            .enumerate()
+            .map(|(ix, (class, weight))| (class.with_traffic(wk.shape_for(ix)), weight))
+            .collect();
+        sim.with_workloads(mix)
     }
 
     /// Runs the workload signal simulation (no screening) and returns the

@@ -116,11 +116,21 @@ pub fn closed_loop_table(out: &ClosedLoopOutcome) -> String {
                 .unwrap_or_else(|| "n/a".to_string()),
         ),
     ];
-    format!(
-        "{}\n{}",
-        kv_table("Closed-loop pipeline", &rows),
-        detection_table(&out.pipeline)
-    )
+    let class_table = out.series.render_class_table();
+    if class_table.is_empty() {
+        format!(
+            "{}\n{}",
+            kv_table("Closed-loop pipeline", &rows),
+            detection_table(&out.pipeline)
+        )
+    } else {
+        format!(
+            "{}\n== Per-class attribution ==\n{}\n{}",
+            kv_table("Closed-loop pipeline", &rows),
+            class_table,
+            detection_table(&out.pipeline)
+        )
+    }
 }
 
 #[cfg(test)]

@@ -2,6 +2,8 @@
 
 use mercurial_fleet::sim::SimConfig;
 use mercurial_fleet::topology::FleetConfig;
+use mercurial_fleet::TrafficShape;
+use mercurial_mitigation::MitigationPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Options for the fuzz-distilled screening corpus (`mercurial-fuzz`).
@@ -225,6 +227,7 @@ impl WatchConfig {
         use mercurial_watch::{Cmp, EpochField, Rule, RuleKind, Source};
         let mut rules = vec![
             Rule {
+                scope: Default::default(),
                 name: "epoch-corrupt-ops".to_string(),
                 kind: RuleKind::Threshold {
                     source: Source::EpochMax(EpochField::CorruptOps),
@@ -233,6 +236,7 @@ impl WatchConfig {
                 },
             },
             Rule {
+                scope: Default::default(),
                 name: "capacity-drop-rate".to_string(),
                 kind: RuleKind::Rate {
                     field: EpochField::Capacity,
@@ -240,6 +244,7 @@ impl WatchConfig {
                 },
             },
             Rule {
+                scope: Default::default(),
                 name: "detect-latency-p95".to_string(),
                 kind: RuleKind::Percentile {
                     histogram: "detect.latency_hours".to_string(),
@@ -249,6 +254,7 @@ impl WatchConfig {
                 },
             },
             Rule {
+                scope: Default::default(),
                 name: "baseline-detect-latency-p95".to_string(),
                 kind: RuleKind::Regression {
                     source: Source::Quantile {
@@ -259,6 +265,7 @@ impl WatchConfig {
                 },
             },
             Rule {
+                scope: Default::default(),
                 name: "baseline-residual-corrupt-ops".to_string(),
                 kind: RuleKind::Regression {
                     source: Source::EpochSum(EpochField::CorruptOps),
@@ -266,6 +273,7 @@ impl WatchConfig {
                 },
             },
             Rule {
+                scope: Default::default(),
                 name: "baseline-capacity-trough".to_string(),
                 kind: RuleKind::Regression {
                     source: Source::EpochMin(EpochField::Capacity),
@@ -364,6 +372,98 @@ impl Default for ServeConfig {
     }
 }
 
+/// One class's starting mitigation policy in the `workloads` block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassPolicy {
+    /// Workload-class name (one of the default mix's names, e.g.
+    /// `"data-pipeline"`).
+    pub class: String,
+    /// The policy the class starts the run under.
+    pub policy: MitigationPolicy,
+}
+
+/// Workload-class block (off by default): promotes workload from a
+/// construction-time detail to a first-class experiment layer.
+///
+/// When `enabled`, every class in the default mix gets a deterministic
+/// diurnal traffic shape (shared `traffic_amplitude`, phases staggered
+/// six hours per class so peaks don't align) and starts under its
+/// configured [`MitigationPolicy`]; the closed loop can escalate a
+/// class's policy when its per-epoch corruption crosses
+/// `escalate_threshold` (`adapt`). Disabled — the default, and what any
+/// legacy scenario JSON parses to — means today's flat traffic and zero
+/// mitigation, bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadsConfig {
+    /// Master switch for the workload layer.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Diurnal amplitude applied to every class's op rate (0 = flat).
+    #[serde(default = "default_traffic_amplitude")]
+    pub traffic_amplitude: f64,
+    /// Starting policy per class; classes absent here start at
+    /// [`MitigationPolicy::None`].
+    #[serde(default)]
+    pub policies: Vec<ClassPolicy>,
+    /// Closed-loop adaptation: escalate a class's policy one rung when
+    /// its corrupt-ops in a single epoch exceed `escalate_threshold`.
+    #[serde(default)]
+    pub adapt: bool,
+    /// Per-class, per-epoch corrupt-ops threshold for escalation.
+    #[serde(default = "default_escalate_threshold")]
+    pub escalate_threshold: u64,
+}
+
+fn default_traffic_amplitude() -> f64 {
+    0.4
+}
+fn default_escalate_threshold() -> u64 {
+    200_000
+}
+
+impl Default for WorkloadsConfig {
+    fn default() -> WorkloadsConfig {
+        WorkloadsConfig {
+            enabled: false,
+            traffic_amplitude: default_traffic_amplitude(),
+            policies: Vec::new(),
+            adapt: false,
+            escalate_threshold: default_escalate_threshold(),
+        }
+    }
+}
+
+impl WorkloadsConfig {
+    /// Initial per-class policies in class-index order; classes not
+    /// named in `policies` (and every class when the block is disabled)
+    /// start at [`MitigationPolicy::None`].
+    pub fn initial_policies(&self, class_names: &[String]) -> Vec<MitigationPolicy> {
+        class_names
+            .iter()
+            .map(|name| {
+                if !self.enabled {
+                    return MitigationPolicy::None;
+                }
+                self.policies
+                    .iter()
+                    .find(|cp| &cp.class == name)
+                    .map(|cp| cp.policy)
+                    .unwrap_or(MitigationPolicy::None)
+            })
+            .collect()
+    }
+
+    /// The traffic shape class `ix` runs under: flat when the block is
+    /// disabled (or the amplitude is zero), else a diurnal shape with
+    /// the shared amplitude and a per-class six-hour phase stagger.
+    pub fn shape_for(&self, ix: usize) -> TrafficShape {
+        if !self.enabled || self.traffic_amplitude == 0.0 {
+            return TrafficShape::default();
+        }
+        TrafficShape::diurnal(self.traffic_amplitude, ix as f64 * 6.0)
+    }
+}
+
 /// A complete experiment configuration.
 ///
 /// Scenarios serialize to JSON so experiment parameters live in files and
@@ -401,6 +501,10 @@ pub struct Scenario {
     /// Served-topology options (single worker, clean links by default).
     #[serde(default)]
     pub serve: ServeConfig,
+    /// Workload-class layer: traffic shapes and per-class mitigation
+    /// (flat traffic, zero mitigation by default).
+    #[serde(default)]
+    pub workloads: WorkloadsConfig,
 }
 
 impl Scenario {
@@ -424,6 +528,7 @@ impl Scenario {
             trace: TraceConfig::default(),
             watch: WatchConfig::default(),
             serve: ServeConfig::default(),
+            workloads: WorkloadsConfig::default(),
         }
     }
 
@@ -502,21 +607,29 @@ mod tests {
         s.trace.enabled = true;
         s.watch.enabled = true;
         s.serve.workers = 3; // non-default, must NOT survive
+        s.workloads.enabled = true;
         let mut v = s.to_value();
         let serde::Value::Object(entries) = &mut v else {
             panic!("scenario serializes to an object");
         };
         let before = entries.len();
         entries.retain(|(k, _)| {
-            k != "tuning" && k != "closed_loop" && k != "trace" && k != "watch" && k != "serve"
+            k != "tuning"
+                && k != "closed_loop"
+                && k != "trace"
+                && k != "watch"
+                && k != "serve"
+                && k != "workloads"
         });
-        assert_eq!(entries.len(), before - 5, "test must strip all five blocks");
+        assert_eq!(entries.len(), before - 6, "test must strip all six blocks");
         let back = Scenario::from_value(&v).unwrap();
         assert_eq!(back.tuning, PipelineTuning::default());
         assert_eq!(back.closed_loop, ClosedLoopConfig::default());
         assert_eq!(back.trace, TraceConfig::default());
         assert_eq!(back.watch, WatchConfig::default());
         assert_eq!(back.serve, ServeConfig::default());
+        assert_eq!(back.workloads, WorkloadsConfig::default());
+        assert!(!back.workloads.enabled, "workload layer defaults to off");
         assert_eq!(back.serve.workers, 1);
         assert!(back.serve.impair.is_noop());
         assert!(!back.trace.enabled, "tracing defaults to off");
@@ -557,6 +670,7 @@ mod tests {
         // Custom rules append after the defaults.
         let mut with_custom = w.clone();
         with_custom.rules.push(mercurial_watch::Rule {
+            scope: Default::default(),
             name: "custom".to_string(),
             kind: mercurial_watch::RuleKind::Threshold {
                 source: mercurial_watch::Source::Counter("sim.corruptions".to_string()),
@@ -568,6 +682,78 @@ mod tests {
         assert_eq!(set.rules.len(), 7);
         assert_eq!(set.rules[6].name, "custom");
         set.validate().expect("custom rule set validates");
+    }
+
+    #[test]
+    fn workloads_block_roundtrips_with_nondefault_settings() {
+        let mut s = Scenario::small(7);
+        s.workloads.enabled = true;
+        s.workloads.traffic_amplitude = 0.7;
+        s.workloads.adapt = true;
+        s.workloads.escalate_threshold = 123;
+        s.workloads.policies = vec![
+            ClassPolicy {
+                class: "database".to_string(),
+                policy: MitigationPolicy::Dmr,
+            },
+            ClassPolicy {
+                class: "crypto-frontend".to_string(),
+                policy: MitigationPolicy::E2eChecksum,
+            },
+        ];
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.workloads.policies[0].policy, MitigationPolicy::Dmr);
+    }
+
+    #[test]
+    fn partial_workloads_block_fills_missing_knobs() {
+        let json = r#"{"enabled": true, "policies": [{"class": "database", "policy": "Tmr"}]}"#;
+        let w: WorkloadsConfig = serde_json::from_str(json).unwrap();
+        assert!(w.enabled);
+        assert_eq!(w.traffic_amplitude, default_traffic_amplitude());
+        assert!(!w.adapt);
+        assert_eq!(w.escalate_threshold, default_escalate_threshold());
+        assert_eq!(w.policies.len(), 1);
+        assert_eq!(w.policies[0].policy, MitigationPolicy::Tmr);
+    }
+
+    #[test]
+    fn workloads_policy_lookup_and_shapes() {
+        let names = vec![
+            "data-pipeline".to_string(),
+            "database".to_string(),
+            "unknown".to_string(),
+        ];
+        let mut w = WorkloadsConfig {
+            enabled: true,
+            ..WorkloadsConfig::default()
+        };
+        w.policies.push(ClassPolicy {
+            class: "database".to_string(),
+            policy: MitigationPolicy::Dmr,
+        });
+        assert_eq!(
+            w.initial_policies(&names),
+            vec![
+                MitigationPolicy::None,
+                MitigationPolicy::Dmr,
+                MitigationPolicy::None
+            ]
+        );
+        // Enabled: staggered diurnal shapes, one phase per class.
+        assert!(!w.shape_for(0).is_flat());
+        assert_ne!(w.shape_for(0), w.shape_for(1));
+        // Disabled block: every policy None, every shape flat.
+        let off = WorkloadsConfig {
+            enabled: false,
+            ..w.clone()
+        };
+        assert!(off
+            .initial_policies(&names)
+            .iter()
+            .all(|&p| p == MitigationPolicy::None));
+        assert!(off.shape_for(0).is_flat());
     }
 
     #[test]

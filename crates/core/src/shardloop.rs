@@ -36,12 +36,13 @@
 
 use crate::experiment::FleetExperiment;
 use crate::pipeline::PipelineOutcome;
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, WorkloadsConfig};
 use mercurial_fault::{CoreUid, FastSet, FunctionalUnit};
-use mercurial_fleet::sim::{SimState, SimSummary};
+use mercurial_fleet::sim::{ClassTally, SimState, SimSummary};
 use mercurial_fleet::{EventKind, EventQueue, FleetSim, FleetTopology, Population, SignalLog};
 use mercurial_isolation::{CapacityLedger, QuarantineRegistry, SafeTaskPolicy, TaskUnitProfile};
-use mercurial_metrics::EpochSeries;
+use mercurial_metrics::{ClassPoint, EpochSeries};
+use mercurial_mitigation::MitigationPolicy;
 use mercurial_screening::{
     BurnIn, BurnInCampaign, DetectionMethod, DetectionRecord, HumanTriage, OfflineCampaign,
     OfflineScreener, OnlineCampaign, OnlineScreener, Scoreboard, TriageOutcome, TriageStats,
@@ -63,6 +64,17 @@ pub fn shard_ranges(machines: u32, workers: u32) -> Vec<(u32, u32)> {
         .collect()
 }
 
+/// A centrally decided per-class mitigation-policy switch, broadcast to
+/// every worker and applied before the epoch steps (policies only change
+/// at epoch boundaries, like the quarantine mask).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyChange {
+    /// Workload-class index, in workload-list (tally/policy) order.
+    pub class: u32,
+    /// The policy the class runs from this epoch on.
+    pub policy: MitigationPolicy,
+}
+
 /// Mask changes a worker must apply before stepping an epoch: centrally
 /// decided restorations and quarantines. Commands are broadcast to every
 /// worker; applying one for a non-owned core is a no-op.
@@ -74,6 +86,10 @@ pub struct EpochCommands {
     pub restores: Vec<CoreUid>,
     /// Threshold crossings from the previous epoch — out of service.
     pub quarantines: Vec<CoreUid>,
+    /// Per-class mitigation escalations decided at the previous boundary
+    /// (empty unless the scenario's `workloads` block adapts).
+    #[serde(default)]
+    pub policy_changes: Vec<PolicyChange>,
 }
 
 /// Everything one worker produced in one epoch, shipped to the
@@ -102,6 +118,11 @@ pub struct ShardEpochReport {
     pub summary: SimSummary,
     /// Running campaign accounting: burn-in, offline, online.
     pub stats: [mercurial_screening::ScreeningStats; 3],
+    /// Per-workload-class deltas for this epoch, in workload-list order.
+    /// Plain integer sums, so the aggregator's element-wise merge over
+    /// any shard partition reproduces the single-shard totals exactly.
+    #[serde(default)]
+    pub class_deltas: Vec<ClassTally>,
 }
 
 /// The worker half: one machine-range shard of the fleet, stepping its
@@ -123,6 +144,59 @@ pub struct FleetShard<'a> {
     online: OnlineCampaign,
     /// Campaign wake timers; payload 0 = burn-in, 1 = offline, 2 = online.
     screen_q: EventQueue<u8>,
+    /// Whether the scenario's `workloads` block is on: per-class trace
+    /// counters are emitted only then, so legacy runs stay bit-for-bit.
+    classes_on: bool,
+    /// Interned per-class counter names (worker-side cumulative totals —
+    /// these ride the serve layer's `Bye` frame unchanged).
+    class_counters: Vec<ClassMetricNames>,
+}
+
+/// Interned metric names for one workload class, built once per shard.
+pub(crate) struct ClassMetricNames {
+    pub(crate) corrupt_ops: &'static str,
+    pub(crate) caught: &'static str,
+    pub(crate) user_reports: &'static str,
+    pub(crate) overhead_ops: &'static str,
+}
+
+impl ClassMetricNames {
+    /// Worker-side cumulative counter names for class `name`.
+    fn counters(name: &str) -> ClassMetricNames {
+        ClassMetricNames {
+            corrupt_ops: intern(format!("class.{name}.corrupt_ops_total")),
+            caught: intern(format!("class.{name}.caught_total")),
+            user_reports: intern(format!("class.{name}.user_reports_total")),
+            overhead_ops: intern(format!("class.{name}.overhead_ops_total")),
+        }
+    }
+
+    /// Aggregator-side per-epoch gauge names for class `name`. These are
+    /// the names the watch replay path snapshots per-class epoch rows
+    /// from, so they must precede the `epoch.corrupt_ops` boundary gauge.
+    pub(crate) fn gauges(name: &str) -> ClassMetricNames {
+        ClassMetricNames {
+            corrupt_ops: intern(format!("class.{name}.corrupt_ops")),
+            caught: intern(format!("class.{name}.caught")),
+            user_reports: intern(format!("class.{name}.user_reports")),
+            overhead_ops: intern(format!("class.{name}.overhead_ops")),
+        }
+    }
+}
+
+/// Leak-once interner: metric names must be `&'static str` for the
+/// recorder, and class names are dynamic. Deduplicates so repeated runs
+/// in one process never grow the leak past one entry per distinct name.
+fn intern(name: String) -> &'static str {
+    use std::sync::Mutex;
+    static POOL: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut pool = POOL.lock().expect("name pool poisoned");
+    if let Some(hit) = pool.iter().find(|&&p| p == name) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    pool.push(leaked);
+    leaked
 }
 
 impl<'a> FleetShard<'a> {
@@ -166,7 +240,24 @@ impl<'a> FleetShard<'a> {
         if let Some(h) = online.next_hour() {
             screen_q.schedule_ranked(h, EventKind::ScreeningDue.rank(), 2);
         }
-        let state = sim.begin_shard(lo, hi);
+        let mut state = sim.begin_shard(lo, hi);
+        let classes_on = scenario.workloads.enabled;
+        let mut class_counters = Vec::new();
+        if classes_on {
+            let names = sim.class_names();
+            for (ix, p) in scenario
+                .workloads
+                .initial_policies(&names)
+                .into_iter()
+                .enumerate()
+            {
+                state.set_policy(ix, p);
+            }
+            class_counters = names
+                .iter()
+                .map(|n| ClassMetricNames::counters(n))
+                .collect();
+        }
         FleetShard {
             sim,
             topo,
@@ -179,6 +270,8 @@ impl<'a> FleetShard<'a> {
             offline,
             online,
             screen_q,
+            classes_on,
+            class_counters,
         }
     }
 
@@ -210,6 +303,9 @@ impl<'a> FleetShard<'a> {
         for &core in &cmds.quarantines {
             self.out_of_service.insert(core);
             self.state.set_active(core, false);
+        }
+        for pc in &cmds.policy_changes {
+            self.state.set_policy(pc.class as usize, pc.policy);
         }
     }
 
@@ -284,9 +380,25 @@ impl<'a> FleetShard<'a> {
         let active = self.state.active_deployed_mercurial(self.topo, h0);
         let before_corruptions = self.summary.corruptions;
         let before_signals = self.summary.signals_emitted + self.summary.noise_signals;
+        let class_before = self.state.class_tallies().to_vec();
         let mut evidence = SignalLog::new();
         self.sim
             .step_epoch_traced(&mut self.state, &mut evidence, &mut self.summary, rec);
+        let class_deltas: Vec<ClassTally> = self
+            .state
+            .class_tallies()
+            .iter()
+            .zip(&class_before)
+            .map(|(now, then)| now.delta_since(then))
+            .collect();
+        if self.classes_on {
+            for (names, d) in self.class_counters.iter().zip(&class_deltas) {
+                rec.counter_add(names.corrupt_ops, d.corrupt_ops);
+                rec.counter_add(names.caught, d.app_caught + d.mitigation_caught);
+                rec.counter_add(names.user_reports, d.user_reports);
+                rec.counter_add(names.overhead_ops, d.overhead_ops());
+            }
+        }
         let raw_signals_delta =
             self.summary.signals_emitted + self.summary.noise_signals - before_signals;
         // Withdraw signals attributed to out-of-service cores. Masked
@@ -311,6 +423,7 @@ impl<'a> FleetShard<'a> {
                 self.offline.stats(),
                 self.online.stats(),
             ],
+            class_deltas,
         }
     }
 }
@@ -363,6 +476,19 @@ pub struct FleetAggregator<'a> {
     /// every ingest (reports carry running totals, not deltas).
     worker_summaries: Vec<SimSummary>,
     worker_stats: Vec<[mercurial_screening::ScreeningStats; 3]>,
+    /// The scenario's `workloads` block (per-class surfacing and the
+    /// adaptive escalation loop are active only when it is enabled).
+    workloads: WorkloadsConfig,
+    /// Workload class names in tally/policy order (empty when disabled).
+    class_names: Vec<String>,
+    /// Interned per-class epoch-gauge names, parallel to `class_names`.
+    class_gauges: Vec<ClassMetricNames>,
+    /// The aggregator's view of each class's current policy.
+    policies: Vec<MitigationPolicy>,
+    /// Escalations decided this boundary, broadcast with the next epoch's
+    /// commands (workers switch policies one epoch after the decision,
+    /// exactly like quarantine crossings).
+    pending_policy_changes: Vec<PolicyChange>,
 }
 
 impl<'a> FleetAggregator<'a> {
@@ -380,6 +506,20 @@ impl<'a> FleetAggregator<'a> {
         }
         let mut scoreboard = Scoreboard::new();
         scoreboard.arm(scenario.suspicion_threshold);
+        let sim = experiment.sim();
+        let workloads = scenario.workloads.clone();
+        let (class_names, class_gauges, policies) = if workloads.enabled {
+            let names = sim.class_names();
+            let gauges = names.iter().map(|n| ClassMetricNames::gauges(n)).collect();
+            let policies = workloads.initial_policies(&names);
+            (names, gauges, policies)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+        let mut series = EpochSeries::new(scenario.sim.epoch_hours);
+        if workloads.enabled {
+            series.set_class_names(class_names.clone());
+        }
         FleetAggregator {
             topo,
             pop: experiment.population(),
@@ -387,7 +527,7 @@ impl<'a> FleetAggregator<'a> {
             triage_latency_hours: scenario.closed_loop.triage_latency_hours,
             restore_latency_hours: scenario.closed_loop.restore_latency_hours,
             epoch: 0,
-            epochs: experiment.sim().epochs(),
+            epochs: sim.epochs(),
             epoch_hours: scenario.sim.epoch_hours,
             registry: QuarantineRegistry::new(),
             ledger,
@@ -399,7 +539,7 @@ impl<'a> FleetAggregator<'a> {
             case_id: 0,
             scoreboard,
             log: SignalLog::new(),
-            series: EpochSeries::new(scenario.sim.epoch_hours),
+            series,
             detections: Vec::new(),
             out_of_service: FastSet::default(),
             handled: FastSet::default(),
@@ -410,7 +550,18 @@ impl<'a> FleetAggregator<'a> {
             engine,
             worker_summaries: Vec::new(),
             worker_stats: Vec::new(),
+            workloads,
+            class_names,
+            class_gauges,
+            policies,
+            pending_policy_changes: Vec::new(),
         }
+    }
+
+    /// The aggregator's current per-class policy vector (empty when the
+    /// scenario's `workloads` block is disabled).
+    pub fn current_policies(&self) -> &[MitigationPolicy] {
+        &self.policies
     }
 
     /// Total epochs in the observation window.
@@ -504,6 +655,7 @@ impl<'a> FleetAggregator<'a> {
             epoch: self.epoch,
             restores,
             quarantines: std::mem::take(&mut self.pending_quarantines),
+            policy_changes: std::mem::take(&mut self.pending_policy_changes),
         }
     }
 
@@ -552,6 +704,15 @@ impl<'a> FleetAggregator<'a> {
         let raw_signals: u64 = reports.iter().map(|r| r.raw_signals_delta).sum();
         rec.observe("sim.epoch_corruptions", corrupt_ops as f64);
         rec.observe("sim.epoch_signals", raw_signals as f64);
+
+        // Per-class epoch deltas: an element-wise integer merge across
+        // shards, so every partition sums to the single-shard totals.
+        let mut epoch_classes = vec![ClassTally::default(); self.class_names.len()];
+        for r in &reports {
+            for (mine, theirs) in epoch_classes.iter_mut().zip(&r.class_deltas) {
+                mine.merge(theirs);
+            }
+        }
 
         // Phase 5b: suspicion accumulates from the surviving evidence;
         // the fleet-wide log grows screen signals first, then evidence,
@@ -609,6 +770,25 @@ impl<'a> FleetAggregator<'a> {
             self.pending_quarantines.push(core);
         }
 
+        // Phase 6½: adaptive mitigation. A class whose epoch corrupt-ops
+        // exceed the threshold escalates one rung; workers apply the
+        // switch with the next epoch's commands, mirroring quarantines.
+        if self.workloads.enabled && self.workloads.adapt {
+            for (ix, t) in epoch_classes.iter().enumerate() {
+                if t.corrupt_ops > self.workloads.escalate_threshold {
+                    let next = self.policies[ix].escalate();
+                    if next != self.policies[ix] {
+                        self.policies[ix] = next;
+                        self.pending_policy_changes.push(PolicyChange {
+                            class: ix as u32,
+                            policy: next,
+                        });
+                        rec.instant(h1, "mitigation.escalated", None, ix as f64);
+                    }
+                }
+            }
+        }
+
         // Phase 7: the epoch's telemetry point.
         let pool = self.ledger.pool();
         let base = pool.availability();
@@ -620,18 +800,56 @@ impl<'a> FleetAggregator<'a> {
         rec.gauge(h1, "capacity.availability", base);
         rec.gauge(h1, "capacity.with_safetask", with_safetask);
         rec.gauge(h1, "fleet.active_mercurial", active as f64);
+        // Per-class epoch gauges come before the boundary marker so the
+        // replay path snapshots them into the same epoch row.
+        if self.workloads.enabled {
+            for (names, t) in self.class_gauges.iter().zip(&epoch_classes) {
+                rec.gauge(h1, names.corrupt_ops, t.corrupt_ops as f64);
+                rec.gauge(
+                    h1,
+                    names.caught,
+                    (t.app_caught + t.mitigation_caught) as f64,
+                );
+                rec.gauge(h1, names.user_reports, t.user_reports as f64);
+                rec.gauge(h1, names.overhead_ops, t.overhead_ops() as f64);
+            }
+        }
         // Last gauge of every epoch boundary: the replay path
         // (`WatchInput::from_jsonl`) closes the epoch row on it.
         rec.gauge(h1, "epoch.corrupt_ops", corrupt_ops as f64);
         self.series.push(base, with_safetask, corrupt_ops, active);
+        if self.workloads.enabled {
+            self.series.push_classes(
+                epoch_classes
+                    .iter()
+                    .map(|t| ClassPoint {
+                        corrupt_ops: t.corrupt_ops,
+                        caught: t.app_caught + t.mitigation_caught,
+                        user_reports: t.user_reports,
+                        overhead_ops: t.overhead_ops(),
+                    })
+                    .collect(),
+            );
+        }
         if let Some(eng) = self.engine.as_mut() {
-            let fired = eng.push_epoch(EpochRow {
+            let row = EpochRow {
                 hour: h1,
                 capacity: base,
                 capacity_with_safetask: with_safetask,
                 corrupt_ops: corrupt_ops as f64,
                 active_mercurial: active as f64,
-            });
+            };
+            let fired = if self.workloads.enabled {
+                let classes: Vec<(String, f64)> = self
+                    .class_names
+                    .iter()
+                    .cloned()
+                    .zip(epoch_classes.iter().map(|t| t.corrupt_ops as f64))
+                    .collect();
+                eng.push_epoch_classed(row, &classes)
+            } else {
+                eng.push_epoch(row)
+            };
             record_alerts(rec, &fired);
         }
         rec.end(h1, "loop.epoch");

@@ -33,6 +33,7 @@ fn hair_trigger_rules() -> RuleSet {
     RuleSet {
         rules: vec![
             Rule {
+                scope: Default::default(),
                 name: "ops".into(),
                 kind: RuleKind::Threshold {
                     source: Source::EpochMax(EpochField::CorruptOps),
@@ -41,6 +42,7 @@ fn hair_trigger_rules() -> RuleSet {
                 },
             },
             Rule {
+                scope: Default::default(),
                 name: "latency".into(),
                 kind: RuleKind::Percentile {
                     histogram: "detect.latency_hours".into(),
@@ -50,6 +52,7 @@ fn hair_trigger_rules() -> RuleSet {
                 },
             },
             Rule {
+                scope: Default::default(),
                 name: "regress".into(),
                 kind: RuleKind::Regression {
                     source: Source::EpochSum(EpochField::CorruptOps),

@@ -43,4 +43,4 @@ pub use signals::{Signal, SignalKind, SignalLog};
 pub use sim::{ClockStats, FleetSim, SimConfig, SimEngine, SimState, SimSummary};
 pub use time::{EventKind, EventQueue};
 pub use topology::{FleetConfig, FleetTopology, MachineInfo};
-pub use workload::WorkloadClass;
+pub use workload::{TrafficShape, WorkloadClass};

@@ -22,6 +22,38 @@ pub fn resolve_parallelism(parallelism: usize) -> usize {
     }
 }
 
+/// Estimated cost (in abstract work units) below which fanning out is a
+/// net loss: spawning a scoped thread costs on the order of 140 µs on
+/// Linux, so a batch cheaper than a few thread-spawns should run serially
+/// even when `parallelism > 1`. Callers pass their batch estimate to
+/// [`map_parallel_costed`]; the unit is whatever the caller measures work
+/// in (the simulator uses live-core-epochs, where one unit is roughly a
+/// microsecond of work).
+pub const FAN_OUT_MIN_COST: u64 = 512;
+
+/// [`map_parallel`] with a caller-supplied estimate of the whole batch's
+/// cost: batches estimated below [`FAN_OUT_MIN_COST`] run on the calling
+/// thread, skipping thread-spawn overhead that would dwarf the work
+/// itself (a sparse fleet between fault onsets simulates a handful of
+/// live cores per epoch). The serial path is the `workers == 1` path of
+/// [`map_parallel`], so the gate never changes results, only scheduling.
+pub fn map_parallel_costed<T, R, F>(
+    items: &[T],
+    parallelism: usize,
+    estimated_cost: u64,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if estimated_cost < FAN_OUT_MIN_COST {
+        return items.iter().map(&f).collect();
+    }
+    map_parallel(items, parallelism, f)
+}
+
 /// Applies `f` to every item, fanning out across up to `parallelism`
 /// worker threads (`0` = one per CPU), and returns the results in input
 /// order.
@@ -99,5 +131,18 @@ mod tests {
     fn zero_means_available_cpus() {
         assert!(resolve_parallelism(0) >= 1);
         assert_eq!(resolve_parallelism(3), 3);
+    }
+
+    #[test]
+    fn cost_gate_is_bit_identical_on_either_side() {
+        let items: Vec<u64> = (0..64).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x.wrapping_mul(0x9e37)).collect();
+        for cost in [0, FAN_OUT_MIN_COST - 1, FAN_OUT_MIN_COST, u64::MAX] {
+            for parallelism in [1, 4] {
+                let got =
+                    map_parallel_costed(&items, parallelism, cost, |&x| x.wrapping_mul(0x9e37));
+                assert_eq!(got, expect, "cost {cost}, parallelism {parallelism}");
+            }
+        }
     }
 }

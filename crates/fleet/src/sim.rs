@@ -24,6 +24,8 @@ use crate::time::{EventKind, EventQueue};
 use crate::topology::FleetTopology;
 use crate::workload::WorkloadClass;
 use mercurial_fault::{CoreUid, CounterRng, FunctionalUnit, SymptomClass};
+use mercurial_mitigation::redundancy::CostMeter;
+use mercurial_mitigation::MitigationPolicy;
 use mercurial_trace::Recorder;
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +104,68 @@ pub struct SimSummary {
     pub active_mercurial_cores: u64,
 }
 
+/// Per-workload-class accounting, kept cumulatively per class in
+/// [`SimState`] (snapshot before an epoch and diff after for per-epoch
+/// deltas). All fields are plain integer sums, so merging epoch shards
+/// in any grouping yields the same totals — the same contract as
+/// [`SimSummary::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassTally {
+    /// Corruption events drawn on cores running this class.
+    pub corrupt_ops: u64,
+    /// Corruptions the application's own machinery caught (end-to-end
+    /// checksums and replica divergence — the class's built-in defenses,
+    /// before any mitigation policy).
+    pub app_caught: u64,
+    /// Otherwise-silent corruptions the class's [`MitigationPolicy`]
+    /// checker caught.
+    pub mitigation_caught: u64,
+    /// Human suspect reports escalated from this class's detections.
+    pub user_reports: u64,
+    /// Consequential operations executed under an active (non-`None`)
+    /// mitigation policy — the denominator of the overhead fraction.
+    pub mitigated_ops: u64,
+    /// Metered mitigation work: redundant executions and check/compare
+    /// steps (`(executions + comparisons) / mitigated_ops` is the
+    /// policy's overhead fraction).
+    pub cost: CostMeter,
+}
+
+impl ClassTally {
+    /// Adds another tally's counters into this one.
+    pub fn merge(&mut self, other: &ClassTally) {
+        self.corrupt_ops += other.corrupt_ops;
+        self.app_caught += other.app_caught;
+        self.mitigation_caught += other.mitigation_caught;
+        self.user_reports += other.user_reports;
+        self.mitigated_ops += other.mitigated_ops;
+        self.cost.executions += other.cost.executions;
+        self.cost.comparisons += other.cost.comparisons;
+        self.cost.retries += other.cost.retries;
+    }
+
+    /// This tally minus an earlier snapshot of itself (per-epoch delta).
+    pub fn delta_since(&self, earlier: &ClassTally) -> ClassTally {
+        ClassTally {
+            corrupt_ops: self.corrupt_ops - earlier.corrupt_ops,
+            app_caught: self.app_caught - earlier.app_caught,
+            mitigation_caught: self.mitigation_caught - earlier.mitigation_caught,
+            user_reports: self.user_reports - earlier.user_reports,
+            mitigated_ops: self.mitigated_ops - earlier.mitigated_ops,
+            cost: CostMeter {
+                executions: self.cost.executions - earlier.cost.executions,
+                comparisons: self.cost.comparisons - earlier.cost.comparisons,
+                retries: self.cost.retries - earlier.cost.retries,
+            },
+        }
+    }
+
+    /// Total metered mitigation work (extra executions plus checks).
+    pub fn overhead_ops(&self) -> u64 {
+        self.cost.executions + self.cost.comparisons + self.cost.retries
+    }
+}
+
 impl SimSummary {
     /// The count for one symptom class.
     pub fn symptom_count(&self, class: SymptomClass) -> u64 {
@@ -168,6 +232,19 @@ pub struct SimState {
     /// *global* random stream, so a partition of shards unions to the
     /// full-fleet run bit for bit.
     shard: Option<(u32, u32)>,
+    /// Per-class mitigation policy, indexed like the simulator's
+    /// workload list. All `None` by default; the closed loop switches
+    /// them between epochs via [`SimState::set_policy`].
+    policies: Vec<MitigationPolicy>,
+    /// Cumulative per-class accounting (corrupt-ops, app/mitigation
+    /// catches, user reports, mitigation cost), indexed like the
+    /// workload list. Owned-shard scope under [`FleetSim::begin_shard`].
+    class_tallies: Vec<ClassTally>,
+    /// Deployed-core capacity per class once rollout completes (owned
+    /// machines only): Σ sockets × cores over owned machines of the
+    /// class. The mitigation-overhead meter uses this instead of an
+    /// O(machines) scan outside the rollout window.
+    class_cores: Vec<u64>,
 }
 
 /// Event-clock accounting, for asserting "zero per-epoch work on healthy
@@ -238,6 +315,31 @@ impl SimState {
     /// [`FleetSim::begin_shard`].
     pub fn shard_range(&self) -> Option<(u32, u32)> {
         self.shard
+    }
+
+    /// Cumulative per-class tallies, indexed like the simulator's
+    /// workload list. Snapshot before stepping and
+    /// [`ClassTally::delta_since`] after for per-epoch deltas.
+    pub fn class_tallies(&self) -> &[ClassTally] {
+        &self.class_tallies
+    }
+
+    /// The mitigation policy currently applied to a workload class.
+    pub fn policy(&self, class: usize) -> MitigationPolicy {
+        self.policies[class]
+    }
+
+    /// Every class's current policy, indexed like the workload list.
+    pub fn policies(&self) -> &[MitigationPolicy] {
+        &self.policies
+    }
+
+    /// Switches one class's mitigation policy. Like
+    /// [`SimState::set_active`], this only happens between epochs, so
+    /// every epoch sees one frozen policy vector and the determinism
+    /// contract is unaffected.
+    pub fn set_policy(&mut self, class: usize, policy: MitigationPolicy) {
+        self.policies[class] = policy;
     }
 
     /// Event-clock accounting (all zeros under [`SimEngine::Dense`]).
@@ -346,6 +448,26 @@ impl FleetSim {
         &self.workloads[self.workload_ix[machine as usize]].0
     }
 
+    /// Index into [`FleetSim::class_names`] of a machine's class.
+    pub fn class_of(&self, machine: u32) -> usize {
+        self.workload_ix[machine as usize]
+    }
+
+    /// Number of workload classes in the mix.
+    pub fn class_count(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// The class names, in workload-list (tally/policy index) order.
+    pub fn class_names(&self) -> Vec<String> {
+        self.workloads.iter().map(|(w, _)| w.name.clone()).collect()
+    }
+
+    /// One workload class by tally/policy index.
+    pub fn class(&self, ix: usize) -> &WorkloadClass {
+        &self.workloads[ix].0
+    }
+
     /// Total epochs in the observation window.
     pub fn epochs(&self) -> u32 {
         (self.config.months as f64 * 730.0 / self.config.epoch_hours).ceil() as u32
@@ -391,6 +513,14 @@ impl FleetSim {
             let deploy = self.topo.machines()[uid.machine as usize].deploy_hour;
             wake.schedule_ranked(deploy, EventKind::MachineDeploy.rank(), i as u32);
         }
+        let n_classes = self.workloads.len();
+        let mut class_cores = vec![0u64; n_classes];
+        let (lo, hi) = shard.unwrap_or((0, self.topo.machines().len() as u32));
+        let sockets = self.topo.config().sockets_per_machine as u64;
+        for m in lo..hi {
+            let cores = sockets * self.topo.product_of(m).cores_per_socket as u64;
+            class_cores[self.workload_ix[m as usize]] += cores;
+        }
         SimState {
             next_epoch: 0,
             epochs: self.epochs(),
@@ -403,6 +533,9 @@ impl FleetSim {
             events_processed: 0,
             live_core_epochs: 0,
             shard,
+            policies: vec![MitigationPolicy::None; n_classes],
+            class_tallies: vec![ClassTally::default(); n_classes],
+            class_cores,
         }
     }
 
@@ -479,6 +612,11 @@ impl FleetSim {
         // stretches cost one heap peek per epoch and nothing per core.
         let mut snapshots: Vec<Vec<u32>> = Vec::new();
         let mut snapshot_of: Vec<usize> = Vec::with_capacity(batch as usize);
+        // Estimated batch cost in live-core-epochs (dense: every core,
+        // every epoch), used to gate the thread fan-out below: a healthy
+        // sparse stretch simulates a handful of cores per epoch, and
+        // spawning workers for that costs more than the work itself.
+        let mut batch_cost: u64 = batch as u64;
         if sparse {
             for k in 0..batch {
                 let hour = (first + k) as f64 * epoch_hours;
@@ -494,9 +632,12 @@ impl FleetSim {
                     );
                 }
                 snapshot_of.push(snapshots.len() - 1);
-                state.live_core_epochs +=
-                    snapshots.last().expect("snapshot pushed above").len() as u64;
+                let live_now = snapshots.last().expect("snapshot pushed above").len() as u64;
+                state.live_core_epochs += live_now;
+                batch_cost += live_now;
             }
+        } else {
+            batch_cost += batch as u64 * state.mercurial.len() as u64;
         }
 
         let shard = state.shard;
@@ -504,8 +645,13 @@ impl FleetSim {
             mercurial,
             active,
             core_was_active,
+            policies,
+            class_tallies,
+            class_cores,
             ..
         } = state;
+        let policies: &[MitigationPolicy] = policies;
+        let class_cores: &[u64] = class_cores;
         let workers =
             crate::par::resolve_parallelism(self.config.parallelism).min(batch.max(1) as usize);
         let flags = rec.flags();
@@ -519,6 +665,7 @@ impl FleetSim {
             let mut shard_log = SignalLog::new();
             let mut shard_summary = SimSummary::default();
             let mut shard_active = vec![false; mercurial.len()];
+            let mut shard_classes = vec![ClassTally::default(); policies.len()];
             let mut shard_rec = Recorder::with_flags(flags);
             let hour = epoch as f64 * epoch_hours;
             shard_rec.begin(hour, "sim.epoch");
@@ -528,9 +675,12 @@ impl FleetSim {
                 active,
                 live_of(epoch),
                 shard,
+                policies,
+                class_cores,
                 &mut shard_log,
                 &mut shard_summary,
                 &mut shard_active,
+                &mut shard_classes,
             );
             shard_rec.counter_add("sim.corruptions", shard_summary.corruptions);
             shard_rec.counter_add("sim.signals_emitted", shard_summary.signals_emitted);
@@ -547,15 +697,22 @@ impl FleetSim {
                 );
             }
             shard_rec.end(hour + epoch_hours, "sim.epoch");
-            (shard_log, shard_summary, shard_active, shard_rec)
+            (
+                shard_log,
+                shard_summary,
+                shard_active,
+                shard_classes,
+                shard_rec,
+            )
         };
         // Shard merge, always in epoch order. First-corruption instants are
         // derived here by diffing the shard's activity against the
         // cumulative mask *before* or-ing it in: shards start from a blank
         // mask, so deriving them inside `run_epoch` would re-fire on every
         // later shard.
-        let mut merge_shard = |epoch: u32, shard: (SignalLog, SimSummary, Vec<bool>, Recorder)| {
-            let (shard_log, shard_summary, shard_active, shard_rec) = shard;
+        type EpochShard = (SignalLog, SimSummary, Vec<bool>, Vec<ClassTally>, Recorder);
+        let mut merge_shard = |epoch: u32, shard: EpochShard| {
+            let (shard_log, shard_summary, shard_active, shard_classes, shard_rec) = shard;
             if flags.enabled {
                 let hour = epoch as f64 * epoch_hours;
                 for (i, &hit) in shard_active.iter().enumerate() {
@@ -572,6 +729,9 @@ impl FleetSim {
             rec.absorb(shard_rec);
             log.append(shard_log);
             summary.merge(&shard_summary);
+            for (mine, theirs) in class_tallies.iter_mut().zip(&shard_classes) {
+                mine.merge(theirs);
+            }
             for (mine, theirs) in core_was_active.iter_mut().zip(shard_active) {
                 *mine |= theirs;
             }
@@ -592,17 +752,23 @@ impl FleetSim {
                         active,
                         live_of(epoch),
                         shard,
+                        policies,
+                        class_cores,
                         log,
                         summary,
                         core_was_active,
+                        class_tallies,
                     );
                 }
             }
         } else {
             let epoch_ids: Vec<u32> = (first..first + batch).collect();
-            let shards = crate::par::map_parallel(&epoch_ids, self.config.parallelism, |&epoch| {
-                run_shard(epoch)
-            });
+            let shards = crate::par::map_parallel_costed(
+                &epoch_ids,
+                self.config.parallelism,
+                batch_cost,
+                |&epoch| run_shard(epoch),
+            );
             for (epoch, shard) in epoch_ids.into_iter().zip(shards) {
                 merge_shard(epoch, shard);
             }
@@ -691,9 +857,12 @@ impl FleetSim {
         mask: &[bool],
         live: Option<&[u32]>,
         shard: Option<(u32, u32)>,
+        policies: &[MitigationPolicy],
+        class_cores: &[u64],
         log: &mut SignalLog,
         summary: &mut SimSummary,
         was_active: &mut [bool],
+        classes: &mut [ClassTally],
     ) {
         let hour = epoch as f64 * self.config.epoch_hours;
         match live {
@@ -710,7 +879,8 @@ impl FleetSim {
                     if !mask[i] {
                         continue;
                     }
-                    was_active[i] |= self.epoch_core(uid, hour, epoch, log, summary);
+                    was_active[i] |=
+                        self.epoch_core(uid, hour, epoch, policies, classes, log, summary);
                 }
             }
             None => {
@@ -718,34 +888,54 @@ impl FleetSim {
                     if !mask[i] || !self.topo.is_deployed(uid.machine, hour) {
                         continue;
                     }
-                    was_active[i] |= self.epoch_core(uid, hour, epoch, log, summary);
+                    was_active[i] |=
+                        self.epoch_core(uid, hour, epoch, policies, classes, log, summary);
                 }
             }
         }
         self.epoch_noise(hour, epoch, shard, log, summary);
+        self.epoch_overhead(hour, shard, policies, class_cores, classes);
     }
 
     /// Simulates one mercurial core for one epoch; returns whether it
     /// produced any corruption.
+    ///
+    /// Mitigation draws live on their own `0x6d69` stream, created only
+    /// when the class policy is not [`MitigationPolicy::None`], so the
+    /// base per-core stream is byte-identical with mitigation off.
+    #[allow(clippy::too_many_arguments)]
     fn epoch_core(
         &self,
         uid: CoreUid,
         hour: f64,
         epoch: u32,
+        policies: &[MitigationPolicy],
+        classes: &mut [ClassTally],
         log: &mut SignalLog,
         summary: &mut SimSummary,
     ) -> bool {
+        let class_ix = self.workload_ix[uid.machine as usize];
+        let policy = policies[class_ix];
         let wl = self.workload_of(uid.machine);
         let age = self.topo.age_hours(uid.machine, hour);
         let point = self.topo.product_of(uid.machine).dvfs.max_point(65);
         let rates = self.pop.unit_rates(uid, &wl.operands, point, age);
 
         let mut rng = CounterRng::from_parts(self.pop.seed(), uid.as_u64(), 0x6570, epoch as u64);
+        let mut mit_rng = (policy != MitigationPolicy::None)
+            .then(|| CounterRng::from_parts(self.pop.seed(), uid.as_u64(), 0x6d69, epoch as u64));
         let mut emitted = 0u32;
         let mut any = false;
         for unit in FunctionalUnit::ALL {
-            let lambda =
+            let mut lambda =
                 rates[unit.index()] * wl.ops_per_hour[unit.index()] * self.config.epoch_hours;
+            // Time-varying traffic scales the op rate; the flat shape is
+            // skipped entirely (not multiplied by 1.0) so legacy runs stay
+            // bit-identical. Intensity is clamped strictly positive, so
+            // the `lambda <= 0.0` liveness predicate is unaffected.
+            if !wl.traffic.is_flat() {
+                lambda *= wl.traffic.intensity_at(hour);
+            }
             if lambda <= 0.0 {
                 continue;
             }
@@ -755,6 +945,7 @@ impl FleetSim {
             }
             any = true;
             summary.corruptions += n;
+            classes[class_ix].corrupt_ops += n;
             // Per-corruption simulation is only needed while the signal
             // cap can still admit emissions; a saturated defect (p ≈ 1 per
             // op) produces millions of corruptions per epoch, and looping
@@ -762,47 +953,95 @@ impl FleetSim {
             // remainder is classified in bulk from the expected shares.
             let simulate = n.min(4 * self.config.per_core_epoch_cap as u64);
             for _ in 0..simulate {
-                let outcome = self.classify(unit, wl, &mut rng);
+                let mut outcome = self.classify(unit, wl, &mut rng);
+                let mut mitigated = false;
+                if outcome.0 == SymptomClass::WrongNeverDetected {
+                    if let Some(mit) = mit_rng.as_mut() {
+                        if mit.next_bool(policy.coverage()) {
+                            outcome = (
+                                SymptomClass::WrongDetectedImmediately,
+                                Some(mitigation_signal(policy)),
+                            );
+                            mitigated = true;
+                            classes[class_ix].mitigation_caught += 1;
+                        }
+                    }
+                }
                 summary.symptom_counts[outcome.0.risk_rank() as usize] += 1;
                 if let Some(kind) = outcome.1 {
-                    if emitted < self.config.per_core_epoch_cap {
-                        let jitter = rng.next_uniform() * self.config.epoch_hours;
-                        log.push(Signal {
-                            hour: hour + jitter,
-                            core: uid,
+                    if !mitigated
+                        && matches!(
                             kind,
-                            caused_by_cee: true,
-                        });
-                        summary.signals_emitted += 1;
-                        emitted += 1;
-                        // Detected corruptions sometimes escalate to a
-                        // human suspect report, after further triage time.
-                        if kind != SignalKind::MachineCheckEvent
-                            && rng.next_bool(wl.user_report_rate)
-                            && emitted < self.config.per_core_epoch_cap
-                        {
-                            // The 24–96 h escalation lag can overshoot the
-                            // observation window from its last epochs;
-                            // clamp the stamp (not the draw — RNG
-                            // consumption is part of the determinism
-                            // contract) so every signal belongs to some
-                            // epoch.
-                            let escalated = (hour + jitter + 24.0 + rng.next_uniform() * 72.0)
-                                .min(self.horizon_hours);
+                            SignalKind::AppChecksumMismatch | SignalKind::ReplicaDivergence
+                        )
+                    {
+                        classes[class_ix].app_caught += 1;
+                    }
+                    if emitted < self.config.per_core_epoch_cap {
+                        if mitigated {
+                            // Jitter comes off the mitigation stream: the
+                            // base stream must not advance for an emission
+                            // it never would have seen.
+                            let mit = mit_rng.as_mut().expect("mitigated implies a policy");
+                            let jitter = mit.next_uniform() * self.config.epoch_hours;
                             log.push(Signal {
-                                hour: escalated,
+                                hour: hour + jitter,
                                 core: uid,
-                                kind: SignalKind::UserReport,
+                                kind,
                                 caused_by_cee: true,
                             });
                             summary.signals_emitted += 1;
                             emitted += 1;
+                            // Mitigation catches are machine-attributed;
+                            // they never escalate to human suspect reports.
+                        } else {
+                            let jitter = rng.next_uniform() * self.config.epoch_hours;
+                            log.push(Signal {
+                                hour: hour + jitter,
+                                core: uid,
+                                kind,
+                                caused_by_cee: true,
+                            });
+                            summary.signals_emitted += 1;
+                            emitted += 1;
+                            // Detected corruptions sometimes escalate to a
+                            // human suspect report, after further triage
+                            // time.
+                            if kind != SignalKind::MachineCheckEvent
+                                && rng.next_bool(wl.user_report_rate)
+                                && emitted < self.config.per_core_epoch_cap
+                            {
+                                // The 24–96 h escalation lag can overshoot
+                                // the observation window from its last
+                                // epochs; clamp the stamp (not the draw —
+                                // RNG consumption is part of the
+                                // determinism contract) so every signal
+                                // belongs to some epoch.
+                                let escalated = (hour + jitter + 24.0 + rng.next_uniform() * 72.0)
+                                    .min(self.horizon_hours);
+                                log.push(Signal {
+                                    hour: escalated,
+                                    core: uid,
+                                    kind: SignalKind::UserReport,
+                                    caused_by_cee: true,
+                                });
+                                summary.signals_emitted += 1;
+                                emitted += 1;
+                                classes[class_ix].user_reports += 1;
+                            }
                         }
                     }
                 }
             }
             if n > simulate {
-                self.bulk_classify(n - simulate, unit, wl, summary);
+                self.bulk_classify(
+                    n - simulate,
+                    unit,
+                    wl,
+                    policy,
+                    summary,
+                    &mut classes[class_ix],
+                );
             }
         }
         any
@@ -818,7 +1057,9 @@ impl FleetSim {
         n: u64,
         unit: FunctionalUnit,
         wl: &WorkloadClass,
+        policy: MitigationPolicy,
         summary: &mut SimSummary,
+        tally: &mut ClassTally,
     ) {
         let m = self.config.machine_check_share;
         let (p_imm, p_late) = if unit.is_control_path() {
@@ -831,18 +1072,28 @@ impl FleetSim {
             (imm, late)
         };
         let p_never = (1.0 - m - p_imm - p_late).max(0.0);
+        // The mitigation policy intercepts the never-detected share with
+        // its coverage. With coverage 0 the fifth class has probability
+        // exactly 0.0: it floors to zero, its fraction is zero (so the
+        // leftover pass ranks it last and never reaches it — four quotas
+        // drop < 4 units), and the claw-back picks a maximal count which
+        // can never be a zero bucket. The apportionment is therefore
+        // bit-identical to the historical four-class one.
+        let p_mit = p_never * policy.coverage();
+        let p_never = p_never - p_mit;
         let classes = [
             (SymptomClass::MachineCheck, m),
             (SymptomClass::WrongDetectedImmediately, p_imm),
             (SymptomClass::WrongDetectedLate, p_late),
             (SymptomClass::WrongNeverDetected, p_never),
+            (SymptomClass::WrongDetectedImmediately, p_mit),
         ];
 
         // Largest-remainder apportionment: floor every quota, then hand
         // the leftover units to the largest fractional parts (ties broken
         // by class order). Deterministic, and conserves n exactly.
-        let mut counts = [0u64; 4];
-        let mut fractions = [0.0f64; 4];
+        let mut counts = [0u64; 5];
+        let mut fractions = [0.0f64; 5];
         let mut assigned = 0u64;
         for (i, (_, p)) in classes.iter().enumerate() {
             let quota = n as f64 * p;
@@ -853,19 +1104,19 @@ impl FleetSim {
         // Floating-point shares can sum slightly above 1; claw back from
         // the largest bucket so the leftover below is well-defined.
         while assigned > n {
-            let i = (0..4).max_by_key(|&i| counts[i]).expect("four classes");
+            let i = (0..5).max_by_key(|&i| counts[i]).expect("five classes");
             counts[i] -= 1;
             assigned -= 1;
         }
-        let mut order = [0usize, 1, 2, 3];
+        let mut order = [0usize, 1, 2, 3, 4];
         order.sort_by(|&a, &b| {
             fractions[b]
                 .partial_cmp(&fractions[a])
                 .expect("finite fractions")
                 .then(a.cmp(&b))
         });
-        // Flooring four quotas that sum to (at most) n drops strictly
-        // less than 4 units, so one pass over the ranked classes covers
+        // Flooring five quotas that sum to (at most) n drops strictly
+        // less than 5 units, so one pass over the ranked classes covers
         // the whole leftover.
         let mut leftover = n - assigned;
         for &i in &order {
@@ -880,6 +1131,16 @@ impl FleetSim {
         for (i, (class, _)) in classes.iter().enumerate() {
             summary.symptom_counts[class.risk_rank() as usize] += counts[i];
         }
+        tally.mitigation_caught += counts[4];
+        // App-level catches mirror the per-op path: on the control path
+        // only the late bucket surfaces as a checksum mismatch (the
+        // immediate bucket is crashes); on the data path both detected
+        // buckets are replica/checksum catches.
+        tally.app_caught += if unit.is_control_path() {
+            counts[2]
+        } else {
+            counts[1] + counts[2]
+        };
     }
 
     /// Classifies one corruption into (risk class, emitted signal).
@@ -1015,6 +1276,75 @@ impl FleetSim {
                 }
             }
         }
+    }
+
+    /// Meters the epoch's mitigation overhead into the per-class cost
+    /// tallies. RNG-free and built from u64 sums over the shard's owned
+    /// machines, so it is exact under any shard partition and any
+    /// parallelism; with every policy at `None` it is a no-op, keeping
+    /// legacy runs cost-free.
+    fn epoch_overhead(
+        &self,
+        hour: f64,
+        shard: Option<(u32, u32)>,
+        policies: &[MitigationPolicy],
+        class_cores: &[u64],
+        classes: &mut [ClassTally],
+    ) {
+        if policies.iter().all(|&p| p == MitigationPolicy::None) {
+            return;
+        }
+        // Deployed core capacity per class: the cached post-rollout counts
+        // when the whole cohort is in service, else a scan of the owned
+        // machine range.
+        let scratch: Vec<u64>;
+        let cores: &[u64] = if hour >= self.rollout_end_hour {
+            class_cores
+        } else {
+            let mut counts = vec![0u64; classes.len()];
+            let (lo, hi) = shard.unwrap_or((0, self.topo.machines().len() as u32));
+            let sockets = self.topo.config().sockets_per_machine as u64;
+            for m in lo..hi {
+                if self.topo.is_deployed(m, hour) {
+                    let per = sockets * self.topo.product_of(m).cores_per_socket as u64;
+                    counts[self.workload_ix[m as usize]] += per;
+                }
+            }
+            scratch = counts;
+            &scratch
+        };
+        for (ix, tally) in classes.iter_mut().enumerate() {
+            let policy = policies[ix];
+            if policy == MitigationPolicy::None || cores[ix] == 0 {
+                continue;
+            }
+            // Metered per core, then scaled by the integer core count:
+            // the per-core figure is identical on every shard, so any
+            // machine partition sums to exactly the full-fleet meter
+            // (float rounding at shard granularity would not).
+            let wl = &self.workloads[ix].0;
+            let per_core = (wl.total_ops_per_hour()
+                * wl.traffic.intensity_at(hour)
+                * self.config.epoch_hours) as u64;
+            tally.mitigated_ops += cores[ix] * per_core;
+            let mut per_meter = CostMeter::default();
+            policy.meter_ops(per_core, &mut per_meter);
+            tally.cost.executions += per_meter.executions * cores[ix];
+            tally.cost.comparisons += per_meter.comparisons * cores[ix];
+            tally.cost.retries += per_meter.retries * cores[ix];
+        }
+    }
+}
+
+/// The signal kind a mitigation catch surfaces as: checksum-style
+/// policies report as an application checksum mismatch, redundant-
+/// execution policies as a replica divergence.
+fn mitigation_signal(policy: MitigationPolicy) -> SignalKind {
+    match policy {
+        MitigationPolicy::None
+        | MitigationPolicy::E2eChecksum
+        | MitigationPolicy::InstructionCheck => SignalKind::AppChecksumMismatch,
+        MitigationPolicy::Dmr | MitigationPolicy::Tmr => SignalKind::ReplicaDivergence,
     }
 }
 
@@ -1361,20 +1691,59 @@ mod tests {
     fn bulk_classify_conserves_totals_at_small_n() {
         let sim = tiny_sim(5, vec![], 1);
         for unit in [FunctionalUnit::ScalarAlu, FunctionalUnit::AddressGen] {
-            for (wl, _) in WorkloadClass::default_mix() {
-                let mut summary = SimSummary::default();
-                let mut total = 0u64;
-                for n in 1..=40u64 {
-                    sim.bulk_classify(n, unit, &wl, &mut summary);
-                    total += n;
-                    assert_eq!(
-                        summary.symptom_counts.iter().sum::<u64>(),
-                        total,
-                        "unit {unit:?}, workload {}, n {n}",
-                        wl.name
-                    );
+            for policy in MitigationPolicy::ALL {
+                for (wl, _) in WorkloadClass::default_mix() {
+                    let mut summary = SimSummary::default();
+                    let mut tally = ClassTally::default();
+                    let mut total = 0u64;
+                    for n in 1..=40u64 {
+                        sim.bulk_classify(n, unit, &wl, policy, &mut summary, &mut tally);
+                        total += n;
+                        assert_eq!(
+                            summary.symptom_counts.iter().sum::<u64>(),
+                            total,
+                            "unit {unit:?}, policy {}, workload {}, n {n}",
+                            policy.label(),
+                            wl.name
+                        );
+                    }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn bulk_classify_mitigation_share_shrinks_the_silent_bucket() {
+        let sim = tiny_sim(5, vec![], 1);
+        let wl = WorkloadClass::data_pipeline();
+        let silent_of = |policy: MitigationPolicy| {
+            let mut summary = SimSummary::default();
+            let mut tally = ClassTally::default();
+            sim.bulk_classify(
+                1_000_000,
+                FunctionalUnit::ScalarAlu,
+                &wl,
+                policy,
+                &mut summary,
+                &mut tally,
+            );
+            (
+                summary.symptom_counts[SymptomClass::WrongNeverDetected.risk_rank() as usize],
+                tally.mitigation_caught,
+            )
+        };
+        let (silent_none, caught_none) = silent_of(MitigationPolicy::None);
+        assert_eq!(caught_none, 0);
+        let mut prev_silent = silent_none;
+        for policy in &MitigationPolicy::ALL[1..] {
+            let (silent, caught) = silent_of(*policy);
+            assert!(
+                silent < prev_silent,
+                "{} must shrink the silent bucket",
+                policy.label()
+            );
+            assert!(caught > 0);
+            prev_silent = silent;
         }
     }
 

@@ -30,11 +30,37 @@ pub struct EpochPoint {
     pub active_mercurial: u64,
 }
 
+/// One workload class's share of one epoch's telemetry. All counts are
+/// integers so per-class sums are exact and order-independent — the same
+/// totals at any shard fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassPoint {
+    /// Corruption events attributed to this class during the epoch.
+    pub corrupt_ops: u64,
+    /// Corruptions caught (application checks plus the class's mitigation
+    /// policy) during the epoch.
+    pub caught: u64,
+    /// User-visible reports escalated from this class during the epoch.
+    pub user_reports: u64,
+    /// Extra operations the class's mitigation policy executed this epoch
+    /// (redundant executions plus compare/checksum steps).
+    pub overhead_ops: u64,
+}
+
 /// A closed-loop run's per-epoch telemetry, in epoch order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EpochSeries {
     epoch_hours: f64,
     points: Vec<EpochPoint>,
+    /// Workload class names, set once when per-class attribution is on.
+    /// Empty for legacy runs: every rendered surface is then byte-for-byte
+    /// what it was before classes existed.
+    #[serde(default)]
+    class_names: Vec<String>,
+    /// One row per epoch, one [`ClassPoint`] per class (same order as
+    /// `class_names`). Parallel to `points` when class attribution is on.
+    #[serde(default)]
+    class_points: Vec<Vec<ClassPoint>>,
 }
 
 impl EpochSeries {
@@ -51,7 +77,60 @@ impl EpochSeries {
         EpochSeries {
             epoch_hours,
             points: Vec::new(),
+            class_names: Vec::new(),
+            class_points: Vec::new(),
         }
+    }
+
+    /// Turn on per-class attribution: every subsequent epoch must push a
+    /// matching [`push_classes`](EpochSeries::push_classes) row. Call
+    /// before the first epoch.
+    pub fn set_class_names(&mut self, names: Vec<String>) {
+        self.class_names = names;
+    }
+
+    /// Workload class names (empty for legacy runs).
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Per-epoch per-class points: `class_points()[epoch][class]`.
+    pub fn class_points(&self) -> &[Vec<ClassPoint>] {
+        &self.class_points
+    }
+
+    /// Appends the per-class breakdown for the epoch just pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width disagrees with the registered class
+    /// names.
+    pub fn push_classes(&mut self, row: Vec<ClassPoint>) {
+        assert_eq!(
+            row.len(),
+            self.class_names.len(),
+            "class row width must match registered class names"
+        );
+        self.class_points.push(row);
+    }
+
+    /// Total corruption attributed to one class over the window.
+    pub fn class_total_corrupt_ops(&self, class: usize) -> u64 {
+        self.class_points
+            .iter()
+            .filter_map(|row| row.get(class))
+            .map(|c| c.corrupt_ops)
+            .sum()
+    }
+
+    /// Total mitigation overhead operations one class paid over the
+    /// window.
+    pub fn class_total_overhead_ops(&self, class: usize) -> u64 {
+        self.class_points
+            .iter()
+            .filter_map(|row| row.get(class))
+            .map(|c| c.overhead_ops)
+            .sum()
     }
 
     /// Appends the next epoch's point (epoch index and hour are derived
@@ -117,19 +196,78 @@ impl EpochSeries {
     }
 
     /// Emits `epoch,hour,capacity,capacity_with_safetask,corrupt_ops,active_mercurial` CSV.
+    ///
+    /// When per-class attribution is on, each class appends four more
+    /// columns (`<class>.corrupt_ops,<class>.caught,<class>.user_reports,<class>.overhead_ops`);
+    /// with no classes registered the output is byte-for-byte the legacy
+    /// format.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "epoch,hour,capacity,capacity_with_safetask,corrupt_ops,active_mercurial\n",
-        );
-        for p in &self.points {
+        let mut out =
+            String::from("epoch,hour,capacity,capacity_with_safetask,corrupt_ops,active_mercurial");
+        for name in &self.class_names {
             out.push_str(&format!(
-                "{},{:.1},{:.8},{:.8},{},{}\n",
+                ",{name}.corrupt_ops,{name}.caught,{name}.user_reports,{name}.overhead_ops"
+            ));
+        }
+        out.push('\n');
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{:.1},{:.8},{:.8},{},{}",
                 p.epoch,
                 p.hour,
                 p.capacity,
                 p.capacity_with_safetask,
                 p.corrupt_ops,
                 p.active_mercurial
+            ));
+            if !self.class_names.is_empty() {
+                let empty = Vec::new();
+                let row = self.class_points.get(i).unwrap_or(&empty);
+                for c in 0..self.class_names.len() {
+                    let cp = row.get(c).copied().unwrap_or_default();
+                    out.push_str(&format!(
+                        ",{},{},{},{}",
+                        cp.corrupt_ops, cp.caught, cp.user_reports, cp.overhead_ops
+                    ));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a fixed-width per-class summary table (whole-window totals
+    /// per class), or an empty string when no classes are registered.
+    pub fn render_class_table(&self) -> String {
+        if self.class_names.is_empty() {
+            return String::new();
+        }
+        let width = self
+            .class_names
+            .iter()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("class".len());
+        let mut out = format!(
+            "{:<width$}  {:>12}  {:>12}  {:>12}  {:>14}\n",
+            "class", "corrupt_ops", "caught", "user_reports", "overhead_ops"
+        );
+        for (c, name) in self.class_names.iter().enumerate() {
+            let (mut caught, mut reports) = (0u64, 0u64);
+            for row in &self.class_points {
+                if let Some(cp) = row.get(c) {
+                    caught += cp.caught;
+                    reports += cp.user_reports;
+                }
+            }
+            out.push_str(&format!(
+                "{:<width$}  {:>12}  {:>12}  {:>12}  {:>14}\n",
+                name,
+                self.class_total_corrupt_ops(c),
+                caught,
+                reports,
+                self.class_total_overhead_ops(c)
             ));
         }
         out
@@ -289,5 +427,102 @@ mod tests {
     #[should_panic(expected = "epoch length")]
     fn zero_epoch_hours_panics() {
         EpochSeries::new(0.0);
+    }
+
+    fn cp(corrupt_ops: u64, caught: u64, user_reports: u64, overhead_ops: u64) -> ClassPoint {
+        ClassPoint {
+            corrupt_ops,
+            caught,
+            user_reports,
+            overhead_ops,
+        }
+    }
+
+    #[test]
+    fn class_csv_is_pinned_for_empty_series() {
+        // Classes registered but no epochs: header carries the class
+        // columns, nothing else.
+        let mut s = EpochSeries::new(73.0);
+        s.set_class_names(vec!["db".into(), "web".into()]);
+        assert_eq!(
+            s.to_csv(),
+            "epoch,hour,capacity,capacity_with_safetask,corrupt_ops,active_mercurial,\
+             db.corrupt_ops,db.caught,db.user_reports,db.overhead_ops,\
+             web.corrupt_ops,web.caught,web.user_reports,web.overhead_ops\n"
+        );
+        // And with no classes at all the legacy header is untouched.
+        assert_eq!(
+            EpochSeries::new(73.0).to_csv(),
+            "epoch,hour,capacity,capacity_with_safetask,corrupt_ops,active_mercurial\n"
+        );
+    }
+
+    #[test]
+    fn class_csv_is_pinned_for_single_epoch() {
+        let mut s = EpochSeries::new(73.0);
+        s.set_class_names(vec!["db".into()]);
+        s.push(0.999, 1.0, 7, 2);
+        s.push_classes(vec![cp(7, 3, 1, 4000)]);
+        assert_eq!(
+            s.to_csv().lines().nth(1).unwrap(),
+            "0,0.0,0.99900000,1.00000000,7,2,7,3,1,4000"
+        );
+    }
+
+    #[test]
+    fn class_csv_is_pinned_for_many_classes() {
+        let mut s = EpochSeries::new(73.0);
+        s.set_class_names(vec!["a".into(), "b".into(), "c".into()]);
+        s.push(1.0, 1.0, 6, 4);
+        s.push_classes(vec![cp(1, 0, 0, 10), cp(2, 1, 0, 20), cp(3, 2, 1, 30)]);
+        s.push(0.999, 1.0, 9, 4);
+        s.push_classes(vec![cp(2, 1, 1, 10), cp(3, 2, 0, 20), cp(4, 3, 2, 30)]);
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "epoch,hour,capacity,capacity_with_safetask,corrupt_ops,active_mercurial,\
+             a.corrupt_ops,a.caught,a.user_reports,a.overhead_ops,\
+             b.corrupt_ops,b.caught,b.user_reports,b.overhead_ops,\
+             c.corrupt_ops,c.caught,c.user_reports,c.overhead_ops"
+        );
+        assert_eq!(
+            lines[1],
+            "0,0.0,1.00000000,1.00000000,6,4,1,0,0,10,2,1,0,20,3,2,1,30"
+        );
+        assert_eq!(
+            lines[2],
+            "1,73.0,0.99900000,1.00000000,9,4,2,1,1,10,3,2,0,20,4,3,2,30"
+        );
+        // Per-class totals are the column sums.
+        assert_eq!(s.class_total_corrupt_ops(0), 3);
+        assert_eq!(s.class_total_corrupt_ops(2), 7);
+        assert_eq!(s.class_total_overhead_ops(1), 40);
+        let table = s.render_class_table();
+        assert!(table.starts_with("class"));
+        assert_eq!(table.lines().count(), 4);
+    }
+
+    #[test]
+    fn class_row_width_must_match_names() {
+        let mut s = EpochSeries::new(73.0);
+        s.set_class_names(vec!["a".into(), "b".into()]);
+        s.push(1.0, 1.0, 0, 0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.push_classes(vec![cp(0, 0, 0, 0)])
+        }));
+        assert!(r.is_err(), "short class row must panic");
+    }
+
+    #[test]
+    fn legacy_series_json_without_class_fields_still_parses() {
+        let s = series();
+        let mut v = s.to_value();
+        if let serde::Value::Object(entries) = &mut v {
+            entries.retain(|(k, _)| k != "class_names" && k != "class_points");
+        }
+        let back = EpochSeries::from_value(&v).expect("legacy series parses");
+        assert_eq!(back, s);
+        assert!(back.class_names().is_empty());
     }
 }

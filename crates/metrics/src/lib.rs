@@ -36,7 +36,7 @@ pub mod rates;
 pub mod series;
 pub mod sprt;
 
-pub use epoch::{EpochPoint, EpochSeries};
+pub use epoch::{ClassPoint, EpochPoint, EpochSeries};
 pub use histo::{log_histogram, percentiles, percentiles_of, Percentiles};
 pub use incidence::{clopper_pearson, wilson_interval, IncidenceEstimate};
 pub use onset::{KaplanMeier, Observation};

@@ -33,7 +33,11 @@
 //!   permutation, Freivalds' product check, division and GCD checkers;
 //! * [`blast`] — a corruption-propagation model quantifying "blast
 //!   radius": how one CEE compounds through dependent computations, and
-//!   how check/checkpoint placement contains it.
+//!   how check/checkpoint placement contains it;
+//! * [`policy`] — the toolkit folded into a per-workload-class
+//!   [`MitigationPolicy`] ladder (none → e2e-checksum → instruction
+//!   checking → DMR → TMR) the closed loop selects and escalates per
+//!   class, trading metered overhead for detection coverage.
 #![warn(missing_docs)]
 
 pub mod abft;
@@ -42,6 +46,7 @@ pub mod checker;
 pub mod checkpoint;
 pub mod e2e;
 pub mod ftsort;
+pub mod policy;
 pub mod redundancy;
 pub mod replay;
 pub mod selfcheck;
@@ -51,6 +56,7 @@ pub use blast::{BlastModel, BlastReport};
 pub use checkpoint::{CheckpointPolicy, CheckpointStats, Checkpointed, StepError};
 pub use e2e::{ChecksummedStore, ScrubReport, StoreError};
 pub use ftsort::{ft_sort, FtSortError, FtSortStats};
+pub use policy::MitigationPolicy;
 pub use redundancy::{dmr, tmr, CostMeter, RedundancyError, Voted};
 pub use replay::{temporal_dmr, TemporalOutcome};
 pub use selfcheck::{

@@ -1,0 +1,186 @@
+//! Per-workload-class mitigation policies: the §7 toolkit reduced to a
+//! closed-loop control surface.
+//!
+//! The paper's mitigations trade *overhead* for *coverage* per workload:
+//! end-to-end checksums are cheap but only catch what the checksum
+//! covers, DMR/TMR pay full re-execution for near-total detection, and
+//! ITHICA-style intra-thread instruction checking sits between. A
+//! [`MitigationPolicy`] is the knob the closed loop turns per workload
+//! class — each class's consequential operations pay the policy's
+//! overhead (metered through [`CostMeter`]) and gain its detection
+//! coverage, converting would-be silent corruptions into immediately
+//! visible checker signals.
+//!
+//! Coverage and overhead are modeled, not measured: the numbers below
+//! are the frontier shape the literature reports (checksums ~60-70%
+//! coverage at a few percent overhead; instruction checking ~85% at
+//! ~25%; DMR ~99% at ~100%; TMR ~99.9% at ~200%), chosen so the
+//! corruption-vs-overhead frontier is strictly ordered — every step up
+//! the ladder buys strictly more coverage at strictly more cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::redundancy::CostMeter;
+
+/// A per-class mitigation policy, ordered from cheapest/weakest to most
+/// expensive/strongest. The ordering is load-bearing: the closed loop
+/// escalates along it, and the frontier bench asserts coverage and
+/// overhead are both strictly monotone in it.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MitigationPolicy {
+    /// No mitigation: corruptions escape unless the application's own
+    /// checks happen to catch them.
+    #[default]
+    None,
+    /// End-to-end checksums on the class's data path (§7): cheap, but
+    /// blind to corruptions that happen before the checksum is taken.
+    E2eChecksum,
+    /// ITHICA-style intra-thread instruction checking (PAPERS.md):
+    /// selective re-execution of vulnerable instruction slices.
+    InstructionCheck,
+    /// Dual modular redundancy: execute twice, compare (§7). Detects
+    /// nearly everything, pays nearly double.
+    Dmr,
+    /// Triple modular redundancy: execute three times, vote (§7).
+    /// Detects and *corrects*, pays nearly triple.
+    Tmr,
+}
+
+impl MitigationPolicy {
+    /// Every policy, escalation order.
+    pub const ALL: [MitigationPolicy; 5] = [
+        MitigationPolicy::None,
+        MitigationPolicy::E2eChecksum,
+        MitigationPolicy::InstructionCheck,
+        MitigationPolicy::Dmr,
+        MitigationPolicy::Tmr,
+    ];
+
+    /// Fraction of otherwise-silent corruptions this policy detects.
+    pub fn coverage(self) -> f64 {
+        match self {
+            MitigationPolicy::None => 0.0,
+            MitigationPolicy::E2eChecksum => 0.65,
+            MitigationPolicy::InstructionCheck => 0.85,
+            MitigationPolicy::Dmr => 0.99,
+            MitigationPolicy::Tmr => 0.999,
+        }
+    }
+
+    /// Extra executed operations per consequential operation (1.0 means
+    /// the class's work doubles).
+    pub fn overhead_frac(self) -> f64 {
+        match self {
+            MitigationPolicy::None => 0.0,
+            MitigationPolicy::E2eChecksum => 0.04,
+            MitigationPolicy::InstructionCheck => 0.27,
+            MitigationPolicy::Dmr => 1.05,
+            MitigationPolicy::Tmr => 2.1,
+        }
+    }
+
+    /// The next-stronger policy, or `self` at the top of the ladder.
+    pub fn escalate(self) -> MitigationPolicy {
+        match self {
+            MitigationPolicy::None => MitigationPolicy::E2eChecksum,
+            MitigationPolicy::E2eChecksum => MitigationPolicy::InstructionCheck,
+            MitigationPolicy::InstructionCheck => MitigationPolicy::Dmr,
+            MitigationPolicy::Dmr | MitigationPolicy::Tmr => MitigationPolicy::Tmr,
+        }
+    }
+
+    /// Short stable name, used in metric labels and report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MitigationPolicy::None => "none",
+            MitigationPolicy::E2eChecksum => "e2e-checksum",
+            MitigationPolicy::InstructionCheck => "instr-check",
+            MitigationPolicy::Dmr => "dmr",
+            MitigationPolicy::Tmr => "tmr",
+        }
+    }
+
+    /// Meter `ops` consequential operations executed under this policy
+    /// into `meter`: the redundant executions and the compare/checksum
+    /// steps they imply. Deterministic and RNG-free, and split so that
+    /// `(executions + comparisons) / ops` equals [`overhead_frac`] (up to
+    /// rounding each part to whole operations).
+    ///
+    /// [`overhead_frac`]: MitigationPolicy::overhead_frac
+    pub fn meter_ops(self, ops: u64, meter: &mut CostMeter) {
+        let part = |frac: f64| (ops as f64 * frac).round() as u64;
+        match self {
+            MitigationPolicy::None => {}
+            MitigationPolicy::E2eChecksum => {
+                // 0.04 total: pure checksum comparisons.
+                meter.comparisons += part(0.04);
+            }
+            MitigationPolicy::InstructionCheck => {
+                // 0.27 total: selective re-execution plus compare.
+                meter.executions += part(0.25);
+                meter.comparisons += part(0.02);
+            }
+            MitigationPolicy::Dmr => {
+                // 1.05 total: one full redundant execution plus votes.
+                meter.executions += ops;
+                meter.comparisons += part(0.05);
+            }
+            MitigationPolicy::Tmr => {
+                // 2.1 total: two redundant executions plus votes.
+                meter.executions += 2 * ops;
+                meter.comparisons += part(0.1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_strictly_ordered_in_both_coverage_and_overhead() {
+        for pair in MitigationPolicy::ALL.windows(2) {
+            assert!(pair[0].coverage() < pair[1].coverage());
+            assert!(pair[0].overhead_frac() < pair[1].overhead_frac());
+        }
+    }
+
+    #[test]
+    fn escalation_walks_the_ladder_and_saturates() {
+        let mut p = MitigationPolicy::None;
+        for want in &MitigationPolicy::ALL[1..] {
+            p = p.escalate();
+            assert_eq!(p, *want);
+        }
+        assert_eq!(p.escalate(), MitigationPolicy::Tmr);
+    }
+
+    #[test]
+    fn policies_roundtrip_through_serde() {
+        for p in MitigationPolicy::ALL {
+            let v = p.to_value();
+            assert_eq!(MitigationPolicy::from_value(&v).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn metering_matches_the_declared_overhead_fraction() {
+        let ops = 1_000_000u64;
+        for p in MitigationPolicy::ALL {
+            let mut meter = CostMeter::default();
+            p.meter_ops(ops, &mut meter);
+            let total = meter.executions + meter.comparisons + meter.retries;
+            let frac = total as f64 / ops as f64;
+            assert!(
+                (frac - p.overhead_frac()).abs() < 1e-9,
+                "{}: metered {} vs declared {}",
+                p.label(),
+                frac,
+                p.overhead_frac()
+            );
+        }
+    }
+}

@@ -164,6 +164,7 @@ mod tests {
                     epoch: 7,
                     restores: vec![CoreUid::new(3, 0, 1)],
                     quarantines: vec![CoreUid::new(9, 1, 0)],
+                    policy_changes: Vec::new(),
                 },
             },
             Message::Trace {

@@ -96,6 +96,51 @@ fn served_untraced_run_matches_in_process() {
 }
 
 #[test]
+fn served_workload_layer_is_bit_identical_to_in_process() {
+    // E20: per-class deltas ride the Report frames, policy switches ride
+    // the Cmd frames, and worker class counters ride the Bye frames —
+    // none of which may move the outcome on a clean link. The per-class
+    // series columns and the Prometheus rendering (which carries the
+    // absorbed class counters) are the sensitive surfaces.
+    let workloads = |workers: u32| {
+        let mut s = scenario(7, workers, true);
+        s.workloads.enabled = true;
+        s.workloads.adapt = true;
+        s.workloads.escalate_threshold = 1_000;
+        s
+    };
+    let reference = ClosedLoopDriver::execute(&workloads(1));
+    assert!(
+        !reference.series.class_names().is_empty(),
+        "workload layer must be live"
+    );
+    let ref_watch = reference.watch.as_ref().expect("watch enabled").render();
+    let ref_prom = to_prometheus(&reference.trace);
+    for workers in [1u32, 2, 4] {
+        let served = run_served(&workloads(workers), &ServeOptions::default()).expect("served run");
+        let out = &served.outcome;
+        assert_eq!(
+            out.series, reference.series,
+            "per-class series diverges ({workers} workers)"
+        );
+        assert_eq!(
+            out.pipeline.sim_summary, reference.pipeline.sim_summary,
+            "sim summary diverges ({workers} workers)"
+        );
+        assert_eq!(
+            out.watch.as_ref().expect("watch enabled").render(),
+            ref_watch,
+            "watch report diverges ({workers} workers)"
+        );
+        assert_eq!(
+            to_prometheus(&out.trace),
+            ref_prom,
+            "metric set (incl. class counters) diverges ({workers} workers)"
+        );
+    }
+}
+
+#[test]
 fn served_runs_are_deterministic_including_streamed_traces() {
     let s = scenario(7, 2, true);
     let a = run_served(&s, &ServeOptions::default()).expect("first run");

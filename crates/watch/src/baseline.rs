@@ -75,6 +75,7 @@ mod tests {
         RuleSet {
             rules: vec![
                 Rule {
+                    scope: Default::default(),
                     name: "ops".into(),
                     kind: RuleKind::Regression {
                         source: Source::Counter("sim.corruptions".into()),
@@ -82,6 +83,7 @@ mod tests {
                     },
                 },
                 Rule {
+                    scope: Default::default(),
                     name: "missing".into(),
                     kind: RuleKind::Regression {
                         source: Source::Counter("never.recorded".into()),

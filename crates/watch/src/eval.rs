@@ -8,9 +8,11 @@
 //! [`RuleStatus::NoData`], a missing baseline as
 //! [`RuleStatus::NoBaseline`] — neither ever fires.
 
+use std::collections::BTreeMap;
+
 use crate::baseline::Baseline;
 use crate::input::{EpochRow, WatchInput};
-use crate::rule::{Rule, RuleKind, RuleSet};
+use crate::rule::{Rule, RuleKind, RuleScope, RuleSet, Source};
 use mercurial_trace::MetricSet;
 
 /// One firing: which rule, when, and the observed-vs-limit pair.
@@ -116,6 +118,47 @@ fn fmt_v(v: f64) -> String {
     }
 }
 
+/// Rewrite a metric source for a rule's scope: class scopes resolve
+/// counter/gauge/histogram names under the class's `class.<name>.`
+/// prefix (epoch sources are scoped via [`scoped_rows`] instead).
+fn scoped_source(source: &Source, scope: &RuleScope) -> Source {
+    match (scope, source) {
+        (RuleScope::FleetWide, s) => s.clone(),
+        (RuleScope::Class(_), Source::Counter(n)) => Source::Counter(scope.metric_name(n)),
+        (RuleScope::Class(_), Source::Gauge(n)) => Source::Gauge(scope.metric_name(n)),
+        (RuleScope::Class(_), Source::Quantile { histogram, q }) => Source::Quantile {
+            histogram: scope.metric_name(histogram),
+            q: *q,
+        },
+        (RuleScope::Class(_), s) => s.clone(),
+    }
+}
+
+/// The epoch rows a scope sees: the fleet series as-is, or (for a class
+/// scope) the same rows with `corrupt_ops` replaced by the class's
+/// per-epoch attribution. `None` when the class recorded no data.
+fn scoped_rows<'a>(
+    rows: &'a [EpochRow],
+    class_epochs: &BTreeMap<String, Vec<f64>>,
+    scope: &RuleScope,
+) -> Option<std::borrow::Cow<'a, [EpochRow]>> {
+    match scope {
+        RuleScope::FleetWide => Some(std::borrow::Cow::Borrowed(rows)),
+        RuleScope::Class(class) => {
+            let vals = class_epochs.get(class)?;
+            Some(std::borrow::Cow::Owned(
+                rows.iter()
+                    .enumerate()
+                    .map(|(i, r)| EpochRow {
+                        corrupt_ops: vals.get(i).copied().unwrap_or(0.0),
+                        ..*r
+                    })
+                    .collect(),
+            ))
+        }
+    }
+}
+
 /// First epoch index (with the violating value) at which an epoch-scoped
 /// rule's condition holds over the running prefix of `rows`.
 fn first_violation(rule: &Rule, rows: &[EpochRow]) -> Option<(usize, f64, f64, String)> {
@@ -214,33 +257,39 @@ fn first_violation(rule: &Rule, rows: &[EpochRow]) -> Option<(usize, f64, f64, S
 fn eval_end_of_run(rule: &Rule, input: &WatchInput, baseline: Option<&Baseline>) -> RuleStatus {
     let hour = input.end_hour();
     match &rule.kind {
-        RuleKind::Threshold { source, op, limit } => match input.source_value(source) {
-            None => RuleStatus::NoData,
-            Some(value) if op.holds(value, *limit) => RuleStatus::Fired(Alert {
-                rule: rule.name.clone(),
-                hour,
-                value,
-                limit: *limit,
-                message: format!(
-                    "{} = {} {} {}",
-                    source.key(),
-                    fmt_v(value),
-                    op.symbol(),
-                    fmt_v(*limit)
-                ),
-            }),
-            Some(_) => RuleStatus::Ok,
-        },
+        RuleKind::Threshold { source, op, limit } => {
+            let source = scoped_source(source, &rule.scope);
+            match input.source_value(&source) {
+                None => RuleStatus::NoData,
+                Some(value) if op.holds(value, *limit) => RuleStatus::Fired(Alert {
+                    rule: rule.name.clone(),
+                    hour,
+                    value,
+                    limit: *limit,
+                    message: format!(
+                        "{} = {} {} {}",
+                        source.key(),
+                        fmt_v(value),
+                        op.symbol(),
+                        fmt_v(*limit)
+                    ),
+                }),
+                Some(_) => RuleStatus::Ok,
+            }
+        }
         RuleKind::Percentile {
             histogram,
             q,
             op,
             limit,
         } => {
-            let source = crate::rule::Source::Quantile {
-                histogram: histogram.clone(),
-                q: *q,
-            };
+            let source = scoped_source(
+                &Source::Quantile {
+                    histogram: histogram.clone(),
+                    q: *q,
+                },
+                &rule.scope,
+            );
             match input.source_value(&source) {
                 None => RuleStatus::NoData,
                 Some(value) if op.holds(value, *limit) => RuleStatus::Fired(Alert {
@@ -263,7 +312,8 @@ fn eval_end_of_run(rule: &Rule, input: &WatchInput, baseline: Option<&Baseline>)
             source,
             tolerance_frac,
         } => {
-            let Some(value) = input.source_value(source) else {
+            let source = scoped_source(source, &rule.scope);
+            let Some(value) = input.source_value(&source) else {
                 return RuleStatus::NoData;
             };
             let Some(base) = baseline.and_then(|b| b.get(&source.key())) else {
@@ -303,16 +353,19 @@ impl RuleSet {
             .iter()
             .map(|rule| {
                 let status = if rule.is_epoch_scoped() {
-                    match first_violation(rule, &input.epochs) {
-                        Some((idx, value, limit, message)) => RuleStatus::Fired(Alert {
-                            rule: rule.name.clone(),
-                            hour: input.epochs[idx].hour,
-                            value,
-                            limit,
-                            message,
-                        }),
-                        None if input.epochs.is_empty() => RuleStatus::NoData,
-                        None => RuleStatus::Ok,
+                    match scoped_rows(&input.epochs, &input.class_epochs, &rule.scope) {
+                        None => RuleStatus::NoData,
+                        Some(rows) => match first_violation(rule, &rows) {
+                            Some((idx, value, limit, message)) => RuleStatus::Fired(Alert {
+                                rule: rule.name.clone(),
+                                hour: rows[idx].hour,
+                                value,
+                                limit,
+                                message,
+                            }),
+                            None if rows.is_empty() => RuleStatus::NoData,
+                            None => RuleStatus::Ok,
+                        },
                     }
                 } else {
                     eval_end_of_run(rule, input, baseline)
@@ -334,6 +387,9 @@ impl RuleSet {
 pub struct WatchEngine {
     rules: RuleSet,
     rows: Vec<EpochRow>,
+    /// Per-class per-epoch corrupt-ops, fed alongside the fleet rows by
+    /// drivers with class attribution on; class-scoped rules read these.
+    class_rows: BTreeMap<String, Vec<f64>>,
     /// Per-rule fired flag (epoch-scoped rules fire at most once).
     fired: Vec<bool>,
 }
@@ -345,6 +401,7 @@ impl WatchEngine {
         WatchEngine {
             rules,
             rows: Vec::new(),
+            class_rows: BTreeMap::new(),
             fired: vec![false; n],
         }
     }
@@ -358,21 +415,43 @@ impl WatchEngine {
     /// epoch-scoped alerts with their rule indices (for `alert.fired`
     /// trace instants), in rule order.
     pub fn push_epoch(&mut self, row: EpochRow) -> Vec<(usize, Alert)> {
+        self.push_epoch_classed(row, &[])
+    }
+
+    /// [`push_epoch`](WatchEngine::push_epoch) with the epoch's per-class
+    /// corrupt-ops attribution — what class-scoped rules evaluate
+    /// against. Classes absent from earlier epochs are backfilled with
+    /// zeros so every class series stays aligned with the fleet rows.
+    pub fn push_epoch_classed(
+        &mut self,
+        row: EpochRow,
+        classes: &[(String, f64)],
+    ) -> Vec<(usize, Alert)> {
+        for (name, v) in classes {
+            let series = self.class_rows.entry(name.clone()).or_default();
+            while series.len() < self.rows.len() {
+                series.push(0.0);
+            }
+            series.push(*v);
+        }
         self.rows.push(row);
         let mut fresh = Vec::new();
         for (i, rule) in self.rules.rules.iter().enumerate() {
             if self.fired[i] || !rule.is_epoch_scoped() {
                 continue;
             }
-            if let Some((idx, value, limit, message)) = first_violation(rule, &self.rows) {
+            let Some(rows) = scoped_rows(&self.rows, &self.class_rows, &rule.scope) else {
+                continue;
+            };
+            if let Some((idx, value, limit, message)) = first_violation(rule, &rows) {
                 // A violation can only first appear at the newest row.
-                debug_assert_eq!(idx, self.rows.len() - 1);
+                debug_assert_eq!(idx, rows.len() - 1);
                 self.fired[i] = true;
                 fresh.push((
                     i,
                     Alert {
                         rule: rule.name.clone(),
-                        hour: self.rows[idx].hour,
+                        hour: rows[idx].hour,
                         value,
                         limit,
                         message,
@@ -394,6 +473,7 @@ impl WatchEngine {
     ) -> (WatchReport, Vec<(usize, Alert)>) {
         let mut input = WatchInput::from_metrics(metrics);
         input.epochs = self.rows;
+        input.class_epochs = self.class_rows;
         let report = self.rules.evaluate(&input, baseline);
         let end_alerts = report
             .outcomes
@@ -435,6 +515,7 @@ mod tests {
     fn ops_threshold(limit: f64) -> RuleSet {
         RuleSet {
             rules: vec![Rule {
+                scope: Default::default(),
                 name: "ops".into(),
                 kind: RuleKind::Threshold {
                     source: Source::EpochMax(EpochField::CorruptOps),
@@ -489,6 +570,7 @@ mod tests {
     fn rate_rule_fires_on_fast_drop_only() {
         let rules = RuleSet {
             rules: vec![Rule {
+                scope: Default::default(),
                 name: "cap-drop".into(),
                 kind: RuleKind::Rate {
                     field: EpochField::Capacity,
@@ -513,6 +595,7 @@ mod tests {
     fn windowed(limit: f64, window: u32) -> RuleSet {
         RuleSet {
             rules: vec![Rule {
+                scope: Default::default(),
                 name: "sustained".into(),
                 kind: RuleKind::Windowed {
                     field: EpochField::CorruptOps,
@@ -597,6 +680,7 @@ mod tests {
         // there was a series, just no deltas).
         let rate = RuleSet {
             rules: vec![Rule {
+                scope: Default::default(),
                 name: "r".into(),
                 kind: RuleKind::Rate {
                     field: EpochField::Capacity,
@@ -612,6 +696,7 @@ mod tests {
     fn percentile_rule_no_data_without_histogram() {
         let rules = RuleSet {
             rules: vec![Rule {
+                scope: Default::default(),
                 name: "lat".into(),
                 kind: RuleKind::Percentile {
                     histogram: "detect.latency_hours".into(),
@@ -630,6 +715,7 @@ mod tests {
     fn regression_without_baseline_reports_no_baseline() {
         let rules = RuleSet {
             rules: vec![Rule {
+                scope: Default::default(),
                 name: "reg".into(),
                 kind: RuleKind::Regression {
                     source: Source::Counter("sim.corruptions".into()),
@@ -643,6 +729,86 @@ mod tests {
         assert_eq!(report.outcomes[0].status, RuleStatus::NoBaseline);
         assert!(!report.any_fired());
         assert!(report.render().contains("no baseline"));
+    }
+
+    #[test]
+    fn class_scoped_threshold_reads_the_class_series() {
+        let mut input = input_with(vec![
+            row(73.0, 1.0, 100.0),
+            row(146.0, 1.0, 100.0),
+            row(219.0, 1.0, 100.0),
+        ]);
+        input
+            .class_epochs
+            .insert("database".into(), vec![1.0, 50.0, 2.0]);
+        let mut rules = ops_threshold(10.0);
+        rules.rules[0].scope = RuleScope::Class("database".into());
+        let report = rules.evaluate(&input, None);
+        let alerts = report.alerts();
+        // Fleet corrupt-ops are over the limit every epoch, but the class
+        // series only crosses at the second row.
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].hour, 146.0);
+        assert_eq!(alerts[0].value, 50.0);
+
+        // A scope naming an unattributed class is no data, never fired.
+        let mut rules = ops_threshold(10.0);
+        rules.rules[0].scope = RuleScope::Class("nope".into());
+        let report = rules.evaluate(&input, None);
+        assert_eq!(report.outcomes[0].status, RuleStatus::NoData);
+    }
+
+    #[test]
+    fn class_scoped_engine_matches_offline_evaluation() {
+        let mut rules = windowed(10.0, 2);
+        rules.rules[0].scope = RuleScope::Class("db".into());
+        let rows = vec![
+            row(73.0, 1.0, 0.0),
+            row(146.0, 1.0, 0.0),
+            row(219.0, 1.0, 0.0),
+        ];
+        let class_vals = [5.0, 50.0, 60.0];
+        let mut engine = WatchEngine::new(rules.clone());
+        let mut live = Vec::new();
+        for (r, v) in rows.iter().zip(class_vals) {
+            live.extend(engine.push_epoch_classed(*r, &[("db".to_string(), v)]));
+        }
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].1.hour, 219.0);
+        let (live_report, end_alerts) = engine.finish(&MetricSet::new(), None);
+        assert!(end_alerts.is_empty());
+
+        let mut input = input_with(rows);
+        input.class_epochs.insert("db".into(), class_vals.to_vec());
+        assert_eq!(rules.evaluate(&input, None), live_report);
+    }
+
+    #[test]
+    fn class_scoped_counter_resolves_under_the_class_prefix() {
+        let rules = RuleSet {
+            rules: vec![Rule {
+                scope: RuleScope::Class("db".into()),
+                name: "db-total".into(),
+                kind: RuleKind::Threshold {
+                    source: Source::Counter("corrupt_ops_total".into()),
+                    op: Cmp::Gt,
+                    limit: 10.0,
+                },
+            }],
+        };
+        let mut input = WatchInput::default();
+        // The fleet-wide name alone is not the class's metric.
+        input.counters.insert("corrupt_ops_total".into(), 100.0);
+        let report = rules.evaluate(&input, None);
+        assert_eq!(report.outcomes[0].status, RuleStatus::NoData);
+        input
+            .counters
+            .insert("class.db.corrupt_ops_total".into(), 42.0);
+        let report = rules.evaluate(&input, None);
+        let alerts = report.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].value, 42.0);
+        assert!(alerts[0].message.contains("class.db.corrupt_ops_total"));
     }
 
     #[test]

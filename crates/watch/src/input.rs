@@ -79,6 +79,10 @@ pub struct WatchInput {
     pub histograms: BTreeMap<String, HistoSummary>,
     /// Per-epoch rows in epoch order.
     pub epochs: Vec<EpochRow>,
+    /// Per-workload-class corrupt-ops per epoch (aligned with `epochs`),
+    /// keyed by class name. Empty unless the run attributed per class —
+    /// class-scoped rules report no data then.
+    pub class_epochs: BTreeMap<String, Vec<f64>>,
 }
 
 impl WatchInput {
@@ -124,6 +128,16 @@ impl WatchInput {
                 active_mercurial: p.active_mercurial as f64,
             })
             .collect();
+        for (ix, name) in series.class_names().iter().enumerate() {
+            input.class_epochs.insert(
+                name.clone(),
+                series
+                    .class_points()
+                    .iter()
+                    .map(|row| row.get(ix).map_or(0.0, |c| c.corrupt_ops as f64))
+                    .collect(),
+            );
+        }
         input
     }
 
@@ -273,6 +287,28 @@ impl StreamIngest {
             // snapshot the other columns from the latest gauge values.
             // Open-loop runs never sample the capacity gauges (capacity
             // is flat at nominal), hence the 1.0 defaults.
+            //
+            // Per-class attribution gauges precede the boundary marker,
+            // so the latest `class.<name>.corrupt_ops` values belong to
+            // this row; classes first seen mid-run are backfilled with
+            // zeros to stay aligned.
+            let row_ix = self.input.epochs.len();
+            for (k, v) in &self.live_gauges {
+                if let Some(class) = k
+                    .strip_prefix("class.")
+                    .and_then(|rest| rest.strip_suffix(".corrupt_ops"))
+                {
+                    let series = self
+                        .input
+                        .class_epochs
+                        .entry(class.to_string())
+                        .or_default();
+                    while series.len() < row_ix {
+                        series.push(0.0);
+                    }
+                    series.push(*v);
+                }
+            }
             self.input.epochs.push(EpochRow {
                 hour,
                 capacity: self
@@ -447,6 +483,38 @@ mod tests {
             ingest.ingest(&chunk.join("\n")).unwrap();
         }
         assert_eq!(ingest.finish(), whole);
+    }
+
+    #[test]
+    fn class_gauges_replay_into_class_epochs() {
+        use mercurial_metrics::ClassPoint;
+        let mut rec = Recorder::with_flags(TraceFlags::enabled());
+        let mut series = EpochSeries::new(73.0);
+        series.set_class_names(vec!["db".into(), "web".into()]);
+        for epoch in 0..3u64 {
+            let h1 = (epoch + 1) as f64 * 73.0;
+            rec.gauge(h1, "fleet.active_mercurial", 4.0);
+            rec.gauge(h1, "class.db.corrupt_ops", (10 * epoch) as f64);
+            rec.gauge(h1, "class.web.corrupt_ops", (epoch + 1) as f64);
+            rec.gauge(h1, "epoch.corrupt_ops", (11 * epoch) as f64);
+            series.push(1.0, 1.0, 11 * epoch, 4);
+            series.push_classes(vec![
+                ClassPoint {
+                    corrupt_ops: 10 * epoch,
+                    ..ClassPoint::default()
+                },
+                ClassPoint {
+                    corrupt_ops: epoch + 1,
+                    ..ClassPoint::default()
+                },
+            ]);
+        }
+        let trace = rec.finish();
+        let live = WatchInput::from_run(&trace.metrics, &series);
+        let replayed = WatchInput::from_jsonl(&trace.to_jsonl()).unwrap();
+        assert_eq!(live, replayed);
+        assert_eq!(live.class_epochs["db"], vec![0.0, 10.0, 20.0]);
+        assert_eq!(live.class_epochs["web"], vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -33,4 +33,4 @@ pub mod rule;
 pub use baseline::Baseline;
 pub use eval::{Alert, RuleOutcome, RuleStatus, WatchEngine, WatchReport};
 pub use input::{EpochRow, HistoSummary, StreamIngest, WatchInput};
-pub use rule::{Cmp, EpochField, Rule, RuleKind, RuleSet, Source};
+pub use rule::{Cmp, EpochField, Rule, RuleKind, RuleScope, RuleSet, Source};

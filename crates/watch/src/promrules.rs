@@ -20,7 +20,7 @@
 //! The output is deterministic (rule order, fixed formatting), which is
 //! what the golden-file test pins.
 
-use crate::rule::{EpochField, Rule, RuleKind, RuleSet, Source};
+use crate::rule::{EpochField, Rule, RuleKind, RuleScope, RuleSet, Source};
 
 /// `mercurial_`-prefixed Prometheus metric name, matching the trace
 /// exporter's sanitation (non-alphanumerics become `_`).
@@ -90,22 +90,45 @@ fn fmt_duration_hours(hours: f64) -> String {
     }
 }
 
+/// The boundary gauge a scope reads an epoch column from: class scopes
+/// read the class's `corrupt_ops` attribution gauge; every other column
+/// is fleet-wide by construction.
+fn scoped_epoch_metric(field: EpochField, scope: &RuleScope) -> String {
+    match (scope, field) {
+        (RuleScope::Class(_), EpochField::CorruptOps) => scope.metric_name("corrupt_ops"),
+        _ => epoch_field_metric(field).to_string(),
+    }
+}
+
 /// The PromQL expression for a scalar source, or `None` when the source
 /// cannot be expressed over a scrape series.
-fn source_expr(source: &Source) -> String {
+fn source_expr(source: &Source, scope: &RuleScope) -> String {
     match source {
-        Source::Counter(n) | Source::Gauge(n) => prom_metric(n),
+        Source::Counter(n) | Source::Gauge(n) => prom_metric(&scope.metric_name(n)),
         Source::Quantile { histogram, q } => {
-            format!("{}{{quantile=\"{}\"}}", prom_metric(histogram), q)
+            format!(
+                "{}{{quantile=\"{}\"}}",
+                prom_metric(&scope.metric_name(histogram)),
+                q
+            )
         }
         Source::EpochMax(f) => {
-            format!("max_over_time({}[1y])", prom_metric(epoch_field_metric(*f)))
+            format!(
+                "max_over_time({}[1y])",
+                prom_metric(&scoped_epoch_metric(*f, scope))
+            )
         }
         Source::EpochMin(f) => {
-            format!("min_over_time({}[1y])", prom_metric(epoch_field_metric(*f)))
+            format!(
+                "min_over_time({}[1y])",
+                prom_metric(&scoped_epoch_metric(*f, scope))
+            )
         }
         Source::EpochSum(f) => {
-            format!("sum_over_time({}[1y])", prom_metric(epoch_field_metric(*f)))
+            format!(
+                "sum_over_time({}[1y])",
+                prom_metric(&scoped_epoch_metric(*f, scope))
+            )
         }
     }
 }
@@ -117,7 +140,7 @@ fn rule_expr(rule: &Rule, epoch_hours: f64) -> Option<(String, String)> {
         RuleKind::Threshold { source, op, limit } => Some((
             format!(
                 "{} {} {}",
-                source_expr(source),
+                source_expr(source, &rule.scope),
                 op.symbol(),
                 fmt_num(*limit)
             ),
@@ -136,7 +159,7 @@ fn rule_expr(rule: &Rule, epoch_hours: f64) -> Option<(String, String)> {
             Some((
                 format!(
                     "{} {} {}",
-                    source_expr(&source),
+                    source_expr(&source, &rule.scope),
                     op.symbol(),
                     fmt_num(*limit)
                 ),
@@ -147,7 +170,7 @@ fn rule_expr(rule: &Rule, epoch_hours: f64) -> Option<(String, String)> {
             field,
             max_drop_per_epoch,
         } => {
-            let metric = prom_metric(epoch_field_metric(*field));
+            let metric = prom_metric(&scoped_epoch_metric(*field, &rule.scope));
             let epoch = fmt_duration_hours(epoch_hours);
             Some((
                 format!(
@@ -165,7 +188,7 @@ fn rule_expr(rule: &Rule, epoch_hours: f64) -> Option<(String, String)> {
         } => Some((
             format!(
                 "{} {} {}",
-                prom_metric(epoch_field_metric(*field)),
+                prom_metric(&scoped_epoch_metric(*field, &rule.scope)),
                 op.symbol(),
                 fmt_num(*limit)
             ),
@@ -214,6 +237,7 @@ impl RuleSet {
                     out.push_str(&format!("    for: {for_clause}\n"));
                     out.push_str("    labels:\n");
                     out.push_str(&format!("      severity: {}\n", severity(rule)));
+                    out.push_str(&format!("      scope: {}\n", rule.scope.label()));
                     out.push_str("    annotations:\n");
                     out.push_str(&format!(
                         "      summary: mercurial-watch rule `{}` violated\n",
@@ -261,6 +285,7 @@ mod tests {
     fn windowed_rules_become_for_clauses() {
         let set = RuleSet {
             rules: vec![Rule {
+                scope: Default::default(),
                 name: "sustained-ops".into(),
                 kind: RuleKind::Windowed {
                     field: EpochField::CorruptOps,
@@ -276,9 +301,56 @@ mod tests {
     }
 
     #[test]
+    fn class_scope_prefixes_metrics_and_labels() {
+        let set = RuleSet {
+            rules: vec![
+                Rule {
+                    scope: RuleScope::Class("database".into()),
+                    name: "db-ops".into(),
+                    kind: RuleKind::Windowed {
+                        field: EpochField::CorruptOps,
+                        op: Cmp::Gt,
+                        limit: 10.0,
+                        window: 2,
+                    },
+                },
+                Rule {
+                    scope: RuleScope::Class("database".into()),
+                    name: "db-total".into(),
+                    kind: RuleKind::Threshold {
+                        source: Source::Counter("corrupt_ops_total".into()),
+                        op: Cmp::Gt,
+                        limit: 100.0,
+                    },
+                },
+            ],
+        };
+        let yaml = set.to_prometheus_rules("g", 73.0);
+        assert!(yaml.contains("expr: mercurial_class_database_corrupt_ops > 10\n"));
+        assert!(yaml.contains("expr: mercurial_class_database_corrupt_ops_total > 100\n"));
+        assert!(yaml.contains("      scope: database\n"));
+        // Fleet-wide rules carry the default label.
+        let fleet = RuleSet {
+            rules: vec![Rule {
+                scope: Default::default(),
+                name: "ops".into(),
+                kind: RuleKind::Threshold {
+                    source: Source::EpochMax(EpochField::CorruptOps),
+                    op: Cmp::Gt,
+                    limit: 1.0,
+                },
+            }],
+        };
+        assert!(fleet
+            .to_prometheus_rules("g", 73.0)
+            .contains("      scope: fleet\n"));
+    }
+
+    #[test]
     fn regressions_are_commented_not_dropped() {
         let set = RuleSet {
             rules: vec![Rule {
+                scope: Default::default(),
                 name: "base".into(),
                 kind: RuleKind::Regression {
                     source: Source::Counter("sim.corruptions".into()),

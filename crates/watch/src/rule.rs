@@ -203,6 +203,38 @@ pub enum RuleKind {
     },
 }
 
+/// Which slice of the fleet a rule watches.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleScope {
+    /// The whole fleet — the default, and what every legacy rule file
+    /// parses as.
+    #[default]
+    FleetWide,
+    /// One named workload class: epoch columns read the class's
+    /// per-epoch `corrupt_ops`, and metric sources resolve under the
+    /// class's `class.<name>.` metric prefix.
+    Class(String),
+}
+
+impl RuleScope {
+    /// The metric name this scope resolves `name` to: unchanged for the
+    /// fleet, `class.<class>.<name>` for a class scope.
+    pub fn metric_name(&self, name: &str) -> String {
+        match self {
+            RuleScope::FleetWide => name.to_string(),
+            RuleScope::Class(class) => format!("class.{class}.{name}"),
+        }
+    }
+
+    /// Stable label value for exports (Prometheus `scope` label).
+    pub fn label(&self) -> &str {
+        match self {
+            RuleScope::FleetWide => "fleet",
+            RuleScope::Class(class) => class,
+        }
+    }
+}
+
 /// One named alert rule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Rule {
@@ -210,6 +242,11 @@ pub struct Rule {
     pub name: String,
     /// The firing condition.
     pub kind: RuleKind,
+    /// The fleet slice the rule watches. Defaults to fleet-wide, so
+    /// legacy rule files parse (and re-serialize their behavior)
+    /// unchanged.
+    #[serde(default)]
+    pub scope: RuleScope,
 }
 
 impl Rule {
@@ -269,6 +306,14 @@ impl RuleSet {
             }
             if !seen.insert(rule.name.as_str()) {
                 return Err(format!("duplicate rule name `{}`", rule.name));
+            }
+            if let RuleScope::Class(class) = &rule.scope {
+                if class.trim().is_empty() {
+                    return Err(format!(
+                        "rule `{}`: class scope must name a class",
+                        rule.name
+                    ));
+                }
             }
             match &rule.kind {
                 RuleKind::Threshold { source, limit, .. } => {
@@ -338,6 +383,7 @@ mod tests {
 
     fn threshold(name: &str, source: Source, op: Cmp, limit: f64) -> Rule {
         Rule {
+            scope: Default::default(),
             name: name.to_string(),
             kind: RuleKind::Threshold { source, op, limit },
         }
@@ -384,6 +430,7 @@ mod tests {
                     100.0,
                 ),
                 Rule {
+                    scope: Default::default(),
                     name: "cap-drop".into(),
                     kind: RuleKind::Rate {
                         field: EpochField::Capacity,
@@ -391,6 +438,7 @@ mod tests {
                     },
                 },
                 Rule {
+                    scope: Default::default(),
                     name: "latency".into(),
                     kind: RuleKind::Percentile {
                         histogram: "detect.latency_hours".into(),
@@ -400,6 +448,7 @@ mod tests {
                     },
                 },
                 Rule {
+                    scope: Default::default(),
                     name: "base".into(),
                     kind: RuleKind::Regression {
                         source: Source::Counter("sim.corruptions".into()),
@@ -407,6 +456,7 @@ mod tests {
                     },
                 },
                 Rule {
+                    scope: Default::default(),
                     name: "sustained-ops".into(),
                     kind: RuleKind::Windowed {
                         field: EpochField::CorruptOps,
@@ -448,6 +498,7 @@ mod tests {
     fn windowed_validation_rejects_degenerate_windows() {
         let zero = RuleSet {
             rules: vec![Rule {
+                scope: Default::default(),
                 name: "w".into(),
                 kind: RuleKind::Windowed {
                     field: EpochField::Capacity,
@@ -460,6 +511,7 @@ mod tests {
         assert!(zero.validate().unwrap_err().contains("window must be >= 1"));
         let nan = RuleSet {
             rules: vec![Rule {
+                scope: Default::default(),
                 name: "w".into(),
                 kind: RuleKind::Windowed {
                     field: EpochField::Capacity,
@@ -484,6 +536,7 @@ mod tests {
 
         let bad_q = RuleSet {
             rules: vec![Rule {
+                scope: Default::default(),
                 name: "q".into(),
                 kind: RuleKind::Percentile {
                     histogram: "h".into(),
@@ -507,6 +560,7 @@ mod tests {
 
         let neg_tol = RuleSet {
             rules: vec![Rule {
+                scope: Default::default(),
                 name: "t".into(),
                 kind: RuleKind::Regression {
                     source: Source::Counter("x".into()),
@@ -525,6 +579,7 @@ mod tests {
         );
         assert!(!threshold("b", Source::Counter("x".into()), Cmp::Gt, 1.0).is_epoch_scoped());
         assert!(Rule {
+            scope: Default::default(),
             name: "r".into(),
             kind: RuleKind::Rate {
                 field: EpochField::Capacity,

@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke frontier-smoke
+.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke frontier-smoke audit-smoke
 
-ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke frontier-smoke
+ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke frontier-smoke audit-smoke
 
 build:
 	$(CARGO) build --release
@@ -77,3 +77,10 @@ serve-smoke:
 # residual corruption at strictly higher overhead, every rung.
 frontier-smoke:
 	$(CARGO) run --release -p mercurial-bench --bin e20_frontier -- --smoke
+
+# Decision-audit contracts: an audit-off run reproduces the E20 pin
+# digests bit-for-bit, the ledger replayed from exported JSONL is
+# byte-identical to the in-loop ledger at 1/2/8 workers, and attribution
+# conserves ground truth (TP+FN == seeded mercurial cores, FP healthy).
+audit-smoke:
+	$(CARGO) run --release -p mercurial-bench --bin e21_audit -- --smoke

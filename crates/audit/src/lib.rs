@@ -1,0 +1,43 @@
+//! # mercurial-audit
+//!
+//! Decision provenance for the mercurial laboratory: who did what to
+//! which core, and was it right?
+//!
+//! §5 of *Cores that don't count* is a confession: "we have no way of
+//! knowing the extent of the problem" — the fleet's operational decisions
+//! (quarantines, exonerations, pages) are made against noisy evidence and
+//! never systematically reconciled with ground truth. The laboratory
+//! *has* ground truth, so this crate closes the loop the paper cannot:
+//!
+//! * [`DecisionLedger`] — every operational decision the closed loop
+//!   makes (signal ingest, suspect flag, quarantine, deep-check verdict,
+//!   exoneration, confirmation, watch-rule firing, mitigation
+//!   escalation), derived from the trace event stream identically in-loop
+//!   and from exported JSONL, hence byte-for-byte replayable;
+//! * [`GroundTruth`] — the lesion record (which cores really were
+//!   mercurial, and since when), joined from the driver's `gt.onset`
+//!   instants;
+//! * [`AuditReport`] — the attribution scorer: TP/FP/FN per core,
+//!   time-to-root-cause percentiles, the exoneration-error audit (the
+//!   paper's "test escape" months-long failure mode), and per-signal-kind
+//!   / per-watch-rule precision and recall, rendered as a fleet
+//!   postmortem;
+//! * [`CaseBook`] — per-core case files: the causally ordered evidence
+//!   chain behind each verdict, fullest cases first, in ASCII or JSONL.
+//!
+//! Like tracing and watch, auditing is off by default and costs nothing
+//! when disabled; enabling it forces tracing on (the ledger is a view of
+//! the trace) and adds only the per-signal provenance instants.
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod ledger;
+pub mod score;
+pub mod truth;
+
+pub use cases::{CaseBook, CaseEvent, CaseFile};
+pub use ledger::{
+    signal_kind_name, Decision, DecisionLedger, LedgerEntry, ALL_DECISIONS, SIGNAL_KIND_NAMES,
+};
+pub use score::{AuditReport, CaseLabel, CoreVerdict, KindStats, RuleStats};
+pub use truth::GroundTruth;

@@ -1,0 +1,110 @@
+//! Ground truth: which cores *really were* mercurial, and since when.
+//!
+//! Derived from the `gt.onset` instants the driver records before the
+//! first epoch — one per ground-truth mercurial core, stamped with the
+//! hour its earliest lesion activates. Deriving truth from the same
+//! ledger in both the in-loop and replay paths keeps attribution
+//! identical between them; an optional annotation map (fault-profile
+//! names, available only in-run) enriches case files without entering the
+//! parity-checked byte stream.
+
+use crate::ledger::{Decision, DecisionLedger};
+use std::collections::BTreeMap;
+
+/// The ground-truth lesion record the scorer joins decisions against.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundTruth {
+    /// Packed `CoreUid` → earliest lesion onset hour.
+    onsets: BTreeMap<u64, f64>,
+    /// Packed `CoreUid` → fault-profile annotation (in-run enrichment
+    /// only; absent on replay).
+    labels: BTreeMap<u64, String>,
+}
+
+impl GroundTruth {
+    /// Extract the lesion record from a ledger's `onset` entries.
+    pub fn from_ledger(ledger: &DecisionLedger) -> GroundTruth {
+        let mut truth = GroundTruth::default();
+        for e in &ledger.entries {
+            if e.decision == Decision::Onset {
+                if let Some(core) = e.core {
+                    let slot = truth.onsets.entry(core).or_insert(e.hour);
+                    *slot = slot.min(e.hour);
+                }
+            }
+        }
+        truth
+    }
+
+    /// Attach a fault-profile annotation to a core (shown in case files).
+    pub fn annotate(&mut self, core: u64, label: impl Into<String>) {
+        self.labels.insert(core, label.into());
+    }
+
+    /// The annotation for a core, if any.
+    pub fn label(&self, core: u64) -> Option<&str> {
+        self.labels.get(&core).map(String::as_str)
+    }
+
+    /// Whether the core is ground-truth mercurial.
+    pub fn is_mercurial(&self, core: u64) -> bool {
+        self.onsets.contains_key(&core)
+    }
+
+    /// Earliest lesion onset hour for a mercurial core.
+    pub fn onset_of(&self, core: u64) -> Option<f64> {
+        self.onsets.get(&core).copied()
+    }
+
+    /// Number of ground-truth mercurial cores.
+    pub fn count(&self) -> usize {
+        self.onsets.len()
+    }
+
+    /// All mercurial cores with their onset hours, in core order.
+    pub fn cores(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.onsets.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::LedgerEntry;
+
+    fn onset(hour: f64, core: u64) -> LedgerEntry {
+        LedgerEntry {
+            hour,
+            decision: Decision::Onset,
+            core: Some(core),
+            value: 0.0,
+        }
+    }
+
+    #[test]
+    fn truth_collects_earliest_onsets() {
+        let ledger = DecisionLedger {
+            entries: vec![
+                onset(100.0, 7),
+                onset(50.0, 7), // duplicate: earliest wins
+                onset(200.0, 9),
+                LedgerEntry {
+                    hour: 10.0,
+                    decision: Decision::Quarantine,
+                    core: Some(3),
+                    value: 0.0,
+                },
+            ],
+            ..DecisionLedger::default()
+        };
+        let mut truth = GroundTruth::from_ledger(&ledger);
+        assert_eq!(truth.count(), 2);
+        assert!(truth.is_mercurial(7));
+        assert!(!truth.is_mercurial(3));
+        assert_eq!(truth.onset_of(7), Some(50.0));
+        assert_eq!(truth.onset_of(9), Some(200.0));
+        assert_eq!(truth.label(7), None);
+        truth.annotate(7, "mercurial-fma");
+        assert_eq!(truth.label(7), Some("mercurial-fma"));
+    }
+}

@@ -126,7 +126,7 @@ impl ClosedLoopDriver {
         let mut summary = SimSummary::default();
         let mut series = EpochSeries::new(epoch_hours);
         let mut engine = watch_engine(scenario, &opts.rules);
-        let mut rec = scenario.trace.recorder();
+        let mut rec = scenario.recorder();
         record_ground_truth_onsets(experiment, &mut rec);
         // Workload classes: initial mitigation policies apply even open
         // loop (there is no adaptation without feedback, but a static
@@ -222,14 +222,21 @@ impl ClosedLoopDriver {
                 } else {
                     eng.push_epoch(row)
                 };
-                record_alerts(&mut rec, &fired);
+                record_alerts(&mut rec, &fired, scenario.audit.enabled);
             }
             if let Some(s) = opts.sink.as_mut() {
                 s.drain(&mut rec).expect("stream sink drain");
             }
         }
         log.sort_by_time();
-        let pipeline = PipelineRun::complete_from_signals(scenario, experiment, log, summary);
+        // The batch back half runs untraced unless the audit layer wants
+        // decision provenance — the plain traced open loop stays
+        // bit-for-bit with its pre-audit exports.
+        let pipeline = if scenario.audit.enabled {
+            PipelineRun::complete_from_signals_traced(scenario, experiment, log, summary, &mut rec)
+        } else {
+            PipelineRun::complete_from_signals(scenario, experiment, log, summary)
+        };
         for latency in &pipeline.detection_latency_hours {
             rec.observe("detect.latency_hours", *latency);
         }
@@ -238,7 +245,7 @@ impl ClosedLoopDriver {
                 let empty = MetricSet::new();
                 let (report, end_alerts) =
                     eng.finish(rec.metrics().unwrap_or(&empty), opts.baseline);
-                record_alerts(&mut rec, &end_alerts);
+                record_alerts(&mut rec, &end_alerts, scenario.audit.enabled);
                 Some(report)
             }
             None => None,
@@ -269,7 +276,7 @@ impl ClosedLoopDriver {
     ) -> ClosedLoopOutcome {
         let machines = experiment.topology().config().machines;
         let engine = watch_engine(scenario, &opts.rules);
-        let mut rec = scenario.trace.recorder();
+        let mut rec = scenario.recorder();
         record_ground_truth_onsets(experiment, &mut rec);
         let mut agg = FleetAggregator::new(scenario, experiment, engine);
         let mut shard = FleetShard::new(scenario, experiment, 0, machines);

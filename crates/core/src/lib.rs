@@ -39,7 +39,7 @@
 //! The sub-crates are re-exported under their own names for direct use:
 //! [`fault`], [`simcpu`], [`corpus`], [`fleet`], [`screening`],
 //! [`fuzz`], [`isolation`], [`mitigation`], [`metrics`], [`trace`],
-//! [`watch`].
+//! [`watch`], [`audit`].
 #![warn(missing_docs)]
 
 pub mod closedloop;
@@ -59,6 +59,7 @@ pub use shardloop::{
     shard_ranges, EpochCommands, FinishedLoop, FleetAggregator, FleetShard, ShardEpochReport,
 };
 
+pub use mercurial_audit as audit;
 pub use mercurial_corpus as corpus;
 pub use mercurial_fault as fault;
 pub use mercurial_fleet as fleet;

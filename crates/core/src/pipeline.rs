@@ -17,6 +17,7 @@ use mercurial_screening::{
     BurnIn, DetectionRecord, HumanTriage, OfflineScreener, OnlineScreener, Scoreboard,
     ScreeningStats, TriageStats,
 };
+use mercurial_trace::Recorder;
 use std::collections::HashSet;
 
 /// Everything the pipeline produced.
@@ -119,8 +120,32 @@ impl PipelineRun {
     pub fn complete_from_signals(
         scenario: &Scenario,
         experiment: &FleetExperiment,
+        signals: SignalLog,
+        sim_summary: SimSummary,
+    ) -> PipelineOutcome {
+        // A disabled recorder turns every provenance emission below into a
+        // no-op, and the registry's untraced ops are themselves defined as
+        // the traced ops over a disabled recorder — so this is the same
+        // computation, bit for bit.
+        Self::complete_from_signals_traced(
+            scenario,
+            experiment,
+            signals,
+            sim_summary,
+            &mut Recorder::disabled(),
+        )
+    }
+
+    /// [`PipelineRun::complete_from_signals`] with decision provenance:
+    /// every signal ingest, suspect flag, quarantine, triage verdict,
+    /// exoneration, and restore lands in the trace (and hence the audit
+    /// ledger) exactly as the closed-loop driver would record it.
+    pub fn complete_from_signals_traced(
+        scenario: &Scenario,
+        experiment: &FleetExperiment,
         mut signals: SignalLog,
         sim_summary: SimSummary,
+        rec: &mut Recorder,
     ) -> PipelineOutcome {
         let topo = experiment.topology();
         let pop = experiment.population();
@@ -160,12 +185,15 @@ impl PipelineRun {
         let (online_detections, online_stats) =
             online.run(topo, pop, scenario.sim.months, &mut detected, &mut signals);
         detections.extend(online_detections);
+        if !detections.is_empty() {
+            rec.counter_add("audit.screen_detections", detections.len() as u64);
+        }
 
         // 3. Production-signal suspicion: the scoreboard accumulates every
         //    signal; cores crossing the threshold (and not already caught
         //    by a screener) go to human triage.
         let mut scoreboard = Scoreboard::new();
-        scoreboard.ingest_all(signals.all().iter());
+        scoreboard.ingest_all_provenance(signals.all().iter(), rec);
         let suspects: Vec<(CoreUid, f64)> = scoreboard
             .suspects_excluding(scenario.suspicion_threshold, |core| {
                 detected.contains(&core)
@@ -183,10 +211,16 @@ impl PipelineRun {
         let mut registry = QuarantineRegistry::new();
         for d in &detections {
             registry
-                .mark_suspect(d.core, d.hour, "screener failure")
-                .and_then(|()| registry.quarantine(d.core, d.hour, "controlled test failed"))
-                .and_then(|()| registry.confirm(d.core, d.hour, "screen reproduced defect"))
+                .mark_suspect_traced(d.core, d.hour, "screener failure", rec)
+                .and_then(|()| {
+                    registry.quarantine_traced(d.core, d.hour, "controlled test failed", rec)
+                })
+                .and_then(|()| {
+                    registry.confirm_traced(d.core, d.hour, "screen reproduced defect", rec)
+                })
                 .expect("fresh core walks the legal path");
+            rec.counter_add("audit.quarantines", 1);
+            rec.counter_add("audit.confirms", 1);
         }
         //    Triage suspects were quarantined on suspicion, then either
         //    confirmed or exonerated.
@@ -195,32 +229,36 @@ impl PipelineRun {
             triage_detections.iter().map(|d| d.core).collect();
         for &(core, hour) in &suspects {
             registry
-                .mark_suspect(core, hour, "signal concentration")
-                .and_then(|()| registry.quarantine(core, hour, "suspicion threshold"))
+                .mark_suspect_traced(core, hour, "signal concentration", rec)
+                .and_then(|()| registry.quarantine_traced(core, hour, "suspicion threshold", rec))
                 .expect("fresh core walks the legal path");
+            rec.counter_add("audit.quarantines", 1);
             if confirmed_by_triage.contains(&core) {
+                let confirm_hour = hour + tuning.triage_latency_hours;
                 registry
-                    .confirm(
-                        core,
-                        hour + tuning.triage_latency_hours,
-                        "triage confession",
-                    )
+                    .confirm_traced(core, confirm_hour, "triage confession", rec)
                     .expect("quarantined core can confirm");
+                rec.instant(confirm_hour, "detect.triage", Some(core.as_u64()), 0.0);
+                rec.counter_add("audit.confirms", 1);
             } else {
                 registry
-                    .exonerate(
+                    .exonerate_traced(
                         core,
                         hour + tuning.triage_latency_hours,
                         "nothing reproduced",
+                        rec,
                     )
                     .expect("quarantined core can exonerate");
+                rec.counter_add("audit.exonerations", 1);
                 registry
-                    .restore(
+                    .restore_traced(
                         core,
                         hour + tuning.restore_latency_hours,
                         "returned to pool",
+                        rec,
                     )
                     .expect("exonerated core can restore");
+                rec.counter_add("audit.restores", 1);
                 if !pop.is_mercurial(core) {
                     exonerated_innocents += 1;
                 }

@@ -464,6 +464,39 @@ impl WorkloadsConfig {
     }
 }
 
+/// Decision-audit block (off by default): whether runs keep a provenance
+/// ledger of every operational decision for ground-truth attribution.
+///
+/// Enabling audit forces tracing on (the ledger is derived from the trace
+/// event stream, which is also what makes the offline replay over exported
+/// JSONL reproduce the in-loop ledger byte-for-byte). With the block
+/// absent — the default, and what legacy scenario JSON parses to — no
+/// extra events are recorded and every output is bit-identical to the
+/// pre-audit tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditConfig {
+    /// Master switch for decision-provenance recording.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Maximum per-core case files in exported/rendered case output
+    /// (fullest cases first, matching the timeline exporter's cap).
+    #[serde(default = "default_audit_max_cases")]
+    pub max_cases: usize,
+}
+
+fn default_audit_max_cases() -> usize {
+    40
+}
+
+impl Default for AuditConfig {
+    fn default() -> AuditConfig {
+        AuditConfig {
+            enabled: false,
+            max_cases: default_audit_max_cases(),
+        }
+    }
+}
+
 /// A complete experiment configuration.
 ///
 /// Scenarios serialize to JSON so experiment parameters live in files and
@@ -505,6 +538,10 @@ pub struct Scenario {
     /// (flat traffic, zero mitigation by default).
     #[serde(default)]
     pub workloads: WorkloadsConfig,
+    /// Decision-audit layer: provenance ledger and ground-truth
+    /// attribution (off by default).
+    #[serde(default)]
+    pub audit: AuditConfig,
 }
 
 impl Scenario {
@@ -529,6 +566,7 @@ impl Scenario {
             watch: WatchConfig::default(),
             serve: ServeConfig::default(),
             workloads: WorkloadsConfig::default(),
+            audit: AuditConfig::default(),
         }
     }
 
@@ -562,6 +600,23 @@ impl Scenario {
     /// Total observation window in hours.
     pub fn window_hours(&self) -> f64 {
         self.sim.months as f64 * 730.0
+    }
+
+    /// The effective recorder flags: the `trace` block, with recording
+    /// forced on when the audit layer is enabled (the decision ledger is
+    /// derived from the trace, so auditing an untraced run would observe
+    /// nothing).
+    pub fn trace_flags(&self) -> mercurial_trace::TraceFlags {
+        let mut flags = self.trace.flags();
+        flags.enabled |= self.audit.enabled;
+        flags
+    }
+
+    /// A recorder honoring [`Scenario::trace_flags`]. Drivers use this
+    /// instead of `scenario.trace.recorder()` so the audit block can force
+    /// tracing on.
+    pub fn recorder(&self) -> mercurial_trace::Recorder {
+        mercurial_trace::Recorder::with_flags(self.trace_flags())
     }
 
     /// Serializes to pretty JSON.
@@ -608,6 +663,7 @@ mod tests {
         s.watch.enabled = true;
         s.serve.workers = 3; // non-default, must NOT survive
         s.workloads.enabled = true;
+        s.audit.enabled = true;
         let mut v = s.to_value();
         let serde::Value::Object(entries) = &mut v else {
             panic!("scenario serializes to an object");
@@ -620,8 +676,13 @@ mod tests {
                 && k != "watch"
                 && k != "serve"
                 && k != "workloads"
+                && k != "audit"
         });
-        assert_eq!(entries.len(), before - 6, "test must strip all six blocks");
+        assert_eq!(
+            entries.len(),
+            before - 7,
+            "test must strip all seven blocks"
+        );
         let back = Scenario::from_value(&v).unwrap();
         assert_eq!(back.tuning, PipelineTuning::default());
         assert_eq!(back.closed_loop, ClosedLoopConfig::default());
@@ -629,7 +690,10 @@ mod tests {
         assert_eq!(back.watch, WatchConfig::default());
         assert_eq!(back.serve, ServeConfig::default());
         assert_eq!(back.workloads, WorkloadsConfig::default());
+        assert_eq!(back.audit, AuditConfig::default());
         assert!(!back.workloads.enabled, "workload layer defaults to off");
+        assert!(!back.audit.enabled, "audit layer defaults to off");
+        assert_eq!(back.audit.max_cases, 40);
         assert_eq!(back.serve.workers, 1);
         assert!(back.serve.impair.is_noop());
         assert!(!back.trace.enabled, "tracing defaults to off");

@@ -150,6 +150,10 @@ pub struct FleetShard<'a> {
     /// Interned per-class counter names (worker-side cumulative totals —
     /// these ride the serve layer's `Bye` frame unchanged).
     class_counters: Vec<ClassMetricNames>,
+    /// Whether the scenario's `audit` block is on: the worker contributes
+    /// its cumulative `audit.screen_detections` counter only then, so
+    /// legacy runs stay bit-for-bit.
+    audit_on: bool,
 }
 
 /// Interned metric names for one workload class, built once per shard.
@@ -272,6 +276,7 @@ impl<'a> FleetShard<'a> {
             screen_q,
             classes_on,
             class_counters,
+            audit_on: scenario.audit.enabled,
         }
     }
 
@@ -372,6 +377,9 @@ impl<'a> FleetShard<'a> {
         // epoch's workload runs (registry effects are the aggregator's).
         for d in &screened {
             self.state.set_active(d.core, false);
+        }
+        if self.audit_on && !screened.is_empty() {
+            rec.counter_add("audit.screen_detections", screened.len() as u64);
         }
 
         // Phase 4: one epoch of workload simulation. The worker's mask
@@ -489,6 +497,10 @@ pub struct FleetAggregator<'a> {
     /// commands (workers switch policies one epoch after the decision,
     /// exactly like quarantine crossings).
     pending_policy_changes: Vec<PolicyChange>,
+    /// Whether the scenario's `audit` block is on: decision provenance
+    /// instants (`score.signal`) and cumulative `audit.*` counters are
+    /// emitted only then, so legacy runs stay bit-for-bit.
+    audit_on: bool,
 }
 
 impl<'a> FleetAggregator<'a> {
@@ -555,6 +567,7 @@ impl<'a> FleetAggregator<'a> {
             class_gauges,
             policies,
             pending_policy_changes: Vec::new(),
+            audit_on: scenario.audit.enabled,
         }
     }
 
@@ -597,6 +610,9 @@ impl<'a> FleetAggregator<'a> {
                 .expect("exonerated core can restore");
             self.ledger.restore_core_traced(core, restore_hour, rec);
             self.out_of_service.remove(&core);
+            if self.audit_on {
+                rec.counter_add("audit.restores", 1);
+            }
             restores.push(core);
         }
 
@@ -622,6 +638,9 @@ impl<'a> FleetAggregator<'a> {
                         .confirm_traced(core, verdict_hour, "deep check confession", rec)
                         .expect("quarantined core can confirm");
                     rec.instant(verdict_hour, "detect.triage", Some(core.as_u64()), 0.0);
+                    if self.audit_on {
+                        rec.counter_add("audit.confirms", 1);
+                    }
                     self.recovered_cores +=
                         safe_task_share(&self.safe_policy, &self.task_mix, self.pop, core);
                     self.detections.push(DetectionRecord {
@@ -638,6 +657,9 @@ impl<'a> FleetAggregator<'a> {
                     self.registry
                         .exonerate_traced(core, verdict_hour, "nothing reproduced", rec)
                         .expect("quarantined core can exonerate");
+                    if self.audit_on {
+                        rec.counter_add("audit.exonerations", 1);
+                    }
                     if !self.pop.is_mercurial(core) {
                         self.exonerated_innocents += 1;
                     }
@@ -691,6 +713,10 @@ impl<'a> FleetAggregator<'a> {
                 })
                 .expect("in-service core walks the legal path");
             self.ledger.remove_core_traced(d.core, d.hour, rec);
+            if self.audit_on {
+                rec.counter_add("audit.quarantines", 1);
+                rec.counter_add("audit.confirms", 1);
+            }
             self.recovered_cores +=
                 safe_task_share(&self.safe_policy, &self.task_mix, self.pop, d.core);
             self.out_of_service.insert(d.core);
@@ -729,8 +755,16 @@ impl<'a> FleetAggregator<'a> {
             self.log.append(r.screen_log.clone());
         }
         for r in reports {
-            self.scoreboard
-                .ingest_all_traced(r.evidence.all().iter(), rec);
+            if self.audit_on {
+                // Decision provenance: one `score.signal` instant per
+                // ingested signal (value = kind index) feeds the audit
+                // ledger's per-kind precision/recall.
+                self.scoreboard
+                    .ingest_all_provenance(r.evidence.all().iter(), rec);
+            } else {
+                self.scoreboard
+                    .ingest_all_traced(r.evidence.all().iter(), rec);
+            }
             self.log.append(r.evidence);
         }
 
@@ -754,6 +788,9 @@ impl<'a> FleetAggregator<'a> {
                 })
                 .expect("in-service core walks the legal path");
             self.ledger.remove_core_traced(core, hour, rec);
+            if self.audit_on {
+                rec.counter_add("audit.quarantines", 1);
+            }
             self.out_of_service.insert(core);
             self.handled.insert(core);
             self.deep_q.schedule_ranked(
@@ -784,6 +821,9 @@ impl<'a> FleetAggregator<'a> {
                             policy: next,
                         });
                         rec.instant(h1, "mitigation.escalated", None, ix as f64);
+                        if self.audit_on {
+                            rec.counter_add("audit.escalations", 1);
+                        }
                     }
                 }
             }
@@ -850,7 +890,7 @@ impl<'a> FleetAggregator<'a> {
             } else {
                 eng.push_epoch(row)
             };
-            record_alerts(rec, &fired);
+            record_alerts(rec, &fired, self.audit_on);
         }
         rec.end(h1, "loop.epoch");
         self.epoch += 1;
@@ -880,6 +920,7 @@ impl<'a> FleetAggregator<'a> {
             engine,
             worker_summaries,
             worker_stats,
+            audit_on,
             ..
         } = self;
 
@@ -965,7 +1006,7 @@ impl<'a> FleetAggregator<'a> {
                     merged.merge(m);
                 }
                 let (report, end_alerts) = eng.finish(&merged, baseline);
-                record_alerts(rec, &end_alerts);
+                record_alerts(rec, &end_alerts, audit_on);
                 Some(report)
             }
             None => None,
@@ -989,10 +1030,17 @@ pub fn watch_engine(scenario: &Scenario, rules: &Option<RuleSet>) -> Option<Watc
 }
 
 /// Stamp freshly fired alerts into the trace as `alert.fired` instants
-/// (value = rule index, hour = the violation's hour).
-pub fn record_alerts(rec: &mut Recorder, alerts: &[(usize, Alert)]) {
+/// (value = rule index, hour = the violation's hour). With `audit` on,
+/// also bump the cumulative `audit.alerts` counter and a per-rule
+/// `audit.rule.<name>.fires` counter (rule names are operator-supplied;
+/// the serve status page label-escapes them on render).
+pub fn record_alerts(rec: &mut Recorder, alerts: &[(usize, Alert)], audit: bool) {
     for (idx, a) in alerts {
         rec.instant(a.hour, "alert.fired", None, *idx as f64);
+        if audit {
+            rec.counter_add("audit.alerts", 1);
+            rec.counter_add(intern(format!("audit.rule.{}.fires", a.rule)), 1);
+        }
     }
 }
 

@@ -14,7 +14,7 @@
 
 use mercurial::closedloop::ClosedLoopDriver;
 use mercurial::fault::CoreUid;
-use mercurial::trace::{incident_timeline, EventKind, Trace};
+use mercurial::trace::{incident_timeline, EventKind, Recorder, Trace, TraceFlags};
 use mercurial::Scenario;
 
 fn traced_demo(seed: u64) -> Scenario {
@@ -136,4 +136,62 @@ fn timeline_tells_a_full_incident_story() {
             assert!(w[0] <= w[1], "stages out of order in: {line}");
         }
     }
+}
+
+#[test]
+fn timeline_renders_a_pure_false_positive_core() {
+    // A healthy core that draws signals and a quarantine but has no
+    // gt.onset anchor — the audit layer's FP shape. The timeline must
+    // still tell its story in causal order, without inventing an onset.
+    let mut r = Recorder::with_flags(TraceFlags::enabled());
+    r.instant(40.0, "score.first_signal", Some(11), 0.0);
+    r.instant(55.0, "score.recidivist", Some(11), 0.3);
+    r.instant(60.0, "core.suspect", Some(11), 0.0);
+    r.instant(60.0, "core.quarantine", Some(11), 0.0);
+    r.instant(72.0, "core.exonerate", Some(11), 0.0);
+    r.instant(96.0, "core.restore", Some(11), 0.0);
+    let s = incident_timeline(&r.finish(), &|id| format!("c{id}"));
+    let line = s
+        .lines()
+        .find(|l| l.trim_start().starts_with("c11"))
+        .unwrap();
+    assert_eq!(
+        line.trim(),
+        "c11  signal@h40 -> recidivist@h55 -> suspect@h60 -> quarantine@h60 \
+         -> exonerate@h72 -> restore@h96"
+    );
+    assert!(!line.contains("onset@"), "no ground truth, no onset stage");
+}
+
+#[test]
+fn timeline_renders_false_exoneration_then_reconfirmation() {
+    // The paper's "test escape": a mercurial core is exonerated (deep
+    // check found nothing), returns to the pool, keeps corrupting, and is
+    // re-quarantined and confirmed later. Both passes must render, in
+    // causal order, on one line.
+    let mut r = Recorder::with_flags(TraceFlags::enabled());
+    r.instant(10.0, "gt.onset", Some(5), 0.0);
+    r.instant(30.0, "score.first_signal", Some(5), 0.0);
+    r.instant(50.0, "core.suspect", Some(5), 0.0);
+    r.instant(50.0, "core.quarantine", Some(5), 0.0);
+    r.instant(62.0, "core.exonerate", Some(5), 0.0);
+    r.instant(70.0, "core.restore", Some(5), 0.0);
+    // Second pass: fresh evidence, emitted out of hour order (a later
+    // evidence batch can carry an earlier-hour signal).
+    r.instant(130.0, "core.suspect", Some(5), 0.0);
+    r.instant(120.0, "score.recidivist", Some(5), 0.4);
+    r.instant(130.0, "core.quarantine", Some(5), 0.0);
+    r.instant(144.0, "detect.triage", Some(5), 0.0);
+    r.instant(144.0, "core.confirm", Some(5), 0.0);
+    let s = incident_timeline(&r.finish(), &|id| format!("c{id}"));
+    let line = s
+        .lines()
+        .find(|l| l.trim_start().starts_with("c5"))
+        .unwrap();
+    assert_eq!(
+        line.trim(),
+        "c5  onset@h10 -> signal@h30 -> suspect@h50 -> quarantine@h50 \
+         -> exonerate@h62 -> restore@h70 -> recidivist@h120 -> suspect@h130 \
+         -> quarantine@h130 -> detect(triage)@h144 -> confirm@h144"
+    );
 }

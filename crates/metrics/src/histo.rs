@@ -46,6 +46,21 @@ pub fn percentiles_of(h: &LogHistogram) -> Option<Percentiles> {
     })
 }
 
+/// Exact nearest-rank quantile `q` (in `(0, 1]`) of a raw sample set:
+/// sorts a copy and returns the ceil(q·n)-th order statistic. Unlike the
+/// bucketed estimators above this is exact, so it serves the places that
+/// report a quantile of a small sample set verbatim (serve fidelity p95,
+/// audit time-to-root-cause percentiles). `None` when `samples` is empty.
+pub fn nearest_rank(q: f64, samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +125,19 @@ mod tests {
         assert_eq!(p.p50, 0.0);
         assert_eq!(p.p95, 100.0);
         assert_eq!(p.p99, 100.0);
+    }
+
+    #[test]
+    fn nearest_rank_is_exact_order_statistic() {
+        assert_eq!(nearest_rank(0.95, &[]), None);
+        assert_eq!(nearest_rank(0.95, &[5.0]), Some(5.0));
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(nearest_rank(0.95, &v), Some(95.0));
+        assert_eq!(nearest_rank(0.5, &v), Some(50.0));
+        assert_eq!(nearest_rank(1.0, &v), Some(100.0));
+        // Unsorted input and tiny q both behave.
+        assert_eq!(nearest_rank(0.5, &[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(nearest_rank(0.001, &[3.0, 1.0, 2.0]), Some(1.0));
     }
 
     #[test]

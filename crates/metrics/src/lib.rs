@@ -37,7 +37,7 @@ pub mod series;
 pub mod sprt;
 
 pub use epoch::{ClassPoint, EpochPoint, EpochSeries};
-pub use histo::{log_histogram, percentiles, percentiles_of, Percentiles};
+pub use histo::{log_histogram, nearest_rank, percentiles, percentiles_of, Percentiles};
 pub use incidence::{clopper_pearson, wilson_interval, IncidenceEstimate};
 pub use onset::{KaplanMeier, Observation};
 pub use rates::LogDecadeHistogram;

@@ -181,6 +181,32 @@ impl Scoreboard {
         rec.counter_add("score.signals_ingested", n);
     }
 
+    /// [`Scoreboard::ingest_all_traced`] with decision provenance: before
+    /// each signal is ingested, a `score.signal` instant is emitted whose
+    /// value is the dense [`kind_index`] of the signal kind. The audit
+    /// ledger decodes the index back into the canonical kind name, giving
+    /// per-signal-kind precision/recall without widening the trace schema.
+    /// Only the audit layer pays for this firehose; the plain traced path
+    /// keeps emitting just the first-signal/recidivist milestones.
+    pub fn ingest_all_provenance<'a>(
+        &mut self,
+        signals: impl IntoIterator<Item = &'a Signal>,
+        rec: &mut Recorder,
+    ) {
+        let mut n = 0u64;
+        for s in signals {
+            rec.instant(
+                s.hour,
+                "score.signal",
+                Some(s.core.as_u64()),
+                kind_index(s.kind) as f64,
+            );
+            self.ingest_traced(s, rec);
+            n += 1;
+        }
+        rec.counter_add("score.signals_ingested", n);
+    }
+
     /// The score for one core, if any signal has been seen.
     pub fn score(&self, core: CoreUid) -> Option<&CoreScore> {
         self.scores.get(&core)

@@ -443,14 +443,20 @@ fn run_machine_tasks(
         );
         (newly, local)
     });
+    // The three screen.* counters are bumped once per batch, not once per
+    // task: a campaign sweep runs millions of machine tasks, and a
+    // per-task `counter_add` turns the merge loop into millions of
+    // metric-map lookups that dwarf the screening work itself. u64 sums
+    // are exactly associative, so the batch totals are bit-identical.
+    let (mut core_screens, mut test_ops, mut detections) = (0u64, 0u64, 0u64);
     for (task, (newly, local)) in tasks.iter().zip(results) {
         if machine_spans {
             rec.begin(task.hour, "screen.machine");
             rec.end(task.hour + task.drain_hours, "screen.machine");
         }
-        rec.counter_add("screen.core_screens", local.core_screens);
-        rec.counter_add("screen.test_ops", local.test_ops);
-        rec.counter_add("screen.detections", local.detections);
+        core_screens += local.core_screens;
+        test_ops += local.test_ops;
+        detections += local.detections;
         sinks.stats.drained_machine_hours += task.drain_hours;
         sinks.stats.core_screens += local.core_screens;
         sinks.stats.test_ops += local.test_ops;
@@ -475,6 +481,11 @@ fn run_machine_tasks(
                 caused_by_cee: true,
             });
         }
+    }
+    if !tasks.is_empty() {
+        rec.counter_add("screen.core_screens", core_screens);
+        rec.counter_add("screen.test_ops", test_ops);
+        rec.counter_add("screen.detections", detections);
     }
 }
 

@@ -66,16 +66,10 @@ pub fn alert_fidelity(clean: &WatchReport, impaired: &WatchReport) -> AlertFidel
     f
 }
 
-/// The p95 of a latency sample set (simple nearest-rank on a sorted
-/// copy); `None` when empty.
+/// The p95 of a latency sample set (exact nearest-rank, shared with the
+/// audit layer's time-to-root-cause percentiles); `None` when empty.
 pub fn p95(samples: &[f64]) -> Option<f64> {
-    if samples.is_empty() {
-        return None;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let rank = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    Some(sorted[rank - 1])
+    mercurial_metrics::nearest_rank(0.95, samples)
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ use mercurial::shardloop::{
 };
 use mercurial::{FleetExperiment, Scenario};
 use mercurial_fleet::SignalLog;
-use mercurial_trace::export::metrics_to_prometheus;
+use mercurial_trace::export::{metrics_to_prometheus, prom_label_escape};
 use mercurial_watch::{Baseline, RuleSet};
 
 use crate::impair::{ImpairedChannel, LinkStats};
@@ -123,7 +123,7 @@ fn serve_run(
 ) -> io::Result<ServedOutcome> {
     let experiment = FleetExperiment::build(scenario);
     let engine = watch_engine(scenario, &opts.rules);
-    let mut rec = scenario.trace.recorder();
+    let mut rec = scenario.recorder();
     record_ground_truth_onsets(&experiment, &mut rec);
     let mut agg = FleetAggregator::new(scenario, &experiment, engine);
     let epochs = agg.total_epochs();
@@ -277,7 +277,30 @@ fn status_body(rec: &mercurial_trace::Recorder, link: &LinkStats, done: u32, tot
         link.reordered
     ));
     if let Some(metrics) = rec.metrics() {
+        out.push_str(&audit_section(metrics));
         out.push_str(&metrics_to_prometheus(metrics));
+    }
+    out
+}
+
+/// The decision-audit section of the status page: per-rule fire counts
+/// as one labeled Prometheus family. Rule names are operator input (the
+/// watch block names them), so they go through the label escaper.
+fn audit_section(metrics: &mercurial_trace::MetricSet) -> String {
+    let mut out = String::new();
+    for (name, v) in metrics.counters() {
+        if let Some(rule) = name
+            .strip_prefix("audit.rule.")
+            .and_then(|s| s.strip_suffix(".fires"))
+        {
+            if out.is_empty() {
+                out.push_str("# TYPE mercurial_audit_rule_fires counter\n");
+            }
+            out.push_str(&format!(
+                "mercurial_audit_rule_fires{{rule=\"{}\"}} {v}\n",
+                prom_label_escape(rule)
+            ));
+        }
     }
     out
 }

@@ -60,7 +60,7 @@ pub fn run_worker(stream: TcpStream) -> io::Result<()> {
         Scenario::from_json(&scenario).map_err(|e| proto_err(&format!("bad scenario: {e}")))?;
     let experiment = FleetExperiment::build(&scenario);
     let mut shard = FleetShard::new(&scenario, &experiment, lo, hi);
-    let mut rec = scenario.trace.recorder();
+    let mut rec = scenario.recorder();
     // The trace channel: the shard's recorder drains through the standard
     // JSONL sink; its writer is the byte buffer each epoch's Trace frame
     // ships.

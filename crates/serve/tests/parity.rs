@@ -10,6 +10,7 @@
 //! attributable to the link model alone — the last test spot-checks that
 //! a fully lossy link actually loses evidence.
 
+use mercurial::audit::DecisionLedger;
 use mercurial::closedloop::ClosedLoopDriver;
 use mercurial::fleet::SimEngine;
 use mercurial::scenario::ImpairConfig;
@@ -136,6 +137,44 @@ fn served_workload_layer_is_bit_identical_to_in_process() {
             to_prometheus(&out.trace),
             ref_prom,
             "metric set (incl. class counters) diverges ({workers} workers)"
+        );
+    }
+}
+
+#[test]
+fn served_audit_run_is_bit_identical_to_in_process() {
+    // E21: the decision ledger is derived from the trace, and every
+    // ledger-relevant emission (signal provenance, core transitions,
+    // triage verdicts, alerts, escalations, ground truth) happens on the
+    // aggregator side — so the ledger a served run yields must be byte
+    // identical to the in-process one at any worker count. Worker-side
+    // audit counters ride the Bye frames and are pinned via Prometheus.
+    let audited = |workers: u32| {
+        let mut s = scenario(7, workers, true);
+        s.audit.enabled = true;
+        s
+    };
+    let reference = ClosedLoopDriver::execute(&audited(1));
+    let ref_ledger = DecisionLedger::from_trace(&reference.trace);
+    assert!(!ref_ledger.is_empty(), "audited run must record decisions");
+    let ref_prom = to_prometheus(&reference.trace);
+    for workers in [1u32, 2, 4] {
+        let served = run_served(&audited(workers), &ServeOptions::default()).expect("served run");
+        let out = &served.outcome;
+        let ledger = DecisionLedger::from_trace(&out.trace);
+        assert_eq!(
+            ledger.to_jsonl(),
+            ref_ledger.to_jsonl(),
+            "decision ledger diverges ({workers} workers)"
+        );
+        assert_eq!(
+            out.series, reference.series,
+            "epoch series diverges under audit ({workers} workers)"
+        );
+        assert_eq!(
+            to_prometheus(&out.trace),
+            ref_prom,
+            "metric set (incl. audit counters) diverges ({workers} workers)"
         );
     }
 }

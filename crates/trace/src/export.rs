@@ -118,6 +118,24 @@ pub fn to_jsonl(trace: &Trace) -> String {
     out
 }
 
+/// Escape a string for use as a Prometheus label *value* per the text
+/// exposition format: backslash, double-quote, and line-feed must be
+/// escaped (`\\`, `\"`, `\n`); everything else passes through verbatim.
+/// Rule names and workload-class names are operator-supplied, so the
+/// status page and audit sections must not trust them to be tame.
+pub fn prom_label_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Sanitize a dot-namespaced metric name into a Prometheus metric name.
 fn prom_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 10);
@@ -301,6 +319,24 @@ mod tests {
     fn json_escape_handles_specials() {
         assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(super::json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn prom_label_escape_handles_hostile_class_name() {
+        // A workload class named by someone who read the exposition spec
+        // and wants to break it: quotes, backslashes, and a newline.
+        let hostile = "batch\"tier\\0\npwned";
+        let escaped = super::prom_label_escape(hostile);
+        assert_eq!(escaped, "batch\\\"tier\\\\0\\npwned");
+        // Embedded in a label, the line stays a single line with balanced
+        // quotes.
+        let line = format!("mercurial_class_ops{{class=\"{escaped}\"}} 1");
+        assert_eq!(line.lines().count(), 1);
+        assert!(!line.contains('\n'));
+        let unescaped_quotes = line.matches('"').count() - line.matches("\\\"").count();
+        assert_eq!(unescaped_quotes, 2, "only the delimiter quotes survive");
+        // Tame values pass through untouched.
+        assert_eq!(super::prom_label_escape("web-frontend"), "web-frontend");
     }
 
     #[test]

@@ -14,7 +14,9 @@ const MAX_CORES: usize = 40;
 
 /// Short human label for a lifecycle event name, or `None` to omit it from
 /// the timeline (e.g. capacity bookkeeping duplicates quarantine events).
-fn stage_label(name: &str) -> Option<&'static str> {
+/// Public so the audit layer's case files speak the same stage vocabulary
+/// as the timelines.
+pub fn stage_label(name: &str) -> Option<&'static str> {
     Some(match name {
         "gt.onset" => "onset",
         "sim.first_corruption" => "corrupt",

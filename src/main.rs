@@ -7,6 +7,7 @@
 //! mercurial-lab screen   <archetype> [--age HOURS]
 //! mercurial-lab trace    [--seed N] [--paper] [--format FMT] [--out FILE]
 //! mercurial-lab watch    [--rules FILE] [--scenario FILE | --trace FILE]
+//! mercurial-lab audit    [--scenario FILE | --trace FILE] [--format FMT] [--out FILE]
 //! mercurial-lab serve    [--workers N] [--impair FILE] [--procs] [--status ADDR]
 //! mercurial-lab archetypes                    # list the §2 defect archetypes
 //! ```
@@ -39,6 +40,11 @@ fn usage() -> ! {
          .        [--dump-rules [--format json|prom]]\n\
          .                                evaluate alert rules over a run (or replay a JSONL\n\
          .                                trace); exits 1 if any rule fires\n\
+         audit    [--seed N] [--paper] [--scenario FILE | --trace FILE]\n\
+         .        [--format report|cases|jsonl] [--out FILE]\n\
+         .                                score the loop's decisions against ground truth:\n\
+         .                                fleet postmortem, per-core case files, or the raw\n\
+         .                                decision ledger (replayable from an exported trace)\n\
          serve    [--seed N] [--paper] [--scenario FILE] [--workers N]\n\
          .        [--impair FILE] [--status ADDR] [--procs]\n\
          .                                run the closed loop as a service: N fleet-shard\n\
@@ -314,6 +320,83 @@ fn cmd_watch(args: &Args) {
     std::process::exit(if report.any_fired() { 1 } else { 0 });
 }
 
+fn cmd_audit(args: &Args) {
+    use mercurial::audit::{AuditReport, CaseBook, DecisionLedger, GroundTruth};
+
+    if args.value("scenario").is_some() && args.value("trace").is_some() {
+        eprintln!("audit: --scenario and --trace are mutually exclusive");
+        std::process::exit(2);
+    }
+    let format = args.value("format").unwrap_or("report");
+    let rule_names = |s: &Scenario| -> Vec<String> {
+        s.watch
+            .rule_set()
+            .rules
+            .iter()
+            .map(|r| r.name.clone())
+            .collect()
+    };
+
+    // Replay mode: rebuild the ledger from an exported JSONL trace. Rule
+    // names fall back to the paper scenario's rule set (same fallback the
+    // watch replay uses); out-of-range indices render as `rule-<n>`.
+    let (ledger, truth, rules, max_cases) = if let Some(path) = args.value("trace") {
+        let jsonl = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read trace file {path}: {e}");
+            std::process::exit(1);
+        });
+        let ledger = DecisionLedger::from_trace_jsonl(&jsonl).unwrap_or_else(|e| {
+            eprintln!("cannot replay trace {path}: {e}");
+            std::process::exit(1);
+        });
+        let truth = GroundTruth::from_ledger(&ledger);
+        let paper = Scenario::default_paper();
+        let max_cases = paper.audit.max_cases;
+        (ledger, truth, rule_names(&paper), max_cases)
+    } else {
+        // In-run mode: the audit block is forced on (which forces tracing
+        // on), and ground truth is annotated with fault-profile names —
+        // an enrichment the replay path cannot reconstruct.
+        let mut scenario = scenario_from_args(args);
+        scenario.audit.enabled = true;
+        scenario.closed_loop.feedback = true;
+        eprintln!(
+            "auditing closed loop: {} machines, {} months …",
+            scenario.fleet.machines, scenario.sim.months
+        );
+        let experiment = mercurial::FleetExperiment::build(&scenario);
+        let out = ClosedLoopDriver::execute_on(&scenario, &experiment);
+        let ledger = DecisionLedger::from_trace(&out.trace);
+        let mut truth = GroundTruth::from_ledger(&ledger);
+        for core in experiment.population().mercurial_cores() {
+            truth.annotate(core.uid.as_u64(), core.profile.name.clone());
+        }
+        let max_cases = scenario.audit.max_cases;
+        (ledger, truth, rule_names(&scenario), max_cases)
+    };
+
+    let rendered = match format {
+        "report" => AuditReport::build(&ledger, &truth, &rules).render(),
+        "cases" => CaseBook::build(&ledger, &truth, max_cases)
+            .render(&|id| CoreUid::from_u64(id).to_string()),
+        "jsonl" => ledger.to_jsonl(),
+        other => {
+            eprintln!("unknown --format `{other}` (report|cases|jsonl)");
+            std::process::exit(2);
+        }
+    };
+    match args.value("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("audit ({format}) written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}
+
 fn cmd_serve(args: &Args) {
     use mercurial_serve::{run_served, run_server, ServeOptions};
     use std::net::TcpListener;
@@ -486,6 +569,7 @@ fn main() {
         Some("screen") => cmd_screen(&args),
         Some("trace") => cmd_trace(&args),
         Some("watch") => cmd_watch(&args),
+        Some("audit") => cmd_audit(&args),
         Some("serve") => cmd_serve(&args),
         Some("serve-worker") => cmd_serve_worker(&args),
         Some("archetypes") => {

@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke frontier-smoke audit-smoke
+.PHONY: ci build test test-workspace fmt fmt-check clippy bench speedup fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke frontier-smoke audit-smoke prof-smoke
 
-ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke frontier-smoke audit-smoke
+ci: build test-workspace fmt-check clippy fuzz-smoke e15-smoke trace-smoke watch-smoke sparse-smoke serve-smoke frontier-smoke audit-smoke prof-smoke
 
 build:
 	$(CARGO) build --release
@@ -84,3 +84,10 @@ frontier-smoke:
 # conserves ground truth (TP+FN == seeded mercurial cores, FP healthy).
 audit-smoke:
 	$(CARGO) run --release -p mercurial-bench --bin e21_audit -- --smoke
+
+# Self-observability contracts: a profiled run reproduces the E20 legacy
+# pin bit-for-bit (the profiler is write-only), the enabled profiler
+# stays under its 2% overhead budget, and the shared BenchMeta envelope
+# round-trips through its own validator.
+prof-smoke:
+	$(CARGO) run --release -p mercurial-bench --bin e22_prof -- --smoke

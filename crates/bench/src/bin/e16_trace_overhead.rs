@@ -26,6 +26,7 @@ use mercurial::fault::CoreUid;
 use mercurial::trace::{incident_timeline, Recorder, TraceFlags};
 use mercurial::{FleetExperiment, Scenario};
 use mercurial_fleet::{SignalLog, SimSummary};
+use mercurial_prof::Prof;
 
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
@@ -125,6 +126,9 @@ fn run_full() {
         scenario.name, scenario.fleet.machines, scenario.sim.months
     ));
     let reps = 3;
+    // The bench's own phase breakdown, embedded in the BenchMeta
+    // envelope: wall clock per measured section, write-only as always.
+    let prof = Prof::enabled();
 
     // Whole-window simulation, three ways. `FleetSim::run` is the
     // untraced baseline (its serial path with a disabled recorder is the
@@ -139,20 +143,26 @@ fn run_full() {
         log.sort_by_time();
         (log, summary)
     };
-    let untraced = best_of(reps, || {
-        let (log, _) = sim.run();
-        assert!(!log.is_empty());
+    let untraced = prof.scope("sim.untraced", || {
+        best_of(reps, || {
+            let (log, _) = sim.run();
+            assert!(!log.is_empty());
+        })
     });
-    let disabled = best_of(reps, || {
-        let (log, _) = step_all(&mut Recorder::disabled());
-        assert!(!log.is_empty());
+    let disabled = prof.scope("sim.disabled", || {
+        best_of(reps, || {
+            let (log, _) = step_all(&mut Recorder::disabled());
+            assert!(!log.is_empty());
+        })
     });
     let mut trace_events = 0usize;
-    let enabled = best_of(reps, || {
-        let mut rec = Recorder::with_flags(TraceFlags::enabled());
-        let (log, _) = step_all(&mut rec);
-        assert!(!log.is_empty());
-        trace_events = rec.event_count();
+    let enabled = prof.scope("sim.enabled", || {
+        best_of(reps, || {
+            let mut rec = Recorder::with_flags(TraceFlags::enabled());
+            let (log, _) = step_all(&mut rec);
+            assert!(!log.is_empty());
+            trace_events = rec.event_count();
+        })
     });
     let disabled_pct = 100.0 * (disabled / untraced - 1.0);
     let enabled_pct = 100.0 * (enabled / untraced - 1.0);
@@ -168,12 +178,12 @@ fn run_full() {
     s.closed_loop.feedback = true;
     s.trace.enabled = false;
     let t = Instant::now();
-    let off = ClosedLoopDriver::execute(&s);
+    let off = prof.scope("loop.untraced", || ClosedLoopDriver::execute(&s));
     let loop_off = t.elapsed().as_secs_f64();
     assert!(off.trace.is_empty());
     s.trace.enabled = true;
     let t = Instant::now();
-    let on = ClosedLoopDriver::execute(&s);
+    let on = prof.scope("loop.traced", || ClosedLoopDriver::execute(&s));
     let loop_on = t.elapsed().as_secs_f64();
     let jsonl = on.trace.to_jsonl();
     let loop_pct = 100.0 * (loop_on / loop_off - 1.0);
@@ -190,8 +200,8 @@ fn run_full() {
         "acceptance: disabled tracing overhead {disabled_pct:.2}% must stay under 2%"
     );
 
-    let json = format!(
-        "{{\n  \"experiment\": \"e16_trace_overhead\",\n  \"scenario\": \"{}\",\n  \"machines\": {},\n  \"months\": {},\n  \"reps\": {reps},\n  \"sim_untraced_secs\": {untraced:.4},\n  \"sim_disabled_secs\": {disabled:.4},\n  \"sim_enabled_secs\": {enabled:.4},\n  \"sim_disabled_overhead_pct\": {disabled_pct:.3},\n  \"sim_enabled_overhead_pct\": {enabled_pct:.3},\n  \"closed_loop_off_secs\": {loop_off:.4},\n  \"closed_loop_on_secs\": {loop_on:.4},\n  \"closed_loop_on_overhead_pct\": {loop_pct:.3},\n  \"sim_trace_events\": {trace_events},\n  \"closed_loop_trace_events\": {},\n  \"closed_loop_jsonl_bytes\": {}\n}}\n",
+    let body = format!(
+        "\"scenario\": \"{}\",\n  \"machines\": {},\n  \"months\": {},\n  \"sim_untraced_secs\": {untraced:.4},\n  \"sim_disabled_secs\": {disabled:.4},\n  \"sim_enabled_secs\": {enabled:.4},\n  \"sim_disabled_overhead_pct\": {disabled_pct:.3},\n  \"sim_enabled_overhead_pct\": {enabled_pct:.3},\n  \"closed_loop_off_secs\": {loop_off:.4},\n  \"closed_loop_on_secs\": {loop_on:.4},\n  \"closed_loop_on_overhead_pct\": {loop_pct:.3},\n  \"sim_trace_events\": {trace_events},\n  \"closed_loop_trace_events\": {},\n  \"closed_loop_jsonl_bytes\": {}",
         scenario.name,
         scenario.fleet.machines,
         scenario.sim.months,
@@ -199,7 +209,13 @@ fn run_full() {
         jsonl.len()
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
-    std::fs::write(path, &json).expect("write BENCH_trace.json");
+    mercurial_bench::write_bench_json(
+        path,
+        "e16_trace_overhead",
+        reps as u64,
+        &prof.finish(),
+        &body,
+    );
     println!("\nbaseline written to BENCH_trace.json");
 }
 

@@ -190,14 +190,15 @@ fn run_full() {
     let mut watch_on = f64::INFINITY;
     let mut report = None;
     let mut epochs = 0u32;
+    let prof = mercurial_prof::Prof::enabled();
     for _ in 0..reps {
         let t = Instant::now();
-        let off = ClosedLoopDriver::execute(&off_s);
+        let off = prof.scope("loop.watch_off", || ClosedLoopDriver::execute(&off_s));
         watch_off = watch_off.min(t.elapsed().as_secs_f64());
         assert!(off.watch.is_none());
 
         let t = Instant::now();
-        let on = ClosedLoopDriver::execute(&on_s);
+        let on = prof.scope("loop.watch_on", || ClosedLoopDriver::execute(&on_s));
         watch_on = watch_on.min(t.elapsed().as_secs_f64());
         epochs = on.epochs;
         report = on.watch;
@@ -223,12 +224,18 @@ fn run_full() {
         "acceptance: watch overhead {pct:.2}% must stay under 2%"
     );
 
-    let json = format!(
-        "{{\n  \"experiment\": \"e17_watch_overhead\",\n  \"scenario\": \"{}\",\n  \"machines\": {},\n  \"months\": {},\n  \"reps\": {reps},\n  \"rules\": {rules},\n  \"fired\": {fired},\n  \"watch_off_secs\": {watch_off:.4},\n  \"watch_on_secs\": {watch_on:.4},\n  \"watch_overhead_pct\": {pct:.3},\n  \"epochs\": {epochs}\n}}\n",
+    let body = format!(
+        "\"scenario\": \"{}\",\n  \"machines\": {},\n  \"months\": {},\n  \"rules\": {rules},\n  \"fired\": {fired},\n  \"watch_off_secs\": {watch_off:.4},\n  \"watch_on_secs\": {watch_on:.4},\n  \"watch_overhead_pct\": {pct:.3},\n  \"epochs\": {epochs}",
         scenario.name, scenario.fleet.machines, scenario.sim.months
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_watch.json");
-    std::fs::write(path, &json).expect("write BENCH_watch.json");
+    mercurial_bench::write_bench_json(
+        path,
+        "e17_watch_overhead",
+        reps as u64,
+        &prof.finish(),
+        &body,
+    );
     println!("\nbaseline written to BENCH_watch.json");
 }
 

@@ -239,13 +239,18 @@ fn run_full() {
     let mut dense_20k = f64::INFINITY;
     let mut sparse_20k = f64::INFINITY;
     let mut detections_20k = (0usize, 0usize);
+    let prof = mercurial_prof::Prof::enabled();
     for _ in 0..reps {
         let t = Instant::now();
-        let d = ClosedLoopDriver::execute(&closed_loop_scenario(&paper, SimEngine::Dense));
+        let d = prof.scope("loop.dense_20k", || {
+            ClosedLoopDriver::execute(&closed_loop_scenario(&paper, SimEngine::Dense))
+        });
         dense_20k = dense_20k.min(t.elapsed().as_secs_f64());
 
         let t = Instant::now();
-        let s = ClosedLoopDriver::execute(&closed_loop_scenario(&paper, SimEngine::Sparse));
+        let s = prof.scope("loop.sparse_20k", || {
+            ClosedLoopDriver::execute(&closed_loop_scenario(&paper, SimEngine::Sparse))
+        });
         sparse_20k = sparse_20k.min(t.elapsed().as_secs_f64());
         assert_eq!(
             d.pipeline.detections, s.pipeline.detections,
@@ -266,7 +271,7 @@ fn run_full() {
     // The fleet-study arm: 1M machines × 36 months, sparse, once.
     let study = fleet_study_scenario(&paper);
     let t = Instant::now();
-    let experiment = FleetExperiment::build(&study);
+    let experiment = prof.scope("study.build_1m", || FleetExperiment::build(&study));
     let build_1m = t.elapsed().as_secs_f64();
     let mercurial_cores = experiment.population().count() as u64;
 
@@ -275,15 +280,20 @@ fn run_full() {
     let mut log = SignalLog::new();
     let mut summary = Default::default();
     let t = Instant::now();
-    while !state.is_done() {
-        sim.step_epochs(&mut state, u32::MAX, &mut log, &mut summary);
+    {
+        let _p = prof.span("study.sim_1m");
+        while !state.is_done() {
+            sim.step_epochs(&mut state, u32::MAX, &mut log, &mut summary);
+        }
     }
     let sim_1m = t.elapsed().as_secs_f64();
     let clock = state.clock_stats();
     let epochs = state.total_epochs();
 
     let t = Instant::now();
-    let out_1m = ClosedLoopDriver::execute_on(&study, &experiment);
+    let out_1m = prof.scope("study.closed_loop_1m", || {
+        ClosedLoopDriver::execute_on(&study, &experiment)
+    });
     let sparse_1m = t.elapsed().as_secs_f64();
     println!("fleet study 1M x {} months, sparse:", study.sim.months);
     println!("  build:       {build_1m:>8.3} s   ({mercurial_cores} mercurial cores)");
@@ -302,8 +312,8 @@ fn run_full() {
         "acceptance: 1M x 36mo took {sparse_1m:.2} s, budget {DENSE_20K_BEFORE_SECS:.2} s"
     );
 
-    let json = format!(
-        "{{\n  \"experiment\": \"e18_sparse\",\n  \"scenario\": \"{}\",\n  \"machines\": {},\n  \"months\": {},\n  \"reps\": {reps},\n  \"dense_20k_before_secs\": {DENSE_20K_BEFORE_SECS},\n  \"dense_20k_secs\": {dense_20k:.4},\n  \"sparse_20k_secs\": {sparse_20k:.4},\n  \"study_machines\": {},\n  \"sparse_1m_build_secs\": {build_1m:.4},\n  \"sparse_1m_sim_secs\": {sim_1m:.4},\n  \"sparse_1m_closed_loop_secs\": {sparse_1m:.4},\n  \"mercurial_cores_1m\": {mercurial_cores},\n  \"clock_events_1m\": {},\n  \"live_core_epochs_1m\": {},\n  \"epochs\": {epochs}\n}}\n",
+    let body = format!(
+        "\"scenario\": \"{}\",\n  \"machines\": {},\n  \"months\": {},\n  \"dense_20k_before_secs\": {DENSE_20K_BEFORE_SECS},\n  \"dense_20k_secs\": {dense_20k:.4},\n  \"sparse_20k_secs\": {sparse_20k:.4},\n  \"study_machines\": {},\n  \"sparse_1m_build_secs\": {build_1m:.4},\n  \"sparse_1m_sim_secs\": {sim_1m:.4},\n  \"sparse_1m_closed_loop_secs\": {sparse_1m:.4},\n  \"mercurial_cores_1m\": {mercurial_cores},\n  \"clock_events_1m\": {},\n  \"live_core_epochs_1m\": {},\n  \"epochs\": {epochs}",
         paper.name,
         paper.fleet.machines,
         paper.sim.months,
@@ -312,6 +322,6 @@ fn run_full() {
         clock.live_core_epochs,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sparse.json");
-    std::fs::write(path, &json).expect("write BENCH_sparse.json");
+    mercurial_bench::write_bench_json(path, "e18_sparse", reps as u64, &prof.finish(), &body);
     println!("\nbaseline written to BENCH_sparse.json");
 }

@@ -182,8 +182,11 @@ fn run_full() {
     let opts = opts(&base);
 
     // The clean served run is ground truth for fidelity and latency.
+    let prof = mercurial_prof::Prof::enabled();
     let t = Instant::now();
-    let clean = run_served(&base, &opts).expect("clean served run");
+    let clean = prof
+        .scope("serve.clean", || run_served(&base, &opts))
+        .expect("clean served run");
     let clean_secs = t.elapsed().as_secs_f64();
     let clean_watch = clean.outcome.watch.clone().expect("watch enabled");
     let clean_fired = clean_watch.alerts().len();
@@ -203,7 +206,11 @@ fn run_full() {
             loss,
             ..ImpairConfig::default()
         };
-        let served = run_served_impaired(&base, impair, &opts).expect("impaired run");
+        let served = prof
+            .scope("serve.loss_sweep", || {
+                run_served_impaired(&base, impair, &opts)
+            })
+            .expect("impaired run");
         rows.push(measure("loss", loss, &served, &clean_watch, clean_p95));
     }
     // One arm with everything on, stacked on a mid loss level: the
@@ -215,7 +222,9 @@ fn run_full() {
         reorder: 0.2,
         ..ImpairConfig::default()
     };
-    let served = run_served_impaired(&base, chaos, &opts).expect("chaos run");
+    let served = prof
+        .scope("serve.chaos", || run_served_impaired(&base, chaos, &opts))
+        .expect("chaos run");
     rows.push(measure("chaos", 0.3, &served, &clean_watch, clean_p95));
 
     // Acceptance: dropped frames strictly track the loss level, and the
@@ -240,8 +249,8 @@ fn run_full() {
     }
 
     let json_rows: Vec<String> = rows.iter().map(Row::to_json).collect();
-    let json = format!(
-        "{{\n  \"experiment\": \"e19_serve\",\n  \"scenario\": \"{}\",\n  \"machines\": {},\n  \"months\": {},\n  \"workers\": {workers},\n  \"seed\": {seed},\n  \"rules\": {},\n  \"clean_secs\": {clean_secs:.4},\n  \"clean_alerts_fired\": {clean_fired},\n  \"clean_detect_latency_p95_hours\": {clean_p95:.1},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+    let body = format!(
+        "\"scenario\": \"{}\",\n  \"machines\": {},\n  \"months\": {},\n  \"workers\": {workers},\n  \"seed\": {seed},\n  \"rules\": {},\n  \"clean_secs\": {clean_secs:.4},\n  \"clean_alerts_fired\": {clean_fired},\n  \"clean_detect_latency_p95_hours\": {clean_p95:.1},\n  \"sweep\": [\n{}\n  ]",
         base.name,
         base.fleet.machines,
         base.sim.months,
@@ -249,7 +258,7 @@ fn run_full() {
         json_rows.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    mercurial_bench::write_bench_json(path, "e19_serve", 1, &prof.finish(), &body);
     println!("\ndegradation curves written to BENCH_serve.json");
 }
 

@@ -202,9 +202,12 @@ fn run_full() {
     let mut arms: Vec<String> = Vec::new();
 
     // Uniform rungs: every class pinned to one policy, closed loop.
+    let prof = mercurial_prof::Prof::enabled();
     for policy in LADDER {
         let t0 = Instant::now();
-        let out = ClosedLoopDriver::execute(&frontier_scenario(seed, true, Some(policy)));
+        let out = prof.scope("frontier.ladder", || {
+            ClosedLoopDriver::execute(&frontier_scenario(seed, true, Some(policy)))
+        });
         let secs = t0.elapsed().as_secs_f64();
         arms.push(arm_json(policy.label(), &out, 0, secs));
         print_arm(policy.label(), &out, 0, secs);
@@ -226,7 +229,7 @@ fn run_full() {
         s.workloads.escalate_threshold = threshold;
         s.trace.enabled = true;
         let t0 = Instant::now();
-        let out = ClosedLoopDriver::execute(&s);
+        let out = prof.scope("frontier.adaptive", || ClosedLoopDriver::execute(&s));
         let secs = t0.elapsed().as_secs_f64();
         let escalations = out
             .trace
@@ -238,8 +241,8 @@ fn run_full() {
         print_arm(label, &out, escalations, secs);
     }
 
-    let json = format!(
-        "{{\n  \"experiment\": \"e20_frontier\",\n  \"scenario\": \"{}\",\n  \"machines\": {},\n  \"months\": {},\n  \"seed\": {seed},\n  \"traffic_amplitude\": {},\n  \"escalate_threshold\": {},\n  \"arms\": [\n{}\n  ]\n}}\n",
+    let body = format!(
+        "\"scenario\": \"{}\",\n  \"machines\": {},\n  \"months\": {},\n  \"seed\": {seed},\n  \"traffic_amplitude\": {},\n  \"escalate_threshold\": {},\n  \"arms\": [\n{}\n  ]",
         base.name,
         base.fleet.machines,
         base.sim.months,
@@ -248,7 +251,7 @@ fn run_full() {
         arms.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontier.json");
-    std::fs::write(path, &json).expect("write BENCH_frontier.json");
+    mercurial_bench::write_bench_json(path, "e20_frontier", 1, &prof.finish(), &body);
     println!("\nfrontier written to BENCH_frontier.json");
 }
 

@@ -185,6 +185,7 @@ fn run_full() {
         "scenario {}: {} machines, {} months, seed {seed}",
         base.name, base.fleet.machines, base.sim.months
     );
+    let prof = mercurial_prof::Prof::enabled();
     let mut arms: Vec<String> = Vec::new();
 
     // E20 policy-ladder arms: stronger mitigation catches corruptions
@@ -207,7 +208,7 @@ fn run_full() {
         })
         .collect();
         let t0 = Instant::now();
-        let out = ClosedLoopDriver::execute(&s);
+        let out = prof.scope("audit.ladder", || ClosedLoopDriver::execute(&s));
         let secs = t0.elapsed().as_secs_f64();
         let (ledger, report) = report_of(&s, &out.trace);
         assert!(
@@ -231,7 +232,11 @@ fn run_full() {
             ..ImpairConfig::default()
         };
         let t0 = Instant::now();
-        let served = run_served_impaired(&s, impair, &ServeOptions::default()).expect("served run");
+        let served = prof
+            .scope("audit.impair", || {
+                run_served_impaired(&s, impair, &ServeOptions::default())
+            })
+            .expect("served run");
         let secs = t0.elapsed().as_secs_f64();
         let (ledger, report) = report_of(&s, &served.outcome.trace);
         assert!(report.conserves(&ledger), "loss {loss}: must conserve");
@@ -261,8 +266,8 @@ fn run_full() {
     once(&on);
     let (mut off_secs, mut on_secs) = (f64::INFINITY, f64::INFINITY);
     for _ in 0..reps {
-        off_secs = off_secs.min(once(&off));
-        on_secs = on_secs.min(once(&on));
+        off_secs = off_secs.min(prof.scope("audit.overhead_off", || once(&off)));
+        on_secs = on_secs.min(prof.scope("audit.overhead_on", || once(&on)));
     }
     let overhead_pct = 100.0 * (on_secs / off_secs - 1.0);
     println!(
@@ -276,8 +281,8 @@ fn run_full() {
         "acceptance: audit overhead {overhead_pct:.2}% must stay under 2%"
     );
 
-    let json = format!(
-        "{{\n  \"experiment\": \"e21_audit\",\n  \"scenario\": \"{}\",\n  \"machines\": {},\n  \"months\": {},\n  \"seed\": {seed},\n  \"overhead_machines\": {},\n  \"overhead_off_secs\": {off_secs:.4},\n  \"overhead_on_secs\": {on_secs:.4},\n  \"overhead_pct\": {overhead_pct:.3},\n  \"arms\": [\n{}\n  ]\n}}\n",
+    let body = format!(
+        "\"scenario\": \"{}\",\n  \"machines\": {},\n  \"months\": {},\n  \"seed\": {seed},\n  \"overhead_machines\": {},\n  \"overhead_off_secs\": {off_secs:.4},\n  \"overhead_on_secs\": {on_secs:.4},\n  \"overhead_pct\": {overhead_pct:.3},\n  \"arms\": [\n{}\n  ]",
         base.name,
         base.fleet.machines,
         base.sim.months,
@@ -285,7 +290,7 @@ fn run_full() {
         arms.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_audit.json");
-    std::fs::write(path, &json).expect("write BENCH_audit.json");
+    mercurial_bench::write_bench_json(path, "e21_audit", reps as u64, &prof.finish(), &body);
     println!("\naudit frontier written to BENCH_audit.json");
 }
 

@@ -28,6 +28,27 @@ pub fn header(title: &str) {
     println!("{}", "=".repeat(72));
 }
 
+/// Writes one `BENCH_*.json` under the shared [`BenchMeta`] envelope.
+///
+/// `body` is the experiment's own `"key": value` lines (no outer
+/// braces) — the envelope contributes schema, experiment id, git
+/// commit, host fingerprint, timestamp, reps, and the bench's own
+/// wall-clock phase breakdown from `prof`, so all baselines stay
+/// machine-comparable under one schema.
+///
+/// [`BenchMeta`]: mercurial_prof::BenchMeta
+pub fn write_bench_json(
+    path: &str,
+    experiment: &str,
+    reps: u64,
+    profile: &mercurial_prof::SelfProfile,
+    body: &str,
+) {
+    let meta = mercurial_prof::BenchMeta::capture(experiment, reps, profile);
+    std::fs::write(path, meta.envelope(body))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

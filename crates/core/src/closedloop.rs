@@ -40,6 +40,7 @@ use crate::shardloop::{
 use mercurial_fleet::sim::SimSummary;
 use mercurial_fleet::SignalLog;
 use mercurial_metrics::{ClassPoint, EpochSeries};
+use mercurial_prof::Prof;
 use mercurial_trace::{MetricSet, TraceSink};
 use mercurial_watch::{Baseline, EpochRow, RuleSet, WatchReport};
 
@@ -77,6 +78,12 @@ pub struct RunOptions<'a> {
     /// attached the outcome's `trace.events` is empty — events live in
     /// the sink's output, byte-identical to the buffered export.
     pub sink: Option<&'a mut dyn TraceSink>,
+    /// Wall-clock phase profiler. Readings are write-only observability
+    /// — they never feed sim-visible state — so attaching a profiler
+    /// leaves every output bit-for-bit identical (pinned by
+    /// `tests/prof_parity.rs`). `None` profiles nothing at the cost of
+    /// one branch per phase.
+    pub prof: Option<&'a Prof>,
 }
 
 /// The closed-loop driver.
@@ -126,6 +133,8 @@ impl ClosedLoopDriver {
         let mut summary = SimSummary::default();
         let mut series = EpochSeries::new(epoch_hours);
         let mut engine = watch_engine(scenario, &opts.rules);
+        let disabled_prof = Prof::disabled();
+        let prof = opts.prof.unwrap_or(&disabled_prof);
         let mut rec = scenario.recorder();
         record_ground_truth_onsets(experiment, &mut rec);
         // Workload classes: initial mitigation policies apply even open
@@ -160,7 +169,10 @@ impl ClosedLoopDriver {
             } else {
                 Vec::new()
             };
-            sim.step_epoch_traced(&mut state, &mut log, &mut summary, &mut rec);
+            {
+                let _p = prof.span("fleet.step");
+                sim.step_epoch_traced(&mut state, &mut log, &mut summary, &mut rec);
+            }
             // Open loop: nothing is ever quarantined mid-window, so
             // capacity is flat at 1.0 and every defect stays active.
             let active = state.active_deployed_mercurial(topo, h0);
@@ -205,6 +217,7 @@ impl ClosedLoopDriver {
                 series.push_classes(class_points.clone());
             }
             if let Some(eng) = engine.as_mut() {
+                let _watch_span = prof.span("watch.eval");
                 let row = EpochRow {
                     hour: h1,
                     capacity: 1.0,
@@ -232,16 +245,19 @@ impl ClosedLoopDriver {
         // The batch back half runs untraced unless the audit layer wants
         // decision provenance — the plain traced open loop stays
         // bit-for-bit with its pre-audit exports.
+        let batch_span = prof.span("pipeline.batch");
         let pipeline = if scenario.audit.enabled {
             PipelineRun::complete_from_signals_traced(scenario, experiment, log, summary, &mut rec)
         } else {
             PipelineRun::complete_from_signals(scenario, experiment, log, summary)
         };
+        drop(batch_span);
         for latency in &pipeline.detection_latency_hours {
             rec.observe("detect.latency_hours", *latency);
         }
         let watch = match engine {
             Some(eng) => {
+                let _watch_span = prof.span("watch.eval");
                 let empty = MetricSet::new();
                 let (report, end_alerts) =
                     eng.finish(rec.metrics().unwrap_or(&empty), opts.baseline);
@@ -276,6 +292,8 @@ impl ClosedLoopDriver {
     ) -> ClosedLoopOutcome {
         let machines = experiment.topology().config().machines;
         let engine = watch_engine(scenario, &opts.rules);
+        let disabled_prof = Prof::disabled();
+        let prof = opts.prof.unwrap_or(&disabled_prof);
         let mut rec = scenario.recorder();
         record_ground_truth_onsets(experiment, &mut rec);
         let mut agg = FleetAggregator::new(scenario, experiment, engine);
@@ -283,15 +301,16 @@ impl ClosedLoopDriver {
         let epochs = agg.total_epochs();
         let epoch_hours = agg.epoch_hours();
         while !agg.is_done() {
-            let cmds = agg.begin_epoch(&mut rec);
+            let cmds = agg.begin_epoch(&mut rec, prof);
             shard.apply_commands(&cmds);
-            let report = shard.step_epoch(&mut rec);
-            agg.ingest_reports(vec![report], &mut rec);
+            let report = shard.step_epoch(&mut rec, prof);
+            agg.ingest_reports(vec![report], &mut rec, prof);
             if let Some(s) = opts.sink.as_mut() {
+                let _p = prof.span("trace.drain");
                 s.drain(&mut rec).expect("stream sink drain");
             }
         }
-        let finished = agg.finish(&mut rec, &[], opts.baseline);
+        let finished = agg.finish(&mut rec, &[], opts.baseline, prof);
         if let Some(s) = opts.sink.as_mut() {
             s.finish(&mut rec).expect("stream sink finish");
         }

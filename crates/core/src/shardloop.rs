@@ -43,6 +43,7 @@ use mercurial_fleet::{EventKind, EventQueue, FleetSim, FleetTopology, Population
 use mercurial_isolation::{CapacityLedger, QuarantineRegistry, SafeTaskPolicy, TaskUnitProfile};
 use mercurial_metrics::{ClassPoint, EpochSeries};
 use mercurial_mitigation::MitigationPolicy;
+use mercurial_prof::Prof;
 use mercurial_screening::{
     BurnIn, BurnInCampaign, DetectionMethod, DetectionRecord, HumanTriage, OfflineCampaign,
     OfflineScreener, OnlineCampaign, OnlineScreener, Scoreboard, TriageOutcome, TriageStats,
@@ -317,7 +318,11 @@ impl<'a> FleetShard<'a> {
     /// Runs loop phases 3 and 4 for one epoch: due screens on owned
     /// machines, then one epoch of workload simulation with masked cores
     /// silent and their attributed signals withdrawn.
-    pub fn step_epoch(&mut self, rec: &mut Recorder) -> ShardEpochReport {
+    ///
+    /// `prof` is wall-clock self-observability only — readings never
+    /// touch sim-visible state, so results are identical for any handle.
+    pub fn step_epoch(&mut self, rec: &mut Recorder, prof: &Prof) -> ShardEpochReport {
+        let _epoch_span = prof.span("shard.epoch");
         let epoch = self.state.next_epoch();
         let h0 = self.state.hour();
         let h1 = h0 + self.epoch_hours;
@@ -332,6 +337,7 @@ impl<'a> FleetShard<'a> {
         let mut screen_log = SignalLog::new();
         let mut screened = Vec::new();
         if campaign_due[0] {
+            let _p = prof.span("screen.burnin");
             screened.extend(self.burnin.step_until_traced(
                 self.topo,
                 self.pop,
@@ -346,6 +352,7 @@ impl<'a> FleetShard<'a> {
             }
         }
         if campaign_due[1] {
+            let _p = prof.span("screen.offline");
             screened.extend(self.offline.step_until_traced(
                 self.topo,
                 self.pop,
@@ -360,6 +367,7 @@ impl<'a> FleetShard<'a> {
             }
         }
         if campaign_due[2] {
+            let _p = prof.span("screen.online");
             screened.extend(self.online.step_until_traced(
                 self.topo,
                 self.pop,
@@ -390,8 +398,11 @@ impl<'a> FleetShard<'a> {
         let before_signals = self.summary.signals_emitted + self.summary.noise_signals;
         let class_before = self.state.class_tallies().to_vec();
         let mut evidence = SignalLog::new();
-        self.sim
-            .step_epoch_traced(&mut self.state, &mut evidence, &mut self.summary, rec);
+        {
+            let _p = prof.span("fleet.step");
+            self.sim
+                .step_epoch_traced(&mut self.state, &mut evidence, &mut self.summary, rec);
+        }
         let class_deltas: Vec<ClassTally> = self
             .state
             .class_tallies()
@@ -595,7 +606,8 @@ impl<'a> FleetAggregator<'a> {
     /// Runs loop phases 1 and 2 at an epoch boundary and returns the
     /// mask changes to broadcast: restorations due now plus the previous
     /// epoch's threshold crossings.
-    pub fn begin_epoch(&mut self, rec: &mut Recorder) -> EpochCommands {
+    pub fn begin_epoch(&mut self, rec: &mut Recorder, prof: &Prof) -> EpochCommands {
+        let _p = prof.span("loop.begin");
         assert!(!self.is_done(), "window already fully ingested");
         let h0 = self.epoch as f64 * self.epoch_hours;
         let h1 = h0 + self.epoch_hours;
@@ -685,7 +697,13 @@ impl<'a> FleetAggregator<'a> {
     /// shard, in worker order): screened-core registry effects,
     /// suspicion ingest from surviving evidence, new threshold
     /// crossings, and the epoch's telemetry point.
-    pub fn ingest_reports(&mut self, reports: Vec<ShardEpochReport>, rec: &mut Recorder) {
+    pub fn ingest_reports(
+        &mut self,
+        reports: Vec<ShardEpochReport>,
+        rec: &mut Recorder,
+        prof: &Prof,
+    ) {
+        let _ingest_span = prof.span("loop.ingest");
         assert!(!reports.is_empty(), "need at least one shard report");
         let h0 = self.epoch as f64 * self.epoch_hours;
         let h1 = h0 + self.epoch_hours;
@@ -754,6 +772,7 @@ impl<'a> FleetAggregator<'a> {
         for r in &reports {
             self.log.append(r.screen_log.clone());
         }
+        let score_span = prof.span("score.ingest");
         for r in reports {
             if self.audit_on {
                 // Decision provenance: one `score.signal` instant per
@@ -767,6 +786,7 @@ impl<'a> FleetAggregator<'a> {
             }
             self.log.append(r.evidence);
         }
+        drop(score_span);
 
         // Phase 6: new threshold crossings are quarantined and queued
         // for a deep check; workers learn of them in the next epoch's
@@ -872,6 +892,7 @@ impl<'a> FleetAggregator<'a> {
             );
         }
         if let Some(eng) = self.engine.as_mut() {
+            let _watch_span = prof.span("watch.eval");
             let row = EpochRow {
                 hour: h1,
                 capacity: base,
@@ -906,7 +927,9 @@ impl<'a> FleetAggregator<'a> {
         rec: &mut Recorder,
         worker_metrics: &[MetricSet],
         baseline: Option<&Baseline>,
+        prof: &Prof,
     ) -> FinishedLoop {
+        let _finish_span = prof.span("loop.finish");
         let FleetAggregator {
             topo,
             pop,
@@ -1001,6 +1024,7 @@ impl<'a> FleetAggregator<'a> {
         };
         let watch = match engine {
             Some(eng) => {
+                let _watch_span = prof.span("watch.eval");
                 let mut merged = rec.metrics().cloned().unwrap_or_default();
                 for m in worker_metrics {
                     merged.merge(m);

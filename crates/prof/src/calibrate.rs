@@ -1,0 +1,43 @@
+//! Startup micro-calibration: measure what a thread fan-out actually
+//! costs on *this* host, so cost gates compare against a measured number
+//! instead of a constant carried over from whichever machine ran the
+//! original bench.
+
+use crate::Prof;
+
+/// Wall-clock cost of one scoped spawn+join on this host, in
+/// microseconds — the minimum over `samples` measurements, since the
+/// floor is the number a "is the batch worth a fan-out?" gate should
+/// compare against (any scheduling noise only inflates it).
+///
+/// Measured through [`Prof`] itself, so the calibration exercises the
+/// same timer path the profiler reports with. Always at least 1 µs to
+/// keep downstream multipliers meaningful.
+pub fn measured_spawn_cost_us(samples: usize) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..samples.max(1) {
+        let p = Prof::enabled();
+        {
+            let _g = p.span("spawn");
+            std::thread::scope(|s| {
+                s.spawn(|| std::hint::black_box(0u64));
+            });
+        }
+        best = best.min(p.finish().wall_ns("spawn") / 1_000);
+    }
+    best.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_cost_is_positive_and_sane() {
+        let us = measured_spawn_cost_us(5);
+        assert!(us >= 1);
+        // A spawn+join that takes over a second means the measurement is
+        // broken, not the host slow.
+        assert!(us < 1_000_000, "spawn cost measured at {us} µs");
+    }
+}

@@ -1,0 +1,421 @@
+//! The [`Prof`] handle: a hierarchical wall-clock phase profiler.
+//!
+//! Design mirrors `mercurial-trace`'s recorder discipline, transposed to
+//! the wall-clock domain:
+//!
+//! * **Option-gated** — a disabled handle is a `None` and every method is
+//!   one branch with no allocation and no `Instant::now()` call;
+//! * **sharded** — parallel producers record into [`Prof::shard`] handles
+//!   the owner merges back with [`Prof::absorb`] in worker-index order,
+//!   so the *shape* of the phase tree is deterministic for any worker
+//!   count (the wall-clock values are not, and never feed anything
+//!   sim-visible);
+//! * **write-only** — readings flow out (tables, flamegraphs, status
+//!   gauges, bench envelopes) and never back into simulation state, which
+//!   is what keeps prof-on runs bit-for-bit identical to prof-off.
+//!
+//! Timers are scoped RAII guards: [`Prof::span`] opens a phase and the
+//! returned [`PhaseGuard`] closes it on drop, so early returns and `?`
+//! cannot leave a phase dangling.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::report::{PhaseNode, ProfileEntry, SelfProfile};
+
+/// One phase in the live tree. `children` preserves first-seen order,
+/// which is what makes the merged tree shape deterministic when shards
+/// are absorbed in a fixed order.
+#[derive(Debug, Clone)]
+struct Node {
+    name: &'static str,
+    parent: usize,
+    children: Vec<usize>,
+    wall_ns: u64,
+    calls: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// `nodes[0]` is the virtual root; phases hang off it.
+    nodes: Vec<Node>,
+    /// Open frames: `(node index, entry instant)`. The root is never on
+    /// the stack — its wall is the profiler's lifetime.
+    stack: Vec<(usize, Instant)>,
+    started: Instant,
+}
+
+impl Inner {
+    fn new() -> Inner {
+        Inner {
+            nodes: vec![Node {
+                name: "",
+                parent: 0,
+                children: Vec::new(),
+                wall_ns: 0,
+                calls: 0,
+            }],
+            stack: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    fn current(&self) -> usize {
+        self.stack.last().map_or(0, |&(ix, _)| ix)
+    }
+
+    /// Child of `parent` named `name`, created at the end of the child
+    /// list if absent.
+    fn child(&mut self, parent: usize, name: &'static str) -> usize {
+        if let Some(&ix) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].name == name)
+        {
+            return ix;
+        }
+        let ix = self.nodes.len();
+        self.nodes.push(Node {
+            name,
+            parent,
+            children: Vec::new(),
+            wall_ns: 0,
+            calls: 0,
+        });
+        self.nodes[parent].children.push(ix);
+        ix
+    }
+
+    fn enter(&mut self, name: &'static str) {
+        let ix = self.child(self.current(), name);
+        self.nodes[ix].calls += 1;
+        self.stack.push((ix, Instant::now()));
+    }
+
+    fn exit(&mut self) {
+        if let Some((ix, t0)) = self.stack.pop() {
+            self.nodes[ix].wall_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Merge `other`'s tree under this tree's node `at`, child subtrees
+    /// in `other`'s child order (find-or-create keeps shapes aligned).
+    fn merge_subtree(&mut self, at: usize, other: &Inner, other_ix: usize) {
+        for &c in other.nodes[other_ix].children.clone().iter() {
+            let mine = self.child(at, other.nodes[c].name);
+            self.nodes[mine].wall_ns += other.nodes[c].wall_ns;
+            self.nodes[mine].calls += other.nodes[c].calls;
+            self.merge_subtree(mine, other, c);
+        }
+    }
+
+    fn snapshot(&self) -> SelfProfile {
+        SelfProfile {
+            phases: self
+                .nodes
+                .iter()
+                .map(|n| PhaseNode {
+                    name: n.name.to_string(),
+                    parent: n.parent,
+                    children: n.children.clone(),
+                    wall_ns: n.wall_ns,
+                    calls: n.calls,
+                })
+                .collect(),
+            total_wall_ns: self.started.elapsed().as_nanos() as u64,
+            peak_rss_bytes: peak_rss_bytes(),
+        }
+    }
+}
+
+/// The profiler handle instrumented code records through. Cheap to pass
+/// by shared reference (interior mutability); `None` when disabled.
+#[derive(Debug, Default)]
+pub struct Prof {
+    inner: Option<Box<RefCell<Inner>>>,
+}
+
+impl Prof {
+    /// A profiler that measures nothing at the cost of one branch per
+    /// call site.
+    pub fn disabled() -> Prof {
+        Prof { inner: None }
+    }
+
+    /// A live profiler; the wall clock for the total row starts now.
+    pub fn enabled() -> Prof {
+        Prof {
+            inner: Some(Box::new(RefCell::new(Inner::new()))),
+        }
+    }
+
+    /// Enabled iff the `MERCURIAL_PROF` environment variable is set to a
+    /// non-empty, non-`0` value — the knob headless pieces (serve worker
+    /// processes) inherit, since wall-clock profiling is operator domain,
+    /// not scenario domain.
+    pub fn from_env() -> Prof {
+        match std::env::var("MERCURIAL_PROF") {
+            Ok(v) if !v.is_empty() && v != "0" => Prof::enabled(),
+            _ => Prof::disabled(),
+        }
+    }
+
+    /// Build with an explicit switch (handy where the flag was already
+    /// resolved, e.g. from a CLI argument).
+    pub fn with_enabled(on: bool) -> Prof {
+        if on {
+            Prof::enabled()
+        } else {
+            Prof::disabled()
+        }
+    }
+
+    /// Whether this handle keeps anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open the phase `name` under the current phase; the returned guard
+    /// closes it on drop. Disabled handles hand back an inert guard
+    /// without touching the clock.
+    #[must_use = "dropping the guard immediately records a zero-length phase"]
+    pub fn span(&self, name: &'static str) -> PhaseGuard<'_> {
+        if let Some(cell) = &self.inner {
+            cell.borrow_mut().enter(name);
+        }
+        PhaseGuard {
+            prof: self.inner.as_deref(),
+        }
+    }
+
+    /// Run `f` inside the phase `name` — the closure-shaped twin of
+    /// [`Prof::span`] for call sites where a guard binding would be
+    /// awkward.
+    pub fn scope<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let _guard = self.span(name);
+        f()
+    }
+
+    /// An empty profiler with the same enabled-ness, for a parallel
+    /// worker to fill. Shards of a disabled profiler are disabled, so
+    /// parallel code paths pay nothing when profiling is off.
+    pub fn shard(&self) -> Prof {
+        Prof::with_enabled(self.is_enabled())
+    }
+
+    /// Merge a worker shard's phases under the current phase. Subtrees
+    /// land find-or-create in the shard's child order, so absorbing
+    /// shards in deterministic (worker-index) order yields a
+    /// deterministic tree *shape* — the wall-clock values remain
+    /// measurements and differ run to run.
+    pub fn absorb(&self, shard: &Prof) {
+        let (Some(cell), Some(other)) = (&self.inner, &shard.inner) else {
+            return;
+        };
+        let other = other.borrow();
+        let mut inner = cell.borrow_mut();
+        let at = inner.current();
+        inner.merge_subtree(at, &other, 0);
+    }
+
+    /// Merge wire-shipped profile entries (e.g. a serve worker's `Bye`
+    /// payload) under the current phase. Stack paths split on `;`; names
+    /// are interned once per distinct phase (the vocabulary is a small
+    /// fixed set).
+    pub fn absorb_entries(&self, entries: &[ProfileEntry]) {
+        let Some(cell) = &self.inner else {
+            return;
+        };
+        let mut inner = cell.borrow_mut();
+        let at = inner.current();
+        for e in entries {
+            let mut ix = at;
+            for frame in e.stack.split(';').filter(|s| !s.is_empty()) {
+                ix = inner.child(ix, intern(frame));
+            }
+            if ix != at {
+                inner.nodes[ix].wall_ns += e.wall_ns;
+                inner.nodes[ix].calls += e.calls;
+            }
+        }
+    }
+
+    /// A point-in-time copy of the finished phases (open spans excluded
+    /// from their phases' walls until they close). Empty when disabled.
+    pub fn snapshot(&self) -> SelfProfile {
+        match &self.inner {
+            Some(cell) => cell.borrow().snapshot(),
+            None => SelfProfile::default(),
+        }
+    }
+
+    /// Consume the profiler and return the final profile.
+    pub fn finish(self) -> SelfProfile {
+        self.snapshot()
+    }
+}
+
+/// RAII guard returned by [`Prof::span`]; closes the phase on drop.
+pub struct PhaseGuard<'a> {
+    prof: Option<&'a RefCell<Inner>>,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(cell) = self.prof {
+            cell.borrow_mut().exit();
+        }
+    }
+}
+
+/// Leak-once interner for dynamic phase names arriving over the wire.
+/// Deduplicates so repeated runs in one process never grow the leak past
+/// one entry per distinct name.
+fn intern(name: &str) -> &'static str {
+    use std::sync::Mutex;
+    static POOL: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut pool = POOL.lock().expect("phase-name pool poisoned");
+    if let Some(hit) = pool.iter().find(|&&p| p == name) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    pool.push(leaked);
+    leaked
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`),
+/// `None` where the kernel interface is absent. A sample, not a metric:
+/// it rides the profile report only.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_a_single_word_and_inert() {
+        // Option<Box<_>> has the null niche: the disabled handle is one
+        // pointer, and every method is one branch.
+        assert_eq!(
+            std::mem::size_of::<Prof>(),
+            std::mem::size_of::<usize>(),
+            "disabled handle must stay pointer-sized"
+        );
+        let p = Prof::disabled();
+        {
+            let _g = p.span("phase");
+            let _h = p.span("nested");
+        }
+        assert!(!p.is_enabled());
+        assert!(p.snapshot().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_count() {
+        let p = Prof::enabled();
+        for _ in 0..3 {
+            let _e = p.span("epoch");
+            let _s = p.span("sim");
+        }
+        {
+            let _e = p.span("epoch");
+            let _x = p.span("screen");
+        }
+        let prof = p.finish();
+        assert_eq!(prof.calls("epoch"), 4);
+        assert_eq!(prof.calls("epoch;sim"), 3);
+        assert_eq!(prof.calls("epoch;screen"), 1);
+        assert_eq!(prof.calls("missing"), 0);
+    }
+
+    #[test]
+    fn nested_wall_never_exceeds_parent() {
+        let p = Prof::enabled();
+        {
+            let _outer = p.span("outer");
+            for _ in 0..10 {
+                let _inner = p.span("inner");
+                std::hint::black_box((0..512).sum::<u64>());
+            }
+        }
+        let prof = p.finish();
+        assert!(prof.wall_ns("outer") >= prof.wall_ns("outer;inner"));
+        assert!(prof.total_wall_ns >= prof.wall_ns("outer"));
+    }
+
+    #[test]
+    fn shard_absorb_tree_shape_is_deterministic() {
+        // Two shards record overlapping phase sets in different orders;
+        // absorbing them in a fixed order must always yield the same
+        // child order (shape), whatever the clock said.
+        let shape_of = || {
+            let p = Prof::enabled();
+            let a = p.shard();
+            a.scope("sim", || a.scope("rng", || ()));
+            a.scope("screen", || ());
+            let b = p.shard();
+            b.scope("screen", || ());
+            b.scope("sim", || b.scope("merge", || ()));
+            let _w = p.span("workers");
+            p.absorb(&a);
+            p.absorb(&b);
+            drop(_w);
+            let prof = p.finish();
+            prof.folded_stacks_with(|_| 1)
+        };
+        let first = shape_of();
+        assert_eq!(
+            first.join("\n"),
+            "workers 1\nworkers;sim 1\nworkers;sim;rng 1\nworkers;sim;merge 1\nworkers;screen 1"
+        );
+        for _ in 0..4 {
+            assert_eq!(shape_of(), first, "merged tree shape must not wobble");
+        }
+    }
+
+    #[test]
+    fn absorb_between_disabled_handles_is_a_noop() {
+        let off = Prof::disabled();
+        let on = Prof::enabled();
+        on.scope("x", || ());
+        off.absorb(&on);
+        assert!(off.snapshot().is_empty());
+        on.absorb(&off.shard());
+        assert_eq!(on.finish().calls("x"), 1);
+    }
+
+    #[test]
+    fn absorb_entries_rebuilds_wire_profiles() {
+        let p = Prof::enabled();
+        {
+            let _w = p.span("worker.0");
+            p.absorb_entries(&[
+                ProfileEntry {
+                    stack: "fleet.step".into(),
+                    wall_ns: 5_000,
+                    calls: 2,
+                },
+                ProfileEntry {
+                    stack: "fleet.step;rng".into(),
+                    wall_ns: 1_000,
+                    calls: 4,
+                },
+            ]);
+        }
+        let prof = p.finish();
+        assert_eq!(prof.wall_ns("worker.0;fleet.step"), 5_000);
+        assert_eq!(prof.calls("worker.0;fleet.step;rng"), 4);
+    }
+
+    #[test]
+    fn rss_sample_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().unwrap_or(0) > 0);
+        }
+    }
+}

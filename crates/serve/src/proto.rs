@@ -17,6 +17,7 @@ use std::io::{self, Read, Write};
 
 use mercurial::shardloop::{EpochCommands, ShardEpochReport};
 use mercurial_fleet::SignalLog;
+use mercurial_prof::{Prof, ProfileEntry};
 use serde::{Deserialize, Serialize};
 
 use crate::frame::{read_frame, write_frame};
@@ -102,6 +103,13 @@ pub enum Message {
         counters: Vec<CounterEntry>,
         /// Final gauges.
         gauges: Vec<GaugeEntry>,
+        /// The worker's wall-clock phase profile (empty unless the
+        /// worker process profiles, i.e. `MERCURIAL_PROF` is set). The
+        /// server absorbs these in worker-index order — the same merge
+        /// discipline as trace shards — and the payload is write-only
+        /// observability, so shipping it cannot perturb outcomes.
+        #[serde(default)]
+        profile: Vec<ProfileEntry>,
     },
 }
 
@@ -111,9 +119,24 @@ pub enum Message {
 ///
 /// Propagates the writer's I/O error.
 pub fn send(w: &mut impl Write, msg: &Message) -> io::Result<()> {
-    let json = serde_json::to_string(msg)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    write_frame(w, json.as_bytes())
+    send_sized(w, msg, &Prof::disabled()).map(|_| ())
+}
+
+/// [`send`] with phase attribution (`serve.encode` / `serve.io`) and the
+/// frame's wire size (header + payload) for throughput accounting.
+///
+/// # Errors
+///
+/// Propagates the writer's I/O error.
+pub fn send_sized(w: &mut impl Write, msg: &Message, prof: &Prof) -> io::Result<u64> {
+    let json = {
+        let _p = prof.span("serve.encode");
+        serde_json::to_string(msg)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+    };
+    let _p = prof.span("serve.io");
+    write_frame(w, json.as_bytes())?;
+    Ok(4 + json.len() as u64)
 }
 
 /// Read and decode one message; `Ok(None)` on clean EOF.
@@ -123,14 +146,31 @@ pub fn send(w: &mut impl Write, msg: &Message) -> io::Result<()> {
 /// Propagates the reader's I/O error; malformed payloads are
 /// `InvalidData`.
 pub fn recv(r: &mut impl Read) -> io::Result<Option<Message>> {
-    let Some(payload) = read_frame(r)? else {
-        return Ok(None);
+    Ok(recv_sized(r, &Prof::disabled())?.map(|(msg, _)| msg))
+}
+
+/// [`recv`] with phase attribution (`serve.io` / `serve.decode`) and the
+/// frame's wire size (header + payload) for throughput accounting.
+///
+/// # Errors
+///
+/// Propagates the reader's I/O error; malformed payloads are
+/// `InvalidData`.
+pub fn recv_sized(r: &mut impl Read, prof: &Prof) -> io::Result<Option<(Message, u64)>> {
+    let payload = {
+        let _p = prof.span("serve.io");
+        match read_frame(r)? {
+            Some(p) => p,
+            None => return Ok(None),
+        }
     };
+    let _p = prof.span("serve.decode");
+    let size = 4 + payload.len() as u64;
     let text = String::from_utf8(payload)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let msg = serde_json::from_str(&text)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    Ok(Some(msg))
+    Ok(Some((msg, size)))
 }
 
 /// A protocol-sequence violation (the peer sent something the state
@@ -178,6 +218,11 @@ mod tests {
                     value: 42,
                 }],
                 gauges: Vec::new(),
+                profile: vec![ProfileEntry {
+                    stack: "shard.epoch;fleet.step".to_string(),
+                    wall_ns: 1_234,
+                    calls: 7,
+                }],
             },
         ];
         let mut buf = Vec::new();

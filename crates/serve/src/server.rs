@@ -18,6 +18,7 @@
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use mercurial::closedloop::ClosedLoopOutcome;
 use mercurial::scenario::ImpairConfig;
@@ -26,11 +27,12 @@ use mercurial::shardloop::{
 };
 use mercurial::{FleetExperiment, Scenario};
 use mercurial_fleet::SignalLog;
+use mercurial_prof::Prof;
 use mercurial_trace::export::{metrics_to_prometheus, prom_label_escape};
 use mercurial_watch::{Baseline, RuleSet};
 
 use crate::impair::{ImpairedChannel, LinkStats};
-use crate::proto::{proto_err, recv, send, Message, PROTO_VERSION};
+use crate::proto::{proto_err, recv_sized, send_sized, Message, PROTO_VERSION};
 use crate::worker::run_worker;
 
 /// Attachments for a served run.
@@ -43,6 +45,23 @@ pub struct ServeOptions<'a> {
     /// Bind address for the live Prometheus status endpoint (e.g.
     /// `127.0.0.1:9184`); `None` disables it.
     pub status_addr: Option<String>,
+    /// Wall-clock phase profiler for the server side. Write-only
+    /// observability: readings surface on the status page and in the
+    /// final profile, never in the outcome, so a profiled served run
+    /// stays bit-for-bit with an unprofiled one.
+    pub prof: Option<&'a Prof>,
+}
+
+/// Wire throughput counters for the status page: every frame the server
+/// sends or receives across all worker links, with its size (4-byte
+/// header + payload). Wall-clock/operator domain — not part of any
+/// outcome digest.
+#[derive(Debug, Default, Clone, Copy)]
+struct WireStats {
+    frames_in: u64,
+    frames_out: u64,
+    bytes_in: u64,
+    bytes_out: u64,
 }
 
 /// Everything a served run produced: the ordinary closed-loop outcome
@@ -81,6 +100,9 @@ pub fn run_server(
 
     // Handshake every worker before the first epoch: Hello up, Config
     // (scenario + shard range) down.
+    let disabled_prof = Prof::disabled();
+    let prof = opts.prof.unwrap_or(&disabled_prof);
+    let mut wire = WireStats::default();
     let scenario_json = scenario.to_json();
     let mut links = Vec::with_capacity(workers as usize);
     for (w, &(lo, hi)) in ranges.iter().enumerate() {
@@ -90,16 +112,19 @@ pub fn run_server(
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
         };
-        match recv(&mut link.reader)? {
-            Some(Message::Hello { proto }) if proto == PROTO_VERSION => {}
-            Some(Message::Hello { proto }) => {
+        match recv_sized(&mut link.reader, prof)? {
+            Some((Message::Hello { proto }, n)) if proto == PROTO_VERSION => {
+                wire.frames_in += 1;
+                wire.bytes_in += n;
+            }
+            Some((Message::Hello { proto }, _)) => {
                 return Err(proto_err(&format!(
                     "worker speaks protocol {proto}, server speaks {PROTO_VERSION}"
                 )))
             }
             _ => return Err(proto_err("expected Hello")),
         }
-        send(
+        let n = send_sized(
             &mut link.writer,
             &Message::Config {
                 scenario: scenario_json.clone(),
@@ -107,12 +132,15 @@ pub fn run_server(
                 lo,
                 hi,
             },
+            prof,
         )?;
+        wire.frames_out += 1;
+        wire.bytes_out += n;
         link.writer.flush()?;
         links.push(link);
     }
 
-    serve_run(scenario, &mut links, opts)
+    serve_run(scenario, &mut links, opts, wire)
 }
 
 /// The epoch loop over handshaken links.
@@ -120,7 +148,11 @@ fn serve_run(
     scenario: &Scenario,
     links: &mut [Link],
     opts: &ServeOptions<'_>,
+    mut wire: WireStats,
 ) -> io::Result<ServedOutcome> {
+    let started = Instant::now();
+    let disabled_prof = Prof::disabled();
+    let prof = opts.prof.unwrap_or(&disabled_prof);
     let experiment = FleetExperiment::build(scenario);
     let engine = watch_engine(scenario, &opts.rules);
     let mut rec = scenario.recorder();
@@ -138,20 +170,23 @@ fn serve_run(
     let mut worker_traces = vec![String::new(); links.len()];
 
     while !agg.is_done() {
-        let cmds = agg.begin_epoch(&mut rec);
+        let cmds = agg.begin_epoch(&mut rec, prof);
         let epoch = cmds.epoch;
         // Broadcast: commands address cores by uid, and applying a
         // non-owned core's command is a no-op, so every worker gets the
         // same frame.
         for link in links.iter_mut() {
-            send(&mut link.writer, &Message::Cmd { cmds: cmds.clone() })?;
+            let n = send_sized(&mut link.writer, &Message::Cmd { cmds: cmds.clone() }, prof)?;
+            wire.frames_out += 1;
+            wire.bytes_out += n;
             link.writer.flush()?;
         }
         // Collect in worker-index order — the deterministic merge order
         // the in-process multi-shard path uses.
         let mut reports: Vec<ShardEpochReport> = Vec::with_capacity(links.len());
         for (w, link) in links.iter_mut().enumerate() {
-            let (evidence, report, jsonl) = recv_epoch_frames(&mut link.reader, w as u32, epoch)?;
+            let (evidence, report, jsonl) =
+                recv_epoch_frames(&mut link.reader, w as u32, epoch, prof, &mut wire)?;
             channel.offer(w as u32, epoch, evidence);
             reports.push(report);
             worker_traces[w].push_str(&jsonl);
@@ -166,30 +201,52 @@ fn serve_run(
             delivered.append(log);
         }
         reports[0].evidence = delivered;
-        agg.ingest_reports(reports, &mut rec);
+        agg.ingest_reports(reports, &mut rec, prof);
 
         if let Some(body) = &status {
             let mut s = body.lock().expect("status lock");
-            *s = status_body(&rec, &channel.stats, epoch + 1, epochs);
+            *s = status_body(
+                &rec,
+                &channel.stats,
+                epoch + 1,
+                epochs,
+                &wire,
+                started,
+                prof,
+            );
         }
     }
 
-    // Wind down: Fin to every worker, absorb their trace tails and
-    // metric readouts (counters merge into the server recorder so the
-    // final metric set equals the in-process run's).
+    // Wind down: Fin to every worker, absorb their trace tails, metric
+    // readouts (counters merge into the server recorder so the final
+    // metric set equals the in-process run's), and phase profiles —
+    // worker-index order, the same discipline as every other merge.
     for (w, link) in links.iter_mut().enumerate() {
-        send(&mut link.writer, &Message::Fin)?;
+        let n = send_sized(&mut link.writer, &Message::Fin, prof)?;
+        wire.frames_out += 1;
+        wire.bytes_out += n;
         link.writer.flush()?;
         loop {
-            match recv(&mut link.reader)? {
-                Some(Message::Trace { jsonl, .. }) => worker_traces[w].push_str(&jsonl),
-                Some(Message::Bye { counters, gauges }) => {
+            let Some((msg, n)) = recv_sized(&mut link.reader, prof)? else {
+                return Err(proto_err("expected Trace/Bye after Fin"));
+            };
+            wire.frames_in += 1;
+            wire.bytes_in += n;
+            match msg {
+                Message::Trace { jsonl, .. } => worker_traces[w].push_str(&jsonl),
+                Message::Bye {
+                    counters,
+                    gauges,
+                    profile,
+                } => {
                     for c in counters {
                         rec.counter_add(intern(c.name), c.value);
                     }
                     for g in gauges {
                         rec.gauge(0.0, intern(g.name), g.value);
                     }
+                    let _w = prof.span("serve.workers");
+                    prof.absorb_entries(&profile);
                     break;
                 }
                 _ => return Err(proto_err("expected Trace/Bye after Fin")),
@@ -197,10 +254,10 @@ fn serve_run(
         }
     }
 
-    let finished = agg.finish(&mut rec, &[], opts.baseline);
+    let finished = agg.finish(&mut rec, &[], opts.baseline, prof);
     if let Some(body) = &status {
         let mut s = body.lock().expect("status lock");
-        *s = status_body(&rec, &channel.stats, epochs, epochs);
+        *s = status_body(&rec, &channel.stats, epochs, epochs, &wire, started, prof);
     }
     Ok(ServedOutcome {
         outcome: ClosedLoopOutcome {
@@ -222,12 +279,21 @@ fn recv_epoch_frames(
     reader: &mut BufReader<TcpStream>,
     worker: u32,
     epoch: u32,
+    prof: &Prof,
+    wire: &mut WireStats,
 ) -> io::Result<(SignalLog, ShardEpochReport, String)> {
+    let mut next = |wire: &mut WireStats| -> io::Result<Option<Message>> {
+        Ok(recv_sized(reader, prof)?.map(|(msg, n)| {
+            wire.frames_in += 1;
+            wire.bytes_in += n;
+            msg
+        }))
+    };
     let Some(Message::Evidence {
         worker: w,
         epoch: e,
         log,
-    }) = recv(reader)?
+    }) = next(wire)?
     else {
         return Err(proto_err("expected Evidence"));
     };
@@ -236,7 +302,7 @@ fn recv_epoch_frames(
             "evidence stamped worker {w} epoch {e}, expected {worker}/{epoch}"
         )));
     }
-    let Some(Message::Report { report }) = recv(reader)? else {
+    let Some(Message::Report { report }) = next(wire)? else {
         return Err(proto_err("expected Report"));
     };
     if report.epoch != epoch {
@@ -245,7 +311,7 @@ fn recv_epoch_frames(
             report.epoch
         )));
     }
-    let Some(Message::Trace { jsonl, .. }) = recv(reader)? else {
+    let Some(Message::Trace { jsonl, .. }) = next(wire)? else {
         return Err(proto_err("expected Trace"));
     };
     Ok((log, *report, jsonl))
@@ -258,13 +324,54 @@ fn intern(name: String) -> &'static str {
     Box::leak(name.into_boxed_str())
 }
 
-/// The status page: run progress, link statistics, and the Prometheus
-/// rendering of the live metric set.
-fn status_body(rec: &mercurial_trace::Recorder, link: &LinkStats, done: u32, total: u32) -> String {
+/// The status page: build identity, run progress, runtime wall-clock
+/// counters, link statistics, the live phase profile, and the Prometheus
+/// rendering of the live metric set. Everything here is operator/
+/// wall-clock domain — the page is a read-only window, never an input.
+fn status_body(
+    rec: &mercurial_trace::Recorder,
+    link: &LinkStats,
+    done: u32,
+    total: u32,
+    wire: &WireStats,
+    started: Instant,
+    prof: &Prof,
+) -> String {
+    let uptime = started.elapsed().as_secs_f64();
+    let frames = wire.frames_in + wire.frames_out;
     let mut out = String::new();
     out.push_str("# mercurial-serve status\n");
+    out.push_str(&format!(
+        "mercurial_build_info{{version=\"{}\",proto=\"{PROTO_VERSION}\"}} 1\n",
+        env!("CARGO_PKG_VERSION")
+    ));
+    out.push_str(&format!("mercurial_serve_uptime_seconds {uptime:.3}\n"));
     out.push_str(&format!("mercurial_serve_epochs_done {done}\n"));
     out.push_str(&format!("mercurial_serve_epochs_total {total}\n"));
+    out.push_str(&format!(
+        "mercurial_serve_frames_in_total {}\n",
+        wire.frames_in
+    ));
+    out.push_str(&format!(
+        "mercurial_serve_frames_out_total {}\n",
+        wire.frames_out
+    ));
+    out.push_str(&format!(
+        "mercurial_serve_bytes_in_total {}\n",
+        wire.bytes_in
+    ));
+    out.push_str(&format!(
+        "mercurial_serve_bytes_out_total {}\n",
+        wire.bytes_out
+    ));
+    out.push_str(&format!(
+        "mercurial_serve_frames_per_second {:.3}\n",
+        if uptime > 0.0 {
+            frames as f64 / uptime
+        } else {
+            0.0
+        }
+    ));
     out.push_str(&format!("mercurial_serve_link_frames {}\n", link.frames));
     out.push_str(&format!("mercurial_serve_link_dropped {}\n", link.dropped));
     out.push_str(&format!("mercurial_serve_link_delayed {}\n", link.delayed));
@@ -276,9 +383,30 @@ fn status_body(rec: &mercurial_trace::Recorder, link: &LinkStats, done: u32, tot
         "mercurial_serve_link_reordered {}\n",
         link.reordered
     ));
+    out.push_str(&prof_section(prof));
     if let Some(metrics) = rec.metrics() {
         out.push_str(&audit_section(metrics));
         out.push_str(&metrics_to_prometheus(metrics));
+    }
+    out
+}
+
+/// The wall-clock phase section of the status page: one gauge per phase
+/// path from the server's live profile (absent entirely when profiling
+/// is off). Phase names are compile-time or wire-interned identifiers,
+/// but they pass through the label escaper anyway.
+fn prof_section(prof: &Prof) -> String {
+    let snapshot = prof.snapshot();
+    if snapshot.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("# TYPE mercurial_prof_phase_wall_ms gauge\n");
+    for e in snapshot.entries() {
+        out.push_str(&format!(
+            "mercurial_prof_phase_wall_ms{{phase=\"{}\"}} {:.3}\n",
+            prom_label_escape(&e.stack),
+            e.wall_ns as f64 / 1e6
+        ));
     }
     out
 }

@@ -14,9 +14,12 @@ use std::net::TcpStream;
 
 use mercurial::shardloop::FleetShard;
 use mercurial::{FleetExperiment, Scenario};
+use mercurial_prof::Prof;
 use mercurial_trace::{JsonlStreamSink, TraceSink};
 
-use crate::proto::{proto_err, recv, send, CounterEntry, GaugeEntry, Message, PROTO_VERSION};
+use crate::proto::{
+    proto_err, recv, send, send_sized, CounterEntry, GaugeEntry, Message, PROTO_VERSION,
+};
 
 /// Connect to a server and run the shard it assigns until the run ends.
 ///
@@ -65,6 +68,10 @@ pub fn run_worker(stream: TcpStream) -> io::Result<()> {
     // JSONL sink; its writer is the byte buffer each epoch's Trace frame
     // ships.
     let mut sink = JsonlStreamSink::new(Vec::new());
+    // Worker processes have no CLI flag path, so wall-clock profiling is
+    // inherited from the environment; the profile ships in the `Bye`
+    // frame and is write-only observability either way.
+    let prof = Prof::from_env();
 
     serve_epochs(
         &mut reader,
@@ -73,6 +80,7 @@ pub fn run_worker(stream: TcpStream) -> io::Result<()> {
         &mut rec,
         &mut sink,
         worker,
+        &prof,
     )
 }
 
@@ -83,42 +91,59 @@ fn serve_epochs(
     rec: &mut mercurial_trace::Recorder,
     sink: &mut JsonlStreamSink<Vec<u8>>,
     worker: u32,
+    prof: &Prof,
 ) -> io::Result<()> {
     loop {
         match recv(reader)? {
             Some(Message::Cmd { cmds }) => {
                 let epoch = cmds.epoch;
                 shard.apply_commands(&cmds);
-                let mut report = shard.step_epoch(rec);
+                let mut report = shard.step_epoch(rec, prof);
                 let evidence = std::mem::take(&mut report.evidence);
-                send(
+                send_sized(
                     writer,
                     &Message::Evidence {
                         worker,
                         epoch,
                         log: evidence,
                     },
+                    prof,
                 )?;
-                send(
+                send_sized(
                     writer,
                     &Message::Report {
                         report: Box::new(report),
                     },
+                    prof,
                 )?;
-                sink.drain(rec).expect("Vec sink cannot fail");
+                {
+                    let _p = prof.span("trace.drain");
+                    sink.drain(rec).expect("Vec sink cannot fail");
+                }
                 let jsonl = String::from_utf8(std::mem::take(sink.get_mut()))
                     .expect("JSONL sink writes UTF-8");
-                send(writer, &Message::Trace { worker, jsonl })?;
+                send_sized(writer, &Message::Trace { worker, jsonl }, prof)?;
                 writer.flush()?;
             }
             Some(Message::Fin) => {
-                // Tail: remaining trace events, then the metric readout.
+                // Tail: remaining trace events, then the metric readout
+                // and the worker's phase profile (snapshot before the
+                // final sends — they would only add to `serve.*`).
                 sink.drain(rec).expect("Vec sink cannot fail");
                 let jsonl = String::from_utf8(std::mem::take(sink.get_mut()))
                     .expect("JSONL sink writes UTF-8");
-                send(writer, &Message::Trace { worker, jsonl })?;
+                send_sized(writer, &Message::Trace { worker, jsonl }, prof)?;
                 let (counters, gauges) = metric_entries(rec);
-                send(writer, &Message::Bye { counters, gauges })?;
+                let profile = prof.snapshot().entries();
+                send_sized(
+                    writer,
+                    &Message::Bye {
+                        counters,
+                        gauges,
+                        profile,
+                    },
+                    prof,
+                )?;
                 writer.flush()?;
                 return Ok(());
             }

@@ -9,6 +9,7 @@
 //! mercurial-lab watch    [--rules FILE] [--scenario FILE | --trace FILE]
 //! mercurial-lab audit    [--scenario FILE | --trace FILE] [--format FMT] [--out FILE]
 //! mercurial-lab serve    [--workers N] [--impair FILE] [--procs] [--status ADDR]
+//! mercurial-lab prof     [--seed N] [--paper] [--scenario FILE] [--format FMT]
 //! mercurial-lab archetypes                    # list the §2 defect archetypes
 //! ```
 
@@ -52,6 +53,11 @@ fn usage() -> ! {
          .                                (--procs forks real worker processes)\n\
          serve-worker --connect HOST:PORT\n\
          .                                connect to a serve server and run the assigned shard\n\
+         prof     [--seed N] [--paper] [--scenario FILE]\n\
+         .        [--format table|folded] [--out FILE]\n\
+         .                                run the closed loop with the wall-clock phase\n\
+         .                                profiler attached and print the phase tree, or\n\
+         .                                folded stacks for flamegraph.pl\n\
          archetypes                       list the available defect archetypes"
     );
     std::process::exit(2)
@@ -296,6 +302,7 @@ fn cmd_watch(args: &Args) {
         sink: stream
             .as_mut()
             .map(|s| s as &mut dyn mercurial::trace::TraceSink),
+        prof: None,
     };
     let out = ClosedLoopDriver::execute_with(&scenario, &experiment, opts);
 
@@ -479,6 +486,75 @@ fn cmd_serve(args: &Args) {
     }
 }
 
+fn cmd_prof(args: &Args) {
+    use mercurial::audit::DecisionLedger;
+    use mercurial_prof::Prof;
+
+    // Every observability surface on: tracing, watch, audit. The profile
+    // should show what a fully instrumented production loop costs, and the
+    // profiler itself is write-only — `prof_parity` pins that attaching it
+    // moves no output bit.
+    let mut scenario = scenario_from_args(args);
+    scenario.trace.enabled = true;
+    scenario.watch.enabled = true;
+    scenario.audit.enabled = true;
+    scenario.closed_loop.feedback = true;
+    let format = args.value("format").unwrap_or("table");
+    eprintln!(
+        "profiling closed loop: {} machines, {} months …",
+        scenario.fleet.machines, scenario.sim.months
+    );
+
+    let experiment = mercurial::FleetExperiment::build(&scenario);
+    let prof = Prof::enabled();
+    let opts = RunOptions {
+        prof: Some(&prof),
+        ..RunOptions::default()
+    };
+    let out = ClosedLoopDriver::execute_with(&scenario, &experiment, opts);
+
+    // The post-run export work an operator pays for, attributed too:
+    // trace serialization and the decision-ledger fold.
+    let trace_bytes = {
+        let _p = prof.span("trace.export");
+        out.trace.to_jsonl().len()
+    };
+    let decisions = {
+        let _p = prof.span("audit.fold");
+        DecisionLedger::from_trace(&out.trace).len()
+    };
+    eprintln!(
+        "run complete: {} detections, {} trace bytes exported, {} audited decisions",
+        out.pipeline.detections.len(),
+        trace_bytes,
+        decisions
+    );
+
+    let profile = prof.finish();
+    let rendered = match format {
+        "table" => profile.render_table(),
+        "folded" => {
+            let mut s = profile.folded_stacks().join("\n");
+            s.push('\n');
+            s
+        }
+        other => {
+            eprintln!("unknown --format `{other}` (table|folded)");
+            std::process::exit(2);
+        }
+    };
+    match args.value("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("profile ({format}) written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}
+
 fn cmd_serve_worker(args: &Args) {
     let Some(addr) = args.value("connect") else {
         eprintln!("serve-worker: --connect HOST:PORT is required");
@@ -572,6 +648,7 @@ fn main() {
         Some("audit") => cmd_audit(&args),
         Some("serve") => cmd_serve(&args),
         Some("serve-worker") => cmd_serve_worker(&args),
+        Some("prof") => cmd_prof(&args),
         Some("archetypes") => {
             for a in library::ARCHETYPES {
                 println!("{a}");
